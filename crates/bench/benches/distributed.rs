@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the distributed-task and simulator substrates
+//! (B5 of DESIGN.md): per-tick stepping cost of a coordinator-managed
+//! task and event-queue throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use volley_core::task::TaskSpec;
+use volley_core::DistributedTask;
+use volley_sim::{EventQueue, SimDuration, SimTime};
+
+fn bench_task_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_task");
+    for monitors in [5usize, 40] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("step", monitors),
+            &monitors,
+            |b, &monitors| {
+                let spec = TaskSpec::builder(1e6)
+                    .monitors(monitors)
+                    .error_allowance(0.01)
+                    .max_interval(16)
+                    .build()
+                    .expect("valid spec");
+                let mut task = DistributedTask::new(&spec).expect("valid task");
+                let values: Vec<f64> = (0..monitors).map(|m| 10.0 + m as f64).collect();
+                let mut tick = 0u64;
+                b.iter(|| {
+                    let out = task.step(tick, black_box(&values)).expect("step");
+                    tick += 1;
+                    out.scheduled_samples
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_cycle", |b| {
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        // Keep a rolling population of 1024 events.
+        for i in 0..1024u64 {
+            queue.schedule(SimTime::from_micros(i), i);
+        }
+        b.iter(|| {
+            let (t, e) = queue.pop().expect("non-empty");
+            queue.schedule(t + SimDuration::from_micros(1024), e);
+            e
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_task_step, bench_event_queue);
+criterion_main!(benches);

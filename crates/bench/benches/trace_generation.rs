@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the workload generators (B6 of DESIGN.md):
+//! trace-generation throughput determines how fast the figure harnesses
+//! and large simulator runs can go.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use volley_traces::http::HttpWorkloadConfig;
+use volley_traces::netflow::NetflowConfig;
+use volley_traces::sysmetrics::SystemMetricsGenerator;
+use volley_traces::zipf::Zipf;
+
+const TICKS: usize = 2000;
+
+fn bench_netflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netflow");
+    group.throughput(Throughput::Elements(TICKS as u64));
+    group.bench_function("generate_vm_2000_windows", |b| {
+        let config = NetflowConfig::builder().seed(1).build();
+        b.iter(|| config.generate_vm(0, TICKS))
+    });
+    group.finish();
+}
+
+fn bench_sysmetrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sysmetrics");
+    group.throughput(Throughput::Elements(TICKS as u64));
+    for metric in [0usize, 28] {
+        // cpu_user (smooth) vs vmstat_cs (noisy)
+        group.bench_with_input(
+            BenchmarkId::new("trace_2000_ticks", metric),
+            &metric,
+            |b, &m| {
+                let generator = SystemMetricsGenerator::new(1);
+                b.iter(|| generator.trace(0, m, TICKS))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_http(c: &mut Criterion) {
+    let mut group = c.benchmark_group("http");
+    group.throughput(Throughput::Elements(TICKS as u64));
+    group.bench_function("generate_20_objects_2000_ticks", |b| {
+        let config = HttpWorkloadConfig::builder().seed(1).objects(20).build();
+        b.iter(|| config.generate(TICKS))
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("zipf");
+    group.bench_function("sample_n1000", |b| {
+        let zipf = Zipf::new(1000, 1.0).expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        b.iter(|| zipf.sample(&mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_netflow,
+    bench_sysmetrics,
+    bench_http,
+    bench_zipf
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation A4: does the violation-*likelihood* estimation actually
+//! matter, or would any adaptive scheme do?
+//!
+//! Compares four sampling policies on identical workloads:
+//!
+//! - `periodic-1` — the accuracy baseline (samples every default interval);
+//! - `periodic-4` — a coarser fixed interval (what an operator might pick
+//!   by hand to save cost);
+//! - `reactive` — a naive double-on-quiet / reset-on-violation scheme
+//!   with no likelihood estimation and therefore no accuracy control;
+//! - `volley` — the paper's controller at `err = 1%`.
+//!
+//! Expected shape: the reactive scheme often matches Volley's *cost*, but
+//! its miss rate is uncontrolled — it lands wherever the data's burst
+//! structure puts it — while Volley keeps misses at the allowance scale.
+
+use volley_bench::params::SweepParams;
+use volley_bench::workloads::{TraceFamily, WorkloadSet};
+use volley_core::accuracy::{evaluate_policy, AccuracyReport};
+use volley_core::{
+    AdaptationConfig, AdaptiveSampler, Interval, PeriodicSampler, ReactiveSampler, SamplingPolicy,
+};
+
+/// A named policy constructor: threshold → boxed policy.
+type PolicyFactory = Box<dyn Fn(f64) -> Box<dyn SamplingPolicy>>;
+
+fn run_policy<F>(workload: &WorkloadSet, make: F) -> AccuracyReport
+where
+    F: Fn(f64) -> Box<dyn SamplingPolicy>,
+{
+    let mut merged: Option<AccuracyReport> = None;
+    for trace in workload.traces() {
+        let threshold = volley_core::selectivity_threshold(trace, 1.0).expect("valid trace");
+        let mut policy = make(threshold);
+        let report = evaluate_policy(policy.as_mut(), trace);
+        merged = Some(merged.map(|m| m.merged(&report)).unwrap_or(report));
+    }
+    merged.expect("non-empty workload")
+}
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("ablation_baselines: {params:?}");
+    println!("# Baseline comparison (k=1%, err=1% where applicable)");
+    println!(
+        "{:<14}{:<14}{:>12}{:>12}",
+        "family", "policy", "cost-ratio", "miss-rate"
+    );
+    for family in [
+        TraceFamily::Network,
+        TraceFamily::System,
+        TraceFamily::Application,
+    ] {
+        let workload = WorkloadSet::generate(family, &params);
+        let adaptation = AdaptationConfig::builder()
+            .error_allowance(0.01)
+            .max_interval(params.max_interval)
+            .patience(params.patience)
+            .build()
+            .expect("valid adaptation");
+        let policies: Vec<(&str, PolicyFactory)> = vec![
+            (
+                "periodic-1",
+                Box::new(|t| Box::new(PeriodicSampler::new(Interval::DEFAULT, t))),
+            ),
+            (
+                "periodic-4",
+                Box::new(|t| {
+                    Box::new(PeriodicSampler::new(Interval::new(4).expect("non-zero"), t))
+                }),
+            ),
+            (
+                "reactive",
+                Box::new(move |t| {
+                    Box::new(ReactiveSampler::new(
+                        t,
+                        Interval::new_clamped(params.max_interval),
+                        5,
+                    ))
+                }),
+            ),
+            (
+                "volley",
+                Box::new(move |t| Box::new(AdaptiveSampler::new(adaptation, t))),
+            ),
+        ];
+        for (name, make) in policies {
+            let report = run_policy(&workload, make.as_ref());
+            println!(
+                "{:<14}{:<14}{:>12.4}{:>12.4}",
+                family.name(),
+                name,
+                report.cost_ratio(),
+                report.misdetection_rate()
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation A1: the slack ratio `γ` and patience `p` of the adaptation
+//! rule (§III-B). The paper reports `γ = 0.2, p = 20` as good practice;
+//! this sweep shows the cost/accuracy trade-off around that point.
+//!
+//! Expected shape: smaller `γ`/`p` grow intervals more eagerly (lower
+//! cost, higher miss risk); larger values are conservative. The paper's
+//! point sits on the flat part of the accuracy curve.
+
+use volley_bench::params::SweepParams;
+use volley_bench::workloads::{TraceFamily, WorkloadSet};
+use volley_core::accuracy::{evaluate_policy, AccuracyReport};
+use volley_core::{AdaptationConfig, AdaptiveSampler};
+
+fn run(workload: &WorkloadSet, gamma: f64, patience: u32, max_interval: u32) -> AccuracyReport {
+    let adaptation = AdaptationConfig::builder()
+        .error_allowance(0.01)
+        .slack_ratio(gamma)
+        .patience(patience)
+        .max_interval(max_interval)
+        .build()
+        .expect("valid adaptation config");
+    let mut merged: Option<AccuracyReport> = None;
+    for trace in workload.traces() {
+        let threshold = volley_core::selectivity_threshold(trace, 1.0).expect("valid trace");
+        let mut policy = AdaptiveSampler::new(adaptation, threshold);
+        let r = evaluate_policy(&mut policy, trace);
+        merged = Some(merged.map(|m| m.merged(&r)).unwrap_or(r));
+    }
+    merged.expect("non-empty workload")
+}
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("ablation_gamma_p: {params:?}");
+    let workload = WorkloadSet::generate(TraceFamily::System, &params);
+    println!("# Ablation: slack ratio γ and patience p (system tasks, err=0.01, k=1%)");
+    println!(
+        "{:<8}{:<6}{:>12}{:>12}",
+        "gamma", "p", "cost-ratio", "miss-rate"
+    );
+    for gamma in [0.0, 0.1, 0.2, 0.4, 0.8] {
+        for patience in [1u32, 5, 20, 50] {
+            let r = run(&workload, gamma, patience, params.max_interval);
+            println!(
+                "{gamma:<8}{patience:<6}{:>12.4}{:>12.4}",
+                r.cost_ratio(),
+                r.misdetection_rate()
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation A7: δ-statistics estimator — the paper's windowed restart
+//! versus exponentially-forgetting (EWMA) estimation.
+//!
+//! The windowed scheme weighs all observations in the current window
+//! equally and then forgets everything at once (every 1000 samples); the
+//! EWMA variant forgets continuously. Faster forgetting reacts to regime
+//! shifts sooner (fewer stale-σ misses) but with noisier estimates
+//! (earlier collapses, higher cost).
+
+use volley_bench::params::SweepParams;
+use volley_bench::workloads::{TraceFamily, WorkloadSet};
+use volley_core::accuracy::{evaluate_policy, AccuracyReport};
+use volley_core::{AdaptationConfig, AdaptiveSampler, StatsKind};
+
+fn run(workload: &WorkloadSet, kind: StatsKind, params: &SweepParams) -> AccuracyReport {
+    let adaptation = AdaptationConfig::builder()
+        .error_allowance(0.01)
+        .max_interval(params.max_interval)
+        .patience(params.patience)
+        .stats(kind)
+        .build()
+        .expect("valid adaptation");
+    let mut merged: Option<AccuracyReport> = None;
+    for trace in workload.traces() {
+        let threshold = volley_core::selectivity_threshold(trace, 1.0).expect("valid trace");
+        let mut policy = AdaptiveSampler::new(adaptation, threshold);
+        let report = evaluate_policy(&mut policy, trace);
+        merged = Some(merged.map(|m| m.merged(&report)).unwrap_or(report));
+    }
+    merged.expect("non-empty workload")
+}
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("ablation_stats: {params:?}");
+    println!("# δ-statistics estimator ablation (k=1%, err=1%)");
+    println!(
+        "{:<14}{:<18}{:>12}{:>12}",
+        "family", "estimator", "cost-ratio", "miss-rate"
+    );
+    let estimators = [
+        ("windowed-1000", StatsKind::WindowedRestart),
+        ("ewma-0.01", StatsKind::Ewma { lambda: 0.01 }),
+        ("ewma-0.05", StatsKind::Ewma { lambda: 0.05 }),
+        ("ewma-0.2", StatsKind::Ewma { lambda: 0.2 }),
+    ];
+    for family in [
+        TraceFamily::Network,
+        TraceFamily::System,
+        TraceFamily::Application,
+    ] {
+        let workload = WorkloadSet::generate(family, &params);
+        for (name, kind) in estimators {
+            let report = run(&workload, kind, &params);
+            println!(
+                "{:<14}{:<18}{:>12.4}{:>12.4}",
+                family.name(),
+                name,
+                report.cost_ratio(),
+                report.misdetection_rate()
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablation A5: windowed-aggregate monitoring (the §VII extension) versus
+//! raw per-sample monitoring.
+//!
+//! For each trace family, monitors the same streams under (a) the raw
+//! condition `v > Q(v, 100−k)` and (b) the windowed condition
+//! `mean_W(v) > Q(mean_W(v), 100−k)`, at the same error allowance, and
+//! reports cost and miss rate against each condition's own ground truth.
+//!
+//! Expected shape: windowed conditions are cheaper to monitor at equal
+//! allowance (smoother δ) and equally safe.
+
+use volley_bench::params::SweepParams;
+use volley_bench::workloads::{TraceFamily, WorkloadSet};
+use volley_core::accuracy::{AccuracyReport, DetectionLog, GroundTruth};
+use volley_core::window::{AggregateKind, SlidingWindow, WindowedSampler};
+use volley_core::{AdaptationConfig, AdaptiveSampler};
+
+const WINDOW: u64 = 20;
+
+fn windowed_series(trace: &[f64]) -> Vec<f64> {
+    let mut window = SlidingWindow::new(WINDOW).expect("valid width");
+    trace
+        .iter()
+        .enumerate()
+        .map(|(t, &v)| {
+            window.push(t as u64, v);
+            window.aggregate(AggregateKind::Mean)
+        })
+        .collect()
+}
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("ablation_window: {params:?}, window {WINDOW} ticks");
+    let adaptation = AdaptationConfig::builder()
+        .error_allowance(0.01)
+        .max_interval(params.max_interval)
+        .patience(params.patience)
+        .build()
+        .expect("valid adaptation");
+    println!("# Windowed-mean monitoring vs raw (k=1%, err=1%, window {WINDOW} ticks)");
+    println!(
+        "{:<14}{:<10}{:>12}{:>12}",
+        "family", "form", "cost-ratio", "miss-rate"
+    );
+    for family in [
+        TraceFamily::Network,
+        TraceFamily::System,
+        TraceFamily::Application,
+    ] {
+        let workload = WorkloadSet::generate(family, &params);
+        let mut raw: Option<AccuracyReport> = None;
+        let mut windowed: Option<AccuracyReport> = None;
+        for trace in workload.traces() {
+            // Raw form.
+            let threshold = volley_core::selectivity_threshold(trace, 1.0).expect("valid");
+            let mut policy = AdaptiveSampler::new(adaptation, threshold);
+            let report = volley_core::accuracy::evaluate_policy(&mut policy, trace);
+            raw = Some(raw.map(|m| m.merged(&report)).unwrap_or(report));
+
+            // Windowed form: ground truth is the windowed series.
+            let series = windowed_series(trace);
+            let wthreshold = volley_core::selectivity_threshold(&series, 1.0).expect("valid");
+            let truth = GroundTruth::from_trace(&series, wthreshold);
+            let mut sampler =
+                WindowedSampler::new(adaptation, wthreshold, WINDOW, AggregateKind::Mean)
+                    .expect("valid window");
+            let mut log = DetectionLog::new();
+            let mut next = 0u64;
+            for (t, &value) in trace.iter().enumerate() {
+                let tick = t as u64;
+                if tick >= next {
+                    let obs = sampler.observe(tick, value);
+                    log.record(tick, 1, obs.violation);
+                    next = obs.next_sample_tick;
+                }
+            }
+            let report = log.score(&truth, trace.len() as u64);
+            windowed = Some(windowed.map(|m| m.merged(&report)).unwrap_or(report));
+        }
+        let raw = raw.expect("non-empty workload");
+        let windowed = windowed.expect("non-empty workload");
+        println!(
+            "{:<14}{:<10}{:>12.4}{:>12.4}",
+            family.name(),
+            "raw",
+            raw.cost_ratio(),
+            raw.misdetection_rate()
+        );
+        println!(
+            "{:<14}{:<10}{:>12.4}{:>12.4}",
+            family.name(),
+            "windowed",
+            windowed.cost_ratio(),
+            windowed.misdetection_rate()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablation A2: the yield and allowance-cost formula variants of the
+//! coordinator's reallocation rule (§IV-B).
+//!
+//! The paper prints `r_i = 1 − 1/(I_i+1)` and `e_i = β(I_i)/(1−γ)`; the
+//! derivation suggests `r_i` marginal and `e_i` at the *grown* interval.
+//! This bench runs Figure 8's skewed setup under all four combinations.
+
+use volley_bench::params::SweepParams;
+use volley_core::allocation::{AllocationConfig, AllocationStrategy, AllowanceCostMode, YieldMode};
+use volley_core::coordinator::CoordinationScheme;
+use volley_core::task::TaskSpec;
+use volley_core::DistributedTask;
+use volley_traces::netflow::NetflowConfig;
+use volley_traces::zipf::zipf_weights;
+use volley_traces::DiurnalPattern;
+
+const MONITORS: usize = 10;
+const TOTAL_VIOLATION_RATE: f64 = 0.01;
+
+fn run(allocation: AllocationConfig, skew: f64, traces: &[Vec<f64>], params: &SweepParams) -> f64 {
+    let weights = zipf_weights(MONITORS, skew);
+    let thresholds: Vec<f64> = traces
+        .iter()
+        .zip(&weights)
+        .map(|(trace, w)| {
+            let rate = (TOTAL_VIOLATION_RATE * w * MONITORS as f64).min(0.5);
+            volley_core::selectivity_threshold(trace, rate * 100.0).expect("valid selectivity")
+        })
+        .collect();
+    let spec = TaskSpec::builder(thresholds.iter().sum())
+        .monitors(MONITORS)
+        .error_allowance(0.05)
+        .max_interval(params.max_interval)
+        .patience(params.patience)
+        .build()
+        .expect("valid spec");
+    let mut task = DistributedTask::with_scheme(&spec, CoordinationScheme::Adaptive, allocation)
+        .expect("valid task");
+    for (i, threshold) in thresholds.iter().enumerate() {
+        task.set_local_threshold(i, *threshold)
+            .expect("monitor exists");
+    }
+    let mut values = vec![0.0; MONITORS];
+    for tick in 0..traces[0].len() as u64 {
+        for (m, trace) in traces.iter().enumerate() {
+            values[m] = trace[tick as usize];
+        }
+        task.step(tick, &values).expect("value count matches");
+    }
+    task.cost_ratio()
+}
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("ablation_yield: {params:?}");
+    let config = NetflowConfig::builder()
+        .seed(params.seed)
+        .vms(MONITORS)
+        .diurnal(DiurnalPattern::new((params.ticks as u64).min(5760), 0.4))
+        .build();
+    let traces: Vec<Vec<f64>> = config
+        .generate(params.ticks)
+        .into_iter()
+        .map(|t| t.rho)
+        .collect();
+
+    println!("# Ablation: allocation strategy × yield formula variants (skewed fig8 setup)");
+    println!(
+        "{:<14}{:<14}{:<10}{:>10}{:>10}{:>10}",
+        "strategy", "yield", "cost", "skew=0", "skew=1", "skew=2"
+    );
+    let strategies = [
+        ("iterative", AllocationStrategy::Iterative),
+        ("proportional", AllocationStrategy::Proportional),
+        ("greedy-curve", AllocationStrategy::GreedyCurve),
+    ];
+    for (sname, strategy) in strategies {
+        for (yname, ymode) in [
+            ("paper-total", YieldMode::PaperTotal),
+            ("marginal", YieldMode::Marginal),
+        ] {
+            for (cname, cmode) in [
+                ("grown", AllowanceCostMode::Grown),
+                ("current", AllowanceCostMode::Current),
+            ] {
+                let allocation = AllocationConfig {
+                    strategy,
+                    yield_mode: ymode,
+                    cost_mode: cmode,
+                    update_period_ticks: 500,
+                    ..AllocationConfig::default()
+                };
+                let r0 = run(allocation, 0.0, &traces, &params);
+                let r1 = run(allocation, 1.0, &traces, &params);
+                let r2 = run(allocation, 2.0, &traces, &params);
+                println!("{sname:<14}{yname:<14}{cname:<10}{r0:>10.4}{r1:>10.4}{r2:>10.4}");
+            }
+        }
+    }
+}

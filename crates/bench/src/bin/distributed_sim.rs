@@ -1,0 +1,60 @@
+//! E12: distributed tasks on the datacenter simulator — multi-VM tasks
+//! with coordinator-driven global polls, their Dom0 cost included.
+//!
+//! Complements Figure 6 (single-VM tasks) and Figure 8 (coordination
+//! schemes without a cost model): here the *whole* distributed pipeline —
+//! local adaptive sampling, local violations, poll-forced samples — is
+//! charged against simulated Dom0 CPU, per error allowance and per
+//! coordination scheme.
+
+use volley_bench::params::SweepParams;
+use volley_core::coordinator::CoordinationScheme;
+use volley_sim::{ClusterConfig, DistributedScenario, DistributedScenarioConfig};
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    let cluster = if params.tasks <= SweepParams::quick().tasks {
+        ClusterConfig::new(4, 20, 2)
+    } else {
+        ClusterConfig::paper()
+    };
+    eprintln!(
+        "distributed_sim: cluster {cluster:?}, ticks {}",
+        params.ticks
+    );
+    println!("# Distributed tasks (5 VMs each) on the simulator");
+    println!(
+        "{:<8}{:<10}{:>12}{:>10}{:>10}{:>12}{:>12}",
+        "err", "scheme", "cost-ratio", "polls", "alerts", "Dom0 mean%", "miss-rate"
+    );
+    for err in [0.0, 0.01, 0.05] {
+        for (name, scheme) in [
+            ("even", CoordinationScheme::Even),
+            ("adapt", CoordinationScheme::Adaptive),
+        ] {
+            let report = DistributedScenario::new(DistributedScenarioConfig {
+                cluster,
+                task_size: 5,
+                error_allowance: err,
+                ticks: params.ticks.min(3000),
+                seed: params.seed,
+                max_interval: params.max_interval,
+                patience: params.patience,
+                scheme,
+                ..DistributedScenarioConfig::default()
+            })
+            .run();
+            let cpu = report.cpu.as_ref().expect("cpu recorded");
+            println!(
+                "{:<8}{:<10}{:>12.4}{:>10}{:>10}{:>11.1}%{:>12.4}",
+                err,
+                name,
+                report.cost_ratio(),
+                report.global_polls,
+                report.alerts,
+                cpu.mean * 100.0,
+                report.accuracy.misdetection_rate()
+            );
+        }
+    }
+}

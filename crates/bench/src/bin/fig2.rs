@@ -1,0 +1,68 @@
+//! Figure 2 (illustration): violation-likelihood based adaptation in
+//! action on a single monitor.
+//!
+//! Prints a time-indexed table of the sampled value, the mis-detection
+//! bound `β(I)`, and the interval in effect, so the additive-increase /
+//! collapse dynamics of §III-B are visible: β falls while the value sits
+//! far under the threshold → the interval ratchets up; the value climbs
+//! toward the threshold → β crosses the allowance → instant collapse to
+//! the default interval.
+
+use volley_core::{AdaptationConfig, AdaptiveSampler};
+use volley_traces::netflow::{AttackSpec, NetflowConfig};
+use volley_traces::DiurnalPattern;
+
+fn main() {
+    let ticks = 400usize;
+    let config = NetflowConfig::builder()
+        .seed(11)
+        .scan_burst_probability(0.0)
+        .diurnal(DiurnalPattern::flat())
+        .attack(AttackSpec {
+            vm: 0,
+            start_tick: 300,
+            duration_ticks: 60,
+            peak_asymmetry: 1200.0,
+        })
+        .build();
+    let trace = config.generate_vm(0, ticks).rho;
+    let threshold = volley_core::selectivity_threshold(&trace, 5.0).expect("valid trace");
+
+    let adaptation = AdaptationConfig::builder()
+        .error_allowance(0.01)
+        .max_interval(8)
+        .patience(10)
+        .build()
+        .expect("valid adaptation");
+    let mut sampler = AdaptiveSampler::new(adaptation, threshold);
+
+    println!("# Violation-likelihood based adaptation (threshold {threshold:.0}, err 1%)");
+    println!(
+        "{:>6}{:>10}{:>12}{:>10}  event",
+        "tick", "value", "beta(I)", "interval"
+    );
+    let mut tick = 0u64;
+    while (tick as usize) < ticks {
+        let value = trace[tick as usize];
+        let obs = sampler.observe(tick, value);
+        let event = if obs.violation {
+            "VIOLATION"
+        } else if obs.collapsed {
+            "collapse -> Id"
+        } else if obs.grew {
+            "grow +1"
+        } else {
+            ""
+        };
+        if !event.is_empty() || tick.is_multiple_of(40) {
+            println!(
+                "{tick:>6}{value:>10.0}{:>12.5}{:>10}  {event}",
+                obs.beta.min(1.0),
+                obs.next_interval.to_string()
+            );
+        }
+        tick = obs.next_sample_tick;
+    }
+    println!("\nShape to observe: the interval ratchets 1Id -> 8Id during the calm");
+    println!("phase and collapses back the moment the attack ramp drives beta over err.");
+}

@@ -1,0 +1,23 @@
+//! Figure 5(a): network-level monitoring — ratio of sampling operations
+//! performed by Volley over periodic sampling, swept over the error
+//! allowance (rows) and alert selectivity `k` (columns).
+//!
+//! Paper shape to reproduce: 40–90% cost reduction; larger allowances and
+//! smaller `k` (higher thresholds) both reduce cost.
+
+use volley_bench::experiments::sampling_ratio_matrix;
+use volley_bench::params::{SweepParams, ERR_SWEEP, SELECTIVITY_SWEEP};
+use volley_bench::report::print_matrix;
+use volley_bench::workloads::TraceFamily;
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("fig5a: {params:?}");
+    let matrix = sampling_ratio_matrix(
+        TraceFamily::Network,
+        &ERR_SWEEP,
+        &SELECTIVITY_SWEEP,
+        &params,
+    );
+    print_matrix(&matrix);
+}

@@ -1,0 +1,18 @@
+//! Figure 5(b): system-level monitoring — sampling ratio vs error
+//! allowance × selectivity.
+//!
+//! Paper shape to reproduce: clear savings, but smaller ratios than the
+//! network case because system metric values change more between samples.
+
+use volley_bench::experiments::sampling_ratio_matrix;
+use volley_bench::params::{SweepParams, ERR_SWEEP, SELECTIVITY_SWEEP};
+use volley_bench::report::print_matrix;
+use volley_bench::workloads::TraceFamily;
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("fig5b: {params:?}");
+    let matrix =
+        sampling_ratio_matrix(TraceFamily::System, &ERR_SWEEP, &SELECTIVITY_SWEEP, &params);
+    print_matrix(&matrix);
+}

@@ -1,0 +1,22 @@
+//! Figure 5(c): application-level monitoring — sampling ratio vs error
+//! allowance × selectivity.
+//!
+//! Paper shape to reproduce: high savings thanks to the bursty, diurnal
+//! nature of web accesses (large intervals during off-peak periods).
+
+use volley_bench::experiments::sampling_ratio_matrix;
+use volley_bench::params::{SweepParams, ERR_SWEEP, SELECTIVITY_SWEEP};
+use volley_bench::report::print_matrix;
+use volley_bench::workloads::TraceFamily;
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("fig5c: {params:?}");
+    let matrix = sampling_ratio_matrix(
+        TraceFamily::Application,
+        &ERR_SWEEP,
+        &SELECTIVITY_SWEEP,
+        &params,
+    );
+    print_matrix(&matrix);
+}

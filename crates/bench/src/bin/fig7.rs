@@ -1,0 +1,21 @@
+//! Figure 7: actual mis-detection rate of the system-level monitoring
+//! experiments, swept over the error allowance and selectivity.
+//!
+//! Paper shape to reproduce: the measured mis-detection rate stays below
+//! (or close to) the configured allowance in most cells; the highest-
+//! selectivity tasks (smallest `k`) show relatively larger rates because
+//! few alerts exist (small denominator) and Volley prefers low
+//! frequencies on them.
+
+use volley_bench::experiments::misdetection_matrix;
+use volley_bench::params::{SweepParams, ERR_SWEEP, SELECTIVITY_SWEEP};
+use volley_bench::report::print_matrix;
+use volley_bench::workloads::TraceFamily;
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("fig7: {params:?}");
+    let matrix = misdetection_matrix(TraceFamily::System, &ERR_SWEEP, &SELECTIVITY_SWEEP, &params);
+    print_matrix(&matrix);
+    println!("(compare each row's cells against its `err` label: measured ≲ allowance)");
+}

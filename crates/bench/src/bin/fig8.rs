@@ -1,0 +1,102 @@
+//! Figure 8: distributed sampling coordination — the iterative
+//! error-allowance tuning scheme (`adapt`) versus the static even split
+//! (`even`), as the distribution of local violation rates across the
+//! task's monitors is skewed from uniform toward a Zipf distribution.
+//!
+//! Paper shape to reproduce: at skewness 0 both schemes perform alike;
+//! as skew grows, `even` degrades while `adapt` keeps (or improves) its
+//! cost reduction by moving allowance away from the few high-violation
+//! monitors toward quiet, high-yield monitors.
+//!
+//! Reproduction note (see EXPERIMENTS.md): on our synthetic traces the
+//! measured *static optimum* of allowance reallocation is within noise of
+//! the even split — skewing violation rates does not skew the monitors'
+//! quiet-regime yields, because violations come from episodes rather than
+//! persistent noise. The adaptive scheme therefore tracks the even
+//! baseline here instead of beating it; `ablation_yield` quantifies all
+//! three allocation strategies on the same setup.
+
+use volley_bench::params::SweepParams;
+use volley_core::allocation::AllocationConfig;
+use volley_core::coordinator::CoordinationScheme;
+use volley_core::task::TaskSpec;
+use volley_core::DistributedTask;
+use volley_traces::netflow::NetflowConfig;
+use volley_traces::zipf::zipf_weights;
+use volley_traces::DiurnalPattern;
+
+/// Monitors per distributed task.
+const MONITORS: usize = 10;
+/// Aggregate local violation rate budget (fraction of ticks, summed over
+/// monitors).
+const TOTAL_VIOLATION_RATE: f64 = 0.01;
+
+fn run_scheme(
+    scheme: CoordinationScheme,
+    skew: f64,
+    traces: &[Vec<f64>],
+    params: &SweepParams,
+) -> f64 {
+    let ticks = traces[0].len();
+    // Skewed local violation rates; threshold_i = (100 − 100·r_i)-th
+    // percentile of monitor i's own trace.
+    let weights = zipf_weights(MONITORS, skew);
+    let thresholds: Vec<f64> = traces
+        .iter()
+        .zip(&weights)
+        .map(|(trace, w)| {
+            let rate = (TOTAL_VIOLATION_RATE * w * MONITORS as f64).min(0.5);
+            volley_core::selectivity_threshold(trace, rate * 100.0).expect("valid selectivity")
+        })
+        .collect();
+    let global: f64 = thresholds.iter().sum();
+    let spec = TaskSpec::builder(global)
+        .monitors(MONITORS)
+        .error_allowance(0.05)
+        .max_interval(params.max_interval)
+        .patience(params.patience)
+        .build()
+        .expect("valid spec");
+    let allocation = AllocationConfig {
+        update_period_ticks: 500,
+        uniform_skip_ratio: 3.0,
+        ..AllocationConfig::default()
+    };
+    let mut task = DistributedTask::with_scheme(&spec, scheme, allocation).expect("valid task");
+    for (i, threshold) in thresholds.iter().enumerate() {
+        task.set_local_threshold(i, *threshold)
+            .expect("monitor exists");
+    }
+    let mut values = vec![0.0; MONITORS];
+    for tick in 0..ticks as u64 {
+        for (m, trace) in traces.iter().enumerate() {
+            values[m] = trace[tick as usize];
+        }
+        task.step(tick, &values).expect("value count matches");
+    }
+    task.cost_ratio()
+}
+
+fn main() {
+    let params = SweepParams::from_args(std::env::args().skip(1));
+    eprintln!("fig8: {params:?}, {MONITORS} monitors");
+    let config = NetflowConfig::builder()
+        .seed(params.seed)
+        .vms(MONITORS)
+        .scan_burst_probability(0.001)
+        .diurnal(DiurnalPattern::new((params.ticks as u64).min(5760), 0.4))
+        .build();
+    let traces: Vec<Vec<f64>> = config
+        .generate(params.ticks)
+        .into_iter()
+        .map(|t| t.rho)
+        .collect();
+
+    println!("# Distributed coordination: sampling ratio vs local-violation-rate skew");
+    println!("{:<10}{:>12}{:>12}", "skewness", "even", "adapt");
+    for skew in [0.0, 0.5, 1.0, 1.5, 2.0] {
+        let even = run_scheme(CoordinationScheme::Even, skew, &traces, &params);
+        let adapt = run_scheme(CoordinationScheme::Adaptive, skew, &traces, &params);
+        println!("{skew:<10}{even:>12.4}{adapt:>12.4}");
+    }
+}

@@ -1,0 +1,237 @@
+//! The shared sweep machinery behind the Figure 5/7 binaries.
+
+use serde::{Deserialize, Serialize};
+
+use volley_core::accuracy::{evaluate_policy, AccuracyReport};
+use volley_core::{AdaptationConfig, AdaptiveSampler};
+
+use crate::params::SweepParams;
+use crate::workloads::{TraceFamily, WorkloadSet};
+
+/// One cell of an `err × k` sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Error allowance used.
+    pub error_allowance: f64,
+    /// Alert selectivity `k` in percent.
+    pub selectivity: f64,
+    /// Cost/accuracy merged over all tasks.
+    pub report: AccuracyReport,
+}
+
+impl SweepResult {
+    /// The sampling ratio vs the periodic baseline (Figure 5 y-axis).
+    pub fn sampling_ratio(&self) -> f64 {
+        self.report.cost_ratio()
+    }
+
+    /// The actual mis-detection rate (Figure 7 y-axis).
+    pub fn misdetection_rate(&self) -> f64 {
+        self.report.misdetection_rate()
+    }
+}
+
+/// Runs one `(err, k)` cell over a workload set: every task gets its own
+/// selectivity-derived threshold and adaptive sampler; reports are merged.
+pub fn run_cell(
+    workload: &WorkloadSet,
+    error_allowance: f64,
+    selectivity: f64,
+    params: &SweepParams,
+) -> SweepResult {
+    let adaptation = AdaptationConfig::builder()
+        .error_allowance(error_allowance)
+        .max_interval(params.max_interval)
+        .patience(params.patience)
+        .build()
+        .expect("sweep parameters are valid");
+    let mut merged: Option<AccuracyReport> = None;
+    for trace in workload.traces() {
+        let threshold = volley_core::selectivity_threshold(trace, selectivity)
+            .expect("non-empty trace, valid selectivity");
+        let mut policy = AdaptiveSampler::new(adaptation, threshold);
+        let report = evaluate_policy(&mut policy, trace);
+        merged = Some(match merged {
+            Some(m) => m.merged(&report),
+            None => report,
+        });
+    }
+    SweepResult {
+        error_allowance,
+        selectivity,
+        report: merged.expect("workload sets are non-empty"),
+    }
+}
+
+/// Full `err × k` sampling-ratio sweep for one family (Figure 5 a/b/c).
+pub fn sweep_sampling_ratio(
+    family: TraceFamily,
+    errs: &[f64],
+    selectivities: &[f64],
+    params: &SweepParams,
+) -> Vec<SweepResult> {
+    let workload = WorkloadSet::generate(family, params);
+    let mut out = Vec::with_capacity(errs.len() * selectivities.len());
+    for &k in selectivities {
+        for &err in errs {
+            out.push(run_cell(&workload, err, k, params));
+        }
+    }
+    out
+}
+
+/// Full `err × k` mis-detection sweep (Figure 7) — same cells, different
+/// projection; kept separate so binaries read naturally.
+pub fn sweep_misdetection(
+    family: TraceFamily,
+    errs: &[f64],
+    selectivities: &[f64],
+    params: &SweepParams,
+) -> Vec<SweepResult> {
+    sweep_sampling_ratio(family, errs, selectivities, params)
+}
+
+/// Builds the Figure 5-style matrix (rows = error allowances, columns =
+/// selectivities, cells = sampling ratio) for one family.
+pub fn sampling_ratio_matrix(
+    family: TraceFamily,
+    errs: &[f64],
+    selectivities: &[f64],
+    params: &SweepParams,
+) -> crate::report::Matrix {
+    let results = sweep_sampling_ratio(family, errs, selectivities, params);
+    project_matrix(
+        format!(
+            "{} monitoring: sampling ratio vs periodic baseline",
+            family.name()
+        ),
+        errs,
+        selectivities,
+        &results,
+        SweepResult::sampling_ratio,
+    )
+}
+
+/// Builds the Figure 7-style matrix (cells = actual mis-detection rate).
+pub fn misdetection_matrix(
+    family: TraceFamily,
+    errs: &[f64],
+    selectivities: &[f64],
+    params: &SweepParams,
+) -> crate::report::Matrix {
+    let results = sweep_misdetection(family, errs, selectivities, params);
+    project_matrix(
+        format!("{} monitoring: actual mis-detection rate", family.name()),
+        errs,
+        selectivities,
+        &results,
+        SweepResult::misdetection_rate,
+    )
+}
+
+fn project_matrix(
+    title: String,
+    errs: &[f64],
+    selectivities: &[f64],
+    results: &[SweepResult],
+    project: impl Fn(&SweepResult) -> f64,
+) -> crate::report::Matrix {
+    let rows: Vec<String> = errs.iter().map(|e| crate::report::err_label(*e)).collect();
+    let cols: Vec<String> = selectivities
+        .iter()
+        .map(|k| format!("k={}", crate::report::percent_label(*k)))
+        .collect();
+    let mut values = vec![vec![0.0; selectivities.len()]; errs.len()];
+    for result in results {
+        let row = errs
+            .iter()
+            .position(|e| *e == result.error_allowance)
+            .expect("known err");
+        let col = selectivities
+            .iter()
+            .position(|k| *k == result.selectivity)
+            .expect("known selectivity");
+        values[row][col] = project(result);
+    }
+    crate::report::Matrix::new(title, "err", rows, cols, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SweepParams {
+        SweepParams {
+            ticks: 1200,
+            tasks: 4,
+            patience: 5,
+            ..SweepParams::quick()
+        }
+    }
+
+    #[test]
+    fn zero_allowance_cell_is_periodic() {
+        let params = quick();
+        let w = WorkloadSet::generate(TraceFamily::System, &params);
+        let cell = run_cell(&w, 0.0, 1.0, &params);
+        assert!((cell.sampling_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(cell.misdetection_rate(), 0.0);
+    }
+
+    #[test]
+    fn larger_allowance_never_costs_more() {
+        let params = quick();
+        let w = WorkloadSet::generate(TraceFamily::Network, &params);
+        let tight = run_cell(&w, 0.002, 1.0, &params);
+        let loose = run_cell(&w, 0.032, 1.0, &params);
+        assert!(
+            loose.sampling_ratio() <= tight.sampling_ratio() + 0.02,
+            "loose {} vs tight {}",
+            loose.sampling_ratio(),
+            tight.sampling_ratio()
+        );
+    }
+
+    #[test]
+    fn adaptation_saves_cost_on_every_family() {
+        let params = quick();
+        for family in [
+            TraceFamily::Network,
+            TraceFamily::System,
+            TraceFamily::Application,
+        ] {
+            let w = WorkloadSet::generate(family, &params);
+            let cell = run_cell(&w, 0.016, 0.4, &params);
+            assert!(
+                cell.sampling_ratio() < 0.9,
+                "{}: ratio {}",
+                family.name(),
+                cell.sampling_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn matrices_have_sweep_shape() {
+        let params = quick();
+        let m = sampling_ratio_matrix(TraceFamily::System, &[0.002, 0.032], &[0.4], &params);
+        assert_eq!(m.rows.len(), 2);
+        assert_eq!(m.cols.len(), 1);
+        assert!(m.values.iter().flatten().all(|v| (0.0..=1.0).contains(v)));
+        let m7 = misdetection_matrix(TraceFamily::System, &[0.032], &[0.4, 6.4], &params);
+        assert_eq!(m7.values[0].len(), 2);
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let params = quick();
+        let results =
+            sweep_sampling_ratio(TraceFamily::System, &[0.002, 0.032], &[0.4, 6.4], &params);
+        assert_eq!(results.len(), 4);
+        let ks: std::collections::BTreeSet<u64> = results
+            .iter()
+            .map(|r| (r.selectivity * 10.0) as u64)
+            .collect();
+        assert_eq!(ks.len(), 2);
+    }
+}

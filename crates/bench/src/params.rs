@@ -1,0 +1,168 @@
+//! Canonical experiment parameters shared by all figure binaries.
+//!
+//! The paper sweeps the error allowance over a doubling ladder (Figure 6's
+//! x-axis prints 0.002 … 0.032) and the alert selectivity `k` over
+//! 0.1% … 6.4% (§V-B: "varying k from 6.4% to 0.1% can lead to 40% cost
+//! reduction"). These constants pin the same grids for every harness.
+
+use serde::{Deserialize, Serialize};
+
+/// The error-allowance ladder (Figure 6 x-axis).
+pub const ERR_SWEEP: [f64; 5] = [0.002, 0.004, 0.008, 0.016, 0.032];
+
+/// The selectivity ladder in percent (Figure 5 series).
+pub const SELECTIVITY_SWEEP: [f64; 7] = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4];
+
+/// Size knobs of a figure run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepParams {
+    /// Trace length in default sampling intervals.
+    pub ticks: usize,
+    /// Number of independent tasks (VMs / metrics / objects) averaged per
+    /// cell.
+    pub tasks: usize,
+    /// Base random seed.
+    pub seed: u64,
+    /// Maximum sampling interval `I_m`.
+    pub max_interval: u32,
+    /// Adaptation patience `p` (paper default 20).
+    pub patience: u32,
+}
+
+impl SweepParams {
+    /// Full-size run: a day of traces over 40 tasks (the per-server VM
+    /// count of the paper's testbed).
+    pub fn full() -> Self {
+        SweepParams {
+            ticks: 5760,
+            tasks: 40,
+            seed: 20130708,
+            max_interval: 16,
+            patience: 20,
+        }
+    }
+
+    /// A fast smoke-test configuration for CI and `--quick` runs.
+    pub fn quick() -> Self {
+        SweepParams {
+            ticks: 1500,
+            tasks: 8,
+            seed: 20130708,
+            max_interval: 16,
+            patience: 10,
+        }
+    }
+
+    /// Parses `--quick` (and optional `--ticks N`, `--tasks N`,
+    /// `--seed N`, `--max-interval N`) from command-line arguments,
+    /// defaulting to [`SweepParams::full`].
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut params = if args.iter().any(|a| a == "--quick") {
+            SweepParams::quick()
+        } else {
+            SweepParams::full()
+        };
+        fn parse_next<T: std::str::FromStr>(it: &mut std::slice::Iter<String>) -> Option<T> {
+            it.next().and_then(|v| v.parse().ok())
+        }
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--ticks" => {
+                    if let Some(v) = parse_next(&mut it) {
+                        params.ticks = v;
+                    }
+                }
+                "--tasks" => {
+                    if let Some(v) = parse_next(&mut it) {
+                        params.tasks = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = parse_next(&mut it) {
+                        params.seed = v;
+                    }
+                }
+                "--max-interval" => {
+                    if let Some(v) = parse_next(&mut it) {
+                        params.max_interval = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        params.ticks = params.ticks.max(10);
+        params.tasks = params.tasks.max(1);
+        params.max_interval = params.max_interval.max(1);
+        params
+    }
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        SweepParams::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_full() {
+        let p = SweepParams::from_args(args(&[]));
+        assert_eq!(p, SweepParams::full());
+    }
+
+    #[test]
+    fn quick_flag_switches_profile() {
+        let p = SweepParams::from_args(args(&["--quick"]));
+        assert_eq!(p, SweepParams::quick());
+    }
+
+    #[test]
+    fn explicit_overrides_apply() {
+        let p = SweepParams::from_args(args(&[
+            "--quick", "--ticks", "777", "--tasks", "3", "--seed", "5",
+        ]));
+        assert_eq!(p.ticks, 777);
+        assert_eq!(p.tasks, 3);
+        assert_eq!(p.seed, 5);
+    }
+
+    #[test]
+    fn malformed_values_are_ignored() {
+        let p = SweepParams::from_args(args(&["--ticks", "abc"]));
+        assert_eq!(p.ticks, SweepParams::full().ticks);
+    }
+
+    #[test]
+    fn max_interval_flag_parses() {
+        let p = SweepParams::from_args(args(&["--max-interval", "64"]));
+        assert_eq!(p.max_interval, 64);
+        let floor = SweepParams::from_args(args(&["--max-interval", "0"]));
+        assert_eq!(floor.max_interval, 1);
+    }
+
+    #[test]
+    fn floors_enforced() {
+        let p = SweepParams::from_args(args(&["--ticks", "1", "--tasks", "0"]));
+        assert_eq!(p.ticks, 10);
+        assert_eq!(p.tasks, 1);
+    }
+
+    #[test]
+    fn sweeps_are_doubling_ladders() {
+        for w in ERR_SWEEP.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+        for w in SELECTIVITY_SWEEP.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+    }
+}

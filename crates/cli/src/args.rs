@@ -1,0 +1,351 @@
+//! Command-line argument parsing (hand-rolled, dependency-free).
+
+use std::fmt;
+
+/// Errors produced by argument parsing or command execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line could not be parsed.
+    Usage(String),
+    /// An input file could not be read or parsed.
+    Input(String),
+    /// A volley-core configuration error.
+    Config(volley_core::VolleyError),
+    /// An I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Input(msg) => write!(f, "input error: {msg}"),
+            CliError::Config(err) => write!(f, "configuration error: {err}"),
+            CliError::Io(err) => write!(f, "io error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Config(err) => Some(err),
+            CliError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<volley_core::VolleyError> for CliError {
+    fn from(err: volley_core::VolleyError) -> Self {
+        CliError::Config(err)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(err: std::io::Error) -> Self {
+        CliError::Io(err)
+    }
+}
+
+/// The `monitor` subcommand's options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorArgs {
+    /// Input path (`-` for stdin).
+    pub input: String,
+    /// Fixed threshold, if given.
+    pub threshold: Option<f64>,
+    /// Selectivity percentile to derive the threshold from, if given.
+    pub percentile: Option<f64>,
+    /// Error allowance.
+    pub err: f64,
+    /// Maximum interval in default-interval units.
+    pub max_interval: u32,
+    /// Monitor `value < threshold` instead of `value > threshold`.
+    pub below: bool,
+    /// Emit machine-readable JSON instead of the text report.
+    pub json: bool,
+}
+
+/// The `generate` subcommand's options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Workload family: `network`, `system` or `application`.
+    pub family: String,
+    /// Trace length in ticks.
+    pub ticks: usize,
+    /// Number of parallel tasks (columns).
+    pub tasks: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// The `simulate` subcommand's options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Physical servers.
+    pub servers: u32,
+    /// VMs per server.
+    pub vms: u32,
+    /// Error allowance.
+    pub err: f64,
+    /// Simulation length in 15-second windows.
+    pub ticks: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Command {
+    /// Replay a trace through the adaptive monitor.
+    Monitor(MonitorArgs),
+    /// Emit synthetic traces as CSV.
+    Generate(GenerateArgs),
+    /// Run the datacenter simulator scenario.
+    Simulate(SimulateArgs),
+    /// Print usage.
+    Help,
+}
+
+/// The usage text printed by `volley help`.
+pub const USAGE: &str = "\
+volley — violation-likelihood based adaptive state monitoring
+
+USAGE:
+  volley monitor  --input <file|-> (--threshold <T> | --percentile <k>)
+                  [--err <e=0.01>] [--max-interval <n=16>] [--below] [--json]
+  volley generate --family <network|system|application>
+                  [--ticks <n=2000>] [--tasks <n=1>] [--seed <n=0>]
+  volley simulate [--servers <n=4>] [--vms <n=40>] [--err <e=0.01>]
+                  [--ticks <n=1500>] [--seed <n=0>]
+  volley help
+";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage(format!("flag {flag} requires a value")))?;
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for {flag}")))
+}
+
+impl Command {
+    /// Parses a command line (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown subcommands, unknown
+    /// flags, missing values or missing required options.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
+        let args: Vec<String> = args.into_iter().collect();
+        let Some(subcommand) = args.first() else {
+            return Ok(Command::Help);
+        };
+        let rest = &args[1..];
+        match subcommand.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "monitor" => Self::parse_monitor(rest),
+            "generate" => Self::parse_generate(rest),
+            "simulate" => Self::parse_simulate(rest),
+            other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+        }
+    }
+
+    fn parse_monitor(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = MonitorArgs {
+            input: String::from("-"),
+            threshold: None,
+            percentile: None,
+            err: 0.01,
+            max_interval: 16,
+            below: false,
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--input" => parsed.input = parse_value(flag, it.next())?,
+                "--threshold" => parsed.threshold = Some(parse_value(flag, it.next())?),
+                "--percentile" => parsed.percentile = Some(parse_value(flag, it.next())?),
+                "--err" => parsed.err = parse_value(flag, it.next())?,
+                "--max-interval" => parsed.max_interval = parse_value(flag, it.next())?,
+                "--below" => parsed.below = true,
+                "--json" => parsed.json = true,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        if parsed.threshold.is_none() && parsed.percentile.is_none() {
+            return Err(CliError::Usage(
+                "monitor requires --threshold or --percentile".to_string(),
+            ));
+        }
+        Ok(Command::Monitor(parsed))
+    }
+
+    fn parse_generate(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = GenerateArgs {
+            family: String::new(),
+            ticks: 2000,
+            tasks: 1,
+            seed: 0,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--family" => parsed.family = parse_value(flag, it.next())?,
+                "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
+                "--tasks" => parsed.tasks = parse_value(flag, it.next())?,
+                "--seed" => parsed.seed = parse_value(flag, it.next())?,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        if parsed.family.is_empty() {
+            return Err(CliError::Usage("generate requires --family".to_string()));
+        }
+        parsed.ticks = parsed.ticks.max(1);
+        parsed.tasks = parsed.tasks.max(1);
+        Ok(Command::Generate(parsed))
+    }
+
+    fn parse_simulate(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = SimulateArgs {
+            servers: 4,
+            vms: 40,
+            err: 0.01,
+            ticks: 1500,
+            seed: 0,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--servers" => parsed.servers = parse_value(flag, it.next())?,
+                "--vms" => parsed.vms = parse_value(flag, it.next())?,
+                "--err" => parsed.err = parse_value(flag, it.next())?,
+                "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
+                "--seed" => parsed.seed = parse_value(flag, it.next())?,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        Ok(Command::Simulate(parsed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary argument vectors never panic the parser.
+        #[test]
+        fn parse_never_panics(args in prop::collection::vec("[ -~]{0,12}", 0..8)) {
+            let _ = Command::parse(args);
+        }
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(Command::parse(args(&[])).unwrap(), Command::Help);
+        assert_eq!(Command::parse(args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(Command::parse(args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(matches!(
+            Command::parse(args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn monitor_parses_flags() {
+        let cmd = Command::parse(args(&[
+            "monitor",
+            "--input",
+            "trace.csv",
+            "--percentile",
+            "1.5",
+            "--err",
+            "0.02",
+            "--max-interval",
+            "8",
+            "--below",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Monitor(m) => {
+                assert_eq!(m.input, "trace.csv");
+                assert_eq!(m.percentile, Some(1.5));
+                assert_eq!(m.err, 0.02);
+                assert_eq!(m.max_interval, 8);
+                assert!(m.below);
+                assert!(m.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitor_requires_a_threshold_source() {
+        assert!(matches!(
+            Command::parse(args(&["monitor", "--input", "x"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn generate_requires_family_and_clamps() {
+        assert!(matches!(
+            Command::parse(args(&["generate"])),
+            Err(CliError::Usage(_))
+        ));
+        let cmd = Command::parse(args(&[
+            "generate", "--family", "network", "--ticks", "0", "--tasks", "0",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.ticks, 1);
+                assert_eq!(g.tasks, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_has_defaults() {
+        let cmd = Command::parse(args(&["simulate"])).unwrap();
+        match cmd {
+            Command::Simulate(s) => {
+                assert_eq!(s.servers, 4);
+                assert_eq!(s.vms, 40);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(matches!(
+            Command::parse(args(&["monitor", "--threshold", "abc"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(args(&["simulate", "--servers"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let err = CliError::Usage("boom".to_string());
+        assert!(err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Command execution. Each command writes its report to the supplied
+//! writer so tests can capture output without spawning processes.
+
+use std::io::{BufRead, Write};
+
+use serde::Serialize;
+
+use volley_core::condition::{Condition, ConditionSampler};
+use volley_core::{AdaptationConfig, GroundTruth};
+use volley_sim::{ClusterConfig, NetworkScenario, NetworkScenarioConfig};
+use volley_traces::http::HttpWorkloadConfig;
+use volley_traces::netflow::NetflowConfig;
+use volley_traces::sysmetrics::SystemMetricsGenerator;
+
+use crate::args::{CliError, Command, GenerateArgs, MonitorArgs, SimulateArgs, USAGE};
+
+/// Executes a parsed command, writing its report to `out`.
+///
+/// # Errors
+///
+/// Propagates input, configuration and I/O errors; see [`CliError`].
+pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Monitor(args) => monitor(&args, out),
+        Command::Generate(args) => generate(&args, out),
+        Command::Simulate(args) => simulate(&args, out),
+    }
+}
+
+/// Parses a trace: one `value` or `tick,value` per line; `#` comments and
+/// blank lines are ignored. Ticks, when present, are ignored (the line
+/// index is the tick — the input is a full-resolution ground truth).
+fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<f64>, CliError> {
+    let mut values = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let field = trimmed.rsplit(',').next().unwrap_or(trimmed).trim();
+        let value: f64 = field.parse().map_err(|_| {
+            CliError::Input(format!("line {}: `{trimmed}` is not a number", lineno + 1))
+        })?;
+        values.push(value);
+    }
+    if values.is_empty() {
+        return Err(CliError::Input("trace contains no values".to_string()));
+    }
+    Ok(values)
+}
+
+/// JSON report of a `monitor` run.
+#[derive(Debug, Serialize)]
+struct MonitorReport {
+    ticks: usize,
+    threshold: f64,
+    condition: String,
+    samples: u64,
+    cost_ratio: f64,
+    violations: usize,
+    detected: usize,
+    misdetection_rate: f64,
+    alert_ticks: Vec<u64>,
+}
+
+fn monitor<W: Write>(args: &MonitorArgs, out: &mut W) -> Result<(), CliError> {
+    let trace = if args.input == "-" {
+        parse_trace(std::io::stdin().lock())?
+    } else {
+        let file = std::fs::File::open(&args.input)
+            .map_err(|e| CliError::Input(format!("cannot open {}: {e}", args.input)))?;
+        parse_trace(std::io::BufReader::new(file))?
+    };
+
+    let threshold = match (args.threshold, args.percentile) {
+        (Some(t), _) => t,
+        (None, Some(k)) => {
+            // `--percentile k` means "alert on the most extreme k% of
+            // values" on whichever side is monitored.
+            let selectivity = if args.below { 100.0 - k } else { k };
+            volley_core::selectivity_threshold(&trace, selectivity.clamp(0.0, 100.0))?
+        }
+        (None, None) => unreachable!("parser enforces a threshold source"),
+    };
+    let condition = if args.below {
+        Condition::Below(threshold)
+    } else {
+        Condition::Above(threshold)
+    };
+    let config = AdaptationConfig::builder()
+        .error_allowance(args.err)
+        .max_interval(args.max_interval)
+        .build()?;
+    let mut sampler = ConditionSampler::new(config, condition)?;
+
+    // Replay: the trace is full-resolution ground truth; the sampler sees
+    // only the ticks it chose to sample.
+    let mut log = volley_core::DetectionLog::new();
+    let mut alert_ticks = Vec::new();
+    let mut next = 0u64;
+    for (t, &value) in trace.iter().enumerate() {
+        let tick = t as u64;
+        if tick >= next {
+            let obs = sampler.observe(tick, value);
+            log.record(tick, 1, obs.violation);
+            if obs.violation {
+                alert_ticks.push(tick);
+            }
+            next = obs.next_sample_tick;
+        }
+    }
+    let violation_ticks: Vec<u64> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| condition.is_violated(**v))
+        .map(|(t, _)| t as u64)
+        .collect();
+    let truth = if args.below {
+        // GroundTruth scores "above" conditions; build the equivalent by
+        // negating the trace and threshold.
+        let negated: Vec<f64> = trace.iter().map(|v| -v).collect();
+        GroundTruth::from_trace(&negated, -threshold)
+    } else {
+        GroundTruth::from_trace(&trace, threshold)
+    };
+    let report = log.score(&truth, trace.len() as u64);
+
+    let summary = MonitorReport {
+        ticks: trace.len(),
+        threshold,
+        condition: condition.to_string(),
+        samples: report.sampling_ops,
+        cost_ratio: report.cost_ratio(),
+        violations: violation_ticks.len(),
+        detected: report.detected,
+        misdetection_rate: report.misdetection_rate(),
+        alert_ticks,
+    };
+    if args.json {
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serializable")
+        )?;
+    } else {
+        writeln!(out, "condition:        {}", summary.condition)?;
+        writeln!(out, "trace:            {} ticks", summary.ticks)?;
+        writeln!(
+            out,
+            "samples:          {} ({:.1}% of periodic)",
+            summary.samples,
+            100.0 * summary.cost_ratio
+        )?;
+        writeln!(
+            out,
+            "violations:       {} (detected {}, miss rate {:.4})",
+            summary.violations, summary.detected, summary.misdetection_rate
+        )?;
+        if !summary.alert_ticks.is_empty() {
+            let shown: Vec<String> = summary
+                .alert_ticks
+                .iter()
+                .take(20)
+                .map(|t| t.to_string())
+                .collect();
+            let suffix = if summary.alert_ticks.len() > 20 {
+                ", …"
+            } else {
+                ""
+            };
+            writeln!(out, "alerts at ticks:  {}{}", shown.join(", "), suffix)?;
+        }
+    }
+    Ok(())
+}
+
+fn generate<W: Write>(args: &GenerateArgs, out: &mut W) -> Result<(), CliError> {
+    let traces: Vec<Vec<f64>> = match args.family.as_str() {
+        "network" => NetflowConfig::builder()
+            .seed(args.seed)
+            .vms(args.tasks)
+            .build()
+            .generate(args.ticks)
+            .into_iter()
+            .map(|t| t.rho)
+            .collect(),
+        "system" => {
+            let generator = SystemMetricsGenerator::new(args.seed);
+            (0..args.tasks)
+                .map(|i| generator.trace(i / 66, i % 66, args.ticks))
+                .collect()
+        }
+        "application" => {
+            let workload = HttpWorkloadConfig::builder()
+                .seed(args.seed)
+                .objects(args.tasks)
+                .requests_per_tick(1000.0 * args.tasks as f64)
+                .build()
+                .generate(args.ticks);
+            (0..args.tasks)
+                .map(|o| workload.object_rate(o).to_vec())
+                .collect()
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown family `{other}` (expected network, system or application)"
+            )))
+        }
+    };
+    // CSV: header then one row per tick.
+    let header: Vec<String> = (0..args.tasks).map(|i| format!("task{i}")).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for t in 0..args.ticks {
+        let row: Vec<String> = traces.iter().map(|tr| format!("{}", tr[t])).collect();
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> {
+    let config = NetworkScenarioConfig {
+        cluster: ClusterConfig::new(args.servers, args.vms, 5),
+        error_allowance: args.err,
+        ticks: args.ticks.max(10),
+        seed: args.seed,
+        ..NetworkScenarioConfig::default()
+    };
+    let report = NetworkScenario::new(config).run();
+    let cpu = report.cpu.as_ref().expect("utilization recorded");
+    writeln!(
+        out,
+        "cluster:          {} servers x {} VMs",
+        args.servers, args.vms
+    )?;
+    writeln!(out, "error allowance:  {}", args.err)?;
+    writeln!(
+        out,
+        "sampling ops:     {} ({:.1}% of periodic)",
+        report.sampling_ops,
+        100.0 * report.cost_ratio()
+    )?;
+    writeln!(
+        out,
+        "Dom0 CPU:         q1 {:.1}%  median {:.1}%  q3 {:.1}%  max {:.1}%",
+        cpu.q1 * 100.0,
+        cpu.median * 100.0,
+        cpu.q3 * 100.0,
+        cpu.max * 100.0
+    )?;
+    writeln!(
+        out,
+        "miss rate:        {:.4}",
+        report.accuracy.misdetection_rate()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{GenerateArgs, MonitorArgs, SimulateArgs};
+
+    fn run_to_string(command: Command) -> String {
+        let mut buffer = Vec::new();
+        run(command, &mut buffer).expect("command succeeds");
+        String::from_utf8(buffer).expect("utf8 output")
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_to_string(Command::Help);
+        assert!(text.contains("volley monitor"));
+        assert!(text.contains("volley generate"));
+    }
+
+    #[test]
+    fn parse_trace_accepts_values_and_csv() {
+        let input = "# comment\n1.5\n\n2,42.0\n3,  7\n";
+        let values = parse_trace(input.as_bytes()).unwrap();
+        assert_eq!(values, vec![1.5, 42.0, 7.0]);
+    }
+
+    #[test]
+    fn parse_trace_rejects_garbage_and_empty() {
+        assert!(matches!(
+            parse_trace("abc\n".as_bytes()),
+            Err(CliError::Input(_))
+        ));
+        assert!(matches!(
+            parse_trace("# only comments\n".as_bytes()),
+            Err(CliError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn generate_then_monitor_round_trip() {
+        // Generate a single-task network trace to a temp file…
+        let dir = std::env::temp_dir().join("volley-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let csv = run_to_string(Command::Generate(GenerateArgs {
+            family: "network".to_string(),
+            ticks: 800,
+            tasks: 1,
+            seed: 5,
+        }));
+        // Strip the header for monitor's single-column input.
+        let body: String = csv.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, body).unwrap();
+        // …then monitor it.
+        let text = run_to_string(Command::Monitor(MonitorArgs {
+            input: path.to_string_lossy().to_string(),
+            threshold: None,
+            percentile: Some(1.0),
+            err: 0.02,
+            max_interval: 8,
+            below: false,
+            json: false,
+        }));
+        assert!(text.contains("condition:"), "{text}");
+        assert!(text.contains("samples:"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn monitor_json_is_parseable() {
+        let dir = std::env::temp_dir().join("volley-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("json-trace.csv");
+        std::fs::write(&path, "1\n2\n3\n100\n2\n1\n").unwrap();
+        let text = run_to_string(Command::Monitor(MonitorArgs {
+            input: path.to_string_lossy().to_string(),
+            threshold: Some(50.0),
+            percentile: None,
+            err: 0.0,
+            max_interval: 4,
+            below: false,
+            json: true,
+        }));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["violations"], 1);
+        assert_eq!(parsed["detected"], 1);
+        assert_eq!(parsed["misdetection_rate"], 0.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn monitor_below_condition() {
+        let dir = std::env::temp_dir().join("volley-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("below-trace.csv");
+        std::fs::write(&path, "100\n100\n100\n5\n100\n").unwrap();
+        let text = run_to_string(Command::Monitor(MonitorArgs {
+            input: path.to_string_lossy().to_string(),
+            threshold: Some(50.0),
+            percentile: None,
+            err: 0.0,
+            max_interval: 4,
+            below: true,
+            json: true,
+        }));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["violations"], 1);
+        assert_eq!(parsed["detected"], 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn generate_rejects_unknown_family() {
+        let mut buffer = Vec::new();
+        let result = run(
+            Command::Generate(GenerateArgs {
+                family: "weather".to_string(),
+                ticks: 10,
+                tasks: 1,
+                seed: 0,
+            }),
+            &mut buffer,
+        );
+        assert!(matches!(result, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_emits_correct_shape() {
+        let csv = run_to_string(Command::Generate(GenerateArgs {
+            family: "system".to_string(),
+            ticks: 50,
+            tasks: 3,
+            seed: 1,
+        }));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 51); // header + 50 rows
+        assert_eq!(lines[0], "task0,task1,task2");
+        assert_eq!(lines[1].split(',').count(), 3);
+    }
+
+    #[test]
+    fn simulate_reports_cpu() {
+        let text = run_to_string(Command::Simulate(SimulateArgs {
+            servers: 1,
+            vms: 4,
+            err: 0.0,
+            ticks: 100,
+            seed: 0,
+        }));
+        assert!(text.contains("Dom0 CPU"));
+        assert!(text.contains("miss rate"));
+    }
+}

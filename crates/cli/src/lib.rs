@@ -1,0 +1,33 @@
+//! # volley-cli
+//!
+//! The command-line interface for Volley adaptive state monitoring. The
+//! installed binary is called `volley` and has three subcommands:
+//!
+//! ```text
+//! volley monitor   --input trace.csv --percentile 1 [--err 0.01] [--below] [--json]
+//! volley generate  --family network --ticks 2000 --tasks 4 [--seed 7]
+//! volley simulate  --servers 4 --vms 40 --err 0.01 --ticks 1500
+//! ```
+//!
+//! - **monitor** replays a full-resolution value trace (one value per
+//!   line, or `tick,value` CSV) through the adaptive controller and
+//!   reports which ticks it would have sampled, the alerts raised, the
+//!   sampling cost versus periodic, and the ground-truth miss rate.
+//! - **generate** emits synthetic traces from the workload generators as
+//!   CSV (one column per task), for piping back into `monitor` or
+//!   external tools.
+//! - **simulate** runs the datacenter simulator's network-monitoring
+//!   scenario and prints the Dom0 CPU distribution and accuracy.
+//!
+//! The library half exposes the argument parsing and command execution
+//! so it can be integration-tested without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{CliError, Command};
+pub use commands::run;

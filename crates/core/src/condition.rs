@@ -1,0 +1,345 @@
+//! Generalized violation conditions: upper, lower and band thresholds.
+//!
+//! The paper defines state monitoring on the canonical condition
+//! `v > T` (§II). Production tasks also watch for values falling *below*
+//! a floor (free memory, cache hit rate, replica count) or escaping a
+//! band. This module generalizes the adaptive controller to those forms
+//! by reduction: monitoring `v < T` is monitoring `−v > −T`, so the
+//! Chebyshev machinery applies unchanged to the transformed stream, and a
+//! band is the union of one sampler per side (the mis-detection bounds
+//! combine by a union bound, keeping the accuracy contract).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::adaptation::{AdaptationConfig, AdaptiveSampler, Observation};
+use crate::error::VolleyError;
+use crate::time::Tick;
+
+/// A violation condition on the monitored value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Condition {
+    /// Violated when `value > threshold` (the paper's form).
+    Above(f64),
+    /// Violated when `value < threshold`.
+    Below(f64),
+    /// Violated when the value leaves `[low, high]`.
+    Outside {
+        /// Lower band edge.
+        low: f64,
+        /// Upper band edge.
+        high: f64,
+    },
+}
+
+impl Condition {
+    /// Whether `value` violates this condition.
+    pub fn is_violated(&self, value: f64) -> bool {
+        match *self {
+            Condition::Above(t) => value > t,
+            Condition::Below(t) => value < t,
+            Condition::Outside { low, high } => value < low || value > high,
+        }
+    }
+
+    /// Validates the condition's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::InvalidConfig`] for non-finite thresholds
+    /// or an inverted band.
+    pub fn validate(&self) -> Result<(), VolleyError> {
+        match *self {
+            Condition::Above(t) | Condition::Below(t) => {
+                if !t.is_finite() {
+                    return Err(VolleyError::NonFiniteValue {
+                        parameter: "threshold",
+                    });
+                }
+            }
+            Condition::Outside { low, high } => {
+                if !low.is_finite() || !high.is_finite() {
+                    return Err(VolleyError::NonFiniteValue { parameter: "band" });
+                }
+                if low > high {
+                    return Err(VolleyError::invalid("band", "low must not exceed high"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Condition::Above(t) => write!(f, "value > {t}"),
+            Condition::Below(t) => write!(f, "value < {t}"),
+            Condition::Outside { low, high } => write!(f, "value outside [{low}, {high}]"),
+        }
+    }
+}
+
+/// An adaptive sampler for any [`Condition`].
+///
+/// ```
+/// use volley_core::condition::{Condition, ConditionSampler};
+/// use volley_core::AdaptationConfig;
+///
+/// # fn main() -> Result<(), volley_core::VolleyError> {
+/// let config = AdaptationConfig::builder().error_allowance(0.01).build()?;
+/// // Alert when free memory drops below 512 MB.
+/// let mut sampler = ConditionSampler::new(config, Condition::Below(512.0))?;
+/// let outcome = sampler.observe(0, 300.0);
+/// assert!(outcome.violation);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionSampler {
+    condition: Condition,
+    /// Sampler on the upper side (`v > high`), if the condition has one.
+    upper: Option<AdaptiveSampler>,
+    /// Sampler on the negated stream for the lower side (`−v > −low`).
+    lower: Option<AdaptiveSampler>,
+}
+
+impl ConditionSampler {
+    /// Creates a sampler for `condition`. For a band condition the error
+    /// allowance is split evenly between the two sides so the union of
+    /// their mis-detection bounds stays within the configured allowance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates condition validation errors.
+    pub fn new(config: AdaptationConfig, condition: Condition) -> Result<Self, VolleyError> {
+        condition.validate()?;
+        let (upper, lower) = match condition {
+            Condition::Above(t) => (Some(AdaptiveSampler::new(config, t)), None),
+            Condition::Below(t) => (None, Some(AdaptiveSampler::new(config, -t))),
+            Condition::Outside { low, high } => {
+                let mut upper = AdaptiveSampler::new(config, high);
+                let mut lower = AdaptiveSampler::new(config, -low);
+                let half = config.error_allowance() / 2.0;
+                upper.set_error_allowance(half);
+                lower.set_error_allowance(half);
+                (Some(upper), Some(lower))
+            }
+        };
+        Ok(ConditionSampler {
+            condition,
+            upper,
+            lower,
+        })
+    }
+
+    /// The condition being monitored.
+    pub fn condition(&self) -> Condition {
+        self.condition
+    }
+
+    /// The interval currently in effect: the tighter of the sides.
+    pub fn interval(&self) -> crate::Interval {
+        let upper = self.upper.as_ref().map(|s| s.interval());
+        let lower = self.lower.as_ref().map(|s| s.interval());
+        match (upper, lower) {
+            (Some(u), Some(l)) => u.min(l),
+            (Some(u), None) => u,
+            (None, Some(l)) => l,
+            (None, None) => crate::Interval::DEFAULT,
+        }
+    }
+
+    /// Processes the value sampled at `tick`.
+    ///
+    /// The combined observation uses the tighter side's schedule and a
+    /// union bound over the sides' mis-detection bounds.
+    pub fn observe(&mut self, tick: Tick, value: f64) -> Observation {
+        let upper = self.upper.as_mut().map(|s| s.observe(tick, value));
+        let lower = self.lower.as_mut().map(|s| s.observe(tick, -value));
+        match (upper, lower) {
+            (Some(u), Some(l)) => {
+                let next_interval = u.next_interval.min(l.next_interval);
+                Observation {
+                    violation: u.violation || l.violation,
+                    beta: (1.0 - (1.0 - u.beta) * (1.0 - l.beta)).clamp(0.0, 1.0),
+                    next_interval,
+                    next_sample_tick: tick + u64::from(next_interval),
+                    collapsed: u.collapsed || l.collapsed,
+                    grew: u.grew || l.grew,
+                }
+            }
+            (Some(o), None) | (None, Some(o)) => o,
+            (None, None) => unreachable!("a condition always has at least one side"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdaptationConfig {
+        AdaptationConfig::builder()
+            .error_allowance(0.05)
+            .patience(3)
+            .warmup_samples(3)
+            .max_interval(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn condition_predicates() {
+        assert!(Condition::Above(10.0).is_violated(10.5));
+        assert!(!Condition::Above(10.0).is_violated(10.0));
+        assert!(Condition::Below(10.0).is_violated(9.5));
+        assert!(!Condition::Below(10.0).is_violated(10.0));
+        let band = Condition::Outside {
+            low: 0.0,
+            high: 10.0,
+        };
+        assert!(band.is_violated(-0.1));
+        assert!(band.is_violated(10.1));
+        assert!(!band.is_violated(5.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Condition::Above(f64::NAN).validate().is_err());
+        assert!(Condition::Below(f64::INFINITY).validate().is_err());
+        assert!(Condition::Outside {
+            low: 5.0,
+            high: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Condition::Outside {
+            low: 1.0,
+            high: 5.0
+        }
+        .validate()
+        .is_ok());
+        assert!(ConditionSampler::new(config(), Condition::Above(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Condition::Above(3.0).to_string(), "value > 3");
+        assert_eq!(Condition::Below(3.0).to_string(), "value < 3");
+        assert_eq!(
+            Condition::Outside {
+                low: 1.0,
+                high: 2.0
+            }
+            .to_string(),
+            "value outside [1, 2]"
+        );
+    }
+
+    #[test]
+    fn below_condition_grows_on_quiet_stream() {
+        let mut sampler = ConditionSampler::new(config(), Condition::Below(10.0)).unwrap();
+        let mut tick = 0u64;
+        for _ in 0..100 {
+            let o = sampler.observe(tick, 100.0); // far above the floor
+            assert!(!o.violation);
+            tick = o.next_sample_tick;
+        }
+        assert!(
+            sampler.interval().get() > 1,
+            "quiet floor-watch should grow"
+        );
+        // Dropping below the floor violates.
+        assert!(sampler.observe(tick, 5.0).violation);
+    }
+
+    #[test]
+    fn band_detects_both_sides() {
+        let mut sampler = ConditionSampler::new(
+            config(),
+            Condition::Outside {
+                low: 10.0,
+                high: 90.0,
+            },
+        )
+        .unwrap();
+        assert!(!sampler.observe(0, 50.0).violation);
+        assert!(sampler.observe(1, 95.0).violation);
+        assert!(sampler.observe(2, 5.0).violation);
+    }
+
+    #[test]
+    fn band_interval_is_the_tighter_side() {
+        let mut sampler = ConditionSampler::new(
+            config(),
+            Condition::Outside {
+                low: -1000.0,
+                high: 60.0,
+            },
+        )
+        .unwrap();
+        // Stream drifts toward the upper edge: the upper side limits the
+        // interval even though the lower side is miles away.
+        let mut tick = 0u64;
+        for _ in 0..200 {
+            let value = 50.0 + ((tick % 7) as f64); // 50..57, close to 60
+            let o = sampler.observe(tick, value);
+            tick = o.next_sample_tick;
+        }
+        assert_eq!(
+            sampler.interval(),
+            crate::Interval::DEFAULT,
+            "upper side keeps it tight"
+        );
+    }
+
+    #[test]
+    fn band_splits_allowance() {
+        let sampler = ConditionSampler::new(
+            config(),
+            Condition::Outside {
+                low: 0.0,
+                high: 1.0,
+            },
+        )
+        .unwrap();
+        assert!((sampler.upper.as_ref().unwrap().error_allowance() - 0.025).abs() < 1e-12);
+        assert!((sampler.lower.as_ref().unwrap().error_allowance() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn above_matches_plain_sampler() {
+        let mut plain = AdaptiveSampler::new(config(), 42.0);
+        let mut cond = ConditionSampler::new(config(), Condition::Above(42.0)).unwrap();
+        let mut tp = 0u64;
+        let mut tc = 0u64;
+        for i in 0..100u64 {
+            let v = 10.0 + ((i * 13) % 20) as f64;
+            if tp == tc {
+                let op = plain.observe(tp, v);
+                let oc = cond.observe(tc, v);
+                assert_eq!(op, oc);
+                tp = op.next_sample_tick;
+                tc = oc.next_sample_tick;
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = ConditionSampler::new(
+            config(),
+            Condition::Outside {
+                low: 0.0,
+                high: 10.0,
+            },
+        )
+        .unwrap();
+        s.observe(0, 5.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ConditionSampler = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,785 @@
+//! Multi-task state-correlation based monitoring (§II-B).
+//!
+//! The paper observes that the states of different monitoring tasks are
+//! often related — e.g. growing request response time is a *necessary
+//! condition* of a successful DDoS attack, so high-frequency DDoS sampling
+//! is only worthwhile while response time is elevated. The full design was
+//! deferred to the authors' technical report; this module implements the
+//! most direct statistical realization of the interface the paper defines:
+//!
+//! 1. **Automatic detection** ([`CorrelationDetector`]): from synchronized
+//!    per-task violation histories, estimate for every ordered pair
+//!    `(leader, follower)` the *necessity confidence*
+//!    `P(leader active | follower violates)` — how reliably the leader's
+//!    state is elevated whenever the follower violates. A leader "active"
+//!    state tolerates a configurable lag window, since correlated effects
+//!    (e.g. traffic surge → response-time growth) are rarely simultaneous.
+//! 2. **Plan generation** ([`MonitoringPlan`]): pick, for each task, the
+//!    best sufficiently-confident leader and *gate* the follower — sample
+//!    it at a coarse interval while its leader is quiet, at the default
+//!    interval once the leader fires. Gating is two-level only (a leader
+//!    is never itself gated), so one missed leader can suppress at most
+//!    its direct followers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::error::VolleyError;
+use crate::task::TaskId;
+use crate::time::{Interval, Tick};
+
+/// Configuration of correlation detection and plan generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationConfig {
+    /// Minimum necessity confidence `P(leader active | follower violates)`
+    /// required to gate a follower on a leader (default 0.95).
+    pub min_confidence: f64,
+    /// Minimum number of follower violations observed before a pair is
+    /// trusted at all (default 20).
+    pub min_support: u32,
+    /// Lag tolerance in ticks: the leader counts as active at tick `t` if
+    /// it was active anywhere in `[t − lag_window, t]` (default 2).
+    pub lag_window: u32,
+    /// Interval used for a gated follower while its leader is quiet
+    /// (default 8 ticks).
+    pub gated_interval: Interval,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        CorrelationConfig {
+            min_confidence: 0.95,
+            min_support: 20,
+            lag_window: 2,
+            gated_interval: Interval::new_clamped(8),
+        }
+    }
+}
+
+impl CorrelationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::InvalidConfig`] when `min_confidence` is not
+    /// in `(0, 1]` or `min_support` is zero.
+    pub fn validate(&self) -> Result<(), VolleyError> {
+        if !self.min_confidence.is_finite()
+            || !(0.0..=1.0).contains(&self.min_confidence)
+            || self.min_confidence == 0.0
+        {
+            return Err(VolleyError::invalid("min_confidence", "must lie in (0, 1]"));
+        }
+        if self.min_support == 0 {
+            return Err(VolleyError::invalid("min_support", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Pairwise co-violation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct PairStats {
+    /// Follower violations observed.
+    follower_violations: u32,
+    /// Follower violations during which the leader was active within the
+    /// lag window.
+    leader_active_too: u32,
+}
+
+/// Online detector of inter-task state correlation.
+///
+/// Feed it one [`observe`](CorrelationDetector::observe) call per tick
+/// with the set of task states; query
+/// [`necessity_confidence`](CorrelationDetector::necessity_confidence) or
+/// build a [`MonitoringPlan`].
+///
+/// ```
+/// use volley_core::{CorrelationConfig, CorrelationDetector};
+/// use volley_core::task::TaskId;
+///
+/// let mut det = CorrelationDetector::new(CorrelationConfig::default(), vec![TaskId(0), TaskId(1)]);
+/// for tick in 0..1000u64 {
+///     let attack = tick % 100 < 5;
+///     // Task 0 (response time) is always elevated when task 1 (DDoS) fires.
+///     det.observe(tick, &[attack, attack]);
+/// }
+/// let c = det.necessity_confidence(TaskId(0), TaskId(1)).unwrap();
+/// assert!(c > 0.99);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationDetector {
+    config: CorrelationConfig,
+    tasks: Vec<TaskId>,
+    /// Most recent tick each task was active (violating).
+    last_active: Vec<Option<Tick>>,
+    /// Per-task violation counts (for base rates).
+    violations: Vec<u32>,
+    ticks: u64,
+    /// `stats[f][l]` — follower `f`, leader `l`.
+    stats: Vec<Vec<PairStats>>,
+}
+
+impl CorrelationDetector {
+    /// Creates a detector over the given tasks.
+    pub fn new(config: CorrelationConfig, tasks: Vec<TaskId>) -> Self {
+        let n = tasks.len();
+        CorrelationDetector {
+            config,
+            tasks,
+            last_active: vec![None; n],
+            violations: vec![0; n],
+            ticks: 0,
+            stats: vec![vec![PairStats::default(); n]; n],
+        }
+    }
+
+    /// The tasks under observation, in column order.
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Number of ticks observed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Records one synchronized observation: `active[i]` is whether task
+    /// `i` is in (or near) violation at `tick`.
+    ///
+    /// Extra or missing columns are ignored beyond the task count.
+    pub fn observe(&mut self, tick: Tick, active: &[bool]) {
+        let n = self.tasks.len().min(active.len());
+        self.ticks += 1;
+        // Update recency first so simultaneous activity counts as "active
+        // within the window".
+        for (i, &is_active) in active.iter().enumerate().take(n) {
+            if is_active {
+                self.last_active[i] = Some(tick);
+                self.violations[i] += 1;
+            }
+        }
+        let lag = u64::from(self.config.lag_window);
+        for (follower, &follower_active) in active.iter().enumerate().take(n) {
+            if !follower_active {
+                continue;
+            }
+            for leader in 0..n {
+                if leader == follower {
+                    continue;
+                }
+                let s = &mut self.stats[follower][leader];
+                s.follower_violations += 1;
+                if let Some(t) = self.last_active[leader] {
+                    if tick.saturating_sub(t) <= lag {
+                        s.leader_active_too += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimated `P(leader active | follower violates)`, or `None` when
+    /// the pair lacks support (fewer than `min_support` follower
+    /// violations) or either task is unknown.
+    pub fn necessity_confidence(&self, leader: TaskId, follower: TaskId) -> Option<f64> {
+        let l = self.index_of(leader)?;
+        let f = self.index_of(follower)?;
+        let s = self.stats[f][l];
+        if s.follower_violations < self.config.min_support {
+            return None;
+        }
+        Some(f64::from(s.leader_active_too) / f64::from(s.follower_violations))
+    }
+
+    /// Base violation rate of a task (violating ticks over total ticks).
+    pub fn base_rate(&self, task: TaskId) -> Option<f64> {
+        let i = self.index_of(task)?;
+        if self.ticks == 0 {
+            return Some(0.0);
+        }
+        Some(f64::from(self.violations[i]) / self.ticks as f64)
+    }
+
+    fn index_of(&self, task: TaskId) -> Option<usize> {
+        self.tasks.iter().position(|t| *t == task)
+    }
+
+    /// Builds a monitoring plan: for every task, pick the most confident
+    /// qualifying leader (if any) and gate the task on it.
+    ///
+    /// Guarantees:
+    ///
+    /// - a task chosen as anyone's leader is never itself gated
+    ///   (two-level plans only — no gating chains);
+    /// - a pair qualifies only with `min_support` observations and
+    ///   confidence ≥ `min_confidence`;
+    /// - leaders with a *higher* base violation rate than their follower
+    ///   are preferred lower (gating on a noisier signal saves less), and
+    ///   a leader whose base rate exceeds 0.5 never qualifies.
+    pub fn plan(&self) -> MonitoringPlan {
+        self.plan_with_costs(&vec![1.0; self.tasks.len()])
+    }
+
+    /// Builds a cost-aware monitoring plan: identical qualification rules
+    /// to [`plan`](CorrelationDetector::plan), but gate candidates are
+    /// ranked by the **expected sampling-cost saving** they unlock — the
+    /// multi-task scheduling rule the paper sketches ("considering both
+    /// cost factors and degree of state correlation", §II-B).
+    ///
+    /// `costs[i]` is the per-sampling-operation cost of task `i` (any
+    /// consistent unit: CPU seconds, dollars). A gate's value is
+    /// `follower_cost × (1 − 1/gated_interval) × (1 − leader_base_rate)`
+    /// — what the follower saves per tick while its leader is quiet —
+    /// *minus* nothing for the leader (it keeps sampling regardless).
+    /// Where the confidence-ranked plan would gate a cheap task at the
+    /// expense of using an expensive one as leader, the cost-aware plan
+    /// flips the pair.
+    ///
+    /// Costs beyond the task count are ignored; missing costs default to 1.
+    pub fn plan_with_costs(&self, costs: &[f64]) -> MonitoringPlan {
+        let n = self.tasks.len();
+        let cost = |i: usize| {
+            costs
+                .get(i)
+                .copied()
+                .filter(|c| c.is_finite() && *c > 0.0)
+                .unwrap_or(1.0)
+        };
+        let saving_factor = 1.0 - 1.0 / f64::from(self.config.gated_interval.get());
+        // Candidate gates: (follower, leader, confidence, value).
+        let mut candidates: Vec<(usize, usize, f64, f64)> = Vec::new();
+        for f in 0..n {
+            for l in 0..n {
+                if l == f {
+                    continue;
+                }
+                let s = self.stats[f][l];
+                if s.follower_violations < self.config.min_support {
+                    continue;
+                }
+                let conf = f64::from(s.leader_active_too) / f64::from(s.follower_violations);
+                let leader_rate = if self.ticks == 0 {
+                    1.0
+                } else {
+                    f64::from(self.violations[l]) / self.ticks as f64
+                };
+                if conf >= self.config.min_confidence && leader_rate <= 0.5 {
+                    let value = cost(f) * saving_factor * (1.0 - leader_rate);
+                    candidates.push((f, l, conf, value));
+                }
+            }
+        }
+        // Highest expected saving first; confidence breaks ties.
+        candidates.sort_by(|a, b| {
+            b.3.partial_cmp(&a.3)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut gated: HashMap<TaskId, Gate> = HashMap::new();
+        let mut leaders: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut followers: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (f, l, conf, _) in candidates {
+            if followers.contains(&f) || followers.contains(&l) || leaders.contains(&f) {
+                continue; // keep plans two-level and one leader per follower
+            }
+            leaders.insert(l);
+            followers.insert(f);
+            gated.insert(
+                self.tasks[f],
+                Gate {
+                    leader: self.tasks[l],
+                    confidence: conf,
+                    gated_interval: self.config.gated_interval,
+                },
+            );
+        }
+        MonitoringPlan { gates: gated }
+    }
+}
+
+/// A single follower→leader gate within a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The leader task whose activity releases the follower.
+    pub leader: TaskId,
+    /// The necessity confidence that justified this gate.
+    pub confidence: f64,
+    /// Interval the follower uses while the leader is quiet.
+    pub gated_interval: Interval,
+}
+
+/// A correlation-based monitoring plan: which tasks are gated on which
+/// leaders.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MonitoringPlan {
+    gates: HashMap<TaskId, Gate>,
+}
+
+impl MonitoringPlan {
+    /// The gate applied to `task`, if it is gated.
+    pub fn gate(&self, task: TaskId) -> Option<&Gate> {
+        self.gates.get(&task)
+    }
+
+    /// Number of gated tasks.
+    pub fn gated_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Iterates over `(follower, gate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&TaskId, &Gate)> {
+        self.gates.iter()
+    }
+
+    /// The sampling interval `task` should use given whether its leader is
+    /// currently active: gated tasks run at the coarse gated interval while
+    /// the leader is quiet and drop to `default` once it fires; ungated
+    /// tasks always use `default`.
+    pub fn interval_for(&self, task: TaskId, leader_active: bool, default: Interval) -> Interval {
+        match self.gates.get(&task) {
+            Some(gate) if !leader_active => gate.gated_interval,
+            _ => default,
+        }
+    }
+}
+
+/// Per-task outcome of one [`CorrelatedScheduler`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledOutcome {
+    /// The task this outcome belongs to.
+    pub task: TaskId,
+    /// Whether the task sampled at this tick.
+    pub sampled: bool,
+    /// Whether the sampled value violated the task's threshold (always
+    /// `false` when not sampled).
+    pub violation: bool,
+}
+
+/// Drives a set of adaptive samplers under a correlation-based
+/// [`MonitoringPlan`]: gated followers run at the plan's coarse interval
+/// while their leader is calm, and fall back to their own adaptive
+/// schedule the moment the leader's last sampled value violates.
+///
+/// The scheduler is step-driven like
+/// [`DistributedTask`](crate::DistributedTask): the embedding supplies
+/// each task's ground-truth value per tick, and only sampled values are
+/// ever revealed to the samplers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedScheduler {
+    tasks: Vec<TaskId>,
+    samplers: Vec<crate::AdaptiveSampler>,
+    next_sample: Vec<Tick>,
+    /// Whether each task's most recent sample violated its threshold.
+    last_violating: Vec<bool>,
+    plan: MonitoringPlan,
+    samples: u64,
+}
+
+impl CorrelatedScheduler {
+    /// Creates a scheduler over `(task, sampler)` pairs and a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::EmptyTask`] for an empty task set.
+    pub fn new(
+        tasks: Vec<(TaskId, crate::AdaptiveSampler)>,
+        plan: MonitoringPlan,
+    ) -> Result<Self, VolleyError> {
+        if tasks.is_empty() {
+            return Err(VolleyError::EmptyTask);
+        }
+        let (ids, samplers): (Vec<TaskId>, Vec<crate::AdaptiveSampler>) = tasks.into_iter().unzip();
+        let n = ids.len();
+        Ok(CorrelatedScheduler {
+            tasks: ids,
+            samplers,
+            next_sample: vec![0; n],
+            last_violating: vec![false; n],
+            plan,
+            samples: 0,
+        })
+    }
+
+    /// The tasks under management, in column order.
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Total sampling operations performed.
+    pub fn total_samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Whether `task`'s leader (if gated) was violating at its last
+    /// sample.
+    fn leader_active(&self, task: TaskId) -> bool {
+        let Some(gate) = self.plan.gate(task) else {
+            return false;
+        };
+        self.tasks
+            .iter()
+            .position(|t| *t == gate.leader)
+            .map(|i| self.last_violating[i])
+            .unwrap_or(false)
+    }
+
+    /// Advances all tasks by one tick; `values[i]` is task `i`'s
+    /// ground-truth value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::ValueCountMismatch`] on a wrong value count.
+    pub fn step(
+        &mut self,
+        tick: Tick,
+        values: &[f64],
+    ) -> Result<Vec<ScheduledOutcome>, VolleyError> {
+        if values.len() != self.tasks.len() {
+            return Err(VolleyError::ValueCountMismatch {
+                got: values.len(),
+                expected: self.tasks.len(),
+            });
+        }
+        // Leaders first, so a follower released this tick reacts to the
+        // leader's *current* state.
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        order.sort_by_key(|&i| self.plan.gate(self.tasks[i]).is_some());
+        let mut outcomes = vec![
+            ScheduledOutcome {
+                task: TaskId(0),
+                sampled: false,
+                violation: false
+            };
+            self.tasks.len()
+        ];
+        for &i in &order {
+            let task = self.tasks[i];
+            let mut outcome = ScheduledOutcome {
+                task,
+                sampled: false,
+                violation: false,
+            };
+            if tick >= self.next_sample[i] {
+                let obs = self.samplers[i].observe(tick, values[i]);
+                self.samples += 1;
+                self.last_violating[i] = obs.violation;
+                outcome.sampled = true;
+                outcome.violation = obs.violation;
+                // The follower's effective interval is its adaptive one,
+                // stretched to the gated interval while the leader is calm.
+                let interval = if self.leader_active(task) {
+                    obs.next_interval
+                } else {
+                    self.plan
+                        .gate(task)
+                        .map(|g| obs.next_interval.max(g.gated_interval))
+                        .unwrap_or(obs.next_interval)
+                };
+                self.next_sample[i] = tick + u64::from(interval);
+            }
+            outcomes[i] = outcome;
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u64) -> Vec<TaskId> {
+        (0..n).map(TaskId).collect()
+    }
+
+    /// Leader (task 0) is active in a window strictly containing every
+    /// follower (task 1) violation.
+    fn feed_necessary_pair(det: &mut CorrelationDetector, ticks: u64) {
+        for tick in 0..ticks {
+            let leader = tick % 50 < 10;
+            let follower = tick % 50 >= 2 && tick % 50 < 8;
+            det.observe(tick, &[leader, follower]);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CorrelationConfig::default().validate().is_ok());
+        let bad = CorrelationConfig {
+            min_confidence: 0.0,
+            ..CorrelationConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CorrelationConfig {
+            min_support: 0,
+            ..CorrelationConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn detects_necessary_condition() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        feed_necessary_pair(&mut det, 5000);
+        let conf = det.necessity_confidence(TaskId(0), TaskId(1)).unwrap();
+        assert!(conf > 0.99, "confidence {conf}");
+        // The reverse direction is much weaker: the leader is active on
+        // ticks where the follower is not.
+        let rev = det.necessity_confidence(TaskId(1), TaskId(0)).unwrap();
+        assert!(rev < conf);
+    }
+
+    #[test]
+    fn insufficient_support_returns_none() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        det.observe(0, &[true, true]);
+        assert_eq!(det.necessity_confidence(TaskId(0), TaskId(1)), None);
+    }
+
+    #[test]
+    fn unknown_task_returns_none() {
+        let det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        assert_eq!(det.necessity_confidence(TaskId(9), TaskId(1)), None);
+        assert_eq!(det.base_rate(TaskId(9)), None);
+    }
+
+    #[test]
+    fn base_rate_counts_violating_ticks() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(1));
+        for tick in 0..100u64 {
+            det.observe(tick, &[tick % 10 == 0]);
+        }
+        assert!((det.base_rate(TaskId(0)).unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_gates_follower_on_leader() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        feed_necessary_pair(&mut det, 5000);
+        let plan = det.plan();
+        assert_eq!(plan.gated_count(), 1);
+        let gate = plan.gate(TaskId(1)).expect("follower should be gated");
+        assert_eq!(gate.leader, TaskId(0));
+        assert!(gate.confidence > 0.99);
+    }
+
+    #[test]
+    fn plan_is_two_level() {
+        // 0 necessary for 1, 1 necessary for 2 — 1 must not be both a
+        // leader and a follower.
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(3));
+        for tick in 0..5000u64 {
+            let a = tick % 50 < 12;
+            let b = tick % 50 >= 2 && tick % 50 < 10;
+            let c = tick % 50 >= 4 && tick % 50 < 8;
+            det.observe(tick, &[a, b, c]);
+        }
+        let plan = det.plan();
+        for (follower, gate) in plan.iter() {
+            assert!(
+                plan.gate(gate.leader).is_none(),
+                "leader {} of {} is itself gated",
+                gate.leader,
+                follower
+            );
+        }
+    }
+
+    #[test]
+    fn uncorrelated_tasks_are_not_gated() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        // Deterministic but independent-looking activity patterns.
+        for tick in 0..10_000u64 {
+            let a = (tick * 7919) % 97 < 5;
+            let b = (tick * 6271) % 89 < 5;
+            det.observe(tick, &[a, b]);
+        }
+        let plan = det.plan();
+        assert_eq!(
+            plan.gated_count(),
+            0,
+            "independent tasks must not gate each other"
+        );
+    }
+
+    #[test]
+    fn noisy_leader_never_qualifies() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        // Leader active 60% of the time: trivially "necessary" but useless.
+        for tick in 0..5000u64 {
+            let leader = tick % 10 < 6;
+            let follower = tick % 10 < 2;
+            det.observe(tick, &[leader, follower]);
+        }
+        assert_eq!(det.plan().gated_count(), 0);
+    }
+
+    #[test]
+    fn interval_for_respects_gate_state() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        feed_necessary_pair(&mut det, 5000);
+        let plan = det.plan();
+        let default = Interval::DEFAULT;
+        let gated = plan.interval_for(TaskId(1), false, default);
+        assert_eq!(gated, CorrelationConfig::default().gated_interval);
+        assert_eq!(plan.interval_for(TaskId(1), true, default), default);
+        assert_eq!(plan.interval_for(TaskId(0), false, default), default);
+    }
+
+    #[test]
+    fn cost_aware_plan_gates_the_expensive_task() {
+        // Tasks 0 and 1 are mutually necessary (they fire together), so
+        // either could lead. The cost-aware plan must gate whichever is
+        // more expensive to sample.
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        for tick in 0..5000u64 {
+            let both = tick % 50 < 5;
+            det.observe(tick, &[both, both]);
+        }
+        let expensive_second = det.plan_with_costs(&[1.0, 100.0]);
+        assert!(
+            expensive_second.gate(TaskId(1)).is_some(),
+            "task 1 (costly) should be gated"
+        );
+        let expensive_first = det.plan_with_costs(&[100.0, 1.0]);
+        assert!(
+            expensive_first.gate(TaskId(0)).is_some(),
+            "task 0 (costly) should be gated"
+        );
+    }
+
+    #[test]
+    fn cost_aware_plan_defaults_match_plain_plan() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        feed_necessary_pair(&mut det, 5000);
+        assert_eq!(det.plan(), det.plan_with_costs(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn cost_aware_plan_tolerates_bad_costs() {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        feed_necessary_pair(&mut det, 5000);
+        // NaN / zero / short cost vectors are treated as unit costs.
+        let plan = det.plan_with_costs(&[f64::NAN]);
+        assert_eq!(plan.gated_count(), det.plan().gated_count());
+    }
+
+    fn quiet_sampler() -> crate::AdaptiveSampler {
+        let cfg = crate::AdaptationConfig::builder()
+            .error_allowance(0.05)
+            .patience(3)
+            .warmup_samples(3)
+            .max_interval(4)
+            .build()
+            .unwrap();
+        crate::AdaptiveSampler::new(cfg, 100.0)
+    }
+
+    fn learned_plan() -> MonitoringPlan {
+        let mut det = CorrelationDetector::new(CorrelationConfig::default(), ids(2));
+        feed_necessary_pair(&mut det, 5000);
+        det.plan()
+    }
+
+    #[test]
+    fn scheduler_rejects_empty_and_mismatched_input() {
+        assert!(matches!(
+            CorrelatedScheduler::new(vec![], MonitoringPlan::default()),
+            Err(VolleyError::EmptyTask)
+        ));
+        let mut sched = CorrelatedScheduler::new(
+            vec![(TaskId(0), quiet_sampler())],
+            MonitoringPlan::default(),
+        )
+        .unwrap();
+        assert!(sched.step(0, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gated_follower_samples_less_while_leader_calm() {
+        let plan = learned_plan();
+        assert!(plan.gate(TaskId(1)).is_some());
+        let mut gated = CorrelatedScheduler::new(
+            vec![(TaskId(0), quiet_sampler()), (TaskId(1), quiet_sampler())],
+            plan,
+        )
+        .unwrap();
+        let mut ungated = CorrelatedScheduler::new(
+            vec![(TaskId(0), quiet_sampler()), (TaskId(1), quiet_sampler())],
+            MonitoringPlan::default(),
+        )
+        .unwrap();
+        for tick in 0..500u64 {
+            gated.step(tick, &[1.0, 1.0]).unwrap();
+            ungated.step(tick, &[1.0, 1.0]).unwrap();
+        }
+        assert!(
+            gated.total_samples() < ungated.total_samples(),
+            "gated {} vs ungated {}",
+            gated.total_samples(),
+            ungated.total_samples()
+        );
+    }
+
+    #[test]
+    fn active_leader_releases_follower() {
+        let plan = learned_plan();
+        let gated_interval = plan.gate(TaskId(1)).unwrap().gated_interval;
+        let mut sched = CorrelatedScheduler::new(
+            vec![(TaskId(0), quiet_sampler()), (TaskId(1), quiet_sampler())],
+            plan,
+        )
+        .unwrap();
+        // Calm phase: follower runs at the gated cadence.
+        for tick in 0..100u64 {
+            sched.step(tick, &[1.0, 1.0]).unwrap();
+        }
+        // Leader fires: values above its threshold (100). The follower's
+        // subsequent gaps shrink back to its adaptive interval.
+        let mut follower_samples = 0;
+        for tick in 100..150u64 {
+            let outcomes = sched.step(tick, &[150.0, 150.0]).unwrap();
+            if outcomes[1].sampled {
+                follower_samples += 1;
+            }
+        }
+        // At the gated cadence it would sample ~50/gated ticks; released,
+        // near-violating values keep it at the default interval.
+        assert!(
+            follower_samples > 50 / u64::from(gated_interval.get()) as i32 + 2,
+            "follower sampled only {follower_samples} times after release"
+        );
+    }
+
+    #[test]
+    fn lag_window_tolerates_delayed_followers() {
+        // The follower fires exactly 2 ticks after each leader pulse ends.
+        let config = CorrelationConfig {
+            lag_window: 3,
+            ..CorrelationConfig::default()
+        };
+        let mut det = CorrelationDetector::new(config, ids(2));
+        for tick in 0..5000u64 {
+            let leader = tick % 40 == 0;
+            let follower = tick % 40 == 2;
+            det.observe(tick, &[leader, follower]);
+        }
+        let conf = det.necessity_confidence(TaskId(0), TaskId(1)).unwrap();
+        assert!(conf > 0.99);
+        // With a zero lag window the same pattern shows no correlation.
+        let tight = CorrelationConfig {
+            lag_window: 0,
+            ..CorrelationConfig::default()
+        };
+        let mut det2 = CorrelationDetector::new(tight, ids(2));
+        for tick in 0..5000u64 {
+            let leader = tick % 40 == 0;
+            let follower = tick % 40 == 2;
+            det2.observe(tick, &[leader, follower]);
+        }
+        assert_eq!(
+            det2.necessity_confidence(TaskId(0), TaskId(1)).unwrap(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Error types for the `volley-core` crate.
+
+use std::fmt;
+
+/// The error type returned by fallible `volley-core` operations.
+///
+/// Most of the crate's hot-path methods (e.g.
+/// [`AdaptiveSampler::observe`](crate::AdaptiveSampler::observe)) are
+/// infallible by construction; errors arise when *configuring* tasks,
+/// monitors and allocators with inconsistent parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VolleyError {
+    /// A configuration parameter was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A task was assembled with zero monitors.
+    EmptyTask,
+    /// A monitor id referenced a monitor that does not exist in the task.
+    UnknownMonitor {
+        /// The offending monitor index.
+        index: usize,
+        /// Number of monitors actually present.
+        len: usize,
+    },
+    /// The per-step value slice handed to a distributed task did not match
+    /// the number of monitors.
+    ValueCountMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of monitors expected.
+        expected: usize,
+    },
+    /// A non-finite (`NaN` or infinite) value was supplied where a finite
+    /// number is required.
+    NonFiniteValue {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+    },
+}
+
+impl fmt::Display for VolleyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VolleyError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            VolleyError::EmptyTask => write!(f, "a distributed task requires at least one monitor"),
+            VolleyError::UnknownMonitor { index, len } => {
+                write!(
+                    f,
+                    "monitor index {index} out of range for task with {len} monitors"
+                )
+            }
+            VolleyError::ValueCountMismatch { got, expected } => {
+                write!(f, "got {got} values for a task with {expected} monitors")
+            }
+            VolleyError::NonFiniteValue { parameter } => {
+                write!(f, "parameter `{parameter}` must be a finite number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VolleyError {}
+
+impl VolleyError {
+    /// Convenience constructor for [`VolleyError::InvalidConfig`].
+    pub(crate) fn invalid(parameter: &'static str, reason: impl Into<String>) -> Self {
+        VolleyError::InvalidConfig {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let err = VolleyError::invalid("err", "must lie in (0, 1]");
+        let text = err.to_string();
+        assert!(text.starts_with("invalid configuration"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VolleyError>();
+    }
+
+    #[test]
+    fn value_count_mismatch_reports_both_sides() {
+        let err = VolleyError::ValueCountMismatch {
+            got: 3,
+            expected: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains('3') && text.contains('5'));
+    }
+
+    #[test]
+    fn unknown_monitor_display() {
+        let err = VolleyError::UnknownMonitor { index: 9, len: 4 };
+        assert!(err.to_string().contains("9"));
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let err = VolleyError::EmptyTask;
+        assert_eq!(err.clone(), err);
+    }
+}

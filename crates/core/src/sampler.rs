@@ -1,0 +1,284 @@
+//! Sampling policies: the common interface and the periodic baseline.
+//!
+//! The paper compares Volley against the industry-standard *periodical
+//! sampling* scheme (CloudWatch-style, §I–II): a fixed interval for the
+//! task's whole lifetime. [`SamplingPolicy`] abstracts over "given the
+//! sample just taken, when do we sample next", so that the evaluation
+//! harness can run the adaptive controller and the baseline through
+//! identical code paths.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adaptation::{AdaptiveSampler, Observation};
+use crate::time::{Interval, Tick};
+
+/// A policy deciding when the next sampling operation happens.
+///
+/// Implementors consume one sampled value per call and return the
+/// [`Observation`] describing the violation verdict and the next sample
+/// time. The trait is object-safe so heterogeneous policy sets can be
+/// driven uniformly (e.g. by the simulator).
+pub trait SamplingPolicy: std::fmt::Debug + Send {
+    /// Processes the value sampled at `tick` and schedules the next sample.
+    fn observe(&mut self, tick: Tick, value: f64) -> Observation;
+
+    /// The interval currently in effect.
+    fn interval(&self) -> Interval;
+
+    /// The violation threshold the policy monitors against.
+    fn threshold(&self) -> f64;
+
+    /// Human-readable policy name (used in experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The fixed-interval periodic baseline (CloudWatch-style).
+///
+/// ```
+/// use volley_core::{PeriodicSampler, SamplingPolicy, Interval};
+///
+/// let mut p = PeriodicSampler::new(Interval::new(4).unwrap(), 100.0);
+/// let obs = p.observe(0, 120.0);
+/// assert!(obs.violation);
+/// assert_eq!(obs.next_sample_tick, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicSampler {
+    interval: Interval,
+    threshold: f64,
+    samples: u64,
+}
+
+impl PeriodicSampler {
+    /// Creates a periodic sampler with the given fixed interval and
+    /// violation threshold.
+    pub fn new(interval: Interval, threshold: f64) -> Self {
+        PeriodicSampler {
+            interval,
+            threshold,
+            samples: 0,
+        }
+    }
+
+    /// Total number of sampling operations processed.
+    pub fn total_samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl SamplingPolicy for PeriodicSampler {
+    fn observe(&mut self, tick: Tick, value: f64) -> Observation {
+        self.samples += 1;
+        Observation {
+            violation: value > self.threshold,
+            // The baseline does not estimate likelihoods; report the
+            // vacuous bound.
+            beta: 1.0,
+            next_interval: self.interval,
+            next_sample_tick: tick + u64::from(self.interval),
+            collapsed: false,
+            grew: false,
+        }
+    }
+
+    fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+/// A naive reactive baseline without likelihood estimation: double the
+/// interval after every `patience` consecutive quiet samples, reset to
+/// the default on any violation.
+///
+/// This is the obvious "adaptive" scheme one would build without the
+/// paper's contribution. It saves cost, but offers **no accuracy
+/// control**: nothing ties its interval to the probability of missing a
+/// violation, so its mis-detection rate is whatever the data makes it.
+/// The `ablation_baselines` bench quantifies the difference against
+/// Volley on identical workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReactiveSampler {
+    threshold: f64,
+    interval: Interval,
+    max_interval: Interval,
+    patience: u32,
+    consecutive_quiet: u32,
+    samples: u64,
+}
+
+impl ReactiveSampler {
+    /// Creates a reactive sampler with doubling up to `max_interval`
+    /// after `patience` quiet samples (patience is clamped to ≥ 1).
+    pub fn new(threshold: f64, max_interval: Interval, patience: u32) -> Self {
+        ReactiveSampler {
+            threshold,
+            interval: Interval::DEFAULT,
+            max_interval,
+            patience: patience.max(1),
+            consecutive_quiet: 0,
+            samples: 0,
+        }
+    }
+
+    /// Total sampling operations processed.
+    pub fn total_samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl SamplingPolicy for ReactiveSampler {
+    fn observe(&mut self, tick: Tick, value: f64) -> Observation {
+        self.samples += 1;
+        let violation = value > self.threshold;
+        let mut collapsed = false;
+        let mut grew = false;
+        if violation {
+            collapsed = self.interval > Interval::DEFAULT;
+            self.interval = Interval::DEFAULT;
+            self.consecutive_quiet = 0;
+        } else {
+            self.consecutive_quiet += 1;
+            if self.consecutive_quiet >= self.patience && self.interval < self.max_interval {
+                let doubled = Interval::new_clamped(self.interval.get().saturating_mul(2));
+                self.interval = doubled.min(self.max_interval);
+                self.consecutive_quiet = 0;
+                grew = true;
+            }
+        }
+        Observation {
+            violation,
+            beta: 1.0, // no likelihood estimate — accuracy is uncontrolled
+            next_interval: self.interval,
+            next_sample_tick: tick + u64::from(self.interval),
+            collapsed,
+            grew,
+        }
+    }
+
+    fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "reactive"
+    }
+}
+
+impl SamplingPolicy for AdaptiveSampler {
+    fn observe(&mut self, tick: Tick, value: f64) -> Observation {
+        AdaptiveSampler::observe(self, tick, value)
+    }
+
+    fn interval(&self) -> Interval {
+        AdaptiveSampler::interval(self)
+    }
+
+    fn threshold(&self) -> f64 {
+        AdaptiveSampler::threshold(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "volley"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdaptationConfig;
+
+    #[test]
+    fn periodic_keeps_fixed_interval() {
+        let mut p = PeriodicSampler::new(Interval::new(3).unwrap(), 10.0);
+        let mut tick = 0;
+        for _ in 0..10 {
+            let obs = p.observe(tick, 0.0);
+            assert_eq!(obs.next_interval.get(), 3);
+            assert_eq!(obs.next_sample_tick, tick + 3);
+            tick = obs.next_sample_tick;
+        }
+        assert_eq!(p.total_samples(), 10);
+    }
+
+    #[test]
+    fn periodic_detects_violations() {
+        let mut p = PeriodicSampler::new(Interval::DEFAULT, 10.0);
+        assert!(!p.observe(0, 10.0).violation);
+        assert!(p.observe(1, 10.5).violation);
+    }
+
+    #[test]
+    fn policies_are_object_safe() {
+        let cfg = AdaptationConfig::default();
+        let mut policies: Vec<Box<dyn SamplingPolicy>> = vec![
+            Box::new(PeriodicSampler::new(Interval::DEFAULT, 5.0)),
+            Box::new(AdaptiveSampler::new(cfg, 5.0)),
+        ];
+        for p in &mut policies {
+            let obs = p.observe(0, 1.0);
+            assert!(!obs.violation);
+        }
+        assert_eq!(policies[0].name(), "periodic");
+        assert_eq!(policies[1].name(), "volley");
+    }
+
+    #[test]
+    fn reactive_doubles_and_resets() {
+        let mut r = ReactiveSampler::new(10.0, Interval::new_clamped(8), 2);
+        let mut tick = 0u64;
+        // Quiet stream: 1 → 2 → 4 → 8, capped.
+        let mut seen = Vec::new();
+        for _ in 0..12 {
+            let obs = r.observe(tick, 0.0);
+            seen.push(obs.next_interval.get());
+            tick = obs.next_sample_tick;
+        }
+        assert!(seen.contains(&2) && seen.contains(&4) && seen.contains(&8));
+        assert_eq!(r.interval().get(), 8);
+        // A violation resets instantly.
+        let obs = r.observe(tick, 99.0);
+        assert!(obs.violation);
+        assert!(obs.collapsed);
+        assert_eq!(obs.next_interval, Interval::DEFAULT);
+        assert_eq!(r.total_samples(), 13);
+    }
+
+    #[test]
+    fn reactive_patience_clamped() {
+        let mut r = ReactiveSampler::new(10.0, Interval::new_clamped(4), 0);
+        let obs = r.observe(0, 0.0);
+        assert_eq!(obs.next_interval.get(), 2, "patience 0 behaves as 1");
+        assert_eq!(r.name(), "reactive");
+    }
+
+    #[test]
+    fn adaptive_policy_delegates() {
+        let cfg = AdaptationConfig::builder()
+            .error_allowance(0.05)
+            .patience(2)
+            .warmup_samples(2)
+            .max_interval(4)
+            .build()
+            .unwrap();
+        let mut sampler: Box<dyn SamplingPolicy> = Box::new(AdaptiveSampler::new(cfg, 100.0));
+        let mut tick = 0;
+        for _ in 0..50 {
+            let obs = sampler.observe(tick, 1.0);
+            tick = obs.next_sample_tick;
+        }
+        assert!(sampler.interval().get() > 1);
+        assert_eq!(sampler.threshold(), 100.0);
+    }
+}

@@ -1,0 +1,437 @@
+//! A managed monitoring service: many heterogeneous tasks behind one
+//! interface.
+//!
+//! The paper's setting is a datacenter running "a large number of
+//! monitoring tasks" whose composition changes as applications come and
+//! go (§I). [`MonitoringService`] is the embeddable front door for that
+//! setting: register tasks of any supported form — plain thresholds,
+//! lower/band conditions, windowed aggregates — add and remove them at
+//! run time, feed values for whatever tasks are due each tick, and
+//! receive alerts. Each task keeps its own adaptive sampler, so the
+//! service's total sampling cost shrinks exactly as the per-task
+//! controllers allow.
+//!
+//! ```
+//! use volley_core::service::{MonitoringService, TaskKind};
+//! use volley_core::task::TaskId;
+//! use volley_core::AdaptationConfig;
+//!
+//! # fn main() -> Result<(), volley_core::VolleyError> {
+//! let mut service = MonitoringService::new();
+//! let config = AdaptationConfig::builder().error_allowance(0.01).build()?;
+//! service.register(TaskId(1), config, TaskKind::Above { threshold: 90.0 })?;
+//!
+//! for tick in 0..100u64 {
+//!     for task in service.due(tick) {
+//!         // Sample only what is due — this is where the saving happens.
+//!         let value = 42.0;
+//!         if let Some(alert) = service.observe(task, tick, value)? {
+//!             println!("{} fired at {}", alert.task, alert.tick);
+//!         }
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::adaptation::{AdaptationConfig, AdaptiveSampler, Observation};
+use crate::condition::{Condition, ConditionSampler};
+use crate::error::VolleyError;
+use crate::task::TaskId;
+use crate::time::Tick;
+use crate::window::{AggregateKind, WindowedSampler};
+
+/// The monitoring form of a registered task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TaskKind {
+    /// Alert when the value exceeds `threshold` (the paper's form).
+    Above {
+        /// The violation threshold.
+        threshold: f64,
+    },
+    /// Alert on a general [`Condition`] (below / band).
+    Conditional {
+        /// The violation condition.
+        condition: Condition,
+    },
+    /// Alert when a sliding-window aggregate exceeds `threshold`.
+    Windowed {
+        /// The violation threshold on the aggregate.
+        threshold: f64,
+        /// Window width in ticks.
+        width: u64,
+        /// Aggregate computed over the window.
+        aggregate: AggregateKind,
+    },
+}
+
+/// A task's sampler, unified across monitoring forms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum AnySampler {
+    Plain(AdaptiveSampler),
+    Conditional(ConditionSampler),
+    Windowed(WindowedSampler),
+}
+
+impl AnySampler {
+    fn observe(&mut self, tick: Tick, value: f64) -> Observation {
+        match self {
+            AnySampler::Plain(s) => s.observe(tick, value),
+            AnySampler::Conditional(s) => s.observe(tick, value),
+            AnySampler::Windowed(s) => s.observe(tick, value),
+        }
+    }
+}
+
+/// An alert raised by the service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The violating task.
+    pub task: TaskId,
+    /// The tick of the violating sample.
+    pub tick: Tick,
+    /// The sampled value that violated.
+    pub value: f64,
+}
+
+/// Per-task bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TaskState {
+    sampler: AnySampler,
+    next_sample: Tick,
+    samples: u64,
+    alerts: u64,
+}
+
+/// The managed multi-task monitoring service (see module docs).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MonitoringService {
+    tasks: BTreeMap<TaskId, TaskState>,
+    ticks_seen: u64,
+    total_samples: u64,
+}
+
+impl MonitoringService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        MonitoringService::default()
+    }
+
+    /// Number of registered tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no tasks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total sampling operations performed across all tasks.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Registers a task. The first sample is due immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::InvalidConfig`] when the id is already
+    /// registered or the kind's parameters are invalid.
+    pub fn register(
+        &mut self,
+        id: TaskId,
+        config: AdaptationConfig,
+        kind: TaskKind,
+    ) -> Result<(), VolleyError> {
+        if self.tasks.contains_key(&id) {
+            return Err(VolleyError::invalid(
+                "id",
+                format!("{id} is already registered"),
+            ));
+        }
+        let sampler = match kind {
+            TaskKind::Above { threshold } => {
+                if !threshold.is_finite() {
+                    return Err(VolleyError::NonFiniteValue {
+                        parameter: "threshold",
+                    });
+                }
+                AnySampler::Plain(AdaptiveSampler::new(config, threshold))
+            }
+            TaskKind::Conditional { condition } => {
+                AnySampler::Conditional(ConditionSampler::new(config, condition)?)
+            }
+            TaskKind::Windowed {
+                threshold,
+                width,
+                aggregate,
+            } => {
+                if !threshold.is_finite() {
+                    return Err(VolleyError::NonFiniteValue {
+                        parameter: "threshold",
+                    });
+                }
+                AnySampler::Windowed(WindowedSampler::new(config, threshold, width, aggregate)?)
+            }
+        };
+        self.tasks.insert(
+            id,
+            TaskState {
+                sampler,
+                next_sample: 0,
+                samples: 0,
+                alerts: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a task, returning whether it existed.
+    pub fn deregister(&mut self, id: TaskId) -> bool {
+        self.tasks.remove(&id).is_some()
+    }
+
+    /// The tasks whose next sample is due at or before `tick`, in id
+    /// order. Sampling exactly this set each tick realizes the adaptive
+    /// cost saving.
+    pub fn due(&self, tick: Tick) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|(_, state)| tick >= state.next_sample)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Feeds the value sampled for `task` at `tick`; returns an alert if
+    /// the sample violated. Values for tasks that are not due are
+    /// processed anyway (a forced sample never hurts accuracy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::InvalidConfig`] for an unknown task id.
+    pub fn observe(
+        &mut self,
+        task: TaskId,
+        tick: Tick,
+        value: f64,
+    ) -> Result<Option<Alert>, VolleyError> {
+        let state = self
+            .tasks
+            .get_mut(&task)
+            .ok_or_else(|| VolleyError::invalid("task", format!("{task} is not registered")))?;
+        let obs = state.sampler.observe(tick, value);
+        state.next_sample = obs.next_sample_tick;
+        state.samples += 1;
+        self.total_samples += 1;
+        self.ticks_seen = self.ticks_seen.max(tick + 1);
+        if obs.violation {
+            state.alerts += 1;
+            Ok(Some(Alert { task, tick, value }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Per-task `(samples, alerts)` counters.
+    pub fn task_stats(&self, task: TaskId) -> Option<(u64, u64)> {
+        self.tasks.get(&task).map(|s| (s.samples, s.alerts))
+    }
+
+    /// Service-wide sampling-cost ratio versus sampling every registered
+    /// task every tick (1.0 before any activity).
+    ///
+    /// The baseline uses the *current* task count, so after mid-run
+    /// registrations or removals the ratio is an approximation; for exact
+    /// accounting, score per task via
+    /// [`task_stats`](MonitoringService::task_stats) against the ticks
+    /// each task was live.
+    pub fn cost_ratio(&self) -> f64 {
+        let baseline = self.ticks_seen * self.tasks.len() as u64;
+        if baseline == 0 {
+            1.0
+        } else {
+            self.total_samples as f64 / baseline as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdaptationConfig {
+        AdaptationConfig::builder()
+            .error_allowance(0.05)
+            .patience(3)
+            .warmup_samples(3)
+            .max_interval(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_and_deregister() {
+        let mut service = MonitoringService::new();
+        assert!(service.is_empty());
+        service
+            .register(TaskId(1), config(), TaskKind::Above { threshold: 10.0 })
+            .unwrap();
+        assert_eq!(service.len(), 1);
+        // Duplicate ids rejected.
+        assert!(service
+            .register(TaskId(1), config(), TaskKind::Above { threshold: 99.0 })
+            .is_err());
+        assert!(service.deregister(TaskId(1)));
+        assert!(!service.deregister(TaskId(1)));
+        assert!(service.is_empty());
+    }
+
+    #[test]
+    fn invalid_kinds_rejected() {
+        let mut service = MonitoringService::new();
+        assert!(service
+            .register(
+                TaskId(1),
+                config(),
+                TaskKind::Above {
+                    threshold: f64::NAN
+                }
+            )
+            .is_err());
+        assert!(service
+            .register(
+                TaskId(2),
+                config(),
+                TaskKind::Windowed {
+                    threshold: 1.0,
+                    width: 0,
+                    aggregate: AggregateKind::Mean
+                }
+            )
+            .is_err());
+        assert!(service
+            .register(
+                TaskId(3),
+                config(),
+                TaskKind::Conditional {
+                    condition: Condition::Outside {
+                        low: 5.0,
+                        high: 1.0
+                    }
+                }
+            )
+            .is_err());
+        assert!(service.is_empty());
+    }
+
+    #[test]
+    fn unknown_task_observation_errors() {
+        let mut service = MonitoringService::new();
+        assert!(service.observe(TaskId(9), 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_tasks_alert_correctly() {
+        let mut service = MonitoringService::new();
+        service
+            .register(TaskId(1), config(), TaskKind::Above { threshold: 100.0 })
+            .unwrap();
+        service
+            .register(
+                TaskId(2),
+                config(),
+                TaskKind::Conditional {
+                    condition: Condition::Below(10.0),
+                },
+            )
+            .unwrap();
+        service
+            .register(
+                TaskId(3),
+                config(),
+                TaskKind::Windowed {
+                    threshold: 50.0,
+                    width: 4,
+                    aggregate: AggregateKind::Mean,
+                },
+            )
+            .unwrap();
+        // Above: fires on 150.
+        assert!(service.observe(TaskId(1), 0, 150.0).unwrap().is_some());
+        // Below: fires on 5.
+        assert!(service.observe(TaskId(2), 0, 5.0).unwrap().is_some());
+        // Windowed mean over 4 ticks: one hot value among three cool ones
+        // averages 45 < 50 — no alert; a second hot value pushes the
+        // window mean to 80 and alerts.
+        for tick in 0..3u64 {
+            assert!(service.observe(TaskId(3), tick, 10.0).unwrap().is_none());
+        }
+        assert!(service.observe(TaskId(3), 3, 150.0).unwrap().is_none()); // mean 45
+        assert!(service.observe(TaskId(3), 4, 150.0).unwrap().is_some()); // mean 80
+        assert_eq!(service.task_stats(TaskId(1)), Some((1, 1)));
+        assert_eq!(service.task_stats(TaskId(3)), Some((5, 1)));
+    }
+
+    #[test]
+    fn due_respects_adaptive_schedules() {
+        let mut service = MonitoringService::new();
+        service
+            .register(TaskId(1), config(), TaskKind::Above { threshold: 1000.0 })
+            .unwrap();
+        let mut sampled = 0u64;
+        for tick in 0..200u64 {
+            for task in service.due(tick) {
+                service.observe(task, tick, 5.0).unwrap();
+                sampled += 1;
+            }
+        }
+        assert!(
+            sampled < 200,
+            "quiet task should skip ticks ({sampled}/200)"
+        );
+        assert_eq!(service.total_samples(), sampled);
+        assert!(service.cost_ratio() < 1.0);
+    }
+
+    #[test]
+    fn due_returns_tasks_in_id_order() {
+        let mut service = MonitoringService::new();
+        for id in [5u64, 1, 3] {
+            service
+                .register(TaskId(id), config(), TaskKind::Above { threshold: 10.0 })
+                .unwrap();
+        }
+        assert_eq!(service.due(0), vec![TaskId(1), TaskId(3), TaskId(5)]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_service_state() {
+        let mut service = MonitoringService::new();
+        service
+            .register(TaskId(1), config(), TaskKind::Above { threshold: 100.0 })
+            .unwrap();
+        for tick in 0..50u64 {
+            for task in service.due(tick) {
+                service.observe(task, tick, 5.0).unwrap();
+            }
+        }
+        let json = serde_json::to_string(&service).unwrap();
+        let mut restored: MonitoringService = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, service);
+        for tick in 50..80u64 {
+            let a: Vec<TaskId> = service.due(tick);
+            let b: Vec<TaskId> = restored.due(tick);
+            assert_eq!(a, b);
+            for task in a {
+                let x = service.observe(task, tick, 5.0).unwrap();
+                let y = restored.observe(task, tick, 5.0).unwrap();
+                assert_eq!(x, y);
+            }
+        }
+    }
+}

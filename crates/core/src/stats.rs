@@ -1,0 +1,550 @@
+//! Online statistics of inter-sample value changes (§III-B).
+//!
+//! The violation-likelihood bound of [`crate::likelihood`] needs the mean
+//! `μ` and standard deviation `σ` of `δ`, the change of the monitored value
+//! across one *default* sampling interval. The paper maintains both with an
+//! online updating scheme (attributed to Knuth / Welford) so that no history
+//! of samples has to be kept:
+//!
+//! ```text
+//! μ_n = μ_{n-1} + (δ - μ_{n-1}) / n
+//! σ²_n = ((n-1)·σ²_{n-1} + (δ - μ_n)(δ - μ_{n-1})) / n
+//! ```
+//!
+//! Two further details from the paper are implemented here:
+//!
+//! 1. **Coarse-interval updates.** When sampling with interval `I > 1`, the
+//!    per-default-interval change is estimated as
+//!    `δ̂ = (v(t) − v(t−I)) / I` and `δ̂` feeds the statistics
+//!    ([`DeltaTracker::record`]).
+//! 2. **Windowed restart.** To track drifting distributions, the statistics
+//!    are restarted (`n = 0`) once `n` exceeds a restart limit (1000 in the
+//!    paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Interval, Tick};
+
+/// Which δ-statistics estimator the adaptation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum StatsKind {
+    /// Equal-weight accumulation with a periodic restart (`n = 0` past
+    /// 1000 observations) — the paper's scheme (§III-B).
+    #[default]
+    WindowedRestart,
+    /// Exponentially-forgetting estimation (see [`EwmaStats`]): reacts
+    /// to drift continuously instead of in window-sized steps.
+    Ewma {
+        /// Forgetting factor `λ ∈ (0, 1]`.
+        lambda: f64,
+    },
+}
+
+/// Number of δ observations after which the paper restarts statistics
+/// accumulation (§III-B: "setting n = 0 when n > 1000").
+pub const DEFAULT_RESTART_AFTER: u32 = 1000;
+
+/// Online mean/variance accumulator using the paper's update equations.
+///
+/// The variance is the *population* variance (division by `n`), exactly as
+/// printed in §III-B. For `n == 0` the accumulator reports a mean of `0`
+/// and a variance of `0`; callers treat the bound produced from an empty
+/// accumulator as vacuous (see
+/// [`AdaptiveSampler`](crate::AdaptiveSampler), which never grows the
+/// interval until the statistics have warmed up).
+///
+/// ```
+/// use volley_core::OnlineStats;
+///
+/// let mut stats = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     stats.update(x);
+/// }
+/// assert_eq!(stats.mean(), 2.5);
+/// assert_eq!(stats.variance(), 1.25); // population variance
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u32,
+    mean: f64,
+    variance: f64,
+    restart_after: u32,
+    /// Number of restarts performed so far (diagnostic).
+    restarts: u32,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator with the paper's default restart window
+    /// of [`DEFAULT_RESTART_AFTER`] observations.
+    pub fn new() -> Self {
+        Self::with_restart_after(DEFAULT_RESTART_AFTER)
+    }
+
+    /// Creates an empty accumulator that restarts after `restart_after`
+    /// observations. A value of `u32::MAX` effectively disables restarts.
+    pub fn with_restart_after(restart_after: u32) -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            variance: 0.0,
+            restart_after: restart_after.max(2),
+            restarts: 0,
+        }
+    }
+
+    /// Incorporates one δ observation.
+    ///
+    /// Non-finite observations are ignored (they would poison the
+    /// statistics and thereby disable adaptation permanently).
+    pub fn update(&mut self, delta: f64) {
+        if !delta.is_finite() {
+            return;
+        }
+        if self.n >= self.restart_after {
+            // Paper: "periodically restarts the statistics updating by
+            // setting n = 0 when n > 1000". The running values are
+            // discarded so the next window reflects only fresh data.
+            self.n = 0;
+            self.mean = 0.0;
+            self.variance = 0.0;
+            self.restarts += 1;
+        }
+        self.n += 1;
+        let n = f64::from(self.n);
+        let prev_mean = self.mean;
+        self.mean = prev_mean + (delta - prev_mean) / n;
+        self.variance = ((n - 1.0) * self.variance + (delta - self.mean) * (delta - prev_mean)) / n;
+        // Guard against tiny negative values caused by floating-point
+        // cancellation; variance is non-negative by definition.
+        if self.variance < 0.0 {
+            self.variance = 0.0;
+        }
+    }
+
+    /// Current mean of δ (0 when no observation has been made).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current population variance of δ (0 when fewer than two
+    /// observations have been made).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Current population standard deviation of δ.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Number of observations in the current window.
+    pub fn count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of windowed restarts performed so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Whether enough observations have accumulated for the statistics to
+    /// be meaningful. The likelihood bound needs a variance estimate, so at
+    /// least two observations are required; callers may demand more.
+    pub fn is_warmed_up(&self) -> bool {
+        self.n >= 2
+    }
+
+    /// Discards all state, beginning a fresh window (counts as a restart).
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.variance = 0.0;
+        self.restarts += 1;
+    }
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats::new()
+    }
+}
+
+/// Exponentially-forgetting mean/variance — an alternative to the
+/// paper's windowed restart for tracking drifting δ distributions.
+///
+/// Where [`OnlineStats`] weights every observation in the current window
+/// equally and then discards the whole window, `EwmaStats` discounts the
+/// past continuously:
+///
+/// ```text
+/// μ ← (1−λ)·μ + λ·δ
+/// σ² ← (1−λ)·(σ² + λ·(δ−μ_old)²)
+/// ```
+///
+/// (the standard exponentially-weighted moving variance). Smaller `λ`
+/// remembers longer. The `ablation_stats` bench compares both estimators
+/// inside the running controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaStats {
+    lambda: f64,
+    mean: f64,
+    variance: f64,
+    n: u64,
+}
+
+impl EwmaStats {
+    /// Creates an accumulator with forgetting factor `λ ∈ (0, 1]`
+    /// (clamped into range; 1 means "only the latest observation").
+    pub fn new(lambda: f64) -> Self {
+        let lambda = if lambda.is_finite() {
+            lambda.clamp(1e-6, 1.0)
+        } else {
+            0.05
+        };
+        EwmaStats {
+            lambda,
+            mean: 0.0,
+            variance: 0.0,
+            n: 0,
+        }
+    }
+
+    /// The forgetting factor `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Incorporates one δ observation; non-finite values are ignored.
+    pub fn update(&mut self, delta: f64) {
+        if !delta.is_finite() {
+            return;
+        }
+        self.n += 1;
+        if self.n == 1 {
+            self.mean = delta;
+            self.variance = 0.0;
+            return;
+        }
+        let diff = delta - self.mean;
+        let incr = self.lambda * diff;
+        self.mean += incr;
+        self.variance = (1.0 - self.lambda) * (self.variance + diff * incr);
+        if self.variance < 0.0 {
+            self.variance = 0.0;
+        }
+    }
+
+    /// Current exponentially-weighted mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current exponentially-weighted variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Current exponentially-weighted standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Couples an [`OnlineStats`] accumulator with the previous sampled value
+/// so that coarse-interval samples update the per-default-interval δ
+/// statistics correctly.
+///
+/// ```
+/// use volley_core::{DeltaTracker, Interval};
+///
+/// let mut tracker = DeltaTracker::new();
+/// tracker.record(0, 10.0, Interval::DEFAULT);
+/// tracker.record(3, 16.0, Interval::new(3).unwrap()); // δ̂ = (16-10)/3 = 2
+/// assert_eq!(tracker.stats().mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaTracker {
+    stats: OnlineStats,
+    /// Optional exponentially-forgetting estimator; when present it is
+    /// the one the likelihood machinery reads (the windowed accumulator
+    /// keeps running alongside for diagnostics).
+    ewma: Option<EwmaStats>,
+    last: Option<(Tick, f64)>,
+}
+
+impl DeltaTracker {
+    /// Creates a tracker with the default restart window.
+    pub fn new() -> Self {
+        DeltaTracker {
+            stats: OnlineStats::new(),
+            ewma: None,
+            last: None,
+        }
+    }
+
+    /// Creates a tracker whose statistics restart after `restart_after`
+    /// observations.
+    pub fn with_restart_after(restart_after: u32) -> Self {
+        DeltaTracker {
+            stats: OnlineStats::with_restart_after(restart_after),
+            ewma: None,
+            last: None,
+        }
+    }
+
+    /// Creates a tracker whose *active* estimator is exponentially
+    /// forgetting with factor `lambda` (see [`EwmaStats`]).
+    pub fn with_ewma(lambda: f64) -> Self {
+        DeltaTracker {
+            stats: OnlineStats::new(),
+            ewma: Some(EwmaStats::new(lambda)),
+            last: None,
+        }
+    }
+
+    /// Mean of δ from the active estimator.
+    pub fn mean(&self) -> f64 {
+        match &self.ewma {
+            Some(e) => e.mean(),
+            None => self.stats.mean(),
+        }
+    }
+
+    /// Standard deviation of δ from the active estimator.
+    pub fn std_dev(&self) -> f64 {
+        match &self.ewma {
+            Some(e) => e.std_dev(),
+            None => self.stats.std_dev(),
+        }
+    }
+
+    /// Observation count of the active estimator (saturating to `u32`).
+    pub fn count(&self) -> u32 {
+        match &self.ewma {
+            Some(e) => e.count().min(u64::from(u32::MAX)) as u32,
+            None => self.stats.count(),
+        }
+    }
+
+    /// Records a sampled `value` observed at `tick`, where `interval` is
+    /// the sampling interval that *produced* this sample (the gap since the
+    /// previous sample).
+    ///
+    /// The per-default-interval delta estimate `δ̂ = Δv / interval` is fed
+    /// into the statistics. If `tick` does not advance past the previous
+    /// sample (e.g. a forced global-poll sample at the same tick), the
+    /// observation only replaces the cached value.
+    pub fn record(&mut self, tick: Tick, value: f64, interval: Interval) {
+        if let Some((last_tick, last_value)) = self.last {
+            if tick > last_tick {
+                // Prefer the actual elapsed gap when it is known from the
+                // tick axis; fall back to the declared interval.
+                let elapsed = (tick - last_tick) as f64;
+                let declared = f64::from(interval.get());
+                let gap = if elapsed > 0.0 { elapsed } else { declared };
+                let delta_hat = (value - last_value) / gap;
+                self.stats.update(delta_hat);
+                if let Some(e) = &mut self.ewma {
+                    e.update(delta_hat);
+                }
+            }
+        }
+        self.last = Some((tick, value));
+    }
+
+    /// The underlying statistics accumulator.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Most recent `(tick, value)` pair, if any sample has been recorded.
+    pub fn last_sample(&self) -> Option<(Tick, f64)> {
+        self.last
+    }
+
+    /// Clears both the statistics and the cached last sample.
+    pub fn reset(&mut self) {
+        self.stats.reset();
+        if let Some(e) = &mut self.ewma {
+            *e = EwmaStats::new(e.lambda());
+        }
+        self.last = None;
+    }
+}
+
+impl Default for DeltaTracker {
+    fn default() -> Self {
+        DeltaTracker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pass(data: &[f64]) -> (f64, f64) {
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_two_pass_mean_variance() {
+        let data = [3.0, -1.5, 2.25, 8.0, 0.0, -4.0, 7.5];
+        let mut stats = OnlineStats::new();
+        for &x in &data {
+            stats.update(x);
+        }
+        let (mean, var) = two_pass(&data);
+        assert!((stats.mean() - mean).abs() < 1e-12);
+        assert!((stats.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut stats = OnlineStats::new();
+        stats.update(42.0);
+        assert_eq!(stats.mean(), 42.0);
+        assert_eq!(stats.variance(), 0.0);
+        assert!(!stats.is_warmed_up());
+        stats.update(42.0);
+        assert!(stats.is_warmed_up());
+    }
+
+    #[test]
+    fn restart_discards_window() {
+        let mut stats = OnlineStats::with_restart_after(4);
+        for _ in 0..4 {
+            stats.update(100.0);
+        }
+        assert_eq!(stats.count(), 4);
+        stats.update(1.0); // triggers restart, then records 1.0
+        assert_eq!(stats.count(), 1);
+        assert_eq!(stats.mean(), 1.0);
+        assert_eq!(stats.restarts(), 1);
+    }
+
+    #[test]
+    fn restart_window_has_floor_of_two() {
+        let stats = OnlineStats::with_restart_after(0);
+        assert_eq!(stats.restart_after, 2);
+    }
+
+    #[test]
+    fn non_finite_observations_ignored() {
+        let mut stats = OnlineStats::new();
+        stats.update(1.0);
+        stats.update(f64::NAN);
+        stats.update(f64::INFINITY);
+        stats.update(3.0);
+        assert_eq!(stats.count(), 2);
+        assert_eq!(stats.mean(), 2.0);
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        let mut stats = OnlineStats::new();
+        // Values engineered for heavy cancellation.
+        for _ in 0..1000 {
+            stats.update(1e15);
+            stats.update(1e15 + 1.0);
+        }
+        assert!(stats.variance() >= 0.0);
+    }
+
+    #[test]
+    fn tracker_uses_elapsed_ticks_for_delta_hat() {
+        let mut t = DeltaTracker::new();
+        t.record(0, 0.0, Interval::DEFAULT);
+        t.record(4, 8.0, Interval::new(4).unwrap());
+        assert_eq!(t.stats().mean(), 2.0);
+        // A sample that does not advance time replaces the cache without
+        // polluting statistics.
+        t.record(4, 100.0, Interval::DEFAULT);
+        assert_eq!(t.stats().count(), 1);
+        t.record(5, 102.0, Interval::DEFAULT);
+        assert_eq!(t.stats().count(), 2);
+        assert_eq!(t.stats().mean(), 2.0); // (2 + 2) / 2
+    }
+
+    #[test]
+    fn tracker_reset_clears_cache() {
+        let mut t = DeltaTracker::new();
+        t.record(0, 1.0, Interval::DEFAULT);
+        t.reset();
+        assert_eq!(t.last_sample(), None);
+        t.record(10, 5.0, Interval::DEFAULT);
+        assert_eq!(t.stats().count(), 0); // first sample after reset seeds only
+    }
+
+    #[test]
+    fn default_constructors_agree() {
+        assert_eq!(OnlineStats::default(), OnlineStats::new());
+        assert_eq!(DeltaTracker::default().stats().count(), 0);
+    }
+
+    #[test]
+    fn ewma_tracks_stationary_mean_and_variance() {
+        let mut e = EwmaStats::new(0.05);
+        // Deterministic alternating stream: mean 5, variance 4.
+        for i in 0..20_000 {
+            e.update(if i % 2 == 0 { 3.0 } else { 7.0 });
+        }
+        assert!((e.mean() - 5.0).abs() < 0.3, "mean {}", e.mean());
+        assert!(
+            (e.variance() - 4.0).abs() < 0.5,
+            "variance {}",
+            e.variance()
+        );
+    }
+
+    #[test]
+    fn ewma_adapts_to_shifts_faster_than_windowed_restart() {
+        let mut ewma = EwmaStats::new(0.1);
+        let mut windowed = OnlineStats::with_restart_after(1000);
+        for _ in 0..900 {
+            ewma.update(0.0);
+            windowed.update(0.0);
+        }
+        // Regime shift: mean jumps to 10.
+        for _ in 0..50 {
+            ewma.update(10.0);
+            windowed.update(10.0);
+        }
+        assert!(
+            ewma.mean() > windowed.mean() * 2.0,
+            "ewma {} should outrun windowed {}",
+            ewma.mean(),
+            windowed.mean()
+        );
+    }
+
+    #[test]
+    fn ewma_edge_cases() {
+        let mut e = EwmaStats::new(f64::NAN); // falls back to default λ
+        assert!((e.lambda() - 0.05).abs() < 1e-12);
+        e.update(f64::INFINITY);
+        assert_eq!(e.count(), 0);
+        e.update(4.0);
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.variance(), 0.0);
+        let clamped = EwmaStats::new(7.0);
+        assert_eq!(clamped.lambda(), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = DeltaTracker::new();
+        t.record(0, 1.0, Interval::DEFAULT);
+        t.record(1, 2.0, Interval::DEFAULT);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DeltaTracker = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,279 @@
+//! Task and monitor specifications (§II).
+//!
+//! A *distributed state monitoring task* is described by: the global
+//! violation condition `Σ v_i > T`, the default sampling interval `I_d`
+//! (the finest interval the task ever needs, which also defines the
+//! accuracy baseline), the maximum interval `I_m`, the task-level error
+//! allowance `err`, and the set of monitors. [`TaskSpec`] captures exactly
+//! that; the executable counterpart is
+//! [`DistributedTask`](crate::DistributedTask).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::adaptation::AdaptationConfig;
+use crate::error::VolleyError;
+use crate::threshold::ThresholdSplit;
+
+/// Identifier of a monitoring task within a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+/// Identifier of a monitor (node) participating in a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MonitorId(pub u32);
+
+impl fmt::Display for MonitorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "monitor-{}", self.0)
+    }
+}
+
+/// Static description of one monitor within a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSpec {
+    /// Monitor identity (unique within the task).
+    pub id: MonitorId,
+    /// Local violation threshold `T_i` (see
+    /// [`ThresholdSplit`]).
+    pub local_threshold: f64,
+}
+
+/// Static description of a distributed state monitoring task.
+///
+/// Build with [`TaskSpec::builder`]:
+///
+/// ```
+/// use volley_core::task::TaskSpec;
+///
+/// # fn main() -> Result<(), volley_core::VolleyError> {
+/// let spec = TaskSpec::builder(800.0)
+///     .monitors(2)
+///     .error_allowance(0.01)
+///     .max_interval(16)
+///     .build()?;
+/// assert_eq!(spec.monitors().len(), 2);
+/// assert_eq!(spec.monitors()[0].local_threshold, 400.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    id: TaskId,
+    global_threshold: f64,
+    monitors: Vec<MonitorSpec>,
+    adaptation: AdaptationConfig,
+}
+
+impl TaskSpec {
+    /// Starts building a task with global condition `Σ v_i > global_threshold`.
+    pub fn builder(global_threshold: f64) -> TaskSpecBuilder {
+        TaskSpecBuilder {
+            id: TaskId(0),
+            global_threshold,
+            monitor_count: 1,
+            split: ThresholdSplit::Even,
+            weights: None,
+            adaptation: AdaptationConfig::builder(),
+        }
+    }
+
+    /// The task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The global violation threshold `T`.
+    pub fn global_threshold(&self) -> f64 {
+        self.global_threshold
+    }
+
+    /// The per-monitor specifications.
+    pub fn monitors(&self) -> &[MonitorSpec] {
+        &self.monitors
+    }
+
+    /// The monitor-level adaptation configuration shared by all monitors.
+    pub fn adaptation(&self) -> &AdaptationConfig {
+        &self.adaptation
+    }
+}
+
+/// Builder for [`TaskSpec`].
+#[derive(Debug, Clone)]
+pub struct TaskSpecBuilder {
+    id: TaskId,
+    global_threshold: f64,
+    monitor_count: usize,
+    split: ThresholdSplit,
+    weights: Option<Vec<f64>>,
+    adaptation: crate::adaptation::AdaptationConfigBuilder,
+}
+
+impl TaskSpecBuilder {
+    /// Sets the task identifier (default `TaskId(0)`).
+    pub fn id(mut self, id: TaskId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Sets the number of monitors (default 1).
+    pub fn monitors(mut self, count: usize) -> Self {
+        self.monitor_count = count;
+        self
+    }
+
+    /// Sets the local-threshold split strategy (default
+    /// [`ThresholdSplit::Even`]).
+    pub fn threshold_split(mut self, split: ThresholdSplit) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Supplies per-monitor weights for
+    /// [`ThresholdSplit::Proportional`]; also fixes the monitor count to
+    /// the weight count.
+    pub fn threshold_weights(mut self, weights: Vec<f64>) -> Self {
+        self.monitor_count = weights.len();
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Sets the task-level error allowance `err` (default 0.01).
+    pub fn error_allowance(mut self, err: f64) -> Self {
+        self.adaptation = self.adaptation.error_allowance(err);
+        self
+    }
+
+    /// Sets the maximum sampling interval `I_m` in default-interval units.
+    pub fn max_interval(mut self, ticks: u32) -> Self {
+        self.adaptation = self.adaptation.max_interval(ticks);
+        self
+    }
+
+    /// Sets the slack ratio `γ` (default 0.2).
+    pub fn slack_ratio(mut self, gamma: f64) -> Self {
+        self.adaptation = self.adaptation.slack_ratio(gamma);
+        self
+    }
+
+    /// Sets the patience `p` (default 20).
+    pub fn patience(mut self, p: u32) -> Self {
+        self.adaptation = self.adaptation.patience(p);
+        self
+    }
+
+    /// Sets the warm-up sample count before any interval growth.
+    pub fn warmup_samples(mut self, n: u32) -> Self {
+        self.adaptation = self.adaptation.warmup_samples(n);
+        self
+    }
+
+    /// Validates and assembles the task specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::EmptyTask`] for zero monitors, plus any
+    /// validation error from the adaptation configuration or threshold
+    /// split.
+    pub fn build(self) -> Result<TaskSpec, VolleyError> {
+        if self.monitor_count == 0 {
+            return Err(VolleyError::EmptyTask);
+        }
+        let adaptation = self.adaptation.build()?;
+        let weights = self
+            .weights
+            .unwrap_or_else(|| vec![1.0; self.monitor_count]);
+        let locals = self.split.split(self.global_threshold, &weights)?;
+        let monitors = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| MonitorSpec {
+                id: MonitorId(i as u32),
+                local_threshold: t,
+            })
+            .collect();
+        Ok(TaskSpec {
+            id: self.id,
+            global_threshold: self.global_threshold,
+            monitors,
+            adaptation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_even_local_thresholds() {
+        let spec = TaskSpec::builder(800.0).monitors(4).build().unwrap();
+        for m in spec.monitors() {
+            assert_eq!(m.local_threshold, 200.0);
+        }
+        let sum: f64 = spec.monitors().iter().map(|m| m.local_threshold).sum();
+        assert_eq!(sum, spec.global_threshold());
+    }
+
+    #[test]
+    fn proportional_weights_respected() {
+        let spec = TaskSpec::builder(100.0)
+            .threshold_split(ThresholdSplit::Proportional)
+            .threshold_weights(vec![3.0, 1.0])
+            .build()
+            .unwrap();
+        assert_eq!(spec.monitors()[0].local_threshold, 75.0);
+        assert_eq!(spec.monitors()[1].local_threshold, 25.0);
+    }
+
+    #[test]
+    fn zero_monitors_rejected() {
+        assert!(matches!(
+            TaskSpec::builder(1.0).monitors(0).build(),
+            Err(VolleyError::EmptyTask)
+        ));
+    }
+
+    #[test]
+    fn adaptation_params_flow_through() {
+        let spec = TaskSpec::builder(10.0)
+            .error_allowance(0.05)
+            .max_interval(7)
+            .slack_ratio(0.3)
+            .patience(9)
+            .build()
+            .unwrap();
+        assert_eq!(spec.adaptation().error_allowance(), 0.05);
+        assert_eq!(spec.adaptation().max_interval().get(), 7);
+        assert_eq!(spec.adaptation().slack_ratio(), 0.3);
+        assert_eq!(spec.adaptation().patience(), 9);
+    }
+
+    #[test]
+    fn invalid_adaptation_params_bubble_up() {
+        assert!(TaskSpec::builder(10.0)
+            .error_allowance(2.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(TaskId(3).to_string(), "task-3");
+        assert_eq!(MonitorId(8).to_string(), "monitor-8");
+    }
+
+    #[test]
+    fn monitor_ids_are_sequential() {
+        let spec = TaskSpec::builder(10.0).monitors(3).build().unwrap();
+        let ids: Vec<u32> = spec.monitors().iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Threshold selection and decomposition.
+//!
+//! Two threshold mechanisms from the paper live here:
+//!
+//! 1. **Selectivity-based global thresholds (§V-A).** The evaluation
+//!    datasets carry no violation labels, so the paper sets a task's
+//!    threshold to the `(100 − k)`-th percentile of the monitored metric:
+//!    a selectivity of `k` percent means `k`% of the values trigger state
+//!    alerts. [`selectivity_threshold`] implements that rule.
+//! 2. **Local-threshold decomposition (§II-A).** A distributed task with
+//!    global condition `Σ v_i > T` is split into local conditions
+//!    `v_i > T_i` with `Σ T_i = T`, so that no communication is needed
+//!    while every local value stays below its local threshold.
+//!    [`ThresholdSplit`] provides the even split used in the paper's
+//!    example plus a proportional variant for skewed monitors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VolleyError;
+
+/// Computes the `(100 − k)`-th percentile threshold for selectivity `k`
+/// (in percent) over the observed `values` (§V-A).
+///
+/// Uses linear interpolation between order statistics (the same convention
+/// as numpy's default / R type-7), which is well-defined for any
+/// `k ∈ [0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`VolleyError::InvalidConfig`] when `values` is empty, when `k`
+/// is outside `[0, 100]`, or when any value is non-finite.
+///
+/// ```
+/// use volley_core::selectivity_threshold;
+///
+/// # fn main() -> Result<(), volley_core::VolleyError> {
+/// let values: Vec<f64> = (1..=100).map(f64::from).collect();
+/// // k = 1% selectivity → 99th percentile.
+/// let t = selectivity_threshold(&values, 1.0)?;
+/// assert!((t - 99.01).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+pub fn selectivity_threshold(values: &[f64], selectivity_percent: f64) -> Result<f64, VolleyError> {
+    if values.is_empty() {
+        return Err(VolleyError::invalid(
+            "values",
+            "cannot compute a percentile of an empty slice",
+        ));
+    }
+    if !selectivity_percent.is_finite() || !(0.0..=100.0).contains(&selectivity_percent) {
+        return Err(VolleyError::invalid(
+            "selectivity_percent",
+            "must lie in [0, 100]",
+        ));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(VolleyError::NonFiniteValue {
+            parameter: "values",
+        });
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    Ok(percentile_sorted(&sorted, 100.0 - selectivity_percent))
+}
+
+/// Linear-interpolation percentile of an already-sorted slice
+/// (`p ∈ [0, 100]`).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty (callers validate).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Strategy for splitting a global threshold `T` into local thresholds
+/// `T_i` with `Σ T_i = T` (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ThresholdSplit {
+    /// `T_i = T / n` — the split used in the paper's running example
+    /// (`T = 800` over two monitors → `T_1 = T_2 = 400`).
+    Even,
+    /// `T_i ∝ w_i` for caller-supplied non-negative weights (e.g. observed
+    /// mean local values), so monitors with naturally higher values get
+    /// proportionally higher local thresholds and cause fewer spurious
+    /// local violations.
+    Proportional,
+}
+
+impl ThresholdSplit {
+    /// Computes the local thresholds for global threshold `global` over
+    /// `weights.len()` monitors.
+    ///
+    /// For [`ThresholdSplit::Even`] the weights' values are ignored (only
+    /// their count matters). For [`ThresholdSplit::Proportional`] the
+    /// weights must be non-negative with a positive sum; a zero-sum weight
+    /// vector falls back to the even split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::EmptyTask`] for an empty weight slice and
+    /// [`VolleyError::NonFiniteValue`] for non-finite weights or threshold.
+    pub fn split(self, global: f64, weights: &[f64]) -> Result<Vec<f64>, VolleyError> {
+        if weights.is_empty() {
+            return Err(VolleyError::EmptyTask);
+        }
+        if !global.is_finite() {
+            return Err(VolleyError::NonFiniteValue {
+                parameter: "global",
+            });
+        }
+        let n = weights.len() as f64;
+        match self {
+            ThresholdSplit::Even => Ok(vec![global / n; weights.len()]),
+            ThresholdSplit::Proportional => {
+                if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                    return Err(VolleyError::NonFiniteValue {
+                        parameter: "weights",
+                    });
+                }
+                let total: f64 = weights.iter().sum();
+                if total <= 0.0 {
+                    return ThresholdSplit::Even.split(global, weights);
+                }
+                Ok(weights.iter().map(|w| global * w / total).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_zero_is_max() {
+        let values = [3.0, 1.0, 2.0];
+        let t = selectivity_threshold(&values, 0.0).unwrap();
+        assert_eq!(t, 3.0);
+    }
+
+    #[test]
+    fn selectivity_hundred_is_min() {
+        let values = [3.0, 1.0, 2.0];
+        let t = selectivity_threshold(&values, 100.0).unwrap();
+        assert_eq!(t, 1.0);
+    }
+
+    #[test]
+    fn selectivity_fraction_of_exceedances_close_to_k() {
+        let values: Vec<f64> = (0..10_000).map(f64::from).collect();
+        for k in [0.5, 1.0, 5.0, 10.0] {
+            let t = selectivity_threshold(&values, k).unwrap();
+            let frac = values.iter().filter(|v| **v > t).count() as f64 / values.len() as f64;
+            assert!((frac - k / 100.0).abs() < 0.001, "k={k}: frac={frac}");
+        }
+    }
+
+    #[test]
+    fn selectivity_rejects_bad_inputs() {
+        assert!(selectivity_threshold(&[], 1.0).is_err());
+        assert!(selectivity_threshold(&[1.0], -1.0).is_err());
+        assert!(selectivity_threshold(&[1.0], 101.0).is_err());
+        assert!(selectivity_threshold(&[f64::NAN], 1.0).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0];
+        assert_eq!(percentile_sorted(&sorted, 50.0), 15.0);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 20.0);
+        assert_eq!(percentile_sorted(&[7.0], 33.0), 7.0);
+    }
+
+    #[test]
+    fn even_split_matches_paper_example() {
+        // §II-A: T = 800 over two monitors → 400 each.
+        let t = ThresholdSplit::Even.split(800.0, &[0.0, 0.0]).unwrap();
+        assert_eq!(t, vec![400.0, 400.0]);
+    }
+
+    #[test]
+    fn proportional_split_preserves_sum() {
+        let t = ThresholdSplit::Proportional
+            .split(900.0, &[1.0, 2.0, 6.0])
+            .unwrap();
+        assert_eq!(t, vec![100.0, 200.0, 600.0]);
+        let sum: f64 = t.iter().sum();
+        assert!((sum - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_zero_weights_fall_back_to_even() {
+        let t = ThresholdSplit::Proportional
+            .split(100.0, &[0.0, 0.0])
+            .unwrap();
+        assert_eq!(t, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn split_rejects_bad_inputs() {
+        assert!(ThresholdSplit::Even.split(1.0, &[]).is_err());
+        assert!(ThresholdSplit::Proportional.split(1.0, &[-1.0]).is_err());
+        assert!(ThresholdSplit::Even.split(f64::NAN, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! The coordinator actor: local-violation processing, global polls and
+//! error-allowance reallocation on its own thread.
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use volley_core::adaptation::PeriodReport;
+use volley_core::allocation::ErrorAllocator;
+use volley_core::time::Tick;
+
+use crate::failure::FailureInjector;
+use crate::message::{decode, encode, CoordinatorToMonitor, MonitorToCoordinator, TickSummary};
+
+/// The coordinator: evaluates the global condition on local-violation
+/// reports and periodically redistributes the error allowance (§IV).
+#[derive(Debug)]
+pub struct CoordinatorActor {
+    global_threshold: f64,
+    monitors: usize,
+    allocator: ErrorAllocator,
+    slack_ratio: f64,
+    update_period: u64,
+    next_update_tick: Tick,
+    adaptive_allocation: bool,
+    failure: FailureInjector,
+}
+
+impl CoordinatorActor {
+    /// Creates a coordinator for `monitors` monitors sharing
+    /// `global_threshold` and the allocator's global allowance.
+    ///
+    /// `adaptive_allocation` selects between the paper's `adapt` scheme
+    /// and the static `even` baseline; `slack_ratio` must match the
+    /// monitors' adaptation `γ`.
+    pub fn new(
+        global_threshold: f64,
+        monitors: usize,
+        allocator: ErrorAllocator,
+        slack_ratio: f64,
+        adaptive_allocation: bool,
+        failure: FailureInjector,
+    ) -> Self {
+        let update_period = allocator.config().update_period_ticks;
+        CoordinatorActor {
+            global_threshold,
+            monitors,
+            allocator,
+            slack_ratio,
+            update_period,
+            next_update_tick: update_period,
+            adaptive_allocation,
+            failure,
+        }
+    }
+
+    /// The global threshold.
+    pub fn global_threshold(&self) -> f64 {
+        self.global_threshold
+    }
+
+    /// Runs the coordinator loop until the monitor channel disconnects,
+    /// consuming the actor.
+    ///
+    /// `from_monitors` carries encoded [`MonitorToCoordinator`] frames;
+    /// `to_monitors[i]` is monitor *i*'s inbox; each tick's
+    /// [`TickSummary`] is emitted on `to_runner`.
+    pub fn run(
+        mut self,
+        from_monitors: Receiver<Bytes>,
+        to_monitors: Vec<Sender<Bytes>>,
+        to_runner: Sender<Bytes>,
+    ) {
+        debug_assert_eq!(to_monitors.len(), self.monitors);
+        'ticks: loop {
+            // Phase 1: collect one TickDone per monitor (lock-step).
+            let mut tick: Tick = 0;
+            let mut scheduled = 0u32;
+            let mut violations = 0u32;
+            let mut done = 0usize;
+            while done < self.monitors {
+                let Ok(frame) = from_monitors.recv() else {
+                    break 'ticks;
+                };
+                match decode::<MonitorToCoordinator>(&frame) {
+                    Ok(MonitorToCoordinator::TickDone {
+                        tick: t,
+                        sampled,
+                        violation,
+                        ..
+                    }) => {
+                        tick = t;
+                        done += 1;
+                        if sampled {
+                            scheduled += 1;
+                        }
+                        // The report path may be lossy: a dropped report
+                        // means the coordinator never learns of the local
+                        // violation.
+                        if violation && !self.failure.should_drop() {
+                            violations += 1;
+                        }
+                    }
+                    Ok(_) | Err(_) => continue,
+                }
+            }
+
+            // Phase 2: global poll on any surviving local violation.
+            let mut poll_samples = 0u32;
+            let mut polled = false;
+            let mut alerted = false;
+            if violations > 0 {
+                polled = true;
+                for tx in &to_monitors {
+                    if tx
+                        .send(encode(&CoordinatorToMonitor::Poll { tick }))
+                        .is_err()
+                    {
+                        break 'ticks;
+                    }
+                }
+                let mut aggregate = 0.0;
+                let mut replies = 0usize;
+                while replies < self.monitors {
+                    let Ok(frame) = from_monitors.recv() else {
+                        break 'ticks;
+                    };
+                    if let Ok(MonitorToCoordinator::PollReply {
+                        value,
+                        forced_sample,
+                        ..
+                    }) = decode::<MonitorToCoordinator>(&frame)
+                    {
+                        aggregate += value;
+                        replies += 1;
+                        if forced_sample {
+                            poll_samples += 1;
+                        }
+                    }
+                }
+                alerted = aggregate > self.global_threshold;
+            }
+
+            // Phase 3: periodic allowance reallocation.
+            if tick >= self.next_update_tick {
+                self.next_update_tick = tick + self.update_period;
+                if self.adaptive_allocation && self.monitors > 1 {
+                    self.reallocate(&from_monitors, &to_monitors);
+                }
+            }
+
+            let summary = TickSummary {
+                tick,
+                scheduled_samples: scheduled,
+                poll_samples,
+                local_violations: violations,
+                polled,
+                alerted,
+            };
+            if to_runner.send(encode(&summary)).is_err() {
+                break;
+            }
+        }
+    }
+
+    /// One §IV-B updating round: gather period reports, update the
+    /// allocator, push new allowances.
+    fn reallocate(&mut self, from_monitors: &Receiver<Bytes>, to_monitors: &[Sender<Bytes>]) {
+        for tx in to_monitors {
+            if tx
+                .send(encode(&CoordinatorToMonitor::RequestReport))
+                .is_err()
+            {
+                return;
+            }
+        }
+        let mut reports: Vec<Option<PeriodReport>> = vec![None; self.monitors];
+        let mut received = 0usize;
+        while received < self.monitors {
+            let Ok(frame) = from_monitors.recv() else {
+                return;
+            };
+            if let Ok(MonitorToCoordinator::Report { monitor, report }) =
+                decode::<MonitorToCoordinator>(&frame)
+            {
+                let idx = monitor.0 as usize;
+                if idx < self.monitors && reports[idx].is_none() {
+                    reports[idx] = Some(report);
+                    received += 1;
+                }
+            }
+        }
+        let reports: Vec<PeriodReport> = reports
+            .into_iter()
+            .map(|r| r.expect("all monitors reported"))
+            .collect();
+        if let Ok(decision) = self.allocator.update(&reports, self.slack_ratio) {
+            if decision.reallocated {
+                for (tx, &err) in to_monitors.iter().zip(decision.allowances.iter()) {
+                    let _ = tx.send(encode(&CoordinatorToMonitor::SetAllowance { err }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use volley_core::allocation::AllocationConfig;
+    use volley_core::task::MonitorId;
+
+    /// Drives a 1-monitor coordinator by hand: send TickDone frames,
+    /// receive summaries.
+    fn harness(
+        threshold: f64,
+    ) -> (
+        Sender<Bytes>,
+        Receiver<Bytes>,
+        Receiver<Bytes>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (mon_tx, mon_rx) = unbounded::<Bytes>();
+        let (to_mon_tx, to_mon_rx) = unbounded::<Bytes>();
+        let (runner_tx, runner_rx) = unbounded::<Bytes>();
+        let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 1).unwrap();
+        let coord = CoordinatorActor::new(
+            threshold,
+            1,
+            allocator,
+            0.2,
+            true,
+            FailureInjector::lossless(),
+        );
+        let handle = std::thread::spawn(move || coord.run(mon_rx, vec![to_mon_tx], runner_tx));
+        (mon_tx, to_mon_rx, runner_rx, handle)
+    }
+
+    #[test]
+    fn quiet_tick_produces_summary_without_poll() {
+        let (mon_tx, _to_mon, runner_rx, handle) = harness(100.0);
+        mon_tx
+            .send(encode(&MonitorToCoordinator::TickDone {
+                monitor: MonitorId(0),
+                tick: 0,
+                sampled: true,
+                violation: false,
+            }))
+            .unwrap();
+        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        assert_eq!(summary.tick, 0);
+        assert_eq!(summary.scheduled_samples, 1);
+        assert!(!summary.polled);
+        assert!(!summary.alerted);
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn violation_triggers_poll_and_alert() {
+        let (mon_tx, to_mon, runner_rx, handle) = harness(100.0);
+        mon_tx
+            .send(encode(&MonitorToCoordinator::TickDone {
+                monitor: MonitorId(0),
+                tick: 3,
+                sampled: true,
+                violation: true,
+            }))
+            .unwrap();
+        // Coordinator must ask for a poll.
+        let poll: CoordinatorToMonitor = decode(&to_mon.recv().unwrap()).unwrap();
+        assert!(matches!(poll, CoordinatorToMonitor::Poll { tick: 3 }));
+        // Reply above the threshold.
+        mon_tx
+            .send(encode(&MonitorToCoordinator::PollReply {
+                monitor: MonitorId(0),
+                tick: 3,
+                value: 250.0,
+                forced_sample: false,
+            }))
+            .unwrap();
+        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        assert!(summary.polled);
+        assert!(summary.alerted);
+        assert_eq!(summary.local_violations, 1);
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn poll_below_threshold_does_not_alert() {
+        let (mon_tx, to_mon, runner_rx, handle) = harness(100.0);
+        mon_tx
+            .send(encode(&MonitorToCoordinator::TickDone {
+                monitor: MonitorId(0),
+                tick: 0,
+                sampled: true,
+                violation: true,
+            }))
+            .unwrap();
+        let _: CoordinatorToMonitor = decode(&to_mon.recv().unwrap()).unwrap();
+        mon_tx
+            .send(encode(&MonitorToCoordinator::PollReply {
+                monitor: MonitorId(0),
+                tick: 0,
+                value: 50.0,
+                forced_sample: true,
+            }))
+            .unwrap();
+        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        assert!(summary.polled);
+        assert!(!summary.alerted);
+        assert_eq!(summary.poll_samples, 1);
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_reports_suppress_polls() {
+        let (mon_tx, mon_rx) = unbounded::<Bytes>();
+        let (to_mon_tx, to_mon_rx) = unbounded::<Bytes>();
+        let (runner_tx, runner_rx) = unbounded::<Bytes>();
+        let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 1).unwrap();
+        let coord = CoordinatorActor::new(
+            100.0,
+            1,
+            allocator,
+            0.2,
+            true,
+            FailureInjector::new(1.0, 1), // drop every report
+        );
+        let handle = std::thread::spawn(move || coord.run(mon_rx, vec![to_mon_tx], runner_tx));
+        mon_tx
+            .send(encode(&MonitorToCoordinator::TickDone {
+                monitor: MonitorId(0),
+                tick: 0,
+                sampled: true,
+                violation: true,
+            }))
+            .unwrap();
+        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        assert!(!summary.polled, "dropped report must suppress the poll");
+        assert_eq!(summary.local_violations, 0);
+        assert!(to_mon_rx.try_recv().is_err());
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_terminates_coordinator() {
+        let (mon_tx, _to_mon, _runner_rx, handle) = harness(10.0);
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+}

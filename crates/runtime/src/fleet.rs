@@ -1,0 +1,203 @@
+//! Running many monitoring tasks concurrently.
+//!
+//! A datacenter runs "a large number of monitoring tasks" (§I) at once;
+//! [`FleetRunner`] executes a batch of independent distributed tasks in
+//! parallel — each with its own monitor threads and coordinator — and
+//! collects their reports in submission order. Tasks are isolated: a
+//! task's channels, failure injection and allowance budget never touch
+//! another's.
+
+use volley_core::coordinator::CoordinationScheme;
+use volley_core::task::TaskSpec;
+use volley_core::VolleyError;
+
+use crate::failure::FailureInjector;
+use crate::runner::{RuntimeReport, TaskRunner};
+
+/// One task submission for a fleet run.
+#[derive(Debug)]
+pub struct FleetTask {
+    /// The task specification.
+    pub spec: TaskSpec,
+    /// Per-monitor ground-truth traces (`traces[i][t]`).
+    pub traces: Vec<Vec<f64>>,
+    /// Allowance-allocation scheme.
+    pub scheme: CoordinationScheme,
+    /// Violation-report loss injection.
+    pub failure: FailureInjector,
+}
+
+impl FleetTask {
+    /// Creates a submission with the default (adaptive) scheme and a
+    /// lossless report path.
+    pub fn new(spec: TaskSpec, traces: Vec<Vec<f64>>) -> Self {
+        FleetTask {
+            spec,
+            traces,
+            scheme: CoordinationScheme::Adaptive,
+            failure: FailureInjector::lossless(),
+        }
+    }
+}
+
+/// Aggregate statistics over a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetSummary {
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Total sampling operations across all tasks.
+    pub total_samples: u64,
+    /// Baseline (periodic) sampling operations across all tasks.
+    pub baseline_samples: u64,
+    /// Total alerts raised.
+    pub alerts: u64,
+    /// Total global polls.
+    pub polls: u64,
+}
+
+impl FleetSummary {
+    /// Fleet-wide sampling-cost ratio versus periodic.
+    pub fn cost_ratio(&self) -> f64 {
+        if self.baseline_samples == 0 {
+            1.0
+        } else {
+            self.total_samples as f64 / self.baseline_samples as f64
+        }
+    }
+}
+
+/// Executes batches of independent monitoring tasks in parallel.
+#[derive(Debug, Default)]
+pub struct FleetRunner {
+    _private: (),
+}
+
+impl FleetRunner {
+    /// Creates a fleet runner.
+    pub fn new() -> Self {
+        FleetRunner::default()
+    }
+
+    /// Runs all submissions concurrently (one thread group per task) and
+    /// returns their reports in submission order plus a fleet summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first task error encountered (tasks that already
+    /// completed are discarded — submissions are expected to be
+    /// pre-validated via [`TaskSpec`] construction).
+    pub fn run(
+        &self,
+        tasks: Vec<FleetTask>,
+    ) -> Result<(Vec<RuntimeReport>, FleetSummary), VolleyError> {
+        let mut results: Vec<Option<Result<RuntimeReport, VolleyError>>> =
+            (0..tasks.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for task in &tasks {
+                handles.push(scope.spawn(move || {
+                    TaskRunner::new(&task.spec)?
+                        .with_scheme(task.scheme)
+                        .with_failure(task.failure.clone())
+                        .run(&task.traces)
+                }));
+            }
+            for (slot, handle) in results.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("task thread exits cleanly"));
+            }
+        });
+        let mut reports = Vec::with_capacity(tasks.len());
+        let mut summary = FleetSummary::default();
+        for (result, task) in results.into_iter().zip(&tasks) {
+            let report = result.expect("every slot filled")?;
+            summary.tasks += 1;
+            summary.total_samples += report.total_samples;
+            summary.baseline_samples += report.ticks * task.spec.monitors().len() as u64;
+            summary.alerts += report.alerts;
+            summary.polls += report.polls;
+            reports.push(report);
+        }
+        Ok((reports, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(monitors: usize, threshold: f64) -> TaskSpec {
+        TaskSpec::builder(threshold)
+            .monitors(monitors)
+            .error_allowance(0.02)
+            .max_interval(8)
+            .patience(3)
+            .warmup_samples(3)
+            .build()
+            .unwrap()
+    }
+
+    fn quiet_traces(monitors: usize, ticks: usize, base: f64) -> Vec<Vec<f64>> {
+        (0..monitors)
+            .map(|m| vec![base + m as f64; ticks])
+            .collect()
+    }
+
+    #[test]
+    fn empty_fleet_is_trivial() {
+        let (reports, summary) = FleetRunner::new().run(Vec::new()).unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(summary.tasks, 0);
+        assert_eq!(summary.cost_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fleet_matches_individual_runs() {
+        let make_tasks = || {
+            vec![
+                FleetTask::new(spec(2, 500.0), quiet_traces(2, 400, 5.0)),
+                FleetTask::new(spec(3, 900.0), quiet_traces(3, 400, 10.0)),
+                FleetTask::new(spec(1, 50.0), {
+                    let mut t = quiet_traces(1, 400, 5.0);
+                    // A sustained violation spanning more than the max
+                    // interval (8), so at least one sample must land on it.
+                    t[0][120..140].fill(75.0);
+                    t
+                }),
+            ]
+        };
+        let (fleet_reports, summary) = FleetRunner::new().run(make_tasks()).unwrap();
+        assert_eq!(fleet_reports.len(), 3);
+        assert_eq!(summary.tasks, 3);
+        // Individually-run tasks must produce identical reports.
+        for task in make_tasks() {
+            let solo = TaskRunner::new(&task.spec)
+                .unwrap()
+                .run(&task.traces)
+                .unwrap();
+            let matching = fleet_reports.contains(&solo);
+            assert!(matching, "no fleet report matches the solo run");
+        }
+        assert!(summary.alerts >= 1);
+        assert_eq!(summary.baseline_samples, (2 + 3 + 1) * 400);
+        assert!(summary.cost_ratio() < 1.0);
+    }
+
+    #[test]
+    fn fleet_propagates_task_errors() {
+        // A task whose trace count mismatches its monitor count fails.
+        let bad = FleetTask::new(spec(2, 100.0), quiet_traces(1, 50, 1.0));
+        let err = FleetRunner::new().run(vec![bad]).unwrap_err();
+        assert!(matches!(err, VolleyError::ValueCountMismatch { .. }));
+    }
+
+    #[test]
+    fn large_fleet_completes() {
+        let tasks: Vec<FleetTask> = (0..12)
+            .map(|i| FleetTask::new(spec(2, 1000.0 + i as f64), quiet_traces(2, 200, 1.0)))
+            .collect();
+        let (reports, summary) = FleetRunner::new().run(tasks).unwrap();
+        assert_eq!(reports.len(), 12);
+        assert_eq!(summary.tasks, 12);
+        assert_eq!(summary.alerts, 0);
+    }
+}

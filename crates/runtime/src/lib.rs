@@ -1,0 +1,67 @@
+//! # volley-runtime
+//!
+//! A message-passing implementation of Volley's distributed prototype
+//! (§V-A): **agents** supply monitoring data, **monitors** run the
+//! violation-likelihood adaptation locally and report local violations,
+//! and a **coordinator** processes those reports, runs global polls, and
+//! periodically reallocates the task-level error allowance.
+//!
+//! Unlike [`volley_core::DistributedTask`] — a single-threaded,
+//! step-driven reference implementation — this crate actually runs every
+//! monitor and the coordinator on its own OS thread, communicating
+//! exclusively through channels, exactly as the components would across
+//! machines. A [`TaskRunner`] drives simulated time in lock-step (the
+//! stand-in for the paper's NTP-synchronized wall clocks) and feeds each
+//! monitor its agent's ground-truth values.
+//!
+//! The protocol per tick:
+//!
+//! 1. the runner sends [`TickData`](message::TickData) to every monitor;
+//! 2. each monitor decides locally whether its sampling schedule fires,
+//!    runs adaptation if so, and reports a
+//!    [`message::MonitorToCoordinator::TickDone`] (with any
+//!    local violation) to the coordinator;
+//! 3. on any local violation the coordinator issues a *global poll*: every
+//!    monitor returns its current value
+//!    ([`message::MonitorToCoordinator::PollReply`]), paying a
+//!    forced sampling operation if it had not sampled this tick;
+//! 4. the coordinator checks `Σ v_i > T`, emits the tick summary back to
+//!    the runner, and — every updating period — collects period reports
+//!    and reallocates error allowance (§IV-B).
+//!
+//! Message loss on the violation-report path can be injected with
+//! [`failure::FailureInjector`] to study the accuracy
+//! impact of an unreliable network.
+//!
+//! ```
+//! use volley_core::task::TaskSpec;
+//! use volley_runtime::TaskRunner;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = TaskSpec::builder(100.0).monitors(2).error_allowance(0.02).build()?;
+//! // Two quiet value streams; 500 ticks.
+//! let traces = vec![vec![10.0; 500], vec![20.0; 500]];
+//! let report = TaskRunner::new(&spec)?.run(&traces)?;
+//! assert_eq!(report.alerts, 0);
+//! assert!(report.total_samples < 1000); // adaptation saved cost
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coordinator;
+pub mod failure;
+pub mod fleet;
+pub mod message;
+pub mod monitor;
+pub mod runner;
+pub mod transport;
+
+pub use coordinator::CoordinatorActor;
+pub use failure::FailureInjector;
+pub use fleet::{FleetRunner, FleetSummary, FleetTask};
+pub use monitor::MonitorActor;
+pub use runner::{RuntimeReport, TaskRunner};

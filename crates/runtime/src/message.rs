@@ -1,0 +1,197 @@
+//! Wire messages of the monitor/coordinator protocol.
+//!
+//! Every message is `Serialize`/`Deserialize` and framed losslessly by
+//! [`encode`]/[`decode`], so the in-process channel transport could be
+//! swapped for a socket without touching the actors. The encoding is
+//! line-delimited JSON over a [`bytes::Bytes`] buffer — chosen for
+//! debuggability (the paper's prototype likewise shipped human-readable
+//! reports between bash-driven monitors and coordinators).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use volley_core::adaptation::PeriodReport;
+use volley_core::task::MonitorId;
+use volley_core::time::Tick;
+
+/// Data an agent hands its monitor for one tick: the ground-truth value
+/// of the monitored variable.
+///
+/// The monitor only *looks at* the value when its sampling schedule (or a
+/// global poll) says so — delivering it every tick models the fact that
+/// the agent-side state exists whether or not anyone pays to sample it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickData {
+    /// The tick being processed.
+    pub tick: Tick,
+    /// Ground-truth value of the monitored variable at this tick.
+    pub value: f64,
+}
+
+/// Messages from a monitor to its coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MonitorToCoordinator {
+    /// End-of-tick report: whether this monitor sampled, and whether the
+    /// sampled value violated the local threshold.
+    TickDone {
+        /// Reporting monitor.
+        monitor: MonitorId,
+        /// The tick this report concludes.
+        tick: Tick,
+        /// Whether the monitor performed a scheduled sampling operation.
+        sampled: bool,
+        /// Whether a sampled value exceeded the local threshold. Always
+        /// `false` when `sampled` is `false`.
+        violation: bool,
+    },
+    /// Response to a global poll: the monitor's current value.
+    PollReply {
+        /// Replying monitor.
+        monitor: MonitorId,
+        /// The polled tick.
+        tick: Tick,
+        /// The monitor's current value (freshly sampled if necessary).
+        value: f64,
+        /// Whether answering required a forced sampling operation.
+        forced_sample: bool,
+    },
+    /// Per-updating-period averages for allowance reallocation (§IV-B).
+    Report {
+        /// Reporting monitor.
+        monitor: MonitorId,
+        /// The period aggregates.
+        report: PeriodReport,
+    },
+}
+
+/// Messages from the coordinator (or runner) to a monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoordinatorToMonitor {
+    /// Process one tick of agent data.
+    Tick(TickData),
+    /// Answer a global poll for `tick`.
+    Poll {
+        /// The tick to report the current value for.
+        tick: Tick,
+    },
+    /// Drain and send the updating-period report.
+    RequestReport,
+    /// Adopt a new error allowance.
+    SetAllowance {
+        /// The new allowance for this monitor.
+        err: f64,
+    },
+    /// Terminate the monitor thread.
+    Shutdown,
+}
+
+/// Per-tick summary the coordinator returns to the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickSummary {
+    /// The concluded tick.
+    pub tick: Tick,
+    /// Scheduled sampling operations this tick.
+    pub scheduled_samples: u32,
+    /// Forced (poll-induced) sampling operations this tick.
+    pub poll_samples: u32,
+    /// Local violations reported (post message-loss).
+    pub local_violations: u32,
+    /// Whether a global poll ran.
+    pub polled: bool,
+    /// Whether the poll found `Σ v_i > T`.
+    pub alerted: bool,
+}
+
+/// Encodes a message as one JSON line in a [`Bytes`] buffer.
+///
+/// # Panics
+///
+/// Never panics for the message types of this module (they contain no
+/// non-serializable values).
+pub fn encode<M: Serialize>(message: &M) -> Bytes {
+    let mut buf = serde_json::to_vec(message).expect("protocol messages serialize");
+    buf.push(b'\n');
+    Bytes::from(buf)
+}
+
+/// Decodes a message produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a JSON error for malformed frames.
+pub fn decode<M: for<'de> Deserialize<'de>>(frame: &Bytes) -> Result<M, serde_json::Error> {
+    serde_json::from_slice(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volley_core::Interval;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let msg = MonitorToCoordinator::TickDone {
+            monitor: MonitorId(3),
+            tick: 99,
+            sampled: true,
+            violation: true,
+        };
+        let frame = encode(&msg);
+        assert_eq!(frame.last(), Some(&b'\n'));
+        let back: MonitorToCoordinator = decode(&frame).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn poll_reply_round_trip() {
+        let msg = MonitorToCoordinator::PollReply {
+            monitor: MonitorId(0),
+            tick: 5,
+            value: 1.25,
+            forced_sample: false,
+        };
+        let back: MonitorToCoordinator = decode(&encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let msg = MonitorToCoordinator::Report {
+            monitor: MonitorId(7),
+            report: PeriodReport {
+                observations: 10,
+                avg_beta_current: 0.01,
+                avg_beta_grown: 0.02,
+                avg_potential_reduction: 0.5,
+                interval: Interval::new_clamped(3),
+                at_max_interval: false,
+                cost_curve: vec![1.0, 0.8, 0.5, 0.4, 0.3, 0.25, 0.2, 0.15],
+            },
+        };
+        let back: MonitorToCoordinator = decode(&encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn coordinator_messages_round_trip() {
+        for msg in [
+            CoordinatorToMonitor::Tick(TickData {
+                tick: 1,
+                value: 2.0,
+            }),
+            CoordinatorToMonitor::Poll { tick: 1 },
+            CoordinatorToMonitor::RequestReport,
+            CoordinatorToMonitor::SetAllowance { err: 0.004 },
+            CoordinatorToMonitor::Shutdown,
+        ] {
+            let back: CoordinatorToMonitor = decode(&encode(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let garbage = Bytes::from_static(b"not json\n");
+        assert!(decode::<TickSummary>(&garbage).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! The monitor actor: local adaptive sampling on its own thread.
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use volley_core::task::MonitorId;
+use volley_core::AdaptiveSampler;
+
+use crate::message::{decode, encode, CoordinatorToMonitor, MonitorToCoordinator, TickData};
+
+/// A monitor: owns one [`AdaptiveSampler`] and serves the coordinator
+/// protocol over byte-framed channels.
+///
+/// The actor is transport-agnostic: it speaks [`Bytes`] frames produced by
+/// [`encode`], so the crossbeam channels used here
+/// could be replaced by sockets without changing the actor.
+#[derive(Debug)]
+pub struct MonitorActor {
+    id: MonitorId,
+    sampler: AdaptiveSampler,
+    next_sample_tick: u64,
+    /// The agent's most recent tick data (what a global poll returns).
+    current: Option<TickData>,
+    /// Whether the current tick's schedule already sampled.
+    sampled_this_tick: bool,
+}
+
+impl MonitorActor {
+    /// Creates a monitor actor around a configured sampler.
+    pub fn new(id: MonitorId, sampler: AdaptiveSampler) -> Self {
+        MonitorActor {
+            id,
+            sampler,
+            next_sample_tick: 0,
+            current: None,
+            sampled_this_tick: false,
+        }
+    }
+
+    /// The monitor's identity.
+    pub fn id(&self) -> MonitorId {
+        self.id
+    }
+
+    /// Read access to the underlying sampler (diagnostics/tests).
+    pub fn sampler(&self) -> &AdaptiveSampler {
+        &self.sampler
+    }
+
+    /// Handles one decoded protocol message, returning any reply and
+    /// whether the actor should terminate.
+    ///
+    /// Exposed so unit tests (and alternative transports) can drive the
+    /// actor without threads.
+    pub fn handle(&mut self, msg: CoordinatorToMonitor) -> (Option<MonitorToCoordinator>, bool) {
+        match msg {
+            CoordinatorToMonitor::Tick(data) => {
+                self.current = Some(data);
+                self.sampled_this_tick = false;
+                let mut violation = false;
+                let mut sampled = false;
+                if data.tick >= self.next_sample_tick {
+                    let obs = self.sampler.observe(data.tick, data.value);
+                    self.next_sample_tick = obs.next_sample_tick;
+                    violation = obs.violation;
+                    sampled = true;
+                    self.sampled_this_tick = true;
+                }
+                (
+                    Some(MonitorToCoordinator::TickDone {
+                        monitor: self.id,
+                        tick: data.tick,
+                        sampled,
+                        violation,
+                    }),
+                    false,
+                )
+            }
+            CoordinatorToMonitor::Poll { tick } => {
+                let data = self.current.unwrap_or(TickData { tick, value: 0.0 });
+                let forced = !self.sampled_this_tick;
+                if forced {
+                    self.sampler.observe_forced(data.tick, data.value);
+                    // A poll response counts as this tick's sample; a
+                    // second poll in the same tick must not double-charge.
+                    self.sampled_this_tick = true;
+                }
+                (
+                    Some(MonitorToCoordinator::PollReply {
+                        monitor: self.id,
+                        tick: data.tick,
+                        value: data.value,
+                        forced_sample: forced,
+                    }),
+                    false,
+                )
+            }
+            CoordinatorToMonitor::RequestReport => (
+                Some(MonitorToCoordinator::Report {
+                    monitor: self.id,
+                    report: self.sampler.drain_period_report(),
+                }),
+                false,
+            ),
+            CoordinatorToMonitor::SetAllowance { err } => {
+                self.sampler.set_error_allowance(err);
+                (None, false)
+            }
+            CoordinatorToMonitor::Shutdown => (None, true),
+        }
+    }
+
+    /// Runs the actor loop until shutdown or channel disconnection,
+    /// consuming the actor.
+    pub fn run(mut self, inbox: Receiver<Bytes>, outbox: Sender<MonitorToCoordinatorFrame>) {
+        while let Ok(frame) = inbox.recv() {
+            let msg: CoordinatorToMonitor = match decode(&frame) {
+                Ok(m) => m,
+                Err(_) => continue, // drop malformed frames, as a socket server would
+            };
+            let (reply, terminate) = self.handle(msg);
+            if let Some(reply) = reply {
+                if outbox.send(encode(&reply)).is_err() {
+                    break; // coordinator gone
+                }
+            }
+            if terminate {
+                break;
+            }
+        }
+    }
+}
+
+/// Frames flowing monitor → coordinator (encoded
+/// [`MonitorToCoordinator`]).
+pub type MonitorToCoordinatorFrame = Bytes;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volley_core::AdaptationConfig;
+
+    fn actor(threshold: f64) -> MonitorActor {
+        let cfg = AdaptationConfig::builder()
+            .error_allowance(0.05)
+            .patience(2)
+            .warmup_samples(2)
+            .max_interval(4)
+            .build()
+            .unwrap();
+        MonitorActor::new(MonitorId(0), AdaptiveSampler::new(cfg, threshold))
+    }
+
+    #[test]
+    fn tick_produces_done_with_violation_flag() {
+        let mut a = actor(5.0);
+        let (reply, stop) = a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: 0,
+            value: 9.0,
+        }));
+        assert!(!stop);
+        match reply.unwrap() {
+            MonitorToCoordinator::TickDone {
+                sampled,
+                violation,
+                tick,
+                ..
+            } => {
+                assert!(sampled);
+                assert!(violation);
+                assert_eq!(tick, 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skipped_ticks_report_unsampled() {
+        let mut a = actor(100.0);
+        // Warm up until the interval grows past 1.
+        let mut tick = 0u64;
+        loop {
+            a.handle(CoordinatorToMonitor::Tick(TickData { tick, value: 1.0 }));
+            if a.sampler().interval().get() > 1 {
+                break;
+            }
+            tick += 1;
+            assert!(tick < 1000, "interval should grow");
+        }
+        // The next tick falls inside the grown interval: not sampled.
+        let (reply, _) = a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: tick + 1,
+            value: 1.0,
+        }));
+        match reply.unwrap() {
+            MonitorToCoordinator::TickDone {
+                sampled, violation, ..
+            } => {
+                assert!(!sampled);
+                assert!(!violation);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_returns_current_value_and_forces_sample_once() {
+        let mut a = actor(100.0);
+        // Drive ticks until one falls inside a grown interval (unsampled).
+        let mut tick = 0u64;
+        loop {
+            let (reply, _) = a.handle(CoordinatorToMonitor::Tick(TickData { tick, value: 7.5 }));
+            match reply.unwrap() {
+                MonitorToCoordinator::TickDone { sampled: false, .. } => break,
+                MonitorToCoordinator::TickDone { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+            tick += 1;
+            assert!(tick < 1000, "interval should eventually grow");
+        }
+        let (reply, _) = a.handle(CoordinatorToMonitor::Poll { tick });
+        match reply.unwrap() {
+            MonitorToCoordinator::PollReply {
+                value,
+                forced_sample,
+                ..
+            } => {
+                assert_eq!(value, 7.5);
+                assert!(forced_sample);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // A second poll in the same tick is free.
+        let (reply, _) = a.handle(CoordinatorToMonitor::Poll { tick: 21 });
+        match reply.unwrap() {
+            MonitorToCoordinator::PollReply { forced_sample, .. } => assert!(!forced_sample),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_allowance_flows_to_sampler() {
+        let mut a = actor(10.0);
+        let (reply, stop) = a.handle(CoordinatorToMonitor::SetAllowance { err: 0.42 });
+        assert!(reply.is_none());
+        assert!(!stop);
+        assert_eq!(a.sampler().error_allowance(), 0.42);
+    }
+
+    #[test]
+    fn report_drains_period() {
+        let mut a = actor(10.0);
+        a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: 0,
+            value: 1.0,
+        }));
+        let (reply, _) = a.handle(CoordinatorToMonitor::RequestReport);
+        match reply.unwrap() {
+            MonitorToCoordinator::Report { report, .. } => assert_eq!(report.observations, 1),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_terminates() {
+        let mut a = actor(10.0);
+        let (reply, stop) = a.handle(CoordinatorToMonitor::Shutdown);
+        assert!(reply.is_none());
+        assert!(stop);
+    }
+
+    #[test]
+    fn threaded_actor_round_trip() {
+        let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
+        let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let handle = std::thread::spawn(move || actor(5.0).run(inbox, outbox));
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Tick(TickData {
+                tick: 0,
+                value: 9.0,
+            })))
+            .unwrap();
+        let frame = from_monitor.recv().unwrap();
+        let msg: MonitorToCoordinator = decode(&frame).unwrap();
+        assert!(matches!(
+            msg,
+            MonitorToCoordinator::TickDone {
+                violation: true,
+                ..
+            }
+        ));
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_frames_are_skipped() {
+        let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
+        let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let handle = std::thread::spawn(move || actor(5.0).run(inbox, outbox));
+        to_monitor.send(Bytes::from_static(b"garbage\n")).unwrap();
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Tick(TickData {
+                tick: 0,
+                value: 0.0,
+            })))
+            .unwrap();
+        let msg: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
+        assert!(matches!(
+            msg,
+            MonitorToCoordinator::TickDone {
+                violation: false,
+                ..
+            }
+        ));
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,195 @@
+//! Wire transport: the protocol over real sockets.
+//!
+//! The actors speak newline-delimited JSON frames
+//! ([`crate::message::encode`]); this module carries those frames
+//! over any `Read`/`Write` pair — in particular TCP — so a monitor can
+//! live in a different process or on a different machine from its
+//! coordinator, exactly as in the paper's deployment (monitors in each
+//! server's Dom0, a coordinator per five servers).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use bytes::Bytes;
+
+use crate::message::{decode, encode, CoordinatorToMonitor};
+use crate::monitor::MonitorActor;
+
+/// Writes one frame (already newline-terminated by
+/// [`crate::message::encode`]) to the wire.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Bytes) -> std::io::Result<()> {
+    writer.write_all(frame)?;
+    writer.flush()
+}
+
+/// Reads one newline-delimited frame from the wire; `Ok(None)` signals a
+/// clean end of stream.
+///
+/// # Errors
+///
+/// Propagates reader failures.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Bytes>> {
+    let mut buffer = Vec::new();
+    let read = reader.read_until(b'\n', &mut buffer)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    Ok(Some(Bytes::from(buffer)))
+}
+
+/// Serves one monitor over a TCP connection — reading coordinator
+/// frames, handling them with the actor, writing replies — until the
+/// peer closes the connection or sends `Shutdown`. Malformed frames are
+/// skipped, as a production server would.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn serve_monitor_tcp(mut actor: MonitorActor, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(frame) = read_frame(&mut reader)? {
+        let Ok(msg) = decode::<CoordinatorToMonitor>(&frame) else {
+            continue;
+        };
+        let (reply, terminate) = actor.handle(msg);
+        if let Some(reply) = reply {
+            write_frame(&mut writer, &encode(&reply))?;
+        }
+        if terminate {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    use volley_core::task::MonitorId;
+    use volley_core::{AdaptationConfig, AdaptiveSampler};
+
+    use crate::message::{MonitorToCoordinator, TickData};
+
+    fn actor(threshold: f64) -> MonitorActor {
+        let cfg = AdaptationConfig::builder()
+            .error_allowance(0.05)
+            .patience(2)
+            .warmup_samples(2)
+            .max_interval(4)
+            .build()
+            .unwrap();
+        MonitorActor::new(MonitorId(0), AdaptiveSampler::new(cfg, threshold))
+    }
+
+    #[test]
+    fn frame_round_trip_over_buffers() {
+        let frame = encode(&CoordinatorToMonitor::Poll { tick: 9 });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let back = read_frame(&mut reader).unwrap().expect("one frame");
+        assert_eq!(back, frame);
+        assert!(
+            read_frame(&mut reader).unwrap().is_none(),
+            "stream ends cleanly"
+        );
+    }
+
+    #[test]
+    fn monitor_serves_over_tcp_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            serve_monitor_tcp(actor(5.0), stream).expect("serve succeeds");
+        });
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+
+        // Tick with a violating value.
+        write_frame(
+            &mut writer,
+            &encode(&CoordinatorToMonitor::Tick(TickData {
+                tick: 0,
+                value: 9.0,
+            })),
+        )
+        .expect("send tick");
+        let frame = read_frame(&mut reader).expect("io").expect("reply");
+        let msg: MonitorToCoordinator = decode(&frame).expect("decodes");
+        assert!(matches!(
+            msg,
+            MonitorToCoordinator::TickDone {
+                violation: true,
+                sampled: true,
+                ..
+            }
+        ));
+
+        // Poll returns the current value.
+        write_frame(
+            &mut writer,
+            &encode(&CoordinatorToMonitor::Poll { tick: 0 }),
+        )
+        .expect("send poll");
+        let frame = read_frame(&mut reader).expect("io").expect("reply");
+        let msg: MonitorToCoordinator = decode(&frame).expect("decodes");
+        match msg {
+            MonitorToCoordinator::PollReply {
+                value,
+                forced_sample,
+                ..
+            } => {
+                assert_eq!(value, 9.0);
+                assert!(!forced_sample, "already sampled this tick");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        // Garbage is skipped without killing the connection.
+        write_frame(&mut writer, &Bytes::from_static(b"garbage\n")).expect("send garbage");
+        write_frame(
+            &mut writer,
+            &encode(&CoordinatorToMonitor::Tick(TickData {
+                tick: 1,
+                value: 1.0,
+            })),
+        )
+        .expect("send tick");
+        let frame = read_frame(&mut reader).expect("io").expect("reply");
+        let msg: MonitorToCoordinator = decode(&frame).expect("decodes");
+        assert!(matches!(
+            msg,
+            MonitorToCoordinator::TickDone {
+                violation: false,
+                ..
+            }
+        ));
+
+        // Shutdown terminates the server loop.
+        write_frame(&mut writer, &encode(&CoordinatorToMonitor::Shutdown)).expect("send shutdown");
+        server.join().expect("server thread exits");
+    }
+
+    #[test]
+    fn peer_disconnect_ends_service() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            serve_monitor_tcp(actor(5.0), stream).expect("serve tolerates disconnect");
+        });
+        let stream = TcpStream::connect(addr).expect("connect");
+        drop(stream); // immediate disconnect
+        server.join().expect("server exits cleanly");
+    }
+}

@@ -1,0 +1,190 @@
+//! The testbed topology (§V-A, Figure 4): physical servers, user VMs and
+//! the Dom0 monitors that watch them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+/// Identifier of a user VM (globally unique across servers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server-{}", self.0)
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// Static description of the datacenter testbed.
+///
+/// The paper's deployment is [`ClusterConfig::paper`]: 20 servers × 40
+/// VMs = 800 VMs, one coordinator per 5 servers.
+///
+/// ```
+/// use volley_sim::{ClusterConfig, VmId};
+///
+/// let cluster = ClusterConfig::paper();
+/// assert_eq!(cluster.total_vms(), 800);
+/// assert_eq!(cluster.server_of(VmId(41)).0, 1);
+/// assert_eq!(cluster.coordinator_count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    servers: u32,
+    vms_per_server: u32,
+    servers_per_coordinator: u32,
+}
+
+impl ClusterConfig {
+    /// Creates a topology of `servers × vms_per_server` VMs with one
+    /// coordinator per `servers_per_coordinator` servers. Zero inputs are
+    /// clamped to 1.
+    pub fn new(servers: u32, vms_per_server: u32, servers_per_coordinator: u32) -> Self {
+        ClusterConfig {
+            servers: servers.max(1),
+            vms_per_server: vms_per_server.max(1),
+            servers_per_coordinator: servers_per_coordinator.max(1),
+        }
+    }
+
+    /// The paper's testbed: 20 servers, 40 VMs each, a coordinator per 5
+    /// servers.
+    pub fn paper() -> Self {
+        ClusterConfig::new(20, 40, 5)
+    }
+
+    /// Number of physical servers.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// VMs hosted per server.
+    pub fn vms_per_server(&self) -> u32 {
+        self.vms_per_server
+    }
+
+    /// Total user VMs in the testbed.
+    pub fn total_vms(&self) -> u32 {
+        self.servers * self.vms_per_server
+    }
+
+    /// Number of coordinators (one per `servers_per_coordinator` servers,
+    /// rounded up).
+    pub fn coordinator_count(&self) -> u32 {
+        self.servers.div_ceil(self.servers_per_coordinator)
+    }
+
+    /// The server hosting `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vm` is outside the topology.
+    pub fn server_of(&self, vm: VmId) -> ServerId {
+        assert!(
+            vm.0 < self.total_vms(),
+            "{vm} outside topology of {} VMs",
+            self.total_vms()
+        );
+        ServerId(vm.0 / self.vms_per_server)
+    }
+
+    /// The coordinator responsible for `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `server` is outside the topology.
+    pub fn coordinator_of(&self, server: ServerId) -> u32 {
+        assert!(server.0 < self.servers, "{server} outside topology");
+        server.0 / self.servers_per_coordinator
+    }
+
+    /// Iterates over the VMs hosted by `server`.
+    pub fn vms_on(&self, server: ServerId) -> impl Iterator<Item = VmId> {
+        let start = server.0 * self.vms_per_server;
+        (start..start + self.vms_per_server).map(VmId)
+    }
+
+    /// Iterates over all VMs.
+    pub fn all_vms(&self) -> impl Iterator<Item = VmId> {
+        (0..self.total_vms()).map(VmId)
+    }
+
+    /// Iterates over all servers.
+    pub fn all_servers(&self) -> impl Iterator<Item = ServerId> {
+        (0..self.servers).map(ServerId)
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_dimensions() {
+        let c = ClusterConfig::paper();
+        assert_eq!(c.servers(), 20);
+        assert_eq!(c.vms_per_server(), 40);
+        assert_eq!(c.total_vms(), 800);
+        assert_eq!(c.coordinator_count(), 4);
+    }
+
+    #[test]
+    fn vm_to_server_mapping() {
+        let c = ClusterConfig::paper();
+        assert_eq!(c.server_of(VmId(0)), ServerId(0));
+        assert_eq!(c.server_of(VmId(39)), ServerId(0));
+        assert_eq!(c.server_of(VmId(40)), ServerId(1));
+        assert_eq!(c.server_of(VmId(799)), ServerId(19));
+    }
+
+    #[test]
+    fn server_to_coordinator_mapping() {
+        let c = ClusterConfig::paper();
+        assert_eq!(c.coordinator_of(ServerId(0)), 0);
+        assert_eq!(c.coordinator_of(ServerId(4)), 0);
+        assert_eq!(c.coordinator_of(ServerId(5)), 1);
+        assert_eq!(c.coordinator_of(ServerId(19)), 3);
+    }
+
+    #[test]
+    fn vms_on_server_are_contiguous() {
+        let c = ClusterConfig::new(3, 4, 1);
+        let vms: Vec<u32> = c.vms_on(ServerId(1)).map(|v| v.0).collect();
+        assert_eq!(vms, vec![4, 5, 6, 7]);
+        assert_eq!(c.all_vms().count(), 12);
+        assert_eq!(c.all_servers().count(), 3);
+    }
+
+    #[test]
+    fn coordinator_count_rounds_up() {
+        assert_eq!(ClusterConfig::new(7, 1, 5).coordinator_count(), 2);
+        assert_eq!(ClusterConfig::new(5, 1, 5).coordinator_count(), 1);
+    }
+
+    #[test]
+    fn zero_inputs_clamped() {
+        let c = ClusterConfig::new(0, 0, 0);
+        assert_eq!(c.total_vms(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_vm_panics() {
+        ClusterConfig::new(1, 1, 1).server_of(VmId(5));
+    }
+}

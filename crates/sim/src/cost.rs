@@ -1,0 +1,115 @@
+//! The Dom0 sampling cost model (§V-A/B, Figure 6).
+//!
+//! In the paper's testbed, network-level sampling is implemented with
+//! `tcpdump` plus analysis scripts in Dom0: every sampling operation
+//! captures and deep-packet-inspects one VM's traffic for the 15-second
+//! window. The measured cost is dominated by "packet collection and deep
+//! packet inspection", totalling 20–34% Dom0 CPU when all 40 VMs are
+//! sampled periodically — the band this model is calibrated to.
+//!
+//! A sampling operation for a window containing `P` packets busies Dom0
+//! for
+//!
+//! ```text
+//! busy = fixed_overhead + P · per_packet_cost
+//! ```
+//!
+//! With the default calibration (20 ms fixed + 5 µs/packet) and the
+//! default netflow generator (~16 000 packets per VM-window), one
+//! operation costs ≈ 100 ms; 40 VMs per 15-second window yields ≈ 27%
+//! mean utilization, swinging 20–34% with the diurnal traffic cycle —
+//! matching the paper's report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Dom0 CPU cost of sampling operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dom0CostModel {
+    /// Fixed per-operation overhead (scheduling, process setup, result
+    /// persistence) in seconds.
+    pub fixed_overhead_secs: f64,
+    /// Deep-packet-inspection cost per packet in seconds.
+    pub per_packet_secs: f64,
+}
+
+impl Dom0CostModel {
+    /// The calibration reproducing the paper's 20–34% periodic-sampling
+    /// band: 20 ms fixed + 5 µs per packet.
+    pub fn paper_network() -> Self {
+        Dom0CostModel {
+            fixed_overhead_secs: 0.020,
+            per_packet_secs: 5e-6,
+        }
+    }
+
+    /// A lightweight model for system/application-level sampling (an
+    /// agent query rather than packet inspection): 2 ms flat.
+    pub fn agent_query() -> Self {
+        Dom0CostModel {
+            fixed_overhead_secs: 0.002,
+            per_packet_secs: 0.0,
+        }
+    }
+
+    /// The Dom0 busy time of one sampling operation over a window
+    /// containing `packets` packets.
+    pub fn sample_cost(&self, packets: f64) -> SimDuration {
+        let secs = self.fixed_overhead_secs + self.per_packet_secs * packets.max(0.0);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+impl Default for Dom0CostModel {
+    fn default() -> Self {
+        Dom0CostModel::paper_network()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_hits_reported_band() {
+        // 40 VMs × (20 ms + 16k packets × 5 µs) per 15 s window.
+        let model = Dom0CostModel::paper_network();
+        let per_op = model.sample_cost(16_000.0).as_secs_f64();
+        let utilization = 40.0 * per_op / 15.0;
+        assert!(
+            (0.20..=0.34).contains(&utilization),
+            "periodic-sampling utilization {utilization} should fall in the paper's 20-34% band"
+        );
+    }
+
+    #[test]
+    fn diurnal_swing_spans_the_band() {
+        let model = Dom0CostModel::paper_network();
+        // ±40% packet swing around 16k.
+        let low = 40.0 * model.sample_cost(16_000.0 * 0.6).as_secs_f64() / 15.0;
+        let high = 40.0 * model.sample_cost(16_000.0 * 1.4).as_secs_f64() / 15.0;
+        assert!(low < 0.25 && high > 0.30, "low={low} high={high}");
+    }
+
+    #[test]
+    fn cost_is_monotone_in_packets() {
+        let model = Dom0CostModel::paper_network();
+        assert!(model.sample_cost(1000.0) < model.sample_cost(2000.0));
+    }
+
+    #[test]
+    fn negative_packets_cost_fixed_overhead() {
+        let model = Dom0CostModel::paper_network();
+        assert_eq!(
+            model.sample_cost(-5.0).as_secs_f64(),
+            model.fixed_overhead_secs
+        );
+    }
+
+    #[test]
+    fn agent_query_is_flat() {
+        let model = Dom0CostModel::agent_query();
+        assert_eq!(model.sample_cost(0.0), model.sample_cost(1e9));
+    }
+}

@@ -1,0 +1,235 @@
+//! The deterministic discrete-event queue at the heart of the simulator.
+//!
+//! Events are delivered in strictly non-decreasing timestamp order;
+//! events scheduled for the *same* timestamp are delivered in scheduling
+//! (FIFO) order, which makes every simulation run bit-for-bit
+//! reproducible regardless of payload type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the queue: ordered by time, then by insertion sequence.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event priority queue.
+///
+/// ```
+/// use volley_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(20), "b");
+/// q.schedule(SimTime::from_micros(10), "a");
+/// q.schedule(SimTime::from_micros(20), "c"); // same time as "b": FIFO
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(20), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(20), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time — the timestamp of the most recently
+    /// popped event (zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` for `time`.
+    ///
+    /// Scheduling *in the past* (before the current clock) is clamped to
+    /// the current time rather than rejected: a zero-latency follow-up
+    /// event is the common case for global polls.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drains and handles events until the queue is empty or `horizon` is
+    /// passed; events scheduled beyond the horizon remain queued.
+    ///
+    /// The handler may schedule further events through the `&mut Self`
+    /// it receives alongside each event.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        while let Some(t) = self.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (time, event) = self.pop().expect("peeked entry exists");
+            handler(self, time, event);
+        }
+        // The clock always reaches the horizon even if the queue drains
+        // early, so utilization windows cover the full run.
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [5u64, 1, 9, 3, 7] {
+            q.schedule(SimTime::from_micros(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(10);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let mut prev = -1i64;
+        while let Some((_, e)) = q.pop() {
+            assert!(i64::from(e) > prev);
+            prev = i64::from(e);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(42));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(100), "late");
+        q.pop();
+        q.schedule(SimTime::from_micros(10), "early");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "early");
+        assert_eq!(
+            t,
+            SimTime::from_micros(100),
+            "past event delivered at current time"
+        );
+    }
+
+    #[test]
+    fn run_until_respects_horizon_and_allows_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(0), 0u64);
+        let mut fired = Vec::new();
+        let horizon = SimTime::from_micros(50);
+        q.run_until(horizon, |q, t, e| {
+            fired.push(e);
+            // Periodic self-rescheduling every 10 µs.
+            q.schedule(t + SimDuration::from_micros(10), e + 1);
+        });
+        assert_eq!(fired, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.len(), 1, "the event beyond the horizon stays queued");
+        assert_eq!(q.now(), horizon);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_drains() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.run_until(SimTime::from_micros(99), |_, _, _| {});
+        assert_eq!(q.now(), SimTime::from_micros(99));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

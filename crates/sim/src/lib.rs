@@ -1,0 +1,51 @@
+//! # volley-sim
+//!
+//! A discrete-event simulator of the virtualized datacenter testbed the
+//! Volley paper evaluates on (§V-A, Figure 4): 20 physical servers, each
+//! running a Xen-style privileged **Dom0** plus 40 user VMs (800 VMs
+//! total). Monitors live in Dom0 — one per VM — because "only Dom0 can
+//! observe communications between VMs running on the same server"; a
+//! coordinator is created for every 5 physical servers.
+//!
+//! The simulator's purpose is to reproduce the *cost side* of the
+//! evaluation, in particular Figure 6: sampling a VM's network traffic
+//! (packet capture + deep packet inspection) consumes Dom0 CPU
+//! proportional to the inspected packet volume, so at `err = 0`
+//! (periodic 15-second sampling of all 40 VMs) Dom0 sits at 20–34% CPU,
+//! and Volley's adaptation drives that down to ~5%.
+//!
+//! Components:
+//!
+//! - [`event`] — a deterministic discrete-event queue (timestamp order,
+//!   FIFO among equal timestamps).
+//! - [`time`] — simulated time in microseconds with second conversions.
+//! - [`cluster`] — the server/VM/Dom0/coordinator topology.
+//! - [`cost`] — the Dom0 CPU cost model, calibrated against the paper's
+//!   reported utilization band.
+//! - [`telemetry`] — per-server CPU utilization windows and sampling
+//!   counters.
+//! - [`scenario`] — ready-made end-to-end scenarios (network monitoring
+//!   fleet, used by the Figure 6 harness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod cost;
+pub mod distributed;
+pub mod event;
+pub mod scenario;
+pub mod telemetry;
+pub mod time;
+
+pub use cluster::{ClusterConfig, ServerId, VmId};
+pub use cost::Dom0CostModel;
+pub use distributed::{DistributedScenario, DistributedScenarioConfig, DistributedScenarioReport};
+pub use event::EventQueue;
+pub use scenario::{
+    ApplicationScenario, ApplicationScenarioConfig, NetworkScenario, NetworkScenarioConfig,
+    ScenarioReport, SystemScenario, SystemScenarioConfig,
+};
+pub use telemetry::{ServerTelemetry, UtilizationWindow};
+pub use time::{SimDuration, SimTime};

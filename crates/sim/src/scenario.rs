@@ -1,0 +1,610 @@
+//! End-to-end simulation scenarios.
+//!
+//! [`NetworkScenario`] reproduces the paper's network-level monitoring
+//! deployment (§V-A): every VM gets a Dom0 monitor watching its traffic
+//! difference `ρ_v` against a selectivity-derived threshold; monitors run
+//! Volley's adaptive sampling; every sampling operation charges Dom0 CPU
+//! per the cost model. The Figure 6 harness sweeps the error allowance
+//! and summarizes the resulting per-server utilization distributions.
+
+use serde::{Deserialize, Serialize};
+
+use volley_core::accuracy::{AccuracyReport, DetectionLog, GroundTruth};
+use volley_core::{AdaptationConfig, AdaptiveSampler};
+use volley_traces::netflow::{AttackSpec, NetflowConfig};
+use volley_traces::timeseries::SeriesSummary;
+use volley_traces::DiurnalPattern;
+
+use crate::cluster::{ClusterConfig, VmId};
+use crate::cost::Dom0CostModel;
+use crate::event::EventQueue;
+use crate::telemetry::ServerTelemetry;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of the network-monitoring fleet scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkScenarioConfig {
+    /// Testbed topology (default: the paper's 20 × 40).
+    pub cluster: ClusterConfig,
+    /// Error allowance `err` for every monitor (0 = periodic sampling).
+    pub error_allowance: f64,
+    /// Alert selectivity `k` in percent (threshold = `(100 − k)`-th
+    /// percentile of each VM's `ρ` trace).
+    pub selectivity_percent: f64,
+    /// Simulation length in default sampling intervals (15-second
+    /// windows).
+    pub ticks: usize,
+    /// Random seed for the traffic generator.
+    pub seed: u64,
+    /// Maximum sampling interval `I_m` in windows.
+    pub max_interval: u32,
+    /// Patience `p` of the adaptation algorithm.
+    pub patience: u32,
+    /// The default sampling interval in seconds (paper: 15 s).
+    pub window_secs: f64,
+    /// Dom0 cost model.
+    pub cost: Dom0CostModel,
+    /// Mean flows per VM-window for the traffic generator.
+    pub flows_per_window: f64,
+    /// Diurnal traffic cycle.
+    pub diurnal: DiurnalPattern,
+    /// SYN-flood attacks to inject.
+    pub attacks: Vec<AttackSpec>,
+}
+
+impl Default for NetworkScenarioConfig {
+    fn default() -> Self {
+        NetworkScenarioConfig {
+            cluster: ClusterConfig::paper(),
+            error_allowance: 0.01,
+            selectivity_percent: 1.0,
+            ticks: 2000,
+            seed: 0,
+            max_interval: 16,
+            patience: 20,
+            window_secs: 15.0,
+            cost: Dom0CostModel::paper_network(),
+            flows_per_window: 2000.0,
+            diurnal: DiurnalPattern::new(5760, 0.4),
+            attacks: Vec::new(),
+        }
+    }
+}
+
+/// Result of running a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Cost/accuracy versus the periodic default-interval baseline,
+    /// merged over all VMs.
+    pub accuracy: AccuracyReport,
+    /// Distribution of Dom0 CPU utilization over (server, window) pairs.
+    pub cpu: Option<SeriesSummary>,
+    /// The raw utilization samples feeding `cpu` (for box plots).
+    pub cpu_values: Vec<f64>,
+    /// Total sampling operations performed.
+    pub sampling_ops: u64,
+}
+
+impl ScenarioReport {
+    /// Sampling-cost ratio versus the periodic baseline.
+    pub fn cost_ratio(&self) -> f64 {
+        self.accuracy.cost_ratio()
+    }
+}
+
+/// The network-monitoring fleet scenario (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkScenario {
+    config: NetworkScenarioConfig,
+}
+
+/// Discrete event payload: sample one VM's traffic window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SampleEvent {
+    vm: VmId,
+}
+
+/// The shared fleet engine behind every scenario: one adaptive sampler
+/// per VM over a per-VM value trace, sampling events scheduled on the
+/// discrete-event queue, cost charged to the hosting server's Dom0.
+///
+/// `cost_weight[vm][tick]` scales the cost model's per-unit term (packet
+/// counts for network DPI; `None` for flat-cost agent queries).
+#[allow(clippy::too_many_arguments)] // internal engine; each knob is load-bearing
+fn run_fleet(
+    cluster: ClusterConfig,
+    window: SimDuration,
+    ticks: usize,
+    adaptation: AdaptationConfig,
+    selectivity_percent: f64,
+    cost_model: Dom0CostModel,
+    traces: &[Vec<f64>],
+    cost_weight: Option<&[Vec<f64>]>,
+) -> ScenarioReport {
+    let total_vms = cluster.total_vms() as usize;
+    debug_assert_eq!(traces.len(), total_vms);
+    let horizon = SimTime::ZERO + window.saturating_mul(ticks as u64);
+    let mut samplers: Vec<AdaptiveSampler> = traces
+        .iter()
+        .map(|t| {
+            let threshold = volley_core::selectivity_threshold(t, selectivity_percent)
+                .expect("non-empty trace, valid selectivity");
+            AdaptiveSampler::new(adaptation, threshold)
+        })
+        .collect();
+    let mut telemetry: Vec<ServerTelemetry> = (0..cluster.servers())
+        .map(|_| ServerTelemetry::new(window))
+        .collect();
+    let mut logs: Vec<DetectionLog> = vec![DetectionLog::new(); total_vms];
+    let mut queue: EventQueue<SampleEvent> = EventQueue::new();
+    for vm in cluster.all_vms() {
+        queue.schedule(SimTime::ZERO, SampleEvent { vm });
+    }
+    let tick_count = ticks as u64;
+    queue.run_until(horizon, |q, time, event| {
+        let tick = time.as_micros() / window.as_micros();
+        if tick >= tick_count {
+            return;
+        }
+        let vm_idx = event.vm.0 as usize;
+        let value = traces[vm_idx][tick as usize];
+        let weight = cost_weight.map(|w| w[vm_idx][tick as usize]).unwrap_or(0.0);
+        let server = cluster.server_of(event.vm);
+        telemetry[server.0 as usize].charge_sample(time, cost_model.sample_cost(weight));
+        let obs = samplers[vm_idx].observe(tick, value);
+        logs[vm_idx].record(tick, 1, obs.violation);
+        if obs.next_sample_tick < tick_count {
+            q.schedule(
+                SimTime::ZERO + window.saturating_mul(obs.next_sample_tick),
+                event,
+            );
+        }
+    });
+
+    let baseline_per_vm = ticks as u64;
+    let mut accuracy: Option<AccuracyReport> = None;
+    for (vm, log) in logs.iter().enumerate() {
+        let truth = GroundTruth::from_trace(&traces[vm], samplers[vm].threshold());
+        let report = log.score(&truth, baseline_per_vm);
+        accuracy = Some(match accuracy {
+            Some(acc) => acc.merged(&report),
+            None => report,
+        });
+    }
+    let accuracy = accuracy.expect("at least one VM");
+    let mut cpu_values = Vec::new();
+    for t in &telemetry {
+        cpu_values.extend(t.utilization_values(horizon));
+    }
+    let cpu = SeriesSummary::compute(&cpu_values);
+    ScenarioReport {
+        accuracy,
+        cpu,
+        cpu_values,
+        sampling_ops: accuracy.sampling_ops,
+    }
+}
+
+impl NetworkScenario {
+    /// Creates a scenario from its configuration.
+    pub fn new(config: NetworkScenarioConfig) -> Self {
+        NetworkScenario { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetworkScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the scenario to completion and reports cost, accuracy and the
+    /// Dom0 CPU utilization distribution.
+    pub fn run(&self) -> ScenarioReport {
+        let cfg = &self.config;
+        let total_vms = cfg.cluster.total_vms() as usize;
+        let mut netflow = NetflowConfig::builder()
+            .seed(cfg.seed)
+            .vms(total_vms)
+            .base_flows_per_window(cfg.flows_per_window)
+            .diurnal(cfg.diurnal);
+        for attack in &cfg.attacks {
+            netflow = netflow.attack(*attack);
+        }
+        let traffic = netflow.build().generate(cfg.ticks);
+        let adaptation = AdaptationConfig::builder()
+            .error_allowance(cfg.error_allowance)
+            .max_interval(cfg.max_interval)
+            .patience(cfg.patience)
+            .build()
+            .expect("scenario adaptation parameters are valid");
+        let traces: Vec<Vec<f64>> = traffic.iter().map(|t| t.rho.clone()).collect();
+        let packets: Vec<Vec<f64>> = traffic.into_iter().map(|t| t.packets).collect();
+        run_fleet(
+            cfg.cluster,
+            SimDuration::from_secs_f64(cfg.window_secs),
+            cfg.ticks,
+            adaptation,
+            cfg.selectivity_percent,
+            cfg.cost,
+            &traces,
+            Some(&packets),
+        )
+    }
+}
+
+/// Configuration of the system-metrics monitoring fleet scenario: one
+/// OS-metric task per VM, sampled by agent queries (flat cost) at the
+/// paper's 5-second default interval (§V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemScenarioConfig {
+    /// Testbed topology.
+    pub cluster: ClusterConfig,
+    /// Error allowance `err` for every monitor.
+    pub error_allowance: f64,
+    /// Alert selectivity `k` in percent.
+    pub selectivity_percent: f64,
+    /// Simulation length in default sampling intervals (5-second ticks).
+    pub ticks: usize,
+    /// Random seed for the metrics generator.
+    pub seed: u64,
+    /// Maximum sampling interval `I_m`.
+    pub max_interval: u32,
+    /// Adaptation patience `p`.
+    pub patience: u32,
+    /// The default sampling interval in seconds (paper: 5 s).
+    pub sample_interval_secs: f64,
+    /// Dom0 cost model (default: flat agent query).
+    pub cost: Dom0CostModel,
+}
+
+impl Default for SystemScenarioConfig {
+    fn default() -> Self {
+        SystemScenarioConfig {
+            cluster: ClusterConfig::paper(),
+            error_allowance: 0.01,
+            selectivity_percent: 1.0,
+            ticks: 2000,
+            seed: 0,
+            max_interval: 16,
+            patience: 20,
+            sample_interval_secs: 5.0,
+            cost: Dom0CostModel::agent_query(),
+        }
+    }
+}
+
+/// The system-metrics monitoring fleet scenario: each VM's monitor
+/// adaptively samples one OS metric (cycling through the 66-metric
+/// catalog) via agent queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemScenario {
+    config: SystemScenarioConfig,
+}
+
+impl SystemScenario {
+    /// Creates a scenario from its configuration.
+    pub fn new(config: SystemScenarioConfig) -> Self {
+        SystemScenario { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(&self) -> ScenarioReport {
+        let cfg = &self.config;
+        let total_vms = cfg.cluster.total_vms() as usize;
+        let generator = volley_traces::sysmetrics::SystemMetricsGenerator::new(cfg.seed)
+            .with_diurnal_period((cfg.ticks as u64).min(17_280));
+        let traces: Vec<Vec<f64>> = (0..total_vms)
+            .map(|vm| generator.trace(vm, vm % 66, cfg.ticks))
+            .collect();
+        let adaptation = AdaptationConfig::builder()
+            .error_allowance(cfg.error_allowance)
+            .max_interval(cfg.max_interval)
+            .patience(cfg.patience)
+            .build()
+            .expect("scenario adaptation parameters are valid");
+        run_fleet(
+            cfg.cluster,
+            SimDuration::from_secs_f64(cfg.sample_interval_secs),
+            cfg.ticks,
+            adaptation,
+            cfg.selectivity_percent,
+            cfg.cost,
+            &traces,
+            None,
+        )
+    }
+}
+
+/// Configuration of the application-level monitoring fleet scenario: one
+/// per-object access-rate task per VM at the paper's 1-second default
+/// interval (§V-A), sampled by log-analysis queries (flat cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationScenarioConfig {
+    /// Testbed topology.
+    pub cluster: ClusterConfig,
+    /// Error allowance `err` for every monitor.
+    pub error_allowance: f64,
+    /// Alert selectivity `k` in percent.
+    pub selectivity_percent: f64,
+    /// Simulation length in default sampling intervals (1-second ticks).
+    pub ticks: usize,
+    /// Random seed for the HTTP workload generator.
+    pub seed: u64,
+    /// Maximum sampling interval `I_m`.
+    pub max_interval: u32,
+    /// Adaptation patience `p`.
+    pub patience: u32,
+    /// The default sampling interval in seconds (paper: 1 s).
+    pub sample_interval_secs: f64,
+    /// Dom0 cost model (default: flat agent query).
+    pub cost: Dom0CostModel,
+}
+
+impl Default for ApplicationScenarioConfig {
+    fn default() -> Self {
+        ApplicationScenarioConfig {
+            cluster: ClusterConfig::paper(),
+            error_allowance: 0.01,
+            selectivity_percent: 1.0,
+            ticks: 2000,
+            seed: 0,
+            max_interval: 16,
+            patience: 20,
+            sample_interval_secs: 1.0,
+            cost: Dom0CostModel::agent_query(),
+        }
+    }
+}
+
+/// The application-level monitoring fleet scenario: each VM's monitor
+/// adaptively samples one web object's access rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationScenario {
+    config: ApplicationScenarioConfig,
+}
+
+impl ApplicationScenario {
+    /// Creates a scenario from its configuration.
+    pub fn new(config: ApplicationScenarioConfig) -> Self {
+        ApplicationScenario { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ApplicationScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(&self) -> ScenarioReport {
+        let cfg = &self.config;
+        let total_vms = cfg.cluster.total_vms() as usize;
+        let workload = volley_traces::http::HttpWorkloadConfig::builder()
+            .seed(cfg.seed)
+            .objects(total_vms)
+            .requests_per_tick(1000.0 * total_vms as f64)
+            .diurnal(volley_traces::DiurnalPattern::new(
+                (cfg.ticks as u64).min(86_400),
+                0.6,
+            ))
+            .flash_crowd_duration((cfg.ticks as u64 / 20).max(10))
+            .build()
+            .generate(cfg.ticks);
+        let traces: Vec<Vec<f64>> = (0..total_vms)
+            .map(|o| workload.object_rate(o).to_vec())
+            .collect();
+        let adaptation = AdaptationConfig::builder()
+            .error_allowance(cfg.error_allowance)
+            .max_interval(cfg.max_interval)
+            .patience(cfg.patience)
+            .build()
+            .expect("scenario adaptation parameters are valid");
+        run_fleet(
+            cfg.cluster,
+            SimDuration::from_secs_f64(cfg.sample_interval_secs),
+            cfg.ticks,
+            adaptation,
+            cfg.selectivity_percent,
+            cfg.cost,
+            &traces,
+            None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(err: f64) -> NetworkScenarioConfig {
+        NetworkScenarioConfig {
+            cluster: ClusterConfig::new(2, 4, 1),
+            error_allowance: err,
+            selectivity_percent: 1.0,
+            ticks: 600,
+            seed: 42,
+            max_interval: 8,
+            patience: 5,
+            ..NetworkScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn periodic_baseline_samples_every_window() {
+        let report = NetworkScenario::new(small(0.0)).run();
+        // 8 VMs × 600 ticks.
+        assert_eq!(report.sampling_ops, 8 * 600);
+        assert!((report.cost_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(report.accuracy.misdetection_rate(), 0.0);
+    }
+
+    #[test]
+    fn adaptation_reduces_cost() {
+        let periodic = NetworkScenario::new(small(0.0)).run();
+        let adaptive = NetworkScenario::new(small(0.05)).run();
+        assert!(
+            adaptive.sampling_ops < periodic.sampling_ops / 2,
+            "adaptive {} vs periodic {}",
+            adaptive.sampling_ops,
+            periodic.sampling_ops
+        );
+    }
+
+    #[test]
+    fn adaptation_reduces_cpu_utilization() {
+        let periodic = NetworkScenario::new(small(0.0)).run();
+        let adaptive = NetworkScenario::new(small(0.05)).run();
+        let p = periodic.cpu.expect("cpu summary");
+        let a = adaptive.cpu.expect("cpu summary");
+        assert!(
+            a.mean < p.mean * 0.6,
+            "adaptive {} vs periodic {}",
+            a.mean,
+            p.mean
+        );
+    }
+
+    #[test]
+    fn paper_cluster_periodic_utilization_in_band() {
+        // One server of the paper topology, short run: utilization must
+        // land in the calibrated 20-34% band on average.
+        let cfg = NetworkScenarioConfig {
+            cluster: ClusterConfig::new(1, 40, 1),
+            error_allowance: 0.0,
+            ticks: 200,
+            seed: 7,
+            ..NetworkScenarioConfig::default()
+        };
+        let report = NetworkScenario::new(cfg).run();
+        let cpu = report.cpu.expect("cpu summary");
+        assert!(
+            (0.15..=0.40).contains(&cpu.mean),
+            "mean Dom0 utilization {} outside plausible band",
+            cpu.mean
+        );
+    }
+
+    #[test]
+    fn misdetection_stays_reasonable() {
+        let report = NetworkScenario::new(small(0.02)).run();
+        // The Chebyshev adaptation is conservative; actual misses should
+        // be comfortably below 10x the allowance even on short traces.
+        assert!(report.accuracy.misdetection_rate() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = NetworkScenario::new(small(0.01)).run();
+        let b = NetworkScenario::new(small(0.01)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cpu_values_cover_all_server_windows() {
+        let report = NetworkScenario::new(small(0.01)).run();
+        // 2 servers × 600 windows.
+        assert_eq!(report.cpu_values.len(), 2 * 600);
+    }
+
+    fn small_system(err: f64) -> SystemScenarioConfig {
+        SystemScenarioConfig {
+            cluster: ClusterConfig::new(2, 6, 1),
+            error_allowance: err,
+            ticks: 1200,
+            seed: 9,
+            patience: 5,
+            ..SystemScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn system_scenario_periodic_baseline() {
+        let report = SystemScenario::new(small_system(0.0)).run();
+        assert_eq!(report.sampling_ops, 12 * 1200);
+        assert_eq!(report.accuracy.misdetection_rate(), 0.0);
+    }
+
+    #[test]
+    fn system_scenario_adaptation_saves_cost() {
+        let periodic = SystemScenario::new(small_system(0.0)).run();
+        let adaptive = SystemScenario::new(small_system(0.05)).run();
+        assert!(
+            adaptive.sampling_ops < periodic.sampling_ops,
+            "adaptive {} vs periodic {}",
+            adaptive.sampling_ops,
+            periodic.sampling_ops
+        );
+        let p = periodic.cpu.expect("cpu");
+        let a = adaptive.cpu.expect("cpu");
+        assert!(a.mean < p.mean);
+    }
+
+    #[test]
+    fn system_scenario_agent_queries_are_cheap() {
+        // Agent queries must burden Dom0 far less than packet inspection.
+        let system = SystemScenario::new(small_system(0.0)).run();
+        let network = NetworkScenario::new(NetworkScenarioConfig {
+            cluster: ClusterConfig::new(2, 6, 1),
+            error_allowance: 0.0,
+            ticks: 1200,
+            seed: 9,
+            ..NetworkScenarioConfig::default()
+        })
+        .run();
+        let s = system.cpu.expect("cpu");
+        let n = network.cpu.expect("cpu");
+        assert!(
+            s.mean < n.mean / 5.0,
+            "system {} vs network {}",
+            s.mean,
+            n.mean
+        );
+    }
+
+    #[test]
+    fn system_scenario_deterministic() {
+        let a = SystemScenario::new(small_system(0.01)).run();
+        let b = SystemScenario::new(small_system(0.01)).run();
+        assert_eq!(a, b);
+    }
+
+    fn small_application(err: f64) -> ApplicationScenarioConfig {
+        ApplicationScenarioConfig {
+            cluster: ClusterConfig::new(2, 5, 1),
+            error_allowance: err,
+            ticks: 1500,
+            seed: 4,
+            patience: 5,
+            ..ApplicationScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn application_scenario_periodic_baseline() {
+        let report = ApplicationScenario::new(small_application(0.0)).run();
+        assert_eq!(report.sampling_ops, 10 * 1500);
+        assert_eq!(report.accuracy.misdetection_rate(), 0.0);
+    }
+
+    #[test]
+    fn application_scenario_adaptation_saves_cost() {
+        let periodic = ApplicationScenario::new(small_application(0.0)).run();
+        let adaptive = ApplicationScenario::new(small_application(0.05)).run();
+        assert!(
+            adaptive.sampling_ops < periodic.sampling_ops,
+            "adaptive {} vs periodic {}",
+            adaptive.sampling_ops,
+            periodic.sampling_ops
+        );
+    }
+
+    #[test]
+    fn application_scenario_deterministic() {
+        let a = ApplicationScenario::new(small_application(0.01)).run();
+        let b = ApplicationScenario::new(small_application(0.01)).run();
+        assert_eq!(a, b);
+    }
+}

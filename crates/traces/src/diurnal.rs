@@ -1,0 +1,143 @@
+//! Diurnal (day-cycle) load shaping.
+//!
+//! All three of the paper's trace families show strong diurnal effects —
+//! "network traffic observed at night" changes less (§V-B), and the
+//! application-level savings come from "diurnal effects and bursty request
+//! arrival" being common. [`DiurnalPattern`] turns a tick index into a
+//! multiplicative load factor with a smooth day/night cycle.
+
+use serde::{Deserialize, Serialize};
+
+/// A smooth multiplicative day/night load cycle.
+///
+/// The factor at tick `t` is
+/// `1 + amplitude · sin(2π · (t + phase_ticks) / period_ticks)`,
+/// clamped to be non-negative, so a pattern with `amplitude ≤ 1` swings
+/// between `1 − amplitude` (night trough) and `1 + amplitude` (day peak).
+///
+/// ```
+/// use volley_traces::DiurnalPattern;
+///
+/// let day = DiurnalPattern::new(1000, 0.5);
+/// let peak = day.factor(250);   // quarter period = sine peak
+/// let trough = day.factor(750); // three quarters = sine trough
+/// assert!((peak - 1.5).abs() < 1e-9);
+/// assert!((trough - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalPattern {
+    period_ticks: u64,
+    amplitude: f64,
+    phase_ticks: u64,
+}
+
+impl DiurnalPattern {
+    /// Creates a cycle of `period_ticks` ticks with the given relative
+    /// `amplitude` (0 = flat). Degenerate inputs are clamped: a zero
+    /// period becomes 1, a negative or non-finite amplitude becomes 0.
+    pub fn new(period_ticks: u64, amplitude: f64) -> Self {
+        DiurnalPattern {
+            period_ticks: period_ticks.max(1),
+            amplitude: if amplitude.is_finite() && amplitude > 0.0 {
+                amplitude
+            } else {
+                0.0
+            },
+            phase_ticks: 0,
+        }
+    }
+
+    /// A flat (no-op) pattern: factor 1 everywhere.
+    pub fn flat() -> Self {
+        DiurnalPattern {
+            period_ticks: 1,
+            amplitude: 0.0,
+            phase_ticks: 0,
+        }
+    }
+
+    /// Shifts the cycle by `phase_ticks` ticks.
+    #[must_use]
+    pub fn with_phase(mut self, phase_ticks: u64) -> Self {
+        self.phase_ticks = phase_ticks;
+        self
+    }
+
+    /// The cycle length in ticks.
+    pub fn period_ticks(&self) -> u64 {
+        self.period_ticks
+    }
+
+    /// The relative amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// The multiplicative load factor at `tick` (always ≥ 0).
+    pub fn factor(&self, tick: u64) -> f64 {
+        if self.amplitude == 0.0 {
+            return 1.0;
+        }
+        let pos = ((tick + self.phase_ticks) % self.period_ticks) as f64 / self.period_ticks as f64;
+        (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * pos).sin()).max(0.0)
+    }
+}
+
+impl Default for DiurnalPattern {
+    fn default() -> Self {
+        DiurnalPattern::flat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_pattern_is_identity() {
+        let p = DiurnalPattern::flat();
+        for t in [0u64, 7, 1000, u64::MAX] {
+            assert_eq!(p.factor(t), 1.0);
+        }
+    }
+
+    #[test]
+    fn factor_is_periodic() {
+        let p = DiurnalPattern::new(100, 0.4);
+        for t in 0..100u64 {
+            assert!((p.factor(t) - p.factor(t + 100)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factor_never_negative_even_with_large_amplitude() {
+        let p = DiurnalPattern::new(100, 5.0);
+        for t in 0..100u64 {
+            assert!(p.factor(t) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn phase_shifts_cycle() {
+        let base = DiurnalPattern::new(100, 0.5);
+        let shifted = base.with_phase(25);
+        assert!((shifted.factor(0) - base.factor(25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamped() {
+        let p = DiurnalPattern::new(0, f64::NAN);
+        assert_eq!(p.period_ticks(), 1);
+        assert_eq!(p.amplitude(), 0.0);
+        assert_eq!(p.factor(3), 1.0);
+        let n = DiurnalPattern::new(10, -0.5);
+        assert_eq!(n.amplitude(), 0.0);
+    }
+
+    #[test]
+    fn mean_factor_is_about_one() {
+        let p = DiurnalPattern::new(1000, 0.8);
+        let mean: f64 = (0..1000u64).map(|t| p.factor(t)).sum::<f64>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,228 @@
+//! CSV import/export for trace data.
+//!
+//! The workload generators produce in-memory `Vec<f64>` traces; this
+//! module moves them across the process boundary in the simplest format
+//! that interoperates with spreadsheets, numpy and the `volley` CLI:
+//! comma-separated columns with an optional header row, one row per tick.
+//! `#`-prefixed comment lines and blank lines are ignored on read.
+
+use std::io::{BufRead, Write};
+
+/// Errors produced by trace parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// A data cell could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell content.
+        cell: String,
+    },
+    /// A row had a different number of columns than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found.
+        got: usize,
+        /// Columns expected.
+        expected: usize,
+    },
+    /// The input contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(err) => write!(f, "io failure: {err}"),
+            TraceIoError::Parse { line, cell } => {
+                write!(f, "line {line}: `{cell}` is not a number")
+            }
+            TraceIoError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "line {line}: {got} columns where {expected} were expected"
+                )
+            }
+            TraceIoError::Empty => write!(f, "no data rows found"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(err: std::io::Error) -> Self {
+        TraceIoError::Io(err)
+    }
+}
+
+/// Writes traces as CSV: `columns[i]` becomes column `i`, with the given
+/// header names (pass an empty slice to omit the header). Rows run to the
+/// shortest column.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_csv<W: Write>(
+    out: &mut W,
+    headers: &[&str],
+    columns: &[Vec<f64>],
+) -> Result<(), TraceIoError> {
+    if !headers.is_empty() {
+        writeln!(out, "{}", headers.join(","))?;
+    }
+    let rows = columns.iter().map(|c| c.len()).min().unwrap_or(0);
+    let mut line = String::new();
+    for row in 0..rows {
+        line.clear();
+        for (i, column) in columns.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{}", column[row]));
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads CSV traces: returns one `Vec<f64>` per column. A first row whose
+/// cells are not all numeric is treated as a header and skipped.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] for non-numeric data cells,
+/// [`TraceIoError::RaggedRow`] for inconsistent column counts and
+/// [`TraceIoError::Empty`] when no data rows exist.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Vec<Vec<f64>>, TraceIoError> {
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    let mut first_data_row = true;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.parse::<f64>().map_err(|_| i))
+            .collect();
+        match parsed {
+            Ok(values) => {
+                if first_data_row {
+                    columns = values.iter().map(|v| vec![*v]).collect();
+                    first_data_row = false;
+                } else {
+                    if values.len() != columns.len() {
+                        return Err(TraceIoError::RaggedRow {
+                            line: idx + 1,
+                            got: values.len(),
+                            expected: columns.len(),
+                        });
+                    }
+                    for (column, value) in columns.iter_mut().zip(values) {
+                        column.push(value);
+                    }
+                }
+            }
+            Err(cell_idx) => {
+                if first_data_row {
+                    // Header row: skip.
+                    continue;
+                }
+                return Err(TraceIoError::Parse {
+                    line: idx + 1,
+                    cell: cells.get(cell_idx).unwrap_or(&"").to_string(),
+                });
+            }
+        }
+    }
+    if columns.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    Ok(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let columns = vec![vec![1.0, 2.5, -3.0], vec![10.0, 20.0, 30.0]];
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &["a", "b"], &columns).unwrap();
+        let back = read_csv(buffer.as_slice()).unwrap();
+        assert_eq!(back, columns);
+    }
+
+    #[test]
+    fn headerless_round_trip() {
+        let columns = vec![vec![1.0, 2.0]];
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &[], &columns).unwrap();
+        assert_eq!(read_csv(buffer.as_slice()).unwrap(), columns);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let input = "# comment\n\nx,y\n1,2\n# mid comment\n3,4\n";
+        let columns = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(columns, vec![vec![1.0, 3.0], vec![2.0, 4.0]]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv("1,2\n3\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::RaggedRow {
+                line: 2,
+                got: 1,
+                expected: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn garbage_cell_rejected() {
+        let err = read_csv("1,2\n3,abc\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 2, .. }));
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(read_csv("".as_bytes()), Err(TraceIoError::Empty)));
+        assert!(matches!(
+            read_csv("# nothing\n".as_bytes()),
+            Err(TraceIoError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rows_truncate_to_shortest_column() {
+        let columns = vec![vec![1.0, 2.0, 3.0], vec![10.0]];
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &[], &columns).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # volley-traces
+//!
+//! Synthetic workload and trace generators standing in for the three
+//! real-world datasets of the Volley paper's evaluation (§V-A):
+//!
+//! - [`netflow`] — Internet2-netflow-style datacenter traffic mapped onto
+//!   VMs, with SYN/SYN-ACK flagging and injectable SYN-flood (DDoS)
+//!   attacks; produces the per-VM traffic-difference series
+//!   `ρ_v = P_i(v) − P_o(v)` that network-level monitoring tasks watch.
+//! - [`sysmetrics`] — a 66-metric catalog of OS-level performance series
+//!   (CPU, memory, vmstat, disk, network) modelled as mean-reverting AR(1)
+//!   processes with diurnal drift and occasional spikes, standing in for
+//!   the ICAC'09 production performance dataset.
+//! - [`http`] — WorldCup'98-style web workloads: Zipf object popularity,
+//!   diurnal request arrival with flash crowds; produces per-object access
+//!   rates for application-level monitoring tasks.
+//!
+//! Support modules: [`zipf`] (the skewed distribution of Figure 8),
+//! [`diurnal`] (day-cycle shaping), [`latency`] (load → response-time
+//! modelling for correlated tasks), and [`timeseries`] (quantiles and
+//! summary statistics used by the experiment harness).
+//!
+//! All generators are fully deterministic given a seed, so every
+//! experiment in the repository is reproducible bit-for-bit.
+//!
+//! ```
+//! use volley_traces::netflow::{NetflowConfig, AttackSpec};
+//!
+//! let config = NetflowConfig::builder()
+//!     .seed(42)
+//!     .vms(4)
+//!     .attack(AttackSpec { vm: 2, start_tick: 100, duration_ticks: 20, peak_asymmetry: 500.0 })
+//!     .build();
+//! let traffic = config.generate(200);
+//! assert_eq!(traffic.len(), 4);
+//! // The attacked VM shows a much larger traffic difference mid-attack.
+//! assert!(traffic[2].rho[110] > traffic[0].rho[110]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diurnal;
+pub mod http;
+pub mod io;
+pub mod latency;
+pub mod netflow;
+pub mod sysmetrics;
+pub mod timeseries;
+pub mod zipf;
+
+pub use diurnal::DiurnalPattern;
+pub use http::{HttpWorkload, HttpWorkloadConfig};
+pub use latency::ResponseTimeModel;
+pub use netflow::{AttackSpec, NetflowConfig, VmTraffic};
+pub use sysmetrics::{MetricClass, MetricSpec, SystemMetricsGenerator, METRIC_CATALOG};
+pub use timeseries::SeriesSummary;
+pub use zipf::Zipf;

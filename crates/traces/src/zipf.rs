@@ -1,0 +1,212 @@
+//! The Zipf distribution (Figure 8's skewed local-violation-rate model and
+//! the paper's web-object popularity model).
+//!
+//! The paper gradually skews the distribution of local violation rates
+//! across monitors "to a Zipf distribution which is commonly used to
+//! approximate skewed distributions", parameterized by a skewness `s ≥ 0`
+//! where `s = 0` is uniform. This module provides both the normalized
+//! weight vector (what Figure 8 needs) and an exact inverse-CDF sampler
+//! (what the HTTP workload's object popularity needs).
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / k^s`.
+///
+/// `s = 0` degenerates to the uniform distribution over the `n` ranks.
+///
+/// ```
+/// use volley_traces::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(100, 1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// // Rank 1 is the most probable.
+/// assert!(zipf.weight(1) > zipf.weight(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Normalized probabilities, index 0 = rank 1.
+    probabilities: Vec<f64>,
+    /// Cumulative distribution for inverse-CDF sampling.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n ≥ 1` ranks with exponent
+    /// `s ≥ 0`.
+    ///
+    /// Returns `None` for `n == 0` or a non-finite/negative exponent.
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let raw: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let total: f64 = raw.iter().sum();
+        let probabilities: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for p in &probabilities {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Clamp the final entry to exactly 1 so sampling can never fall off
+        // the end due to rounding.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Some(Zipf {
+            probabilities,
+            cdf,
+            exponent: s,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// Whether the distribution has zero ranks (never true for a
+    /// constructed value; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of `rank ∈ 1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is 0 or exceeds `n`.
+    pub fn weight(&self, rank: usize) -> f64 {
+        assert!(
+            rank >= 1 && rank <= self.probabilities.len(),
+            "rank out of range"
+        );
+        self.probabilities[rank - 1]
+    }
+
+    /// The normalized weight vector, index 0 = rank 1 (sums to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Draws a rank in `1..=n` by inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// Convenience: the normalized Zipf weight vector for `n` items with
+/// skewness `s` — the form Figure 8's local-violation-rate assignment
+/// consumes directly.
+///
+/// Returns an empty vector for `n == 0` and treats a negative/non-finite
+/// `s` as 0 (uniform), so experiment sweeps cannot fail mid-run.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let s = if s.is_finite() && s >= 0.0 { s } else { 0.0 };
+    match Zipf::new(n, s) {
+        Some(z) => z.weights().to_vec(),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(10, -1.0).is_none());
+        assert!(Zipf::new(10, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(5, 0.0).unwrap();
+        for k in 1..=5 {
+            assert!((z.weight(k) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_decrease() {
+        for s in [0.5, 1.0, 1.5, 2.0] {
+            let z = Zipf::new(50, s).unwrap();
+            let sum: f64 = z.weights().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "s={s}");
+            for k in 1..50 {
+                assert!(z.weight(k) >= z.weight(k + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let mild = Zipf::new(100, 0.5).unwrap();
+        let steep = Zipf::new(100, 2.0).unwrap();
+        assert!(steep.weight(1) > mild.weight(1));
+        assert!(steep.weight(100) < mild.weight(100));
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let mut counts = [0u32; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let freq = f64::from(counts[k - 1]) / f64::from(n);
+            assert!(
+                (freq - z.weight(k)).abs() < 0.005,
+                "rank {k}: freq {freq} vs weight {}",
+                z.weight(k)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 1.2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=3).contains(&r));
+        }
+    }
+
+    #[test]
+    fn weights_helper_is_robust() {
+        assert_eq!(zipf_weights(0, 1.0), Vec::<f64>::new());
+        assert_eq!(zipf_weights(3, f64::NAN), vec![1.0 / 3.0; 3]);
+        let w = zipf_weights(4, 1.0);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn weight_panics_out_of_range() {
+        let z = Zipf::new(3, 1.0).unwrap();
+        let _ = z.weight(0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Whole-datacenter simulation: Dom0 CPU cost of network monitoring.
+//!
+//! Reproduces a slice of the paper's Figure 6 setup interactively: a
+//! 4-server × 40-VM virtualized cluster where every VM's traffic is
+//! deep-packet-inspected from Dom0, comparing the Dom0 CPU burden of
+//! periodic sampling against Volley's adaptive sampling.
+//!
+//! Run with: `cargo run --release --example datacenter_sim`
+
+use volley::sim::{ClusterConfig, NetworkScenario, NetworkScenarioConfig};
+
+fn main() {
+    let cluster = ClusterConfig::new(4, 40, 2);
+    println!(
+        "cluster: {} servers x {} VMs = {} monitors\n",
+        cluster.servers(),
+        cluster.vms_per_server(),
+        cluster.total_vms()
+    );
+    println!(
+        "{:<22}{:>12}{:>14}{:>14}{:>12}",
+        "scheme", "samples", "Dom0 CPU avg", "Dom0 CPU max", "miss rate"
+    );
+    for (label, err) in [
+        ("periodic (err=0)", 0.0),
+        ("volley (err=1%)", 0.01),
+        ("volley (err=3.2%)", 0.032),
+    ] {
+        let config = NetworkScenarioConfig {
+            cluster,
+            error_allowance: err,
+            selectivity_percent: 1.0,
+            ticks: 1500,
+            seed: 2013,
+            ..NetworkScenarioConfig::default()
+        };
+        let report = NetworkScenario::new(config).run();
+        let cpu = report.cpu.expect("utilization recorded");
+        println!(
+            "{label:<22}{:>12}{:>13.1}%{:>13.1}%{:>12.4}",
+            report.sampling_ops,
+            cpu.mean * 100.0,
+            cpu.max * 100.0,
+            report.accuracy.misdetection_rate()
+        );
+    }
+    println!("\nThe periodic row should sit in the paper's 20-34% Dom0 CPU band;");
+    println!("adaptive rows drop it by half or more at controlled accuracy.");
+}

@@ -1,0 +1,88 @@
+//! DDoS detection across a cluster: the paper's motivating scenario end
+//! to end (§II-A).
+//!
+//! Four web servers host one application. Each server's monitor watches
+//! the SYN/SYN-ACK traffic difference `ρ` of its VM; the coordinator
+//! checks the aggregate `Σ ρ_i` against a global threshold and raises a
+//! state alert when a distributed SYN flood drives the sum over it.
+//! Volley keeps per-server sampling cheap while the traffic is benign and
+//! tightens automatically as an attack ramps.
+//!
+//! Run with: `cargo run --example ddos_detection`
+
+use volley::core::task::TaskSpec;
+use volley::{DistributedTask, NetflowConfig};
+use volley_traces::netflow::AttackSpec;
+
+const SERVERS: usize = 4;
+const TICKS: usize = 2000; // 15-second windows
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Traffic for 4 VMs with a coordinated attack against two of them
+    // late in the trace.
+    let mut config = NetflowConfig::builder().seed(7).vms(SERVERS);
+    for vm in [1usize, 3] {
+        config = config.attack(AttackSpec {
+            vm,
+            start_tick: 1700,
+            duration_ticks: 150,
+            peak_asymmetry: 2500.0,
+        });
+    }
+    let traffic = config.build().generate(TICKS);
+
+    // Global threshold: the sum of per-VM 99.5th percentiles of *benign*
+    // reference traffic (thresholds come from attack-free history — using
+    // the attacked trace itself would bake the attack into the baseline).
+    let benign = NetflowConfig::builder()
+        .seed(7)
+        .vms(SERVERS)
+        .build()
+        .generate(TICKS);
+    let global_threshold: f64 = benign
+        .iter()
+        .map(|t| volley::selectivity_threshold(&t.rho, 0.5))
+        .collect::<Result<Vec<_>, _>>()?
+        .iter()
+        .sum();
+
+    let spec = TaskSpec::builder(global_threshold)
+        .monitors(SERVERS)
+        .error_allowance(0.01)
+        .max_interval(8)
+        .build()?;
+    let mut task = DistributedTask::new(&spec)?;
+
+    let mut values = vec![0.0; SERVERS];
+    let mut first_alert: Option<u64> = None;
+    for tick in 0..TICKS as u64 {
+        for (i, t) in traffic.iter().enumerate() {
+            values[i] = t.rho[tick as usize];
+        }
+        let outcome = task.step(tick, &values)?;
+        if outcome.alerted() && first_alert.is_none() {
+            first_alert = Some(tick);
+            let poll = outcome.poll.expect("alert implies a poll");
+            println!(
+                "DDoS alert at window {tick}: aggregate ρ = {:.0} > threshold {:.0}",
+                poll.aggregate, global_threshold
+            );
+        }
+    }
+
+    println!("\nglobal polls:      {}", task.coordinator().global_polls);
+    println!("state alerts:      {}", task.coordinator().alerts);
+    println!(
+        "sampling cost:     {:.1}% of periodic ({} ops vs {})",
+        100.0 * task.cost_ratio(),
+        task.total_samples(),
+        task.periodic_baseline_samples()
+    );
+    match first_alert {
+        Some(t) => {
+            println!("attack detected:   window {t} (attack ramp began at window 1700)")
+        }
+        None => println!("attack detected:   MISSED — try a smaller error allowance"),
+    }
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! The managed monitoring service: heterogeneous tasks behind one
+//! `due`/`observe` loop, with tasks coming and going at run time.
+//!
+//! Registers three different task forms over generated metric streams —
+//! a plain CPU threshold, a free-memory floor, and a windowed-mean
+//! throughput alert — runs them together, then swaps one task out
+//! mid-flight, the way a datacenter's task population actually evolves.
+//!
+//! Run with: `cargo run --release --example monitoring_service`
+
+use volley::core::condition::Condition;
+use volley::core::service::{MonitoringService, TaskKind};
+use volley::core::task::TaskId;
+use volley::core::window::AggregateKind;
+use volley::{AdaptationConfig, SystemMetricsGenerator};
+
+const TICKS: usize = 10_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = SystemMetricsGenerator::new(64);
+    let cpu = generator.trace(0, 0, TICKS); // cpu_user
+    let mem = generator.trace(0, 15, TICKS); // mem_free_mb
+    let net = generator.trace(0, 54, TICKS); // net_rx_kbs
+
+    let config = AdaptationConfig::builder()
+        .error_allowance(0.01)
+        .max_interval(16)
+        .build()?;
+
+    let mut service = MonitoringService::new();
+    service.register(
+        TaskId(1),
+        config,
+        TaskKind::Above {
+            threshold: volley::selectivity_threshold(&cpu, 1.0)?,
+        },
+    )?;
+    // Free memory *below* its 0.5th percentile.
+    let mem_floor = {
+        let mut sorted = mem.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        volley_traces::timeseries::percentile(&sorted, 0.5)
+    };
+    service.register(
+        TaskId(2),
+        config,
+        TaskKind::Conditional {
+            condition: Condition::Below(mem_floor),
+        },
+    )?;
+    service.register(
+        TaskId(3),
+        config,
+        TaskKind::Windowed {
+            threshold: volley::selectivity_threshold(&net, 1.0)? * 0.9,
+            width: 12, // one minute of 5-second samples
+            aggregate: AggregateKind::Mean,
+        },
+    )?;
+
+    let stream = |task: TaskId, tick: usize| -> f64 {
+        match task {
+            TaskId(1) => cpu[tick],
+            TaskId(2) => mem[tick],
+            TaskId(3) => net[tick],
+            _ => unreachable!("unknown task"),
+        }
+    };
+
+    let mut alerts = 0u64;
+    for tick in 0..TICKS as u64 {
+        // Half-way through, the memory task is retired (its VM migrated).
+        if tick == TICKS as u64 / 2 {
+            service.deregister(TaskId(2));
+            println!(
+                "tick {tick}: task-2 retired; {} tasks remain",
+                service.len()
+            );
+        }
+        for task in service.due(tick) {
+            let value = stream(task, tick as usize);
+            if let Some(alert) = service.observe(task, tick, value)? {
+                alerts += 1;
+                if alerts <= 5 {
+                    println!(
+                        "alert: {} at tick {} (value {:.1})",
+                        alert.task, alert.tick, alert.value
+                    );
+                }
+            }
+        }
+    }
+
+    println!("\nticks:         {TICKS}");
+    println!("alerts:        {alerts}");
+    println!(
+        "sampling cost: {:.1}% of sampling every task every tick",
+        100.0 * service.cost_ratio()
+    );
+    for id in [1u64, 3] {
+        if let Some((samples, task_alerts)) = service.task_stats(TaskId(id)) {
+            println!("task-{id}: {samples} samples, {task_alerts} alerts");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! A monitor served over a real TCP socket — the paper's deployment
+//! shape (monitors in each server's Dom0, coordinators elsewhere) run in
+//! miniature: the "Dom0" side serves [`volley_runtime::MonitorActor`] on
+//! a loopback socket; the "coordinator" side drives ticks, receives local
+//! violation reports and issues a poll, all over the wire protocol.
+//!
+//! Run with: `cargo run --example remote_monitor`
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+
+use volley::core::task::MonitorId;
+use volley::{AdaptationConfig, AdaptiveSampler, NetflowConfig};
+use volley_runtime::message::{
+    decode, encode, CoordinatorToMonitor, MonitorToCoordinator, TickData,
+};
+use volley_runtime::transport::{read_frame, serve_monitor_tcp, write_frame};
+use volley_runtime::MonitorActor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- "Dom0" side: serve one monitor on a loopback socket. ---
+    let trace = NetflowConfig::builder()
+        .seed(21)
+        .build()
+        .generate_vm(0, 1200)
+        .rho;
+    let threshold = volley::selectivity_threshold(&trace, 1.0)?;
+    let config = AdaptationConfig::builder()
+        .error_allowance(0.02)
+        .max_interval(8)
+        .patience(5)
+        .build()?;
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let server = std::thread::spawn(move || {
+        let (stream, peer) = listener.accept().expect("accept coordinator");
+        eprintln!("monitor: serving coordinator at {peer}");
+        let actor = MonitorActor::new(MonitorId(0), AdaptiveSampler::new(config, threshold));
+        serve_monitor_tcp(actor, stream).expect("monitor serves cleanly");
+    });
+
+    // --- Coordinator side: drive ticks over the wire. ---
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut samples = 0u64;
+    let mut violations = 0u64;
+    let mut polls = 0u64;
+    for (t, &value) in trace.iter().enumerate() {
+        let tick = t as u64;
+        write_frame(
+            &mut writer,
+            &encode(&CoordinatorToMonitor::Tick(TickData { tick, value })),
+        )?;
+        let frame = read_frame(&mut reader)?.ok_or("monitor hung up")?;
+        match decode::<MonitorToCoordinator>(&frame)? {
+            MonitorToCoordinator::TickDone {
+                sampled, violation, ..
+            } => {
+                if sampled {
+                    samples += 1;
+                }
+                if violation {
+                    violations += 1;
+                    // Local violation → global poll, over the same wire.
+                    write_frame(&mut writer, &encode(&CoordinatorToMonitor::Poll { tick }))?;
+                    let frame = read_frame(&mut reader)?.ok_or("monitor hung up")?;
+                    if let MonitorToCoordinator::PollReply { value, .. } = decode(&frame)? {
+                        polls += 1;
+                        if polls == 1 {
+                            println!(
+                                "first local violation at tick {tick}: polled value {value:.0}"
+                            );
+                        }
+                    }
+                }
+            }
+            other => eprintln!("unexpected message: {other:?}"),
+        }
+    }
+    write_frame(&mut writer, &encode(&CoordinatorToMonitor::Shutdown))?;
+    server.join().expect("server thread exits");
+
+    println!("ticks driven:      {}", trace.len());
+    println!(
+        "samples over TCP:  {samples} ({:.1}% of periodic)",
+        100.0 * samples as f64 / trace.len() as f64
+    );
+    println!("local violations:  {violations} (each answered by a global poll)");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # volley
+//!
+//! Facade crate of the **Volley** reproduction — *"Volley: Violation
+//! Likelihood Based State Monitoring for Datacenters"* (ICDCS 2013).
+//! It re-exports the workspace's four libraries under one roof:
+//!
+//! - [`volley_core`] — the violation-likelihood adaptation
+//!   algorithms, distributed coordination and state correlation;
+//! - [`volley_traces`] — synthetic datacenter workloads standing
+//!   in for the paper's Internet2 / ICAC'09 / WorldCup'98 datasets;
+//! - [`volley_sim`] — the discrete-event datacenter simulator with
+//!   the Dom0 CPU cost model;
+//! - [`volley_runtime`] — the threaded monitor/coordinator
+//!   message-passing prototype.
+//!
+//! The most common entry points are re-exported at the crate root:
+//!
+//! ```
+//! use volley::{AdaptationConfig, AdaptiveSampler};
+//!
+//! # fn main() -> Result<(), volley::VolleyError> {
+//! let config = AdaptationConfig::builder().error_allowance(0.01).build()?;
+//! let mut sampler = AdaptiveSampler::new(config, 100.0);
+//! let outcome = sampler.observe(0, 42.0);
+//! assert!(!outcome.violation);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-module map and `EXPERIMENTS.md` for the reproduced figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use volley_core as core;
+pub use volley_runtime as runtime;
+pub use volley_sim as sim;
+pub use volley_traces as traces;
+
+pub use volley_core::{
+    exceed_probability_bound, misdetection_bound, selectivity_threshold, AccuracyReport,
+    AdaptationConfig, AdaptiveSampler, CorrelationConfig, CorrelationDetector, DetectionLog,
+    DistributedTask, ErrorAllocator, GroundTruth, Interval, MonitoringPlan, Observation,
+    OnlineStats, PeriodicSampler, SamplingPolicy, ThresholdSplit, Tick, VolleyError,
+};
+pub use volley_runtime::TaskRunner;
+pub use volley_sim::{NetworkScenario, NetworkScenarioConfig};
+pub use volley_traces::{
+    DiurnalPattern, HttpWorkloadConfig, NetflowConfig, SystemMetricsGenerator,
+};

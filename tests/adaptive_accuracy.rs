@@ -1,0 +1,135 @@
+//! Integration: monitor-level adaptation meets its cost/accuracy contract
+//! on all three workload families of the paper's evaluation.
+
+use volley::core::accuracy::evaluate_policy;
+use volley::{
+    AdaptationConfig, AdaptiveSampler, HttpWorkloadConfig, NetflowConfig, SystemMetricsGenerator,
+};
+use volley_traces::DiurnalPattern;
+
+fn adaptation(err: f64) -> AdaptationConfig {
+    AdaptationConfig::builder()
+        .error_allowance(err)
+        .max_interval(16)
+        .patience(10)
+        .build()
+        .expect("valid adaptation config")
+}
+
+fn family_traces() -> Vec<(&'static str, Vec<Vec<f64>>)> {
+    let ticks = 4000;
+    let network: Vec<Vec<f64>> = NetflowConfig::builder()
+        .seed(1)
+        .vms(6)
+        .diurnal(DiurnalPattern::new(ticks as u64, 0.4))
+        .build()
+        .generate(ticks)
+        .into_iter()
+        .map(|t| t.rho)
+        .collect();
+    let sysgen = SystemMetricsGenerator::new(2).with_diurnal_period(ticks as u64);
+    let system: Vec<Vec<f64>> = (0..6).map(|m| sysgen.trace(0, m * 11, ticks)).collect();
+    let http = HttpWorkloadConfig::builder()
+        .seed(3)
+        .objects(6)
+        .requests_per_tick(6000.0)
+        .diurnal(DiurnalPattern::new(ticks as u64, 0.6))
+        .build()
+        .generate(ticks);
+    let application: Vec<Vec<f64>> = (0..6).map(|o| http.object_rate(o).to_vec()).collect();
+    vec![
+        ("network", network),
+        ("system", system),
+        ("application", application),
+    ]
+}
+
+#[test]
+fn saves_cost_on_every_family() {
+    for (family, traces) in family_traces() {
+        let mut merged: Option<volley::AccuracyReport> = None;
+        for trace in &traces {
+            let threshold = volley::selectivity_threshold(trace, 1.0).expect("valid trace");
+            let mut policy = AdaptiveSampler::new(adaptation(0.02), threshold);
+            let report = evaluate_policy(&mut policy, trace);
+            merged = Some(merged.map(|m| m.merged(&report)).unwrap_or(report));
+        }
+        let report = merged.expect("non-empty");
+        assert!(
+            report.savings() > 0.15,
+            "{family}: expected >15% savings, got {:.3}",
+            report.savings()
+        );
+    }
+}
+
+#[test]
+fn misdetection_tracks_allowance_scale() {
+    // Measured misses should stay within a small factor of the allowance
+    // (the paper reports "smaller or close to" the allowance; Chebyshev
+    // conservatism usually gives much less).
+    for (family, traces) in family_traces() {
+        let mut merged: Option<volley::AccuracyReport> = None;
+        for trace in &traces {
+            let threshold = volley::selectivity_threshold(trace, 1.0).expect("valid trace");
+            let mut policy = AdaptiveSampler::new(adaptation(0.01), threshold);
+            let report = evaluate_policy(&mut policy, trace);
+            merged = Some(merged.map(|m| m.merged(&report)).unwrap_or(report));
+        }
+        let report = merged.expect("non-empty");
+        assert!(
+            report.misdetection_rate() <= 0.05,
+            "{family}: miss rate {:.4} far above the 0.01 allowance",
+            report.misdetection_rate()
+        );
+    }
+}
+
+#[test]
+fn cost_is_monotone_in_allowance() {
+    let (_, traces) = &family_traces()[0];
+    let trace = &traces[0];
+    let threshold = volley::selectivity_threshold(trace, 1.0).expect("valid trace");
+    let mut previous = f64::INFINITY;
+    for err in [0.002, 0.008, 0.032] {
+        let mut policy = AdaptiveSampler::new(adaptation(err), threshold);
+        let report = evaluate_policy(&mut policy, trace);
+        assert!(
+            report.cost_ratio() <= previous + 0.05,
+            "err={err}: ratio {} vs previous {previous}",
+            report.cost_ratio()
+        );
+        previous = report.cost_ratio();
+    }
+}
+
+#[test]
+fn zero_allowance_is_lossless() {
+    for (_, traces) in family_traces() {
+        let trace = &traces[0];
+        let threshold = volley::selectivity_threshold(trace, 2.0).expect("valid trace");
+        let mut policy = AdaptiveSampler::new(adaptation(0.0), threshold);
+        let report = evaluate_policy(&mut policy, trace);
+        assert_eq!(report.misdetection_rate(), 0.0);
+        assert_eq!(report.cost_ratio(), 1.0);
+    }
+}
+
+#[test]
+fn higher_selectivity_threshold_saves_more() {
+    let (_, traces) = &family_traces()[0];
+    let trace = &traces[1];
+    let tight = volley::selectivity_threshold(trace, 0.1).expect("valid trace");
+    let loose = volley::selectivity_threshold(trace, 6.4).expect("valid trace");
+    assert!(tight >= loose);
+    let mut p_tight = AdaptiveSampler::new(adaptation(0.016), tight);
+    let mut p_loose = AdaptiveSampler::new(adaptation(0.016), loose);
+    let r_tight = evaluate_policy(&mut p_tight, trace);
+    let r_loose = evaluate_policy(&mut p_loose, trace);
+    assert!(
+        r_tight.cost_ratio() <= r_loose.cost_ratio() + 0.05,
+        "k=0.1%: {} vs k=6.4%: {}",
+        r_tight.cost_ratio(),
+        r_loose.cost_ratio()
+    );
+}

@@ -1,0 +1,210 @@
+//! Integration: distributed tasks — local thresholds, global polls,
+//! detection parity with a centralized evaluator.
+
+use volley::core::coordinator::CoordinationScheme;
+use volley::core::task::TaskSpec;
+use volley::core::GroundTruth;
+use volley::{DistributedTask, NetflowConfig, ThresholdSplit};
+use volley_traces::DiurnalPattern;
+
+fn traces(monitors: usize, ticks: usize, seed: u64) -> Vec<Vec<f64>> {
+    NetflowConfig::builder()
+        .seed(seed)
+        .vms(monitors)
+        .diurnal(DiurnalPattern::new(ticks as u64, 0.4))
+        .build()
+        .generate(ticks)
+        .into_iter()
+        .map(|t| t.rho)
+        .collect()
+}
+
+/// With err = 0 (periodic sampling everywhere), the distributed task must
+/// raise an alert at exactly the ticks where the centralized aggregate
+/// exceeds the global threshold AND some local threshold is exceeded —
+/// which, by the decomposition property, is every aggregate-violation
+/// tick.
+#[test]
+fn periodic_distributed_task_detects_every_global_violation() {
+    let monitors = 5;
+    let ticks = 2500;
+    let traces = traces(monitors, ticks, 99);
+    // A global threshold low enough to be violated a handful of times.
+    let aggregate: Vec<f64> = (0..ticks)
+        .map(|t| traces.iter().map(|tr| tr[t]).sum())
+        .collect();
+    let global = volley::selectivity_threshold(&aggregate, 1.0).expect("valid");
+    let truth = GroundTruth::from_aggregate_traces(&traces, global);
+    assert!(truth.violation_count() > 0, "test needs violations");
+
+    let spec = TaskSpec::builder(global)
+        .monitors(monitors)
+        .error_allowance(0.0)
+        .build()
+        .expect("valid spec");
+    let mut task = DistributedTask::new(&spec).expect("valid task");
+    let mut alert_ticks = Vec::new();
+    let mut values = vec![0.0; monitors];
+    for tick in 0..ticks as u64 {
+        for (m, tr) in traces.iter().enumerate() {
+            values[m] = tr[tick as usize];
+        }
+        if task.step(tick, &values).expect("step").alerted() {
+            alert_ticks.push(tick);
+        }
+    }
+    assert_eq!(
+        alert_ticks,
+        truth.violation_ticks(),
+        "detection parity with centralized evaluation"
+    );
+}
+
+/// The fundamental safety property of threshold decomposition: no global
+/// violation can exist without at least one local violation, so a task
+/// sampling at the default interval can never be blind-sided.
+#[test]
+fn decomposition_never_misses_at_default_interval() {
+    for split in [ThresholdSplit::Even, ThresholdSplit::Proportional] {
+        let monitors = 4;
+        let ticks = 1500;
+        let traces = traces(monitors, ticks, 7);
+        let aggregate: Vec<f64> = (0..ticks)
+            .map(|t| traces.iter().map(|tr| tr[t]).sum())
+            .collect();
+        let global = volley::selectivity_threshold(&aggregate, 0.5).expect("valid");
+        let means: Vec<f64> = traces
+            .iter()
+            .map(|t| t.iter().sum::<f64>() / t.len() as f64)
+            .collect();
+        let spec = TaskSpec::builder(global)
+            .threshold_split(split)
+            .threshold_weights(means)
+            .error_allowance(0.0)
+            .build()
+            .expect("valid spec");
+        let mut task = DistributedTask::new(&spec).expect("valid task");
+        let truth = GroundTruth::from_aggregate_traces(&traces, global);
+        let mut detected = 0usize;
+        let mut values = vec![0.0; monitors];
+        for tick in 0..ticks as u64 {
+            for (m, tr) in traces.iter().enumerate() {
+                values[m] = tr[tick as usize];
+            }
+            if task.step(tick, &values).expect("step").alerted() {
+                detected += 1;
+            }
+        }
+        assert_eq!(detected, truth.violation_count(), "split {split:?}");
+    }
+}
+
+#[test]
+fn adaptive_task_saves_cost_with_bounded_misses() {
+    let monitors = 6;
+    let ticks = 4000;
+    let traces = traces(monitors, ticks, 21);
+    let thresholds: Vec<f64> = traces
+        .iter()
+        .map(|t| volley::selectivity_threshold(t, 1.0).expect("valid"))
+        .collect();
+    let global: f64 = thresholds.iter().sum();
+    let spec = TaskSpec::builder(global)
+        .monitors(monitors)
+        .error_allowance(0.02)
+        .max_interval(16)
+        .patience(10)
+        .build()
+        .expect("valid spec");
+    let mut task = DistributedTask::new(&spec).expect("valid task");
+    for (i, th) in thresholds.iter().enumerate() {
+        task.set_local_threshold(i, *th).expect("monitor exists");
+    }
+    let mut values = vec![0.0; monitors];
+    for tick in 0..ticks as u64 {
+        for (m, tr) in traces.iter().enumerate() {
+            values[m] = tr[tick as usize];
+        }
+        task.step(tick, &values).expect("step");
+    }
+    assert!(task.cost_ratio() < 0.85, "cost ratio {}", task.cost_ratio());
+}
+
+#[test]
+fn schemes_agree_when_monitors_are_homogeneous() {
+    // With statistically identical monitors, the adaptive scheme should
+    // stay within a few percent of the even baseline (the fixed point is
+    // the even split).
+    let monitors = 4;
+    let ticks = 3000;
+    let traces = traces(monitors, ticks, 5);
+    let thresholds: Vec<f64> = traces
+        .iter()
+        .map(|t| volley::selectivity_threshold(t, 1.0).expect("valid"))
+        .collect();
+    let global: f64 = thresholds.iter().sum();
+    let mut ratios = Vec::new();
+    for scheme in [CoordinationScheme::Even, CoordinationScheme::Adaptive] {
+        let spec = TaskSpec::builder(global)
+            .monitors(monitors)
+            .error_allowance(0.02)
+            .max_interval(16)
+            .patience(10)
+            .build()
+            .expect("valid spec");
+        let mut task = DistributedTask::with_scheme(
+            &spec,
+            scheme,
+            volley::core::allocation::AllocationConfig::default(),
+        )
+        .expect("valid task");
+        for (i, th) in thresholds.iter().enumerate() {
+            task.set_local_threshold(i, *th).expect("monitor exists");
+        }
+        let mut values = vec![0.0; monitors];
+        for tick in 0..ticks as u64 {
+            for (m, tr) in traces.iter().enumerate() {
+                values[m] = tr[tick as usize];
+            }
+            task.step(tick, &values).expect("step");
+        }
+        ratios.push(task.cost_ratio());
+    }
+    assert!(
+        (ratios[0] - ratios[1]).abs() < 0.10,
+        "even {} vs adaptive {}",
+        ratios[0],
+        ratios[1]
+    );
+}
+
+#[test]
+fn task_state_is_serde_round_trippable_mid_run() {
+    let monitors = 3;
+    let ticks = 600usize;
+    let traces = traces(monitors, ticks, 13);
+    let spec = TaskSpec::builder(500.0)
+        .monitors(monitors)
+        .error_allowance(0.01)
+        .build()
+        .expect("valid spec");
+    let mut task = DistributedTask::new(&spec).expect("valid task");
+    let mut values = vec![0.0; monitors];
+    for tick in 0..300u64 {
+        for (m, tr) in traces.iter().enumerate() {
+            values[m] = tr[tick as usize];
+        }
+        task.step(tick, &values).expect("step");
+    }
+    // Snapshot, restore, and verify identical continuation.
+    let snapshot = serde_json::to_string(&task).expect("serializes");
+    let mut restored: DistributedTask = serde_json::from_str(&snapshot).expect("deserializes");
+    for tick in 300..ticks as u64 {
+        for (m, tr) in traces.iter().enumerate() {
+            values[m] = tr[tick as usize];
+        }
+        let a = task.step(tick, &values).expect("step");
+        let b = restored.step(tick, &values).expect("step");
+        assert_eq!(a, b, "diverged at tick {tick}");
+    }
+}

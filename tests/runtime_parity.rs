@@ -1,0 +1,153 @@
+//! Integration: the threaded message-passing runtime agrees exactly with
+//! the step-driven reference implementation, and degrades predictably
+//! under injected message loss.
+
+use volley::core::coordinator::CoordinationScheme;
+use volley::core::task::TaskSpec;
+use volley::{DistributedTask, TaskRunner};
+use volley_runtime::FailureInjector;
+
+/// Deterministic pseudo-random traces (no external RNG needed).
+fn traces(monitors: usize, ticks: usize, seed: u64) -> Vec<Vec<f64>> {
+    (0..monitors)
+        .map(|m| {
+            let mut state = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(m as u64);
+            (0..ticks)
+                .map(|t| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let noise = (state >> 33) as f64 / (1u64 << 31) as f64; // 0..4
+                    let base = 20.0 + 5.0 * (m as f64) + noise * 5.0;
+                    // Periodic surges per monitor.
+                    if t % (500 + m * 37) > (480 + m * 37) {
+                        base + 120.0
+                    } else {
+                        base
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn spec(monitors: usize, global: f64, err: f64) -> TaskSpec {
+    TaskSpec::builder(global)
+        .monitors(monitors)
+        .error_allowance(err)
+        .max_interval(8)
+        .patience(5)
+        .warmup_samples(3)
+        .build()
+        .expect("valid spec")
+}
+
+fn reference_run(spec: &TaskSpec, traces: &[Vec<f64>]) -> (Vec<u64>, u64) {
+    let mut task = DistributedTask::new(spec).expect("valid task");
+    let ticks = traces[0].len();
+    let mut alerts = Vec::new();
+    let mut samples = 0u64;
+    let mut values = vec![0.0; traces.len()];
+    for tick in 0..ticks as u64 {
+        for (m, tr) in traces.iter().enumerate() {
+            values[m] = tr[tick as usize];
+        }
+        let out = task.step(tick, &values).expect("step");
+        samples += u64::from(out.total_samples());
+        if out.alerted() {
+            alerts.push(tick);
+        }
+    }
+    (alerts, samples)
+}
+
+#[test]
+fn exact_parity_across_seeds_and_sizes() {
+    for (monitors, seed) in [(2usize, 1u64), (3, 2), (5, 3)] {
+        let traces = traces(monitors, 1200, seed);
+        let spec = spec(monitors, 60.0 * monitors as f64, 0.02);
+        let (ref_alerts, ref_samples) = reference_run(&spec, &traces);
+        let report = TaskRunner::new(&spec)
+            .expect("valid runner")
+            .run(&traces)
+            .expect("run succeeds");
+        assert_eq!(
+            report.alert_ticks, ref_alerts,
+            "alerts (m={monitors}, seed={seed})"
+        );
+        assert_eq!(
+            report.total_samples, ref_samples,
+            "samples (m={monitors}, seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn parity_holds_for_even_scheme() {
+    let monitors = 3;
+    let traces = traces(monitors, 800, 11);
+    let spec = spec(monitors, 200.0, 0.02);
+    let mut reference = DistributedTask::with_scheme(
+        &spec,
+        CoordinationScheme::Even,
+        volley::core::allocation::AllocationConfig::default(),
+    )
+    .expect("valid task");
+    let mut ref_samples = 0u64;
+    let mut values = vec![0.0; monitors];
+    for tick in 0..800u64 {
+        for (m, tr) in traces.iter().enumerate() {
+            values[m] = tr[tick as usize];
+        }
+        ref_samples += u64::from(reference.step(tick, &values).expect("step").total_samples());
+    }
+    let report = TaskRunner::new(&spec)
+        .expect("valid runner")
+        .with_scheme(CoordinationScheme::Even)
+        .run(&traces)
+        .expect("run succeeds");
+    assert_eq!(report.total_samples, ref_samples);
+}
+
+#[test]
+fn message_loss_loses_alerts_monotonically() {
+    let monitors = 2;
+    let traces = traces(monitors, 1500, 4);
+    let spec = spec(monitors, 100.0, 0.0); // periodic: maximal alert count
+    let mut previous_alerts = u64::MAX;
+    for (loss, seed) in [(0.0, 1u64), (0.5, 1), (1.0, 1)] {
+        let report = TaskRunner::new(&spec)
+            .expect("valid runner")
+            .with_failure(FailureInjector::new(loss, seed))
+            .run(&traces)
+            .expect("run succeeds");
+        assert!(
+            report.alerts <= previous_alerts,
+            "alerts should not increase with loss ({loss}: {} vs {previous_alerts})",
+            report.alerts
+        );
+        previous_alerts = report.alerts;
+        if loss == 0.0 {
+            assert!(report.alerts > 0, "lossless run should alert");
+        }
+        if loss == 1.0 {
+            assert_eq!(report.alerts, 0, "total loss cannot alert");
+            assert_eq!(report.polls, 0);
+        }
+    }
+}
+
+#[test]
+fn runtime_handles_many_monitors() {
+    let monitors = 16;
+    let traces = traces(monitors, 400, 9);
+    let spec = spec(monitors, 50.0 * monitors as f64, 0.05);
+    let report = TaskRunner::new(&spec)
+        .expect("valid runner")
+        .run(&traces)
+        .expect("run succeeds");
+    assert_eq!(report.ticks, 400);
+    assert!(report.total_samples > 0);
+}
