@@ -96,6 +96,38 @@ pub struct SimulateArgs {
     pub seed: u64,
 }
 
+/// The `chaos` subcommand's options: run the threaded runtime on a bursty
+/// workload while injecting deterministic faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    /// Number of monitors.
+    pub monitors: usize,
+    /// Trace length in ticks.
+    pub ticks: usize,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Violation-report drop probability.
+    pub drop_rate: f64,
+    /// Poll-reply drop probability.
+    pub poll_drop_rate: f64,
+    /// Reply duplication probability.
+    pub dup_rate: f64,
+    /// Reply delay (reorder) probability.
+    pub delay_rate: f64,
+    /// Scheduled crashes as `(monitor, tick)`.
+    pub crashes: Vec<(u32, u64)>,
+    /// Scheduled stalls as `(monitor, from_tick, duration)`.
+    pub stalls: Vec<(u32, u64, u64)>,
+    /// Coordinator collection deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Consecutive missed deadlines before quarantine.
+    pub quarantine_after: u32,
+    /// Whether the supervisor restarts quarantined monitors.
+    pub supervise: bool,
+    /// Emit machine-readable JSON instead of the text report.
+    pub json: bool,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -106,6 +138,8 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Run the datacenter simulator scenario.
     Simulate(SimulateArgs),
+    /// Run the fault-injected threaded runtime.
+    Chaos(ChaosArgs),
     /// Print usage.
     Help,
 }
@@ -121,6 +155,11 @@ USAGE:
                   [--ticks <n=2000>] [--tasks <n=1>] [--seed <n=0>]
   volley simulate [--servers <n=4>] [--vms <n=40>] [--err <e=0.01>]
                   [--ticks <n=1500>] [--seed <n=0>]
+  volley chaos    [--monitors <n=5>] [--ticks <n=200>] [--seed <n=0>]
+                  [--drop-rate <p=0>] [--poll-drop-rate <p=0>]
+                  [--dup-rate <p=0>] [--delay-rate <p=0>]
+                  [--crash <m@t>] [--stall <m@t+d>] [--deadline-ms <n=50>]
+                  [--quarantine-after <n=2>] [--no-supervise] [--json]
   volley help
 ";
 
@@ -128,6 +167,28 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Resu
     let raw = value.ok_or_else(|| CliError::Usage(format!("flag {flag} requires a value")))?;
     raw.parse()
         .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for {flag}")))
+}
+
+/// Parses a crash spec `m@t`: monitor `m` crashes at tick `t`.
+fn parse_crash_spec(value: Option<&String>) -> Result<(u32, u64), CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage("--crash requires m@t".to_string()))?;
+    let bad = || CliError::Usage(format!("invalid crash spec `{raw}` (expected m@t)"));
+    let (m, t) = raw.split_once('@').ok_or_else(bad)?;
+    Ok((m.parse().map_err(|_| bad())?, t.parse().map_err(|_| bad())?))
+}
+
+/// Parses a stall spec `m@t+d`: monitor `m` goes silent at tick `t` for
+/// `d` ticks.
+fn parse_stall_spec(value: Option<&String>) -> Result<(u32, u64, u64), CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage("--stall requires m@t+d".to_string()))?;
+    let bad = || CliError::Usage(format!("invalid stall spec `{raw}` (expected m@t+d)"));
+    let (m, rest) = raw.split_once('@').ok_or_else(bad)?;
+    let (t, d) = rest.split_once('+').ok_or_else(bad)?;
+    Ok((
+        m.parse().map_err(|_| bad())?,
+        t.parse().map_err(|_| bad())?,
+        d.parse().map_err(|_| bad())?,
+    ))
 }
 
 impl Command {
@@ -148,6 +209,7 @@ impl Command {
             "monitor" => Self::parse_monitor(rest),
             "generate" => Self::parse_generate(rest),
             "simulate" => Self::parse_simulate(rest),
+            "chaos" => Self::parse_chaos(rest),
             other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -206,6 +268,48 @@ impl Command {
         parsed.ticks = parsed.ticks.max(1);
         parsed.tasks = parsed.tasks.max(1);
         Ok(Command::Generate(parsed))
+    }
+
+    fn parse_chaos(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = ChaosArgs {
+            monitors: 5,
+            ticks: 200,
+            seed: 0,
+            drop_rate: 0.0,
+            poll_drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            crashes: Vec::new(),
+            stalls: Vec::new(),
+            deadline_ms: 50,
+            quarantine_after: 2,
+            supervise: true,
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--monitors" => parsed.monitors = parse_value(flag, it.next())?,
+                "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
+                "--seed" => parsed.seed = parse_value(flag, it.next())?,
+                "--drop-rate" => parsed.drop_rate = parse_value(flag, it.next())?,
+                "--poll-drop-rate" => parsed.poll_drop_rate = parse_value(flag, it.next())?,
+                "--dup-rate" => parsed.dup_rate = parse_value(flag, it.next())?,
+                "--delay-rate" => parsed.delay_rate = parse_value(flag, it.next())?,
+                "--crash" => parsed.crashes.push(parse_crash_spec(it.next())?),
+                "--stall" => parsed.stalls.push(parse_stall_spec(it.next())?),
+                "--deadline-ms" => parsed.deadline_ms = parse_value(flag, it.next())?,
+                "--quarantine-after" => parsed.quarantine_after = parse_value(flag, it.next())?,
+                "--no-supervise" => parsed.supervise = false,
+                "--json" => parsed.json = true,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        parsed.monitors = parsed.monitors.max(1);
+        parsed.ticks = parsed.ticks.max(1);
+        parsed.deadline_ms = parsed.deadline_ms.max(1);
+        parsed.quarantine_after = parsed.quarantine_after.max(1);
+        Ok(Command::Chaos(parsed))
     }
 
     fn parse_simulate(args: &[String]) -> Result<Command, CliError> {
@@ -341,6 +445,81 @@ mod tests {
             Command::parse(args(&["simulate", "--servers"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn chaos_parses_fault_flags() {
+        let cmd = Command::parse(args(&[
+            "chaos",
+            "--monitors",
+            "3",
+            "--ticks",
+            "120",
+            "--drop-rate",
+            "0.25",
+            "--crash",
+            "1@40",
+            "--stall",
+            "2@20+50",
+            "--deadline-ms",
+            "30",
+            "--no-supervise",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert_eq!(c.monitors, 3);
+                assert_eq!(c.ticks, 120);
+                assert_eq!(c.drop_rate, 0.25);
+                assert_eq!(c.crashes, vec![(1, 40)]);
+                assert_eq!(c.stalls, vec![(2, 20, 50)]);
+                assert_eq!(c.deadline_ms, 30);
+                assert!(!c.supervise);
+                assert!(c.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_defaults_and_floors() {
+        let cmd = Command::parse(args(&[
+            "chaos",
+            "--monitors",
+            "0",
+            "--deadline-ms",
+            "0",
+            "--quarantine-after",
+            "0",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert_eq!(c.monitors, 1);
+                assert_eq!(c.deadline_ms, 1);
+                assert_eq!(c.quarantine_after, 1);
+                assert!(c.supervise);
+                assert!(c.crashes.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_malformed_fault_specs() {
+        for bad in [
+            vec!["chaos", "--crash", "1"],
+            vec!["chaos", "--crash", "x@9"],
+            vec!["chaos", "--stall", "1@5"],
+            vec!["chaos", "--stall", "1@5+y"],
+            vec!["chaos", "--crash"],
+        ] {
+            assert!(
+                matches!(Command::parse(args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use volley_traces::http::HttpWorkloadConfig;
 use volley_traces::netflow::NetflowConfig;
 use volley_traces::sysmetrics::SystemMetricsGenerator;
 
-use crate::args::{CliError, Command, GenerateArgs, MonitorArgs, SimulateArgs, USAGE};
+use crate::args::{ChaosArgs, CliError, Command, GenerateArgs, MonitorArgs, SimulateArgs, USAGE};
 
 /// Executes a parsed command, writing its report to `out`.
 ///
@@ -28,6 +28,7 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
         Command::Monitor(args) => monitor(&args, out),
         Command::Generate(args) => generate(&args, out),
         Command::Simulate(args) => simulate(&args, out),
+        Command::Chaos(args) => chaos(&args, out),
     }
 }
 
@@ -260,10 +261,143 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
+/// JSON report of a `chaos` run.
+#[derive(Debug, Serialize)]
+struct ChaosReport {
+    monitors: usize,
+    ticks: u64,
+    alerts: u64,
+    alert_ticks: Vec<u64>,
+    polls: u64,
+    degraded_polls: u64,
+    degraded_alerts: u64,
+    missed_tick_reports: u64,
+    quarantines: u64,
+    restarts: u64,
+    recoveries: u64,
+    total_samples: u64,
+    cost_ratio: f64,
+}
+
+/// Runs the threaded runtime on a synthetic bursty workload (every 50th
+/// tick all monitors spike over their local thresholds together) while a
+/// [`volley_runtime::FaultPlan`] built from the command-line flags drops,
+/// delays and duplicates messages and crashes or stalls monitors.
+fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
+    use volley_core::task::{MonitorId, TaskSpec};
+    use volley_runtime::{FaultPath, FaultPlan, TaskRunner};
+
+    let n = args.monitors;
+    // Error allowance 0 keeps every monitor at the default interval, so a
+    // fault-free run alerts on exactly the burst ticks — the report's
+    // alert list reads directly as "which bursts survived the faults".
+    let spec = TaskSpec::builder(100.0 * n as f64)
+        .monitors(n)
+        .error_allowance(0.0)
+        .build()?;
+    let local = 100.0;
+    let traces: Vec<Vec<f64>> = (0..n)
+        .map(|m| {
+            (0..args.ticks)
+                .map(|t| {
+                    let wobble = ((t * (3 + m)) % 7) as f64;
+                    if t % 50 == 49 {
+                        local * 1.4 + wobble
+                    } else {
+                        local * 0.2 + wobble
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut plan = FaultPlan::new(args.seed)
+        .with_drop_rate(FaultPath::ViolationReport, args.drop_rate)
+        .with_drop_rate(FaultPath::PollReply, args.poll_drop_rate)
+        .with_duplication_rate(args.dup_rate)
+        .with_delay_rate(args.delay_rate);
+    for &(m, t) in &args.crashes {
+        plan = plan.with_crash(MonitorId(m), t);
+    }
+    for &(m, t, d) in &args.stalls {
+        plan = plan.with_stall(MonitorId(m), t, d);
+    }
+
+    let report = TaskRunner::new(&spec)?
+        .with_fault_plan(plan)
+        .with_tick_deadline(std::time::Duration::from_millis(args.deadline_ms))
+        .with_quarantine_after(args.quarantine_after)
+        .with_supervision(args.supervise)
+        .run(&traces)?;
+
+    let summary = ChaosReport {
+        monitors: n,
+        ticks: report.ticks,
+        alerts: report.alerts,
+        alert_ticks: report.alert_ticks.clone(),
+        polls: report.polls,
+        degraded_polls: report.degraded_polls,
+        degraded_alerts: report.degraded_alerts,
+        missed_tick_reports: report.missed_tick_reports,
+        quarantines: report.quarantines,
+        restarts: report.restarts,
+        recoveries: report.recoveries,
+        total_samples: report.total_samples,
+        cost_ratio: report.cost_ratio(n),
+    };
+    if args.json {
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serializable")
+        )?;
+        return Ok(());
+    }
+    writeln!(out, "monitors:         {}", summary.monitors)?;
+    writeln!(out, "ticks:            {}", summary.ticks)?;
+    writeln!(
+        out,
+        "alerts:           {} ({} degraded)",
+        summary.alerts, summary.degraded_alerts
+    )?;
+    writeln!(
+        out,
+        "polls:            {} ({} degraded)",
+        summary.polls, summary.degraded_polls
+    )?;
+    writeln!(out, "missed reports:   {}", summary.missed_tick_reports)?;
+    writeln!(
+        out,
+        "quarantines:      {} ({} restarts, {} recoveries)",
+        summary.quarantines, summary.restarts, summary.recoveries
+    )?;
+    writeln!(
+        out,
+        "samples:          {} ({:.1}% of periodic)",
+        summary.total_samples,
+        100.0 * summary.cost_ratio
+    )?;
+    if !summary.alert_ticks.is_empty() {
+        let shown: Vec<String> = summary
+            .alert_ticks
+            .iter()
+            .take(20)
+            .map(|t| t.to_string())
+            .collect();
+        let suffix = if summary.alert_ticks.len() > 20 {
+            ", …"
+        } else {
+            ""
+        };
+        writeln!(out, "alerts at ticks:  {}{}", shown.join(", "), suffix)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::{GenerateArgs, MonitorArgs, SimulateArgs};
+    use crate::args::{ChaosArgs, GenerateArgs, MonitorArgs, SimulateArgs};
 
     fn run_to_string(command: Command) -> String {
         let mut buffer = Vec::new();
@@ -383,6 +517,47 @@ mod tests {
             &mut buffer,
         );
         assert!(matches!(result, Err(CliError::Usage(_))));
+    }
+
+    fn chaos_args() -> ChaosArgs {
+        ChaosArgs {
+            monitors: 2,
+            ticks: 100,
+            seed: 7,
+            drop_rate: 0.0,
+            poll_drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            crashes: Vec::new(),
+            stalls: Vec::new(),
+            deadline_ms: 25,
+            quarantine_after: 2,
+            supervise: true,
+            json: true,
+        }
+    }
+
+    #[test]
+    fn chaos_with_crash_reports_the_recovery() {
+        let mut args = chaos_args();
+        args.crashes.push((1, 10));
+        let text = run_to_string(Command::Chaos(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["ticks"], 100);
+        assert_eq!(parsed["quarantines"], 1);
+        assert_eq!(parsed["restarts"], 1);
+        assert_eq!(parsed["recoveries"], 1);
+        // Bursts at ticks 49 and 99 still alert despite the crash.
+        assert_eq!(parsed["alerts"], 2);
+    }
+
+    #[test]
+    fn chaos_text_report_lists_counters() {
+        let mut args = chaos_args();
+        args.json = false;
+        let text = run_to_string(Command::Chaos(args));
+        assert!(text.contains("quarantines:"), "{text}");
+        assert!(text.contains("alerts at ticks:  49, 99"), "{text}");
     }
 
     #[test]

@@ -41,6 +41,19 @@ pub enum VolleyError {
         /// Name of the offending parameter.
         parameter: &'static str,
     },
+    /// A runtime component (coordinator or monitor) disconnected while a
+    /// run still needed it.
+    RuntimeDisconnected {
+        /// The component that went away.
+        component: &'static str,
+    },
+    /// A wire frame exceeded the transport's maximum frame size.
+    FrameTooLarge {
+        /// Observed (partial) frame size in bytes.
+        size: usize,
+        /// The configured maximum.
+        max_size: usize,
+    },
 }
 
 impl fmt::Display for VolleyError {
@@ -61,6 +74,12 @@ impl fmt::Display for VolleyError {
             }
             VolleyError::NonFiniteValue { parameter } => {
                 write!(f, "parameter `{parameter}` must be a finite number")
+            }
+            VolleyError::RuntimeDisconnected { component } => {
+                write!(f, "runtime component `{component}` disconnected mid-run")
+            }
+            VolleyError::FrameTooLarge { size, max_size } => {
+                write!(f, "frame of {size} bytes exceeds the {max_size}-byte limit")
             }
         }
     }
@@ -116,5 +135,23 @@ mod tests {
     fn clone_and_eq() {
         let err = VolleyError::EmptyTask;
         assert_eq!(err.clone(), err);
+    }
+
+    #[test]
+    fn runtime_disconnected_names_component() {
+        let err = VolleyError::RuntimeDisconnected {
+            component: "coordinator",
+        };
+        assert!(err.to_string().contains("coordinator"));
+    }
+
+    #[test]
+    fn frame_too_large_reports_sizes() {
+        let err = VolleyError::FrameTooLarge {
+            size: 70_000,
+            max_size: 65_536,
+        };
+        let text = err.to_string();
+        assert!(text.contains("70000") && text.contains("65536"));
     }
 }

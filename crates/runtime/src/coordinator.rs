@@ -1,40 +1,136 @@
 //! The coordinator actor: local-violation processing, global polls and
 //! error-allowance reallocation on its own thread.
+//!
+//! # Fault tolerance
+//!
+//! Unlike the original lock-step loop — which blocked forever on
+//! `recv()` and hence hung if a single monitor died — every collection
+//! phase is bounded by a configurable **tick deadline**. A monitor that
+//! misses [`quarantine_after`](CoordinatorActor::with_quarantine_after)
+//! consecutive deadlines is **quarantined**: the coordinator stops
+//! waiting for it (so later ticks complete at full speed), reports the
+//! event to the runner (whose supervisor may restart the monitor), and
+//! switches to **degraded aggregation** — the missing monitor is counted
+//! at its local threshold `T_i`, the largest value consistent with it
+//! having nothing to report. Since `Σ T_i ≤ T`, this substitution never
+//! suppresses an alert another monitor's excess would have caused: degraded
+//! mode errs toward alerting, preserving the paper's no-missed-alert
+//! property at the price of possible false alerts. A quarantined monitor
+//! that reports on time again is restored immediately.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use volley_core::adaptation::PeriodReport;
 use volley_core::allocation::ErrorAllocator;
+use volley_core::task::MonitorId;
 use volley_core::time::Tick;
 
-use crate::failure::FailureInjector;
-use crate::message::{decode, encode, CoordinatorToMonitor, MonitorToCoordinator, TickSummary};
+use crate::failure::{FailureInjector, FaultPath, FaultPlan};
+use crate::link::MonitorLink;
+use crate::message::{
+    decode, encode, CoordinatorToMonitor, CoordinatorToRunner, MonitorToCoordinator, TickSummary,
+};
+
+/// Default bound on how long the coordinator waits for one tick's
+/// reports. Generous next to the microseconds a healthy monitor needs,
+/// so deadline misses indicate real failures, not scheduling jitter.
+pub const DEFAULT_TICK_DEADLINE: Duration = Duration::from_secs(1);
+
+/// Default number of consecutive missed deadlines before quarantine.
+pub const DEFAULT_QUARANTINE_AFTER: u32 = 3;
 
 /// The coordinator: evaluates the global condition on local-violation
-/// reports and periodically redistributes the error allowance (§IV).
+/// reports and periodically redistributes the error allowance (§IV),
+/// tolerating crashed, stalled and lossy monitors via tick deadlines,
+/// quarantine and degraded aggregation.
 #[derive(Debug)]
 pub struct CoordinatorActor {
     global_threshold: f64,
-    monitors: usize,
+    local_thresholds: Vec<f64>,
     allocator: ErrorAllocator,
     slack_ratio: f64,
     update_period: u64,
     next_update_tick: Tick,
     adaptive_allocation: bool,
     failure: FailureInjector,
+    faults: FaultPlan,
+    tick_deadline: Duration,
+    quarantine_after: u32,
+}
+
+/// Mutable per-run liveness bookkeeping.
+struct Liveness {
+    quarantined: Vec<bool>,
+    /// A quarantined monitor showing signs of life (a `Revived` notice
+    /// from the runner's supervisor, or any frame of its own): the next
+    /// collection awaits it again so it can re-earn active status.
+    reviving: Vec<bool>,
+    consecutive_missed: Vec<u32>,
+    last_tick: Option<Tick>,
+    /// Frames read ahead of their round (defensive; lock-step rarely
+    /// produces them).
+    pending: VecDeque<Bytes>,
+}
+
+impl Liveness {
+    fn new(monitors: usize) -> Self {
+        Liveness {
+            quarantined: vec![false; monitors],
+            reviving: vec![false; monitors],
+            consecutive_missed: vec![0; monitors],
+            last_tick: None,
+            pending: VecDeque::new(),
+        }
+    }
+
+    fn active(&self, idx: usize) -> bool {
+        !self.quarantined[idx]
+    }
+
+    /// Whether a tick collection should wait for this monitor.
+    fn awaited(&self, idx: usize) -> bool {
+        !self.quarantined[idx] || self.reviving[idx]
+    }
+
+    fn any_quarantined(&self) -> bool {
+        self.quarantined.iter().any(|&q| q)
+    }
+
+    /// Marks evidence that a quarantined monitor is alive again.
+    fn mark_reviving(&mut self, idx: usize) {
+        if idx < self.quarantined.len() && self.quarantined[idx] && !self.reviving[idx] {
+            self.reviving[idx] = true;
+            self.consecutive_missed[idx] = 0;
+        }
+    }
+}
+
+/// The monitor a protocol message claims to come from.
+fn msg_sender(msg: &MonitorToCoordinator) -> MonitorId {
+    match *msg {
+        MonitorToCoordinator::TickDone { monitor, .. }
+        | MonitorToCoordinator::PollReply { monitor, .. }
+        | MonitorToCoordinator::Report { monitor, .. }
+        | MonitorToCoordinator::Revived { monitor } => monitor,
+    }
 }
 
 impl CoordinatorActor {
-    /// Creates a coordinator for `monitors` monitors sharing
-    /// `global_threshold` and the allocator's global allowance.
+    /// Creates a coordinator for the monitors whose local thresholds are
+    /// `local_thresholds` (one per monitor, used for degraded
+    /// aggregation), sharing `global_threshold` and the allocator's
+    /// global allowance.
     ///
     /// `adaptive_allocation` selects between the paper's `adapt` scheme
     /// and the static `even` baseline; `slack_ratio` must match the
     /// monitors' adaptation `γ`.
     pub fn new(
         global_threshold: f64,
-        monitors: usize,
+        local_thresholds: Vec<f64>,
         allocator: ErrorAllocator,
         slack_ratio: f64,
         adaptive_allocation: bool,
@@ -43,14 +139,40 @@ impl CoordinatorActor {
         let update_period = allocator.config().update_period_ticks;
         CoordinatorActor {
             global_threshold,
-            monitors,
+            local_thresholds,
             allocator,
             slack_ratio,
             update_period,
             next_update_tick: update_period,
             adaptive_allocation,
             failure,
+            faults: FaultPlan::default(),
+            tick_deadline: DEFAULT_TICK_DEADLINE,
+            quarantine_after: DEFAULT_QUARANTINE_AFTER,
         }
+    }
+
+    /// Installs a deterministic fault plan for the monitor→coordinator
+    /// message paths.
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Bounds how long each collection phase waits for monitor replies.
+    #[must_use]
+    pub fn with_tick_deadline(mut self, deadline: Duration) -> Self {
+        self.tick_deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets how many consecutive missed deadlines quarantine a monitor
+    /// (minimum 1).
+    #[must_use]
+    pub fn with_quarantine_after(mut self, rounds: u32) -> Self {
+        self.quarantine_after = rounds.max(1);
+        self
     }
 
     /// The global threshold.
@@ -58,141 +180,331 @@ impl CoordinatorActor {
         self.global_threshold
     }
 
+    fn monitors(&self) -> usize {
+        self.local_thresholds.len()
+    }
+
+    /// Receives the next frame: buffered read-ahead first, then the
+    /// channel, bounded by `deadline`. `Ok(None)` means the deadline
+    /// passed; `Err(())` means every sender disconnected.
+    fn recv_frame(
+        &self,
+        live: &mut Liveness,
+        from_monitors: &Receiver<Bytes>,
+        deadline: Instant,
+    ) -> Result<Option<Bytes>, ()> {
+        if let Some(frame) = live.pending.pop_front() {
+            return Ok(Some(frame));
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Ok(None);
+        }
+        match from_monitors.recv_timeout(remaining) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(()),
+        }
+    }
+
+    /// Receives and decodes the next protocol message within `deadline`,
+    /// transparently consuming supervisor `Revived` notices and noting
+    /// life signs from quarantined monitors. `Ok(None)` means the
+    /// deadline passed; `Err(())` means every sender disconnected.
+    fn recv_msg(
+        &self,
+        live: &mut Liveness,
+        from_monitors: &Receiver<Bytes>,
+        deadline: Instant,
+    ) -> Result<Option<MonitorToCoordinator>, ()> {
+        loop {
+            let Some(frame) = self.recv_frame(live, from_monitors, deadline)? else {
+                return Ok(None);
+            };
+            let Ok(msg) = decode::<MonitorToCoordinator>(&frame) else {
+                continue; // malformed frame
+            };
+            let idx = msg_sender(&msg).0 as usize;
+            if idx < self.monitors() {
+                live.mark_reviving(idx);
+            }
+            if matches!(msg, MonitorToCoordinator::Revived { .. }) {
+                continue; // control notice, not a protocol reply
+            }
+            return Ok(Some(msg));
+        }
+    }
+
     /// Runs the coordinator loop until the monitor channel disconnects,
     /// consuming the actor.
     ///
     /// `from_monitors` carries encoded [`MonitorToCoordinator`] frames;
-    /// `to_monitors[i]` is monitor *i*'s inbox; each tick's
-    /// [`TickSummary`] is emitted on `to_runner`.
+    /// `to_monitors[i]` is monitor *i*'s inbox link; each tick's
+    /// [`CoordinatorToRunner::Summary`] — interleaved with quarantine and
+    /// recovery events — is emitted on `to_runner`.
     pub fn run(
         mut self,
         from_monitors: Receiver<Bytes>,
-        to_monitors: Vec<Sender<Bytes>>,
+        to_monitors: Vec<MonitorLink>,
         to_runner: Sender<Bytes>,
     ) {
-        debug_assert_eq!(to_monitors.len(), self.monitors);
-        'ticks: loop {
-            // Phase 1: collect one TickDone per monitor (lock-step).
-            let mut tick: Tick = 0;
-            let mut scheduled = 0u32;
-            let mut violations = 0u32;
-            let mut done = 0usize;
-            while done < self.monitors {
-                let Ok(frame) = from_monitors.recv() else {
-                    break 'ticks;
-                };
-                match decode::<MonitorToCoordinator>(&frame) {
-                    Ok(MonitorToCoordinator::TickDone {
-                        tick: t,
-                        sampled,
-                        violation,
-                        ..
-                    }) => {
-                        tick = t;
-                        done += 1;
-                        if sampled {
-                            scheduled += 1;
-                        }
-                        // The report path may be lossy: a dropped report
-                        // means the coordinator never learns of the local
-                        // violation.
-                        if violation && !self.failure.should_drop() {
-                            violations += 1;
-                        }
-                    }
-                    Ok(_) | Err(_) => continue,
-                }
-            }
+        let n = self.monitors();
+        debug_assert_eq!(to_monitors.len(), n);
+        let mut live = Liveness::new(n);
+        while let Ok(true) = self.run_tick(&mut live, &from_monitors, &to_monitors, &to_runner) {}
+    }
 
-            // Phase 2: global poll on any surviving local violation.
-            let mut poll_samples = 0u32;
-            let mut polled = false;
-            let mut alerted = false;
-            if violations > 0 {
-                polled = true;
-                for tx in &to_monitors {
-                    if tx
-                        .send(encode(&CoordinatorToMonitor::Poll { tick }))
-                        .is_err()
-                    {
-                        break 'ticks;
-                    }
-                }
-                let mut aggregate = 0.0;
-                let mut replies = 0usize;
-                while replies < self.monitors {
-                    let Ok(frame) = from_monitors.recv() else {
-                        break 'ticks;
-                    };
-                    if let Ok(MonitorToCoordinator::PollReply {
-                        value,
-                        forced_sample,
-                        ..
-                    }) = decode::<MonitorToCoordinator>(&frame)
-                    {
-                        aggregate += value;
-                        replies += 1;
-                        if forced_sample {
-                            poll_samples += 1;
-                        }
-                    }
-                }
-                alerted = aggregate > self.global_threshold;
-            }
+    /// One full tick round. `Ok(true)` continues, `Ok(false)` stops
+    /// cleanly (runner gone), `Err(())` stops on monitor disconnect.
+    fn run_tick(
+        &mut self,
+        live: &mut Liveness,
+        from_monitors: &Receiver<Bytes>,
+        to_monitors: &[MonitorLink],
+        to_runner: &Sender<Bytes>,
+    ) -> Result<bool, ()> {
+        let n = self.monitors();
 
-            // Phase 3: periodic allowance reallocation.
-            if tick >= self.next_update_tick {
-                self.next_update_tick = tick + self.update_period;
-                if self.adaptive_allocation && self.monitors > 1 {
-                    self.reallocate(&from_monitors, &to_monitors);
-                }
-            }
-
-            let summary = TickSummary {
-                tick,
-                scheduled_samples: scheduled,
-                poll_samples,
-                local_violations: violations,
-                polled,
-                alerted,
-            };
-            if to_runner.send(encode(&summary)).is_err() {
+        // Phase 1: collect TickDone from every awaited monitor — active
+        // ones plus quarantined ones showing signs of life — bounded by
+        // the tick deadline. When nothing at all is awaited (everything
+        // quarantined) the round still waits out the deadline: that
+        // throttles the loop and gives `Revived` notices a chance to
+        // arrive.
+        let deadline = Instant::now() + self.tick_deadline;
+        let mut seen = vec![false; n];
+        let mut round_tick: Option<Tick> = None;
+        let mut scheduled = 0u32;
+        let mut violations = 0u32;
+        loop {
+            // `recv_msg` can grow the awaited set mid-round, so the exit
+            // condition is re-evaluated every iteration.
+            if (0..n).any(|i| live.awaited(i)) && (0..n).all(|i| !live.awaited(i) || seen[i]) {
                 break;
             }
+            let Some(msg) = self.recv_msg(live, from_monitors, deadline)? else {
+                break; // deadline: finish the round with whoever reported
+            };
+            let MonitorToCoordinator::TickDone {
+                monitor,
+                tick: t,
+                sampled,
+                violation,
+            } = msg
+            else {
+                continue; // stale replies/reports from previous phases
+            };
+            let idx = monitor.0 as usize;
+            if idx >= n {
+                continue;
+            }
+            match round_tick {
+                None => {
+                    if live.last_tick.is_some_and(|lt| t <= lt) {
+                        continue; // late frame for an already-closed tick
+                    }
+                    round_tick = Some(t);
+                }
+                Some(rt) if t < rt => continue, // late frame
+                Some(rt) if t > rt => {
+                    // Read-ahead (possible only if the runner raced ahead);
+                    // keep it for the next round.
+                    live.pending.push_back(encode(&msg));
+                    continue;
+                }
+                Some(_) => {}
+            }
+            if seen[idx] {
+                continue; // duplicated frame
+            }
+            seen[idx] = true;
+            live.consecutive_missed[idx] = 0;
+            if live.quarantined[idx] {
+                live.quarantined[idx] = false;
+                live.reviving[idx] = false;
+                let event = CoordinatorToRunner::MonitorRecovered { monitor, tick: t };
+                if to_runner.send(encode(&event)).is_err() {
+                    return Ok(false);
+                }
+            }
+            if sampled {
+                scheduled += 1;
+            }
+            // The report path may be lossy: a dropped report means the
+            // coordinator never learns of the local violation.
+            if violation
+                && !self.faults.drops(FaultPath::ViolationReport, monitor, t)
+                && !self.failure.should_drop()
+            {
+                violations += 1;
+            }
         }
+        let tick = match round_tick {
+            Some(t) => t,
+            // Nothing arrived (every monitor quarantined or silent): the
+            // lock-step still advances one tick so the runner's loop —
+            // which sent this tick's data — gets its summary.
+            None => live.last_tick.map_or(0, |t| t + 1),
+        };
+        live.last_tick = Some(tick);
+
+        // Deadline bookkeeping: missed reports, quarantine decisions.
+        let mut missing_reports = 0u32;
+        for (idx, &seen_this_round) in seen.iter().enumerate() {
+            if live.quarantined[idx] {
+                missing_reports += 1;
+                // A reviving monitor that keeps missing deadlines loses
+                // its comeback credit (stop waiting for it again).
+                if live.reviving[idx] {
+                    live.consecutive_missed[idx] += 1;
+                    if live.consecutive_missed[idx] >= self.quarantine_after {
+                        live.reviving[idx] = false;
+                    }
+                }
+                continue;
+            }
+            if seen_this_round {
+                continue;
+            }
+            missing_reports += 1;
+            live.consecutive_missed[idx] += 1;
+            if live.consecutive_missed[idx] >= self.quarantine_after {
+                live.quarantined[idx] = true;
+                let event = CoordinatorToRunner::MonitorQuarantined {
+                    monitor: MonitorId(idx as u32),
+                    tick,
+                    consecutive_missed: live.consecutive_missed[idx],
+                };
+                if to_runner.send(encode(&event)).is_err() {
+                    return Ok(false);
+                }
+            }
+        }
+
+        // Phase 2: global poll on any surviving local violation.
+        let mut poll_samples = 0u32;
+        let mut polled = false;
+        let mut alerted = false;
+        let mut degraded = false;
+        if violations > 0 {
+            polled = true;
+            // Wait only for monitors that can answer in time: active, poll
+            // deliverable, reply neither dropped nor delayed by the plan
+            // (drop/delay decisions are pure functions shared with the
+            // injection sites, so predicting them here changes nothing
+            // about outcomes — it only avoids pointless deadline waits).
+            let mut awaiting = vec![false; n];
+            for idx in 0..n {
+                if !live.active(idx) {
+                    continue;
+                }
+                let monitor = MonitorId(idx as u32);
+                if !to_monitors[idx].send(encode(&CoordinatorToMonitor::Poll { tick })) {
+                    continue; // monitor process gone; aggregate at T_i
+                }
+                awaiting[idx] = !self.faults.drops(FaultPath::PollReply, monitor, tick)
+                    && !self.faults.delays(monitor, tick);
+            }
+            let mut aggregate = 0.0;
+            let mut replied = vec![false; n];
+            let poll_deadline = Instant::now() + self.tick_deadline;
+            while !(0..n).all(|i| !awaiting[i] || replied[i]) {
+                let Some(msg) = self.recv_msg(live, from_monitors, poll_deadline)? else {
+                    break;
+                };
+                let MonitorToCoordinator::PollReply {
+                    monitor,
+                    tick: t,
+                    value,
+                    forced_sample,
+                } = msg
+                else {
+                    continue;
+                };
+                let idx = monitor.0 as usize;
+                if idx >= n || t != tick || replied[idx] {
+                    continue; // stale, foreign or duplicated reply
+                }
+                if self.faults.drops(FaultPath::PollReply, monitor, tick) {
+                    continue; // the network ate this reply
+                }
+                replied[idx] = true;
+                aggregate += value;
+                if forced_sample {
+                    poll_samples += 1;
+                }
+            }
+            // Degraded aggregation: every monitor that did not answer is
+            // counted at its local threshold T_i — the largest value it
+            // could hold without having reported a local violation.
+            for (idx, &got_reply) in replied.iter().enumerate() {
+                if !got_reply {
+                    aggregate += self.local_thresholds[idx];
+                    degraded = true;
+                }
+            }
+            alerted = aggregate > self.global_threshold;
+        } else if live.any_quarantined() {
+            degraded = missing_reports > 0;
+        }
+
+        // Phase 3: periodic allowance reallocation.
+        if tick >= self.next_update_tick {
+            self.next_update_tick = tick + self.update_period;
+            if self.adaptive_allocation && self.monitors() > 1 {
+                self.reallocate(live, from_monitors, to_monitors)?;
+            }
+        }
+
+        let summary = CoordinatorToRunner::Summary(TickSummary {
+            tick,
+            scheduled_samples: scheduled,
+            poll_samples,
+            local_violations: violations,
+            polled,
+            alerted,
+            missing_reports,
+            degraded,
+        });
+        Ok(to_runner.send(encode(&summary)).is_ok())
     }
 
     /// One §IV-B updating round: gather period reports, update the
-    /// allocator, push new allowances.
-    fn reallocate(&mut self, from_monitors: &Receiver<Bytes>, to_monitors: &[Sender<Bytes>]) {
+    /// allocator, push new allowances. If any monitor is quarantined or
+    /// misses the deadline, the round is skipped and every monitor simply
+    /// carries its previous allowance forward — reallocation is an
+    /// optimization, never worth stalling or crashing the task over.
+    fn reallocate(
+        &mut self,
+        live: &mut Liveness,
+        from_monitors: &Receiver<Bytes>,
+        to_monitors: &[MonitorLink],
+    ) -> Result<(), ()> {
+        let n = self.monitors();
+        if live.any_quarantined() {
+            return Ok(());
+        }
         for tx in to_monitors {
-            if tx
-                .send(encode(&CoordinatorToMonitor::RequestReport))
-                .is_err()
-            {
-                return;
+            if !tx.send(encode(&CoordinatorToMonitor::RequestReport)) {
+                return Ok(()); // dead monitor: skip the round
             }
         }
-        let mut reports: Vec<Option<PeriodReport>> = vec![None; self.monitors];
+        let mut reports: Vec<Option<PeriodReport>> = vec![None; n];
         let mut received = 0usize;
-        while received < self.monitors {
-            let Ok(frame) = from_monitors.recv() else {
-                return;
+        let deadline = Instant::now() + self.tick_deadline;
+        while received < n {
+            let Some(msg) = self.recv_msg(live, from_monitors, deadline)? else {
+                return Ok(()); // deadline: carry allowances forward
             };
-            if let Ok(MonitorToCoordinator::Report { monitor, report }) =
-                decode::<MonitorToCoordinator>(&frame)
-            {
+            if let MonitorToCoordinator::Report { monitor, report } = msg {
                 let idx = monitor.0 as usize;
-                if idx < self.monitors && reports[idx].is_none() {
+                if idx < n && reports[idx].is_none() {
                     reports[idx] = Some(report);
                     received += 1;
                 }
             }
         }
-        let reports: Vec<PeriodReport> = reports
-            .into_iter()
-            .map(|r| r.expect("all monitors reported"))
-            .collect();
+        let reports: Vec<PeriodReport> = reports.into_iter().flatten().collect();
         if let Ok(decision) = self.allocator.update(&reports, self.slack_ratio) {
             if decision.reallocated {
                 for (tx, &err) in to_monitors.iter().zip(decision.allowances.iter()) {
@@ -200,6 +512,7 @@ impl CoordinatorActor {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -208,7 +521,21 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
     use volley_core::allocation::AllocationConfig;
-    use volley_core::task::MonitorId;
+
+    /// Receives runner frames until the next tick summary, returning it
+    /// plus any liveness events seen on the way.
+    fn next_summary(runner_rx: &Receiver<Bytes>) -> (TickSummary, Vec<CoordinatorToRunner>) {
+        let mut events = Vec::new();
+        loop {
+            let frame = runner_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("coordinator alive");
+            match decode::<CoordinatorToRunner>(&frame).expect("well-formed frame") {
+                CoordinatorToRunner::Summary(summary) => return (summary, events),
+                event => events.push(event),
+            }
+        }
+    }
 
     /// Drives a 1-monitor coordinator by hand: send TickDone frames,
     /// receive summaries.
@@ -226,13 +553,15 @@ mod tests {
         let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 1).unwrap();
         let coord = CoordinatorActor::new(
             threshold,
-            1,
+            vec![threshold],
             allocator,
             0.2,
             true,
             FailureInjector::lossless(),
         );
-        let handle = std::thread::spawn(move || coord.run(mon_rx, vec![to_mon_tx], runner_tx));
+        let handle = std::thread::spawn(move || {
+            coord.run(mon_rx, vec![MonitorLink::new(to_mon_tx)], runner_tx)
+        });
         (mon_tx, to_mon_rx, runner_rx, handle)
     }
 
@@ -247,11 +576,14 @@ mod tests {
                 violation: false,
             }))
             .unwrap();
-        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        let (summary, events) = next_summary(&runner_rx);
         assert_eq!(summary.tick, 0);
         assert_eq!(summary.scheduled_samples, 1);
         assert!(!summary.polled);
         assert!(!summary.alerted);
+        assert_eq!(summary.missing_reports, 0);
+        assert!(!summary.degraded);
+        assert!(events.is_empty());
         drop(mon_tx);
         handle.join().unwrap();
     }
@@ -279,9 +611,10 @@ mod tests {
                 forced_sample: false,
             }))
             .unwrap();
-        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
         assert!(summary.polled);
         assert!(summary.alerted);
+        assert!(!summary.degraded);
         assert_eq!(summary.local_violations, 1);
         drop(mon_tx);
         handle.join().unwrap();
@@ -307,7 +640,7 @@ mod tests {
                 forced_sample: true,
             }))
             .unwrap();
-        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
         assert!(summary.polled);
         assert!(!summary.alerted);
         assert_eq!(summary.poll_samples, 1);
@@ -323,13 +656,15 @@ mod tests {
         let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 1).unwrap();
         let coord = CoordinatorActor::new(
             100.0,
-            1,
+            vec![100.0],
             allocator,
             0.2,
             true,
             FailureInjector::new(1.0, 1), // drop every report
         );
-        let handle = std::thread::spawn(move || coord.run(mon_rx, vec![to_mon_tx], runner_tx));
+        let handle = std::thread::spawn(move || {
+            coord.run(mon_rx, vec![MonitorLink::new(to_mon_tx)], runner_tx)
+        });
         mon_tx
             .send(encode(&MonitorToCoordinator::TickDone {
                 monitor: MonitorId(0),
@@ -338,7 +673,7 @@ mod tests {
                 violation: true,
             }))
             .unwrap();
-        let summary: TickSummary = decode(&runner_rx.recv().unwrap()).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
         assert!(!summary.polled, "dropped report must suppress the poll");
         assert_eq!(summary.local_violations, 0);
         assert!(to_mon_rx.try_recv().is_err());
@@ -349,6 +684,199 @@ mod tests {
     #[test]
     fn disconnect_terminates_coordinator() {
         let (mon_tx, _to_mon, _runner_rx, handle) = harness(10.0);
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    /// A 2-monitor coordinator with a short deadline for fault tests.
+    #[allow(clippy::type_complexity)]
+    fn degraded_harness(
+        quarantine_after: u32,
+    ) -> (
+        Sender<Bytes>,
+        Receiver<Bytes>,
+        Receiver<Bytes>,
+        Receiver<Bytes>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (mon_tx, mon_rx) = unbounded::<Bytes>();
+        let (to_mon0_tx, to_mon0_rx) = unbounded::<Bytes>();
+        let (to_mon1_tx, to_mon1_rx) = unbounded::<Bytes>();
+        let (runner_tx, runner_rx) = unbounded::<Bytes>();
+        let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 2).unwrap();
+        let coord = CoordinatorActor::new(
+            100.0,
+            vec![50.0, 50.0],
+            allocator,
+            0.2,
+            false,
+            FailureInjector::lossless(),
+        )
+        .with_tick_deadline(Duration::from_millis(30))
+        .with_quarantine_after(quarantine_after);
+        let handle = std::thread::spawn(move || {
+            coord.run(
+                mon_rx,
+                vec![MonitorLink::new(to_mon0_tx), MonitorLink::new(to_mon1_tx)],
+                runner_tx,
+            )
+        });
+        (mon_tx, to_mon0_rx, to_mon1_rx, runner_rx, handle)
+    }
+
+    fn tick_done(monitor: u32, tick: Tick, violation: bool) -> Bytes {
+        encode(&MonitorToCoordinator::TickDone {
+            monitor: MonitorId(monitor),
+            tick,
+            sampled: true,
+            violation,
+        })
+    }
+
+    #[test]
+    fn silent_monitor_is_quarantined_then_aggregated_at_threshold() {
+        let (mon_tx, to_mon0, _to_mon1, runner_rx, handle) = degraded_harness(2);
+        // Monitor 1 never reports. Two rounds of misses quarantine it.
+        for tick in 0..2 {
+            mon_tx.send(tick_done(0, tick, false)).unwrap();
+            let (summary, events) = next_summary(&runner_rx);
+            assert_eq!(summary.tick, tick);
+            assert_eq!(summary.missing_reports, 1);
+            if tick == 1 {
+                assert!(matches!(
+                    events.as_slice(),
+                    [CoordinatorToRunner::MonitorQuarantined {
+                        monitor: MonitorId(1),
+                        consecutive_missed: 2,
+                        ..
+                    }]
+                ));
+            } else {
+                assert!(events.is_empty());
+            }
+        }
+        // Quarantined: the next round completes instantly and a local
+        // violation polls only monitor 0, with monitor 1 counted at its
+        // local threshold T_1 = 50 → 60 + 50 > 100 alerts (degraded).
+        mon_tx.send(tick_done(0, 2, true)).unwrap();
+        let poll: CoordinatorToMonitor = decode(&to_mon0.recv().unwrap()).unwrap();
+        assert!(matches!(poll, CoordinatorToMonitor::Poll { tick: 2 }));
+        mon_tx
+            .send(encode(&MonitorToCoordinator::PollReply {
+                monitor: MonitorId(0),
+                tick: 2,
+                value: 60.0,
+                forced_sample: false,
+            }))
+            .unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert!(summary.polled);
+        assert!(summary.degraded, "aggregation substituted T_1");
+        assert!(summary.alerted, "60 + T_1(50) > 100");
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn quarantined_monitor_recovers_on_reporting_again() {
+        let (mon_tx, _to_mon0, _to_mon1, runner_rx, handle) = degraded_harness(1);
+        // One missed round quarantines monitor 1 immediately.
+        mon_tx.send(tick_done(0, 0, false)).unwrap();
+        let (_, events) = next_summary(&runner_rx);
+        assert!(matches!(
+            events.as_slice(),
+            [CoordinatorToRunner::MonitorQuarantined { .. }]
+        ));
+        // Next tick both report. Monitor 1's frame is enqueued first
+        // (channel FIFO), so the round sees its life sign before the
+        // active set is satisfied: recovery event, full strength again.
+        mon_tx.send(tick_done(1, 1, false)).unwrap();
+        mon_tx.send(tick_done(0, 1, false)).unwrap();
+        let (summary, events) = next_summary(&runner_rx);
+        assert_eq!(summary.missing_reports, 0);
+        assert!(!summary.degraded);
+        assert!(matches!(
+            events.as_slice(),
+            [CoordinatorToRunner::MonitorRecovered {
+                monitor: MonitorId(1),
+                tick: 1,
+            }]
+        ));
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn revived_notice_makes_the_round_await_the_monitor() {
+        let (mon_tx, _to_mon0, _to_mon1, runner_rx, handle) = degraded_harness(1);
+        mon_tx.send(tick_done(0, 0, false)).unwrap();
+        let (_, events) = next_summary(&runner_rx);
+        assert!(matches!(
+            events.as_slice(),
+            [CoordinatorToRunner::MonitorQuarantined { .. }]
+        ));
+        // The supervisor announces the restart *before* any tick-1 frame.
+        mon_tx
+            .send(encode(&MonitorToCoordinator::Revived {
+                monitor: MonitorId(1),
+            }))
+            .unwrap();
+        // Even with the active monitor's frame first, the round now waits
+        // for monitor 1 instead of closing without it.
+        mon_tx.send(tick_done(0, 1, false)).unwrap();
+        mon_tx.send(tick_done(1, 1, false)).unwrap();
+        let (summary, events) = next_summary(&runner_rx);
+        assert_eq!(summary.missing_reports, 0);
+        assert!(matches!(
+            events.as_slice(),
+            [CoordinatorToRunner::MonitorRecovered {
+                monitor: MonitorId(1),
+                tick: 1,
+            }]
+        ));
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_stale_frames_are_discarded() {
+        let (mon_tx, _to_mon0, _to_mon1, runner_rx, handle) = degraded_harness(3);
+        mon_tx.send(tick_done(0, 0, false)).unwrap();
+        mon_tx.send(tick_done(0, 0, false)).unwrap(); // duplicate
+        mon_tx.send(tick_done(1, 0, false)).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert_eq!(summary.scheduled_samples, 2, "duplicate not double-counted");
+        // A stale frame for tick 0 must not satisfy tick 1's collection.
+        mon_tx.send(tick_done(0, 0, true)).unwrap(); // stale (late) frame
+        mon_tx.send(tick_done(0, 1, false)).unwrap();
+        mon_tx.send(tick_done(1, 1, false)).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert_eq!(summary.tick, 1);
+        assert_eq!(summary.local_violations, 0, "stale violation ignored");
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn missed_poll_reply_degrades_instead_of_hanging() {
+        let (mon_tx, to_mon0, _to_mon1, runner_rx, handle) = degraded_harness(5);
+        // Both report; monitor 0 raises a violation; monitor 1 never
+        // answers the poll.
+        mon_tx.send(tick_done(0, 0, true)).unwrap();
+        mon_tx.send(tick_done(1, 0, false)).unwrap();
+        let _: CoordinatorToMonitor = decode(&to_mon0.recv().unwrap()).unwrap();
+        mon_tx
+            .send(encode(&MonitorToCoordinator::PollReply {
+                monitor: MonitorId(0),
+                tick: 0,
+                value: 10.0,
+                forced_sample: false,
+            }))
+            .unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert!(summary.polled);
+        assert!(summary.degraded, "monitor 1's reply timed out");
+        assert!(!summary.alerted, "10 + T_1(50) <= 100");
         drop(mon_tx);
         handle.join().unwrap();
     }

@@ -1,13 +1,26 @@
-//! Failure injection for the violation-report path.
+//! Failure injection for the runtime's message paths.
 //!
 //! The paper's accuracy analysis assumes local violation reports reach the
 //! coordinator; a lossy network makes the effective mis-detection rate
-//! worse than the allowance. [`FailureInjector`] drops violation reports
-//! with a configurable probability so integration tests and the
-//! robustness bench can quantify exactly that effect.
+//! worse than the allowance. Two injectors quantify that effect:
+//!
+//! - [`FailureInjector`] — the original stateful, probability-per-message
+//!   dropper for the violation-report path. Deterministic per seed but
+//!   *order-dependent*: decisions follow draw order, so concurrent
+//!   monitors racing to the coordinator can shuffle outcomes between runs.
+//! - [`FaultPlan`] — its generalization. Every decision is a pure
+//!   function of `(seed, path, monitor, tick)`, so outcomes are identical
+//!   regardless of thread scheduling, and the same plan replayed over the
+//!   same traces yields an identical [`RuntimeReport`](crate::RuntimeReport).
+//!   Besides message drops on both report paths it injects duplication,
+//!   delayed (reordered) delivery, monitor crashes at a given tick and
+//!   multi-tick stalls.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use volley_core::task::MonitorId;
+use volley_core::time::Tick;
 
 /// Deterministic, seeded message-drop injector.
 ///
@@ -82,6 +95,211 @@ impl Default for FailureInjector {
     }
 }
 
+/// The monitor→coordinator message path a fault decision applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPath {
+    /// `TickDone` local-violation reports.
+    ViolationReport,
+    /// `PollReply` responses to a global poll.
+    PollReply,
+}
+
+impl FaultPath {
+    fn tag(self) -> u64 {
+        match self {
+            FaultPath::ViolationReport => 1,
+            FaultPath::PollReply => 2,
+        }
+    }
+}
+
+/// A deterministic, seeded fault schedule for one task run.
+///
+/// Probabilistic faults (drop, duplicate, delay) are decided by hashing
+/// `(seed, path, monitor, tick)` — never by a shared mutable RNG — so the
+/// decision for a given message is independent of the order in which
+/// concurrent messages arrive. Scheduled faults (crash, stall) are exact:
+/// a crash kills the monitor actor when it sees the given tick; a stall
+/// makes it drop everything it receives for `duration` ticks starting at
+/// the given tick, as a hung process would.
+///
+/// ```
+/// use volley_runtime::{FaultPath, FaultPlan};
+/// use volley_core::task::MonitorId;
+///
+/// let plan = FaultPlan::new(42)
+///     .with_drop_rate(FaultPath::ViolationReport, 0.5)
+///     .with_crash(MonitorId(1), 100)
+///     .with_stall(MonitorId(2), 50, 10);
+/// assert_eq!(plan.crash_tick(MonitorId(1)), Some(100));
+/// assert!(plan.stalled(MonitorId(2), 55));
+/// assert!(!plan.stalled(MonitorId(2), 60));
+/// // Decisions are reproducible: the same (path, monitor, tick) always
+/// // resolves the same way for a given seed.
+/// let d = plan.drops(FaultPath::ViolationReport, MonitorId(0), 7);
+/// assert_eq!(d, plan.drops(FaultPath::ViolationReport, MonitorId(0), 7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    report_drop: f64,
+    poll_reply_drop: f64,
+    duplicate: f64,
+    delay: f64,
+    crashes: Vec<(MonitorId, Tick)>,
+    stalls: Vec<(MonitorId, Tick, u64)>,
+}
+
+impl FaultPlan {
+    /// Creates a benign plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the drop probability for one message path (clamped to
+    /// `[0, 1]`; non-finite values disable the fault).
+    #[must_use]
+    pub fn with_drop_rate(mut self, path: FaultPath, probability: f64) -> Self {
+        let p = clamp_probability(probability);
+        match path {
+            FaultPath::ViolationReport => self.report_drop = p,
+            FaultPath::PollReply => self.poll_reply_drop = p,
+        }
+        self
+    }
+
+    /// Sets the probability that a monitor reply is sent twice.
+    #[must_use]
+    pub fn with_duplication_rate(mut self, probability: f64) -> Self {
+        self.duplicate = clamp_probability(probability);
+        self
+    }
+
+    /// Sets the probability that a monitor reply is held back and sent
+    /// after the following reply (a one-message reorder, which makes the
+    /// held message miss its tick deadline).
+    #[must_use]
+    pub fn with_delay_rate(mut self, probability: f64) -> Self {
+        self.delay = clamp_probability(probability);
+        self
+    }
+
+    /// Schedules `monitor` to crash (exit without replying) upon
+    /// receiving the tick `at`.
+    #[must_use]
+    pub fn with_crash(mut self, monitor: MonitorId, at: Tick) -> Self {
+        self.crashes.push((monitor, at));
+        self
+    }
+
+    /// Schedules `monitor` to stall — discard every message it receives —
+    /// for `duration` ticks starting at tick `from`.
+    #[must_use]
+    pub fn with_stall(mut self, monitor: MonitorId, from: Tick, duration: u64) -> Self {
+        self.stalls.push((monitor, from, duration));
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_benign(&self) -> bool {
+        self.report_drop == 0.0
+            && self.poll_reply_drop == 0.0
+            && self.duplicate == 0.0
+            && self.delay == 0.0
+            && self.crashes.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Whether the message from `monitor` at `tick` on `path` is dropped.
+    pub fn drops(&self, path: FaultPath, monitor: MonitorId, tick: Tick) -> bool {
+        let p = match path {
+            FaultPath::ViolationReport => self.report_drop,
+            FaultPath::PollReply => self.poll_reply_drop,
+        };
+        self.decide(path.tag(), monitor, tick, p)
+    }
+
+    /// Whether the reply from `monitor` at `tick` is duplicated.
+    pub fn duplicates(&self, monitor: MonitorId, tick: Tick) -> bool {
+        self.decide(3, monitor, tick, self.duplicate)
+    }
+
+    /// Whether the reply from `monitor` at `tick` is delayed past the
+    /// next reply.
+    pub fn delays(&self, monitor: MonitorId, tick: Tick) -> bool {
+        self.decide(4, monitor, tick, self.delay)
+    }
+
+    /// The tick at which `monitor` crashes, if any (the earliest when
+    /// several are scheduled).
+    pub fn crash_tick(&self, monitor: MonitorId) -> Option<Tick> {
+        self.crashes
+            .iter()
+            .filter(|(m, _)| *m == monitor)
+            .map(|&(_, t)| t)
+            .min()
+    }
+
+    /// Whether `monitor` is inside a stall window at `tick`.
+    pub fn stalled(&self, monitor: MonitorId, tick: Tick) -> bool {
+        self.stalls
+            .iter()
+            .any(|&(m, from, dur)| m == monitor && tick >= from && tick < from.saturating_add(dur))
+    }
+
+    /// A copy of this plan with every crash and stall for `monitor`
+    /// removed — the plan a freshly restarted monitor process runs under
+    /// (a restart replaces the faulty process; message-path faults, which
+    /// model the network, remain).
+    #[must_use]
+    pub fn without_process_faults(&self, monitor: MonitorId) -> Self {
+        let mut plan = self.clone();
+        plan.crashes.retain(|(m, _)| *m != monitor);
+        plan.stalls.retain(|(m, _, _)| *m != monitor);
+        plan
+    }
+
+    /// One order-independent fault decision: a pure hash of
+    /// `(seed, lane, monitor, tick)` compared against `probability`.
+    fn decide(&self, lane: u64, monitor: MonitorId, tick: Tick, probability: f64) -> bool {
+        if probability <= 0.0 {
+            return false;
+        }
+        if probability >= 1.0 {
+            return true;
+        }
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(lane);
+        h ^= u64::from(monitor.0).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= tick.wrapping_mul(0x94D0_49BB_1331_11EB);
+        // SplitMix64 finalizer: avalanche so nearby (monitor, tick) pairs
+        // decorrelate.
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < probability
+    }
+}
+
+fn clamp_probability(p: f64) -> f64 {
+    if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +348,102 @@ mod tests {
         assert_eq!(FailureInjector::new(7.0, 0).drop_probability(), 1.0);
         assert_eq!(FailureInjector::new(-2.0, 0).drop_probability(), 0.0);
         assert_eq!(FailureInjector::new(f64::NAN, 0).drop_probability(), 0.0);
+    }
+
+    #[test]
+    fn plan_decisions_are_order_independent() {
+        let plan = FaultPlan::new(11).with_drop_rate(FaultPath::ViolationReport, 0.4);
+        // Query in two different orders; outcomes must match pairwise.
+        let forward: Vec<bool> = (0..100)
+            .flat_map(|t| (0..4).map(move |m| (m, t)))
+            .map(|(m, t)| plan.drops(FaultPath::ViolationReport, MonitorId(m), t))
+            .collect();
+        let mut backward: Vec<((u32, Tick), bool)> = (0..100)
+            .rev()
+            .flat_map(|t| (0..4).rev().map(move |m| (m, t)))
+            .map(|(m, t)| {
+                (
+                    (m, t),
+                    plan.drops(FaultPath::ViolationReport, MonitorId(m), t),
+                )
+            })
+            .collect();
+        backward.sort_by_key(|&(key, _)| (key.1, key.0));
+        let backward: Vec<bool> = backward.into_iter().map(|(_, d)| d).collect();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn plan_rate_approximates_probability() {
+        let plan = FaultPlan::new(5).with_drop_rate(FaultPath::PollReply, 0.3);
+        let drops = (0..100_000u64)
+            .filter(|&t| plan.drops(FaultPath::PollReply, MonitorId(0), t))
+            .count();
+        let rate = drops as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn plan_paths_are_decorrelated() {
+        let plan = FaultPlan::new(9)
+            .with_drop_rate(FaultPath::ViolationReport, 0.5)
+            .with_drop_rate(FaultPath::PollReply, 0.5);
+        let report: Vec<bool> = (0..256)
+            .map(|t| plan.drops(FaultPath::ViolationReport, MonitorId(0), t))
+            .collect();
+        let poll: Vec<bool> = (0..256)
+            .map(|t| plan.drops(FaultPath::PollReply, MonitorId(0), t))
+            .collect();
+        assert_ne!(report, poll, "paths must use independent streams");
+    }
+
+    #[test]
+    fn plan_crash_and_stall_windows() {
+        let plan = FaultPlan::new(0)
+            .with_crash(MonitorId(3), 40)
+            .with_crash(MonitorId(3), 20)
+            .with_stall(MonitorId(1), 10, 5);
+        assert_eq!(plan.crash_tick(MonitorId(3)), Some(20), "earliest crash");
+        assert_eq!(plan.crash_tick(MonitorId(0)), None);
+        assert!(!plan.stalled(MonitorId(1), 9));
+        assert!(plan.stalled(MonitorId(1), 10));
+        assert!(plan.stalled(MonitorId(1), 14));
+        assert!(!plan.stalled(MonitorId(1), 15));
+        assert!(!plan.stalled(MonitorId(0), 12));
+    }
+
+    #[test]
+    fn plan_restart_strips_process_faults_only() {
+        let plan = FaultPlan::new(7)
+            .with_drop_rate(FaultPath::ViolationReport, 0.25)
+            .with_crash(MonitorId(0), 5)
+            .with_stall(MonitorId(0), 8, 3)
+            .with_stall(MonitorId(1), 8, 3);
+        let restarted = plan.without_process_faults(MonitorId(0));
+        assert_eq!(restarted.crash_tick(MonitorId(0)), None);
+        assert!(!restarted.stalled(MonitorId(0), 9));
+        assert!(
+            restarted.stalled(MonitorId(1), 9),
+            "other monitors keep theirs"
+        );
+        // Network faults are unaffected.
+        for t in 0..64 {
+            assert_eq!(
+                plan.drops(FaultPath::ViolationReport, MonitorId(2), t),
+                restarted.drops(FaultPath::ViolationReport, MonitorId(2), t)
+            );
+        }
+    }
+
+    #[test]
+    fn benign_plan_does_nothing() {
+        let plan = FaultPlan::new(123);
+        assert!(plan.is_benign());
+        assert!(!plan.drops(FaultPath::ViolationReport, MonitorId(0), 0));
+        assert!(!plan.duplicates(MonitorId(0), 0));
+        assert!(!plan.delays(MonitorId(0), 0));
+        let faulty = plan.clone().with_duplication_rate(1.0);
+        assert!(!faulty.is_benign());
+        assert!(faulty.duplicates(MonitorId(0), 0));
     }
 }

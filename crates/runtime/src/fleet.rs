@@ -11,7 +11,10 @@ use volley_core::coordinator::CoordinationScheme;
 use volley_core::task::TaskSpec;
 use volley_core::VolleyError;
 
-use crate::failure::FailureInjector;
+use std::time::Duration;
+
+use crate::coordinator::DEFAULT_TICK_DEADLINE;
+use crate::failure::{FailureInjector, FaultPlan};
 use crate::runner::{RuntimeReport, TaskRunner};
 
 /// One task submission for a fleet run.
@@ -25,18 +28,34 @@ pub struct FleetTask {
     pub scheme: CoordinationScheme,
     /// Violation-report loss injection.
     pub failure: FailureInjector,
+    /// Deterministic fault plan (crashes, stalls, drops, delays,
+    /// duplication) for this task's run.
+    pub fault_plan: FaultPlan,
+    /// Tick deadline for this task's coordinator.
+    pub tick_deadline: Duration,
 }
 
 impl FleetTask {
-    /// Creates a submission with the default (adaptive) scheme and a
-    /// lossless report path.
+    /// Creates a submission with the default (adaptive) scheme, a
+    /// lossless report path and no injected faults.
     pub fn new(spec: TaskSpec, traces: Vec<Vec<f64>>) -> Self {
         FleetTask {
             spec,
             traces,
             scheme: CoordinationScheme::Adaptive,
             failure: FailureInjector::lossless(),
+            fault_plan: FaultPlan::default(),
+            tick_deadline: DEFAULT_TICK_DEADLINE,
         }
+    }
+
+    /// Installs a fault plan (and usually a much shorter tick deadline)
+    /// for this submission.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan, tick_deadline: Duration) -> Self {
+        self.fault_plan = plan;
+        self.tick_deadline = tick_deadline;
+        self
     }
 }
 
@@ -99,6 +118,8 @@ impl FleetRunner {
                     TaskRunner::new(&task.spec)?
                         .with_scheme(task.scheme)
                         .with_failure(task.failure.clone())
+                        .with_fault_plan(task.fault_plan.clone())
+                        .with_tick_deadline(task.tick_deadline)
                         .run(&task.traces)
                 }));
             }
@@ -188,6 +209,22 @@ mod tests {
         let bad = FleetTask::new(spec(2, 100.0), quiet_traces(1, 50, 1.0));
         let err = FleetRunner::new().run(vec![bad]).unwrap_err();
         assert!(matches!(err, VolleyError::ValueCountMismatch { .. }));
+    }
+
+    #[test]
+    fn faulty_task_completes_without_contaminating_the_fleet() {
+        use volley_core::task::MonitorId;
+        let healthy = FleetTask::new(spec(2, 500.0), quiet_traces(2, 100, 5.0));
+        let faulty = FleetTask::new(spec(2, 500.0), quiet_traces(2, 100, 5.0)).with_faults(
+            FaultPlan::new(3).with_crash(MonitorId(0), 10),
+            Duration::from_millis(25),
+        );
+        let (reports, summary) = FleetRunner::new().run(vec![healthy, faulty]).unwrap();
+        assert_eq!(summary.tasks, 2);
+        assert_eq!(reports[0].quarantines, 0, "healthy task unaffected");
+        assert_eq!(reports[1].quarantines, 1);
+        assert_eq!(reports[1].restarts, 1);
+        assert_eq!(reports[1].ticks, 100, "faulty task still completes");
     }
 
     #[test]

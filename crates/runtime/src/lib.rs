@@ -29,9 +29,30 @@
 //!    the runner, and — every updating period — collects period reports
 //!    and reallocates error allowance (§IV-B).
 //!
-//! Message loss on the violation-report path can be injected with
-//! [`failure::FailureInjector`] to study the accuracy
-//! impact of an unreliable network.
+//! # Fault tolerance
+//!
+//! The runtime assumes monitors can fail and the network can misbehave:
+//!
+//! - every coordinator collection phase is bounded by a **tick deadline**
+//!   ([`TaskRunner::with_tick_deadline`]) instead of blocking forever;
+//! - a monitor missing consecutive deadlines is **quarantined**
+//!   ([`TaskRunner::with_quarantine_after`]): the coordinator stops
+//!   waiting for it and aggregates it at its local threshold `T_i`
+//!   (**degraded mode** — conservative, so degraded aggregation can raise
+//!   false alerts but never suppresses one another monitor could prove);
+//! - the runner's **supervisor** restarts quarantined monitors with a
+//!   fresh sampler ([`TaskRunner::with_supervision`]), and the
+//!   coordinator welcomes them back the moment they report on time;
+//! - allowance reallocation **skips any round with missing reports** and
+//!   carries the previous allowances forward.
+//!
+//! Faults themselves are injectable: the deterministic
+//! [`failure::FaultPlan`] drops, delays and duplicates protocol messages
+//! and schedules monitor crashes and stalls, purely as a function of
+//! `(seed, monitor, tick)`, so a run under a given plan is exactly
+//! reproducible. The legacy [`failure::FailureInjector`] (ordered,
+//! stateful loss on the violation-report path only) remains for the
+//! original accuracy experiments.
 //!
 //! ```
 //! use volley_core::task::TaskSpec;
@@ -55,13 +76,16 @@
 pub mod coordinator;
 pub mod failure;
 pub mod fleet;
+pub mod link;
 pub mod message;
 pub mod monitor;
 pub mod runner;
 pub mod transport;
 
 pub use coordinator::CoordinatorActor;
-pub use failure::FailureInjector;
+pub use failure::{FailureInjector, FaultPath, FaultPlan};
 pub use fleet::{FleetRunner, FleetSummary, FleetTask};
+pub use link::MonitorLink;
+pub use message::CoordinatorToRunner;
 pub use monitor::MonitorActor;
 pub use runner::{RuntimeReport, TaskRunner};

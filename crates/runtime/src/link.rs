@@ -1,0 +1,77 @@
+//! Swappable channel endpoints for monitor inboxes.
+//!
+//! The runner and the coordinator both send frames to every monitor. When
+//! the runner restarts a crashed or stalled monitor it must atomically
+//! redirect *both* senders to the fresh actor's inbox; [`MonitorLink`]
+//! provides that indirection: a cloneable handle whose underlying
+//! [`Sender`] can be replaced at runtime, with clones observing the swap.
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+
+/// A cloneable, swappable handle to one monitor's inbox.
+#[derive(Debug, Clone)]
+pub struct MonitorLink {
+    inner: Arc<Mutex<Sender<Bytes>>>,
+}
+
+impl MonitorLink {
+    /// Wraps a monitor-inbox sender.
+    pub fn new(sender: Sender<Bytes>) -> Self {
+        MonitorLink {
+            inner: Arc::new(Mutex::new(sender)),
+        }
+    }
+
+    /// Sends one frame; `false` means the monitor's inbox is gone
+    /// (its thread exited and the receiver was dropped).
+    pub fn send(&self, frame: Bytes) -> bool {
+        let guard = self.inner.lock().expect("link lock never poisoned");
+        guard.send(frame).is_ok()
+    }
+
+    /// Redirects this link (and every clone of it) to a new inbox;
+    /// dropping the previous sender disconnects the old actor, letting a
+    /// stalled thread drain out and exit.
+    pub fn replace(&self, sender: Sender<Bytes>) {
+        let mut guard = self.inner.lock().expect("link lock never poisoned");
+        *guard = sender;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn send_reaches_receiver() {
+        let (tx, rx) = unbounded::<Bytes>();
+        let link = MonitorLink::new(tx);
+        assert!(link.send(Bytes::from_static(b"a")));
+        assert_eq!(&*rx.recv().unwrap(), b"a");
+    }
+
+    #[test]
+    fn replace_redirects_all_clones() {
+        let (tx1, rx1) = unbounded::<Bytes>();
+        let (tx2, rx2) = unbounded::<Bytes>();
+        let link = MonitorLink::new(tx1);
+        let clone = link.clone();
+        link.replace(tx2);
+        assert!(clone.send(Bytes::from_static(b"b")), "clone sees the swap");
+        assert_eq!(&*rx2.recv().unwrap(), b"b");
+        // The old inbox is disconnected once its sender is dropped.
+        assert!(rx1.try_recv().is_err());
+    }
+
+    #[test]
+    fn send_reports_dead_inbox() {
+        let (tx, rx) = unbounded::<Bytes>();
+        let link = MonitorLink::new(tx);
+        drop(rx);
+        assert!(!link.send(Bytes::from_static(b"c")));
+    }
+}

@@ -62,6 +62,15 @@ pub enum MonitorToCoordinator {
         /// The period aggregates.
         report: PeriodReport,
     },
+    /// Supervisor notice (sent by the *runner*, which shares the
+    /// monitor→coordinator channel): `monitor` was restarted and will
+    /// report again — await it instead of skipping it as quarantined.
+    /// Because the channel is FIFO, the notice always precedes the
+    /// restarted monitor's first report.
+    Revived {
+        /// The restarted monitor.
+        monitor: MonitorId,
+    },
 }
 
 /// Messages from the coordinator (or runner) to a monitor.
@@ -100,6 +109,39 @@ pub struct TickSummary {
     pub polled: bool,
     /// Whether the poll found `Σ v_i > T`.
     pub alerted: bool,
+    /// Monitors whose tick report missed the collection deadline (or that
+    /// were already quarantined) this tick.
+    pub missing_reports: u32,
+    /// Whether any aggregation this tick substituted a missing monitor's
+    /// local threshold `T_i` for its value (degraded mode).
+    pub degraded: bool,
+}
+
+/// Frames the coordinator sends the runner: the per-tick summary plus
+/// liveness events about individual monitors, which the runner's
+/// supervisor uses to restart dead ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoordinatorToRunner {
+    /// A tick concluded.
+    Summary(TickSummary),
+    /// A monitor missed enough consecutive tick deadlines to be
+    /// quarantined: the coordinator stops waiting for it and aggregates
+    /// it at its local threshold until it reappears.
+    MonitorQuarantined {
+        /// The quarantined monitor.
+        monitor: MonitorId,
+        /// The tick at which quarantine began.
+        tick: Tick,
+        /// Consecutive deadlines missed at that point.
+        consecutive_missed: u32,
+    },
+    /// A quarantined monitor reported on time again.
+    MonitorRecovered {
+        /// The recovered monitor.
+        monitor: MonitorId,
+        /// The tick at which it reported again.
+        tick: Tick,
+    },
 }
 
 /// Encodes a message as one JSON line in a [`Bytes`] buffer.
@@ -173,6 +215,15 @@ mod tests {
     }
 
     #[test]
+    fn revived_round_trip() {
+        let msg = MonitorToCoordinator::Revived {
+            monitor: MonitorId(2),
+        };
+        let back: MonitorToCoordinator = decode(&encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
     fn coordinator_messages_round_trip() {
         for msg in [
             CoordinatorToMonitor::Tick(TickData {
@@ -193,5 +244,33 @@ mod tests {
     fn decode_rejects_garbage() {
         let garbage = Bytes::from_static(b"not json\n");
         assert!(decode::<TickSummary>(&garbage).is_err());
+    }
+
+    #[test]
+    fn runner_frames_round_trip() {
+        for msg in [
+            CoordinatorToRunner::Summary(TickSummary {
+                tick: 12,
+                scheduled_samples: 3,
+                poll_samples: 1,
+                local_violations: 2,
+                polled: true,
+                alerted: false,
+                missing_reports: 1,
+                degraded: true,
+            }),
+            CoordinatorToRunner::MonitorQuarantined {
+                monitor: MonitorId(4),
+                tick: 100,
+                consecutive_missed: 3,
+            },
+            CoordinatorToRunner::MonitorRecovered {
+                monitor: MonitorId(4),
+                tick: 150,
+            },
+        ] {
+            let back: CoordinatorToRunner = decode(&encode(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
     }
 }

@@ -6,6 +6,7 @@ use crossbeam::channel::{Receiver, Sender};
 use volley_core::task::MonitorId;
 use volley_core::AdaptiveSampler;
 
+use crate::failure::FaultPlan;
 use crate::message::{decode, encode, CoordinatorToMonitor, MonitorToCoordinator, TickData};
 
 /// A monitor: owns one [`AdaptiveSampler`] and serves the coordinator
@@ -14,6 +15,11 @@ use crate::message::{decode, encode, CoordinatorToMonitor, MonitorToCoordinator,
 /// The actor is transport-agnostic: it speaks [`Bytes`] frames produced by
 /// [`encode`], so the crossbeam channels used here
 /// could be replaced by sockets without changing the actor.
+///
+/// An installed [`FaultPlan`] lets the run loop impersonate a faulty
+/// process: crashing at a scheduled tick, going silent for a stall
+/// window, or delaying/duplicating its replies — all without touching
+/// the pure protocol logic in [`handle`](MonitorActor::handle).
 #[derive(Debug)]
 pub struct MonitorActor {
     id: MonitorId,
@@ -23,6 +29,8 @@ pub struct MonitorActor {
     current: Option<TickData>,
     /// Whether the current tick's schedule already sampled.
     sampled_this_tick: bool,
+    /// Injected faults, evaluated in the run loop only.
+    faults: FaultPlan,
 }
 
 impl MonitorActor {
@@ -34,7 +42,15 @@ impl MonitorActor {
             next_sample_tick: 0,
             current: None,
             sampled_this_tick: false,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Installs a deterministic fault plan this actor's run loop acts out.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The monitor's identity.
@@ -112,21 +128,78 @@ impl MonitorActor {
 
     /// Runs the actor loop until shutdown or channel disconnection,
     /// consuming the actor.
+    ///
+    /// Faults from the installed [`FaultPlan`] are acted out here:
+    ///
+    /// - **crash**: the loop returns (dropping the inbox) the first time a
+    ///   tick at or past the scheduled crash tick arrives — the process
+    ///   simply ceases to exist;
+    /// - **stall**: while stalled the actor keeps consuming input but
+    ///   neither processes nor replies, like a thread wedged on a lock
+    ///   (shutdown still terminates it so harness teardown cannot hang);
+    /// - **delay**: a reply is held back and flushed after the *next*
+    ///   reply, arriving reordered and past its collection deadline;
+    /// - **duplicate**: a reply is sent twice, exercising the
+    ///   coordinator's dedup path.
     pub fn run(mut self, inbox: Receiver<Bytes>, outbox: Sender<MonitorToCoordinatorFrame>) {
+        // A delayed reply awaiting the next send opportunity.
+        let mut held: Option<Bytes> = None;
+        // The actor's notion of "now": the last tick it saw, which is what
+        // fault decisions (stall windows, delay/duplicate lanes) key on.
+        let mut last_tick = 0u64;
         while let Ok(frame) = inbox.recv() {
             let msg: CoordinatorToMonitor = match decode(&frame) {
                 Ok(m) => m,
                 Err(_) => continue, // drop malformed frames, as a socket server would
             };
+            if let CoordinatorToMonitor::Tick(data) = &msg {
+                last_tick = data.tick;
+                if self
+                    .faults
+                    .crash_tick(self.id)
+                    .is_some_and(|at| data.tick >= at)
+                {
+                    return; // simulated crash: vanish without replying
+                }
+            }
+            if self.faults.stalled(self.id, last_tick)
+                && !matches!(msg, CoordinatorToMonitor::Shutdown)
+            {
+                continue; // wedged: consume input, do nothing
+            }
             let (reply, terminate) = self.handle(msg);
             if let Some(reply) = reply {
-                if outbox.send(encode(&reply)).is_err() {
-                    break; // coordinator gone
+                let frame = encode(&reply);
+                if self.faults.delays(self.id, last_tick) {
+                    // Hold this reply; anything already held goes out now,
+                    // behind schedule.
+                    if let Some(old) = held.replace(frame) {
+                        if outbox.send(old).is_err() {
+                            return;
+                        }
+                    }
+                } else {
+                    if outbox.send(frame.clone()).is_err() {
+                        return; // coordinator gone
+                    }
+                    if self.faults.duplicates(self.id, last_tick) && outbox.send(frame).is_err() {
+                        return;
+                    }
+                    if let Some(old) = held.take() {
+                        if outbox.send(old).is_err() {
+                            return;
+                        }
+                    }
                 }
             }
             if terminate {
                 break;
             }
+        }
+        // Flush any still-held reply; the coordinator will discard it as
+        // stale, but a real delayed packet would arrive too.
+        if let Some(old) = held {
+            let _ = outbox.send(old);
         }
     }
 }
@@ -315,6 +388,99 @@ mod tests {
                 ..
             }
         ));
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    use crate::failure::FaultPlan;
+
+    fn tick_frame(tick: u64, value: f64) -> Bytes {
+        encode(&CoordinatorToMonitor::Tick(TickData { tick, value }))
+    }
+
+    #[test]
+    fn crash_fault_terminates_without_reply() {
+        let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
+        let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let faulty = actor(5.0).with_faults(FaultPlan::new(1).with_crash(MonitorId(0), 1));
+        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        to_monitor.send(tick_frame(0, 1.0)).unwrap();
+        let _: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
+        to_monitor.send(tick_frame(1, 1.0)).unwrap();
+        handle.join().unwrap(); // thread exits at the crash tick
+        assert!(from_monitor.try_recv().is_err(), "no reply after crashing");
+    }
+
+    #[test]
+    fn stalled_monitor_discards_but_honors_shutdown() {
+        let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
+        let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let faulty = actor(5.0).with_faults(FaultPlan::new(1).with_stall(MonitorId(0), 1, 2));
+        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        to_monitor.send(tick_frame(0, 1.0)).unwrap();
+        let pre: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
+        assert!(matches!(
+            pre,
+            MonitorToCoordinator::TickDone { tick: 0, .. }
+        ));
+        // Ticks 1 and 2 fall inside the stall window: consumed, no reply.
+        to_monitor.send(tick_frame(1, 1.0)).unwrap();
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Poll { tick: 1 }))
+            .unwrap();
+        to_monitor.send(tick_frame(2, 1.0)).unwrap();
+        // Tick 3 is past the window: the monitor answers again.
+        to_monitor.send(tick_frame(3, 1.0)).unwrap();
+        let post: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
+        assert!(matches!(
+            post,
+            MonitorToCoordinator::TickDone { tick: 3, .. }
+        ));
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn delayed_reply_arrives_after_the_next_one() {
+        let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
+        let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        // Delay probability 1: every reply is held one send behind.
+        let faulty = actor(100.0).with_faults(FaultPlan::new(1).with_delay_rate(1.0));
+        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        to_monitor.send(tick_frame(0, 1.0)).unwrap();
+        to_monitor.send(tick_frame(1, 1.0)).unwrap();
+        to_monitor
+            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .unwrap();
+        // Tick 0's reply only flushes when tick 1's reply displaces it;
+        // tick 1's reply flushes at loop exit.
+        let first: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
+        assert!(matches!(
+            first,
+            MonitorToCoordinator::TickDone { tick: 0, .. }
+        ));
+        let second: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
+        assert!(matches!(
+            second,
+            MonitorToCoordinator::TickDone { tick: 1, .. }
+        ));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn duplicated_reply_is_sent_twice() {
+        let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
+        let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let faulty = actor(100.0).with_faults(FaultPlan::new(1).with_duplication_rate(1.0));
+        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        to_monitor.send(tick_frame(0, 1.0)).unwrap();
+        let a = from_monitor.recv().unwrap();
+        let b = from_monitor.recv().unwrap();
+        assert_eq!(a, b, "the same frame goes out twice");
         to_monitor
             .send(encode(&CoordinatorToMonitor::Shutdown))
             .unwrap();

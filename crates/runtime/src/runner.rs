@@ -1,17 +1,21 @@
-//! The task runner: spawns the actor threads and drives simulated time.
+//! The task runner: spawns the actor threads, drives simulated time and
+//! supervises monitor liveness.
+
+use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::unbounded;
 
 use volley_core::allocation::{AllocationConfig, ErrorAllocator};
 use volley_core::coordinator::CoordinationScheme;
-use volley_core::task::TaskSpec;
+use volley_core::task::{MonitorId, TaskSpec};
 use volley_core::time::Tick;
 use volley_core::{AdaptiveSampler, VolleyError};
 
-use crate::coordinator::CoordinatorActor;
-use crate::failure::FailureInjector;
-use crate::message::{decode, encode, CoordinatorToMonitor, TickData, TickSummary};
+use crate::coordinator::{CoordinatorActor, DEFAULT_QUARANTINE_AFTER, DEFAULT_TICK_DEADLINE};
+use crate::failure::{FailureInjector, FaultPlan};
+use crate::link::MonitorLink;
+use crate::message::{decode, encode, CoordinatorToMonitor, CoordinatorToRunner, TickData};
 use crate::monitor::MonitorActor;
 
 /// Aggregate result of a threaded task run.
@@ -33,6 +37,20 @@ pub struct RuntimeReport {
     pub alert_ticks: Vec<Tick>,
     /// Total sampling operations (scheduled + forced).
     pub total_samples: u64,
+    /// Monitor-ticks whose report missed the collection deadline (or whose
+    /// monitor was quarantined).
+    pub missed_tick_reports: u64,
+    /// Global polls aggregated in degraded mode (≥ 1 missing monitor
+    /// counted at its local threshold).
+    pub degraded_polls: u64,
+    /// Alerts raised by a degraded-mode aggregation.
+    pub degraded_alerts: u64,
+    /// Monitor quarantine events.
+    pub quarantines: u64,
+    /// Monitor recovery events (quarantined monitors reporting again).
+    pub recoveries: u64,
+    /// Monitors restarted by the runner's supervisor.
+    pub restarts: u64,
 }
 
 impl RuntimeReport {
@@ -50,18 +68,25 @@ impl RuntimeReport {
 
 /// Spawns and drives a distributed monitoring task on real threads.
 ///
-/// See the [crate docs](crate) for the tick protocol.
+/// See the [crate docs](crate) for the tick protocol and the fault
+/// tolerance model (deadlines, quarantine, degraded aggregation,
+/// supervised restart).
 #[derive(Debug)]
 pub struct TaskRunner {
     spec: TaskSpec,
     scheme: CoordinationScheme,
     allocation: AllocationConfig,
     failure: FailureInjector,
+    fault_plan: FaultPlan,
+    tick_deadline: Duration,
+    quarantine_after: u32,
+    supervise: bool,
 }
 
 impl TaskRunner {
     /// Creates a runner for `spec` with adaptive allowance allocation, the
-    /// default allocation configuration and a lossless report path.
+    /// default allocation configuration, a lossless report path, no
+    /// injected faults and supervision enabled.
     ///
     /// # Errors
     ///
@@ -75,6 +100,10 @@ impl TaskRunner {
             scheme: CoordinationScheme::Adaptive,
             allocation: AllocationConfig::default(),
             failure: FailureInjector::lossless(),
+            fault_plan: FaultPlan::default(),
+            tick_deadline: DEFAULT_TICK_DEADLINE,
+            quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            supervise: true,
         })
     }
 
@@ -92,10 +121,45 @@ impl TaskRunner {
         self
     }
 
-    /// Injects message loss on the violation-report path.
+    /// Injects message loss on the violation-report path (legacy,
+    /// order-dependent injector; prefer [`TaskRunner::with_fault_plan`]).
     #[must_use]
     pub fn with_failure(mut self, failure: FailureInjector) -> Self {
         self.failure = failure;
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: message drops, delays and
+    /// duplication plus scheduled monitor crashes and stalls. The same
+    /// plan and spec reproduce the same [`RuntimeReport`].
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Bounds how long the coordinator waits for any one tick's reports
+    /// (default [`DEFAULT_TICK_DEADLINE`]).
+    #[must_use]
+    pub fn with_tick_deadline(mut self, deadline: Duration) -> Self {
+        self.tick_deadline = deadline;
+        self
+    }
+
+    /// Sets how many consecutive missed deadlines quarantine a monitor
+    /// (default [`DEFAULT_QUARANTINE_AFTER`]).
+    #[must_use]
+    pub fn with_quarantine_after(mut self, rounds: u32) -> Self {
+        self.quarantine_after = rounds;
+        self
+    }
+
+    /// Enables or disables the supervisor that restarts quarantined
+    /// monitors (default enabled). With supervision off a dead monitor
+    /// stays quarantined and the task runs degraded to completion.
+    #[must_use]
+    pub fn with_supervision(mut self, supervise: bool) -> Self {
+        self.supervise = supervise;
         self
     }
 
@@ -104,10 +168,17 @@ impl TaskRunner {
     /// thread per monitor plus one for the coordinator, and blocks until
     /// the shortest trace is exhausted.
     ///
+    /// The run completes even if monitors crash or stall mid-way: the
+    /// coordinator quarantines them after missed deadlines and (unless
+    /// supervision is disabled) the runner restarts them with a fresh
+    /// sampler at the default interval.
+    ///
     /// # Errors
     ///
     /// Returns [`VolleyError::ValueCountMismatch`] when the trace count
-    /// differs from the monitor count.
+    /// differs from the monitor count, or
+    /// [`VolleyError::RuntimeDisconnected`] if the coordinator thread dies
+    /// mid-run.
     pub fn run(&self, traces: &[Vec<f64>]) -> Result<RuntimeReport, VolleyError> {
         let n = self.spec.monitors().len();
         if traces.len() != n {
@@ -118,76 +189,158 @@ impl TaskRunner {
         }
         let ticks = traces.iter().map(|t| t.len()).min().unwrap_or(0) as u64;
 
-        // Wiring: runner/coordinator → monitor inboxes; monitors → shared
-        // coordinator channel; coordinator → runner summaries.
+        // Wiring: runner/coordinator → monitor inbox links; monitors →
+        // shared coordinator channel; coordinator → runner frames. The
+        // runner keeps a clone of the monitor-side sender so restarted
+        // monitors can join the shared channel mid-run.
         let (to_coord_tx, to_coord_rx) = unbounded::<Bytes>();
         let (summary_tx, summary_rx) = unbounded::<Bytes>();
-        let mut monitor_txs = Vec::with_capacity(n);
+        let mut links: Vec<MonitorLink> = Vec::with_capacity(n);
         let mut monitor_handles = Vec::with_capacity(n);
+        let mut retired_handles = Vec::new();
         let global_err = self.spec.adaptation().error_allowance();
         for m in self.spec.monitors() {
             let (tx, rx) = unbounded::<Bytes>();
-            monitor_txs.push(tx);
+            links.push(MonitorLink::new(tx));
             let mut sampler = AdaptiveSampler::new(*self.spec.adaptation(), m.local_threshold);
             sampler.set_error_allowance(global_err / n as f64);
-            let actor = MonitorActor::new(m.id, sampler);
+            let actor = MonitorActor::new(m.id, sampler).with_faults(self.fault_plan.clone());
             let outbox = to_coord_tx.clone();
             monitor_handles.push(std::thread::spawn(move || actor.run(rx, outbox)));
         }
-        drop(to_coord_tx); // coordinator sees disconnect once monitors exit
 
         let allocator = ErrorAllocator::new(self.allocation, global_err, n)?;
+        let local_thresholds: Vec<f64> = self
+            .spec
+            .monitors()
+            .iter()
+            .map(|m| m.local_threshold)
+            .collect();
         let coordinator = CoordinatorActor::new(
             self.spec.global_threshold(),
-            n,
+            local_thresholds,
             allocator,
             self.spec.adaptation().slack_ratio(),
             self.scheme == CoordinationScheme::Adaptive,
             self.failure.clone(),
-        );
-        let coord_monitor_txs = monitor_txs.clone();
+        )
+        .with_fault_plan(self.fault_plan.clone())
+        .with_tick_deadline(self.tick_deadline)
+        .with_quarantine_after(self.quarantine_after);
+        let coord_links = links.clone();
         let coord_handle =
-            std::thread::spawn(move || coordinator.run(to_coord_rx, coord_monitor_txs, summary_tx));
+            std::thread::spawn(move || coordinator.run(to_coord_rx, coord_links, summary_tx));
 
-        // Drive ticks in lock-step.
+        // Drive ticks in lock-step. A failed send means that monitor is
+        // gone; the coordinator notices via its deadline, so the run keeps
+        // going instead of panicking.
         let mut report = RuntimeReport::default();
         for tick in 0..ticks {
-            for (i, tx) in monitor_txs.iter().enumerate() {
+            for (i, link) in links.iter().enumerate() {
                 let data = TickData {
                     tick,
                     value: traces[i][tick as usize],
                 };
-                tx.send(encode(&CoordinatorToMonitor::Tick(data)))
-                    .expect("monitor thread alive during run");
+                let _ = link.send(encode(&CoordinatorToMonitor::Tick(data)));
             }
-            let frame = summary_rx.recv().expect("coordinator alive during run");
-            let summary: TickSummary = decode(&frame).expect("well-formed summary");
+            // Consume liveness events until this tick's summary arrives.
+            let summary = loop {
+                let Ok(frame) = summary_rx.recv() else {
+                    return Err(VolleyError::RuntimeDisconnected {
+                        component: "coordinator",
+                    });
+                };
+                match decode::<CoordinatorToRunner>(&frame) {
+                    Ok(CoordinatorToRunner::Summary(summary)) => break summary,
+                    Ok(CoordinatorToRunner::MonitorQuarantined { monitor, .. }) => {
+                        report.quarantines += 1;
+                        if self.supervise {
+                            let handle =
+                                self.restart_monitor(monitor, &links, &to_coord_tx, global_err, n);
+                            retired_handles.push(std::mem::replace(
+                                &mut monitor_handles[monitor.0 as usize],
+                                handle,
+                            ));
+                            report.restarts += 1;
+                            // Tell the coordinator to await the restarted
+                            // monitor again; FIFO puts this notice ahead
+                            // of the fresh actor's first report.
+                            let _ = to_coord_tx.send(encode(
+                                &crate::message::MonitorToCoordinator::Revived { monitor },
+                            ));
+                        }
+                    }
+                    Ok(CoordinatorToRunner::MonitorRecovered { .. }) => {
+                        report.recoveries += 1;
+                    }
+                    Err(_) => {} // never produced by our coordinator
+                }
+            };
             report.ticks += 1;
             report.scheduled_samples += u64::from(summary.scheduled_samples);
             report.poll_samples += u64::from(summary.poll_samples);
             report.local_violation_reports += u64::from(summary.local_violations);
+            report.missed_tick_reports += u64::from(summary.missing_reports);
             if summary.polled {
                 report.polls += 1;
+                if summary.degraded {
+                    report.degraded_polls += 1;
+                }
             }
             if summary.alerted {
                 report.alerts += 1;
                 report.alert_ticks.push(summary.tick);
+                if summary.degraded {
+                    report.degraded_alerts += 1;
+                }
             }
         }
         report.total_samples = report.scheduled_samples + report.poll_samples;
 
-        // Teardown: stop monitors; the coordinator exits on disconnect.
-        for tx in &monitor_txs {
-            let _ = tx.send(encode(&CoordinatorToMonitor::Shutdown));
+        // Teardown: stop monitors (crashed ones fail the send, which is
+        // fine), join them, then cut the monitor→coordinator channel so
+        // the coordinator exits on disconnect.
+        for link in &links {
+            let _ = link.send(encode(&CoordinatorToMonitor::Shutdown));
         }
-        for handle in monitor_handles {
+        for handle in monitor_handles.into_iter().chain(retired_handles) {
             handle.join().expect("monitor thread exits cleanly");
         }
-        drop(monitor_txs);
+        drop(links);
+        drop(to_coord_tx);
         coord_handle
             .join()
             .expect("coordinator thread exits cleanly");
         Ok(report)
+    }
+
+    /// Replaces a quarantined monitor with a fresh actor: new inbox, a
+    /// fresh sampler at the default interval (its learned schedule died
+    /// with it) and the even share of the error allowance. Process faults
+    /// (crash/stall) are stripped from the restarted actor's plan —
+    /// its predecessor already acted them out — while network faults keep
+    /// applying.
+    fn restart_monitor(
+        &self,
+        monitor: MonitorId,
+        links: &[MonitorLink],
+        to_coord_tx: &crossbeam::channel::Sender<Bytes>,
+        global_err: f64,
+        n: usize,
+    ) -> std::thread::JoinHandle<()> {
+        let idx = monitor.0 as usize;
+        let m = &self.spec.monitors()[idx];
+        let (tx, rx) = unbounded::<Bytes>();
+        let mut sampler = AdaptiveSampler::new(*self.spec.adaptation(), m.local_threshold);
+        sampler.set_error_allowance(global_err / n as f64);
+        let actor = MonitorActor::new(m.id, sampler)
+            .with_faults(self.fault_plan.without_process_faults(monitor));
+        let outbox = to_coord_tx.clone();
+        let handle = std::thread::spawn(move || actor.run(rx, outbox));
+        // Swapping the link drops the old sender: a stalled predecessor
+        // sees its inbox disconnect and exits.
+        links[idx].replace(tx);
+        handle
     }
 }
 
@@ -214,6 +367,8 @@ mod tests {
         assert_eq!(report.ticks, 800);
         assert_eq!(report.alerts, 0);
         assert_eq!(report.polls, 0);
+        assert_eq!(report.missed_tick_reports, 0);
+        assert_eq!(report.quarantines, 0);
         assert!(
             report.cost_ratio(3) < 0.7,
             "cost ratio {}",
@@ -340,5 +495,45 @@ mod tests {
             .run(&traces)
             .unwrap();
         assert_eq!(report.alerts, 0);
+    }
+
+    #[test]
+    fn crashed_monitor_is_restarted_and_run_completes() {
+        let spec = spec(2, 1000.0, 0.02);
+        let traces = vec![vec![1.0; 60], vec![2.0; 60]];
+        let report = TaskRunner::new(&spec)
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(7).with_crash(MonitorId(1), 5))
+            .with_tick_deadline(Duration::from_millis(25))
+            .with_quarantine_after(2)
+            .run(&traces)
+            .unwrap();
+        assert_eq!(report.ticks, 60, "the run must not hang or truncate");
+        assert_eq!(report.quarantines, 1);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.recoveries, 1, "restarted monitor reports again");
+        assert!(
+            report.missed_tick_reports >= 2,
+            "the dead rounds are accounted for"
+        );
+    }
+
+    #[test]
+    fn unsupervised_crash_runs_degraded_to_completion() {
+        let spec = spec(2, 1000.0, 0.02);
+        let traces = vec![vec![1.0; 40], vec![2.0; 40]];
+        let report = TaskRunner::new(&spec)
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(7).with_crash(MonitorId(1), 5))
+            .with_tick_deadline(Duration::from_millis(25))
+            .with_quarantine_after(2)
+            .with_supervision(false)
+            .run(&traces)
+            .unwrap();
+        assert_eq!(report.ticks, 40);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.recoveries, 0);
+        // Dead from tick 5 onward: every later tick misses its report.
+        assert!(report.missed_tick_reports >= 34);
     }
 }

@@ -6,14 +6,53 @@
 //! live in a different process or on a different machine from its
 //! coordinator, exactly as in the paper's deployment (monitors in each
 //! server's Dom0, a coordinator per five servers).
+//!
+//! The wire is treated as hostile: frames are capped at a maximum size
+//! (a corrupt or malicious peer cannot make [`read_frame`] buffer without
+//! bound), a stream that ends mid-frame is a decode error rather than a
+//! silently accepted partial message, socket reads and writes can carry
+//! timeouts, and [`connect_with_retry`] reconnects with bounded
+//! exponential backoff.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use bytes::Bytes;
 
+use volley_core::VolleyError;
+
 use crate::message::{decode, encode, CoordinatorToMonitor};
 use crate::monitor::MonitorActor;
+
+/// Default cap on a single wire frame. Protocol messages are tens to a
+/// few hundred bytes; 64 KiB leaves room for large period reports while
+/// bounding what a misbehaving peer can make us buffer.
+pub const DEFAULT_MAX_FRAME_SIZE: usize = 64 * 1024;
+
+/// Socket-level hardening knobs for [`serve_monitor_tcp_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Maximum accepted frame size in bytes.
+    pub max_frame_size: usize,
+    /// Read timeout applied to the socket (`None` = block forever).
+    /// An idle-but-healthy coordinator sends nothing between ticks, so
+    /// only set this below the expected tick period if a dead peer must
+    /// be detected by the monitor side too.
+    pub read_timeout: Option<Duration>,
+    /// Write timeout applied to the socket (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_frame_size: DEFAULT_MAX_FRAME_SIZE,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
 
 /// Writes one frame (already newline-terminated by
 /// [`crate::message::encode`]) to the wire.
@@ -26,33 +65,115 @@ pub fn write_frame<W: Write>(writer: &mut W, frame: &Bytes) -> std::io::Result<(
     writer.flush()
 }
 
-/// Reads one newline-delimited frame from the wire; `Ok(None)` signals a
-/// clean end of stream.
+/// Reads one newline-delimited frame from the wire, capped at
+/// [`DEFAULT_MAX_FRAME_SIZE`]; `Ok(None)` signals a clean end of stream.
 ///
 /// # Errors
 ///
-/// Propagates reader failures.
+/// Propagates reader failures. Returns an
+/// [`InvalidData`](std::io::ErrorKind::InvalidData) error wrapping
+/// [`VolleyError::FrameTooLarge`] for an oversized frame, or one for a
+/// stream that ends mid-frame (bytes after the last newline).
 pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Bytes>> {
+    read_frame_limited(reader, DEFAULT_MAX_FRAME_SIZE)
+}
+
+/// [`read_frame`] with an explicit frame-size cap.
+///
+/// # Errors
+///
+/// As [`read_frame`], with `max_size` as the cap.
+pub fn read_frame_limited<R: BufRead>(
+    reader: &mut R,
+    max_size: usize,
+) -> std::io::Result<Option<Bytes>> {
     let mut buffer = Vec::new();
-    let read = reader.read_until(b'\n', &mut buffer)?;
+    // Read at most one byte past the cap: enough to distinguish "exactly
+    // at the limit" from "over it" without unbounded buffering.
+    let mut limited = reader.take(max_size as u64 + 1);
+    let read = limited.read_until(b'\n', &mut buffer)?;
     if read == 0 {
         return Ok(None);
     }
+    if buffer.last() != Some(&b'\n') {
+        if buffer.len() > max_size {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                VolleyError::FrameTooLarge {
+                    size: buffer.len(),
+                    max_size,
+                },
+            ));
+        }
+        // EOF in the middle of a frame: a crashed peer's half-written
+        // message, never a message.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("stream ended mid-frame after {} bytes", buffer.len()),
+        ));
+    }
     Ok(Some(Bytes::from(buffer)))
+}
+
+/// Connects to `addr`, retrying with exponential backoff: attempt *k*
+/// (0-based) sleeps `base_backoff × 2^k` after failing, up to `attempts`
+/// total tries.
+///
+/// # Errors
+///
+/// Returns the final attempt's error once the budget is exhausted (or an
+/// [`InvalidInput`](std::io::ErrorKind::InvalidInput) error for
+/// `attempts == 0`).
+pub fn connect_with_retry<A: ToSocketAddrs>(
+    addr: A,
+    attempts: u32,
+    base_backoff: Duration,
+) -> std::io::Result<TcpStream> {
+    let mut last_err = std::io::Error::new(
+        std::io::ErrorKind::InvalidInput,
+        "connect_with_retry needs at least one attempt",
+    );
+    for attempt in 0..attempts {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => return Ok(stream),
+            Err(err) => last_err = err,
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(base_backoff * 2u32.saturating_pow(attempt));
+        }
+    }
+    Err(last_err)
 }
 
 /// Serves one monitor over a TCP connection — reading coordinator
 /// frames, handling them with the actor, writing replies — until the
 /// peer closes the connection or sends `Shutdown`. Malformed frames are
-/// skipped, as a production server would.
+/// skipped, as a production server would; oversized or truncated frames
+/// are connection-fatal. Uses the default [`TransportConfig`].
 ///
 /// # Errors
 ///
 /// Propagates socket failures.
-pub fn serve_monitor_tcp(mut actor: MonitorActor, stream: TcpStream) -> std::io::Result<()> {
+pub fn serve_monitor_tcp(actor: MonitorActor, stream: TcpStream) -> std::io::Result<()> {
+    serve_monitor_tcp_with(actor, stream, TransportConfig::default())
+}
+
+/// [`serve_monitor_tcp`] with explicit transport hardening knobs.
+///
+/// # Errors
+///
+/// Propagates socket failures, including reads or writes exceeding the
+/// configured timeouts.
+pub fn serve_monitor_tcp_with(
+    mut actor: MonitorActor,
+    stream: TcpStream,
+    config: TransportConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    while let Some(frame) = read_frame(&mut reader)? {
+    while let Some(frame) = read_frame_limited(&mut reader, config.max_frame_size)? {
         let Ok(msg) = decode::<CoordinatorToMonitor>(&frame) else {
             continue;
         };
@@ -100,6 +221,52 @@ mod tests {
             read_frame(&mut reader).unwrap().is_none(),
             "stream ends cleanly"
         );
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let wire = vec![b'x'; 100]; // no newline within the cap
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let err = read_frame_limited(&mut reader, 64).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("65"), "reports the observed size");
+    }
+
+    #[test]
+    fn frame_exactly_at_the_cap_is_accepted() {
+        let mut wire = vec![b'x'; 63];
+        wire.push(b'\n');
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let frame = read_frame_limited(&mut reader, 64).unwrap().unwrap();
+        assert_eq!(frame.len(), 64);
+    }
+
+    #[test]
+    fn truncated_final_frame_is_an_error() {
+        let wire = b"{\"tick\":1".to_vec(); // peer died mid-write
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("mid-frame"));
+    }
+
+    #[test]
+    fn connect_with_retry_reaches_a_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let stream = connect_with_retry(addr, 3, Duration::from_millis(1)).expect("connects");
+        drop(stream);
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_after_budget() {
+        // Port 1 is privileged and never assigned to test listeners, so
+        // loopback refuses the connection immediately.
+        let addr = "127.0.0.1:1";
+        let err = connect_with_retry(addr, 2, Duration::from_millis(1)).unwrap_err();
+        assert_ne!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let err = connect_with_retry(addr, 0, Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]
@@ -178,6 +345,26 @@ mod tests {
         // Shutdown terminates the server loop.
         write_frame(&mut writer, &encode(&CoordinatorToMonitor::Shutdown)).expect("send shutdown");
         server.join().expect("server thread exits");
+    }
+
+    #[test]
+    fn oversized_frame_kills_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let config = TransportConfig {
+                max_frame_size: 128,
+                ..TransportConfig::default()
+            };
+            serve_monitor_tcp_with(actor(5.0), stream, config)
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut bomb = vec![b'a'; 4096];
+        bomb.push(b'\n');
+        stream.write_all(&bomb).expect("send oversized frame");
+        let err = server.join().expect("server thread exits").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

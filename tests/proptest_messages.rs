@@ -1,0 +1,155 @@
+//! Property tests of the wire protocol: every message variant survives an
+//! encode/decode round trip, and the decoder never panics on arbitrary or
+//! truncated input — a hostile peer can at worst produce a decode error.
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use volley::core::adaptation::PeriodReport;
+use volley::core::task::MonitorId;
+use volley::core::Interval;
+use volley::runtime::message::{
+    decode, encode, CoordinatorToMonitor, CoordinatorToRunner, MonitorToCoordinator, TickData,
+    TickSummary,
+};
+
+fn round_trip<M>(msg: &M)
+where
+    M: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug,
+{
+    let frame = encode(msg);
+    assert_eq!(frame.last(), Some(&b'\n'), "frames are newline-terminated");
+    let back: M = decode(&frame).expect("round trip decodes");
+    assert_eq!(&back, msg);
+}
+
+proptest! {
+    /// `MonitorToCoordinator` round-trips for every variant.
+    #[test]
+    fn monitor_frames_round_trip(
+        monitor in 0u32..1000,
+        tick in 0u64..u64::MAX,
+        value in -1e12f64..1e12,
+        flags in 0u8..4,
+    ) {
+        let sampled = flags & 1 != 0;
+        let violation = flags & 2 != 0;
+        round_trip(&MonitorToCoordinator::TickDone {
+            monitor: MonitorId(monitor),
+            tick,
+            sampled,
+            violation,
+        });
+        round_trip(&MonitorToCoordinator::PollReply {
+            monitor: MonitorId(monitor),
+            tick,
+            value,
+            forced_sample: sampled,
+        });
+        round_trip(&MonitorToCoordinator::Revived {
+            monitor: MonitorId(monitor),
+        });
+    }
+
+    /// Period reports — the only variant holding nested structures and a
+    /// variable-length payload — round-trip too.
+    #[test]
+    fn period_reports_round_trip(
+        monitor in 0u32..1000,
+        observations in 0u32..100_000,
+        beta in 0.0f64..1.0,
+        interval in 0u32..4096,
+        curve in prop::collection::vec(0.0f64..1.0, 0..16),
+    ) {
+        round_trip(&MonitorToCoordinator::Report {
+            monitor: MonitorId(monitor),
+            report: PeriodReport {
+                observations,
+                avg_beta_current: beta,
+                avg_beta_grown: beta / 2.0,
+                avg_potential_reduction: 1.0 - beta,
+                interval: Interval::new_clamped(interval),
+                at_max_interval: interval >= 4095,
+                cost_curve: curve,
+            },
+        });
+    }
+
+    /// `CoordinatorToMonitor` round-trips for every variant.
+    #[test]
+    fn coordinator_frames_round_trip(
+        tick in 0u64..u64::MAX,
+        value in -1e12f64..1e12,
+        err in 0.0f64..1.0,
+    ) {
+        round_trip(&CoordinatorToMonitor::Tick(TickData { tick, value }));
+        round_trip(&CoordinatorToMonitor::Poll { tick });
+        round_trip(&CoordinatorToMonitor::RequestReport);
+        round_trip(&CoordinatorToMonitor::SetAllowance { err });
+        round_trip(&CoordinatorToMonitor::Shutdown);
+    }
+
+    /// `CoordinatorToRunner` round-trips for every variant.
+    #[test]
+    fn runner_frames_round_trip(
+        monitor in 0u32..1000,
+        tick in 0u64..u64::MAX,
+        counts in (0u32..10_000, 0u32..10_000, 0u32..10_000, 0u32..10_000),
+        flags in 0u8..4,
+    ) {
+        round_trip(&CoordinatorToRunner::Summary(TickSummary {
+            tick,
+            scheduled_samples: counts.0,
+            poll_samples: counts.1,
+            local_violations: counts.2,
+            polled: flags & 1 != 0,
+            alerted: flags & 2 != 0,
+            missing_reports: counts.3,
+            degraded: flags & 1 != 0,
+        }));
+        round_trip(&CoordinatorToRunner::MonitorQuarantined {
+            monitor: MonitorId(monitor),
+            tick,
+            consecutive_missed: counts.0,
+        });
+        round_trip(&CoordinatorToRunner::MonitorRecovered {
+            monitor: MonitorId(monitor),
+            tick,
+        });
+    }
+
+    /// Decoding arbitrary bytes never panics — it either yields a value
+    /// or an error.
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(
+        raw in prop::collection::vec(0u16..256, 0..128),
+    ) {
+        let bytes = Bytes::from(raw.iter().map(|&b| b as u8).collect::<Vec<u8>>());
+        let _ = decode::<MonitorToCoordinator>(&bytes);
+        let _ = decode::<CoordinatorToMonitor>(&bytes);
+        let _ = decode::<CoordinatorToRunner>(&bytes);
+        let _ = decode::<TickSummary>(&bytes);
+    }
+
+    /// Decoding a truncated frame of a real message never panics, and a
+    /// strict prefix never decodes into a different valid message.
+    #[test]
+    fn truncated_frames_error_not_panic(
+        monitor in 0u32..1000,
+        tick in 0u64..u64::MAX,
+        cut in 0usize..4096,
+    ) {
+        let msg = MonitorToCoordinator::TickDone {
+            monitor: MonitorId(monitor),
+            tick,
+            sampled: true,
+            violation: false,
+        };
+        let frame = encode(&msg);
+        // Stay strictly inside the JSON body: cutting only the trailing
+        // newline leaves a complete document, which rightly decodes.
+        let cut = cut % (frame.len() - 1);
+        let truncated = Bytes::from(frame.as_ref()[..cut].to_vec());
+        prop_assert!(decode::<MonitorToCoordinator>(&truncated).is_err());
+    }
+}

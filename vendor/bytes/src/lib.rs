@@ -1,0 +1,126 @@
+//! Offline vendored stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], a cheaply cloneable, immutable, contiguous byte
+//! buffer backed by `Arc<[u8]>` — the subset of the real crate's API this
+//! workspace uses.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Creates a buffer from a static byte slice (copied; the real crate
+    /// borrows, but the semantics are indistinguishable for callers).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: bytes.into() }
+    }
+
+    /// Creates a buffer by copying `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Self {
+        Bytes {
+            data: data.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Self {
+        Bytes {
+            data: data.as_bytes().into(),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "b\"{}\"",
+            String::from_utf8_lossy(&self.data).escape_debug()
+        )
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        // The buffer is shared (`Arc<[u8]>`), so an owning iterator has to
+        // copy; the real crate walks the buffer in place instead.
+        #[allow(clippy::unnecessary_to_owned)]
+        self.data.to_vec().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_clone() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&*b, &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.last(), Some(&3));
+    }
+
+    #[test]
+    fn static_and_str() {
+        let b = Bytes::from_static(b"hi\n");
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

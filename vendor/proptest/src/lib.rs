@@ -1,0 +1,384 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro with
+//! `pattern in strategy` arguments, `prop_assert!`/`prop_assert_eq!`,
+//! numeric range strategies, tuple strategies, `prop::collection::vec`
+//! and string strategies from a small regex subset (`[a-z]{m,n}` atoms).
+//!
+//! Cases are generated from a deterministic RNG seeded by the test name,
+//! so failures reproduce exactly. There is no shrinking: the failing
+//! input is printed as-is.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Failure raised by `prop_assert!`-style macros inside a property body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A source of random values of some type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String strategy: a `&str` is interpreted as a small regex subset.
+///
+/// Supported syntax: literal characters, `.` (printable ASCII),
+/// character classes `[a-z0-9_]` (ranges and literals, no negation), and
+/// repetition `{n}` / `{m,n}` applied to the preceding atom.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..atom.max + 1)
+            };
+            for _ in 0..count {
+                let idx = if atom.chars.len() == 1 {
+                    0
+                } else {
+                    rng.gen_range(0..atom.chars.len())
+                };
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms: Vec<PatternAtom> = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = it.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && it.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = it.next().expect("range end");
+                            for ch in lo..=hi {
+                                class.push(ch);
+                            }
+                        }
+                        _ => {
+                            if let Some(p) = prev.take() {
+                                class.push(p);
+                            }
+                            prev = Some(c);
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    class.push(p);
+                }
+                assert!(!class.is_empty(), "empty character class in {pattern:?}");
+                atoms.push(PatternAtom {
+                    chars: class,
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let mut spec = String::new();
+                for c in it.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("repetition lower bound"),
+                        hi.parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("repetition count");
+                        (n, n)
+                    }
+                };
+                let atom = atoms
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("repetition without atom in {pattern:?}"));
+                atom.min = min;
+                atom.max = max;
+            }
+            '.' => atoms.push(PatternAtom {
+                chars: (' '..='~').collect(),
+                min: 1,
+                max: 1,
+            }),
+            '\\' => {
+                let escaped = it.next().expect("escaped character");
+                atoms.push(PatternAtom {
+                    chars: vec![escaped],
+                    min: 1,
+                    max: 1,
+                });
+            }
+            _ => atoms.push(PatternAtom {
+                chars: vec![c],
+                min: 1,
+                max: 1,
+            }),
+        }
+    }
+    atoms
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Derives a deterministic per-test seed from the test's name.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, unlike DefaultHasher's
+    // documented-as-unspecified algorithm.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builds the RNG for one test case.
+pub fn case_rng(seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (u64::from(case) << 32 | 0x5bd1_e995))
+}
+
+/// Defines property tests: each function takes `pattern in strategy`
+/// arguments and runs [`DEFAULT_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __seed = $crate::seed_for(stringify!($name));
+                for __case in 0..$crate::DEFAULT_CASES {
+                    let mut __rng = $crate::case_rng(__seed, __case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body; ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(err) = __outcome {
+                        panic!("property {} failed on case {}: {}", stringify!($name), __case, err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// with a message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, Strategy, TestCaseError};
+
+    /// Alias so `prop::collection::vec(...)` resolves like upstream.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Range strategies stay within bounds.
+        #[test]
+        fn ranges_within_bounds((a, b) in (5u64..10, -1.0f64..1.0)) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+
+        /// Vec strategy respects its size range.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x < 100);
+            }
+        }
+
+        /// String pattern strategy produces matching characters.
+        #[test]
+        fn string_pattern(s in "[ -~]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::case_rng(crate::seed_for("x"), 3);
+        let mut b = crate::case_rng(crate::seed_for("x"), 3);
+        let strat = 0u64..1_000_000;
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn pattern_literal_and_repeat() {
+        let mut rng = crate::case_rng(1, 1);
+        let s = "ab[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Provides [`Normal`], [`Poisson`] and [`Binomial`] with the
+//! [`Distribution`] trait — the subset the trace generators use. Sampling
+//! algorithms are textbook (Box–Muller, Knuth, inversion) with normal
+//! approximations for large parameters; streams are deterministic given
+//! the RNG but differ from upstream `rand_distr`.
+
+use rand::Rng;
+
+/// Types that sample values of `T` from a distribution.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Draws a standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// The normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with `mean` and `std_dev ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite parameters or negative standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("invalid normal parameters"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The Poisson distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with rate `lambda > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive rates.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError("invalid poisson lambda"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                let u: f64 = rng.gen();
+                p *= u;
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction.
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng) + 0.5;
+            x.floor().max(0.0)
+        }
+    }
+}
+
+impl Distribution<u64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let x: f64 = Distribution::<f64>::sample(self, rng);
+        x as u64
+    }
+}
+
+/// The binomial distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution over `n` trials with success
+    /// probability `p ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError("invalid binomial probability"));
+        }
+        Ok(Binomial { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mean = self.n as f64 * self.p;
+        let var = mean * (1.0 - self.p);
+        if self.n <= 64 {
+            // Direct Bernoulli sum.
+            let mut k = 0u64;
+            for _ in 0..self.n {
+                if rng.gen::<f64>() < self.p {
+                    k += 1;
+                }
+            }
+            k
+        } else {
+            // Normal approximation, clamped to the support.
+            let x = mean + var.sqrt() * standard_normal(rng) + 0.5;
+            (x.floor().max(0.0) as u64).min(self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for lambda in [3.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 20_000;
+            let mean = (0..n)
+                .map(|_| Distribution::<f64>::sample(&d, &mut rng))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda * 0.05 + 0.2,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (n_trials, p) in [(40u64, 0.3), (4000u64, 0.25)] {
+            let d = Binomial::new(n_trials, p).unwrap();
+            let reps = 10_000;
+            let mean = (0..reps)
+                .map(|_| Distribution::<u64>::sample(&d, &mut rng) as f64)
+                .sum::<f64>()
+                / reps as f64;
+            let expect = n_trials as f64 * p;
+            assert!(
+                (mean - expect).abs() < expect * 0.05 + 0.5,
+                "n {n_trials} mean {mean} expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Binomial::new(10, 1.5).is_err());
+    }
+}

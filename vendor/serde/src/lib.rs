@@ -1,0 +1,708 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The real crates.io `serde` is unavailable in this build environment, so
+//! this crate provides an API-compatible subset built around a concrete
+//! JSON-like [`Value`] data model instead of serde's visitor architecture.
+//! Types implement [`Serialize`]/[`Deserialize`] (usually via the
+//! re-exported derive macros) by converting to and from [`Value`]; the
+//! vendored `serde_json` crate renders that `Value` as JSON text.
+//!
+//! Supported surface (what this repository actually uses):
+//! `#[derive(Serialize, Deserialize)]` on non-generic structs (named,
+//! tuple/newtype, unit) and enums (unit, tuple and struct variants,
+//! externally tagged like serde), the `#[serde(default)]` field attribute,
+//! and impls for primitives, strings, `Option`, `Vec`, `VecDeque`, arrays,
+//! tuples, `NonZero*`, `HashMap`/`BTreeMap` (stringified keys) and
+//! `HashSet`/`BTreeSet`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::num::{NonZeroU32, NonZeroU64, NonZeroUsize};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number, preserving integer-ness exactly like `serde_json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number (always finite once stored).
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The number as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(n) => u64::try_from(n).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A dynamically typed JSON value (the serialization data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    /// The value as an object's entry list, if it is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` when absent or not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array()
+            .and_then(|items| items.get(idx))
+            .unwrap_or(&NULL_VALUE)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                match self {
+                    Value::Number(Number::PosInt(n)) => (*n as i128) == (*other as i128),
+                    Value::Number(Number::NegInt(n)) => (*n as i128) == (*other as i128),
+                    Value::Number(Number::Float(f)) => *f == *other as f64,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_eq_int!(i32, i64, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for f64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+///
+/// The `'de` lifetime exists purely for signature compatibility with the
+/// real serde (`for<'de> Deserialize<'de>` bounds in downstream code).
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the serialization data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Finds `key` in an object entry list (helper used by derived code).
+pub fn __find<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            Value::Null // serde_json serializes non-finite floats as null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )+};
+}
+ser_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+macro_rules! ser_nonzero {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(self.get() as u64))
+            }
+        }
+    )*};
+}
+ser_nonzero!(NonZeroU32, NonZeroU64, NonZeroUsize);
+
+/// Renders a serialized key for use as a JSON object key.
+fn key_string(value: &Value) -> String {
+    match value {
+        Value::String(s) => s.clone(),
+        Value::Number(Number::PosInt(n)) => n.to_string(),
+        Value::Number(Number::NegInt(n)) => n.to_string(),
+        Value::Number(Number::Float(f)) => f.to_string(),
+        Value::Bool(b) => b.to_string(),
+        _ => String::from("null"),
+    }
+}
+
+/// Rebuilds a key value from a JSON object key string.
+fn key_value(key: &str) -> Vec<Value> {
+    let mut candidates = Vec::new();
+    if let Ok(n) = key.parse::<u64>() {
+        candidates.push(Value::Number(Number::PosInt(n)));
+    } else if let Ok(n) = key.parse::<i64>() {
+        candidates.push(Value::Number(Number::NegInt(n)));
+    } else if let Ok(f) = key.parse::<f64>() {
+        candidates.push(Value::Number(Number::Float(f)));
+    }
+    candidates.push(Value::String(key.to_string()));
+    candidates
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // stable output for unordered maps
+        Value::Object(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by_key(key_string);
+        Value::Array(items)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::custom("expected bool"))
+    }
+}
+
+macro_rules! de_uint {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(concat!("integer out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(concat!("integer out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::custom("expected number"))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        // Upstream serde deserializes `&str` by borrowing from the input;
+        // this Value model cannot borrow, so the string is leaked. Only
+        // derive-compilability is relied upon — no workspace code
+        // deserializes borrowed strings at runtime.
+        value
+            .as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(VecDeque::from)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items).map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr)),+ $(,)?) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_array().ok_or_else(|| DeError::custom("expected tuple array"))?;
+                if items.len() != $len {
+                    return Err(DeError::custom("tuple length mismatch"));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+de_tuple!(
+    (A.0 ; 1),
+    (A.0, B.1 ; 2),
+    (A.0, B.1, C.2 ; 3),
+    (A.0, B.1, C.2, D.3 ; 4),
+);
+
+macro_rules! de_nonzero {
+    ($($ty:ty => $inner:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = <$inner>::from_value(value)?;
+                <$ty>::new(n).ok_or_else(|| DeError::custom("expected non-zero integer"))
+            }
+        }
+    )*};
+}
+de_nonzero!(NonZeroU32 => u32, NonZeroU64 => u64, NonZeroUsize => usize);
+
+fn de_map_key<'de, K: Deserialize<'de>>(key: &str) -> Result<K, DeError> {
+    let mut last_err = DeError::custom("unreachable");
+    for candidate in key_value(key) {
+        match K::from_value(&candidate) {
+            Ok(k) => return Ok(k),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::custom("expected object"))?;
+        let mut map = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+        for (k, v) in entries {
+            map.insert(de_map_key::<K>(k)?, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::custom("expected object"))?;
+        let mut map = BTreeMap::new();
+        for (k, v) in entries {
+            map.insert(de_map_key::<K>(k)?, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let v = Value::Object(vec![("a".into(), 3u64.to_value())]);
+        assert_eq!(v["a"], 3);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn int_range_checks() {
+        let big = Value::Number(Number::PosInt(300));
+        assert!(u8::from_value(&big).is_err());
+        assert_eq!(u16::from_value(&big).unwrap(), 300);
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item
+//! is parsed directly from the `proc_macro::TokenStream` and the generated
+//! impl is assembled as a source string. Supports non-generic structs
+//! (named fields, tuple/newtype, unit) and enums (unit, tuple and struct
+//! variants, externally tagged), plus the `#[serde(default)]` field
+//! attribute. That is exactly the surface the workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String, // field name, or tuple index as a string
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True when an attribute token group (the `[...]` part) is `serde(...)`
+/// containing the `default` ident.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(ref i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes at `i`, returning whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        if attr_is_serde_default(g) {
+            default = true;
+        }
+        *i += 2;
+    }
+    default
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type (or expression) until a top-level comma, tracking
+/// `<...>` nesting so commas inside generic arguments are not split on.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle <= 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `{ name: Ty, ... }` field lists.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // ','
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Parses `( Ty, Ty, ... )` field lists; fields are indexed `0..n`.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // ','
+        fields.push(Field {
+            name: (fields.len()).to_string(),
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive stub: malformed enum body: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut body = String::from("{ let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "__obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&{p}{n})));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    body.push_str("::serde::Value::Object(__obj) }");
+    body
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => ser_named_fields(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(fields) if fields.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn de_named_fields(fields: &[Field], type_path: &str) -> String {
+    let mut ctor = format!("{type_path} {{\n");
+    for f in fields {
+        if f.default {
+            ctor.push_str(&format!(
+                "{n}: match ::serde::__find(__obj, \"{n}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                 None => ::core::default::Default::default(),\n}},\n",
+                n = f.name
+            ));
+        } else {
+            ctor.push_str(&format!(
+                "{n}: match ::serde::__find(__obj, \"{n}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                 None => return Err(::serde::DeError::custom(\"missing field `{n}`\")),\n}},\n",
+                n = f.name
+            ));
+        }
+    }
+    ctor.push('}');
+    ctor
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("{{ let _ = __value; Ok({name}) }}"),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+                }
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __arr = __value.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                         if __arr.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                         Ok({name}({items})) }}",
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => format!(
+                    "{{ let __obj = __value.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                     Ok({ctor}) }}",
+                    ctor = de_named_fields(fields, name)
+                ),
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Also accept the {"Variant": null} form.
+                        keyed_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                             Ok({name}::{vn}({items})) }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = de_named_fields(fields, &format!("{name}::{vn}"));
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             Ok({ctor}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __inner) = &__entries[0];\n\
+                 let _ = __inner;\n\
+                 match __key.as_str() {{\n\
+                 {keyed_arms}\n\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::DeError::custom(\"expected string or single-key object for {name}\")),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl parses")
+}
