@@ -118,6 +118,18 @@ pub struct ChaosArgs {
     pub crashes: Vec<(u32, u64)>,
     /// Scheduled stalls as `(monitor, from_tick, duration)`.
     pub stalls: Vec<(u32, u64, u64)>,
+    /// Scheduled coordinator crashes (ticks).
+    pub coordinator_crashes: Vec<u64>,
+    /// Scheduled partitions as `(monitors, from_tick, duration)`.
+    pub partitions: Vec<(Vec<u32>, u64, u64)>,
+    /// WAL records to corrupt (indices into the append sequence).
+    pub wal_corruptions: Vec<u64>,
+    /// Directory for checkpoint WALs; `None` disables checkpointing.
+    pub wal_dir: Option<String>,
+    /// Checkpoint snapshot cadence in ticks.
+    pub checkpoint_interval: u64,
+    /// Whether a warm standby coordinator is armed.
+    pub standby: bool,
     /// Coordinator collection deadline in milliseconds.
     pub deadline_ms: u64,
     /// Consecutive missed deadlines before quarantine.
@@ -159,6 +171,9 @@ USAGE:
                   [--drop-rate <p=0>] [--poll-drop-rate <p=0>]
                   [--dup-rate <p=0>] [--delay-rate <p=0>]
                   [--crash <m@t>] [--stall <m@t+d>] [--deadline-ms <n=50>]
+                  [--coordinator-crash <t>] [--partition <m1,m2@t+d>]
+                  [--standby] [--wal-dir <dir>] [--checkpoint-interval <n=25>]
+                  [--corrupt-wal-record <i>]
                   [--quarantine-after <n=2>] [--no-supervise] [--json]
   volley help
 ";
@@ -186,6 +201,31 @@ fn parse_stall_spec(value: Option<&String>) -> Result<(u32, u64, u64), CliError>
     let (t, d) = rest.split_once('+').ok_or_else(bad)?;
     Ok((
         m.parse().map_err(|_| bad())?,
+        t.parse().map_err(|_| bad())?,
+        d.parse().map_err(|_| bad())?,
+    ))
+}
+
+/// Parses a partition spec `m1,m2@t+d`: monitors `m1,m2,…` lose the
+/// coordinator link at tick `t` for `d` ticks.
+fn parse_partition_spec(value: Option<&String>) -> Result<(Vec<u32>, u64, u64), CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage("--partition requires m1,m2@t+d".to_string()))?;
+    let bad = || {
+        CliError::Usage(format!(
+            "invalid partition spec `{raw}` (expected m1,m2@t+d)"
+        ))
+    };
+    let (monitors, rest) = raw.split_once('@').ok_or_else(bad)?;
+    let (t, d) = rest.split_once('+').ok_or_else(bad)?;
+    let lanes = monitors
+        .split(',')
+        .map(|m| m.parse().map_err(|_| bad()))
+        .collect::<Result<Vec<u32>, _>>()?;
+    if lanes.is_empty() {
+        return Err(bad());
+    }
+    Ok((
+        lanes,
         t.parse().map_err(|_| bad())?,
         d.parse().map_err(|_| bad())?,
     ))
@@ -281,6 +321,12 @@ impl Command {
             delay_rate: 0.0,
             crashes: Vec::new(),
             stalls: Vec::new(),
+            coordinator_crashes: Vec::new(),
+            partitions: Vec::new(),
+            wal_corruptions: Vec::new(),
+            wal_dir: None,
+            checkpoint_interval: 25,
+            standby: false,
             deadline_ms: 50,
             quarantine_after: 2,
             supervise: true,
@@ -298,6 +344,20 @@ impl Command {
                 "--delay-rate" => parsed.delay_rate = parse_value(flag, it.next())?,
                 "--crash" => parsed.crashes.push(parse_crash_spec(it.next())?),
                 "--stall" => parsed.stalls.push(parse_stall_spec(it.next())?),
+                "--coordinator-crash" => {
+                    parsed
+                        .coordinator_crashes
+                        .push(parse_value(flag, it.next())?);
+                }
+                "--partition" => parsed.partitions.push(parse_partition_spec(it.next())?),
+                "--corrupt-wal-record" => {
+                    parsed.wal_corruptions.push(parse_value(flag, it.next())?);
+                }
+                "--wal-dir" => parsed.wal_dir = Some(parse_value(flag, it.next())?),
+                "--checkpoint-interval" => {
+                    parsed.checkpoint_interval = parse_value(flag, it.next())?;
+                }
+                "--standby" => parsed.standby = true,
                 "--deadline-ms" => parsed.deadline_ms = parse_value(flag, it.next())?,
                 "--quarantine-after" => parsed.quarantine_after = parse_value(flag, it.next())?,
                 "--no-supervise" => parsed.supervise = false,
@@ -309,6 +369,7 @@ impl Command {
         parsed.ticks = parsed.ticks.max(1);
         parsed.deadline_ms = parsed.deadline_ms.max(1);
         parsed.quarantine_after = parsed.quarantine_after.max(1);
+        parsed.checkpoint_interval = parsed.checkpoint_interval.max(1);
         Ok(Command::Chaos(parsed))
     }
 
@@ -507,6 +568,36 @@ mod tests {
     }
 
     #[test]
+    fn chaos_parses_durability_flags() {
+        let cmd = Command::parse(args(&[
+            "chaos",
+            "--coordinator-crash",
+            "80",
+            "--partition",
+            "0,2@30+20",
+            "--standby",
+            "--wal-dir",
+            "/tmp/wals",
+            "--checkpoint-interval",
+            "0",
+            "--corrupt-wal-record",
+            "5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert_eq!(c.coordinator_crashes, vec![80]);
+                assert_eq!(c.partitions, vec![(vec![0, 2], 30, 20)]);
+                assert!(c.standby);
+                assert_eq!(c.wal_dir.as_deref(), Some("/tmp/wals"));
+                assert_eq!(c.checkpoint_interval, 1, "cadence floored at 1");
+                assert_eq!(c.wal_corruptions, vec![5]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn chaos_rejects_malformed_fault_specs() {
         for bad in [
             vec!["chaos", "--crash", "1"],
@@ -514,6 +605,10 @@ mod tests {
             vec!["chaos", "--stall", "1@5"],
             vec!["chaos", "--stall", "1@5+y"],
             vec!["chaos", "--crash"],
+            vec!["chaos", "--partition", "1@5"],
+            vec!["chaos", "--partition", "@5+2"],
+            vec!["chaos", "--partition", "1,x@5+2"],
+            vec!["chaos", "--coordinator-crash", "x"],
         ] {
             assert!(
                 matches!(Command::parse(args(&bad)), Err(CliError::Usage(_))),

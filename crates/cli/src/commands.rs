@@ -261,9 +261,18 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
+/// The `chaos --json` schema version. Bump when the report shape
+/// changes; consumers should refuse versions they don't understand.
+/// Version history: 1 = the original (implicit, unversioned) report;
+/// 2 = adds `schema` itself plus the durability counters
+/// (`coordinator_failovers`, `stale_epoch_frames`, `checkpoint_restores`,
+/// `conservative_restarts`).
+const CHAOS_SCHEMA_VERSION: u32 = 2;
+
 /// JSON report of a `chaos` run.
 #[derive(Debug, Serialize)]
 struct ChaosReport {
+    schema: u32,
     monitors: usize,
     ticks: u64,
     alerts: u64,
@@ -275,6 +284,10 @@ struct ChaosReport {
     quarantines: u64,
     restarts: u64,
     recoveries: u64,
+    coordinator_failovers: u64,
+    stale_epoch_frames: u64,
+    checkpoint_restores: u64,
+    conservative_restarts: u64,
     total_samples: u64,
     cost_ratio: f64,
 }
@@ -322,15 +335,35 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     for &(m, t, d) in &args.stalls {
         plan = plan.with_stall(MonitorId(m), t, d);
     }
+    for &t in &args.coordinator_crashes {
+        plan = plan.with_coordinator_crash(t);
+    }
+    for (lanes, t, d) in &args.partitions {
+        let lanes: Vec<MonitorId> = lanes.iter().map(|&m| MonitorId(m)).collect();
+        plan = plan.with_partition(&lanes, *t, t + d);
+    }
+    for &record in &args.wal_corruptions {
+        plan = plan.with_wal_corruption(record);
+    }
 
-    let report = TaskRunner::new(&spec)?
+    let mut runner = TaskRunner::new(&spec)?
         .with_fault_plan(plan)
         .with_tick_deadline(std::time::Duration::from_millis(args.deadline_ms))
         .with_quarantine_after(args.quarantine_after)
         .with_supervision(args.supervise)
-        .run(&traces)?;
+        .with_standby(args.standby);
+    if let Some(dir) = &args.wal_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)?;
+        runner = runner.with_wal(
+            dir.join(format!("chaos-{}.wal", args.seed)),
+            args.checkpoint_interval,
+        );
+    }
+    let report = runner.run(&traces)?;
 
     let summary = ChaosReport {
+        schema: CHAOS_SCHEMA_VERSION,
         monitors: n,
         ticks: report.ticks,
         alerts: report.alerts,
@@ -342,6 +375,10 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         quarantines: report.quarantines,
         restarts: report.restarts,
         recoveries: report.recoveries,
+        coordinator_failovers: report.coordinator_failovers,
+        stale_epoch_frames: report.stale_epoch_frames,
+        checkpoint_restores: report.checkpoint_restores,
+        conservative_restarts: report.conservative_restarts,
         total_samples: report.total_samples,
         cost_ratio: report.cost_ratio(n),
     };
@@ -371,6 +408,16 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         "quarantines:      {} ({} restarts, {} recoveries)",
         summary.quarantines, summary.restarts, summary.recoveries
     )?;
+    if summary.coordinator_failovers > 0 || summary.stale_epoch_frames > 0 {
+        writeln!(
+            out,
+            "failovers:        {} ({} checkpoint restores, {} conservative)",
+            summary.coordinator_failovers,
+            summary.checkpoint_restores,
+            summary.conservative_restarts
+        )?;
+        writeln!(out, "stale frames:     {}", summary.stale_epoch_frames)?;
+    }
     writeln!(
         out,
         "samples:          {} ({:.1}% of periodic)",
@@ -530,6 +577,12 @@ mod tests {
             delay_rate: 0.0,
             crashes: Vec::new(),
             stalls: Vec::new(),
+            coordinator_crashes: Vec::new(),
+            partitions: Vec::new(),
+            wal_corruptions: Vec::new(),
+            wal_dir: None,
+            checkpoint_interval: 25,
+            standby: false,
             deadline_ms: 25,
             quarantine_after: 2,
             supervise: true,
@@ -543,12 +596,59 @@ mod tests {
         args.crashes.push((1, 10));
         let text = run_to_string(Command::Chaos(args));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["schema"], 2);
         assert_eq!(parsed["ticks"], 100);
         assert_eq!(parsed["quarantines"], 1);
         assert_eq!(parsed["restarts"], 1);
         assert_eq!(parsed["recoveries"], 1);
         // Bursts at ticks 49 and 99 still alert despite the crash.
         assert_eq!(parsed["alerts"], 2);
+    }
+
+    #[test]
+    fn chaos_with_coordinator_crash_fails_over_and_restores() {
+        let dir = std::env::temp_dir().join("volley-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut args = chaos_args();
+        args.coordinator_crashes.push(60);
+        args.standby = true;
+        args.wal_dir = Some(dir.to_string_lossy().to_string());
+        args.checkpoint_interval = 10;
+        let text = run_to_string(Command::Chaos(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["schema"], 2);
+        assert_eq!(parsed["ticks"], 100);
+        assert_eq!(parsed["coordinator_failovers"], 1);
+        assert_eq!(parsed["checkpoint_restores"], 2);
+        assert_eq!(parsed["conservative_restarts"], 0);
+        // Bursts at 49 and 99 straddle the crash; both still alert.
+        assert_eq!(parsed["alerts"], 2);
+        let _ = std::fs::remove_file(dir.join("chaos-7.wal"));
+    }
+
+    #[test]
+    fn chaos_partition_across_failover_rejects_stale_frames() {
+        let mut args = chaos_args();
+        args.coordinator_crashes.push(40);
+        args.standby = true;
+        args.partitions.push((vec![1], 35, 15));
+        // No supervisor: a restart would hand the partitioned monitor the
+        // new epoch out-of-band. Keeping the original actor alive forces
+        // it through the stale-frame → epoch-repair → recovery path.
+        args.supervise = false;
+        let text = run_to_string(Command::Chaos(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["ticks"], 100);
+        assert_eq!(parsed["coordinator_failovers"], 1);
+        // The partitioned monitor missed the epoch bump: its post-heal
+        // frames carry the dead coordinator's epoch and are fenced out
+        // until the epoch-repair handshake readmits it.
+        assert!(
+            parsed["stale_epoch_frames"].as_u64().unwrap() >= 1,
+            "{text}"
+        );
+        // Epoch repair readmits it: the run ends with a recovery.
+        assert!(parsed["recoveries"].as_u64().unwrap() >= 1, "{text}");
     }
 
     #[test]

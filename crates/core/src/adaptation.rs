@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::VolleyError;
 use crate::likelihood::{misdetection_bound_with, BoundKind};
+use crate::snapshot::{finite_or_zero, SamplerSnapshot};
 use crate::stats::{DeltaTracker, StatsKind};
 use crate::time::{Interval, Tick};
 
@@ -116,6 +117,24 @@ impl AdaptationConfig {
     /// The grow threshold `(1 − γ)·err` for a given allowance.
     pub(crate) fn grow_threshold(&self, err: f64) -> f64 {
         (1.0 - self.slack_ratio) * err
+    }
+
+    /// Re-imposes the builder's invariants on a configuration that may
+    /// have come from a hostile source (a corrupted checkpoint record):
+    /// non-finite parameters fall back to the paper defaults, ranges are
+    /// clamped, and the patience keeps its floor of 1. Valid
+    /// configurations pass through unchanged.
+    pub(crate) fn sanitized(mut self) -> Self {
+        if !self.error_allowance.is_finite() {
+            self.error_allowance = 0.01;
+        }
+        self.error_allowance = self.error_allowance.clamp(0.0, 1.0);
+        if !self.slack_ratio.is_finite() {
+            self.slack_ratio = 0.2;
+        }
+        self.slack_ratio = self.slack_ratio.clamp(0.0, 0.99);
+        self.patience = self.patience.max(1);
+        self
     }
 }
 
@@ -507,6 +526,48 @@ impl AdaptiveSampler {
         self.period_observations = 0;
         self.period_cost_sums.iter_mut().for_each(|s| *s = 0.0);
         report
+    }
+
+    /// Captures the §III-B controller state for checkpointing: the
+    /// configuration, thresholds, δ statistics, interval and growth
+    /// progress. The §IV-B updating-period aggregates are deliberately
+    /// excluded — see [`crate::snapshot`] for the rationale.
+    pub fn to_snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot {
+            config: self.config,
+            threshold: self.threshold,
+            err: self.err,
+            tracker: self.tracker.to_snapshot(),
+            interval: self.interval.get(),
+            consecutive_ok: self.consecutive_ok,
+            total_samples: self.total_samples,
+        }
+    }
+
+    /// Rebuilds a sampler from a snapshot.
+    ///
+    /// Every field is sanitized so that a corrupted checkpoint can cost
+    /// accuracy but never panic or wedge the controller: the
+    /// configuration invariants are re-imposed, non-finite floats are
+    /// replaced, and the restored interval is clamped back under the
+    /// configured maximum. The updating-period aggregates restart at
+    /// zero — a restore begins a fresh §IV-B period.
+    pub fn from_snapshot(snapshot: &SamplerSnapshot) -> Self {
+        let config = snapshot.config.sanitized();
+        let mut sampler = AdaptiveSampler::new(config, finite_or_zero(snapshot.threshold));
+        sampler.err = if snapshot.err.is_finite() {
+            snapshot.err.clamp(0.0, 1.0)
+        } else {
+            config.error_allowance()
+        };
+        sampler.tracker = DeltaTracker::from_snapshot(&snapshot.tracker);
+        sampler.interval = Interval::new_clamped(snapshot.interval).min(config.max_interval());
+        // The counter rises past the patience while the interval sits at
+        // its maximum; cap it only far away, where a hostile value could
+        // overflow subsequent increments.
+        sampler.consecutive_ok = snapshot.consecutive_ok.min(u32::MAX / 2);
+        sampler.total_samples = snapshot.total_samples;
+        sampler
     }
 
     /// Resets the sampler to its initial state (default interval, fresh

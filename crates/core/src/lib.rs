@@ -75,6 +75,7 @@ pub mod error;
 pub mod likelihood;
 pub mod sampler;
 pub mod service;
+pub mod snapshot;
 pub mod stats;
 pub mod task;
 pub mod threshold;
@@ -93,6 +94,7 @@ pub use error::VolleyError;
 pub use likelihood::{exceed_probability_bound, misdetection_bound, BoundKind};
 pub use sampler::{PeriodicSampler, ReactiveSampler, SamplingPolicy};
 pub use service::{Alert, MonitoringService, TaskKind};
+pub use snapshot::{DeltaSnapshot, EwmaSnapshot, SamplerSnapshot, StatsSnapshot};
 pub use stats::{DeltaTracker, EwmaStats, OnlineStats, StatsKind};
 pub use task::{MonitorId, MonitorSpec, TaskId, TaskSpec};
 pub use threshold::{selectivity_threshold, ThresholdSplit};

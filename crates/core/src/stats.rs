@@ -23,6 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::snapshot::{finite_or_zero, DeltaSnapshot, EwmaSnapshot, StatsSnapshot};
 use crate::time::{Interval, Tick};
 
 /// Which δ-statistics estimator the adaptation uses.
@@ -161,6 +162,32 @@ impl OnlineStats {
         self.variance = 0.0;
         self.restarts += 1;
     }
+
+    /// Captures the accumulator state for checkpointing.
+    pub fn to_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            n: self.n,
+            mean: self.mean,
+            variance: self.variance,
+            restart_after: self.restart_after,
+            restarts: self.restarts,
+        }
+    }
+
+    /// Rebuilds an accumulator from a snapshot, re-imposing the type's
+    /// invariants on potentially hostile fields: non-finite floats become
+    /// 0, the variance is floored at 0, and the restart window keeps its
+    /// floor of 2. A corrupted snapshot degrades accuracy; it never
+    /// panics or poisons later updates.
+    pub fn from_snapshot(snapshot: &StatsSnapshot) -> Self {
+        OnlineStats {
+            n: snapshot.n,
+            mean: finite_or_zero(snapshot.mean),
+            variance: finite_or_zero(snapshot.variance).max(0.0),
+            restart_after: snapshot.restart_after.max(2),
+            restarts: snapshot.restarts,
+        }
+    }
 }
 
 impl Default for OnlineStats {
@@ -252,6 +279,26 @@ impl EwmaStats {
     /// Observations consumed so far.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Captures the accumulator state for checkpointing.
+    pub fn to_snapshot(&self) -> EwmaSnapshot {
+        EwmaSnapshot {
+            lambda: self.lambda,
+            mean: self.mean,
+            variance: self.variance,
+            n: self.n,
+        }
+    }
+
+    /// Rebuilds an accumulator from a snapshot; `λ` passes through the
+    /// constructor's clamp and non-finite moments are zeroed.
+    pub fn from_snapshot(snapshot: &EwmaSnapshot) -> Self {
+        let mut ewma = EwmaStats::new(snapshot.lambda);
+        ewma.mean = finite_or_zero(snapshot.mean);
+        ewma.variance = finite_or_zero(snapshot.variance).max(0.0);
+        ewma.n = snapshot.n;
+        ewma
     }
 }
 
@@ -374,6 +421,27 @@ impl DeltaTracker {
             *e = EwmaStats::new(e.lambda());
         }
         self.last = None;
+    }
+
+    /// Captures the tracker state for checkpointing.
+    pub fn to_snapshot(&self) -> DeltaSnapshot {
+        DeltaSnapshot {
+            stats: self.stats.to_snapshot(),
+            ewma: self.ewma.map(|e| e.to_snapshot()),
+            last: self.last,
+        }
+    }
+
+    /// Rebuilds a tracker from a snapshot. A cached last sample with a
+    /// non-finite value is discarded (the next sample re-seeds the cache
+    /// instead of producing a poisoned δ̂); the presence of an EWMA
+    /// snapshot restores the exponentially-forgetting active estimator.
+    pub fn from_snapshot(snapshot: &DeltaSnapshot) -> Self {
+        DeltaTracker {
+            stats: OnlineStats::from_snapshot(&snapshot.stats),
+            ewma: snapshot.ewma.map(|e| EwmaStats::from_snapshot(&e)),
+            last: snapshot.last.filter(|(_, value)| value.is_finite()),
+        }
     }
 }
 

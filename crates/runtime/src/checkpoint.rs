@@ -1,0 +1,563 @@
+//! Coordinator durability: a CRC-framed write-ahead log of tick
+//! outcomes with periodic snapshots of the adaptation state.
+//!
+//! A coordinator crash must not discard what the task has *learned* —
+//! per-monitor δ statistics, grown sampling intervals and the §IV-B
+//! allowance assignment. The coordinator therefore appends one
+//! [`TickOutcome`] record per completed tick and, every checkpoint
+//! interval, a full [`CoordinatorSnapshot`] gathered from the monitors.
+//! A standby taking over replays the log, restores each monitor from the
+//! latest snapshot and falls back to the paper's conservative
+//! default-interval restart only for state newer than that horizon.
+//!
+//! ## On-disk format
+//!
+//! The log is a flat sequence of records, each framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: `len` bytes of JSON]
+//! ```
+//!
+//! where `crc` is the CRC-32 (IEEE) of the payload. Recovery reads
+//! records until the first frame that is short, oversized, fails its CRC
+//! or fails to parse — the **truncated-tail rule**: everything before
+//! the bad frame is trusted, everything at and after it is discarded.
+//! This makes a torn final write (the common crash artifact) and trailing
+//! corruption harmless, at the price of losing the records behind an
+//! early corruption — which is exactly the conservative fallback the
+//! recovery semantics already handle.
+//!
+//! Decoding is pure ([`decode_records`] takes a byte slice) so the
+//! never-panic property is directly proptestable without touching disk.
+//!
+//! ## Compaction
+//!
+//! Only the latest snapshot and the tick records behind it matter for
+//! recovery. When the record count passes the compaction threshold the
+//! next snapshot append rewrites the log as just that snapshot (via a
+//! temp file and an atomic rename), bounding log growth.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use volley_core::snapshot::SamplerSnapshot;
+use volley_core::time::Tick;
+
+/// Upper bound on a record payload. A bit-flipped length field would
+/// otherwise make recovery attempt a multi-gigabyte read.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Default number of records after which an appended snapshot compacts
+/// the log.
+pub const DEFAULT_COMPACT_AFTER: u64 = 512;
+
+/// Bytes of framing overhead per record (`len` + `crc`).
+const FRAME_OVERHEAD: usize = 8;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven; the table is built at compile time
+// so the hot append path is a byte-per-iteration table lookup.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Record types
+// ---------------------------------------------------------------------
+
+/// Per-tick outcome appended to the WAL after the tick completes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickOutcome {
+    /// Coordinator epoch that produced this record.
+    pub epoch: u64,
+    /// The completed tick.
+    pub tick: Tick,
+    /// Whether the tick escalated to a global poll.
+    pub polled: bool,
+    /// Whether the tick raised a state alert.
+    pub alerted: bool,
+    /// Local violation reports received this tick.
+    pub local_violations: u32,
+}
+
+/// Full coordinator adaptation state at a checkpoint: everything a
+/// standby needs to resume without re-learning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorSnapshot {
+    /// Coordinator epoch that gathered this snapshot.
+    pub epoch: u64,
+    /// Tick at which the snapshot was gathered.
+    pub tick: Tick,
+    /// Next §IV-B allowance-update tick.
+    pub next_update_tick: Tick,
+    /// Per-monitor error allowances in effect.
+    pub allowances: Vec<f64>,
+    /// Per-monitor sampler snapshots; `None` for monitors that did not
+    /// answer the snapshot request in time (those restart conservatively
+    /// on recovery).
+    pub samplers: Vec<Option<SamplerSnapshot>>,
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A periodic full checkpoint.
+    Snapshot(CoordinatorSnapshot),
+    /// A per-tick outcome.
+    Tick(TickOutcome),
+}
+
+// ---------------------------------------------------------------------
+// Pure encode / decode
+// ---------------------------------------------------------------------
+
+/// Encodes one record into its framed on-disk form.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let payload = serde_json::to_vec(record).expect("WAL records always serialize");
+    let mut framed = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+/// Result of replaying a WAL byte stream under the truncated-tail rule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Replay {
+    /// The latest intact snapshot, if any.
+    pub snapshot: Option<CoordinatorSnapshot>,
+    /// Tick outcomes recorded *after* that snapshot (the state newer than
+    /// the checkpoint horizon — recovered only conservatively).
+    pub tail: Vec<TickOutcome>,
+    /// Number of bytes of the stream that decoded cleanly.
+    pub valid_len: usize,
+    /// Whether bytes beyond `valid_len` were discarded (torn write or
+    /// corruption).
+    pub truncated: bool,
+    /// Number of records that decoded cleanly.
+    pub records: u64,
+}
+
+/// Decodes a WAL byte stream, stopping at the first short, oversized,
+/// CRC-failing or unparsable frame. Never panics, for any input.
+pub fn decode_records(bytes: &[u8]) -> Replay {
+    let mut replay = Replay::default();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < FRAME_OVERHEAD {
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let len = len as usize;
+        let Some(payload) = rest.get(FRAME_OVERHEAD..FRAME_OVERHEAD + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(record) = serde_json::from_slice::<WalRecord>(payload) else {
+            break;
+        };
+        match record {
+            WalRecord::Snapshot(snapshot) => {
+                replay.snapshot = Some(snapshot);
+                replay.tail.clear();
+            }
+            WalRecord::Tick(outcome) => replay.tail.push(outcome),
+        }
+        offset += FRAME_OVERHEAD + len;
+        replay.valid_len = offset;
+        replay.records += 1;
+    }
+    replay.truncated = replay.valid_len < bytes.len();
+    replay
+}
+
+// ---------------------------------------------------------------------
+// The on-disk log
+// ---------------------------------------------------------------------
+
+/// Append-only write-ahead log of [`WalRecord`]s.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Records in the current (possibly compacted) file.
+    records_in_file: u64,
+    /// Records ever appended through this handle — the index axis for
+    /// injected corruption.
+    appended: u64,
+    compact_after: u64,
+    /// Record indices (on the `appended` axis) whose payload is
+    /// bit-flipped after the CRC is computed: deterministic
+    /// WAL-corruption injection for chaos runs.
+    corruptions: Vec<u64>,
+    last_snapshot: Option<CoordinatorSnapshot>,
+}
+
+impl Wal {
+    /// Creates (or truncates) the log at `path`.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Wal {
+            path,
+            file,
+            records_in_file: 0,
+            appended: 0,
+            compact_after: DEFAULT_COMPACT_AFTER,
+            corruptions: Vec::new(),
+            last_snapshot: None,
+        })
+    }
+
+    /// Sets the compaction threshold: once the file holds more than
+    /// `records` records, the next snapshot append compacts the log.
+    pub fn with_compaction(mut self, records: u64) -> Self {
+        self.compact_after = records.max(1);
+        self
+    }
+
+    /// Schedules deterministic corruption: the `indices`-th appended
+    /// records (0-based, counted across compactions) are written with one
+    /// payload byte flipped *after* the CRC is computed, so replay
+    /// detects the mismatch and truncates there.
+    pub fn with_corruption(mut self, indices: Vec<u64>) -> Self {
+        self.corruptions = indices;
+        self
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records currently in the file.
+    pub fn records(&self) -> u64 {
+        self.records_in_file
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let mut framed = encode_record(record);
+        if self.corruptions.contains(&self.appended) && framed.len() > FRAME_OVERHEAD {
+            let idx = FRAME_OVERHEAD + (framed.len() - FRAME_OVERHEAD) / 2;
+            framed[idx] ^= 0x40;
+        }
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        self.appended += 1;
+        self.records_in_file += 1;
+        if let WalRecord::Snapshot(snapshot) = record {
+            self.last_snapshot = Some(snapshot.clone());
+        }
+        Ok(())
+    }
+
+    /// Appends a snapshot and compacts the log down to just that
+    /// snapshot when the file has outgrown the compaction threshold.
+    pub fn append_snapshot(&mut self, snapshot: &CoordinatorSnapshot) -> io::Result<()> {
+        self.append(&WalRecord::Snapshot(snapshot.clone()))?;
+        if self.records_in_file > self.compact_after {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log as just the latest snapshot (temp file + atomic
+    /// rename), dropping every record the snapshot supersedes.
+    fn compact(&mut self) -> io::Result<()> {
+        let Some(snapshot) = self.last_snapshot.clone() else {
+            return Ok(());
+        };
+        let tmp = self.path.with_extension("wal.tmp");
+        let mut out = File::create(&tmp)?;
+        out.write_all(&encode_record(&WalRecord::Snapshot(snapshot)))?;
+        out.sync_all()?;
+        drop(out);
+        fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.records_in_file = 1;
+        Ok(())
+    }
+
+    /// Replays the log at `path` under the truncated-tail rule. A
+    /// missing file replays as empty (a cold start).
+    pub fn replay(path: impl AsRef<Path>) -> io::Result<Replay> {
+        let mut bytes = Vec::new();
+        match File::open(path.as_ref()) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Replay::default()),
+            Err(e) => return Err(e),
+        }
+        Ok(decode_records(&bytes))
+    }
+
+    /// Starts a fresh log at `path` seeded with `snapshot` (if any) —
+    /// the takeover path: the standby compacts whatever it could replay
+    /// into a clean log, clearing any corrupt tail in the process.
+    pub fn compact_to(
+        path: impl Into<PathBuf>,
+        snapshot: Option<&CoordinatorSnapshot>,
+    ) -> io::Result<Self> {
+        let mut wal = Wal::create(path)?;
+        if let Some(snapshot) = snapshot {
+            wal.append(&WalRecord::Snapshot(snapshot.clone()))?;
+        }
+        Ok(wal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volley_core::{AdaptationConfig, AdaptiveSampler};
+
+    fn sampler_snapshot() -> SamplerSnapshot {
+        let mut sampler = AdaptiveSampler::new(AdaptationConfig::default(), 100.0);
+        sampler.observe(0, 10.0);
+        sampler.observe(1, 12.0);
+        sampler.to_snapshot()
+    }
+
+    fn snapshot(epoch: u64, tick: Tick) -> CoordinatorSnapshot {
+        CoordinatorSnapshot {
+            epoch,
+            tick,
+            next_update_tick: tick + 50,
+            allowances: vec![0.005, 0.005],
+            samplers: vec![Some(sampler_snapshot()), None],
+        }
+    }
+
+    fn outcome(tick: Tick) -> TickOutcome {
+        TickOutcome {
+            epoch: 0,
+            tick,
+            polled: tick.is_multiple_of(2),
+            alerted: false,
+            local_violations: (tick % 3) as u32,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("volley-checkpoint-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let records = vec![
+            WalRecord::Tick(outcome(1)),
+            WalRecord::Snapshot(snapshot(0, 2)),
+            WalRecord::Tick(outcome(3)),
+            WalRecord::Tick(outcome(4)),
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let replay = decode_records(&bytes);
+        assert_eq!(replay.records, 4);
+        assert!(!replay.truncated);
+        assert_eq!(replay.valid_len, bytes.len());
+        assert_eq!(replay.snapshot, Some(snapshot(0, 2)));
+        assert_eq!(replay.tail, vec![outcome(3), outcome(4)]);
+    }
+
+    #[test]
+    fn later_snapshot_supersedes_earlier_tail() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_record(&WalRecord::Snapshot(snapshot(0, 1))));
+        bytes.extend_from_slice(&encode_record(&WalRecord::Tick(outcome(2))));
+        bytes.extend_from_slice(&encode_record(&WalRecord::Snapshot(snapshot(0, 3))));
+        let replay = decode_records(&bytes);
+        assert_eq!(replay.snapshot.unwrap().tick, 3);
+        assert!(replay.tail.is_empty(), "tail restarts at each snapshot");
+    }
+
+    #[test]
+    fn torn_final_write_truncates_cleanly() {
+        let mut bytes = encode_record(&WalRecord::Tick(outcome(1)));
+        let whole = bytes.len();
+        bytes.extend_from_slice(&encode_record(&WalRecord::Tick(outcome(2)))[..10]);
+        let replay = decode_records(&bytes);
+        assert_eq!(replay.records, 1);
+        assert!(replay.truncated);
+        assert_eq!(replay.valid_len, whole);
+        assert_eq!(replay.tail, vec![outcome(1)]);
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_the_flip() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_record(&WalRecord::Tick(outcome(1))));
+        let first = bytes.len();
+        bytes.extend_from_slice(&encode_record(&WalRecord::Tick(outcome(2))));
+        bytes.extend_from_slice(&encode_record(&WalRecord::Tick(outcome(3))));
+        // Flip a payload byte of the middle record.
+        bytes[first + FRAME_OVERHEAD + 3] ^= 0x01;
+        let replay = decode_records(&bytes);
+        assert_eq!(replay.records, 1);
+        assert!(replay.truncated);
+        assert_eq!(replay.tail, vec![outcome(1)]);
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let replay = decode_records(&bytes);
+        assert_eq!(replay.records, 0);
+        assert!(replay.truncated);
+    }
+
+    #[test]
+    fn wal_append_replay_round_trip() {
+        let path = temp_path("round-trip");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(&WalRecord::Tick(outcome(1))).unwrap();
+        wal.append_snapshot(&snapshot(0, 2)).unwrap();
+        wal.append(&WalRecord::Tick(outcome(3))).unwrap();
+        drop(wal);
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.snapshot, Some(snapshot(0, 2)));
+        assert_eq!(replay.tail, vec![outcome(3)]);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let replay = Wal::replay(temp_path("does-not-exist-ever")).unwrap();
+        assert_eq!(replay, Replay::default());
+    }
+
+    #[test]
+    fn compaction_bounds_the_log() {
+        let path = temp_path("compaction");
+        let mut wal = Wal::create(&path).unwrap().with_compaction(4);
+        for t in 0..20 {
+            wal.append(&WalRecord::Tick(outcome(t))).unwrap();
+            if t % 5 == 4 {
+                wal.append_snapshot(&snapshot(0, t)).unwrap();
+            }
+        }
+        assert!(
+            wal.records() <= 6,
+            "log must stay bounded, has {} records",
+            wal.records()
+        );
+        drop(wal);
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.snapshot.unwrap().tick, 19);
+        assert!(!replay.truncated);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_corruption_truncates_at_the_record() {
+        let path = temp_path("corruption");
+        let mut wal = Wal::create(&path).unwrap().with_corruption(vec![2]);
+        for t in 0..5 {
+            wal.append(&WalRecord::Tick(outcome(t))).unwrap();
+        }
+        drop(wal);
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records, 2, "replay stops at the corrupted record");
+        assert!(replay.truncated);
+        assert_eq!(replay.tail, vec![outcome(0), outcome(1)]);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_to_clears_a_corrupt_tail() {
+        let src = temp_path("compact-src");
+        let mut wal = Wal::create(&src).unwrap().with_corruption(vec![3]);
+        wal.append_snapshot(&snapshot(0, 10)).unwrap();
+        for t in 11..15 {
+            wal.append(&WalRecord::Tick(outcome(t))).unwrap();
+        }
+        drop(wal);
+        let replay = Wal::replay(&src).unwrap();
+        assert!(replay.truncated);
+        let dst = temp_path("compact-dst");
+        let fresh = Wal::compact_to(&dst, replay.snapshot.as_ref()).unwrap();
+        assert_eq!(fresh.records(), 1);
+        drop(fresh);
+        let clean = Wal::replay(&dst).unwrap();
+        assert!(!clean.truncated);
+        assert_eq!(clean.snapshot, replay.snapshot);
+        fs::remove_file(&src).ok();
+        fs::remove_file(&dst).ok();
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_prefixes() {
+        let mut bytes = Vec::new();
+        for t in 0..3 {
+            bytes.extend_from_slice(&encode_record(&WalRecord::Tick(outcome(t))));
+        }
+        for cut in 0..bytes.len() {
+            let replay = decode_records(&bytes[..cut]);
+            assert!(replay.records <= 3);
+        }
+    }
+}

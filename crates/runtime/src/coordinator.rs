@@ -17,6 +17,28 @@
 //! mode errs toward alerting, preserving the paper's no-missed-alert
 //! property at the price of possible false alerts. A quarantined monitor
 //! that reports on time again is restored immediately.
+//!
+//! # Durability and failover
+//!
+//! Every frame is epoch-stamped ([`MonitorFrame`]/[`ControlFrame`]). A
+//! coordinator rejects monitor frames sealed at an older epoch — they can
+//! only come from before a failover, e.g. from a monitor that sat out the
+//! [`NewEpoch`](CoordinatorToMonitor::NewEpoch) broadcast behind a
+//! network partition. Rejected frames are counted
+//! ([`TickSummary::stale_epoch_frames`]) and answered with a fresh
+//! `NewEpoch` at the end of the round (*epoch repair*), after which the
+//! sender's next report is current-epoch and it re-earns active status
+//! through the normal quarantine-recovery path. Quarantined monitors are
+//! only awaited again on **fresh** evidence — a `Revived` handshake or a
+//! frame for a not-yet-closed tick — so a delayed frame replayed after
+//! quarantine cannot resurrect a dead monitor.
+//!
+//! With [`with_checkpoint`](CoordinatorActor::with_checkpoint) the
+//! coordinator appends every tick outcome to a [`Wal`] and periodically
+//! gathers full [`CoordinatorSnapshot`]s (per-monitor sampler state via
+//! [`RequestSnapshot`](CoordinatorToMonitor::RequestSnapshot), allowances,
+//! update schedule), which a warm standby replays to resume with learned
+//! intervals instead of the paper's conservative `I_d` restart.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -26,13 +48,16 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use volley_core::adaptation::PeriodReport;
 use volley_core::allocation::ErrorAllocator;
+use volley_core::snapshot::SamplerSnapshot;
 use volley_core::task::MonitorId;
 use volley_core::time::Tick;
 
+use crate::checkpoint::{CoordinatorSnapshot, TickOutcome, Wal, WalRecord};
 use crate::failure::{FailureInjector, FaultPath, FaultPlan};
 use crate::link::MonitorLink;
 use crate::message::{
-    decode, encode, CoordinatorToMonitor, CoordinatorToRunner, MonitorToCoordinator, TickSummary,
+    decode, encode, ControlFrame, CoordinatorToMonitor, CoordinatorToRunner, MonitorFrame,
+    MonitorToCoordinator, TickSummary,
 };
 
 /// Default bound on how long the coordinator waits for one tick's
@@ -43,10 +68,20 @@ pub const DEFAULT_TICK_DEADLINE: Duration = Duration::from_secs(1);
 /// Default number of consecutive missed deadlines before quarantine.
 pub const DEFAULT_QUARANTINE_AFTER: u32 = 3;
 
+/// Checkpoint bookkeeping: the WAL plus the snapshot cadence.
+#[derive(Debug)]
+struct Checkpointer {
+    wal: Wal,
+    every: u64,
+    /// Next tick at (or after) which a full snapshot is gathered.
+    next: Tick,
+}
+
 /// The coordinator: evaluates the global condition on local-violation
 /// reports and periodically redistributes the error allowance (§IV),
 /// tolerating crashed, stalled and lossy monitors via tick deadlines,
-/// quarantine and degraded aggregation.
+/// quarantine and degraded aggregation, and surviving its own crash via
+/// an epoch-fenced warm standby restoring from the write-ahead log.
 #[derive(Debug)]
 pub struct CoordinatorActor {
     global_threshold: f64,
@@ -60,20 +95,28 @@ pub struct CoordinatorActor {
     faults: FaultPlan,
     tick_deadline: Duration,
     quarantine_after: u32,
+    epoch: u64,
+    /// Last tick closed by a previous incarnation (failover resume).
+    resume_last_tick: Option<Tick>,
+    checkpoint: Option<Checkpointer>,
 }
 
 /// Mutable per-run liveness bookkeeping.
 struct Liveness {
     quarantined: Vec<bool>,
     /// A quarantined monitor showing signs of life (a `Revived` notice
-    /// from the runner's supervisor, or any frame of its own): the next
-    /// collection awaits it again so it can re-earn active status.
+    /// from the runner's supervisor, or a *fresh* frame of its own): the
+    /// next collection awaits it again so it can re-earn active status.
     reviving: Vec<bool>,
     consecutive_missed: Vec<u32>,
     last_tick: Option<Tick>,
     /// Frames read ahead of their round (defensive; lock-step rarely
     /// produces them).
     pending: VecDeque<Bytes>,
+    /// Stale-epoch frames rejected this round.
+    stale_epoch: u32,
+    /// Monitors that sent a stale-epoch frame and owe an epoch repair.
+    needs_epoch: Vec<bool>,
 }
 
 impl Liveness {
@@ -84,6 +127,8 @@ impl Liveness {
             consecutive_missed: vec![0; monitors],
             last_tick: None,
             pending: VecDeque::new(),
+            stale_epoch: 0,
+            needs_epoch: vec![false; monitors],
         }
     }
 
@@ -115,7 +160,22 @@ fn msg_sender(msg: &MonitorToCoordinator) -> MonitorId {
         MonitorToCoordinator::TickDone { monitor, .. }
         | MonitorToCoordinator::PollReply { monitor, .. }
         | MonitorToCoordinator::Report { monitor, .. }
-        | MonitorToCoordinator::Revived { monitor } => monitor,
+        | MonitorToCoordinator::Revived { monitor }
+        | MonitorToCoordinator::StateSnapshot { monitor, .. } => monitor,
+    }
+}
+
+/// Whether `msg` is *fresh* evidence of life — something a live monitor
+/// would send now, as opposed to a delayed or replayed frame from an
+/// already-closed tick. Only fresh evidence may resurrect a quarantined
+/// monitor: awaiting one again on a stale delayed frame would stall every
+/// round on a monitor that is in fact dead.
+fn is_fresh(msg: &MonitorToCoordinator, last_tick: Option<Tick>) -> bool {
+    match *msg {
+        MonitorToCoordinator::Revived { .. } => true,
+        MonitorToCoordinator::TickDone { tick, .. }
+        | MonitorToCoordinator::PollReply { tick, .. } => last_tick.is_none_or(|lt| tick > lt),
+        MonitorToCoordinator::Report { .. } | MonitorToCoordinator::StateSnapshot { .. } => false,
     }
 }
 
@@ -149,6 +209,9 @@ impl CoordinatorActor {
             faults: FaultPlan::default(),
             tick_deadline: DEFAULT_TICK_DEADLINE,
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            epoch: 0,
+            resume_last_tick: None,
+            checkpoint: None,
         }
     }
 
@@ -175,13 +238,56 @@ impl CoordinatorActor {
         self
     }
 
+    /// Seals every control frame at `epoch` and rejects monitor frames
+    /// from older epochs. A standby taking over bumps the epoch so the
+    /// fleet can tell the new primary's traffic from the old one's.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Resumes after a failover: `last_tick` is the last tick the
+    /// previous incarnation closed (`None` if none completed) and
+    /// `next_update_tick` restores the §IV-B reallocation schedule.
+    #[must_use]
+    pub fn with_resume(mut self, last_tick: Option<Tick>, next_update_tick: Tick) -> Self {
+        self.resume_last_tick = last_tick;
+        self.next_update_tick = next_update_tick;
+        if let Some(cp) = self.checkpoint.as_mut() {
+            cp.next = last_tick.map_or(0, |t| t + cp.every);
+        }
+        self
+    }
+
+    /// Checkpoints to `wal`: every tick outcome is appended, and every
+    /// `every` ticks (minimum 1) the coordinator gathers a full snapshot
+    /// of its own and every reachable monitor's adaptation state.
+    #[must_use]
+    pub fn with_checkpoint(mut self, wal: Wal, every: u64) -> Self {
+        let every = every.max(1);
+        let next = self.resume_last_tick.map_or(0, |t| t + every);
+        self.checkpoint = Some(Checkpointer { wal, every, next });
+        self
+    }
+
     /// The global threshold.
     pub fn global_threshold(&self) -> f64 {
         self.global_threshold
     }
 
+    /// The epoch this coordinator seals its frames with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     fn monitors(&self) -> usize {
         self.local_thresholds.len()
+    }
+
+    /// Whether monitor `idx` is reachable (not partitioned) at `tick`.
+    fn reachable(&self, idx: usize, tick: Tick) -> bool {
+        !self.faults.partitioned(MonitorId(idx as u32), tick)
     }
 
     /// Receives the next frame: buffered read-ahead first, then the
@@ -208,9 +314,10 @@ impl CoordinatorActor {
     }
 
     /// Receives and decodes the next protocol message within `deadline`,
-    /// transparently consuming supervisor `Revived` notices and noting
-    /// life signs from quarantined monitors. `Ok(None)` means the
-    /// deadline passed; `Err(())` means every sender disconnected.
+    /// enforcing the epoch fence, transparently consuming supervisor
+    /// `Revived` notices and noting *fresh* life signs from quarantined
+    /// monitors. `Ok(None)` means the deadline passed; `Err(())` means
+    /// every sender disconnected.
     fn recv_msg(
         &self,
         live: &mut Liveness,
@@ -221,11 +328,23 @@ impl CoordinatorActor {
             let Some(frame) = self.recv_frame(live, from_monitors, deadline)? else {
                 return Ok(None);
             };
-            let Ok(msg) = decode::<MonitorToCoordinator>(&frame) else {
+            let Ok(MonitorFrame { epoch, msg }) = decode::<MonitorFrame>(&frame) else {
                 continue; // malformed frame
             };
             let idx = msg_sender(&msg).0 as usize;
-            if idx < self.monitors() {
+            if epoch < self.epoch {
+                // A frame from before the failover — e.g. a monitor that
+                // missed the NewEpoch broadcast behind a partition, or
+                // traffic from the deposed primary's world. Reject it
+                // (split-brain safety) but schedule an epoch repair so
+                // the sender can rejoin the current epoch.
+                live.stale_epoch += 1;
+                if idx < self.monitors() {
+                    live.needs_epoch[idx] = true;
+                }
+                continue;
+            }
+            if idx < self.monitors() && is_fresh(&msg, live.last_tick) {
                 live.mark_reviving(idx);
             }
             if matches!(msg, MonitorToCoordinator::Revived { .. }) {
@@ -238,8 +357,8 @@ impl CoordinatorActor {
     /// Runs the coordinator loop until the monitor channel disconnects,
     /// consuming the actor.
     ///
-    /// `from_monitors` carries encoded [`MonitorToCoordinator`] frames;
-    /// `to_monitors[i]` is monitor *i*'s inbox link; each tick's
+    /// `from_monitors` carries encoded [`MonitorFrame`]s; `to_monitors[i]`
+    /// is monitor *i*'s inbox link; each tick's
     /// [`CoordinatorToRunner::Summary`] — interleaved with quarantine and
     /// recovery events — is emitted on `to_runner`.
     pub fn run(
@@ -251,11 +370,13 @@ impl CoordinatorActor {
         let n = self.monitors();
         debug_assert_eq!(to_monitors.len(), n);
         let mut live = Liveness::new(n);
+        live.last_tick = self.resume_last_tick;
         while let Ok(true) = self.run_tick(&mut live, &from_monitors, &to_monitors, &to_runner) {}
     }
 
     /// One full tick round. `Ok(true)` continues, `Ok(false)` stops
-    /// cleanly (runner gone), `Err(())` stops on monitor disconnect.
+    /// cleanly (runner gone, or an injected coordinator crash fired),
+    /// `Err(())` stops on monitor disconnect.
     fn run_tick(
         &mut self,
         live: &mut Liveness,
@@ -264,11 +385,13 @@ impl CoordinatorActor {
         to_runner: &Sender<Bytes>,
     ) -> Result<bool, ()> {
         let n = self.monitors();
+        live.stale_epoch = 0;
 
         // Phase 1: collect TickDone from every awaited monitor — active
-        // ones plus quarantined ones showing signs of life — bounded by
-        // the tick deadline. When nothing at all is awaited (everything
-        // quarantined) the round still waits out the deadline: that
+        // ones plus quarantined ones showing signs of life, minus any the
+        // fault plan has partitioned away — bounded by the tick deadline.
+        // When nothing at all is awaited (everything quarantined or
+        // unreachable) the round still waits out the deadline: that
         // throttles the loop and gives `Revived` notices a chance to
         // arrive.
         let deadline = Instant::now() + self.tick_deadline;
@@ -278,8 +401,13 @@ impl CoordinatorActor {
         let mut violations = 0u32;
         loop {
             // `recv_msg` can grow the awaited set mid-round, so the exit
-            // condition is re-evaluated every iteration.
-            if (0..n).any(|i| live.awaited(i)) && (0..n).all(|i| !live.awaited(i) || seen[i]) {
+            // condition is re-evaluated every iteration. Partitioned
+            // monitors are never waited for — their frames cannot arrive
+            // — but still count as missing below, so a long partition
+            // quarantines them and degraded aggregation takes over.
+            let expect = round_tick.unwrap_or_else(|| live.last_tick.map_or(0, |t| t + 1));
+            let awaited = |live: &Liveness, i: usize| live.awaited(i) && self.reachable(i, expect);
+            if (0..n).any(|i| awaited(live, i)) && (0..n).all(|i| !awaited(live, i) || seen[i]) {
                 break;
             }
             let Some(msg) = self.recv_msg(live, from_monitors, deadline)? else {
@@ -309,7 +437,7 @@ impl CoordinatorActor {
                 Some(rt) if t > rt => {
                     // Read-ahead (possible only if the runner raced ahead);
                     // keep it for the next round.
-                    live.pending.push_back(encode(&msg));
+                    live.pending.push_back(MonitorFrame::seal(self.epoch, msg));
                     continue;
                 }
                 Some(_) => {}
@@ -347,6 +475,18 @@ impl CoordinatorActor {
             None => live.last_tick.map_or(0, |t| t + 1),
         };
         live.last_tick = Some(tick);
+
+        // An injected coordinator crash: the primary vanishes without a
+        // summary and without checkpointing this tick, exactly as a real
+        // crash mid-round would — tick `tick` is newer than the
+        // checkpoint horizon and the standby must re-drive it.
+        if self
+            .faults
+            .coordinator_crash_tick()
+            .is_some_and(|c| tick >= c)
+        {
+            return Ok(false);
+        }
 
         // Deadline bookkeeping: missed reports, quarantine decisions.
         let mut missing_reports = 0u32;
@@ -388,18 +528,20 @@ impl CoordinatorActor {
         let mut degraded = false;
         if violations > 0 {
             polled = true;
-            // Wait only for monitors that can answer in time: active, poll
-            // deliverable, reply neither dropped nor delayed by the plan
-            // (drop/delay decisions are pure functions shared with the
-            // injection sites, so predicting them here changes nothing
-            // about outcomes — it only avoids pointless deadline waits).
+            // Wait only for monitors that can answer in time: active,
+            // reachable, poll deliverable, reply neither dropped nor
+            // delayed by the plan (drop/delay decisions are pure functions
+            // shared with the injection sites, so predicting them here
+            // changes nothing about outcomes — it only avoids pointless
+            // deadline waits).
             let mut awaiting = vec![false; n];
             for idx in 0..n {
-                if !live.active(idx) {
-                    continue;
+                if !live.active(idx) || !self.reachable(idx, tick) {
+                    continue; // unreachable; aggregate at T_i
                 }
                 let monitor = MonitorId(idx as u32);
-                if !to_monitors[idx].send(encode(&CoordinatorToMonitor::Poll { tick })) {
+                let poll = ControlFrame::seal(self.epoch, CoordinatorToMonitor::Poll { tick });
+                if !to_monitors[idx].send(poll) {
                     continue; // monitor process gone; aggregate at T_i
                 }
                 awaiting[idx] = !self.faults.drops(FaultPath::PollReply, monitor, tick)
@@ -456,6 +598,27 @@ impl CoordinatorActor {
             }
         }
 
+        // Phase 4: durability — append the tick outcome, snapshot on
+        // schedule.
+        let outcome = TickOutcome {
+            epoch: self.epoch,
+            tick,
+            polled,
+            alerted,
+            local_violations: violations,
+        };
+        self.checkpoint_tick(live, from_monitors, to_monitors, outcome);
+
+        // Epoch repair: answer every stale-epoch sender with the current
+        // epoch so it can rejoin (its next report will be fresh and
+        // current-epoch, re-earning active status the normal way).
+        for (idx, link) in to_monitors.iter().enumerate().take(n) {
+            if std::mem::take(&mut live.needs_epoch[idx]) {
+                let repair = CoordinatorToMonitor::NewEpoch { epoch: self.epoch };
+                let _ = link.send(ControlFrame::seal(self.epoch, repair));
+            }
+        }
+
         let summary = CoordinatorToRunner::Summary(TickSummary {
             tick,
             scheduled_samples: scheduled,
@@ -465,8 +628,84 @@ impl CoordinatorActor {
             alerted,
             missing_reports,
             degraded,
+            stale_epoch_frames: live.stale_epoch,
         });
         Ok(to_runner.send(encode(&summary)).is_ok())
+    }
+
+    /// Appends `outcome` to the WAL and, on the snapshot schedule,
+    /// gathers and appends a full [`CoordinatorSnapshot`]. WAL I/O errors
+    /// are swallowed: durability is best-effort and never worth crashing
+    /// the primary over (a standby restoring from a short WAL just falls
+    /// back to conservative restarts for the missing state).
+    fn checkpoint_tick(
+        &mut self,
+        live: &mut Liveness,
+        from_monitors: &Receiver<Bytes>,
+        to_monitors: &[MonitorLink],
+        outcome: TickOutcome,
+    ) {
+        let due = match self.checkpoint.as_mut() {
+            None => return,
+            Some(cp) => {
+                let _ = cp.wal.append(&WalRecord::Tick(outcome));
+                let due = outcome.tick >= cp.next;
+                if due {
+                    cp.next = outcome.tick + cp.every;
+                }
+                due
+            }
+        };
+        if !due {
+            return;
+        }
+        let samplers = self.gather_snapshots(live, from_monitors, to_monitors, outcome.tick);
+        let snapshot = CoordinatorSnapshot {
+            epoch: self.epoch,
+            tick: outcome.tick,
+            next_update_tick: self.next_update_tick,
+            allowances: self.allocator.allowances().to_vec(),
+            samplers,
+        };
+        if let Some(cp) = self.checkpoint.as_mut() {
+            let _ = cp.wal.append_snapshot(&snapshot);
+        }
+    }
+
+    /// Asks every active, reachable monitor for its sampler state and
+    /// collects the replies within one tick deadline. Monitors that
+    /// cannot answer get a `None` slot — after a failover they restart
+    /// conservatively at `I_d` instead of restoring.
+    fn gather_snapshots(
+        &self,
+        live: &mut Liveness,
+        from_monitors: &Receiver<Bytes>,
+        to_monitors: &[MonitorLink],
+        tick: Tick,
+    ) -> Vec<Option<SamplerSnapshot>> {
+        let n = self.monitors();
+        let mut snaps: Vec<Option<SamplerSnapshot>> = vec![None; n];
+        let mut awaiting = vec![false; n];
+        for idx in 0..n {
+            if !live.active(idx) || !self.reachable(idx, tick) {
+                continue;
+            }
+            let request = ControlFrame::seal(self.epoch, CoordinatorToMonitor::RequestSnapshot);
+            awaiting[idx] = to_monitors[idx].send(request);
+        }
+        let deadline = Instant::now() + self.tick_deadline;
+        while (0..n).any(|i| awaiting[i] && snaps[i].is_none()) {
+            let Ok(Some(msg)) = self.recv_msg(live, from_monitors, deadline) else {
+                break; // deadline or disconnect: checkpoint what we have
+            };
+            if let MonitorToCoordinator::StateSnapshot { monitor, snapshot } = msg {
+                let idx = monitor.0 as usize;
+                if idx < n {
+                    snaps[idx] = Some(snapshot);
+                }
+            }
+        }
+        snaps
     }
 
     /// One §IV-B updating round: gather period reports, update the
@@ -485,7 +724,8 @@ impl CoordinatorActor {
             return Ok(());
         }
         for tx in to_monitors {
-            if !tx.send(encode(&CoordinatorToMonitor::RequestReport)) {
+            let request = ControlFrame::seal(self.epoch, CoordinatorToMonitor::RequestReport);
+            if !tx.send(request) {
                 return Ok(()); // dead monitor: skip the round
             }
         }
@@ -508,7 +748,8 @@ impl CoordinatorActor {
         if let Ok(decision) = self.allocator.update(&reports, self.slack_ratio) {
             if decision.reallocated {
                 for (tx, &err) in to_monitors.iter().zip(decision.allowances.iter()) {
-                    let _ = tx.send(encode(&CoordinatorToMonitor::SetAllowance { err }));
+                    let set = CoordinatorToMonitor::SetAllowance { err };
+                    let _ = tx.send(ControlFrame::seal(self.epoch, set));
                 }
             }
         }
@@ -519,7 +760,9 @@ impl CoordinatorActor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::Replay;
     use crossbeam::channel::unbounded;
+    use std::path::PathBuf;
     use volley_core::allocation::AllocationConfig;
 
     /// Receives runner frames until the next tick summary, returning it
@@ -537,10 +780,22 @@ mod tests {
         }
     }
 
-    /// Drives a 1-monitor coordinator by hand: send TickDone frames,
+    fn new_coordinator(threshold: f64) -> CoordinatorActor {
+        let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 1).unwrap();
+        CoordinatorActor::new(
+            threshold,
+            vec![threshold],
+            allocator,
+            0.2,
+            true,
+            FailureInjector::lossless(),
+        )
+    }
+
+    /// Drives a 1-monitor coordinator by hand: send sealed frames,
     /// receive summaries.
-    fn harness(
-        threshold: f64,
+    fn harness_with(
+        coord: CoordinatorActor,
     ) -> (
         Sender<Bytes>,
         Receiver<Bytes>,
@@ -550,26 +805,32 @@ mod tests {
         let (mon_tx, mon_rx) = unbounded::<Bytes>();
         let (to_mon_tx, to_mon_rx) = unbounded::<Bytes>();
         let (runner_tx, runner_rx) = unbounded::<Bytes>();
-        let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 1).unwrap();
-        let coord = CoordinatorActor::new(
-            threshold,
-            vec![threshold],
-            allocator,
-            0.2,
-            true,
-            FailureInjector::lossless(),
-        );
         let handle = std::thread::spawn(move || {
             coord.run(mon_rx, vec![MonitorLink::new(to_mon_tx)], runner_tx)
         });
         (mon_tx, to_mon_rx, runner_rx, handle)
     }
 
+    fn harness(
+        threshold: f64,
+    ) -> (
+        Sender<Bytes>,
+        Receiver<Bytes>,
+        Receiver<Bytes>,
+        std::thread::JoinHandle<()>,
+    ) {
+        harness_with(new_coordinator(threshold))
+    }
+
+    fn seal0(msg: MonitorToCoordinator) -> Bytes {
+        MonitorFrame::seal(0, msg)
+    }
+
     #[test]
     fn quiet_tick_produces_summary_without_poll() {
         let (mon_tx, _to_mon, runner_rx, handle) = harness(100.0);
         mon_tx
-            .send(encode(&MonitorToCoordinator::TickDone {
+            .send(seal0(MonitorToCoordinator::TickDone {
                 monitor: MonitorId(0),
                 tick: 0,
                 sampled: true,
@@ -583,6 +844,7 @@ mod tests {
         assert!(!summary.alerted);
         assert_eq!(summary.missing_reports, 0);
         assert!(!summary.degraded);
+        assert_eq!(summary.stale_epoch_frames, 0);
         assert!(events.is_empty());
         drop(mon_tx);
         handle.join().unwrap();
@@ -592,19 +854,20 @@ mod tests {
     fn violation_triggers_poll_and_alert() {
         let (mon_tx, to_mon, runner_rx, handle) = harness(100.0);
         mon_tx
-            .send(encode(&MonitorToCoordinator::TickDone {
+            .send(seal0(MonitorToCoordinator::TickDone {
                 monitor: MonitorId(0),
                 tick: 3,
                 sampled: true,
                 violation: true,
             }))
             .unwrap();
-        // Coordinator must ask for a poll.
-        let poll: CoordinatorToMonitor = decode(&to_mon.recv().unwrap()).unwrap();
-        assert!(matches!(poll, CoordinatorToMonitor::Poll { tick: 3 }));
+        // Coordinator must ask for a poll, sealed at its epoch.
+        let poll: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
+        assert_eq!(poll.epoch, 0);
+        assert!(matches!(poll.msg, CoordinatorToMonitor::Poll { tick: 3 }));
         // Reply above the threshold.
         mon_tx
-            .send(encode(&MonitorToCoordinator::PollReply {
+            .send(seal0(MonitorToCoordinator::PollReply {
                 monitor: MonitorId(0),
                 tick: 3,
                 value: 250.0,
@@ -624,16 +887,16 @@ mod tests {
     fn poll_below_threshold_does_not_alert() {
         let (mon_tx, to_mon, runner_rx, handle) = harness(100.0);
         mon_tx
-            .send(encode(&MonitorToCoordinator::TickDone {
+            .send(seal0(MonitorToCoordinator::TickDone {
                 monitor: MonitorId(0),
                 tick: 0,
                 sampled: true,
                 violation: true,
             }))
             .unwrap();
-        let _: CoordinatorToMonitor = decode(&to_mon.recv().unwrap()).unwrap();
+        let _: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
         mon_tx
-            .send(encode(&MonitorToCoordinator::PollReply {
+            .send(seal0(MonitorToCoordinator::PollReply {
                 monitor: MonitorId(0),
                 tick: 0,
                 value: 50.0,
@@ -666,7 +929,7 @@ mod tests {
             coord.run(mon_rx, vec![MonitorLink::new(to_mon_tx)], runner_tx)
         });
         mon_tx
-            .send(encode(&MonitorToCoordinator::TickDone {
+            .send(seal0(MonitorToCoordinator::TickDone {
                 monitor: MonitorId(0),
                 tick: 0,
                 sampled: true,
@@ -689,9 +952,23 @@ mod tests {
     }
 
     /// A 2-monitor coordinator with a short deadline for fault tests.
+    fn degraded_coordinator(quarantine_after: u32) -> CoordinatorActor {
+        let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 2).unwrap();
+        CoordinatorActor::new(
+            100.0,
+            vec![50.0, 50.0],
+            allocator,
+            0.2,
+            false,
+            FailureInjector::lossless(),
+        )
+        .with_tick_deadline(Duration::from_millis(30))
+        .with_quarantine_after(quarantine_after)
+    }
+
     #[allow(clippy::type_complexity)]
-    fn degraded_harness(
-        quarantine_after: u32,
+    fn degraded_harness_with(
+        coord: CoordinatorActor,
     ) -> (
         Sender<Bytes>,
         Receiver<Bytes>,
@@ -703,17 +980,6 @@ mod tests {
         let (to_mon0_tx, to_mon0_rx) = unbounded::<Bytes>();
         let (to_mon1_tx, to_mon1_rx) = unbounded::<Bytes>();
         let (runner_tx, runner_rx) = unbounded::<Bytes>();
-        let allocator = ErrorAllocator::new(AllocationConfig::default(), 0.01, 2).unwrap();
-        let coord = CoordinatorActor::new(
-            100.0,
-            vec![50.0, 50.0],
-            allocator,
-            0.2,
-            false,
-            FailureInjector::lossless(),
-        )
-        .with_tick_deadline(Duration::from_millis(30))
-        .with_quarantine_after(quarantine_after);
         let handle = std::thread::spawn(move || {
             coord.run(
                 mon_rx,
@@ -724,8 +990,21 @@ mod tests {
         (mon_tx, to_mon0_rx, to_mon1_rx, runner_rx, handle)
     }
 
+    #[allow(clippy::type_complexity)]
+    fn degraded_harness(
+        quarantine_after: u32,
+    ) -> (
+        Sender<Bytes>,
+        Receiver<Bytes>,
+        Receiver<Bytes>,
+        Receiver<Bytes>,
+        std::thread::JoinHandle<()>,
+    ) {
+        degraded_harness_with(degraded_coordinator(quarantine_after))
+    }
+
     fn tick_done(monitor: u32, tick: Tick, violation: bool) -> Bytes {
-        encode(&MonitorToCoordinator::TickDone {
+        seal0(MonitorToCoordinator::TickDone {
             monitor: MonitorId(monitor),
             tick,
             sampled: true,
@@ -759,10 +1038,10 @@ mod tests {
         // violation polls only monitor 0, with monitor 1 counted at its
         // local threshold T_1 = 50 → 60 + 50 > 100 alerts (degraded).
         mon_tx.send(tick_done(0, 2, true)).unwrap();
-        let poll: CoordinatorToMonitor = decode(&to_mon0.recv().unwrap()).unwrap();
-        assert!(matches!(poll, CoordinatorToMonitor::Poll { tick: 2 }));
+        let poll: ControlFrame = decode(&to_mon0.recv().unwrap()).unwrap();
+        assert!(matches!(poll.msg, CoordinatorToMonitor::Poll { tick: 2 }));
         mon_tx
-            .send(encode(&MonitorToCoordinator::PollReply {
+            .send(seal0(MonitorToCoordinator::PollReply {
                 monitor: MonitorId(0),
                 tick: 2,
                 value: 60.0,
@@ -817,7 +1096,7 @@ mod tests {
         ));
         // The supervisor announces the restart *before* any tick-1 frame.
         mon_tx
-            .send(encode(&MonitorToCoordinator::Revived {
+            .send(seal0(MonitorToCoordinator::Revived {
                 monitor: MonitorId(1),
             }))
             .unwrap();
@@ -864,9 +1143,9 @@ mod tests {
         // answers the poll.
         mon_tx.send(tick_done(0, 0, true)).unwrap();
         mon_tx.send(tick_done(1, 0, false)).unwrap();
-        let _: CoordinatorToMonitor = decode(&to_mon0.recv().unwrap()).unwrap();
+        let _: ControlFrame = decode(&to_mon0.recv().unwrap()).unwrap();
         mon_tx
-            .send(encode(&MonitorToCoordinator::PollReply {
+            .send(seal0(MonitorToCoordinator::PollReply {
                 monitor: MonitorId(0),
                 tick: 0,
                 value: 10.0,
@@ -879,5 +1158,178 @@ mod tests {
         assert!(!summary.alerted, "10 + T_1(50) <= 100");
         drop(mon_tx);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_rejected_counted_and_repaired() {
+        let (mon_tx, to_mon, runner_rx, handle) = harness_with(
+            new_coordinator(100.0)
+                .with_epoch(2)
+                .with_tick_deadline(Duration::from_millis(30)),
+        );
+        // A frame from the deposed epoch-1 world: rejected, and its
+        // violation must NOT trigger a poll.
+        mon_tx
+            .send(MonitorFrame::seal(
+                1,
+                MonitorToCoordinator::TickDone {
+                    monitor: MonitorId(0),
+                    tick: 0,
+                    sampled: true,
+                    violation: true,
+                },
+            ))
+            .unwrap();
+        // The current-epoch report closes the round.
+        mon_tx
+            .send(MonitorFrame::seal(
+                2,
+                MonitorToCoordinator::TickDone {
+                    monitor: MonitorId(0),
+                    tick: 0,
+                    sampled: true,
+                    violation: false,
+                },
+            ))
+            .unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert_eq!(summary.stale_epoch_frames, 1);
+        assert!(!summary.polled, "stale violation must not poll");
+        // Epoch repair: the sender is told the current epoch.
+        let repair: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
+        assert_eq!(repair.epoch, 2);
+        assert!(matches!(
+            repair.msg,
+            CoordinatorToMonitor::NewEpoch { epoch: 2 }
+        ));
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stale_delayed_frame_does_not_resurrect_a_quarantined_monitor() {
+        // Unit-level check of the re-admission rule: recv_msg marks a
+        // quarantined monitor reviving only on *fresh* evidence.
+        let coord = degraded_coordinator(1);
+        let mut live = Liveness::new(2);
+        live.quarantined[1] = true;
+        live.last_tick = Some(5);
+        let (tx, rx) = unbounded::<Bytes>();
+        // A delayed frame for the long-closed tick 3 finally arrives.
+        tx.send(tick_done(1, 3, false)).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let msg = coord.recv_msg(&mut live, &rx, deadline).unwrap();
+        assert!(msg.is_some(), "frame is delivered (round logic drops it)");
+        assert!(
+            !live.reviving[1],
+            "a delayed frame from a closed tick must not resurrect"
+        );
+        // A genuinely fresh report does.
+        tx.send(tick_done(1, 6, false)).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(50);
+        coord.recv_msg(&mut live, &rx, deadline).unwrap();
+        assert!(live.reviving[1], "a fresh report re-admits the monitor");
+    }
+
+    #[test]
+    fn partitioned_monitor_is_not_awaited_but_counts_missing() {
+        // Monitor 1 is partitioned for ticks 0..100. The round must not
+        // burn its (long) deadline waiting for frames that cannot arrive.
+        let plan = FaultPlan::new(7).with_partition(&[MonitorId(1)], 0, 100);
+        let coord = degraded_coordinator(2)
+            .with_fault_plan(plan)
+            .with_tick_deadline(Duration::from_millis(500));
+        let (mon_tx, _to_mon0, _to_mon1, runner_rx, handle) = degraded_harness_with(coord);
+        let started = Instant::now();
+        mon_tx.send(tick_done(0, 0, false)).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "round must close without waiting for the partitioned monitor"
+        );
+        assert_eq!(
+            summary.missing_reports, 1,
+            "partitioned still counts missed"
+        );
+        // A second miss quarantines it — degraded aggregation takes over.
+        mon_tx.send(tick_done(0, 1, false)).unwrap();
+        let (_, events) = next_summary(&runner_rx);
+        assert!(matches!(
+            events.as_slice(),
+            [CoordinatorToRunner::MonitorQuarantined {
+                monitor: MonitorId(1),
+                ..
+            }]
+        ));
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn injected_coordinator_crash_silences_the_coordinator() {
+        let plan = FaultPlan::new(7).with_coordinator_crash(1);
+        let coord = new_coordinator(100.0)
+            .with_fault_plan(plan)
+            .with_tick_deadline(Duration::from_millis(30));
+        let (mon_tx, _to_mon, runner_rx, handle) = harness_with(coord);
+        mon_tx.send(tick_done(0, 0, false)).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert_eq!(summary.tick, 0);
+        // Tick 1 hits the crash: no summary, the thread exits while the
+        // monitor channel is still alive — exactly what the runner's
+        // failover path observes as a disconnect.
+        mon_tx.send(tick_done(0, 1, false)).unwrap();
+        handle.join().unwrap();
+        assert!(
+            runner_rx.try_recv().is_err(),
+            "crashed coordinator must not emit a summary for the crash tick"
+        );
+    }
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("volley-coordinator-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn checkpointing_records_ticks_and_gathered_snapshots() {
+        let path = temp_wal("checkpointing-records");
+        let wal = Wal::create(&path).unwrap();
+        let coord = new_coordinator(100.0)
+            .with_checkpoint(wal, 1)
+            .with_tick_deadline(Duration::from_millis(100));
+        let (mon_tx, to_mon, runner_rx, handle) = harness_with(coord);
+        let snapshot = {
+            use volley_core::{AdaptationConfig, AdaptiveSampler};
+            let mut sampler = AdaptiveSampler::new(AdaptationConfig::default(), 100.0);
+            sampler.observe(0, 10.0);
+            sampler.to_snapshot()
+        };
+        for tick in 0..2 {
+            mon_tx.send(tick_done(0, tick, false)).unwrap();
+            // Snapshot cadence 1: every round asks for sampler state.
+            let request: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
+            assert!(matches!(request.msg, CoordinatorToMonitor::RequestSnapshot));
+            mon_tx
+                .send(seal0(MonitorToCoordinator::StateSnapshot {
+                    monitor: MonitorId(0),
+                    snapshot,
+                }))
+                .unwrap();
+            let (summary, _) = next_summary(&runner_rx);
+            assert_eq!(summary.tick, tick);
+        }
+        drop(mon_tx);
+        handle.join().unwrap();
+        let replay: Replay = Wal::replay(&path).unwrap();
+        assert!(!replay.truncated);
+        let restored = replay.snapshot.expect("snapshot persisted");
+        assert_eq!(restored.tick, 1);
+        assert_eq!(restored.epoch, 0);
+        assert_eq!(restored.samplers, vec![Some(snapshot)]);
+        assert_eq!(restored.allowances.len(), 1);
+        assert!(replay.tail.is_empty(), "snapshot is the newest record");
+        std::fs::remove_file(&path).ok();
     }
 }

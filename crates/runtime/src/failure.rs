@@ -148,6 +148,17 @@ pub struct FaultPlan {
     delay: f64,
     crashes: Vec<(MonitorId, Tick)>,
     stalls: Vec<(MonitorId, Tick, u64)>,
+    /// Ticks at which the *coordinator* process crashes (exits without a
+    /// summary), handing over to a standby if one is configured.
+    coordinator_crashes: Vec<Tick>,
+    /// Network partitions: `(monitor, from, to)` cuts the link between
+    /// the coordinator and `monitor` for ticks in `[from, to)` — frames
+    /// in both directions are lost, but the monitor process stays alive.
+    partitions: Vec<(MonitorId, Tick, Tick)>,
+    /// Record indices (0-based, in append order) of the coordinator WAL
+    /// that are written corrupted (one payload bit flipped after the CRC
+    /// is computed).
+    wal_corruptions: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -203,6 +214,38 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules the coordinator to crash upon completing the collection
+    /// phase of tick `at` (before emitting its summary, so the tick is
+    /// re-driven by the successor).
+    #[must_use]
+    pub fn with_coordinator_crash(mut self, at: Tick) -> Self {
+        self.coordinator_crashes.push(at);
+        self
+    }
+
+    /// Schedules a network partition cutting every monitor in `lanes`
+    /// off from the coordinator for ticks in `[from, to)`. Frames are
+    /// lost in both directions; the monitor processes stay alive and
+    /// keep their local state, which is what makes healed partitions
+    /// dangerous — their first frames after the heal carry whatever
+    /// coordinator epoch they last saw.
+    #[must_use]
+    pub fn with_partition(mut self, lanes: &[MonitorId], from: Tick, to: Tick) -> Self {
+        for &monitor in lanes {
+            self.partitions.push((monitor, from, to));
+        }
+        self
+    }
+
+    /// Schedules the `record`-th appended coordinator-WAL record
+    /// (0-based) to be written corrupted, exercising the truncated-tail
+    /// recovery path.
+    #[must_use]
+    pub fn with_wal_corruption(mut self, record: u64) -> Self {
+        self.wal_corruptions.push(record);
+        self
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -216,6 +259,9 @@ impl FaultPlan {
             && self.delay == 0.0
             && self.crashes.is_empty()
             && self.stalls.is_empty()
+            && self.coordinator_crashes.is_empty()
+            && self.partitions.is_empty()
+            && self.wal_corruptions.is_empty()
     }
 
     /// Whether the message from `monitor` at `tick` on `path` is dropped.
@@ -255,15 +301,45 @@ impl FaultPlan {
             .any(|&(m, from, dur)| m == monitor && tick >= from && tick < from.saturating_add(dur))
     }
 
+    /// The earliest scheduled coordinator crash, if any.
+    pub fn coordinator_crash_tick(&self) -> Option<Tick> {
+        self.coordinator_crashes.iter().copied().min()
+    }
+
+    /// Whether the link between the coordinator and `monitor` is cut at
+    /// `tick`.
+    pub fn partitioned(&self, monitor: MonitorId, tick: Tick) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(m, from, to)| m == monitor && tick >= from && tick < to)
+    }
+
+    /// WAL record indices this plan corrupts (for the coordinator's
+    /// checkpoint writer).
+    pub fn wal_corruptions(&self) -> &[u64] {
+        &self.wal_corruptions
+    }
+
     /// A copy of this plan with every crash and stall for `monitor`
     /// removed — the plan a freshly restarted monitor process runs under
     /// (a restart replaces the faulty process; message-path faults, which
-    /// model the network, remain).
+    /// model the network, remain — including partitions, which cut the
+    /// link rather than the process).
     #[must_use]
     pub fn without_process_faults(&self, monitor: MonitorId) -> Self {
         let mut plan = self.clone();
         plan.crashes.retain(|(m, _)| *m != monitor);
         plan.stalls.retain(|(m, _, _)| *m != monitor);
+        plan
+    }
+
+    /// A copy of this plan with every coordinator crash at or before
+    /// `tick` removed — the plan a standby taking over after a crash at
+    /// `tick` runs under (later scheduled crashes still apply to it).
+    #[must_use]
+    pub fn without_coordinator_crashes_through(&self, tick: Tick) -> Self {
+        let mut plan = self.clone();
+        plan.coordinator_crashes.retain(|&t| t > tick);
         plan
     }
 
@@ -433,6 +509,59 @@ mod tests {
                 restarted.drops(FaultPath::ViolationReport, MonitorId(2), t)
             );
         }
+    }
+
+    #[test]
+    fn coordinator_crash_partition_and_wal_faults() {
+        let plan = FaultPlan::new(3)
+            .with_coordinator_crash(80)
+            .with_coordinator_crash(40)
+            .with_partition(&[MonitorId(1), MonitorId(2)], 30, 60)
+            .with_wal_corruption(17);
+        assert!(!plan.is_benign());
+        assert_eq!(plan.coordinator_crash_tick(), Some(40), "earliest crash");
+        assert!(!plan.partitioned(MonitorId(1), 29));
+        assert!(plan.partitioned(MonitorId(1), 30));
+        assert!(plan.partitioned(MonitorId(2), 59));
+        assert!(!plan.partitioned(MonitorId(2), 60), "`to` is exclusive");
+        assert!(
+            !plan.partitioned(MonitorId(0), 45),
+            "other lanes unaffected"
+        );
+        assert_eq!(plan.wal_corruptions(), &[17]);
+    }
+
+    #[test]
+    fn standby_plan_strips_consumed_coordinator_crashes() {
+        let plan = FaultPlan::new(4)
+            .with_coordinator_crash(40)
+            .with_coordinator_crash(120)
+            .with_partition(&[MonitorId(0)], 35, 50);
+        let standby = plan.without_coordinator_crashes_through(40);
+        assert_eq!(
+            standby.coordinator_crash_tick(),
+            Some(120),
+            "later crashes survive for the standby"
+        );
+        assert!(
+            standby.partitioned(MonitorId(0), 45),
+            "partitions are network faults and persist across takeover"
+        );
+        assert_eq!(
+            plan.without_coordinator_crashes_through(200)
+                .coordinator_crash_tick(),
+            None
+        );
+    }
+
+    #[test]
+    fn partition_survives_monitor_restart() {
+        let plan = FaultPlan::new(5)
+            .with_partition(&[MonitorId(1)], 10, 20)
+            .with_crash(MonitorId(1), 12);
+        let restarted = plan.without_process_faults(MonitorId(1));
+        assert_eq!(restarted.crash_tick(MonitorId(1)), None);
+        assert!(restarted.partitioned(MonitorId(1), 15));
     }
 
     #[test]

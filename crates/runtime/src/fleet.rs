@@ -33,6 +33,10 @@ pub struct FleetTask {
     pub fault_plan: FaultPlan,
     /// Tick deadline for this task's coordinator.
     pub tick_deadline: Duration,
+    /// Whether a warm standby coordinator is armed for this task.
+    pub standby: bool,
+    /// Checkpoint WAL path and snapshot cadence for this task, if any.
+    pub wal: Option<(std::path::PathBuf, u64)>,
 }
 
 impl FleetTask {
@@ -46,6 +50,8 @@ impl FleetTask {
             failure: FailureInjector::lossless(),
             fault_plan: FaultPlan::default(),
             tick_deadline: DEFAULT_TICK_DEADLINE,
+            standby: false,
+            wal: None,
         }
     }
 
@@ -55,6 +61,17 @@ impl FleetTask {
     pub fn with_faults(mut self, plan: FaultPlan, tick_deadline: Duration) -> Self {
         self.fault_plan = plan;
         self.tick_deadline = tick_deadline;
+        self
+    }
+
+    /// Arms a warm standby coordinator, optionally durable: with a WAL
+    /// path and snapshot cadence the standby restores checkpointed
+    /// adaptation state at failover instead of conservative `I_d`
+    /// restarts. Each task needs its own WAL path.
+    #[must_use]
+    pub fn with_standby(mut self, wal: Option<(std::path::PathBuf, u64)>) -> Self {
+        self.standby = true;
+        self.wal = wal;
         self
     }
 }
@@ -115,12 +132,16 @@ impl FleetRunner {
             let mut handles = Vec::new();
             for task in &tasks {
                 handles.push(scope.spawn(move || {
-                    TaskRunner::new(&task.spec)?
+                    let mut runner = TaskRunner::new(&task.spec)?
                         .with_scheme(task.scheme)
                         .with_failure(task.failure.clone())
                         .with_fault_plan(task.fault_plan.clone())
                         .with_tick_deadline(task.tick_deadline)
-                        .run(&task.traces)
+                        .with_standby(task.standby);
+                    if let Some((path, every)) = &task.wal {
+                        runner = runner.with_wal(path, *every);
+                    }
+                    runner.run(&task.traces)
                 }));
             }
             for (slot, handle) in results.iter_mut().zip(handles) {
@@ -225,6 +246,27 @@ mod tests {
         assert_eq!(reports[1].quarantines, 1);
         assert_eq!(reports[1].restarts, 1);
         assert_eq!(reports[1].ticks, 100, "faulty task still completes");
+    }
+
+    #[test]
+    fn standby_task_survives_a_coordinator_crash_in_the_fleet() {
+        let dir = std::env::temp_dir().join("volley-fleet-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("standby-{}.wal", std::process::id()));
+        let healthy = FleetTask::new(spec(2, 500.0), quiet_traces(2, 80, 5.0));
+        let durable = FleetTask::new(spec(2, 500.0), quiet_traces(2, 80, 5.0))
+            .with_faults(
+                FaultPlan::new(3).with_coordinator_crash(40),
+                Duration::from_millis(50),
+            )
+            .with_standby(Some((path.clone(), 10)));
+        let (reports, summary) = FleetRunner::new().run(vec![healthy, durable]).unwrap();
+        assert_eq!(summary.tasks, 2);
+        assert_eq!(reports[0].coordinator_failovers, 0);
+        assert_eq!(reports[1].coordinator_failovers, 1);
+        assert_eq!(reports[1].checkpoint_restores, 2);
+        assert_eq!(reports[1].ticks, 80, "failed-over task still completes");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod coordinator;
 pub mod failure;
 pub mod fleet;
@@ -82,6 +83,7 @@ pub mod monitor;
 pub mod runner;
 pub mod transport;
 
+pub use checkpoint::{CoordinatorSnapshot, Replay, TickOutcome, Wal, WalRecord};
 pub use coordinator::CoordinatorActor;
 pub use failure::{FailureInjector, FaultPath, FaultPlan};
 pub use fleet::{FleetRunner, FleetSummary, FleetTask};

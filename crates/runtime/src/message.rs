@@ -7,10 +7,22 @@
 //! debuggability (the paper's prototype likewise shipped human-readable
 //! reports between bash-driven monitors and coordinators).
 
+//! ## Epoch fencing
+//!
+//! With a warm-standby coordinator, frames from a deposed coordinator
+//! (or replies addressed to it) must not be mistaken for current
+//! traffic — a partitioned former coordinator double-counting reports or
+//! double-commanding monitors is the classic split-brain failure. Every
+//! monitor↔coordinator frame therefore travels inside an epoch-stamped
+//! envelope ([`MonitorFrame`], [`ControlFrame`]); a takeover bumps the
+//! epoch and both sides reject frames from older epochs (see
+//! [`crate::coordinator`] and [`crate::monitor`] for the exact rules).
+
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use volley_core::adaptation::PeriodReport;
+use volley_core::snapshot::SamplerSnapshot;
 use volley_core::task::MonitorId;
 use volley_core::time::Tick;
 
@@ -71,6 +83,14 @@ pub enum MonitorToCoordinator {
         /// The restarted monitor.
         monitor: MonitorId,
     },
+    /// Reply to [`CoordinatorToMonitor::RequestSnapshot`]: the monitor's
+    /// full adaptation state, for the coordinator's checkpoint.
+    StateSnapshot {
+        /// Reporting monitor.
+        monitor: MonitorId,
+        /// The sampler state.
+        snapshot: SamplerSnapshot,
+    },
 }
 
 /// Messages from the coordinator (or runner) to a monitor.
@@ -90,8 +110,61 @@ pub enum CoordinatorToMonitor {
         /// The new allowance for this monitor.
         err: f64,
     },
+    /// Adopt a new (strictly higher) coordinator epoch after a failover.
+    /// A monitor only ever *raises* its epoch, and only on this message —
+    /// data frames at a higher epoch do not implicitly re-fence it.
+    NewEpoch {
+        /// The new coordinator epoch.
+        epoch: u64,
+    },
+    /// Send the full sampler state for checkpointing
+    /// ([`MonitorToCoordinator::StateSnapshot`]).
+    RequestSnapshot,
+    /// Replace the sampler with checkpointed state (failover recovery:
+    /// the standby restores the monitor's learned interval and δ
+    /// statistics).
+    RestoreState {
+        /// The state to restore.
+        snapshot: SamplerSnapshot,
+    },
+    /// Discard the sampler and restart at the default interval — the
+    /// paper's conservative `I_d` restart, used when no checkpointed
+    /// state exists for this monitor.
+    ResetSampler,
     /// Terminate the monitor thread.
     Shutdown,
+}
+
+/// Epoch-stamped envelope for every monitor→coordinator frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorFrame {
+    /// The coordinator epoch the sender believes is current.
+    pub epoch: u64,
+    /// The payload.
+    pub msg: MonitorToCoordinator,
+}
+
+impl MonitorFrame {
+    /// Encodes `msg` sealed at `epoch`.
+    pub fn seal(epoch: u64, msg: MonitorToCoordinator) -> Bytes {
+        encode(&MonitorFrame { epoch, msg })
+    }
+}
+
+/// Epoch-stamped envelope for every coordinator→monitor frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlFrame {
+    /// The sending coordinator's epoch.
+    pub epoch: u64,
+    /// The payload.
+    pub msg: CoordinatorToMonitor,
+}
+
+impl ControlFrame {
+    /// Encodes `msg` sealed at `epoch`.
+    pub fn seal(epoch: u64, msg: CoordinatorToMonitor) -> Bytes {
+        encode(&ControlFrame { epoch, msg })
+    }
 }
 
 /// Per-tick summary the coordinator returns to the runner.
@@ -115,6 +188,9 @@ pub struct TickSummary {
     /// Whether any aggregation this tick substituted a missing monitor's
     /// local threshold `T_i` for its value (degraded mode).
     pub degraded: bool,
+    /// Frames rejected this tick because they carried a stale coordinator
+    /// epoch (traffic addressed to a deposed coordinator).
+    pub stale_epoch_frames: u32,
 }
 
 /// Frames the coordinator sends the runner: the per-tick summary plus
@@ -223,6 +299,14 @@ mod tests {
         assert_eq!(back, msg);
     }
 
+    fn sampler_snapshot() -> SamplerSnapshot {
+        use volley_core::{AdaptationConfig, AdaptiveSampler};
+        let mut sampler = AdaptiveSampler::new(AdaptationConfig::default(), 75.0);
+        sampler.observe(0, 10.0);
+        sampler.observe(1, 11.5);
+        sampler.to_snapshot()
+    }
+
     #[test]
     fn coordinator_messages_round_trip() {
         for msg in [
@@ -233,11 +317,51 @@ mod tests {
             CoordinatorToMonitor::Poll { tick: 1 },
             CoordinatorToMonitor::RequestReport,
             CoordinatorToMonitor::SetAllowance { err: 0.004 },
+            CoordinatorToMonitor::NewEpoch { epoch: 3 },
+            CoordinatorToMonitor::RequestSnapshot,
+            CoordinatorToMonitor::RestoreState {
+                snapshot: sampler_snapshot(),
+            },
+            CoordinatorToMonitor::ResetSampler,
             CoordinatorToMonitor::Shutdown,
         ] {
             let back: CoordinatorToMonitor = decode(&encode(&msg)).unwrap();
             assert_eq!(back, msg);
         }
+    }
+
+    #[test]
+    fn state_snapshot_round_trip() {
+        let msg = MonitorToCoordinator::StateSnapshot {
+            monitor: MonitorId(1),
+            snapshot: sampler_snapshot(),
+        };
+        let back: MonitorToCoordinator = decode(&encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn sealed_envelopes_round_trip_with_epoch() {
+        let frame = MonitorFrame::seal(
+            7,
+            MonitorToCoordinator::TickDone {
+                monitor: MonitorId(2),
+                tick: 10,
+                sampled: true,
+                violation: false,
+            },
+        );
+        let back: MonitorFrame = decode(&frame).unwrap();
+        assert_eq!(back.epoch, 7);
+        assert!(matches!(
+            back.msg,
+            MonitorToCoordinator::TickDone { tick: 10, .. }
+        ));
+
+        let frame = ControlFrame::seal(2, CoordinatorToMonitor::Poll { tick: 4 });
+        let back: ControlFrame = decode(&frame).unwrap();
+        assert_eq!(back.epoch, 2);
+        assert_eq!(back.msg, CoordinatorToMonitor::Poll { tick: 4 });
     }
 
     #[test]
@@ -258,6 +382,7 @@ mod tests {
                 alerted: false,
                 missing_reports: 1,
                 degraded: true,
+                stale_epoch_frames: 2,
             }),
             CoordinatorToRunner::MonitorQuarantined {
                 monitor: MonitorId(4),

@@ -1,13 +1,17 @@
 //! The monitor actor: local adaptive sampling on its own thread.
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::Receiver;
 
 use volley_core::task::MonitorId;
 use volley_core::AdaptiveSampler;
 
 use crate::failure::FaultPlan;
-use crate::message::{decode, encode, CoordinatorToMonitor, MonitorToCoordinator, TickData};
+use crate::link::MonitorLink;
+use crate::message::{
+    decode, encode, ControlFrame, CoordinatorToMonitor, MonitorFrame, MonitorToCoordinator,
+    TickData,
+};
 
 /// A monitor: owns one [`AdaptiveSampler`] and serves the coordinator
 /// protocol over byte-framed channels.
@@ -20,6 +24,23 @@ use crate::message::{decode, encode, CoordinatorToMonitor, MonitorToCoordinator,
 /// process: crashing at a scheduled tick, going silent for a stall
 /// window, or delaying/duplicating its replies — all without touching
 /// the pure protocol logic in [`handle`](MonitorActor::handle).
+///
+/// # Epoch fencing
+///
+/// Every frame travels inside an epoch-stamped envelope. The monitor's
+/// rules ([`handle_frame`](MonitorActor::handle_frame)):
+///
+/// - `Shutdown` is honored regardless of epoch (teardown must not hang
+///   behind fencing);
+/// - frames from an *older* epoch are rejected — a deposed coordinator
+///   cannot command this monitor;
+/// - frames from a newer epoch are processed, but the monitor only
+///   *adopts* an epoch on an explicit
+///   [`CoordinatorToMonitor::NewEpoch`] — until that arrives, its
+///   replies keep the old stamp and the new coordinator rejects them.
+///   A monitor partitioned across a failover therefore re-enters only
+///   through quarantine and the supervised `Revived` handshake, never by
+///   having a stale frame mistaken for current traffic.
 #[derive(Debug)]
 pub struct MonitorActor {
     id: MonitorId,
@@ -31,6 +52,10 @@ pub struct MonitorActor {
     sampled_this_tick: bool,
     /// Injected faults, evaluated in the run loop only.
     faults: FaultPlan,
+    /// The coordinator epoch this monitor currently accepts.
+    epoch: u64,
+    /// Frames rejected for carrying an epoch older than ours.
+    stale_rejections: u64,
 }
 
 impl MonitorActor {
@@ -43,6 +68,8 @@ impl MonitorActor {
             current: None,
             sampled_this_tick: false,
             faults: FaultPlan::default(),
+            epoch: 0,
+            stale_rejections: 0,
         }
     }
 
@@ -53,9 +80,27 @@ impl MonitorActor {
         self
     }
 
+    /// Starts the monitor already fenced at `epoch` (supervised restarts
+    /// after a failover hand the replacement the current epoch).
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
     /// The monitor's identity.
     pub fn id(&self) -> MonitorId {
         self.id
+    }
+
+    /// The coordinator epoch this monitor currently accepts.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Frames rejected so far for carrying a stale epoch.
+    pub fn stale_rejections(&self) -> u64 {
+        self.stale_rejections
     }
 
     /// Read access to the underlying sampler (diagnostics/tests).
@@ -122,8 +167,68 @@ impl MonitorActor {
                 self.sampler.set_error_allowance(err);
                 (None, false)
             }
+            CoordinatorToMonitor::NewEpoch { epoch } => {
+                // Epochs only ever rise; an old NewEpoch re-delivered out
+                // of order must not roll the fence back.
+                self.epoch = self.epoch.max(epoch);
+                (None, false)
+            }
+            CoordinatorToMonitor::RequestSnapshot => (
+                Some(MonitorToCoordinator::StateSnapshot {
+                    monitor: self.id,
+                    snapshot: self.sampler.to_snapshot(),
+                }),
+                false,
+            ),
+            CoordinatorToMonitor::RestoreState { snapshot } => {
+                self.sampler = AdaptiveSampler::from_snapshot(&snapshot);
+                // The restored schedule samples at the next tick: one
+                // deliberate extra sample that refreshes the δ estimate
+                // right after recovery, then the grown interval resumes.
+                self.next_sample_tick = 0;
+                self.current = None;
+                self.sampled_this_tick = false;
+                (None, false)
+            }
+            CoordinatorToMonitor::ResetSampler => {
+                // The paper's conservative restart: fresh statistics at
+                // the default interval. The allowance in effect survives
+                // (the coordinator follows up with `SetAllowance` when it
+                // has a better value).
+                let err = self.sampler.error_allowance();
+                let mut fresh =
+                    AdaptiveSampler::new(*self.sampler.config(), self.sampler.threshold());
+                fresh.set_error_allowance(err);
+                self.sampler = fresh;
+                self.next_sample_tick = 0;
+                self.current = None;
+                self.sampled_this_tick = false;
+                (None, false)
+            }
             CoordinatorToMonitor::Shutdown => (None, true),
         }
+    }
+
+    /// Handles one epoch-stamped frame, applying the fencing rules (see
+    /// the type docs) before delegating to
+    /// [`handle`](MonitorActor::handle). Replies are sealed at the
+    /// monitor's *current* epoch.
+    pub fn handle_frame(&mut self, frame: ControlFrame) -> (Option<MonitorFrame>, bool) {
+        if matches!(frame.msg, CoordinatorToMonitor::Shutdown) {
+            return (None, true);
+        }
+        if frame.epoch < self.epoch {
+            self.stale_rejections += 1;
+            return (None, false);
+        }
+        let (reply, terminate) = self.handle(frame.msg);
+        (
+            reply.map(|msg| MonitorFrame {
+                epoch: self.epoch,
+                msg,
+            }),
+            terminate,
+        )
     }
 
     /// Runs the actor loop until shutdown or channel disconnection,
@@ -140,19 +245,27 @@ impl MonitorActor {
     /// - **delay**: a reply is held back and flushed after the *next*
     ///   reply, arriving reordered and past its collection deadline;
     /// - **duplicate**: a reply is sent twice, exercising the
-    ///   coordinator's dedup path.
-    pub fn run(mut self, inbox: Receiver<Bytes>, outbox: Sender<MonitorToCoordinatorFrame>) {
+    ///   coordinator's dedup path;
+    /// - **partition**: while the link to the coordinator is cut the
+    ///   actor consumes input without processing it and sends nothing —
+    ///   its local state (including its epoch) freezes, which is exactly
+    ///   what makes its first frames after the heal stale.
+    ///
+    /// The outbox is a [`MonitorLink`] so the supervisor can atomically
+    /// repoint every monitor at a standby coordinator during failover.
+    pub fn run(mut self, inbox: Receiver<Bytes>, outbox: MonitorLink) {
         // A delayed reply awaiting the next send opportunity.
         let mut held: Option<Bytes> = None;
         // The actor's notion of "now": the last tick it saw, which is what
-        // fault decisions (stall windows, delay/duplicate lanes) key on.
+        // fault decisions (stall/partition windows, delay/duplicate lanes)
+        // key on.
         let mut last_tick = 0u64;
-        while let Ok(frame) = inbox.recv() {
-            let msg: CoordinatorToMonitor = match decode(&frame) {
+        while let Ok(bytes) = inbox.recv() {
+            let frame: ControlFrame = match decode(&bytes) {
                 Ok(m) => m,
                 Err(_) => continue, // drop malformed frames, as a socket server would
             };
-            if let CoordinatorToMonitor::Tick(data) = &msg {
+            if let CoordinatorToMonitor::Tick(data) = &frame.msg {
                 last_tick = data.tick;
                 if self
                     .faults
@@ -162,31 +275,31 @@ impl MonitorActor {
                     return; // simulated crash: vanish without replying
                 }
             }
-            if self.faults.stalled(self.id, last_tick)
-                && !matches!(msg, CoordinatorToMonitor::Shutdown)
-            {
-                continue; // wedged: consume input, do nothing
+            let unreachable = self.faults.stalled(self.id, last_tick)
+                || self.faults.partitioned(self.id, last_tick);
+            if unreachable && !matches!(frame.msg, CoordinatorToMonitor::Shutdown) {
+                continue; // wedged or cut off: consume input, do nothing
             }
-            let (reply, terminate) = self.handle(msg);
+            let (reply, terminate) = self.handle_frame(frame);
             if let Some(reply) = reply {
                 let frame = encode(&reply);
                 if self.faults.delays(self.id, last_tick) {
                     // Hold this reply; anything already held goes out now,
                     // behind schedule.
                     if let Some(old) = held.replace(frame) {
-                        if outbox.send(old).is_err() {
+                        if !outbox.send(old) {
                             return;
                         }
                     }
                 } else {
-                    if outbox.send(frame.clone()).is_err() {
+                    if !outbox.send(frame.clone()) {
                         return; // coordinator gone
                     }
-                    if self.faults.duplicates(self.id, last_tick) && outbox.send(frame).is_err() {
+                    if self.faults.duplicates(self.id, last_tick) && !outbox.send(frame) {
                         return;
                     }
                     if let Some(old) = held.take() {
-                        if outbox.send(old).is_err() {
+                        if !outbox.send(old) {
                             return;
                         }
                     }
@@ -199,7 +312,7 @@ impl MonitorActor {
         // Flush any still-held reply; the coordinator will discard it as
         // stale, but a real delayed packet would arrive too.
         if let Some(old) = held {
-            let _ = outbox.send(old);
+            outbox.send(old);
         }
     }
 }
@@ -342,28 +455,38 @@ mod tests {
         assert!(stop);
     }
 
+    /// Decodes a monitor reply, asserting the envelope carries `epoch`.
+    fn open(frame: &Bytes, epoch: u64) -> MonitorToCoordinator {
+        let sealed: MonitorFrame = decode(frame).unwrap();
+        assert_eq!(sealed.epoch, epoch);
+        sealed.msg
+    }
+
     #[test]
     fn threaded_actor_round_trip() {
         let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
         let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let outbox = MonitorLink::new(outbox);
         let handle = std::thread::spawn(move || actor(5.0).run(inbox, outbox));
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Tick(TickData {
-                tick: 0,
-                value: 9.0,
-            })))
+            .send(ControlFrame::seal(
+                0,
+                CoordinatorToMonitor::Tick(TickData {
+                    tick: 0,
+                    value: 9.0,
+                }),
+            ))
             .unwrap();
         let frame = from_monitor.recv().unwrap();
-        let msg: MonitorToCoordinator = decode(&frame).unwrap();
         assert!(matches!(
-            msg,
+            open(&frame, 0),
             MonitorToCoordinator::TickDone {
                 violation: true,
                 ..
             }
         ));
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .send(ControlFrame::seal(0, CoordinatorToMonitor::Shutdown))
             .unwrap();
         handle.join().unwrap();
     }
@@ -372,24 +495,27 @@ mod tests {
     fn malformed_frames_are_skipped() {
         let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
         let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let outbox = MonitorLink::new(outbox);
         let handle = std::thread::spawn(move || actor(5.0).run(inbox, outbox));
         to_monitor.send(Bytes::from_static(b"garbage\n")).unwrap();
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Tick(TickData {
-                tick: 0,
-                value: 0.0,
-            })))
+            .send(ControlFrame::seal(
+                0,
+                CoordinatorToMonitor::Tick(TickData {
+                    tick: 0,
+                    value: 0.0,
+                }),
+            ))
             .unwrap();
-        let msg: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
         assert!(matches!(
-            msg,
+            open(&from_monitor.recv().unwrap(), 0),
             MonitorToCoordinator::TickDone {
                 violation: false,
                 ..
             }
         ));
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .send(ControlFrame::seal(0, CoordinatorToMonitor::Shutdown))
             .unwrap();
         handle.join().unwrap();
     }
@@ -397,7 +523,7 @@ mod tests {
     use crate::failure::FaultPlan;
 
     fn tick_frame(tick: u64, value: f64) -> Bytes {
-        encode(&CoordinatorToMonitor::Tick(TickData { tick, value }))
+        ControlFrame::seal(0, CoordinatorToMonitor::Tick(TickData { tick, value }))
     }
 
     #[test]
@@ -405,9 +531,9 @@ mod tests {
         let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
         let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
         let faulty = actor(5.0).with_faults(FaultPlan::new(1).with_crash(MonitorId(0), 1));
-        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        let handle = std::thread::spawn(move || faulty.run(inbox, MonitorLink::new(outbox)));
         to_monitor.send(tick_frame(0, 1.0)).unwrap();
-        let _: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
+        let _ = open(&from_monitor.recv().unwrap(), 0);
         to_monitor.send(tick_frame(1, 1.0)).unwrap();
         handle.join().unwrap(); // thread exits at the crash tick
         assert!(from_monitor.try_recv().is_err(), "no reply after crashing");
@@ -418,28 +544,90 @@ mod tests {
         let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
         let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
         let faulty = actor(5.0).with_faults(FaultPlan::new(1).with_stall(MonitorId(0), 1, 2));
-        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        let handle = std::thread::spawn(move || faulty.run(inbox, MonitorLink::new(outbox)));
         to_monitor.send(tick_frame(0, 1.0)).unwrap();
-        let pre: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
         assert!(matches!(
-            pre,
+            open(&from_monitor.recv().unwrap(), 0),
             MonitorToCoordinator::TickDone { tick: 0, .. }
         ));
         // Ticks 1 and 2 fall inside the stall window: consumed, no reply.
         to_monitor.send(tick_frame(1, 1.0)).unwrap();
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Poll { tick: 1 }))
+            .send(ControlFrame::seal(
+                0,
+                CoordinatorToMonitor::Poll { tick: 1 },
+            ))
             .unwrap();
         to_monitor.send(tick_frame(2, 1.0)).unwrap();
         // Tick 3 is past the window: the monitor answers again.
         to_monitor.send(tick_frame(3, 1.0)).unwrap();
-        let post: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
         assert!(matches!(
-            post,
+            open(&from_monitor.recv().unwrap(), 0),
             MonitorToCoordinator::TickDone { tick: 3, .. }
         ));
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .send(ControlFrame::seal(0, CoordinatorToMonitor::Shutdown))
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn partitioned_monitor_goes_silent_then_answers_with_its_old_epoch() {
+        let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
+        let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
+        let faulty =
+            actor(5.0).with_faults(FaultPlan::new(1).with_partition(&[MonitorId(0)], 1, 3));
+        let handle = std::thread::spawn(move || faulty.run(inbox, MonitorLink::new(outbox)));
+        to_monitor.send(tick_frame(0, 1.0)).unwrap();
+        assert!(matches!(
+            open(&from_monitor.recv().unwrap(), 0),
+            MonitorToCoordinator::TickDone { tick: 0, .. }
+        ));
+        // The partition spans a failover: the dying primary's tick 1
+        // advances the monitor's clock into the window, then the standby's
+        // NewEpoch broadcast and the next tick are blind-consumed.
+        to_monitor
+            .send(ControlFrame::seal(
+                0,
+                CoordinatorToMonitor::Tick(TickData {
+                    tick: 1,
+                    value: 1.0,
+                }),
+            ))
+            .unwrap();
+        to_monitor
+            .send(ControlFrame::seal(
+                1,
+                CoordinatorToMonitor::NewEpoch { epoch: 1 },
+            ))
+            .unwrap();
+        to_monitor
+            .send(ControlFrame::seal(
+                1,
+                CoordinatorToMonitor::Tick(TickData {
+                    tick: 2,
+                    value: 1.0,
+                }),
+            ))
+            .unwrap();
+        // The partition heals at tick 3 — but the monitor missed the
+        // epoch bump, so its reply still carries epoch 0: provably stale
+        // at the new coordinator.
+        to_monitor
+            .send(ControlFrame::seal(
+                1,
+                CoordinatorToMonitor::Tick(TickData {
+                    tick: 3,
+                    value: 1.0,
+                }),
+            ))
+            .unwrap();
+        assert!(matches!(
+            open(&from_monitor.recv().unwrap(), 0),
+            MonitorToCoordinator::TickDone { tick: 3, .. }
+        ));
+        to_monitor
+            .send(ControlFrame::seal(1, CoordinatorToMonitor::Shutdown))
             .unwrap();
         handle.join().unwrap();
     }
@@ -450,22 +638,20 @@ mod tests {
         let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
         // Delay probability 1: every reply is held one send behind.
         let faulty = actor(100.0).with_faults(FaultPlan::new(1).with_delay_rate(1.0));
-        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        let handle = std::thread::spawn(move || faulty.run(inbox, MonitorLink::new(outbox)));
         to_monitor.send(tick_frame(0, 1.0)).unwrap();
         to_monitor.send(tick_frame(1, 1.0)).unwrap();
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .send(ControlFrame::seal(0, CoordinatorToMonitor::Shutdown))
             .unwrap();
         // Tick 0's reply only flushes when tick 1's reply displaces it;
         // tick 1's reply flushes at loop exit.
-        let first: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
         assert!(matches!(
-            first,
+            open(&from_monitor.recv().unwrap(), 0),
             MonitorToCoordinator::TickDone { tick: 0, .. }
         ));
-        let second: MonitorToCoordinator = decode(&from_monitor.recv().unwrap()).unwrap();
         assert!(matches!(
-            second,
+            open(&from_monitor.recv().unwrap(), 0),
             MonitorToCoordinator::TickDone { tick: 1, .. }
         ));
         handle.join().unwrap();
@@ -476,14 +662,102 @@ mod tests {
         let (to_monitor, inbox) = crossbeam::channel::unbounded::<Bytes>();
         let (outbox, from_monitor) = crossbeam::channel::unbounded::<Bytes>();
         let faulty = actor(100.0).with_faults(FaultPlan::new(1).with_duplication_rate(1.0));
-        let handle = std::thread::spawn(move || faulty.run(inbox, outbox));
+        let handle = std::thread::spawn(move || faulty.run(inbox, MonitorLink::new(outbox)));
         to_monitor.send(tick_frame(0, 1.0)).unwrap();
         let a = from_monitor.recv().unwrap();
         let b = from_monitor.recv().unwrap();
         assert_eq!(a, b, "the same frame goes out twice");
         to_monitor
-            .send(encode(&CoordinatorToMonitor::Shutdown))
+            .send(ControlFrame::seal(0, CoordinatorToMonitor::Shutdown))
             .unwrap();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn stale_frames_are_rejected_after_an_epoch_bump() {
+        let mut a = actor(5.0);
+        let (reply, _) = a.handle_frame(ControlFrame {
+            epoch: 1,
+            msg: CoordinatorToMonitor::NewEpoch { epoch: 1 },
+        });
+        assert!(reply.is_none());
+        assert_eq!(a.epoch(), 1);
+        // A frame from the deposed coordinator: rejected, no reply.
+        let (reply, stop) = a.handle_frame(ControlFrame {
+            epoch: 0,
+            msg: CoordinatorToMonitor::Poll { tick: 9 },
+        });
+        assert!(reply.is_none());
+        assert!(!stop);
+        assert_eq!(a.stale_rejections(), 1);
+        // The same poll at the current epoch is answered, sealed at 1.
+        let (reply, _) = a.handle_frame(ControlFrame {
+            epoch: 1,
+            msg: CoordinatorToMonitor::Poll { tick: 9 },
+        });
+        let frame = reply.unwrap();
+        assert_eq!(frame.epoch, 1);
+        assert!(matches!(
+            frame.msg,
+            MonitorToCoordinator::PollReply { tick: 9, .. }
+        ));
+        // Shutdown is honored even from a stale epoch.
+        let (_, stop) = a.handle_frame(ControlFrame {
+            epoch: 0,
+            msg: CoordinatorToMonitor::Shutdown,
+        });
+        assert!(stop);
+    }
+
+    #[test]
+    fn higher_epoch_data_does_not_implicitly_re_fence() {
+        let mut a = actor(5.0);
+        let (reply, _) = a.handle_frame(ControlFrame {
+            epoch: 2,
+            msg: CoordinatorToMonitor::Tick(TickData {
+                tick: 0,
+                value: 9.0,
+            }),
+        });
+        // Processed — but the reply still carries the monitor's own epoch.
+        assert_eq!(reply.unwrap().epoch, 0);
+        assert_eq!(a.epoch(), 0, "only NewEpoch raises the fence");
+    }
+
+    #[test]
+    fn snapshot_request_restore_and_reset() {
+        let mut a = actor(100.0);
+        // Warm the sampler until its interval grows.
+        let mut tick = 0u64;
+        while a.sampler().interval().get() == 1 {
+            a.handle(CoordinatorToMonitor::Tick(TickData { tick, value: 1.0 }));
+            tick += 1;
+            assert!(tick < 1000, "interval should grow");
+        }
+        let grown = a.sampler().interval();
+        let (reply, _) = a.handle(CoordinatorToMonitor::RequestSnapshot);
+        let snapshot = match reply.unwrap() {
+            MonitorToCoordinator::StateSnapshot { monitor, snapshot } => {
+                assert_eq!(monitor, MonitorId(0));
+                snapshot
+            }
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(snapshot.interval, grown.get());
+
+        // Reset collapses to the conservative default interval...
+        a.handle(CoordinatorToMonitor::SetAllowance { err: 0.03 });
+        a.handle(CoordinatorToMonitor::ResetSampler);
+        assert_eq!(a.sampler().interval().get(), 1);
+        assert_eq!(a.sampler().stats().count(), 0);
+        assert_eq!(
+            a.sampler().error_allowance(),
+            0.03,
+            "reset keeps the allowance in effect"
+        );
+        // ...while restore brings back the learned interval and δ stats.
+        a.handle(CoordinatorToMonitor::RestoreState { snapshot });
+        assert_eq!(a.sampler().interval(), grown);
+        assert!(a.sampler().stats().count() > 0);
     }
 }

@@ -1,10 +1,12 @@
-//! The task runner: spawns the actor threads, drives simulated time and
-//! supervises monitor liveness.
+//! The task runner: spawns the actor threads, drives simulated time,
+//! supervises monitor liveness and fails over to a warm standby
+//! coordinator when the primary dies.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use volley_core::allocation::{AllocationConfig, ErrorAllocator};
 use volley_core::coordinator::CoordinationScheme;
@@ -12,11 +14,19 @@ use volley_core::task::{MonitorId, TaskSpec};
 use volley_core::time::Tick;
 use volley_core::{AdaptiveSampler, VolleyError};
 
+use crate::checkpoint::Wal;
 use crate::coordinator::{CoordinatorActor, DEFAULT_QUARANTINE_AFTER, DEFAULT_TICK_DEADLINE};
 use crate::failure::{FailureInjector, FaultPlan};
 use crate::link::MonitorLink;
-use crate::message::{decode, encode, CoordinatorToMonitor, CoordinatorToRunner, TickData};
+use crate::message::{
+    decode, ControlFrame, CoordinatorToMonitor, CoordinatorToRunner, MonitorFrame,
+    MonitorToCoordinator, TickData,
+};
 use crate::monitor::MonitorActor;
+
+/// Hard cap on coordinator failovers per run — a backstop against fault
+/// plans that kill every incarnation.
+const MAX_FAILOVERS: u32 = 8;
 
 /// Aggregate result of a threaded task run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -51,6 +61,17 @@ pub struct RuntimeReport {
     pub recoveries: u64,
     /// Monitors restarted by the runner's supervisor.
     pub restarts: u64,
+    /// Coordinator failovers to a warm standby.
+    pub coordinator_failovers: u64,
+    /// Monitor frames the coordinator rejected for carrying a stale
+    /// epoch (split-brain fencing at work).
+    pub stale_epoch_frames: u64,
+    /// Monitors whose sampler state was restored from a checkpoint at
+    /// failover.
+    pub checkpoint_restores: u64,
+    /// Monitors restarted conservatively at the default interval at
+    /// failover (no checkpointed state available for them).
+    pub conservative_restarts: u64,
 }
 
 impl RuntimeReport {
@@ -70,7 +91,7 @@ impl RuntimeReport {
 ///
 /// See the [crate docs](crate) for the tick protocol and the fault
 /// tolerance model (deadlines, quarantine, degraded aggregation,
-/// supervised restart).
+/// supervised restart, epoch-fenced coordinator failover).
 #[derive(Debug)]
 pub struct TaskRunner {
     spec: TaskSpec,
@@ -81,12 +102,16 @@ pub struct TaskRunner {
     tick_deadline: Duration,
     quarantine_after: u32,
     supervise: bool,
+    standby: bool,
+    /// Checkpoint WAL path and snapshot cadence (ticks).
+    wal: Option<(PathBuf, u64)>,
 }
 
 impl TaskRunner {
     /// Creates a runner for `spec` with adaptive allowance allocation, the
     /// default allocation configuration, a lossless report path, no
-    /// injected faults and supervision enabled.
+    /// injected faults, supervision enabled, and neither a standby
+    /// coordinator nor checkpointing.
     ///
     /// # Errors
     ///
@@ -104,6 +129,8 @@ impl TaskRunner {
             tick_deadline: DEFAULT_TICK_DEADLINE,
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
             supervise: true,
+            standby: false,
+            wal: None,
         })
     }
 
@@ -130,8 +157,9 @@ impl TaskRunner {
     }
 
     /// Installs a deterministic [`FaultPlan`]: message drops, delays and
-    /// duplication plus scheduled monitor crashes and stalls. The same
-    /// plan and spec reproduce the same [`RuntimeReport`].
+    /// duplication plus scheduled monitor crashes, stalls, partitions,
+    /// coordinator crashes and WAL corruption. The same plan and spec
+    /// reproduce the same [`RuntimeReport`].
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
@@ -163,6 +191,31 @@ impl TaskRunner {
         self
     }
 
+    /// Arms a warm standby: when the coordinator dies mid-run, the runner
+    /// bumps the epoch, fences the fleet with
+    /// [`NewEpoch`](CoordinatorToMonitor::NewEpoch), restores monitor
+    /// state from the checkpoint WAL (when [`with_wal`](Self::with_wal)
+    /// is configured — conservative `I_d` resets otherwise) and re-drives
+    /// the interrupted tick on a fresh coordinator. Without a standby a
+    /// dead coordinator ends the run with
+    /// [`VolleyError::RuntimeDisconnected`].
+    #[must_use]
+    pub fn with_standby(mut self, standby: bool) -> Self {
+        self.standby = standby;
+        self
+    }
+
+    /// Checkpoints coordinator state to a write-ahead log at `path`,
+    /// snapshotting the full adaptation state every `every` ticks
+    /// (minimum 1). Durability is best-effort: if the log cannot be
+    /// created the run proceeds unlogged and a failover falls back to
+    /// conservative restarts.
+    #[must_use]
+    pub fn with_wal(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.wal = Some((path.into(), every.max(1)));
+        self
+    }
+
     /// Runs the task over the per-monitor ground-truth `traces`
     /// (`traces[i][t]` = monitor *i*'s value at tick *t*), spawning one
     /// thread per monitor plus one for the coordinator, and blocks until
@@ -171,14 +224,17 @@ impl TaskRunner {
     /// The run completes even if monitors crash or stall mid-way: the
     /// coordinator quarantines them after missed deadlines and (unless
     /// supervision is disabled) the runner restarts them with a fresh
-    /// sampler at the default interval.
+    /// sampler at the default interval. With
+    /// [`with_standby`](Self::with_standby) the run also survives the
+    /// coordinator dying: the interrupted tick is re-driven on a fresh,
+    /// epoch-bumped coordinator.
     ///
     /// # Errors
     ///
     /// Returns [`VolleyError::ValueCountMismatch`] when the trace count
     /// differs from the monitor count, or
     /// [`VolleyError::RuntimeDisconnected`] if the coordinator thread dies
-    /// mid-run.
+    /// mid-run with no standby armed (or past the failover cap of 8).
     pub fn run(&self, traces: &[Vec<f64>]) -> Result<RuntimeReport, VolleyError> {
         let n = self.spec.monitors().len();
         if traces.len() != n {
@@ -189,12 +245,14 @@ impl TaskRunner {
         }
         let ticks = traces.iter().map(|t| t.len()).min().unwrap_or(0) as u64;
 
-        // Wiring: runner/coordinator → monitor inbox links; monitors →
-        // shared coordinator channel; coordinator → runner frames. The
-        // runner keeps a clone of the monitor-side sender so restarted
-        // monitors can join the shared channel mid-run.
+        // Wiring: runner/coordinator → monitor inbox links; monitors → a
+        // shared, *swappable* outbox link into the coordinator (failover
+        // repoints it at the standby's fresh channel, so frames addressed
+        // to the dead incarnation die with its receiver); coordinator →
+        // runner frames.
         let (to_coord_tx, to_coord_rx) = unbounded::<Bytes>();
-        let (summary_tx, summary_rx) = unbounded::<Bytes>();
+        let out_link = MonitorLink::new(to_coord_tx);
+        let mut epoch = 0u64;
         let mut links: Vec<MonitorLink> = Vec::with_capacity(n);
         let mut monitor_handles = Vec::with_capacity(n);
         let mut retired_handles = Vec::new();
@@ -205,75 +263,93 @@ impl TaskRunner {
             let mut sampler = AdaptiveSampler::new(*self.spec.adaptation(), m.local_threshold);
             sampler.set_error_allowance(global_err / n as f64);
             let actor = MonitorActor::new(m.id, sampler).with_faults(self.fault_plan.clone());
-            let outbox = to_coord_tx.clone();
+            let outbox = out_link.clone();
             monitor_handles.push(std::thread::spawn(move || actor.run(rx, outbox)));
         }
 
-        let allocator = ErrorAllocator::new(self.allocation, global_err, n)?;
-        let local_thresholds: Vec<f64> = self
-            .spec
-            .monitors()
-            .iter()
-            .map(|m| m.local_threshold)
-            .collect();
-        let coordinator = CoordinatorActor::new(
-            self.spec.global_threshold(),
-            local_thresholds,
-            allocator,
-            self.spec.adaptation().slack_ratio(),
-            self.scheme == CoordinationScheme::Adaptive,
-            self.failure.clone(),
-        )
-        .with_fault_plan(self.fault_plan.clone())
-        .with_tick_deadline(self.tick_deadline)
-        .with_quarantine_after(self.quarantine_after);
-        let coord_links = links.clone();
-        let coord_handle =
-            std::thread::spawn(move || coordinator.run(to_coord_rx, coord_links, summary_tx));
+        let wal = self.open_wal();
+        let (summary_tx, summary_rx) = unbounded::<Bytes>();
+        let mut summary_rx = summary_rx;
+        let mut coord_handle = self.spawn_coordinator(
+            epoch,
+            None,
+            self.fault_plan.clone(),
+            wal,
+            to_coord_rx,
+            &links,
+            summary_tx,
+        )?;
 
         // Drive ticks in lock-step. A failed send means that monitor is
         // gone; the coordinator notices via its deadline, so the run keeps
         // going instead of panicking.
         let mut report = RuntimeReport::default();
+        let mut failovers_left = MAX_FAILOVERS;
         for tick in 0..ticks {
-            for (i, link) in links.iter().enumerate() {
-                let data = TickData {
-                    tick,
-                    value: traces[i][tick as usize],
-                };
-                let _ = link.send(encode(&CoordinatorToMonitor::Tick(data)));
-            }
-            // Consume liveness events until this tick's summary arrives.
-            let summary = loop {
-                let Ok(frame) = summary_rx.recv() else {
-                    return Err(VolleyError::RuntimeDisconnected {
-                        component: "coordinator",
-                    });
-                };
-                match decode::<CoordinatorToRunner>(&frame) {
-                    Ok(CoordinatorToRunner::Summary(summary)) => break summary,
-                    Ok(CoordinatorToRunner::MonitorQuarantined { monitor, .. }) => {
-                        report.quarantines += 1;
-                        if self.supervise {
-                            let handle =
-                                self.restart_monitor(monitor, &links, &to_coord_tx, global_err, n);
-                            retired_handles.push(std::mem::replace(
-                                &mut monitor_handles[monitor.0 as usize],
-                                handle,
-                            ));
-                            report.restarts += 1;
-                            // Tell the coordinator to await the restarted
-                            // monitor again; FIFO puts this notice ahead
-                            // of the fresh actor's first report.
-                            let _ = to_coord_tx.send(encode(
-                                &crate::message::MonitorToCoordinator::Revived { monitor },
-                            ));
+            let summary = 'attempt: loop {
+                for (i, link) in links.iter().enumerate() {
+                    let data = TickData {
+                        tick,
+                        value: traces[i][tick as usize],
+                    };
+                    let _ = link.send(ControlFrame::seal(epoch, CoordinatorToMonitor::Tick(data)));
+                }
+                // Consume liveness events until this tick's summary
+                // arrives — or the coordinator dies and a standby takes
+                // over, re-driving the tick from the top of 'attempt.
+                loop {
+                    let Ok(frame) = summary_rx.recv() else {
+                        if !self.standby || failovers_left == 0 {
+                            return Err(VolleyError::RuntimeDisconnected {
+                                component: "coordinator",
+                            });
                         }
+                        failovers_left -= 1;
+                        report.coordinator_failovers += 1;
+                        epoch += 1;
+                        coord_handle
+                            .join()
+                            .expect("coordinator thread exits cleanly");
+                        let (rx, handle) = self.fail_over(
+                            epoch,
+                            tick,
+                            &links,
+                            &out_link,
+                            global_err,
+                            n,
+                            &mut report,
+                        )?;
+                        summary_rx = rx;
+                        coord_handle = handle;
+                        continue 'attempt;
+                    };
+                    match decode::<CoordinatorToRunner>(&frame) {
+                        Ok(CoordinatorToRunner::Summary(summary)) => break 'attempt summary,
+                        Ok(CoordinatorToRunner::MonitorQuarantined { monitor, .. }) => {
+                            report.quarantines += 1;
+                            if self.supervise {
+                                let handle = self.restart_monitor(
+                                    monitor, &links, &out_link, global_err, n, epoch,
+                                );
+                                retired_handles.push(std::mem::replace(
+                                    &mut monitor_handles[monitor.0 as usize],
+                                    handle,
+                                ));
+                                report.restarts += 1;
+                                // Tell the coordinator to await the restarted
+                                // monitor again; FIFO puts this notice ahead
+                                // of the fresh actor's first report.
+                                let _ = out_link.send(MonitorFrame::seal(
+                                    epoch,
+                                    MonitorToCoordinator::Revived { monitor },
+                                ));
+                            }
+                        }
+                        Ok(CoordinatorToRunner::MonitorRecovered { .. }) => {
+                            report.recoveries += 1;
+                        }
+                        Err(_) => {} // never produced by our coordinator
                     }
-                    Ok(CoordinatorToRunner::MonitorRecovered { .. }) => {
-                        report.recoveries += 1;
-                    }
-                    Err(_) => {} // never produced by our coordinator
                 }
             };
             report.ticks += 1;
@@ -281,6 +357,7 @@ impl TaskRunner {
             report.poll_samples += u64::from(summary.poll_samples);
             report.local_violation_reports += u64::from(summary.local_violations);
             report.missed_tick_reports += u64::from(summary.missing_reports);
+            report.stale_epoch_frames += u64::from(summary.stale_epoch_frames);
             if summary.polled {
                 report.polls += 1;
                 if summary.degraded {
@@ -301,32 +378,182 @@ impl TaskRunner {
         // fine), join them, then cut the monitor→coordinator channel so
         // the coordinator exits on disconnect.
         for link in &links {
-            let _ = link.send(encode(&CoordinatorToMonitor::Shutdown));
+            let _ = link.send(ControlFrame::seal(epoch, CoordinatorToMonitor::Shutdown));
         }
         for handle in monitor_handles.into_iter().chain(retired_handles) {
             handle.join().expect("monitor thread exits cleanly");
         }
         drop(links);
-        drop(to_coord_tx);
+        drop(out_link);
         coord_handle
             .join()
             .expect("coordinator thread exits cleanly");
         Ok(report)
     }
 
+    /// Opens the checkpoint WAL (best-effort — `None` on I/O failure),
+    /// arming any planned WAL corruption.
+    fn open_wal(&self) -> Option<Wal> {
+        let (path, _) = self.wal.as_ref()?;
+        Wal::create(path)
+            .ok()
+            .map(|wal| wal.with_corruption(self.fault_plan.wal_corruptions().to_vec()))
+    }
+
+    /// Builds and spawns one coordinator incarnation.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_coordinator(
+        &self,
+        epoch: u64,
+        resume: Option<(Option<Tick>, Tick)>,
+        plan: FaultPlan,
+        wal: Option<Wal>,
+        from_monitors: Receiver<Bytes>,
+        links: &[MonitorLink],
+        summary_tx: Sender<Bytes>,
+    ) -> Result<std::thread::JoinHandle<()>, VolleyError> {
+        let n = self.spec.monitors().len();
+        let global_err = self.spec.adaptation().error_allowance();
+        let allocator = ErrorAllocator::new(self.allocation, global_err, n)?;
+        let local_thresholds: Vec<f64> = self
+            .spec
+            .monitors()
+            .iter()
+            .map(|m| m.local_threshold)
+            .collect();
+        let mut coordinator = CoordinatorActor::new(
+            self.spec.global_threshold(),
+            local_thresholds,
+            allocator,
+            self.spec.adaptation().slack_ratio(),
+            self.scheme == CoordinationScheme::Adaptive,
+            self.failure.clone(),
+        )
+        .with_fault_plan(plan)
+        .with_tick_deadline(self.tick_deadline)
+        .with_quarantine_after(self.quarantine_after)
+        .with_epoch(epoch);
+        if let Some((last_tick, next_update_tick)) = resume {
+            coordinator = coordinator.with_resume(last_tick, next_update_tick);
+        }
+        if let Some(wal) = wal {
+            let every = self.wal.as_ref().map_or(1, |(_, every)| *every);
+            coordinator = coordinator.with_checkpoint(wal, every);
+        }
+        let coord_links = links.to_vec();
+        Ok(std::thread::spawn(move || {
+            coordinator.run(from_monitors, coord_links, summary_tx)
+        }))
+    }
+
+    /// Fails over to a warm standby after the coordinator died while
+    /// `tick` was in flight: replay the WAL, fence the fleet at the new
+    /// `epoch`, restore checkpointed monitor state (conservative `I_d`
+    /// resets where none exists), repoint the shared outbox at a fresh
+    /// channel — stranding any frames addressed to the dead incarnation —
+    /// and spawn the standby resuming behind the re-driven tick.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_over(
+        &self,
+        epoch: u64,
+        tick: Tick,
+        links: &[MonitorLink],
+        out_link: &MonitorLink,
+        global_err: f64,
+        n: usize,
+        report: &mut RuntimeReport,
+    ) -> Result<(Receiver<Bytes>, std::thread::JoinHandle<()>), VolleyError> {
+        // Recover whatever the dead incarnation managed to persist, then
+        // restart the log cleanly (compaction also clears any corrupt
+        // tail the replay truncated at).
+        let (snapshot, wal) = match &self.wal {
+            Some((path, _)) => {
+                let replay = Wal::replay(path).unwrap_or_default();
+                let wal = Wal::compact_to(path, replay.snapshot.as_ref())
+                    .ok()
+                    .map(|wal| wal.with_corruption(self.fault_plan.wal_corruptions().to_vec()));
+                (replay.snapshot, wal)
+            }
+            None => (None, None),
+        };
+
+        // Fence first, then restore: a monitor that consumes the NewEpoch
+        // adopts it, so every later reply carries the new stamp. A monitor
+        // that cannot hear us (partitioned) keeps its old epoch — its
+        // post-heal frames are provably stale and the new coordinator
+        // rejects them until epoch repair readmits it.
+        for (idx, link) in links.iter().enumerate() {
+            let _ = link.send(ControlFrame::seal(
+                epoch,
+                CoordinatorToMonitor::NewEpoch { epoch },
+            ));
+            let restored = snapshot
+                .as_ref()
+                .and_then(|s| s.samplers.get(idx).copied().flatten());
+            match restored {
+                Some(sampler) => {
+                    let _ = link.send(ControlFrame::seal(
+                        epoch,
+                        CoordinatorToMonitor::RestoreState { snapshot: sampler },
+                    ));
+                    report.checkpoint_restores += 1;
+                }
+                None => {
+                    // The paper's conservative restart: back to the
+                    // default interval and the even allowance share.
+                    let _ = link.send(ControlFrame::seal(
+                        epoch,
+                        CoordinatorToMonitor::ResetSampler,
+                    ));
+                    let _ = link.send(ControlFrame::seal(
+                        epoch,
+                        CoordinatorToMonitor::SetAllowance {
+                            err: global_err / n as f64,
+                        },
+                    ));
+                    report.conservative_restarts += 1;
+                }
+            }
+        }
+
+        // Fresh channels: monitor frames sent to the dead incarnation are
+        // stranded with its receiver instead of leaking into the standby.
+        let (to_coord_tx, to_coord_rx) = unbounded::<Bytes>();
+        out_link.replace(to_coord_tx);
+        let (summary_tx, summary_rx) = unbounded::<Bytes>();
+
+        let resume_last = tick.checked_sub(1);
+        let next_update = snapshot.as_ref().map_or_else(
+            || tick + self.allocation.update_period_ticks,
+            |s| s.next_update_tick,
+        );
+        let plan = self.fault_plan.without_coordinator_crashes_through(tick);
+        let handle = self.spawn_coordinator(
+            epoch,
+            Some((resume_last, next_update)),
+            plan,
+            wal,
+            to_coord_rx,
+            links,
+            summary_tx,
+        )?;
+        Ok((summary_rx, handle))
+    }
+
     /// Replaces a quarantined monitor with a fresh actor: new inbox, a
     /// fresh sampler at the default interval (its learned schedule died
-    /// with it) and the even share of the error allowance. Process faults
-    /// (crash/stall) are stripped from the restarted actor's plan —
-    /// its predecessor already acted them out — while network faults keep
-    /// applying.
+    /// with it), the even share of the error allowance, and the current
+    /// coordinator epoch. Process faults (crash/stall) are stripped from
+    /// the restarted actor's plan — its predecessor already acted them
+    /// out — while network faults (including partitions) keep applying.
     fn restart_monitor(
         &self,
         monitor: MonitorId,
         links: &[MonitorLink],
-        to_coord_tx: &crossbeam::channel::Sender<Bytes>,
+        out_link: &MonitorLink,
         global_err: f64,
         n: usize,
+        epoch: u64,
     ) -> std::thread::JoinHandle<()> {
         let idx = monitor.0 as usize;
         let m = &self.spec.monitors()[idx];
@@ -334,8 +561,9 @@ impl TaskRunner {
         let mut sampler = AdaptiveSampler::new(*self.spec.adaptation(), m.local_threshold);
         sampler.set_error_allowance(global_err / n as f64);
         let actor = MonitorActor::new(m.id, sampler)
-            .with_faults(self.fault_plan.without_process_faults(monitor));
-        let outbox = to_coord_tx.clone();
+            .with_faults(self.fault_plan.without_process_faults(monitor))
+            .with_epoch(epoch);
+        let outbox = out_link.clone();
         let handle = std::thread::spawn(move || actor.run(rx, outbox));
         // Swapping the link drops the old sender: a stalled predecessor
         // sees its inbox disconnect and exits.
@@ -369,6 +597,8 @@ mod tests {
         assert_eq!(report.polls, 0);
         assert_eq!(report.missed_tick_reports, 0);
         assert_eq!(report.quarantines, 0);
+        assert_eq!(report.coordinator_failovers, 0);
+        assert_eq!(report.stale_epoch_frames, 0);
         assert!(
             report.cost_ratio(3) < 0.7,
             "cost ratio {}",
@@ -535,5 +765,68 @@ mod tests {
         assert_eq!(report.recoveries, 0);
         // Dead from tick 5 onward: every later tick misses its report.
         assert!(report.missed_tick_reports >= 34);
+    }
+
+    #[test]
+    fn coordinator_crash_without_standby_errors() {
+        let spec = spec(2, 1000.0, 0.02);
+        let traces = vec![vec![1.0; 40], vec![2.0; 40]];
+        let err = TaskRunner::new(&spec)
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(7).with_coordinator_crash(10))
+            .with_tick_deadline(Duration::from_millis(25))
+            .run(&traces)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VolleyError::RuntimeDisconnected {
+                component: "coordinator"
+            }
+        ));
+    }
+
+    #[test]
+    fn standby_fails_over_and_completes_conservatively() {
+        // No WAL: the standby resets every sampler at I_d and the run
+        // still finishes every tick.
+        let spec = spec(2, 1000.0, 0.02);
+        let traces = vec![vec![1.0; 40], vec![2.0; 40]];
+        let report = TaskRunner::new(&spec)
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(7).with_coordinator_crash(10))
+            .with_tick_deadline(Duration::from_millis(25))
+            .with_standby(true)
+            .run(&traces)
+            .unwrap();
+        assert_eq!(report.ticks, 40, "failover must not lose ticks");
+        assert_eq!(report.coordinator_failovers, 1);
+        assert_eq!(report.checkpoint_restores, 0);
+        assert_eq!(report.conservative_restarts, 2);
+        assert_eq!(report.alerts, 0);
+    }
+
+    #[test]
+    fn standby_restores_from_checkpoint() {
+        let dir = std::env::temp_dir().join("volley-runner-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("restore-{}.wal", std::process::id()));
+        let spec = spec(2, 1000.0, 0.02);
+        let traces = vec![vec![1.0; 60], vec![2.0; 60]];
+        let report = TaskRunner::new(&spec)
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(7).with_coordinator_crash(30))
+            .with_tick_deadline(Duration::from_millis(50))
+            .with_standby(true)
+            .with_wal(&path, 5)
+            .run(&traces)
+            .unwrap();
+        assert_eq!(report.ticks, 60);
+        assert_eq!(report.coordinator_failovers, 1);
+        assert_eq!(
+            report.checkpoint_restores, 2,
+            "both samplers restored from the tick-25 snapshot"
+        );
+        assert_eq!(report.conservative_restarts, 0);
+        std::fs::remove_file(&path).ok();
     }
 }

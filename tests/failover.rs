@@ -1,0 +1,238 @@
+//! Integration: killing the coordinator mid-run and failing over to the
+//! warm standby preserves detection accuracy and the learned per-monitor
+//! sampling intervals, costs strictly less than the paper's conservative
+//! default-interval restart, and provably fences out stale-epoch frames
+//! from a partitioned former fleet member.
+
+use std::time::Duration;
+
+use volley::core::task::{MonitorId, TaskSpec};
+use volley::TaskRunner;
+use volley_runtime::{FaultPlan, RuntimeReport};
+
+const MONITORS: usize = 4;
+const TICKS: usize = 400;
+/// Ground-truth violation windows, both *after* the crash so they measure
+/// post-recovery detection. Each burst outlasts the max interval (8), so
+/// even a fully-grown sampler lands at least one sample inside it. The
+/// long quiet lead-in matters: burst deltas inflate the δ statistics for
+/// the rest of the windowed-restart horizon, so grown intervals — the
+/// learned state whose survival this test measures — exist exactly
+/// because the pre-crash stretch is quiet.
+const BURSTS: [(u64, u64); 2] = [(260, 272), (340, 352)];
+/// Crash mid-quiet-stretch, after the samplers converged to the max
+/// interval and a checkpoint captured that.
+const CRASH_TICK: u64 = 210;
+
+/// A non-zero error allowance so the samplers actually *learn* grown
+/// intervals — the state whose survival this test is about.
+fn spec() -> TaskSpec {
+    TaskSpec::builder(100.0 * MONITORS as f64)
+        .monitors(MONITORS)
+        .error_allowance(0.05)
+        .max_interval(8)
+        .patience(3)
+        .warmup_samples(3)
+        .build()
+        .unwrap()
+}
+
+/// Smooth traces (tiny wobble, so β stays under the allowance and
+/// intervals grow to the max) with synchronized sustained bursts.
+fn traces() -> Vec<Vec<f64>> {
+    let local = 100.0;
+    (0..MONITORS)
+        .map(|m| {
+            (0..TICKS as u64)
+                .map(|t| {
+                    let wobble = ((t * (3 + m as u64)) % 7) as f64 * 0.1;
+                    if BURSTS.iter().any(|&(s, e)| (s..e).contains(&t)) {
+                        local * 1.4 + wobble
+                    } else {
+                        local * 0.2 + wobble
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Whether the run raised at least one alert inside the window — the
+/// detection criterion for sustained violations under adaptive sampling
+/// (the first few burst ticks may legitimately fall inside a grown
+/// interval).
+fn detects(report: &RuntimeReport, window: (u64, u64)) -> bool {
+    report
+        .alert_ticks
+        .iter()
+        .any(|&t| t >= window.0 && t < window.1)
+}
+
+fn wal_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("volley-failover-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.wal", std::process::id()))
+}
+
+#[test]
+fn checkpointed_failover_preserves_accuracy_and_beats_conservative_restart() {
+    let spec = spec();
+    let traces = traces();
+    let windows = BURSTS;
+
+    let no_fault = TaskRunner::new(&spec).unwrap().run(&traces).unwrap();
+    for w in &windows {
+        assert!(detects(&no_fault, *w), "no-fault run detects burst {w:?}");
+    }
+    assert!(
+        no_fault.cost_ratio(MONITORS) < 0.7,
+        "the workload must reward interval growth (cost ratio {})",
+        no_fault.cost_ratio(MONITORS)
+    );
+
+    let path = wal_path("accuracy");
+    let crash = || FaultPlan::new(11).with_coordinator_crash(CRASH_TICK);
+    let checkpointed = TaskRunner::new(&spec)
+        .unwrap()
+        .with_fault_plan(crash())
+        .with_tick_deadline(Duration::from_millis(50))
+        .with_standby(true)
+        .with_wal(&path, 20)
+        .run(&traces)
+        .unwrap();
+    let conservative = TaskRunner::new(&spec)
+        .unwrap()
+        .with_fault_plan(crash())
+        .with_tick_deadline(Duration::from_millis(50))
+        .with_standby(true)
+        .run(&traces)
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    for report in [&checkpointed, &conservative] {
+        assert_eq!(report.ticks, TICKS as u64, "failover must not lose ticks");
+        assert_eq!(report.coordinator_failovers, 1);
+        // Post-recovery detection within tolerance of the no-fault run:
+        // both post-crash bursts still alert (the ISSUE tolerance is 2%;
+        // sustained bursts achieve 0%).
+        for w in &windows {
+            assert!(
+                report.detects_window(*w),
+                "burst {w:?} missing after failover; raised {:?}",
+                report.alert_ticks
+            );
+        }
+    }
+    assert_eq!(
+        checkpointed.checkpoint_restores, MONITORS as u64,
+        "every monitor restored from the tick-200 snapshot"
+    );
+    assert_eq!(conservative.checkpoint_restores, 0);
+    assert_eq!(conservative.conservative_restarts, MONITORS as u64);
+
+    // The point of durability: restored intervals keep the grown sampling
+    // schedule, so the checkpointed run samples strictly less than the
+    // conservative I_d restart — and lands within a whisker of no-fault.
+    assert!(
+        checkpointed.total_samples < conservative.total_samples,
+        "checkpointed {} vs conservative {}",
+        checkpointed.total_samples,
+        conservative.total_samples
+    );
+    let drift = checkpointed.total_samples.abs_diff(no_fault.total_samples) as f64
+        / no_fault.total_samples as f64;
+    assert!(
+        drift < 0.10,
+        "checkpointed cost {} strays {drift:.3} from no-fault {}",
+        checkpointed.total_samples,
+        no_fault.total_samples
+    );
+}
+
+/// Window-detection helper on reports (free-function form reads awkwardly
+/// inside the loop above).
+trait DetectsWindow {
+    fn detects_window(&self, window: (u64, u64)) -> bool;
+}
+
+impl DetectsWindow for RuntimeReport {
+    fn detects_window(&self, window: (u64, u64)) -> bool {
+        detects(self, window)
+    }
+}
+
+#[test]
+fn partition_spanning_failover_fences_stale_frames_then_readmits() {
+    let spec = spec();
+    let traces = traces();
+    let windows = BURSTS;
+
+    let path = wal_path("partition");
+    // Monitor 2 is partitioned across the crash: it misses the NewEpoch
+    // broadcast, so its post-heal frames carry the dead coordinator's
+    // epoch. No supervisor — a restart would hand it the new epoch
+    // out-of-band; it must rejoin through stale-frame rejection followed
+    // by the epoch-repair handshake.
+    let plan = FaultPlan::new(13)
+        .with_coordinator_crash(CRASH_TICK)
+        .with_partition(&[MonitorId(2)], CRASH_TICK - 10, CRASH_TICK + 20);
+    let report = TaskRunner::new(&spec)
+        .unwrap()
+        .with_fault_plan(plan)
+        .with_tick_deadline(Duration::from_millis(50))
+        .with_quarantine_after(2)
+        .with_supervision(false)
+        .with_standby(true)
+        .with_wal(&path, 20)
+        .run(&traces)
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(report.ticks, TICKS as u64);
+    assert_eq!(report.coordinator_failovers, 1);
+    assert!(
+        report.stale_epoch_frames >= 1,
+        "the healed monitor's old-epoch frames must be rejected, got {}",
+        report.stale_epoch_frames
+    );
+    assert!(
+        report.quarantines >= 1,
+        "the partitioned monitor misses deadlines"
+    );
+    assert!(
+        report.recoveries >= 1,
+        "epoch repair readmits the partitioned monitor"
+    );
+    // Detection survives: during the partition the burst aggregates
+    // degraded; afterwards the readmitted monitor reports normally.
+    for w in &windows {
+        assert!(
+            detects(&report, *w),
+            "burst {w:?} missing; raised {:?}",
+            report.alert_ticks
+        );
+    }
+}
+
+#[test]
+fn same_failover_plan_reproduces_identical_reports() {
+    let spec = spec();
+    let traces: Vec<Vec<f64>> = traces().into_iter().map(|t| t[..250].to_vec()).collect();
+    let path = wal_path("determinism");
+    let run = || {
+        TaskRunner::new(&spec)
+            .unwrap()
+            .with_fault_plan(FaultPlan::new(99).with_coordinator_crash(120))
+            .with_tick_deadline(Duration::from_millis(50))
+            .with_standby(true)
+            .with_wal(&path, 25)
+            .run(&traces)
+            .unwrap()
+    };
+    let first = run();
+    let second = run();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(first, second, "failover must be deterministic");
+    assert_eq!(first.coordinator_failovers, 1);
+    assert_eq!(first.checkpoint_restores, MONITORS as u64);
+}

@@ -6,12 +6,27 @@ use proptest::prelude::*;
 
 use bytes::Bytes;
 use volley::core::adaptation::PeriodReport;
+use volley::core::snapshot::SamplerSnapshot;
 use volley::core::task::MonitorId;
 use volley::core::Interval;
+use volley::core::{AdaptationConfig, AdaptiveSampler};
 use volley::runtime::message::{
-    decode, encode, CoordinatorToMonitor, CoordinatorToRunner, MonitorToCoordinator, TickData,
-    TickSummary,
+    decode, encode, ControlFrame, CoordinatorToMonitor, CoordinatorToRunner, MonitorFrame,
+    MonitorToCoordinator, TickData, TickSummary,
 };
+
+/// A realistic sampler snapshot with proptest-supplied variation: built
+/// through the real sampler so every invariant the restore path expects
+/// holds, then perturbed in the serializable fields.
+fn sampler_snapshot(threshold: f64, observed: u64) -> SamplerSnapshot {
+    let mut sampler = AdaptiveSampler::new(AdaptationConfig::default(), threshold);
+    let mut tick = 0u64;
+    for i in 0..observed {
+        let obs = sampler.observe(tick, (i % 13) as f64);
+        tick = obs.next_sample_tick.max(tick + 1);
+    }
+    sampler.to_snapshot()
+}
 
 fn round_trip<M>(msg: &M)
 where
@@ -51,6 +66,22 @@ proptest! {
         });
     }
 
+    /// The snapshot-bearing variants — the only ones carrying full
+    /// adaptation state — round-trip in both directions.
+    #[test]
+    fn snapshot_frames_round_trip(
+        monitor in 0u32..1000,
+        threshold in 1.0f64..1e6,
+        observed in 0u64..40,
+    ) {
+        let snapshot = sampler_snapshot(threshold, observed);
+        round_trip(&MonitorToCoordinator::StateSnapshot {
+            monitor: MonitorId(monitor),
+            snapshot,
+        });
+        round_trip(&CoordinatorToMonitor::RestoreState { snapshot });
+    }
+
     /// Period reports — the only variant holding nested structures and a
     /// variable-length payload — round-trip too.
     #[test]
@@ -86,7 +117,36 @@ proptest! {
         round_trip(&CoordinatorToMonitor::Poll { tick });
         round_trip(&CoordinatorToMonitor::RequestReport);
         round_trip(&CoordinatorToMonitor::SetAllowance { err });
+        round_trip(&CoordinatorToMonitor::NewEpoch { epoch: tick });
+        round_trip(&CoordinatorToMonitor::RequestSnapshot);
+        round_trip(&CoordinatorToMonitor::ResetSampler);
         round_trip(&CoordinatorToMonitor::Shutdown);
+    }
+
+    /// Epoch envelopes round-trip: sealing a message and decoding the
+    /// frame recovers both the epoch and the payload.
+    #[test]
+    fn epoch_envelopes_round_trip(
+        epoch in 0u64..u64::MAX,
+        monitor in 0u32..1000,
+        tick in 0u64..u64::MAX,
+    ) {
+        let msg = MonitorToCoordinator::TickDone {
+            monitor: MonitorId(monitor),
+            tick,
+            sampled: true,
+            violation: false,
+        };
+        let sealed = MonitorFrame::seal(epoch, msg.clone());
+        let frame: MonitorFrame = decode(&sealed).expect("monitor envelope decodes");
+        prop_assert_eq!(frame.epoch, epoch);
+        prop_assert_eq!(frame.msg, msg);
+
+        let ctrl = CoordinatorToMonitor::Poll { tick };
+        let sealed = ControlFrame::seal(epoch, ctrl);
+        let frame: ControlFrame = decode(&sealed).expect("control envelope decodes");
+        prop_assert_eq!(frame.epoch, epoch);
+        prop_assert_eq!(frame.msg, ctrl);
     }
 
     /// `CoordinatorToRunner` round-trips for every variant.
@@ -106,6 +166,7 @@ proptest! {
             alerted: flags & 2 != 0,
             missing_reports: counts.3,
             degraded: flags & 1 != 0,
+            stale_epoch_frames: counts.2,
         }));
         round_trip(&CoordinatorToRunner::MonitorQuarantined {
             monitor: MonitorId(monitor),
@@ -129,6 +190,8 @@ proptest! {
         let _ = decode::<CoordinatorToMonitor>(&bytes);
         let _ = decode::<CoordinatorToRunner>(&bytes);
         let _ = decode::<TickSummary>(&bytes);
+        let _ = decode::<MonitorFrame>(&bytes);
+        let _ = decode::<ControlFrame>(&bytes);
     }
 
     /// Decoding a truncated frame of a real message never panics, and a
