@@ -136,8 +136,45 @@ pub struct ChaosArgs {
     pub quarantine_after: u32,
     /// Whether the supervisor restarts quarantined monitors.
     pub supervise: bool,
+    /// Directory for periodic obs snapshots; `None` disables dumping.
+    pub obs_dir: Option<String>,
+    /// Obs snapshot cadence in ticks.
+    pub obs_every: u64,
     /// Emit machine-readable JSON instead of the text report.
     pub json: bool,
+}
+
+/// The `run` subcommand's options: drive the threaded runtime on a
+/// synthetic bursty workload with observability on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Number of monitors.
+    pub monitors: usize,
+    /// Trace length in ticks.
+    pub ticks: usize,
+    /// Error allowance for the monitored task.
+    pub err: f64,
+    /// Workload seed (reserved; the burst workload is deterministic).
+    pub seed: u64,
+    /// Directory for periodic obs snapshots; `None` disables dumping.
+    pub obs_dir: Option<String>,
+    /// Obs snapshot cadence in ticks.
+    pub obs_every: u64,
+    /// Arm the self-monitoring watchdog at this tick-latency threshold
+    /// (microseconds).
+    pub self_monitor_us: Option<f64>,
+    /// Emit machine-readable JSON instead of the text report.
+    pub json: bool,
+}
+
+/// The `obs` subcommand's options: read back the latest snapshot from an
+/// `--obs-dir` directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsArgs {
+    /// Snapshot directory (as passed to `--obs-dir`).
+    pub dir: String,
+    /// Print the Prometheus text exposition instead of the summary.
+    pub prom: bool,
 }
 
 /// A parsed command line.
@@ -152,6 +189,10 @@ pub enum Command {
     Simulate(SimulateArgs),
     /// Run the fault-injected threaded runtime.
     Chaos(ChaosArgs),
+    /// Run the threaded runtime with observability on.
+    Run(RunArgs),
+    /// Read back the latest obs snapshot from a directory.
+    Obs(ObsArgs),
     /// Print usage.
     Help,
 }
@@ -167,6 +208,9 @@ USAGE:
                   [--ticks <n=2000>] [--tasks <n=1>] [--seed <n=0>]
   volley simulate [--servers <n=4>] [--vms <n=40>] [--err <e=0.01>]
                   [--ticks <n=1500>] [--seed <n=0>]
+  volley run      [--monitors <n=5>] [--ticks <n=200>] [--err <e=0.01>]
+                  [--seed <n=0>] [--obs-dir <dir>] [--obs-every <n=50>]
+                  [--self-monitor-us <t>] [--json]
   volley chaos    [--monitors <n=5>] [--ticks <n=200>] [--seed <n=0>]
                   [--drop-rate <p=0>] [--poll-drop-rate <p=0>]
                   [--dup-rate <p=0>] [--delay-rate <p=0>]
@@ -174,7 +218,9 @@ USAGE:
                   [--coordinator-crash <t>] [--partition <m1,m2@t+d>]
                   [--standby] [--wal-dir <dir>] [--checkpoint-interval <n=25>]
                   [--corrupt-wal-record <i>]
+                  [--obs-dir <dir>] [--obs-every <n=50>]
                   [--quarantine-after <n=2>] [--no-supervise] [--json]
+  volley obs      --dir <dir> [--prom]
   volley help
 ";
 
@@ -250,6 +296,8 @@ impl Command {
             "generate" => Self::parse_generate(rest),
             "simulate" => Self::parse_simulate(rest),
             "chaos" => Self::parse_chaos(rest),
+            "run" => Self::parse_run(rest),
+            "obs" => Self::parse_obs(rest),
             other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -330,6 +378,8 @@ impl Command {
             deadline_ms: 50,
             quarantine_after: 2,
             supervise: true,
+            obs_dir: None,
+            obs_every: 50,
             json: false,
         };
         let mut it = args.iter();
@@ -358,6 +408,8 @@ impl Command {
                     parsed.checkpoint_interval = parse_value(flag, it.next())?;
                 }
                 "--standby" => parsed.standby = true,
+                "--obs-dir" => parsed.obs_dir = Some(parse_value(flag, it.next())?),
+                "--obs-every" => parsed.obs_every = parse_value(flag, it.next())?,
                 "--deadline-ms" => parsed.deadline_ms = parse_value(flag, it.next())?,
                 "--quarantine-after" => parsed.quarantine_after = parse_value(flag, it.next())?,
                 "--no-supervise" => parsed.supervise = false,
@@ -370,7 +422,60 @@ impl Command {
         parsed.deadline_ms = parsed.deadline_ms.max(1);
         parsed.quarantine_after = parsed.quarantine_after.max(1);
         parsed.checkpoint_interval = parsed.checkpoint_interval.max(1);
+        parsed.obs_every = parsed.obs_every.max(1);
         Ok(Command::Chaos(parsed))
+    }
+
+    fn parse_run(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = RunArgs {
+            monitors: 5,
+            ticks: 200,
+            err: 0.01,
+            seed: 0,
+            obs_dir: None,
+            obs_every: 50,
+            self_monitor_us: None,
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--monitors" => parsed.monitors = parse_value(flag, it.next())?,
+                "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
+                "--err" => parsed.err = parse_value(flag, it.next())?,
+                "--seed" => parsed.seed = parse_value(flag, it.next())?,
+                "--obs-dir" => parsed.obs_dir = Some(parse_value(flag, it.next())?),
+                "--obs-every" => parsed.obs_every = parse_value(flag, it.next())?,
+                "--self-monitor-us" => {
+                    parsed.self_monitor_us = Some(parse_value(flag, it.next())?);
+                }
+                "--json" => parsed.json = true,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        parsed.monitors = parsed.monitors.max(1);
+        parsed.ticks = parsed.ticks.max(1);
+        parsed.obs_every = parsed.obs_every.max(1);
+        Ok(Command::Run(parsed))
+    }
+
+    fn parse_obs(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = ObsArgs {
+            dir: String::new(),
+            prom: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--dir" => parsed.dir = parse_value(flag, it.next())?,
+                "--prom" => parsed.prom = true,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        if parsed.dir.is_empty() {
+            return Err(CliError::Usage("obs requires --dir".to_string()));
+        }
+        Ok(Command::Obs(parsed))
     }
 
     fn parse_simulate(args: &[String]) -> Result<Command, CliError> {
@@ -614,6 +719,79 @@ mod tests {
                 matches!(Command::parse(args(&bad)), Err(CliError::Usage(_))),
                 "{bad:?} should be rejected"
             );
+        }
+    }
+
+    #[test]
+    fn run_parses_obs_flags() {
+        let cmd = Command::parse(args(&[
+            "run",
+            "--monitors",
+            "3",
+            "--ticks",
+            "0",
+            "--err",
+            "0.05",
+            "--obs-dir",
+            "/tmp/obs",
+            "--obs-every",
+            "0",
+            "--self-monitor-us",
+            "250000",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.monitors, 3);
+                assert_eq!(r.ticks, 1, "ticks floored at 1");
+                assert_eq!(r.err, 0.05);
+                assert_eq!(r.obs_dir.as_deref(), Some("/tmp/obs"));
+                assert_eq!(r.obs_every, 1, "cadence floored at 1");
+                assert_eq!(r.self_monitor_us, Some(250_000.0));
+                assert!(r.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_has_defaults() {
+        match Command::parse(args(&["run"])).unwrap() {
+            Command::Run(r) => {
+                assert_eq!(r.monitors, 5);
+                assert_eq!(r.ticks, 200);
+                assert_eq!(r.obs_dir, None);
+                assert_eq!(r.self_monitor_us, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_parses_obs_flags() {
+        match Command::parse(args(&["chaos", "--obs-dir", "/tmp/o", "--obs-every", "10"])).unwrap()
+        {
+            Command::Chaos(c) => {
+                assert_eq!(c.obs_dir.as_deref(), Some("/tmp/o"));
+                assert_eq!(c.obs_every, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn obs_requires_dir() {
+        assert!(matches!(
+            Command::parse(args(&["obs"])),
+            Err(CliError::Usage(_))
+        ));
+        match Command::parse(args(&["obs", "--dir", "/tmp/obs", "--prom"])).unwrap() {
+            Command::Obs(o) => {
+                assert_eq!(o.dir, "/tmp/obs");
+                assert!(o.prom);
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -12,7 +12,9 @@ use volley_traces::http::HttpWorkloadConfig;
 use volley_traces::netflow::NetflowConfig;
 use volley_traces::sysmetrics::SystemMetricsGenerator;
 
-use crate::args::{ChaosArgs, CliError, Command, GenerateArgs, MonitorArgs, SimulateArgs, USAGE};
+use crate::args::{
+    ChaosArgs, CliError, Command, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, SimulateArgs, USAGE,
+};
 
 /// Executes a parsed command, writing its report to `out`.
 ///
@@ -29,6 +31,8 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
         Command::Generate(args) => generate(&args, out),
         Command::Simulate(args) => simulate(&args, out),
         Command::Chaos(args) => chaos(&args, out),
+        Command::Run(args) => run_runtime(&args, out),
+        Command::Obs(args) => obs_read(&args, out),
     }
 }
 
@@ -261,6 +265,181 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
+/// The synthetic bursty workload shared by `run` and `chaos`: every 50th
+/// tick all monitors spike over their local thresholds together, with a
+/// small per-monitor wobble so traces differ.
+fn bursty_traces(n: usize, ticks: usize) -> Vec<Vec<f64>> {
+    let local = 100.0;
+    (0..n)
+        .map(|m| {
+            (0..ticks)
+                .map(|t| {
+                    let wobble = ((t * (3 + m)) % 7) as f64;
+                    if t % 50 == 49 {
+                        local * 1.4 + wobble
+                    } else {
+                        local * 0.2 + wobble
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The `run --json` schema version.
+const RUN_SCHEMA_VERSION: u32 = 1;
+
+/// JSON report of a `run` invocation.
+#[derive(Debug, Serialize)]
+struct RunReport {
+    schema: u32,
+    monitors: usize,
+    ticks: u64,
+    alerts: u64,
+    alert_ticks: Vec<u64>,
+    total_samples: u64,
+    cost_ratio: f64,
+    self_monitor_samples: u64,
+    self_monitor_alerts: u64,
+    self_monitor_alert_ticks: Vec<u64>,
+    obs_dir: Option<String>,
+    /// The final in-process registry snapshot, embedded verbatim.
+    snapshot: volley_obs::Snapshot,
+}
+
+/// Runs the threaded runtime on the bursty workload with observability
+/// enabled, optionally dumping snapshots and arming the self-monitoring
+/// watchdog.
+fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    use volley_core::task::TaskSpec;
+    use volley_runtime::TaskRunner;
+
+    let n = args.monitors;
+    let spec = TaskSpec::builder(100.0 * n as f64)
+        .monitors(n)
+        .error_allowance(args.err)
+        .build()?;
+    let traces = bursty_traces(n, args.ticks);
+
+    let obs = volley_obs::Obs::new(true);
+    let mut runner = TaskRunner::new(&spec)?.with_obs(obs.clone());
+    if let Some(dir) = &args.obs_dir {
+        runner = runner.with_obs_dir(dir, args.obs_every);
+    }
+    if let Some(threshold_us) = args.self_monitor_us {
+        // Zero error allowance: the watchdog inspects every tick, so a
+        // single stall cannot slip between adaptive samples.
+        runner = runner.with_self_monitor(threshold_us, 0.0);
+    }
+    let report = runner.run(&traces)?;
+
+    let summary = RunReport {
+        schema: RUN_SCHEMA_VERSION,
+        monitors: n,
+        ticks: report.ticks,
+        alerts: report.alerts,
+        alert_ticks: report.alert_ticks.clone(),
+        total_samples: report.total_samples,
+        cost_ratio: report.cost_ratio(n),
+        self_monitor_samples: report.self_monitor_samples,
+        self_monitor_alerts: report.self_monitor_alerts,
+        self_monitor_alert_ticks: report.self_monitor_alert_ticks.clone(),
+        obs_dir: args.obs_dir.clone(),
+        snapshot: obs.snapshot(report.ticks),
+    };
+    if args.json {
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serializable")
+        )?;
+        return Ok(());
+    }
+    writeln!(out, "monitors:         {}", summary.monitors)?;
+    writeln!(out, "ticks:            {}", summary.ticks)?;
+    writeln!(out, "alerts:           {}", summary.alerts)?;
+    writeln!(
+        out,
+        "samples:          {} ({:.1}% of periodic)",
+        summary.total_samples,
+        100.0 * summary.cost_ratio
+    )?;
+    if args.self_monitor_us.is_some() {
+        writeln!(
+            out,
+            "self-monitor:     {} samples, {} alerts",
+            summary.self_monitor_samples, summary.self_monitor_alerts
+        )?;
+    }
+    write_snapshot_summary(&summary.snapshot, out)?;
+    if let Some(dir) = &args.obs_dir {
+        writeln!(out, "obs snapshots:    {dir}")?;
+    }
+    Ok(())
+}
+
+/// Renders a snapshot's counters, gauges and histogram quantiles.
+fn write_snapshot_summary<W: Write>(
+    snapshot: &volley_obs::Snapshot,
+    out: &mut W,
+) -> Result<(), CliError> {
+    if !snapshot.counters.is_empty() {
+        writeln!(out, "counters:")?;
+        for (name, value) in &snapshot.counters {
+            writeln!(out, "  {name:<42} {value}")?;
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        writeln!(out, "gauges:")?;
+        for (name, value) in &snapshot.gauges {
+            writeln!(out, "  {name:<42} {value:.3}")?;
+        }
+    }
+    let recorded: Vec<_> = snapshot
+        .histograms
+        .iter()
+        .filter(|(_, h)| !h.is_empty())
+        .collect();
+    if !recorded.is_empty() {
+        writeln!(
+            out,
+            "histograms:        count      p50      p90      p99      max"
+        )?;
+        for (name, h) in recorded {
+            writeln!(
+                out,
+                "  {name:<32} {:>7} {:>8} {:>8} {:>8} {:>8}",
+                h.count,
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.max
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads back the newest snapshot from an `--obs-dir` directory.
+fn obs_read<W: Write>(args: &ObsArgs, out: &mut W) -> Result<(), CliError> {
+    let Some((path, snapshot)) = volley_obs::latest_snapshot(&args.dir)
+        .map_err(|e| CliError::Input(format!("cannot read {}: {e}", args.dir)))?
+    else {
+        return Err(CliError::Input(format!(
+            "no obs-*.json snapshots in {}",
+            args.dir
+        )));
+    };
+    if args.prom {
+        write!(out, "{}", snapshot.to_prometheus())?;
+        return Ok(());
+    }
+    writeln!(out, "snapshot:         {}", path.display())?;
+    writeln!(out, "tick:             {}", snapshot.tick)?;
+    write_snapshot_summary(&snapshot, out)?;
+    Ok(())
+}
+
 /// The `chaos --json` schema version. Bump when the report shape
 /// changes; consumers should refuse versions they don't understand.
 /// Version history: 1 = the original (implicit, unversioned) report;
@@ -308,21 +487,7 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         .monitors(n)
         .error_allowance(0.0)
         .build()?;
-    let local = 100.0;
-    let traces: Vec<Vec<f64>> = (0..n)
-        .map(|m| {
-            (0..args.ticks)
-                .map(|t| {
-                    let wobble = ((t * (3 + m)) % 7) as f64;
-                    if t % 50 == 49 {
-                        local * 1.4 + wobble
-                    } else {
-                        local * 0.2 + wobble
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let traces = bursty_traces(n, args.ticks);
 
     let mut plan = FaultPlan::new(args.seed)
         .with_drop_rate(FaultPath::ViolationReport, args.drop_rate)
@@ -359,6 +524,10 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
             dir.join(format!("chaos-{}.wal", args.seed)),
             args.checkpoint_interval,
         );
+    }
+    if let Some(dir) = &args.obs_dir {
+        // with_obs_dir flips the runner's obs bundle on at run time.
+        runner = runner.with_obs_dir(dir, args.obs_every);
     }
     let report = runner.run(&traces)?;
 
@@ -438,13 +607,16 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         };
         writeln!(out, "alerts at ticks:  {}{}", shown.join(", "), suffix)?;
     }
+    if let Some(dir) = &args.obs_dir {
+        writeln!(out, "obs snapshots:    {dir}")?;
+    }
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::{ChaosArgs, GenerateArgs, MonitorArgs, SimulateArgs};
+    use crate::args::{ChaosArgs, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, SimulateArgs};
 
     fn run_to_string(command: Command) -> String {
         let mut buffer = Vec::new();
@@ -586,6 +758,8 @@ mod tests {
             deadline_ms: 25,
             quarantine_after: 2,
             supervise: true,
+            obs_dir: None,
+            obs_every: 50,
             json: true,
         }
     }
@@ -658,6 +832,101 @@ mod tests {
         let text = run_to_string(Command::Chaos(args));
         assert!(text.contains("quarantines:"), "{text}");
         assert!(text.contains("alerts at ticks:  49, 99"), "{text}");
+    }
+
+    fn run_args() -> RunArgs {
+        RunArgs {
+            monitors: 2,
+            ticks: 100,
+            err: 0.0,
+            seed: 0,
+            obs_dir: None,
+            obs_every: 25,
+            self_monitor_us: None,
+            json: true,
+        }
+    }
+
+    #[test]
+    fn run_reports_and_dumps_parseable_snapshots() {
+        let dir = std::env::temp_dir().join("volley-cli-test-obs-run");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut args = run_args();
+        args.obs_dir = Some(dir.to_string_lossy().to_string());
+        let text = run_to_string(Command::Run(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["schema"], 1);
+        assert_eq!(parsed["ticks"], 100);
+        assert_eq!(parsed["alerts"], 2);
+        // The embedded snapshot carries the runner's counters.
+        assert_eq!(
+            parsed["snapshot"]["counters"]["volley_runner_ticks_total"],
+            100
+        );
+
+        // The dumped files parse back: JSON via the schema'd decoder,
+        // Prometheus text via the bundled parser.
+        let (path, snapshot) = volley_obs::latest_snapshot(&dir).unwrap().expect("dumps");
+        assert!(snapshot.counters.contains_key("volley_runner_ticks_total"));
+        let prom_path = path.with_extension("prom");
+        let prom_text = std::fs::read_to_string(&prom_path).unwrap();
+        let samples = volley_obs::parse_prometheus(&prom_text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "volley_runner_ticks_total"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_command_reads_back_the_latest_snapshot() {
+        let dir = std::env::temp_dir().join("volley-cli-test-obs-read");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut args = run_args();
+        args.obs_dir = Some(dir.to_string_lossy().to_string());
+        let _ = run_to_string(Command::Run(args));
+
+        let text = run_to_string(Command::Obs(ObsArgs {
+            dir: dir.to_string_lossy().to_string(),
+            prom: false,
+        }));
+        assert!(text.contains("volley_runner_ticks_total"), "{text}");
+        assert!(text.contains("histograms:"), "{text}");
+
+        let prom = run_to_string(Command::Obs(ObsArgs {
+            dir: dir.to_string_lossy().to_string(),
+            prom: true,
+        }));
+        assert!(volley_obs::parse_prometheus(&prom)
+            .unwrap()
+            .iter()
+            .any(|s| s.name == "volley_runner_tick_latency_ns_count"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_command_errors_on_empty_dir() {
+        let dir = std::env::temp_dir().join("volley-cli-test-obs-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut buffer = Vec::new();
+        let result = run(
+            Command::Obs(ObsArgs {
+                dir: dir.to_string_lossy().to_string(),
+                prom: false,
+            }),
+            &mut buffer,
+        );
+        assert!(matches!(result, Err(CliError::Input(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_self_monitor_samples_every_tick_when_eager() {
+        let mut args = run_args();
+        args.self_monitor_us = Some(60_000_000.0); // absurd threshold: no alerts
+        let text = run_to_string(Command::Run(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["self_monitor_samples"], 100);
+        assert_eq!(parsed["self_monitor_alerts"], 0);
     }
 
     #[test]

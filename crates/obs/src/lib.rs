@@ -1,0 +1,210 @@
+//! `volley-obs`: self-monitoring observability for the Volley
+//! reproduction.
+//!
+//! The paper's whole argument is a cost/accuracy trade-off, so the
+//! runtime that reproduces it must be able to *watch itself* while it
+//! runs. This crate provides the measurement substrate:
+//!
+//! - **[`Registry`]** — a sharded, lock-free-on-the-hot-path metrics
+//!   registry: [`Counter`]s, [`Gauge`]s, and log-bucketed latency
+//!   [`Histogram`]s (p50/p90/p99/max). A disabled registry costs one
+//!   relaxed atomic load per operation — no clock read, no allocation.
+//! - **[`SpanLog`]** — lightweight span tracing: scoped timers and
+//!   structured events with monotonic timestamps in a bounded ring,
+//!   exportable as a Chrome `traceEvents` JSON document.
+//! - **Exposition** — [`Snapshot`] (JSON, schema-versioned) and
+//!   Prometheus-text encoders, plus [`SnapshotWriter`] for the
+//!   `--obs-dir` periodic dumps and [`parse_prometheus`] for reading
+//!   them back.
+//! - **Volley watching Volley** — [`SelfMonitor`] adapts registry
+//!   series into [`MetricSource`]s so a `volley-core` monitoring task
+//!   (violation-likelihood adaptive sampling included) watches the
+//!   runtime's own tick latency, degraded-mode fraction, and sampling
+//!   rate, closing the loop the paper motivates.
+//!
+//! The [`Obs`] bundle ties a registry and span log to one shared
+//! enabled flag so the embedding runtime can flip everything on or off
+//! with a single store.
+//!
+//! ```
+//! use volley_obs::{names, Obs};
+//!
+//! let obs = Obs::new(true);
+//! let ticks = obs.registry().counter(names::RUNNER_TICKS_TOTAL);
+//! {
+//!     let _span = obs.spans().span("coordinator_tick");
+//!     ticks.inc();
+//! }
+//! let snapshot = obs.snapshot(1);
+//! assert_eq!(snapshot.counters[names::RUNNER_TICKS_TOTAL], 1);
+//! assert!(snapshot.to_prometheus().contains(names::RUNNER_TICKS_TOTAL));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expose;
+pub mod registry;
+pub mod selfmon;
+pub mod span;
+
+pub use expose::{
+    latest_snapshot, parse_prometheus, sanitize_metric_name, HistogramSnapshot, PromSample,
+    Snapshot, SnapshotWriter, SNAPSHOT_SCHEMA_VERSION,
+};
+pub use registry::{
+    bucket_index, bucket_upper_bound, thread_ordinal, Counter, Gauge, Histogram, HistogramTimer,
+    Registry, BUCKETS, SHARDS,
+};
+pub use selfmon::{
+    CounterRateSource, GaugeSource, HistogramQuantileSource, MetricSource, SelfMonitor,
+};
+pub use span::{SpanEvent, SpanGuard, SpanLog, DEFAULT_SPAN_CAPACITY};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Canonical metric and span names used across the workspace. Keeping
+/// them here means the runtime, CLI, bench, and self-monitor agree on
+/// spelling without string literals scattered through five crates.
+pub mod names {
+    /// Counter: runner ticks driven to completion.
+    pub const RUNNER_TICKS_TOTAL: &str = "volley_runner_ticks_total";
+    /// Histogram (ns): wall time of one full runner tick.
+    pub const RUNNER_TICK_LATENCY_NS: &str = "volley_runner_tick_latency_ns";
+    /// Gauge (µs): latency of the most recent runner tick — the series
+    /// the self-monitor watches for stalls.
+    pub const RUNNER_TICK_LATENCY_US: &str = "volley_runner_tick_latency_us";
+    /// Counter: ticks aggregated in degraded mode.
+    pub const RUNNER_DEGRADED_TICKS_TOTAL: &str = "volley_runner_degraded_ticks_total";
+    /// Gauge: fraction of ticks so far that were degraded.
+    pub const RUNNER_DEGRADED_FRACTION: &str = "volley_runner_degraded_fraction";
+    /// Counter: state alerts raised by the monitored task.
+    pub const RUNNER_ALERTS_TOTAL: &str = "volley_runner_alerts_total";
+    /// Counter: monitor samples actually taken.
+    pub const RUNNER_SAMPLES_TOTAL: &str = "volley_runner_samples_total";
+    /// Gauge: samples per monitor per tick (the paper's sampling cost).
+    pub const RUNNER_SAMPLING_FRACTION: &str = "volley_runner_sampling_fraction";
+    /// Counter: coordinator failovers completed.
+    pub const RUNNER_FAILOVERS_TOTAL: &str = "volley_runner_failovers_total";
+    /// Histogram (ns): coordinator tick processing time.
+    pub const COORDINATOR_TICK_NS: &str = "volley_coordinator_tick_ns";
+    /// Counter: global polls triggered.
+    pub const COORDINATOR_POLLS_TOTAL: &str = "volley_coordinator_polls_total";
+    /// Histogram (ns): WAL append latency.
+    pub const WAL_APPEND_NS: &str = "volley_wal_append_ns";
+    /// Histogram (ns): checkpoint write latency.
+    pub const CHECKPOINT_WRITE_NS: &str = "volley_checkpoint_write_ns";
+    /// Histogram (ns): monitor sample + likelihood evaluation time.
+    pub const MONITOR_SAMPLE_NS: &str = "volley_monitor_sample_ns";
+    /// Counter: samples taken across monitor actors.
+    pub const MONITOR_SAMPLES_TOTAL: &str = "volley_monitor_samples_total";
+    /// Counter: frames sent monitor → coordinator.
+    pub const TRANSPORT_SENDS_TOTAL: &str = "volley_transport_sends_total";
+    /// Counter: frames received by the coordinator.
+    pub const TRANSPORT_RECVS_TOTAL: &str = "volley_transport_recvs_total";
+    /// Counter: simulated sampling operations (Fig. 6 cost path).
+    pub const SIM_SAMPLING_OPS_TOTAL: &str = "volley_sim_sampling_ops_total";
+}
+
+/// A registry and span log sharing one enabled flag: the single handle
+/// the runtime threads through coordinator, monitors, and CLI.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    enabled: Arc<AtomicBool>,
+    registry: Registry,
+    spans: SpanLog,
+}
+
+impl Obs {
+    /// Creates a bundle, enabled or not, with the default span capacity.
+    pub fn new(enabled: bool) -> Self {
+        Obs::with_span_capacity(enabled, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Creates a bundle with an explicit span ring capacity.
+    pub fn with_span_capacity(enabled: bool, capacity: usize) -> Self {
+        let flag = Arc::new(AtomicBool::new(enabled));
+        Obs {
+            registry: Registry::with_flag(Arc::clone(&flag)),
+            spans: SpanLog::with_flag(Arc::clone(&flag), capacity),
+            enabled: flag,
+        }
+    }
+
+    /// A disabled bundle: every instrument is one relaxed load.
+    pub fn disabled() -> Self {
+        Obs::new(false)
+    }
+
+    /// Whether instruments currently record.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips recording on or off for the registry *and* span log.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span log.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Shorthand for `self.spans().span(name)`.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.spans.span(name)
+    }
+
+    /// Shorthand for `self.registry().snapshot(tick)`.
+    pub fn snapshot(&self, tick: u64) -> Snapshot {
+        self.registry.snapshot(tick)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_shares_one_flag() {
+        let obs = Obs::new(false);
+        let counter = obs.registry().counter("c");
+        counter.inc();
+        {
+            let _span = obs.span("s");
+        }
+        assert_eq!(counter.value(), 0);
+        assert!(obs.spans().events().is_empty());
+
+        obs.set_enabled(true);
+        counter.inc();
+        {
+            let _span = obs.span("s");
+        }
+        assert_eq!(counter.value(), 1);
+        assert_eq!(obs.spans().events().len(), 1);
+        assert!(obs.enabled());
+    }
+
+    #[test]
+    fn snapshot_shorthand_matches_registry() {
+        let obs = Obs::new(true);
+        obs.registry().counter(names::RUNNER_TICKS_TOTAL).add(3);
+        let snapshot = obs.snapshot(7);
+        assert_eq!(snapshot.tick, 7);
+        assert_eq!(snapshot.counters[names::RUNNER_TICKS_TOTAL], 3);
+    }
+}

@@ -1,0 +1,387 @@
+//! Volley watching Volley: adapts obs registry series into metric
+//! sources so a Volley monitoring task — violation-likelihood adaptive
+//! sampling and all — watches the Volley runtime itself.
+//!
+//! A [`MetricSource`] extracts one scalar per tick from a [`Snapshot`]
+//! (gauge value, counter rate, histogram quantile). [`SelfMonitor`]
+//! registers each source as a task in a core
+//! [`MonitoringService`], so the same adaptive-sampler machinery that
+//! monitors the simulated datacenter decides how often to *look at the
+//! runtime's own health* and raises [`Alert`]s when a series (e.g.
+//! coordinator tick latency) crosses its threshold.
+
+use std::fmt;
+
+use volley_core::adaptation::AdaptationConfig;
+use volley_core::error::VolleyError;
+use volley_core::service::{Alert, MonitoringService, TaskKind};
+use volley_core::task::TaskId;
+use volley_core::time::Tick;
+
+use crate::expose::Snapshot;
+
+/// Extracts one scalar per tick from a registry snapshot.
+pub trait MetricSource: Send {
+    /// The metric name this source reads (for display and debugging).
+    fn metric(&self) -> &str;
+    /// The value at this snapshot, or `None` when the series has no data
+    /// yet (the task simply skips that tick).
+    fn sample(&mut self, snapshot: &Snapshot) -> Option<f64>;
+}
+
+/// Reads a gauge's current value.
+pub struct GaugeSource {
+    name: String,
+}
+
+impl GaugeSource {
+    /// Watches gauge `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        GaugeSource { name: name.into() }
+    }
+}
+
+impl MetricSource for GaugeSource {
+    fn metric(&self) -> &str {
+        &self.name
+    }
+
+    fn sample(&mut self, snapshot: &Snapshot) -> Option<f64> {
+        snapshot.gauges.get(self.name.as_str()).copied()
+    }
+}
+
+/// Reads a counter as a per-sample delta (rate over the sampling
+/// interval, which under adaptive sampling is itself variable — the
+/// paper's accuracy/cost trade-off applied to the monitor's own meters).
+pub struct CounterRateSource {
+    name: String,
+    last: Option<u64>,
+}
+
+impl CounterRateSource {
+    /// Watches counter `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CounterRateSource {
+            name: name.into(),
+            last: None,
+        }
+    }
+}
+
+impl MetricSource for CounterRateSource {
+    fn metric(&self) -> &str {
+        &self.name
+    }
+
+    fn sample(&mut self, snapshot: &Snapshot) -> Option<f64> {
+        let current = snapshot.counters.get(self.name.as_str()).copied()?;
+        let delta = self.last.map(|last| current.saturating_sub(last) as f64);
+        self.last = Some(current);
+        delta
+    }
+}
+
+/// Reads a histogram quantile (e.g. p99 coordinator tick latency).
+pub struct HistogramQuantileSource {
+    name: String,
+    quantile: f64,
+}
+
+impl HistogramQuantileSource {
+    /// Watches `quantile` (in `[0, 1]`) of histogram `name`.
+    pub fn new(name: impl Into<String>, quantile: f64) -> Self {
+        HistogramQuantileSource {
+            name: name.into(),
+            quantile,
+        }
+    }
+}
+
+impl MetricSource for HistogramQuantileSource {
+    fn metric(&self) -> &str {
+        &self.name
+    }
+
+    fn sample(&mut self, snapshot: &Snapshot) -> Option<f64> {
+        let histogram = snapshot.histograms.get(self.name.as_str())?;
+        if histogram.is_empty() {
+            return None;
+        }
+        Some(histogram.quantile(self.quantile) as f64)
+    }
+}
+
+struct Watch {
+    id: TaskId,
+    source: Box<dyn MetricSource>,
+}
+
+/// A Volley monitoring service whose tasks watch the runtime's own
+/// metrics. Each watched series gets adaptive sampling (violation
+/// likelihood decides how often the self-monitor even reads the
+/// snapshot) and threshold alerting from `volley-core`.
+pub struct SelfMonitor {
+    service: MonitoringService,
+    watches: Vec<Watch>,
+    alerts: Vec<Alert>,
+    samples: u64,
+}
+
+impl SelfMonitor {
+    /// An empty self-monitor.
+    pub fn new() -> Self {
+        SelfMonitor {
+            service: MonitoringService::new(),
+            watches: Vec::new(),
+            alerts: Vec::new(),
+            samples: 0,
+        }
+    }
+
+    /// Registers a watch: `source` feeds a task with `config` adaptation
+    /// and `kind` alert semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MonitoringService::register`] failures (duplicate id,
+    /// invalid kind parameters).
+    pub fn watch(
+        &mut self,
+        id: TaskId,
+        config: AdaptationConfig,
+        kind: TaskKind,
+        source: Box<dyn MetricSource>,
+    ) -> Result<(), VolleyError> {
+        self.service.register(id, config, kind)?;
+        self.watches.push(Watch { id, source });
+        Ok(())
+    }
+
+    /// Number of registered watches.
+    pub fn watch_count(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Whether any watch is due at `tick` — lets the embedder skip
+    /// building a snapshot at all on ticks the adaptive samplers sleep
+    /// through.
+    pub fn any_due(&self, tick: Tick) -> bool {
+        !self.service.due(tick).is_empty()
+    }
+
+    /// Feeds one snapshot through every *due* task (the adaptive sampler
+    /// decides which are due). Returns alerts raised this tick.
+    pub fn tick(&mut self, tick: Tick, snapshot: &Snapshot) -> Vec<Alert> {
+        let due = self.service.due(tick);
+        let mut raised = Vec::new();
+        for watch in &mut self.watches {
+            if !due.contains(&watch.id) {
+                continue;
+            }
+            let Some(value) = watch.source.sample(snapshot) else {
+                continue;
+            };
+            self.samples += 1;
+            if let Ok(Some(alert)) = self.service.observe(watch.id, tick, value) {
+                raised.push(alert);
+            }
+        }
+        self.alerts.extend(raised.iter().cloned());
+        raised
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Snapshot reads actually performed (post adaptive skipping).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The underlying service's sampling cost ratio (performed versus
+    /// sampling every task every tick).
+    pub fn cost_ratio(&self) -> f64 {
+        self.service.cost_ratio()
+    }
+}
+
+impl Default for SelfMonitor {
+    fn default() -> Self {
+        SelfMonitor::new()
+    }
+}
+
+impl fmt::Debug for SelfMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SelfMonitor")
+            .field("watches", &self.watches.len())
+            .field("alerts", &self.alerts.len())
+            .field("samples", &self.samples)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn eager_config() -> AdaptationConfig {
+        // Zero error allowance: the sampler never stretches the
+        // interval, so every tick is due — deterministic for tests.
+        AdaptationConfig::builder()
+            .error_allowance(0.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn gauge_watch_alerts_when_threshold_crossed() {
+        let registry = Registry::new(true);
+        let gauge = registry.gauge("volley_runner_tick_latency_us");
+        let mut monitor = SelfMonitor::new();
+        monitor
+            .watch(
+                TaskId(1),
+                eager_config(),
+                TaskKind::Above { threshold: 100.0 },
+                Box::new(GaugeSource::new("volley_runner_tick_latency_us")),
+            )
+            .unwrap();
+
+        gauge.set(10.0);
+        assert!(monitor.tick(0, &registry.snapshot(0)).is_empty());
+        gauge.set(500.0);
+        let alerts = monitor.tick(1, &registry.snapshot(1));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].task, TaskId(1));
+        assert_eq!(alerts[0].tick, 1);
+        assert_eq!(monitor.alerts().len(), 1);
+    }
+
+    #[test]
+    fn counter_rate_needs_two_observations_and_reports_delta() {
+        let registry = Registry::new(true);
+        let counter = registry.counter("volley_runner_degraded_ticks_total");
+        let mut monitor = SelfMonitor::new();
+        monitor
+            .watch(
+                TaskId(2),
+                eager_config(),
+                TaskKind::Above { threshold: 2.5 },
+                Box::new(CounterRateSource::new("volley_runner_degraded_ticks_total")),
+            )
+            .unwrap();
+
+        counter.add(1);
+        // First read only primes the rate — no sample, no alert.
+        assert!(monitor.tick(0, &registry.snapshot(0)).is_empty());
+        assert_eq!(monitor.samples(), 0);
+        counter.add(5); // delta 5 > 2.5
+        let alerts = monitor.tick(1, &registry.snapshot(1));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].value, 5.0);
+    }
+
+    #[test]
+    fn histogram_quantile_watch_sees_the_tail() {
+        let registry = Registry::new(true);
+        let histogram = registry.histogram("volley_coordinator_tick_ns");
+        let mut monitor = SelfMonitor::new();
+        monitor
+            .watch(
+                TaskId(3),
+                eager_config(),
+                TaskKind::Above {
+                    threshold: 1_000_000.0,
+                },
+                Box::new(HistogramQuantileSource::new(
+                    "volley_coordinator_tick_ns",
+                    0.99,
+                )),
+            )
+            .unwrap();
+
+        // Empty histogram: the source abstains.
+        assert!(monitor.tick(0, &registry.snapshot(0)).is_empty());
+        assert_eq!(monitor.samples(), 0);
+        for _ in 0..98 {
+            histogram.record(10_000);
+        }
+        // Two 50ms outliers put the 99th-ranked value in the slow bucket.
+        histogram.record(50_000_000);
+        histogram.record(50_000_000);
+        let alerts = monitor.tick(1, &registry.snapshot(1));
+        assert_eq!(alerts.len(), 1, "p99 should see the outliers");
+    }
+
+    #[test]
+    fn missing_series_is_skipped_without_error() {
+        let registry = Registry::new(true);
+        let mut monitor = SelfMonitor::new();
+        monitor
+            .watch(
+                TaskId(4),
+                eager_config(),
+                TaskKind::Above { threshold: 1.0 },
+                Box::new(GaugeSource::new("never_registered")),
+            )
+            .unwrap();
+        assert!(monitor.tick(0, &registry.snapshot(0)).is_empty());
+        assert_eq!(monitor.samples(), 0);
+    }
+
+    #[test]
+    fn duplicate_watch_id_rejected() {
+        let mut monitor = SelfMonitor::new();
+        monitor
+            .watch(
+                TaskId(1),
+                eager_config(),
+                TaskKind::Above { threshold: 1.0 },
+                Box::new(GaugeSource::new("a")),
+            )
+            .unwrap();
+        assert!(monitor
+            .watch(
+                TaskId(1),
+                eager_config(),
+                TaskKind::Above { threshold: 2.0 },
+                Box::new(GaugeSource::new("b")),
+            )
+            .is_err());
+        assert_eq!(monitor.watch_count(), 1);
+    }
+
+    #[test]
+    fn adaptive_sampling_skips_quiet_series() {
+        // With the default error allowance and a value far below the
+        // threshold, the sampler stretches the interval and skips ticks —
+        // the self-monitor is itself cheap to run.
+        let registry = Registry::new(true);
+        let gauge = registry.gauge("quiet");
+        gauge.set(1.0);
+        let mut monitor = SelfMonitor::new();
+        monitor
+            .watch(
+                TaskId(5),
+                AdaptationConfig::default(),
+                TaskKind::Above {
+                    threshold: 1_000_000.0,
+                },
+                Box::new(GaugeSource::new("quiet")),
+            )
+            .unwrap();
+        for t in 0..200u64 {
+            monitor.tick(t, &registry.snapshot(t));
+        }
+        assert!(
+            monitor.samples() < 200,
+            "expected adaptive skipping, sampled every tick"
+        );
+        assert!(monitor.cost_ratio() < 1.0);
+    }
+}

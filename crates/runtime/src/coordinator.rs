@@ -51,6 +51,7 @@ use volley_core::allocation::ErrorAllocator;
 use volley_core::snapshot::SamplerSnapshot;
 use volley_core::task::MonitorId;
 use volley_core::time::Tick;
+use volley_obs::{names, Counter, Histogram, Obs, SpanLog};
 
 use crate::checkpoint::{CoordinatorSnapshot, TickOutcome, Wal, WalRecord};
 use crate::failure::{FailureInjector, FaultPath, FaultPlan};
@@ -99,6 +100,19 @@ pub struct CoordinatorActor {
     /// Last tick closed by a previous incarnation (failover resume).
     resume_last_tick: Option<Tick>,
     checkpoint: Option<Checkpointer>,
+    /// Observability handles (absent = zero instrumentation cost).
+    obs: Option<CoordinatorObsHandles>,
+}
+
+/// Pre-resolved obs instruments for the coordinator's hot paths.
+#[derive(Debug)]
+struct CoordinatorObsHandles {
+    spans: SpanLog,
+    tick_hist: Histogram,
+    wal_hist: Histogram,
+    checkpoint_hist: Histogram,
+    polls: Counter,
+    recvs: Counter,
 }
 
 /// Mutable per-run liveness bookkeeping.
@@ -212,6 +226,7 @@ impl CoordinatorActor {
             epoch: 0,
             resume_last_tick: None,
             checkpoint: None,
+            obs: None,
         }
     }
 
@@ -220,6 +235,25 @@ impl CoordinatorActor {
     #[must_use]
     pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches observability: spans + latency histograms for the tick
+    /// round ([`names::COORDINATOR_TICK_NS`]), WAL appends
+    /// ([`names::WAL_APPEND_NS`]) and checkpoint writes
+    /// ([`names::CHECKPOINT_WRITE_NS`]), plus counters for global polls
+    /// and received transport frames. Handles are resolved once so the
+    /// tick loop never touches the registry mutex.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = Some(CoordinatorObsHandles {
+            spans: obs.spans().clone(),
+            tick_hist: obs.registry().histogram(names::COORDINATOR_TICK_NS),
+            wal_hist: obs.registry().histogram(names::WAL_APPEND_NS),
+            checkpoint_hist: obs.registry().histogram(names::CHECKPOINT_WRITE_NS),
+            polls: obs.registry().counter(names::COORDINATOR_POLLS_TOTAL),
+            recvs: obs.registry().counter(names::TRANSPORT_RECVS_TOTAL),
+        });
         self
     }
 
@@ -307,7 +341,12 @@ impl CoordinatorActor {
             return Ok(None);
         }
         match from_monitors.recv_timeout(remaining) {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => {
+                if let Some(handles) = &self.obs {
+                    handles.recvs.inc();
+                }
+                Ok(Some(frame))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(()),
         }
@@ -386,6 +425,13 @@ impl CoordinatorActor {
     ) -> Result<bool, ()> {
         let n = self.monitors();
         live.stale_epoch = 0;
+        // One span + histogram pair covers the whole round — collection
+        // wait included, which is what makes a stalled monitor visible as
+        // coordinator tick latency.
+        let _tick_span = self
+            .obs
+            .as_ref()
+            .map(|h| h.spans.span_timed("coordinator_tick", &h.tick_hist));
 
         // Phase 1: collect TickDone from every awaited monitor — active
         // ones plus quarantined ones showing signs of life, minus any the
@@ -528,6 +574,9 @@ impl CoordinatorActor {
         let mut degraded = false;
         if violations > 0 {
             polled = true;
+            if let Some(handles) = &self.obs {
+                handles.polls.inc();
+            }
             // Wait only for monitors that can answer in time: active,
             // reachable, poll deliverable, reply neither dropped nor
             // delayed by the plan (drop/delay decisions are pure functions
@@ -648,7 +697,13 @@ impl CoordinatorActor {
         let due = match self.checkpoint.as_mut() {
             None => return,
             Some(cp) => {
-                let _ = cp.wal.append(&WalRecord::Tick(outcome));
+                {
+                    let _timed = self
+                        .obs
+                        .as_ref()
+                        .map(|h| h.spans.span_timed("wal_append", &h.wal_hist));
+                    let _ = cp.wal.append(&WalRecord::Tick(outcome));
+                }
                 let due = outcome.tick >= cp.next;
                 if due {
                     cp.next = outcome.tick + cp.every;
@@ -659,6 +714,12 @@ impl CoordinatorActor {
         if !due {
             return;
         }
+        // The checkpoint span covers the full durability round: gathering
+        // sampler snapshots from the fleet plus the WAL write.
+        let _timed = self
+            .obs
+            .as_ref()
+            .map(|h| h.spans.span_timed("checkpoint_write", &h.checkpoint_hist));
         let samplers = self.gather_snapshots(live, from_monitors, to_monitors, outcome.tick);
         let snapshot = CoordinatorSnapshot {
             epoch: self.epoch,

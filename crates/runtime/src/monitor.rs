@@ -5,6 +5,7 @@ use crossbeam::channel::Receiver;
 
 use volley_core::task::MonitorId;
 use volley_core::AdaptiveSampler;
+use volley_obs::{names, Counter, Histogram, Obs, SpanLog};
 
 use crate::failure::FaultPlan;
 use crate::link::MonitorLink;
@@ -56,6 +57,29 @@ pub struct MonitorActor {
     epoch: u64,
     /// Frames rejected for carrying an epoch older than ours.
     stale_rejections: u64,
+    /// Observability handles (absent = zero instrumentation cost).
+    obs: Option<MonitorObsHandles>,
+}
+
+/// Pre-resolved obs instruments, so the hot path never takes the
+/// registry mutex.
+#[derive(Debug)]
+struct MonitorObsHandles {
+    spans: SpanLog,
+    sample_hist: Histogram,
+    samples: Counter,
+    sends: Counter,
+}
+
+/// Sends `frame`, counting successful transport sends when obs is on.
+fn send_counted(outbox: &MonitorLink, obs: &Option<MonitorObsHandles>, frame: Bytes) -> bool {
+    let ok = outbox.send(frame);
+    if ok {
+        if let Some(handles) = obs {
+            handles.sends.inc();
+        }
+    }
+    ok
 }
 
 impl MonitorActor {
@@ -70,6 +94,7 @@ impl MonitorActor {
             faults: FaultPlan::default(),
             epoch: 0,
             stale_rejections: 0,
+            obs: None,
         }
     }
 
@@ -77,6 +102,23 @@ impl MonitorActor {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches observability: the sample/likelihood-evaluation path gets
+    /// a span + latency histogram ([`names::MONITOR_SAMPLE_NS`]) and
+    /// counters for samples and transport sends. Instrument handles are
+    /// resolved once here so the hot path never touches the registry
+    /// mutex; when the bundle is disabled each instrument costs one
+    /// relaxed atomic load.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = Some(MonitorObsHandles {
+            spans: obs.spans().clone(),
+            sample_hist: obs.registry().histogram(names::MONITOR_SAMPLE_NS),
+            samples: obs.registry().counter(names::MONITOR_SAMPLES_TOTAL),
+            sends: obs.registry().counter(names::TRANSPORT_SENDS_TOTAL),
+        });
         self
     }
 
@@ -121,7 +163,18 @@ impl MonitorActor {
                 let mut violation = false;
                 let mut sampled = false;
                 if data.tick >= self.next_sample_tick {
-                    let obs = self.sampler.observe(data.tick, data.value);
+                    // The sample + violation-likelihood evaluation is the
+                    // monitor's hot path: one span/timer pair covers both.
+                    let obs = {
+                        let _timed = self
+                            .obs
+                            .as_ref()
+                            .map(|h| h.spans.span_timed("monitor_sample", &h.sample_hist));
+                        self.sampler.observe(data.tick, data.value)
+                    };
+                    if let Some(handles) = &self.obs {
+                        handles.samples.inc();
+                    }
                     self.next_sample_tick = obs.next_sample_tick;
                     violation = obs.violation;
                     sampled = true;
@@ -287,19 +340,21 @@ impl MonitorActor {
                     // Hold this reply; anything already held goes out now,
                     // behind schedule.
                     if let Some(old) = held.replace(frame) {
-                        if !outbox.send(old) {
+                        if !send_counted(&outbox, &self.obs, old) {
                             return;
                         }
                     }
                 } else {
-                    if !outbox.send(frame.clone()) {
+                    if !send_counted(&outbox, &self.obs, frame.clone()) {
                         return; // coordinator gone
                     }
-                    if self.faults.duplicates(self.id, last_tick) && !outbox.send(frame) {
+                    if self.faults.duplicates(self.id, last_tick)
+                        && !send_counted(&outbox, &self.obs, frame)
+                    {
                         return;
                     }
                     if let Some(old) = held.take() {
-                        if !outbox.send(old) {
+                        if !send_counted(&outbox, &self.obs, old) {
                             return;
                         }
                     }
@@ -312,7 +367,7 @@ impl MonitorActor {
         // Flush any still-held reply; the coordinator will discard it as
         // stale, but a real delayed packet would arrive too.
         if let Some(old) = held {
-            outbox.send(old);
+            send_counted(&outbox, &self.obs, old);
         }
     }
 }

@@ -3,16 +3,18 @@
 //! coordinator when the primary dies.
 
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use volley_core::allocation::{AllocationConfig, ErrorAllocator};
 use volley_core::coordinator::CoordinationScheme;
-use volley_core::task::{MonitorId, TaskSpec};
+use volley_core::service::TaskKind;
+use volley_core::task::{MonitorId, TaskId, TaskSpec};
 use volley_core::time::Tick;
-use volley_core::{AdaptiveSampler, VolleyError};
+use volley_core::{AdaptationConfig, AdaptiveSampler, VolleyError};
+use volley_obs::{names, GaugeSource, Obs, SelfMonitor, SnapshotWriter};
 
 use crate::checkpoint::Wal;
 use crate::coordinator::{CoordinatorActor, DEFAULT_QUARANTINE_AFTER, DEFAULT_TICK_DEADLINE};
@@ -72,6 +74,13 @@ pub struct RuntimeReport {
     /// Monitors restarted conservatively at the default interval at
     /// failover (no checkpointed state available for them).
     pub conservative_restarts: u64,
+    /// Snapshot reads performed by the self-monitoring Volley task.
+    pub self_monitor_samples: u64,
+    /// Alerts the self-monitoring task raised on the runtime's own
+    /// metrics (e.g. tick latency past its threshold).
+    pub self_monitor_alerts: u64,
+    /// Ticks at which self-monitoring alerts were raised.
+    pub self_monitor_alert_ticks: Vec<Tick>,
 }
 
 impl RuntimeReport {
@@ -105,6 +114,13 @@ pub struct TaskRunner {
     standby: bool,
     /// Checkpoint WAL path and snapshot cadence (ticks).
     wal: Option<(PathBuf, u64)>,
+    /// Observability bundle shared by runner, coordinator and monitors.
+    obs: Obs,
+    /// Snapshot dump directory and cadence (ticks).
+    obs_dir: Option<(PathBuf, u64)>,
+    /// Self-monitor watchdog: (tick-latency threshold in µs, error
+    /// allowance for its adaptive sampler).
+    self_monitor: Option<(f64, f64)>,
 }
 
 impl TaskRunner {
@@ -131,7 +147,42 @@ impl TaskRunner {
             supervise: true,
             standby: false,
             wal: None,
+            obs: Obs::disabled(),
+            obs_dir: None,
+            self_monitor: None,
         })
+    }
+
+    /// Shares an observability bundle with the run: the runner, the
+    /// coordinator and every monitor record into it. A disabled bundle
+    /// (the default) costs one relaxed atomic load per instrument.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Dumps periodic [`volley_obs::Snapshot`]s (JSON + Prometheus text)
+    /// into `dir` every `every` ticks, plus a final snapshot and the span
+    /// trace (`spans.json`) at teardown. Implies nothing about the
+    /// bundle's enabled flag — pair with an enabled [`Obs`].
+    #[must_use]
+    pub fn with_obs_dir(mut self, dir: impl Into<PathBuf>, every: u64) -> Self {
+        self.obs_dir = Some((dir.into(), every.max(1)));
+        self
+    }
+
+    /// Arms the *Volley-watching-Volley* watchdog: a Volley monitoring
+    /// task (adaptive sampling included) watches the runtime's own
+    /// [`names::RUNNER_TICK_LATENCY_US`] gauge and raises a self-monitor
+    /// alert whenever a tick takes longer than `threshold_us`
+    /// microseconds. `err` is the error allowance of the watchdog's own
+    /// adaptive sampler — 0.0 checks every tick, larger values let the
+    /// watchdog itself skip quiet ticks. Requires an enabled [`Obs`].
+    #[must_use]
+    pub fn with_self_monitor(mut self, threshold_us: f64, err: f64) -> Self {
+        self.self_monitor = Some((threshold_us, err));
+        self
     }
 
     /// Selects the allowance-allocation scheme (default adaptive).
@@ -245,6 +296,12 @@ impl TaskRunner {
         }
         let ticks = traces.iter().map(|t| t.len()).min().unwrap_or(0) as u64;
 
+        // Asking for snapshot dumps or a watchdog implies instrumenting:
+        // both read the registry, which is empty while obs is disabled.
+        if self.obs_dir.is_some() || self.self_monitor.is_some() {
+            self.obs.set_enabled(true);
+        }
+
         // Wiring: runner/coordinator → monitor inbox links; monitors → a
         // shared, *swappable* outbox link into the coordinator (failover
         // repoints it at the standby's fresh channel, so frames addressed
@@ -262,7 +319,9 @@ impl TaskRunner {
             links.push(MonitorLink::new(tx));
             let mut sampler = AdaptiveSampler::new(*self.spec.adaptation(), m.local_threshold);
             sampler.set_error_allowance(global_err / n as f64);
-            let actor = MonitorActor::new(m.id, sampler).with_faults(self.fault_plan.clone());
+            let actor = MonitorActor::new(m.id, sampler)
+                .with_faults(self.fault_plan.clone())
+                .with_obs(&self.obs);
             let outbox = out_link.clone();
             monitor_handles.push(std::thread::spawn(move || actor.run(rx, outbox)));
         }
@@ -280,12 +339,54 @@ impl TaskRunner {
             summary_tx,
         )?;
 
+        // Observability: pre-resolve the runner's instruments (no registry
+        // mutex on the tick path), arm the snapshot writer and the
+        // self-monitoring watchdog.
+        let registry = self.obs.registry();
+        let ticks_total = registry.counter(names::RUNNER_TICKS_TOTAL);
+        let tick_hist = registry.histogram(names::RUNNER_TICK_LATENCY_NS);
+        let tick_gauge = registry.gauge(names::RUNNER_TICK_LATENCY_US);
+        let degraded_total = registry.counter(names::RUNNER_DEGRADED_TICKS_TOTAL);
+        let alerts_total = registry.counter(names::RUNNER_ALERTS_TOTAL);
+        let samples_total = registry.counter(names::RUNNER_SAMPLES_TOTAL);
+        let failovers_total = registry.counter(names::RUNNER_FAILOVERS_TOTAL);
+        let sampling_fraction = registry.gauge(names::RUNNER_SAMPLING_FRACTION);
+        let degraded_fraction = registry.gauge(names::RUNNER_DEGRADED_FRACTION);
+        let mut writer =
+            match &self.obs_dir {
+                Some((dir, every)) => Some(SnapshotWriter::new(dir, *every).map_err(|e| {
+                    VolleyError::InvalidConfig {
+                        parameter: "obs_dir",
+                        reason: format!("cannot create snapshot dir: {e}"),
+                    }
+                })?),
+                None => None,
+            };
+        let mut watchdog = match self.self_monitor {
+            Some((threshold_us, err)) => {
+                let config = AdaptationConfig::builder().error_allowance(err).build()?;
+                let mut monitor = SelfMonitor::new();
+                monitor.watch(
+                    TaskId(0),
+                    config,
+                    TaskKind::Above {
+                        threshold: threshold_us,
+                    },
+                    Box::new(GaugeSource::new(names::RUNNER_TICK_LATENCY_US)),
+                )?;
+                Some(monitor)
+            }
+            None => None,
+        };
+        let mut degraded_ticks = 0u64;
+
         // Drive ticks in lock-step. A failed send means that monitor is
         // gone; the coordinator notices via its deadline, so the run keeps
         // going instead of panicking.
         let mut report = RuntimeReport::default();
         let mut failovers_left = MAX_FAILOVERS;
         for tick in 0..ticks {
+            let tick_started = self.obs.enabled().then(Instant::now);
             let summary = 'attempt: loop {
                 for (i, link) in links.iter().enumerate() {
                     let data = TickData {
@@ -306,6 +407,7 @@ impl TaskRunner {
                         }
                         failovers_left -= 1;
                         report.coordinator_failovers += 1;
+                        failovers_total.inc();
                         epoch += 1;
                         coord_handle
                             .join()
@@ -371,8 +473,50 @@ impl TaskRunner {
                     report.degraded_alerts += 1;
                 }
             }
+            if summary.degraded {
+                degraded_ticks += 1;
+            }
+
+            // Per-tick observability: record end-to-end tick latency, bump
+            // the runner counters, refresh derived gauges, then let the
+            // watchdog read the fresh snapshot and dump on cadence.
+            if let Some(started) = tick_started {
+                let elapsed = started.elapsed();
+                tick_hist.record(elapsed.as_nanos() as u64);
+                tick_gauge.set(elapsed.as_micros() as f64);
+                self.obs.spans().record("runner_tick", started);
+                ticks_total.inc();
+                samples_total
+                    .add(u64::from(summary.scheduled_samples) + u64::from(summary.poll_samples));
+                if summary.degraded {
+                    degraded_total.inc();
+                }
+                if summary.alerted {
+                    alerts_total.inc();
+                }
+                let done = report.ticks as f64;
+                sampling_fraction.set(
+                    (report.scheduled_samples + report.poll_samples) as f64 / (done * n as f64),
+                );
+                degraded_fraction.set(degraded_ticks as f64 / done);
+            }
+            if let Some(monitor) = watchdog.as_mut() {
+                if monitor.any_due(tick) {
+                    let snapshot = self.obs.snapshot(tick);
+                    for alert in monitor.tick(tick, &snapshot) {
+                        report.self_monitor_alerts += 1;
+                        report.self_monitor_alert_ticks.push(alert.tick);
+                    }
+                }
+            }
+            if let Some(writer) = writer.as_mut() {
+                let _ = writer.maybe_write(registry, tick);
+            }
         }
         report.total_samples = report.scheduled_samples + report.poll_samples;
+        if let Some(monitor) = &watchdog {
+            report.self_monitor_samples = monitor.samples();
+        }
 
         // Teardown: stop monitors (crashed ones fail the send, which is
         // fine), join them, then cut the monitor→coordinator channel so
@@ -388,6 +532,13 @@ impl TaskRunner {
         coord_handle
             .join()
             .expect("coordinator thread exits cleanly");
+
+        // Final dump after all actors have flushed their instruments;
+        // best-effort, like WAL durability.
+        if let Some(writer) = writer.as_mut() {
+            let _ = writer.write_now(registry, ticks);
+            let _ = writer.write_spans(self.obs.spans());
+        }
         Ok(report)
     }
 
@@ -432,7 +583,8 @@ impl TaskRunner {
         .with_fault_plan(plan)
         .with_tick_deadline(self.tick_deadline)
         .with_quarantine_after(self.quarantine_after)
-        .with_epoch(epoch);
+        .with_epoch(epoch)
+        .with_obs(&self.obs);
         if let Some((last_tick, next_update_tick)) = resume {
             coordinator = coordinator.with_resume(last_tick, next_update_tick);
         }
@@ -562,7 +714,8 @@ impl TaskRunner {
         sampler.set_error_allowance(global_err / n as f64);
         let actor = MonitorActor::new(m.id, sampler)
             .with_faults(self.fault_plan.without_process_faults(monitor))
-            .with_epoch(epoch);
+            .with_epoch(epoch)
+            .with_obs(&self.obs);
         let outbox = out_link.clone();
         let handle = std::thread::spawn(move || actor.run(rx, outbox));
         // Swapping the link drops the old sender: a stalled predecessor

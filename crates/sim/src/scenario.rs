@@ -15,10 +15,12 @@ use volley_traces::netflow::{AttackSpec, NetflowConfig};
 use volley_traces::timeseries::SeriesSummary;
 use volley_traces::DiurnalPattern;
 
+use volley_obs::Obs;
+
 use crate::cluster::{ClusterConfig, VmId};
 use crate::cost::Dom0CostModel;
 use crate::event::EventQueue;
-use crate::telemetry::ServerTelemetry;
+use crate::telemetry::{ObsBridge, ServerTelemetry};
 use crate::time::{SimDuration, SimTime};
 
 /// Configuration of the network-monitoring fleet scenario.
@@ -120,6 +122,7 @@ fn run_fleet(
     cost_model: Dom0CostModel,
     traces: &[Vec<f64>],
     cost_weight: Option<&[Vec<f64>]>,
+    obs: Option<&Obs>,
 ) -> ScenarioReport {
     let total_vms = cluster.total_vms() as usize;
     debug_assert_eq!(traces.len(), total_vms);
@@ -172,6 +175,12 @@ fn run_fleet(
         });
     }
     let accuracy = accuracy.expect("at least one VM");
+    if let Some(obs) = obs {
+        // One counter path: the per-server recorders already counted every
+        // sampling operation; the bridge forwards the delta to the
+        // registry instead of keeping a second tally.
+        ObsBridge::new(obs.registry()).publish(&telemetry);
+    }
     let mut cpu_values = Vec::new();
     for t in &telemetry {
         cpu_values.extend(t.utilization_values(horizon));
@@ -199,6 +208,16 @@ impl NetworkScenario {
     /// Runs the scenario to completion and reports cost, accuracy and the
     /// Dom0 CPU utilization distribution.
     pub fn run(&self) -> ScenarioReport {
+        self.run_inner(None)
+    }
+
+    /// Like [`run`](Self::run), but also publishes the fleet's sampling
+    /// operations into `obs`'s registry (`volley_sim_sampling_ops_total`).
+    pub fn run_with_obs(&self, obs: &Obs) -> ScenarioReport {
+        self.run_inner(Some(obs))
+    }
+
+    fn run_inner(&self, obs: Option<&Obs>) -> ScenarioReport {
         let cfg = &self.config;
         let total_vms = cfg.cluster.total_vms() as usize;
         let mut netflow = NetflowConfig::builder()
@@ -227,6 +246,7 @@ impl NetworkScenario {
             cfg.cost,
             &traces,
             Some(&packets),
+            obs,
         )
     }
 }
@@ -314,6 +334,7 @@ impl SystemScenario {
             cfg.selectivity_percent,
             cfg.cost,
             &traces,
+            None,
             None,
         )
     }
@@ -411,6 +432,7 @@ impl ApplicationScenario {
             cfg.cost,
             &traces,
             None,
+            None,
         )
     }
 }
@@ -500,6 +522,21 @@ mod tests {
         let a = NetworkScenario::new(small(0.01)).run();
         let b = NetworkScenario::new(small(0.01)).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn obs_counter_matches_report_sampling_ops() {
+        let obs = Obs::new(true);
+        let report = NetworkScenario::new(small(0.01)).run_with_obs(&obs);
+        let snapshot = obs.snapshot(0);
+        assert_eq!(
+            snapshot
+                .counters
+                .get(volley_obs::names::SIM_SAMPLING_OPS_TOTAL)
+                .copied(),
+            Some(report.sampling_ops),
+            "registry and Fig. 6 report must share one counter path"
+        );
     }
 
     #[test]

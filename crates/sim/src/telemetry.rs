@@ -5,6 +5,7 @@
 //! busy time into fixed windows and converts it to utilization samples.
 
 use serde::{Deserialize, Serialize};
+use volley_obs::{names, Counter, Registry};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -25,8 +26,9 @@ pub struct ServerTelemetry {
     window: SimDuration,
     /// Busy seconds per window index.
     busy: Vec<f64>,
-    /// Total sampling operations charged.
-    sampling_ops: u64,
+    /// Sampling operations charged per window index.
+    #[serde(default)]
+    ops: Vec<u64>,
 }
 
 impl ServerTelemetry {
@@ -42,7 +44,7 @@ impl ServerTelemetry {
         ServerTelemetry {
             window,
             busy: Vec::new(),
-            sampling_ops: 0,
+            ops: Vec::new(),
         }
     }
 
@@ -51,9 +53,20 @@ impl ServerTelemetry {
         self.window
     }
 
-    /// Total sampling operations recorded.
+    /// Total sampling operations recorded (sum over all windows).
     pub fn sampling_ops(&self) -> u64 {
-        self.sampling_ops
+        self.ops.iter().sum()
+    }
+
+    /// Sampling operations per window up to `horizon`, zero-filled where
+    /// the server was idle — the per-window twin of
+    /// [`utilization_series`](Self::utilization_series), so obs snapshots
+    /// and the Fig. 6 reproduction read one counter path.
+    pub fn sampling_ops_series(&self, horizon: SimTime) -> Vec<u64> {
+        let windows = (horizon.as_micros() / self.window.as_micros()) as usize;
+        (0..windows.max(self.ops.len()))
+            .map(|idx| self.ops.get(idx).copied().unwrap_or(0))
+            .collect()
     }
 
     /// Charges one sampling operation of the given busy `cost` starting at
@@ -62,12 +75,17 @@ impl ServerTelemetry {
     /// The busy time lands entirely in the window containing `time`
     /// (sampling operations are far shorter than windows).
     pub fn charge_sample(&mut self, time: SimTime, cost: SimDuration) {
-        self.sampling_ops += 1;
         let idx = (time.as_micros() / self.window.as_micros()) as usize;
         if self.busy.len() <= idx {
             self.busy.resize(idx + 1, 0.0);
         }
+        // Resized separately: a deserialized recorder from before the
+        // per-window split arrives with `ops` empty but `busy` populated.
+        if self.ops.len() <= idx {
+            self.ops.resize(idx + 1, 0);
+        }
         self.busy[idx] += cost.as_secs_f64();
+        self.ops[idx] += 1;
     }
 
     /// Produces the utilization series up to `horizon`, with zero-valued
@@ -89,6 +107,44 @@ impl ServerTelemetry {
             .into_iter()
             .map(|w| w.utilization)
             .collect()
+    }
+}
+
+/// Forwards a fleet's sampling-operation count into the obs registry
+/// without double counting: [`ServerTelemetry`] stays the single source
+/// of truth (it also feeds the Fig. 6 utilization reproduction), and the
+/// bridge publishes only the delta since its last publish into the
+/// `volley_sim_sampling_ops_total` counter.
+#[derive(Debug)]
+pub struct ObsBridge {
+    counter: Counter,
+    published: u64,
+}
+
+impl ObsBridge {
+    /// A bridge into `registry`'s sim sampling-ops counter.
+    pub fn new(registry: &Registry) -> Self {
+        ObsBridge {
+            counter: registry.counter(names::SIM_SAMPLING_OPS_TOTAL),
+            published: 0,
+        }
+    }
+
+    /// Publishes the fleet's current total, adding only the unpublished
+    /// delta to the counter. Returns that delta. Safe to call repeatedly
+    /// (including on every simulated window) — re-publishing the same
+    /// state adds zero.
+    pub fn publish(&mut self, fleet: &[ServerTelemetry]) -> u64 {
+        let total: u64 = fleet.iter().map(ServerTelemetry::sampling_ops).sum();
+        let delta = total.saturating_sub(self.published);
+        self.counter.add(delta);
+        self.published = total;
+        delta
+    }
+
+    /// The total published so far.
+    pub fn published(&self) -> u64 {
+        self.published
     }
 }
 
@@ -154,6 +210,42 @@ mod tests {
     fn zero_window_is_clamped() {
         let t = ServerTelemetry::new(SimDuration::ZERO);
         assert_eq!(t.window(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn per_window_ops_align_with_utilization_windows() {
+        let mut t = ServerTelemetry::new(secs(10.0));
+        t.charge_sample(SimTime::from_secs_f64(1.0), secs(0.1));
+        t.charge_sample(SimTime::from_secs_f64(2.0), secs(0.1));
+        t.charge_sample(SimTime::from_secs_f64(25.0), secs(0.1));
+        let horizon = SimTime::from_secs_f64(40.0);
+        let ops = t.sampling_ops_series(horizon);
+        assert_eq!(ops, vec![2, 0, 1, 0]);
+        assert_eq!(ops.len(), t.utilization_series(horizon).len());
+        assert_eq!(t.sampling_ops(), 3);
+    }
+
+    #[test]
+    fn obs_bridge_publishes_deltas_without_double_counting() {
+        let registry = volley_obs::Registry::new(true);
+        let mut fleet = vec![
+            ServerTelemetry::new(secs(1.0)),
+            ServerTelemetry::new(secs(1.0)),
+        ];
+        let mut bridge = ObsBridge::new(&registry);
+        fleet[0].charge_sample(SimTime::ZERO, secs(0.01));
+        fleet[1].charge_sample(SimTime::ZERO, secs(0.01));
+        assert_eq!(bridge.publish(&fleet), 2);
+        // Re-publishing unchanged state must not inflate the counter.
+        assert_eq!(bridge.publish(&fleet), 0);
+        fleet[0].charge_sample(SimTime::from_secs_f64(1.0), secs(0.01));
+        assert_eq!(bridge.publish(&fleet), 1);
+        let snapshot = registry.snapshot(0);
+        assert_eq!(
+            snapshot.counters.get(names::SIM_SAMPLING_OPS_TOTAL),
+            Some(&3)
+        );
+        assert_eq!(bridge.published(), 3);
     }
 
     #[test]

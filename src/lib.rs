@@ -2,7 +2,7 @@
 //!
 //! Facade crate of the **Volley** reproduction — *"Volley: Violation
 //! Likelihood Based State Monitoring for Datacenters"* (ICDCS 2013).
-//! It re-exports the workspace's four libraries under one roof:
+//! It re-exports the workspace's five libraries under one roof:
 //!
 //! - [`volley_core`] — the violation-likelihood adaptation
 //!   algorithms, distributed coordination and state correlation;
@@ -11,7 +11,9 @@
 //! - [`volley_sim`] — the discrete-event datacenter simulator with
 //!   the Dom0 CPU cost model;
 //! - [`volley_runtime`] — the threaded monitor/coordinator
-//!   message-passing prototype.
+//!   message-passing prototype;
+//! - [`volley_obs`] — the self-monitoring observability subsystem
+//!   (metrics registry, span tracing, exposition, Volley-watching-Volley).
 //!
 //! The most common entry points are re-exported at the crate root:
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub use volley_core as core;
+pub use volley_obs as obs;
 pub use volley_runtime as runtime;
 pub use volley_sim as sim;
 pub use volley_traces as traces;
@@ -44,6 +47,7 @@ pub use volley_core::{
     DistributedTask, ErrorAllocator, GroundTruth, Interval, MonitoringPlan, Observation,
     OnlineStats, PeriodicSampler, SamplingPolicy, ThresholdSplit, Tick, VolleyError,
 };
+pub use volley_obs::Obs;
 pub use volley_runtime::TaskRunner;
 pub use volley_sim::{NetworkScenario, NetworkScenarioConfig};
 pub use volley_traces::{
