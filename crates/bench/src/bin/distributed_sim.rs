@@ -32,7 +32,7 @@ fn main() {
             ("even", CoordinationScheme::Even),
             ("adapt", CoordinationScheme::Adaptive),
         ] {
-            let report = DistributedScenario::new(DistributedScenarioConfig {
+            let report = DistributedScenario::from_config(DistributedScenarioConfig {
                 cluster,
                 task_size: 5,
                 error_allowance: err,

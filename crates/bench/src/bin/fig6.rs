@@ -37,7 +37,7 @@ fn main() {
             patience: params.patience,
             ..NetworkScenarioConfig::default()
         };
-        let report = NetworkScenario::new(config).run();
+        let report = NetworkScenario::from_config(config).run();
         let cpu = report.cpu.expect("utilization samples exist");
         println!(
             "{:<8}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>9.1}{:>12.4}",

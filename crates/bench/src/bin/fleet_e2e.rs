@@ -42,7 +42,7 @@ fn main() {
             .patience(params.patience)
             .build()
             .expect("valid spec");
-        tasks.push(FleetTask::new(spec, traces));
+        tasks.push(FleetTask::from_spec(spec, traces));
     }
 
     let started = std::time::Instant::now();

@@ -72,7 +72,7 @@ fn main() {
         "err", "min%", "q1%", "med%", "q3%", "max%", "mean%", "miss-rate"
     ));
     for err in [0.0, 0.002, 0.004, 0.008, 0.016, 0.032] {
-        let report = NetworkScenario::new(NetworkScenarioConfig {
+        let report = NetworkScenario::from_config(NetworkScenarioConfig {
             cluster,
             error_allowance: err,
             selectivity_percent: 1.0,

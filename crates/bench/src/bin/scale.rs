@@ -1,0 +1,333 @@
+//! Sharded-engine scaling benchmark: 10k → 1M VMs.
+//!
+//! Runs the adaptive-sampling fleet loop on the sharded simulation
+//! engine ([`volley_sim::ShardedEngine`]) at three cluster sizes and a
+//! sweep of worker-thread counts, recording throughput (VM-windows
+//! simulated per second) and speedup versus single-threaded execution.
+//! The per-VM work is the real Volley hot path — one [`AdaptiveSampler`]
+//! per VM over a deterministic synthetic trace — so the numbers measure
+//! the engine, not a toy loop.
+//!
+//! Writes `reproduction/scale.txt` and `reproduction/scale.json`.
+//!
+//! `--smoke` shrinks the sweep to the 10k-VM point and exits non-zero if
+//! the 8-thread run falls short of the host-scaled speedup bound, or if
+//! any run breaks bit-determinism (sampling-op / alert counts must be
+//! identical at every thread count). The speedup bound is
+//! `min(3.0, 0.6 × cores)`; on hosts with fewer than two cores the bound
+//! is recorded as waived — a single core cannot speed anything up, and
+//! pretending otherwise would just make CI red on small runners.
+//! Multi-core CI enforces the real ≥3× bound at 8 threads.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+use volley_core::{AdaptationConfig, AdaptiveSampler};
+use volley_sim::{
+    ClusterConfig, EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine, SimDuration,
+    SimTime,
+};
+
+/// The paper's default network-monitoring window.
+const WINDOW_MICROS: u64 = 15_000_000;
+/// Alert threshold over the uniform [0, 100) synthetic metric: 1%
+/// selectivity, matching the paper's evaluation setup.
+const THRESHOLD: f64 = 99.0;
+/// Full-mode speedup requirement at 8 threads (CI enforces this on
+/// multi-core runners).
+const TARGET_SPEEDUP: f64 = 3.0;
+
+/// Deterministic synthetic metric for `(vm, tick)` from a
+/// splitmix-style hash, so no trace storage is needed even at 1M VMs
+/// and every thread count sees exactly the same values. Mostly calm
+/// (uniform below 60) with ~0.1% spikes above the threshold: samplers
+/// genuinely widen their intervals and reset on violations, so the
+/// bench exercises the adaptive path rather than degenerating to
+/// sample-every-window.
+fn metric(vm: u64, tick: u64) -> f64 {
+    let mut x = vm
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(tick.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    let u = (x % 10_000) as f64 / 100.0; // uniform [0, 100)
+    if u >= 99.9 {
+        u // spike above THRESHOLD
+    } else {
+        // Calm band [25, 30): tight enough (σ ≈ 1.4 against a 99
+        // threshold) that the violation-likelihood bound sustains the
+        // maximum interval.
+        25.0 + u * 0.05
+    }
+}
+
+/// One shard's slice of the fleet: a Volley sampler per VM plus its next
+/// due tick.
+struct FleetSlice {
+    vm_ids: Vec<u32>,
+    tick_count: u64,
+    samplers: Vec<AdaptiveSampler>,
+    next_due: Vec<u64>,
+    sampling_ops: u64,
+    alerts: u64,
+}
+
+impl ShardWorker for FleetSlice {
+    type Event = u64; // window index
+    type Msg = ();
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, Self::Event, Self::Msg>, time: SimTime, tick: u64) {
+        for (i, sampler) in self.samplers.iter_mut().enumerate() {
+            if self.next_due[i] > tick {
+                continue;
+            }
+            let value = metric(u64::from(self.vm_ids[i]), tick);
+            let outcome = sampler.observe(tick, value);
+            self.sampling_ops += 1;
+            if outcome.violation {
+                self.alerts += 1;
+            }
+            self.next_due[i] = outcome.next_sample_tick.max(tick + 1);
+        }
+        if tick + 1 < self.tick_count {
+            ctx.schedule(time + SimDuration::from_micros(WINDOW_MICROS), tick + 1);
+        }
+    }
+}
+
+/// One measured run: the full fleet loop at a given thread count.
+struct RunOutcome {
+    elapsed_s: f64,
+    sampling_ops: u64,
+    alerts: u64,
+    epochs: u64,
+}
+
+fn run_point(cluster: ClusterConfig, ticks: u64, threads: usize) -> RunOutcome {
+    let plan = ShardPlan::by_coordinator_group(cluster);
+    let engine = ShardedEngine::new(EngineConfig {
+        threads,
+        epoch: SimDuration::from_micros(WINDOW_MICROS),
+        horizon: SimTime::from_micros(ticks.saturating_mul(WINDOW_MICROS)),
+    });
+    let config = AdaptationConfig::builder()
+        .error_allowance(0.01)
+        .max_interval(8)
+        .patience(5) // reach the max interval within the bench horizon
+        .build()
+        .expect("valid config");
+    let started = Instant::now();
+    let (slices, stats) = engine.run(
+        &plan,
+        0, // samplers draw no engine randomness; the metric hash is the seed
+        |shard, ctx| {
+            let vm_ids: Vec<u32> = plan.vms_of(shard).map(|vm| vm.0).collect();
+            let count = vm_ids.len();
+            ctx.schedule(SimTime::ZERO, 0);
+            FleetSlice {
+                vm_ids,
+                tick_count: ticks,
+                samplers: (0..count)
+                    .map(|_| AdaptiveSampler::new(config, THRESHOLD))
+                    .collect(),
+                next_due: vec![0; count],
+                sampling_ops: 0,
+                alerts: 0,
+            }
+        },
+        None,
+    );
+    RunOutcome {
+        elapsed_s: started.elapsed().as_secs_f64(),
+        sampling_ops: slices.iter().map(|s| s.sampling_ops).sum(),
+        alerts: slices.iter().map(|s| s.alerts).sum(),
+        epochs: stats.epochs,
+    }
+}
+
+#[derive(Serialize)]
+struct RunRecord {
+    threads: usize,
+    elapsed_s: f64,
+    vm_windows_per_s: f64,
+    ticks_per_s: f64,
+    sampling_ops: u64,
+    alerts: u64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PointRecord {
+    vms: u64,
+    servers: u32,
+    vms_per_server: u32,
+    shards: u32,
+    ticks: u64,
+    runs: Vec<RunRecord>,
+    speedup_at_8: f64,
+}
+
+#[derive(Serialize)]
+struct ScaleReport {
+    schema: u32,
+    smoke: bool,
+    host_parallelism: usize,
+    /// The speedup the smoke gate enforced: `min(3.0, 0.6 × cores)`,
+    /// or 0 (waived) on single-core hosts where no speedup is possible.
+    enforced_min_speedup: f64,
+    target_speedup_multicore: f64,
+    points: Vec<PointRecord>,
+}
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            if let Some(dir) = it.next() {
+                return PathBuf::from(dir);
+            }
+        }
+    }
+    PathBuf::from("reproduction")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // (total VMs, ticks): bigger clusters run fewer windows so the full
+    // sweep stays tractable; throughput is normalized per VM-window.
+    let points: &[(u64, u64)] = if smoke {
+        &[(10_000, 80)]
+    } else {
+        &[(10_000, 120), (100_000, 120), (1_000_000, 40)]
+    };
+    let thread_counts: &[usize] = if smoke { &[1, 8] } else { &[1, 2, 4, 8] };
+    let enforced_min_speedup = if cores >= 2 {
+        TARGET_SPEEDUP.min(0.6 * cores as f64)
+    } else {
+        0.0 // waived: a single core cannot parallelize
+    };
+    eprintln!(
+        "scale: smoke={smoke}, host parallelism {cores}, enforced min speedup {enforced_min_speedup:.2}"
+    );
+
+    let mut text = format!(
+        "sharded engine scaling (adaptive fleet loop, host parallelism {cores})\n\
+         speedup gate: 8 threads >= min({TARGET_SPEEDUP}, 0.6 x cores) = {enforced_min_speedup:.2}\
+         {}\n\n\
+         {:>9} {:>7} {:>7} {:>8} {:>11} {:>13} {:>8}\n",
+        if enforced_min_speedup == 0.0 {
+            " (waived on single-core host)"
+        } else {
+            ""
+        },
+        "vms",
+        "ticks",
+        "threads",
+        "secs",
+        "ops",
+        "vm-windows/s",
+        "speedup",
+    );
+    let mut records = Vec::new();
+    let mut failed = false;
+
+    for &(vms, ticks) in points {
+        let vms_per_server = 40u32;
+        let servers = (vms / u64::from(vms_per_server)) as u32;
+        let cluster = ClusterConfig::new(servers, vms_per_server, 5);
+        let shards = ShardPlan::by_coordinator_group(cluster).shard_count();
+
+        let mut runs = Vec::new();
+        let mut baseline: Option<RunOutcome> = None;
+        for &threads in thread_counts {
+            let outcome = run_point(cluster, ticks, threads);
+            assert_eq!(outcome.epochs, ticks, "one epoch per window");
+            if let Some(base) = &baseline {
+                // Bit-determinism across thread counts is the engine's
+                // core guarantee — a speedup that changes results is a bug,
+                // not a win.
+                if outcome.sampling_ops != base.sampling_ops || outcome.alerts != base.alerts {
+                    eprintln!(
+                        "FAIL: {vms} VMs at {threads} threads diverged: \
+                         {} ops / {} alerts vs {} / {}",
+                        outcome.sampling_ops, outcome.alerts, base.sampling_ops, base.alerts
+                    );
+                    failed = true;
+                }
+            }
+            let base_elapsed = baseline.as_ref().map_or(outcome.elapsed_s, |b| b.elapsed_s);
+            let speedup = base_elapsed / outcome.elapsed_s.max(f64::EPSILON);
+            let vm_windows = vms as f64 * ticks as f64;
+            text.push_str(&format!(
+                "{:>9} {:>7} {:>7} {:>8.2} {:>11} {:>13.0} {:>7.2}x\n",
+                vms,
+                ticks,
+                threads,
+                outcome.elapsed_s,
+                outcome.sampling_ops,
+                vm_windows / outcome.elapsed_s.max(f64::EPSILON),
+                speedup,
+            ));
+            runs.push(RunRecord {
+                threads,
+                elapsed_s: outcome.elapsed_s,
+                vm_windows_per_s: vm_windows / outcome.elapsed_s.max(f64::EPSILON),
+                ticks_per_s: ticks as f64 / outcome.elapsed_s.max(f64::EPSILON),
+                sampling_ops: outcome.sampling_ops,
+                alerts: outcome.alerts,
+                speedup,
+            });
+            if baseline.is_none() {
+                baseline = Some(outcome);
+            }
+        }
+        let speedup_at_8 = runs
+            .iter()
+            .rev()
+            .find(|r| r.threads == 8)
+            .map_or(1.0, |r| r.speedup);
+        if speedup_at_8 < enforced_min_speedup {
+            eprintln!(
+                "FAIL: {vms} VMs: 8-thread speedup {speedup_at_8:.2}x below bound \
+                 {enforced_min_speedup:.2}x"
+            );
+            failed = true;
+        }
+        records.push(PointRecord {
+            vms,
+            servers,
+            vms_per_server,
+            shards,
+            ticks,
+            runs,
+            speedup_at_8,
+        });
+    }
+
+    print!("{text}");
+    let report = ScaleReport {
+        schema: 1,
+        smoke,
+        host_parallelism: cores,
+        enforced_min_speedup,
+        target_speedup_multicore: TARGET_SPEEDUP,
+        points: records,
+    };
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    std::fs::write(dir.join("scale.txt"), &text).expect("write txt");
+    std::fs::write(
+        dir.join("scale.json"),
+        serde_json::to_string_pretty(&report).expect("serializable"),
+    )
+    .expect("write json");
+
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("scale bounds hold");
+}

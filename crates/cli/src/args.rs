@@ -49,6 +49,58 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+/// Flags shared by the workload subcommands (`run`, `chaos`, `sim`,
+/// `obs`): one spelling, one default, one parser. Subcommands embed this
+/// group and offer each flag through [`CommonArgs::accept`], so `--seed`,
+/// `--obs-dir`, `--threads` and `--report-json` mean the same thing
+/// everywhere they appear.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Random seed (workload, fault plan or scenario, per subcommand).
+    pub seed: u64,
+    /// Directory for obs snapshots; `None` disables dumping.
+    pub obs_dir: Option<String>,
+    /// Worker threads for sharded execution (floored at 1). Results
+    /// never depend on this value — only wall-clock time does.
+    pub threads: usize,
+    /// Emit the versioned machine-readable JSON envelope instead of the
+    /// text report.
+    pub report_json: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            seed: 0,
+            obs_dir: None,
+            threads: 1,
+            report_json: false,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Tries to consume `flag` (and its value, if any) from the argument
+    /// stream. Returns `Ok(true)` when the flag belonged to this group.
+    ///
+    /// `--json` is accepted as an alias of `--report-json` for
+    /// compatibility with pre-schema-3 command lines.
+    fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--seed" => self.seed = parse_value(flag, it.next())?,
+            "--obs-dir" => self.obs_dir = Some(parse_value(flag, it.next())?),
+            "--threads" => self.threads = parse_value::<usize>(flag, it.next())?.max(1),
+            "--report-json" | "--json" => self.report_json = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
 /// The `monitor` subcommand's options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonitorArgs {
@@ -81,7 +133,7 @@ pub struct GenerateArgs {
     pub seed: u64,
 }
 
-/// The `simulate` subcommand's options.
+/// The `sim` subcommand's options (`simulate` is accepted as an alias).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulateArgs {
     /// Physical servers.
@@ -92,8 +144,9 @@ pub struct SimulateArgs {
     pub err: f64,
     /// Simulation length in 15-second windows.
     pub ticks: usize,
-    /// Random seed.
-    pub seed: u64,
+    /// Shared seed / obs-dir / threads / report-json group. `--threads`
+    /// selects the sharded engine's worker count.
+    pub common: CommonArgs,
 }
 
 /// The `chaos` subcommand's options: run the threaded runtime on a bursty
@@ -104,8 +157,6 @@ pub struct ChaosArgs {
     pub monitors: usize,
     /// Trace length in ticks.
     pub ticks: usize,
-    /// Fault-plan seed.
-    pub seed: u64,
     /// Violation-report drop probability.
     pub drop_rate: f64,
     /// Poll-reply drop probability.
@@ -136,12 +187,11 @@ pub struct ChaosArgs {
     pub quarantine_after: u32,
     /// Whether the supervisor restarts quarantined monitors.
     pub supervise: bool,
-    /// Directory for periodic obs snapshots; `None` disables dumping.
-    pub obs_dir: Option<String>,
     /// Obs snapshot cadence in ticks.
     pub obs_every: u64,
-    /// Emit machine-readable JSON instead of the text report.
-    pub json: bool,
+    /// Shared seed / obs-dir / threads / report-json group. `--seed`
+    /// seeds the fault plan; `--obs-dir` enables snapshot dumping.
+    pub common: CommonArgs,
 }
 
 /// The `run` subcommand's options: drive the threaded runtime on a
@@ -154,27 +204,27 @@ pub struct RunArgs {
     pub ticks: usize,
     /// Error allowance for the monitored task.
     pub err: f64,
-    /// Workload seed (reserved; the burst workload is deterministic).
-    pub seed: u64,
-    /// Directory for periodic obs snapshots; `None` disables dumping.
-    pub obs_dir: Option<String>,
     /// Obs snapshot cadence in ticks.
     pub obs_every: u64,
     /// Arm the self-monitoring watchdog at this tick-latency threshold
     /// (microseconds).
     pub self_monitor_us: Option<f64>,
-    /// Emit machine-readable JSON instead of the text report.
-    pub json: bool,
+    /// Shared seed / obs-dir / threads / report-json group (`--seed` is
+    /// reserved here: the burst workload is deterministic).
+    pub common: CommonArgs,
 }
 
 /// The `obs` subcommand's options: read back the latest snapshot from an
 /// `--obs-dir` directory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObsArgs {
-    /// Snapshot directory (as passed to `--obs-dir`).
+    /// Snapshot directory (`--obs-dir`, or its legacy alias `--dir`).
     pub dir: String,
     /// Print the Prometheus text exposition instead of the summary.
     pub prom: bool,
+    /// Shared flag group (`--report-json` wraps the snapshot in the
+    /// versioned envelope; seed and threads are accepted no-ops here).
+    pub common: CommonArgs,
 }
 
 /// A parsed command line.
@@ -201,26 +251,36 @@ pub enum Command {
 pub const USAGE: &str = "\
 volley — violation-likelihood based adaptive state monitoring
 
+Common flags (same meaning on run, chaos, sim and obs):
+  --seed <n=0>        random seed (workload, fault plan or scenario)
+  --obs-dir <dir>     dump obs snapshots into <dir>
+  --threads <n=1>     worker threads for sharded execution
+                      (never changes results, only wall-clock time)
+  --report-json       emit the versioned JSON envelope
+                      {schema, command, report} (alias: --json)
+
 USAGE:
   volley monitor  --input <file|-> (--threshold <T> | --percentile <k>)
-                  [--err <e=0.01>] [--max-interval <n=16>] [--below] [--json]
+                  [--err <e=0.01>] [--max-interval <n=16>] [--below]
+                  [--report-json]
   volley generate --family <network|system|application>
                   [--ticks <n=2000>] [--tasks <n=1>] [--seed <n=0>]
-  volley simulate [--servers <n=4>] [--vms <n=40>] [--err <e=0.01>]
-                  [--ticks <n=1500>] [--seed <n=0>]
+  volley sim      [--servers <n=4>] [--vms <n=40>] [--err <e=0.01>]
+                  [--ticks <n=1500>] [common flags]
+                  (alias: simulate)
   volley run      [--monitors <n=5>] [--ticks <n=200>] [--err <e=0.01>]
-                  [--seed <n=0>] [--obs-dir <dir>] [--obs-every <n=50>]
-                  [--self-monitor-us <t>] [--json]
-  volley chaos    [--monitors <n=5>] [--ticks <n=200>] [--seed <n=0>]
+                  [--obs-every <n=50>] [--self-monitor-us <t>]
+                  [common flags]
+  volley chaos    [--monitors <n=5>] [--ticks <n=200>]
                   [--drop-rate <p=0>] [--poll-drop-rate <p=0>]
                   [--dup-rate <p=0>] [--delay-rate <p=0>]
                   [--crash <m@t>] [--stall <m@t+d>] [--deadline-ms <n=50>]
                   [--coordinator-crash <t>] [--partition <m1,m2@t+d>]
                   [--standby] [--wal-dir <dir>] [--checkpoint-interval <n=25>]
-                  [--corrupt-wal-record <i>]
-                  [--obs-dir <dir>] [--obs-every <n=50>]
-                  [--quarantine-after <n=2>] [--no-supervise] [--json]
-  volley obs      --dir <dir> [--prom]
+                  [--corrupt-wal-record <i>] [--obs-every <n=50>]
+                  [--quarantine-after <n=2>] [--no-supervise]
+                  [common flags]
+  volley obs      --obs-dir <dir> [--prom] [common flags]
   volley help
 ";
 
@@ -294,7 +354,7 @@ impl Command {
             "help" | "--help" | "-h" => Ok(Command::Help),
             "monitor" => Self::parse_monitor(rest),
             "generate" => Self::parse_generate(rest),
-            "simulate" => Self::parse_simulate(rest),
+            "sim" | "simulate" => Self::parse_simulate(rest),
             "chaos" => Self::parse_chaos(rest),
             "run" => Self::parse_run(rest),
             "obs" => Self::parse_obs(rest),
@@ -321,7 +381,7 @@ impl Command {
                 "--err" => parsed.err = parse_value(flag, it.next())?,
                 "--max-interval" => parsed.max_interval = parse_value(flag, it.next())?,
                 "--below" => parsed.below = true,
-                "--json" => parsed.json = true,
+                "--json" | "--report-json" => parsed.json = true,
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
@@ -362,7 +422,6 @@ impl Command {
         let mut parsed = ChaosArgs {
             monitors: 5,
             ticks: 200,
-            seed: 0,
             drop_rate: 0.0,
             poll_drop_rate: 0.0,
             dup_rate: 0.0,
@@ -378,16 +437,17 @@ impl Command {
             deadline_ms: 50,
             quarantine_after: 2,
             supervise: true,
-            obs_dir: None,
             obs_every: 50,
-            json: false,
+            common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? {
+                continue;
+            }
             match flag.as_str() {
                 "--monitors" => parsed.monitors = parse_value(flag, it.next())?,
                 "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
-                "--seed" => parsed.seed = parse_value(flag, it.next())?,
                 "--drop-rate" => parsed.drop_rate = parse_value(flag, it.next())?,
                 "--poll-drop-rate" => parsed.poll_drop_rate = parse_value(flag, it.next())?,
                 "--dup-rate" => parsed.dup_rate = parse_value(flag, it.next())?,
@@ -408,12 +468,10 @@ impl Command {
                     parsed.checkpoint_interval = parse_value(flag, it.next())?;
                 }
                 "--standby" => parsed.standby = true,
-                "--obs-dir" => parsed.obs_dir = Some(parse_value(flag, it.next())?),
                 "--obs-every" => parsed.obs_every = parse_value(flag, it.next())?,
                 "--deadline-ms" => parsed.deadline_ms = parse_value(flag, it.next())?,
                 "--quarantine-after" => parsed.quarantine_after = parse_value(flag, it.next())?,
                 "--no-supervise" => parsed.supervise = false,
-                "--json" => parsed.json = true,
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
@@ -431,25 +489,23 @@ impl Command {
             monitors: 5,
             ticks: 200,
             err: 0.01,
-            seed: 0,
-            obs_dir: None,
             obs_every: 50,
             self_monitor_us: None,
-            json: false,
+            common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? {
+                continue;
+            }
             match flag.as_str() {
                 "--monitors" => parsed.monitors = parse_value(flag, it.next())?,
                 "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
                 "--err" => parsed.err = parse_value(flag, it.next())?,
-                "--seed" => parsed.seed = parse_value(flag, it.next())?,
-                "--obs-dir" => parsed.obs_dir = Some(parse_value(flag, it.next())?),
                 "--obs-every" => parsed.obs_every = parse_value(flag, it.next())?,
                 "--self-monitor-us" => {
                     parsed.self_monitor_us = Some(parse_value(flag, it.next())?);
                 }
-                "--json" => parsed.json = true,
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
@@ -463,17 +519,26 @@ impl Command {
         let mut parsed = ObsArgs {
             dir: String::new(),
             prom: false,
+            common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? {
+                continue;
+            }
             match flag.as_str() {
                 "--dir" => parsed.dir = parse_value(flag, it.next())?,
                 "--prom" => parsed.prom = true,
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
+        // `--obs-dir` is the canonical spelling; `--dir` remains as the
+        // legacy alias.
+        if let Some(dir) = parsed.common.obs_dir.take() {
+            parsed.dir = dir;
+        }
         if parsed.dir.is_empty() {
-            return Err(CliError::Usage("obs requires --dir".to_string()));
+            return Err(CliError::Usage("obs requires --obs-dir".to_string()));
         }
         Ok(Command::Obs(parsed))
     }
@@ -484,16 +549,18 @@ impl Command {
             vms: 40,
             err: 0.01,
             ticks: 1500,
-            seed: 0,
+            common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? {
+                continue;
+            }
             match flag.as_str() {
                 "--servers" => parsed.servers = parse_value(flag, it.next())?,
                 "--vms" => parsed.vms = parse_value(flag, it.next())?,
                 "--err" => parsed.err = parse_value(flag, it.next())?,
                 "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
-                "--seed" => parsed.seed = parse_value(flag, it.next())?,
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
@@ -642,7 +709,7 @@ mod tests {
                 assert_eq!(c.stalls, vec![(2, 20, 50)]);
                 assert_eq!(c.deadline_ms, 30);
                 assert!(!c.supervise);
-                assert!(c.json);
+                assert!(c.common.report_json);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -746,10 +813,10 @@ mod tests {
                 assert_eq!(r.monitors, 3);
                 assert_eq!(r.ticks, 1, "ticks floored at 1");
                 assert_eq!(r.err, 0.05);
-                assert_eq!(r.obs_dir.as_deref(), Some("/tmp/obs"));
+                assert_eq!(r.common.obs_dir.as_deref(), Some("/tmp/obs"));
                 assert_eq!(r.obs_every, 1, "cadence floored at 1");
                 assert_eq!(r.self_monitor_us, Some(250_000.0));
-                assert!(r.json);
+                assert!(r.common.report_json);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -761,7 +828,7 @@ mod tests {
             Command::Run(r) => {
                 assert_eq!(r.monitors, 5);
                 assert_eq!(r.ticks, 200);
-                assert_eq!(r.obs_dir, None);
+                assert_eq!(r.common, CommonArgs::default());
                 assert_eq!(r.self_monitor_us, None);
             }
             other => panic!("unexpected {other:?}"),
@@ -773,7 +840,7 @@ mod tests {
         match Command::parse(args(&["chaos", "--obs-dir", "/tmp/o", "--obs-every", "10"])).unwrap()
         {
             Command::Chaos(c) => {
-                assert_eq!(c.obs_dir.as_deref(), Some("/tmp/o"));
+                assert_eq!(c.common.obs_dir.as_deref(), Some("/tmp/o"));
                 assert_eq!(c.obs_every, 10);
             }
             other => panic!("unexpected {other:?}"),
@@ -792,6 +859,70 @@ mod tests {
                 assert!(o.prom);
             }
             other => panic!("unexpected {other:?}"),
+        }
+        // `--obs-dir` is the canonical spelling and wins over `--dir`.
+        match Command::parse(args(&["obs", "--dir", "/a", "--obs-dir", "/b"])).unwrap() {
+            Command::Obs(o) => assert_eq!(o.dir, "/b"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_alias_and_common_group() {
+        let cmd = Command::parse(args(&[
+            "sim",
+            "--servers",
+            "2",
+            "--threads",
+            "8",
+            "--seed",
+            "11",
+            "--obs-dir",
+            "/tmp/sim-obs",
+            "--report-json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate(s) => {
+                assert_eq!(s.servers, 2);
+                assert_eq!(s.common.threads, 8);
+                assert_eq!(s.common.seed, 11);
+                assert_eq!(s.common.obs_dir.as_deref(), Some("/tmp/sim-obs"));
+                assert!(s.common.report_json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn common_group_parses_identically_everywhere() {
+        // The same flag tail must produce the same CommonArgs under every
+        // workload subcommand — the point of the shared group.
+        let tail = [
+            "--seed",
+            "9",
+            "--threads",
+            "0", // floored at 1
+            "--obs-dir",
+            "/tmp/g",
+            "--json", // legacy alias of --report-json
+        ];
+        let expect = CommonArgs {
+            seed: 9,
+            obs_dir: Some("/tmp/g".to_string()),
+            threads: 1,
+            report_json: true,
+        };
+        for sub in ["run", "chaos", "sim"] {
+            let mut argv = vec![sub];
+            argv.extend_from_slice(&tail);
+            let common = match Command::parse(args(&argv)).unwrap() {
+                Command::Run(r) => r.common,
+                Command::Chaos(c) => c.common,
+                Command::Simulate(s) => s.common,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(common, expect, "under `{sub}`");
         }
     }
 

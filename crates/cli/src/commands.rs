@@ -16,6 +16,36 @@ use crate::args::{
     ChaosArgs, CliError, Command, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, SimulateArgs, USAGE,
 };
 
+/// The version of the JSON report envelope shared by every subcommand.
+/// Bump when the envelope or any embedded report shape changes;
+/// consumers should refuse versions they don't understand.
+///
+/// Version history: 1 = the original `run` report (flat, `schema` field
+/// inline); 2 = the `chaos` report with the durability counters; 3 = one
+/// envelope for all subcommands — `{schema, command, report}` with the
+/// per-command payload under `report`.
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
+
+/// Writes `report` wrapped in the versioned schema-3 envelope:
+/// `{"schema": 3, "command": "<subcommand>", "report": {…}}`.
+fn write_envelope<W: Write, T: Serialize>(
+    out: &mut W,
+    command: &'static str,
+    report: T,
+) -> Result<(), CliError> {
+    let envelope = serde::Value::Object(vec![
+        ("schema".to_string(), REPORT_SCHEMA_VERSION.to_value()),
+        ("command".to_string(), command.to_value()),
+        ("report".to_string(), report.to_value()),
+    ]);
+    writeln!(
+        out,
+        "{}",
+        serde_json::to_string_pretty(&envelope).expect("serializable")
+    )?;
+    Ok(())
+}
+
 /// Executes a parsed command, writing its report to `out`.
 ///
 /// # Errors
@@ -147,11 +177,7 @@ fn monitor<W: Write>(args: &MonitorArgs, out: &mut W) -> Result<(), CliError> {
         alert_ticks,
     };
     if args.json {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&summary).expect("serializable")
-        )?;
+        write_envelope(out, "monitor", &summary)?;
     } else {
         writeln!(out, "condition:        {}", summary.condition)?;
         writeln!(out, "trace:            {} ticks", summary.ticks)?;
@@ -227,22 +253,67 @@ fn generate<W: Write>(args: &GenerateArgs, out: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
+/// JSON report of a `sim` run.
+#[derive(Debug, Serialize)]
+struct SimulateReport {
+    servers: u32,
+    vms: u32,
+    threads: usize,
+    sampling_ops: u64,
+    cost_ratio: f64,
+    misdetection_rate: f64,
+    cpu_median: f64,
+    cpu_max: f64,
+    obs_dir: Option<String>,
+}
+
 fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> {
     let config = NetworkScenarioConfig {
         cluster: ClusterConfig::new(args.servers, args.vms, 5),
         error_allowance: args.err,
         ticks: args.ticks.max(10),
-        seed: args.seed,
+        seed: args.common.seed,
         ..NetworkScenarioConfig::default()
     };
-    let report = NetworkScenario::new(config).run();
+    let scenario = NetworkScenario::from_config(config);
+    // The sharded engine guarantees thread-count independence, so
+    // --threads only changes wall-clock time, never the report.
+    let report = if args.common.obs_dir.is_some() {
+        let obs = volley_obs::Obs::new(true);
+        let report = scenario.run_parallel_with_obs(args.common.threads, &obs);
+        if let Some(dir) = &args.common.obs_dir {
+            let mut writer = volley_obs::SnapshotWriter::new(dir, 1)?;
+            writer.write_now(obs.registry(), args.ticks as u64)?;
+        }
+        report
+    } else {
+        scenario.run_parallel(args.common.threads)
+    };
     let cpu = report.cpu.as_ref().expect("utilization recorded");
+    if args.common.report_json {
+        return write_envelope(
+            out,
+            "sim",
+            SimulateReport {
+                servers: args.servers,
+                vms: args.vms,
+                threads: args.common.threads,
+                sampling_ops: report.sampling_ops,
+                cost_ratio: report.cost_ratio(),
+                misdetection_rate: report.accuracy.misdetection_rate(),
+                cpu_median: cpu.median,
+                cpu_max: cpu.max,
+                obs_dir: args.common.obs_dir.clone(),
+            },
+        );
+    }
     writeln!(
         out,
         "cluster:          {} servers x {} VMs",
         args.servers, args.vms
     )?;
     writeln!(out, "error allowance:  {}", args.err)?;
+    writeln!(out, "threads:          {}", args.common.threads)?;
     writeln!(
         out,
         "sampling ops:     {} ({:.1}% of periodic)",
@@ -262,6 +333,9 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
         "miss rate:        {:.4}",
         report.accuracy.misdetection_rate()
     )?;
+    if let Some(dir) = &args.common.obs_dir {
+        writeln!(out, "obs snapshots:    {dir}")?;
+    }
     Ok(())
 }
 
@@ -286,13 +360,9 @@ fn bursty_traces(n: usize, ticks: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// The `run --json` schema version.
-const RUN_SCHEMA_VERSION: u32 = 1;
-
 /// JSON report of a `run` invocation.
 #[derive(Debug, Serialize)]
 struct RunReport {
-    schema: u32,
     monitors: usize,
     ticks: u64,
     alerts: u64,
@@ -323,7 +393,7 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
 
     let obs = volley_obs::Obs::new(true);
     let mut runner = TaskRunner::new(&spec)?.with_obs(obs.clone());
-    if let Some(dir) = &args.obs_dir {
+    if let Some(dir) = &args.common.obs_dir {
         runner = runner.with_obs_dir(dir, args.obs_every);
     }
     if let Some(threshold_us) = args.self_monitor_us {
@@ -334,7 +404,6 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let report = runner.run(&traces)?;
 
     let summary = RunReport {
-        schema: RUN_SCHEMA_VERSION,
         monitors: n,
         ticks: report.ticks,
         alerts: report.alerts,
@@ -344,16 +413,11 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         self_monitor_samples: report.self_monitor_samples,
         self_monitor_alerts: report.self_monitor_alerts,
         self_monitor_alert_ticks: report.self_monitor_alert_ticks.clone(),
-        obs_dir: args.obs_dir.clone(),
+        obs_dir: args.common.obs_dir.clone(),
         snapshot: obs.snapshot(report.ticks),
     };
-    if args.json {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&summary).expect("serializable")
-        )?;
-        return Ok(());
+    if args.common.report_json {
+        return write_envelope(out, "run", &summary);
     }
     writeln!(out, "monitors:         {}", summary.monitors)?;
     writeln!(out, "ticks:            {}", summary.ticks)?;
@@ -372,7 +436,7 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         )?;
     }
     write_snapshot_summary(&summary.snapshot, out)?;
-    if let Some(dir) = &args.obs_dir {
+    if let Some(dir) = &args.common.obs_dir {
         writeln!(out, "obs snapshots:    {dir}")?;
     }
     Ok(())
@@ -434,24 +498,18 @@ fn obs_read<W: Write>(args: &ObsArgs, out: &mut W) -> Result<(), CliError> {
         write!(out, "{}", snapshot.to_prometheus())?;
         return Ok(());
     }
+    if args.common.report_json {
+        return write_envelope(out, "obs", &snapshot);
+    }
     writeln!(out, "snapshot:         {}", path.display())?;
     writeln!(out, "tick:             {}", snapshot.tick)?;
     write_snapshot_summary(&snapshot, out)?;
     Ok(())
 }
 
-/// The `chaos --json` schema version. Bump when the report shape
-/// changes; consumers should refuse versions they don't understand.
-/// Version history: 1 = the original (implicit, unversioned) report;
-/// 2 = adds `schema` itself plus the durability counters
-/// (`coordinator_failovers`, `stale_epoch_frames`, `checkpoint_restores`,
-/// `conservative_restarts`).
-const CHAOS_SCHEMA_VERSION: u32 = 2;
-
 /// JSON report of a `chaos` run.
 #[derive(Debug, Serialize)]
 struct ChaosReport {
-    schema: u32,
     monitors: usize,
     ticks: u64,
     alerts: u64,
@@ -489,7 +547,7 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         .build()?;
     let traces = bursty_traces(n, args.ticks);
 
-    let mut plan = FaultPlan::new(args.seed)
+    let mut plan = FaultPlan::new(args.common.seed)
         .with_drop_rate(FaultPath::ViolationReport, args.drop_rate)
         .with_drop_rate(FaultPath::PollReply, args.poll_drop_rate)
         .with_duplication_rate(args.dup_rate)
@@ -521,18 +579,17 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir)?;
         runner = runner.with_wal(
-            dir.join(format!("chaos-{}.wal", args.seed)),
+            dir.join(format!("chaos-{}.wal", args.common.seed)),
             args.checkpoint_interval,
         );
     }
-    if let Some(dir) = &args.obs_dir {
+    if let Some(dir) = &args.common.obs_dir {
         // with_obs_dir flips the runner's obs bundle on at run time.
         runner = runner.with_obs_dir(dir, args.obs_every);
     }
     let report = runner.run(&traces)?;
 
     let summary = ChaosReport {
-        schema: CHAOS_SCHEMA_VERSION,
         monitors: n,
         ticks: report.ticks,
         alerts: report.alerts,
@@ -551,13 +608,8 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         total_samples: report.total_samples,
         cost_ratio: report.cost_ratio(n),
     };
-    if args.json {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&summary).expect("serializable")
-        )?;
-        return Ok(());
+    if args.common.report_json {
+        return write_envelope(out, "chaos", &summary);
     }
     writeln!(out, "monitors:         {}", summary.monitors)?;
     writeln!(out, "ticks:            {}", summary.ticks)?;
@@ -607,7 +659,7 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         };
         writeln!(out, "alerts at ticks:  {}{}", shown.join(", "), suffix)?;
     }
-    if let Some(dir) = &args.obs_dir {
+    if let Some(dir) = &args.common.obs_dir {
         writeln!(out, "obs snapshots:    {dir}")?;
     }
     Ok(())
@@ -616,7 +668,9 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::{ChaosArgs, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, SimulateArgs};
+    use crate::args::{
+        ChaosArgs, CommonArgs, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, SimulateArgs,
+    };
 
     fn run_to_string(command: Command) -> String {
         let mut buffer = Vec::new();
@@ -696,9 +750,11 @@ mod tests {
             json: true,
         }));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["violations"], 1);
-        assert_eq!(parsed["detected"], 1);
-        assert_eq!(parsed["misdetection_rate"], 0.0);
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed["command"], "monitor");
+        assert_eq!(parsed["report"]["violations"], 1);
+        assert_eq!(parsed["report"]["detected"], 1);
+        assert_eq!(parsed["report"]["misdetection_rate"], 0.0);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -718,8 +774,8 @@ mod tests {
             json: true,
         }));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["violations"], 1);
-        assert_eq!(parsed["detected"], 1);
+        assert_eq!(parsed["report"]["violations"], 1);
+        assert_eq!(parsed["report"]["detected"], 1);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -742,7 +798,6 @@ mod tests {
         ChaosArgs {
             monitors: 2,
             ticks: 100,
-            seed: 7,
             drop_rate: 0.0,
             poll_drop_rate: 0.0,
             dup_rate: 0.0,
@@ -758,9 +813,12 @@ mod tests {
             deadline_ms: 25,
             quarantine_after: 2,
             supervise: true,
-            obs_dir: None,
             obs_every: 50,
-            json: true,
+            common: CommonArgs {
+                seed: 7,
+                report_json: true,
+                ..CommonArgs::default()
+            },
         }
     }
 
@@ -770,13 +828,15 @@ mod tests {
         args.crashes.push((1, 10));
         let text = run_to_string(Command::Chaos(args));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["schema"], 2);
-        assert_eq!(parsed["ticks"], 100);
-        assert_eq!(parsed["quarantines"], 1);
-        assert_eq!(parsed["restarts"], 1);
-        assert_eq!(parsed["recoveries"], 1);
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed["command"], "chaos");
+        let report = &parsed["report"];
+        assert_eq!(report["ticks"], 100);
+        assert_eq!(report["quarantines"], 1);
+        assert_eq!(report["restarts"], 1);
+        assert_eq!(report["recoveries"], 1);
         // Bursts at ticks 49 and 99 still alert despite the crash.
-        assert_eq!(parsed["alerts"], 2);
+        assert_eq!(report["alerts"], 2);
     }
 
     #[test]
@@ -790,13 +850,14 @@ mod tests {
         args.checkpoint_interval = 10;
         let text = run_to_string(Command::Chaos(args));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["schema"], 2);
-        assert_eq!(parsed["ticks"], 100);
-        assert_eq!(parsed["coordinator_failovers"], 1);
-        assert_eq!(parsed["checkpoint_restores"], 2);
-        assert_eq!(parsed["conservative_restarts"], 0);
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        let report = &parsed["report"];
+        assert_eq!(report["ticks"], 100);
+        assert_eq!(report["coordinator_failovers"], 1);
+        assert_eq!(report["checkpoint_restores"], 2);
+        assert_eq!(report["conservative_restarts"], 0);
         // Bursts at 49 and 99 straddle the crash; both still alert.
-        assert_eq!(parsed["alerts"], 2);
+        assert_eq!(report["alerts"], 2);
         let _ = std::fs::remove_file(dir.join("chaos-7.wal"));
     }
 
@@ -812,23 +873,24 @@ mod tests {
         args.supervise = false;
         let text = run_to_string(Command::Chaos(args));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["ticks"], 100);
-        assert_eq!(parsed["coordinator_failovers"], 1);
+        let report = &parsed["report"];
+        assert_eq!(report["ticks"], 100);
+        assert_eq!(report["coordinator_failovers"], 1);
         // The partitioned monitor missed the epoch bump: its post-heal
         // frames carry the dead coordinator's epoch and are fenced out
         // until the epoch-repair handshake readmits it.
         assert!(
-            parsed["stale_epoch_frames"].as_u64().unwrap() >= 1,
+            report["stale_epoch_frames"].as_u64().unwrap() >= 1,
             "{text}"
         );
         // Epoch repair readmits it: the run ends with a recovery.
-        assert!(parsed["recoveries"].as_u64().unwrap() >= 1, "{text}");
+        assert!(report["recoveries"].as_u64().unwrap() >= 1, "{text}");
     }
 
     #[test]
     fn chaos_text_report_lists_counters() {
         let mut args = chaos_args();
-        args.json = false;
+        args.common.report_json = false;
         let text = run_to_string(Command::Chaos(args));
         assert!(text.contains("quarantines:"), "{text}");
         assert!(text.contains("alerts at ticks:  49, 99"), "{text}");
@@ -839,11 +901,12 @@ mod tests {
             monitors: 2,
             ticks: 100,
             err: 0.0,
-            seed: 0,
-            obs_dir: None,
             obs_every: 25,
             self_monitor_us: None,
-            json: true,
+            common: CommonArgs {
+                report_json: true,
+                ..CommonArgs::default()
+            },
         }
     }
 
@@ -852,15 +915,17 @@ mod tests {
         let dir = std::env::temp_dir().join("volley-cli-test-obs-run");
         let _ = std::fs::remove_dir_all(&dir);
         let mut args = run_args();
-        args.obs_dir = Some(dir.to_string_lossy().to_string());
+        args.common.obs_dir = Some(dir.to_string_lossy().to_string());
         let text = run_to_string(Command::Run(args));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["schema"], 1);
-        assert_eq!(parsed["ticks"], 100);
-        assert_eq!(parsed["alerts"], 2);
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed["command"], "run");
+        let report = &parsed["report"];
+        assert_eq!(report["ticks"], 100);
+        assert_eq!(report["alerts"], 2);
         // The embedded snapshot carries the runner's counters.
         assert_eq!(
-            parsed["snapshot"]["counters"]["volley_runner_ticks_total"],
+            report["snapshot"]["counters"]["volley_runner_ticks_total"],
             100
         );
 
@@ -882,19 +947,39 @@ mod tests {
         let dir = std::env::temp_dir().join("volley-cli-test-obs-read");
         let _ = std::fs::remove_dir_all(&dir);
         let mut args = run_args();
-        args.obs_dir = Some(dir.to_string_lossy().to_string());
+        args.common.obs_dir = Some(dir.to_string_lossy().to_string());
         let _ = run_to_string(Command::Run(args));
 
         let text = run_to_string(Command::Obs(ObsArgs {
             dir: dir.to_string_lossy().to_string(),
             prom: false,
+            common: CommonArgs::default(),
         }));
         assert!(text.contains("volley_runner_ticks_total"), "{text}");
         assert!(text.contains("histograms:"), "{text}");
 
+        // --report-json wraps the snapshot in the schema-3 envelope.
+        let json = run_to_string(Command::Obs(ObsArgs {
+            dir: dir.to_string_lossy().to_string(),
+            prom: false,
+            common: CommonArgs {
+                report_json: true,
+                ..CommonArgs::default()
+            },
+        }));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed["command"], "obs");
+        assert!(parsed["report"]["counters"]
+            .as_object()
+            .unwrap()
+            .iter()
+            .any(|(name, _)| name == "volley_runner_ticks_total"));
+
         let prom = run_to_string(Command::Obs(ObsArgs {
             dir: dir.to_string_lossy().to_string(),
             prom: true,
+            common: CommonArgs::default(),
         }));
         assert!(volley_obs::parse_prometheus(&prom)
             .unwrap()
@@ -912,6 +997,7 @@ mod tests {
             Command::Obs(ObsArgs {
                 dir: dir.to_string_lossy().to_string(),
                 prom: false,
+                common: CommonArgs::default(),
             }),
             &mut buffer,
         );
@@ -925,8 +1011,8 @@ mod tests {
         args.self_monitor_us = Some(60_000_000.0); // absurd threshold: no alerts
         let text = run_to_string(Command::Run(args));
         let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["self_monitor_samples"], 100);
-        assert_eq!(parsed["self_monitor_alerts"], 0);
+        assert_eq!(parsed["report"]["self_monitor_samples"], 100);
+        assert_eq!(parsed["report"]["self_monitor_alerts"], 0);
     }
 
     #[test]
@@ -950,9 +1036,40 @@ mod tests {
             vms: 4,
             err: 0.0,
             ticks: 100,
-            seed: 0,
+            common: CommonArgs::default(),
         }));
         assert!(text.contains("Dom0 CPU"));
         assert!(text.contains("miss rate"));
+    }
+
+    #[test]
+    fn simulate_json_is_thread_count_independent() {
+        let report_with = |threads: usize| {
+            let text = run_to_string(Command::Simulate(SimulateArgs {
+                servers: 2,
+                vms: 8,
+                err: 0.01,
+                ticks: 120,
+                common: CommonArgs {
+                    seed: 5,
+                    threads,
+                    report_json: true,
+                    ..CommonArgs::default()
+                },
+            }));
+            let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+            assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+            assert_eq!(parsed["command"], "sim");
+            // `threads` is the one field that legitimately differs.
+            let report: Vec<(String, serde_json::Value)> = parsed["report"]
+                .as_object()
+                .unwrap()
+                .iter()
+                .filter(|(name, _)| name != "threads")
+                .cloned()
+                .collect();
+            report
+        };
+        assert_eq!(report_with(1), report_with(4));
     }
 }

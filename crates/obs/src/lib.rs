@@ -104,6 +104,16 @@ pub mod names {
     pub const TRANSPORT_RECVS_TOTAL: &str = "volley_transport_recvs_total";
     /// Counter: simulated sampling operations (Fig. 6 cost path).
     pub const SIM_SAMPLING_OPS_TOTAL: &str = "volley_sim_sampling_ops_total";
+    /// Counter: lockstep epochs completed by the sharded sim engine.
+    pub const SIM_EPOCHS_TOTAL: &str = "volley_sim_epochs_total";
+    /// Histogram (ns): wall time of one lockstep epoch (all shards).
+    pub const SIM_EPOCH_LATENCY_NS: &str = "volley_sim_epoch_latency_ns";
+    /// Counter: shards processed by a thread other than their home thread.
+    pub const SIM_SHARD_STEALS_TOTAL: &str = "volley_sim_shard_steals_total";
+    /// Counter: cross-shard envelopes merged at epoch boundaries.
+    pub const SIM_SHARD_MERGES_TOTAL: &str = "volley_sim_shard_merges_total";
+    /// Gauge: largest per-shard pending-event backlog at the last epoch end.
+    pub const SIM_SHARD_QUEUE_DEPTH: &str = "volley_sim_shard_queue_depth";
 }
 
 /// A registry and span log sharing one enabled flag: the single handle

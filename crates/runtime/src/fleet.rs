@@ -11,6 +11,8 @@ use volley_core::coordinator::CoordinationScheme;
 use volley_core::task::TaskSpec;
 use volley_core::VolleyError;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::coordinator::DEFAULT_TICK_DEADLINE;
@@ -42,7 +44,17 @@ pub struct FleetTask {
 impl FleetTask {
     /// Creates a submission with the default (adaptive) scheme, a
     /// lossless report path and no injected faults.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `FleetTask::from_spec` or `volley::VolleyConfig`"
+    )]
     pub fn new(spec: TaskSpec, traces: Vec<Vec<f64>>) -> Self {
+        FleetTask::from_spec(spec, traces)
+    }
+
+    /// Creates a submission with the default (adaptive) scheme, a
+    /// lossless report path and no injected faults.
+    pub fn from_spec(spec: TaskSpec, traces: Vec<Vec<f64>>) -> Self {
         FleetTask {
             spec,
             traces,
@@ -105,17 +117,31 @@ impl FleetSummary {
 /// Executes batches of independent monitoring tasks in parallel.
 #[derive(Debug, Default)]
 pub struct FleetRunner {
-    _private: (),
+    /// Worker-thread cap; `None` runs every task on its own thread.
+    threads: Option<usize>,
 }
 
 impl FleetRunner {
-    /// Creates a fleet runner.
+    /// Creates a fleet runner that gives every task its own thread group.
     pub fn new() -> Self {
         FleetRunner::default()
     }
 
-    /// Runs all submissions concurrently (one thread group per task) and
-    /// returns their reports in submission order plus a fleet summary.
+    /// Caps the fleet at `threads` concurrently-running tasks (clamped to
+    /// at least 1): workers pull submissions off a shared queue, so a
+    /// million-task fleet no longer needs a million OS threads. Reports
+    /// stay in submission order and are bit-identical for every cap —
+    /// tasks are isolated, so the cap changes scheduling only.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Runs all submissions concurrently (up to the
+    /// [`with_threads`](Self::with_threads) cap, default one thread group
+    /// per task) and returns their reports in submission order plus a
+    /// fleet summary.
     ///
     /// # Errors
     ///
@@ -126,32 +152,49 @@ impl FleetRunner {
         &self,
         tasks: Vec<FleetTask>,
     ) -> Result<(Vec<RuntimeReport>, FleetSummary), VolleyError> {
-        let mut results: Vec<Option<Result<RuntimeReport, VolleyError>>> =
-            (0..tasks.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for task in &tasks {
-                handles.push(scope.spawn(move || {
-                    let mut runner = TaskRunner::new(&task.spec)?
-                        .with_scheme(task.scheme)
-                        .with_failure(task.failure.clone())
-                        .with_fault_plan(task.fault_plan.clone())
-                        .with_tick_deadline(task.tick_deadline)
-                        .with_standby(task.standby);
-                    if let Some((path, every)) = &task.wal {
-                        runner = runner.with_wal(path, *every);
-                    }
-                    runner.run(&task.traces)
-                }));
-            }
-            for (slot, handle) in results.iter_mut().zip(handles) {
-                *slot = Some(handle.join().expect("task thread exits cleanly"));
-            }
-        });
+        let results: Vec<Mutex<Option<Result<RuntimeReport, VolleyError>>>> =
+            (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+        let workers = self
+            .threads
+            .unwrap_or(tasks.len())
+            .clamp(1, tasks.len().max(1));
+        if !tasks.is_empty() {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tasks = &tasks;
+                    let results = &results;
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= tasks.len() {
+                            break;
+                        }
+                        let task = &tasks[index];
+                        let outcome = (|| {
+                            let mut runner = TaskRunner::new(&task.spec)?
+                                .with_scheme(task.scheme)
+                                .with_failure(task.failure.clone())
+                                .with_fault_plan(task.fault_plan.clone())
+                                .with_tick_deadline(task.tick_deadline)
+                                .with_standby(task.standby);
+                            if let Some((path, every)) = &task.wal {
+                                runner = runner.with_wal(path, *every);
+                            }
+                            runner.run(&task.traces)
+                        })();
+                        *results[index].lock().expect("result slot lock") = Some(outcome);
+                    });
+                }
+            });
+        }
         let mut reports = Vec::with_capacity(tasks.len());
         let mut summary = FleetSummary::default();
         for (result, task) in results.into_iter().zip(&tasks) {
-            let report = result.expect("every slot filled")?;
+            let report = result
+                .into_inner()
+                .expect("result slot lock")
+                .expect("every slot filled")?;
             summary.tasks += 1;
             summary.total_samples += report.total_samples;
             summary.baseline_samples += report.ticks * task.spec.monitors().len() as u64;
@@ -196,9 +239,9 @@ mod tests {
     fn fleet_matches_individual_runs() {
         let make_tasks = || {
             vec![
-                FleetTask::new(spec(2, 500.0), quiet_traces(2, 400, 5.0)),
-                FleetTask::new(spec(3, 900.0), quiet_traces(3, 400, 10.0)),
-                FleetTask::new(spec(1, 50.0), {
+                FleetTask::from_spec(spec(2, 500.0), quiet_traces(2, 400, 5.0)),
+                FleetTask::from_spec(spec(3, 900.0), quiet_traces(3, 400, 10.0)),
+                FleetTask::from_spec(spec(1, 50.0), {
                     let mut t = quiet_traces(1, 400, 5.0);
                     // A sustained violation spanning more than the max
                     // interval (8), so at least one sample must land on it.
@@ -227,7 +270,7 @@ mod tests {
     #[test]
     fn fleet_propagates_task_errors() {
         // A task whose trace count mismatches its monitor count fails.
-        let bad = FleetTask::new(spec(2, 100.0), quiet_traces(1, 50, 1.0));
+        let bad = FleetTask::from_spec(spec(2, 100.0), quiet_traces(1, 50, 1.0));
         let err = FleetRunner::new().run(vec![bad]).unwrap_err();
         assert!(matches!(err, VolleyError::ValueCountMismatch { .. }));
     }
@@ -235,8 +278,8 @@ mod tests {
     #[test]
     fn faulty_task_completes_without_contaminating_the_fleet() {
         use volley_core::task::MonitorId;
-        let healthy = FleetTask::new(spec(2, 500.0), quiet_traces(2, 100, 5.0));
-        let faulty = FleetTask::new(spec(2, 500.0), quiet_traces(2, 100, 5.0)).with_faults(
+        let healthy = FleetTask::from_spec(spec(2, 500.0), quiet_traces(2, 100, 5.0));
+        let faulty = FleetTask::from_spec(spec(2, 500.0), quiet_traces(2, 100, 5.0)).with_faults(
             FaultPlan::new(3).with_crash(MonitorId(0), 10),
             Duration::from_millis(25),
         );
@@ -253,8 +296,8 @@ mod tests {
         let dir = std::env::temp_dir().join("volley-fleet-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("standby-{}.wal", std::process::id()));
-        let healthy = FleetTask::new(spec(2, 500.0), quiet_traces(2, 80, 5.0));
-        let durable = FleetTask::new(spec(2, 500.0), quiet_traces(2, 80, 5.0))
+        let healthy = FleetTask::from_spec(spec(2, 500.0), quiet_traces(2, 80, 5.0));
+        let durable = FleetTask::from_spec(spec(2, 500.0), quiet_traces(2, 80, 5.0))
             .with_faults(
                 FaultPlan::new(3).with_coordinator_crash(40),
                 Duration::from_millis(50),
@@ -270,9 +313,27 @@ mod tests {
     }
 
     #[test]
+    fn bounded_pool_matches_unbounded_for_every_cap() {
+        let make_tasks = || {
+            (0..6)
+                .map(|i| FleetTask::from_spec(spec(2, 800.0 + i as f64), quiet_traces(2, 150, 2.0)))
+                .collect::<Vec<_>>()
+        };
+        let (unbounded, baseline) = FleetRunner::new().run(make_tasks()).unwrap();
+        for threads in [1, 2, 8] {
+            let (bounded, summary) = FleetRunner::new()
+                .with_threads(threads)
+                .run(make_tasks())
+                .unwrap();
+            assert_eq!(unbounded, bounded, "threads={threads} changed reports");
+            assert_eq!(baseline, summary, "threads={threads} changed summary");
+        }
+    }
+
+    #[test]
     fn large_fleet_completes() {
         let tasks: Vec<FleetTask> = (0..12)
-            .map(|i| FleetTask::new(spec(2, 1000.0 + i as f64), quiet_traces(2, 200, 1.0)))
+            .map(|i| FleetTask::from_spec(spec(2, 1000.0 + i as f64), quiet_traces(2, 200, 1.0)))
             .collect();
         let (reports, summary) = FleetRunner::new().run(tasks).unwrap();
         assert_eq!(reports.len(), 12);

@@ -23,6 +23,7 @@ use volley_traces::DiurnalPattern;
 
 use crate::cluster::{ClusterConfig, VmId};
 use crate::cost::Dom0CostModel;
+use crate::shard::{EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine};
 use crate::telemetry::ServerTelemetry;
 use crate::time::{SimDuration, SimTime};
 
@@ -108,9 +109,107 @@ pub struct DistributedScenario {
     config: DistributedScenarioConfig,
 }
 
+/// One distributed task plus its member traces and scoring state, owned
+/// by the shard holding its first VM.
+struct TaskCell {
+    vms: Vec<usize>,
+    task: DistributedTask,
+    log: DetectionLog,
+    truth: GroundTruth,
+    rho: Vec<Vec<f64>>,
+    packets: Vec<Vec<f64>>,
+}
+
+/// Tick event: advance one shard-local task by one window.
+#[derive(Debug, Clone, Copy)]
+struct StepTask {
+    local: usize,
+}
+
+/// A shard's slice of the distributed-tasks scenario. Tasks group
+/// *consecutive* VMs and may straddle coordinator groups, so each shard
+/// charges a private full-cluster telemetry vector; the vectors are
+/// merged element-wise (fixed shard order) after the run — deterministic
+/// for every thread count.
+struct DistributedShard {
+    cluster: ClusterConfig,
+    window: SimDuration,
+    tick_count: u64,
+    cost: Dom0CostModel,
+    tasks: Vec<TaskCell>,
+    telemetry: Vec<ServerTelemetry>,
+    values: Vec<f64>,
+    global_polls: u64,
+    alerts: u64,
+}
+
+impl ShardWorker for DistributedShard {
+    type Event = StepTask;
+    type Msg = ();
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, StepTask, ()>, time: SimTime, event: StepTask) {
+        let tick = time.as_micros() / self.window.as_micros();
+        if tick >= self.tick_count {
+            return;
+        }
+        let cell = &mut self.tasks[event.local];
+        self.values.clear();
+        self.values
+            .extend(cell.rho.iter().map(|trace| trace[tick as usize]));
+        let outcome = cell
+            .task
+            .step(tick, &self.values)
+            .expect("value count matches");
+        // Charge each member's Dom0 for this tick's operations:
+        // distribute the tick's total ops over the members that
+        // sampled (scheduled) or were polled (all of them).
+        if outcome.total_samples() > 0 {
+            let polled = outcome.poll.is_some();
+            for (member, vm) in cell.vms.iter().enumerate() {
+                // Every member sampled if a poll ran; otherwise
+                // we cannot know which members' schedules fired
+                // from the outcome alone, so charge
+                // proportionally: scheduled ops spread over the
+                // task (the per-op cost model is per-VM traffic).
+                let ops_for_vm = if polled {
+                    1.0
+                } else {
+                    f64::from(outcome.scheduled_samples) / cell.vms.len() as f64
+                };
+                if ops_for_vm > 0.0 {
+                    let server = self.cluster.server_of(VmId(*vm as u32));
+                    let packets = cell.packets[member][tick as usize];
+                    let cost = self.cost.sample_cost(packets * ops_for_vm);
+                    self.telemetry[server.0 as usize].charge_sample(time, cost);
+                }
+            }
+        }
+        cell.log
+            .record(tick, outcome.total_samples(), outcome.alerted());
+        if outcome.poll.is_some() {
+            self.global_polls += 1;
+        }
+        if outcome.alerted() {
+            self.alerts += 1;
+        }
+        if tick + 1 < self.tick_count {
+            ctx.schedule(time + self.window, event);
+        }
+    }
+}
+
 impl DistributedScenario {
     /// Creates a scenario from its configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DistributedScenario::from_config` or `volley::VolleyConfig`"
+    )]
     pub fn new(config: DistributedScenarioConfig) -> Self {
+        DistributedScenario::from_config(config)
+    }
+
+    /// Creates a scenario from its configuration.
+    pub fn from_config(config: DistributedScenarioConfig) -> Self {
         DistributedScenario { config }
     }
 
@@ -125,6 +224,18 @@ impl DistributedScenario {
     ///
     /// Panics when `task_size` is zero or exceeds the VM count.
     pub fn run(&self) -> DistributedScenarioReport {
+        self.run_parallel(1)
+    }
+
+    /// Runs the scenario on `threads` worker threads over the sharded
+    /// engine. Results are bit-identical to [`run`](Self::run) for every
+    /// thread count: tasks are owned by the shard holding their first VM,
+    /// and per-shard telemetry merges in fixed shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `task_size` is zero or exceeds the VM count.
+    pub fn run_parallel(&self, threads: usize) -> DistributedScenarioReport {
         let cfg = &self.config;
         assert!(cfg.task_size >= 1, "task_size must be at least 1");
         let total_vms = cfg.cluster.total_vms() as usize;
@@ -132,102 +243,111 @@ impl DistributedScenario {
         assert!(task_count >= 1, "task_size exceeds the VM count");
         let window = SimDuration::from_secs_f64(cfg.window_secs);
         let horizon = SimTime::ZERO + window.saturating_mul(cfg.ticks as u64);
+        let tick_count = cfg.ticks as u64;
 
-        let traffic = NetflowConfig::builder()
+        let netflow = NetflowConfig::builder()
             .seed(cfg.seed)
             .vms(total_vms)
             .diurnal(DiurnalPattern::new((cfg.ticks as u64).min(5760), 0.4))
-            .build()
-            .generate(cfg.ticks);
+            .build();
 
+        let plan = ShardPlan::by_coordinator_group(cfg.cluster);
+        let epoch_ticks = tick_count.div_ceil(8).max(1);
+        let engine = ShardedEngine::new(EngineConfig {
+            threads,
+            epoch: window.saturating_mul(epoch_ticks),
+            horizon,
+        });
+        let (workers, _stats) = engine.run(
+            &plan,
+            0, // traces carry the seed; shards draw no engine randomness
+            |shard, ctx| {
+                // Member traces generate shard-locally (each VM has an
+                // independent stream), so setup parallelizes with the run.
+                let mut tasks = Vec::new();
+                for task_idx in 0..task_count {
+                    let first_vm = VmId((task_idx * cfg.task_size) as u32);
+                    if plan.shard_of_vm(first_vm) != shard {
+                        continue;
+                    }
+                    let vms: Vec<usize> =
+                        (task_idx * cfg.task_size..(task_idx + 1) * cfg.task_size).collect();
+                    let traffic: Vec<_> = vms
+                        .iter()
+                        .map(|vm| netflow.generate_vm(*vm, cfg.ticks))
+                        .collect();
+                    let thresholds: Vec<f64> = traffic
+                        .iter()
+                        .map(|t| {
+                            volley_core::selectivity_threshold(&t.rho, cfg.selectivity_percent)
+                                .expect("non-empty trace, valid selectivity")
+                        })
+                        .collect();
+                    let global: f64 = thresholds.iter().sum();
+                    let spec = TaskSpec::builder(global)
+                        .threshold_split(volley_core::ThresholdSplit::Proportional)
+                        .threshold_weights(thresholds)
+                        .error_allowance(cfg.error_allowance)
+                        .max_interval(cfg.max_interval)
+                        .patience(cfg.patience)
+                        .build()
+                        .expect("scenario task parameters are valid");
+                    let task = DistributedTask::with_scheme(&spec, cfg.scheme, cfg.allocation)
+                        .expect("valid task");
+                    let rho: Vec<Vec<f64>> = traffic.iter().map(|t| t.rho.clone()).collect();
+                    let packets: Vec<Vec<f64>> = traffic.into_iter().map(|t| t.packets).collect();
+                    let truth = GroundTruth::from_aggregate_traces(&rho, global);
+                    let local = tasks.len();
+                    tasks.push(TaskCell {
+                        vms,
+                        task,
+                        log: DetectionLog::new(),
+                        truth,
+                        rho,
+                        packets,
+                    });
+                    ctx.schedule(SimTime::ZERO, StepTask { local });
+                }
+                DistributedShard {
+                    cluster: cfg.cluster,
+                    window,
+                    tick_count,
+                    cost: cfg.cost,
+                    tasks,
+                    telemetry: (0..cfg.cluster.servers())
+                        .map(|_| ServerTelemetry::new(window))
+                        .collect(),
+                    values: Vec::with_capacity(cfg.task_size),
+                    global_polls: 0,
+                    alerts: 0,
+                }
+            },
+            None,
+        );
+
+        // Merge per-shard results in fixed shard order: task logs score
+        // in global task order (tasks sort by first VM, shards own
+        // ascending VM ranges), telemetry sums element-wise.
+        let baseline_per_task = tick_count * cfg.task_size as u64;
+        let mut accuracy: Option<AccuracyReport> = None;
         let mut telemetry: Vec<ServerTelemetry> = (0..cfg.cluster.servers())
             .map(|_| ServerTelemetry::new(window))
             .collect();
-
-        let mut tasks = Vec::with_capacity(task_count);
-        let mut truths = Vec::with_capacity(task_count);
-        for task_idx in 0..task_count {
-            let vms: Vec<usize> =
-                (task_idx * cfg.task_size..(task_idx + 1) * cfg.task_size).collect();
-            let thresholds: Vec<f64> = vms
-                .iter()
-                .map(|vm| {
-                    volley_core::selectivity_threshold(&traffic[*vm].rho, cfg.selectivity_percent)
-                        .expect("non-empty trace, valid selectivity")
-                })
-                .collect();
-            let global: f64 = thresholds.iter().sum();
-            let spec = TaskSpec::builder(global)
-                .threshold_split(volley_core::ThresholdSplit::Proportional)
-                .threshold_weights(thresholds)
-                .error_allowance(cfg.error_allowance)
-                .max_interval(cfg.max_interval)
-                .patience(cfg.patience)
-                .build()
-                .expect("scenario task parameters are valid");
-            let task = DistributedTask::with_scheme(&spec, cfg.scheme, cfg.allocation)
-                .expect("valid task");
-            let member_traces: Vec<Vec<f64>> =
-                vms.iter().map(|vm| traffic[*vm].rho.clone()).collect();
-            truths.push(GroundTruth::from_aggregate_traces(&member_traces, global));
-            tasks.push((vms, task, DetectionLog::new()));
-        }
-
-        // Tick-driven execution; sampling costs are charged via the
-        // per-task step outcome (scheduled + poll-forced operations are
-        // all local sampling work on the members' Dom0s).
-        let mut values = vec![0.0; cfg.task_size];
         let mut global_polls = 0u64;
         let mut alerts = 0u64;
-        for tick in 0..cfg.ticks as u64 {
-            let now = SimTime::ZERO + window.saturating_mul(tick);
-            for (vms, task, log) in &mut tasks {
-                for (slot, vm) in values.iter_mut().zip(vms.iter()) {
-                    *slot = traffic[*vm].rho[tick as usize];
-                }
-                let outcome = task.step(tick, &values).expect("value count matches");
-                // Charge each member's Dom0 for this tick's operations:
-                // distribute the tick's total ops over the members that
-                // sampled (scheduled) or were polled (all of them).
-                if outcome.total_samples() > 0 {
-                    let polled = outcome.poll.is_some();
-                    for vm in vms.iter() {
-                        // Every member sampled if a poll ran; otherwise
-                        // we cannot know which members' schedules fired
-                        // from the outcome alone, so charge
-                        // proportionally: scheduled ops spread over the
-                        // task (the per-op cost model is per-VM traffic).
-                        let ops_for_vm = if polled {
-                            1.0
-                        } else {
-                            f64::from(outcome.scheduled_samples) / vms.len() as f64
-                        };
-                        if ops_for_vm > 0.0 {
-                            let server = cfg.cluster.server_of(VmId(*vm as u32));
-                            let packets = traffic[*vm].packets[tick as usize];
-                            let cost = cfg.cost.sample_cost(packets * ops_for_vm);
-                            telemetry[server.0 as usize].charge_sample(now, cost);
-                        }
-                    }
-                }
-                log.record(tick, outcome.total_samples(), outcome.alerted());
-                if outcome.poll.is_some() {
-                    global_polls += 1;
-                }
-                if outcome.alerted() {
-                    alerts += 1;
-                }
+        for worker in workers {
+            for cell in &worker.tasks {
+                let report = cell.log.score(&cell.truth, baseline_per_task);
+                accuracy = Some(match accuracy {
+                    Some(acc) => acc.merged(&report),
+                    None => report,
+                });
             }
-        }
-
-        let baseline_per_task = cfg.ticks as u64 * cfg.task_size as u64;
-        let mut accuracy: Option<AccuracyReport> = None;
-        for ((_, _, log), truth) in tasks.iter().zip(&truths) {
-            let report = log.score(truth, baseline_per_task);
-            accuracy = Some(match accuracy {
-                Some(acc) => acc.merged(&report),
-                None => report,
-            });
+            for (into, from) in telemetry.iter_mut().zip(&worker.telemetry) {
+                into.merge_from(from);
+            }
+            global_polls += worker.global_polls;
+            alerts += worker.alerts;
         }
         let accuracy = accuracy.expect("at least one task");
         let mut cpu_values = Vec::new();
@@ -263,21 +383,21 @@ mod tests {
 
     #[test]
     fn groups_vms_into_tasks() {
-        let report = DistributedScenario::new(small(0.05)).run();
+        let report = DistributedScenario::from_config(small(0.05)).run();
         assert_eq!(report.tasks, 4); // 20 VMs / 5
     }
 
     #[test]
     fn periodic_baseline_detects_all_aggregate_violations() {
-        let report = DistributedScenario::new(small(0.0)).run();
+        let report = DistributedScenario::from_config(small(0.0)).run();
         assert_eq!(report.accuracy.misdetection_rate(), 0.0);
         assert_eq!(report.sampling_ops, 4 * 5 * 800);
     }
 
     #[test]
     fn adaptation_saves_cost_on_distributed_tasks() {
-        let periodic = DistributedScenario::new(small(0.0)).run();
-        let adaptive = DistributedScenario::new(small(0.05)).run();
+        let periodic = DistributedScenario::from_config(small(0.0)).run();
+        let adaptive = DistributedScenario::from_config(small(0.05)).run();
         assert!(
             adaptive.sampling_ops < periodic.sampling_ops,
             "adaptive {} vs periodic {}",
@@ -291,7 +411,7 @@ mod tests {
 
     #[test]
     fn polls_happen_and_are_counted() {
-        let report = DistributedScenario::new(small(0.02)).run();
+        let report = DistributedScenario::from_config(small(0.02)).run();
         assert!(
             report.global_polls > 0,
             "local violations should trigger polls"
@@ -300,15 +420,15 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = DistributedScenario::new(small(0.01)).run();
-        let b = DistributedScenario::new(small(0.01)).run();
+        let a = DistributedScenario::from_config(small(0.01)).run();
+        let b = DistributedScenario::from_config(small(0.01)).run();
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "task_size must be at least 1")]
     fn zero_task_size_panics() {
-        DistributedScenario::new(DistributedScenarioConfig {
+        DistributedScenario::from_config(DistributedScenarioConfig {
             task_size: 0,
             ..small(0.01)
         })

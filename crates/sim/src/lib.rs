@@ -26,6 +26,8 @@
 //!   counters.
 //! - [`scenario`] — ready-made end-to-end scenarios (network monitoring
 //!   fleet, used by the Figure 6 harness).
+//! - [`shard`] — the sharded, deterministic, multi-threaded execution
+//!   engine (per-coordinator-group event queues in lockstep epochs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +38,7 @@ pub mod cost;
 pub mod distributed;
 pub mod event;
 pub mod scenario;
+pub mod shard;
 pub mod telemetry;
 pub mod time;
 
@@ -46,6 +49,9 @@ pub use event::EventQueue;
 pub use scenario::{
     ApplicationScenario, ApplicationScenarioConfig, NetworkScenario, NetworkScenarioConfig,
     ScenarioReport, SystemScenario, SystemScenarioConfig,
+};
+pub use shard::{
+    EngineConfig, EngineStats, ShardCtx, ShardId, ShardPlan, ShardWorker, ShardedEngine,
 };
 pub use telemetry::{ServerTelemetry, UtilizationWindow};
 pub use time::{SimDuration, SimTime};

@@ -19,7 +19,7 @@ use volley_obs::Obs;
 
 use crate::cluster::{ClusterConfig, VmId};
 use crate::cost::Dom0CostModel;
-use crate::event::EventQueue;
+use crate::shard::{EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine};
 use crate::telemetry::{ObsBridge, ServerTelemetry};
 use crate::time::{SimDuration, SimTime};
 
@@ -106,12 +106,76 @@ struct SampleEvent {
     vm: VmId,
 }
 
+/// One coordinator group's slice of the monitoring fleet: the samplers,
+/// detection logs, value traces and Dom0 telemetry of its contiguous VM
+/// and server ranges. Everything is shard-local, so the sharded engine
+/// can run groups on different threads without the results depending on
+/// thread count.
+struct FleetShard {
+    cluster: ClusterConfig,
+    window: SimDuration,
+    tick_count: u64,
+    cost_model: Dom0CostModel,
+    /// First VM id of this shard's contiguous range.
+    first_vm: u32,
+    /// First server id of this shard's contiguous range.
+    first_server: u32,
+    samplers: Vec<AdaptiveSampler>,
+    logs: Vec<DetectionLog>,
+    traces: Vec<Vec<f64>>,
+    weights: Option<Vec<Vec<f64>>>,
+    telemetry: Vec<ServerTelemetry>,
+}
+
+impl ShardWorker for FleetShard {
+    type Event = SampleEvent;
+    type Msg = ();
+
+    fn handle(
+        &mut self,
+        ctx: &mut ShardCtx<'_, SampleEvent, ()>,
+        time: SimTime,
+        event: SampleEvent,
+    ) {
+        let tick = time.as_micros() / self.window.as_micros();
+        if tick >= self.tick_count {
+            return;
+        }
+        let local = (event.vm.0 - self.first_vm) as usize;
+        let value = self.traces[local][tick as usize];
+        let weight = self
+            .weights
+            .as_ref()
+            .map(|w| w[local][tick as usize])
+            .unwrap_or(0.0);
+        let server = self.cluster.server_of(event.vm);
+        self.telemetry[(server.0 - self.first_server) as usize]
+            .charge_sample(time, self.cost_model.sample_cost(weight));
+        let obs = self.samplers[local].observe(tick, value);
+        self.logs[local].record(tick, 1, obs.violation);
+        if obs.next_sample_tick < self.tick_count {
+            ctx.schedule(
+                SimTime::ZERO + self.window.saturating_mul(obs.next_sample_tick),
+                event,
+            );
+        }
+    }
+}
+
+/// Per-VM trace source handed to [`run_fleet`]: returns the value trace
+/// and (for DPI-style costs) the per-tick cost weights of one VM.
+/// Called inside the engine's parallel region, so trace generation
+/// scales with threads; sources must therefore be pure per VM.
+type VmSource<'a> = &'a (dyn Fn(VmId) -> (Vec<f64>, Option<Vec<f64>>) + Sync);
+
 /// The shared fleet engine behind every scenario: one adaptive sampler
-/// per VM over a per-VM value trace, sampling events scheduled on the
-/// discrete-event queue, cost charged to the hosting server's Dom0.
+/// per VM over a per-VM value trace, sampling events scheduled on
+/// per-coordinator-group event queues (see [`crate::shard`]), cost
+/// charged to the hosting server's Dom0.
 ///
-/// `cost_weight[vm][tick]` scales the cost model's per-unit term (packet
-/// counts for network DPI; `None` for flat-cost agent queries).
+/// Shards never exchange state (a coordinator group's monitors only
+/// touch their own servers), so results are bit-identical for every
+/// `threads` value — `threads` buys wall-clock time, nothing else.
 #[allow(clippy::too_many_arguments)] // internal engine; each knob is load-bearing
 fn run_fleet(
     cluster: ClusterConfig,
@@ -120,59 +184,88 @@ fn run_fleet(
     adaptation: AdaptationConfig,
     selectivity_percent: f64,
     cost_model: Dom0CostModel,
-    traces: &[Vec<f64>],
-    cost_weight: Option<&[Vec<f64>]>,
+    source: VmSource<'_>,
     obs: Option<&Obs>,
+    threads: usize,
 ) -> ScenarioReport {
-    let total_vms = cluster.total_vms() as usize;
-    debug_assert_eq!(traces.len(), total_vms);
     let horizon = SimTime::ZERO + window.saturating_mul(ticks as u64);
-    let mut samplers: Vec<AdaptiveSampler> = traces
-        .iter()
-        .map(|t| {
-            let threshold = volley_core::selectivity_threshold(t, selectivity_percent)
-                .expect("non-empty trace, valid selectivity");
-            AdaptiveSampler::new(adaptation, threshold)
-        })
-        .collect();
-    let mut telemetry: Vec<ServerTelemetry> = (0..cluster.servers())
-        .map(|_| ServerTelemetry::new(window))
-        .collect();
-    let mut logs: Vec<DetectionLog> = vec![DetectionLog::new(); total_vms];
-    let mut queue: EventQueue<SampleEvent> = EventQueue::new();
-    for vm in cluster.all_vms() {
-        queue.schedule(SimTime::ZERO, SampleEvent { vm });
-    }
-    let tick_count = ticks as u64;
-    queue.run_until(horizon, |q, time, event| {
-        let tick = time.as_micros() / window.as_micros();
-        if tick >= tick_count {
-            return;
-        }
-        let vm_idx = event.vm.0 as usize;
-        let value = traces[vm_idx][tick as usize];
-        let weight = cost_weight.map(|w| w[vm_idx][tick as usize]).unwrap_or(0.0);
-        let server = cluster.server_of(event.vm);
-        telemetry[server.0 as usize].charge_sample(time, cost_model.sample_cost(weight));
-        let obs = samplers[vm_idx].observe(tick, value);
-        logs[vm_idx].record(tick, 1, obs.violation);
-        if obs.next_sample_tick < tick_count {
-            q.schedule(
-                SimTime::ZERO + window.saturating_mul(obs.next_sample_tick),
-                event,
-            );
-        }
+    let plan = ShardPlan::by_coordinator_group(cluster);
+    // Aim for a handful of lockstep epochs so the engine's barrier path
+    // and epoch telemetry stay exercised without measurable overhead.
+    let epoch_ticks = (ticks as u64).div_ceil(8).max(1);
+    let engine = ShardedEngine::new(EngineConfig {
+        threads,
+        epoch: window.saturating_mul(epoch_ticks),
+        horizon,
     });
+    let tick_count = ticks as u64;
+    let (workers, _stats) = engine.run(
+        &plan,
+        0, // fleet shards draw no engine randomness; traces carry the seed
+        |shard, ctx| {
+            let first_vm = plan
+                .vms_of(shard)
+                .next()
+                .expect("every coordinator group has at least one VM")
+                .0;
+            let first_server = plan
+                .servers_of(shard)
+                .next()
+                .expect("every coordinator group has at least one server")
+                .0;
+            let mut samplers = Vec::new();
+            let mut traces = Vec::new();
+            let mut weights: Option<Vec<Vec<f64>>> = None;
+            for vm in plan.vms_of(shard) {
+                let (trace, weight) = source(vm);
+                let threshold = volley_core::selectivity_threshold(&trace, selectivity_percent)
+                    .expect("non-empty trace, valid selectivity");
+                samplers.push(AdaptiveSampler::new(adaptation, threshold));
+                traces.push(trace);
+                if let Some(weight) = weight {
+                    weights.get_or_insert_with(Vec::new).push(weight);
+                }
+                ctx.schedule(SimTime::ZERO, SampleEvent { vm });
+            }
+            let logs = vec![DetectionLog::new(); traces.len()];
+            let telemetry = plan
+                .servers_of(shard)
+                .map(|_| ServerTelemetry::new(window))
+                .collect();
+            FleetShard {
+                cluster,
+                window,
+                tick_count,
+                cost_model,
+                first_vm,
+                first_server,
+                samplers,
+                logs,
+                traces,
+                weights,
+                telemetry,
+            }
+        },
+        obs,
+    );
 
+    // Merge shard results in shard order; shards hold contiguous
+    // ascending VM/server ranges, so this reproduces the sequential
+    // engine's merge order exactly.
     let baseline_per_vm = ticks as u64;
     let mut accuracy: Option<AccuracyReport> = None;
-    for (vm, log) in logs.iter().enumerate() {
-        let truth = GroundTruth::from_trace(&traces[vm], samplers[vm].threshold());
-        let report = log.score(&truth, baseline_per_vm);
-        accuracy = Some(match accuracy {
-            Some(acc) => acc.merged(&report),
-            None => report,
-        });
+    let mut telemetry: Vec<ServerTelemetry> = Vec::with_capacity(cluster.servers() as usize);
+    for worker in workers {
+        for ((log, sampler), trace) in worker.logs.iter().zip(&worker.samplers).zip(&worker.traces)
+        {
+            let truth = GroundTruth::from_trace(trace, sampler.threshold());
+            let report = log.score(&truth, baseline_per_vm);
+            accuracy = Some(match accuracy {
+                Some(acc) => acc.merged(&report),
+                None => report,
+            });
+        }
+        telemetry.extend(worker.telemetry);
     }
     let accuracy = accuracy.expect("at least one VM");
     if let Some(obs) = obs {
@@ -196,7 +289,16 @@ fn run_fleet(
 
 impl NetworkScenario {
     /// Creates a scenario from its configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NetworkScenario::from_config` or `volley::VolleyConfig`"
+    )]
     pub fn new(config: NetworkScenarioConfig) -> Self {
+        NetworkScenario::from_config(config)
+    }
+
+    /// Creates a scenario from its configuration.
+    pub fn from_config(config: NetworkScenarioConfig) -> Self {
         NetworkScenario { config }
     }
 
@@ -208,16 +310,29 @@ impl NetworkScenario {
     /// Runs the scenario to completion and reports cost, accuracy and the
     /// Dom0 CPU utilization distribution.
     pub fn run(&self) -> ScenarioReport {
-        self.run_inner(None)
+        self.run_inner(None, 1)
+    }
+
+    /// Runs the scenario on `threads` worker threads over the sharded
+    /// engine. Results are bit-identical to [`run`](Self::run) for every
+    /// thread count.
+    pub fn run_parallel(&self, threads: usize) -> ScenarioReport {
+        self.run_inner(None, threads)
     }
 
     /// Like [`run`](Self::run), but also publishes the fleet's sampling
     /// operations into `obs`'s registry (`volley_sim_sampling_ops_total`).
     pub fn run_with_obs(&self, obs: &Obs) -> ScenarioReport {
-        self.run_inner(Some(obs))
+        self.run_inner(Some(obs), 1)
     }
 
-    fn run_inner(&self, obs: Option<&Obs>) -> ScenarioReport {
+    /// [`run_parallel`](Self::run_parallel) with observability: engine
+    /// epoch/steal/merge counters and sampling ops land in `obs`.
+    pub fn run_parallel_with_obs(&self, threads: usize, obs: &Obs) -> ScenarioReport {
+        self.run_inner(Some(obs), threads)
+    }
+
+    fn run_inner(&self, obs: Option<&Obs>, threads: usize) -> ScenarioReport {
         let cfg = &self.config;
         let total_vms = cfg.cluster.total_vms() as usize;
         let mut netflow = NetflowConfig::builder()
@@ -228,25 +343,31 @@ impl NetworkScenario {
         for attack in &cfg.attacks {
             netflow = netflow.attack(*attack);
         }
-        let traffic = netflow.build().generate(cfg.ticks);
+        let netflow = netflow.build();
         let adaptation = AdaptationConfig::builder()
             .error_allowance(cfg.error_allowance)
             .max_interval(cfg.max_interval)
             .patience(cfg.patience)
             .build()
             .expect("scenario adaptation parameters are valid");
-        let traces: Vec<Vec<f64>> = traffic.iter().map(|t| t.rho.clone()).collect();
-        let packets: Vec<Vec<f64>> = traffic.into_iter().map(|t| t.packets).collect();
+        let ticks = cfg.ticks;
+        // Traces are generated shard-locally inside the engine's parallel
+        // region (each VM has an independent stream), so generation —
+        // the dominant cost at large fleets — scales with threads too.
+        let source = move |vm: VmId| {
+            let traffic = netflow.generate_vm(vm.0 as usize, ticks);
+            (traffic.rho, Some(traffic.packets))
+        };
         run_fleet(
             cfg.cluster,
             SimDuration::from_secs_f64(cfg.window_secs),
-            cfg.ticks,
+            ticks,
             adaptation,
             cfg.selectivity_percent,
             cfg.cost,
-            &traces,
-            Some(&packets),
+            &source,
             obs,
+            threads,
         )
     }
 }
@@ -302,7 +423,16 @@ pub struct SystemScenario {
 
 impl SystemScenario {
     /// Creates a scenario from its configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SystemScenario::from_config` or `volley::VolleyConfig`"
+    )]
     pub fn new(config: SystemScenarioConfig) -> Self {
+        SystemScenario::from_config(config)
+    }
+
+    /// Creates a scenario from its configuration.
+    pub fn from_config(config: SystemScenarioConfig) -> Self {
         SystemScenario { config }
     }
 
@@ -313,29 +443,37 @@ impl SystemScenario {
 
     /// Runs the scenario to completion.
     pub fn run(&self) -> ScenarioReport {
+        self.run_parallel(1)
+    }
+
+    /// Runs the scenario on `threads` worker threads over the sharded
+    /// engine. Results are bit-identical to [`run`](Self::run) for every
+    /// thread count.
+    pub fn run_parallel(&self, threads: usize) -> ScenarioReport {
         let cfg = &self.config;
-        let total_vms = cfg.cluster.total_vms() as usize;
         let generator = volley_traces::sysmetrics::SystemMetricsGenerator::new(cfg.seed)
             .with_diurnal_period((cfg.ticks as u64).min(17_280));
-        let traces: Vec<Vec<f64>> = (0..total_vms)
-            .map(|vm| generator.trace(vm, vm % 66, cfg.ticks))
-            .collect();
         let adaptation = AdaptationConfig::builder()
             .error_allowance(cfg.error_allowance)
             .max_interval(cfg.max_interval)
             .patience(cfg.patience)
             .build()
             .expect("scenario adaptation parameters are valid");
+        let ticks = cfg.ticks;
+        let source = move |vm: VmId| {
+            let vm = vm.0 as usize;
+            (generator.trace(vm, vm % 66, ticks), None)
+        };
         run_fleet(
             cfg.cluster,
             SimDuration::from_secs_f64(cfg.sample_interval_secs),
-            cfg.ticks,
+            ticks,
             adaptation,
             cfg.selectivity_percent,
             cfg.cost,
-            &traces,
+            &source,
             None,
-            None,
+            threads,
         )
     }
 }
@@ -390,7 +528,16 @@ pub struct ApplicationScenario {
 
 impl ApplicationScenario {
     /// Creates a scenario from its configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ApplicationScenario::from_config` or `volley::VolleyConfig`"
+    )]
     pub fn new(config: ApplicationScenarioConfig) -> Self {
+        ApplicationScenario::from_config(config)
+    }
+
+    /// Creates a scenario from its configuration.
+    pub fn from_config(config: ApplicationScenarioConfig) -> Self {
         ApplicationScenario { config }
     }
 
@@ -401,8 +548,18 @@ impl ApplicationScenario {
 
     /// Runs the scenario to completion.
     pub fn run(&self) -> ScenarioReport {
+        self.run_parallel(1)
+    }
+
+    /// Runs the scenario on `threads` worker threads over the sharded
+    /// engine. Results are bit-identical to [`run`](Self::run) for every
+    /// thread count.
+    pub fn run_parallel(&self, threads: usize) -> ScenarioReport {
         let cfg = &self.config;
         let total_vms = cfg.cluster.total_vms() as usize;
+        // The HTTP workload's objects are correlated (shared flash
+        // crowds), so it is generated once up front and shared read-only
+        // across shards.
         let workload = volley_traces::http::HttpWorkloadConfig::builder()
             .seed(cfg.seed)
             .objects(total_vms)
@@ -414,15 +571,13 @@ impl ApplicationScenario {
             .flash_crowd_duration((cfg.ticks as u64 / 20).max(10))
             .build()
             .generate(cfg.ticks);
-        let traces: Vec<Vec<f64>> = (0..total_vms)
-            .map(|o| workload.object_rate(o).to_vec())
-            .collect();
         let adaptation = AdaptationConfig::builder()
             .error_allowance(cfg.error_allowance)
             .max_interval(cfg.max_interval)
             .patience(cfg.patience)
             .build()
             .expect("scenario adaptation parameters are valid");
+        let source = move |vm: VmId| (workload.object_rate(vm.0 as usize).to_vec(), None);
         run_fleet(
             cfg.cluster,
             SimDuration::from_secs_f64(cfg.sample_interval_secs),
@@ -430,9 +585,9 @@ impl ApplicationScenario {
             adaptation,
             cfg.selectivity_percent,
             cfg.cost,
-            &traces,
+            &source,
             None,
-            None,
+            threads,
         )
     }
 }
@@ -456,7 +611,7 @@ mod tests {
 
     #[test]
     fn periodic_baseline_samples_every_window() {
-        let report = NetworkScenario::new(small(0.0)).run();
+        let report = NetworkScenario::from_config(small(0.0)).run();
         // 8 VMs × 600 ticks.
         assert_eq!(report.sampling_ops, 8 * 600);
         assert!((report.cost_ratio() - 1.0).abs() < 1e-12);
@@ -465,8 +620,8 @@ mod tests {
 
     #[test]
     fn adaptation_reduces_cost() {
-        let periodic = NetworkScenario::new(small(0.0)).run();
-        let adaptive = NetworkScenario::new(small(0.05)).run();
+        let periodic = NetworkScenario::from_config(small(0.0)).run();
+        let adaptive = NetworkScenario::from_config(small(0.05)).run();
         assert!(
             adaptive.sampling_ops < periodic.sampling_ops / 2,
             "adaptive {} vs periodic {}",
@@ -477,8 +632,8 @@ mod tests {
 
     #[test]
     fn adaptation_reduces_cpu_utilization() {
-        let periodic = NetworkScenario::new(small(0.0)).run();
-        let adaptive = NetworkScenario::new(small(0.05)).run();
+        let periodic = NetworkScenario::from_config(small(0.0)).run();
+        let adaptive = NetworkScenario::from_config(small(0.05)).run();
         let p = periodic.cpu.expect("cpu summary");
         let a = adaptive.cpu.expect("cpu summary");
         assert!(
@@ -500,7 +655,7 @@ mod tests {
             seed: 7,
             ..NetworkScenarioConfig::default()
         };
-        let report = NetworkScenario::new(cfg).run();
+        let report = NetworkScenario::from_config(cfg).run();
         let cpu = report.cpu.expect("cpu summary");
         assert!(
             (0.15..=0.40).contains(&cpu.mean),
@@ -511,7 +666,7 @@ mod tests {
 
     #[test]
     fn misdetection_stays_reasonable() {
-        let report = NetworkScenario::new(small(0.02)).run();
+        let report = NetworkScenario::from_config(small(0.02)).run();
         // The Chebyshev adaptation is conservative; actual misses should
         // be comfortably below 10x the allowance even on short traces.
         assert!(report.accuracy.misdetection_rate() < 0.2);
@@ -519,15 +674,15 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        let a = NetworkScenario::new(small(0.01)).run();
-        let b = NetworkScenario::new(small(0.01)).run();
+        let a = NetworkScenario::from_config(small(0.01)).run();
+        let b = NetworkScenario::from_config(small(0.01)).run();
         assert_eq!(a, b);
     }
 
     #[test]
     fn obs_counter_matches_report_sampling_ops() {
         let obs = Obs::new(true);
-        let report = NetworkScenario::new(small(0.01)).run_with_obs(&obs);
+        let report = NetworkScenario::from_config(small(0.01)).run_with_obs(&obs);
         let snapshot = obs.snapshot(0);
         assert_eq!(
             snapshot
@@ -541,7 +696,7 @@ mod tests {
 
     #[test]
     fn cpu_values_cover_all_server_windows() {
-        let report = NetworkScenario::new(small(0.01)).run();
+        let report = NetworkScenario::from_config(small(0.01)).run();
         // 2 servers × 600 windows.
         assert_eq!(report.cpu_values.len(), 2 * 600);
     }
@@ -559,15 +714,15 @@ mod tests {
 
     #[test]
     fn system_scenario_periodic_baseline() {
-        let report = SystemScenario::new(small_system(0.0)).run();
+        let report = SystemScenario::from_config(small_system(0.0)).run();
         assert_eq!(report.sampling_ops, 12 * 1200);
         assert_eq!(report.accuracy.misdetection_rate(), 0.0);
     }
 
     #[test]
     fn system_scenario_adaptation_saves_cost() {
-        let periodic = SystemScenario::new(small_system(0.0)).run();
-        let adaptive = SystemScenario::new(small_system(0.05)).run();
+        let periodic = SystemScenario::from_config(small_system(0.0)).run();
+        let adaptive = SystemScenario::from_config(small_system(0.05)).run();
         assert!(
             adaptive.sampling_ops < periodic.sampling_ops,
             "adaptive {} vs periodic {}",
@@ -582,8 +737,8 @@ mod tests {
     #[test]
     fn system_scenario_agent_queries_are_cheap() {
         // Agent queries must burden Dom0 far less than packet inspection.
-        let system = SystemScenario::new(small_system(0.0)).run();
-        let network = NetworkScenario::new(NetworkScenarioConfig {
+        let system = SystemScenario::from_config(small_system(0.0)).run();
+        let network = NetworkScenario::from_config(NetworkScenarioConfig {
             cluster: ClusterConfig::new(2, 6, 1),
             error_allowance: 0.0,
             ticks: 1200,
@@ -603,8 +758,8 @@ mod tests {
 
     #[test]
     fn system_scenario_deterministic() {
-        let a = SystemScenario::new(small_system(0.01)).run();
-        let b = SystemScenario::new(small_system(0.01)).run();
+        let a = SystemScenario::from_config(small_system(0.01)).run();
+        let b = SystemScenario::from_config(small_system(0.01)).run();
         assert_eq!(a, b);
     }
 
@@ -621,15 +776,15 @@ mod tests {
 
     #[test]
     fn application_scenario_periodic_baseline() {
-        let report = ApplicationScenario::new(small_application(0.0)).run();
+        let report = ApplicationScenario::from_config(small_application(0.0)).run();
         assert_eq!(report.sampling_ops, 10 * 1500);
         assert_eq!(report.accuracy.misdetection_rate(), 0.0);
     }
 
     #[test]
     fn application_scenario_adaptation_saves_cost() {
-        let periodic = ApplicationScenario::new(small_application(0.0)).run();
-        let adaptive = ApplicationScenario::new(small_application(0.05)).run();
+        let periodic = ApplicationScenario::from_config(small_application(0.0)).run();
+        let adaptive = ApplicationScenario::from_config(small_application(0.05)).run();
         assert!(
             adaptive.sampling_ops < periodic.sampling_ops,
             "adaptive {} vs periodic {}",
@@ -640,8 +795,8 @@ mod tests {
 
     #[test]
     fn application_scenario_deterministic() {
-        let a = ApplicationScenario::new(small_application(0.01)).run();
-        let b = ApplicationScenario::new(small_application(0.01)).run();
+        let a = ApplicationScenario::from_config(small_application(0.01)).run();
+        let b = ApplicationScenario::from_config(small_application(0.01)).run();
         assert_eq!(a, b);
     }
 }

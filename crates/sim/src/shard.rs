@@ -1,0 +1,778 @@
+//! Sharded, deterministic, multi-threaded simulation execution.
+//!
+//! The sequential [`EventQueue`](crate::event::EventQueue) caps every
+//! experiment at whatever one core can chew through; datacenter-scale
+//! workloads (the paper argues Volley's value *grows* with scale, §V)
+//! need the simulator itself to scale. This module partitions the
+//! cluster **by coordinator group** into per-shard event queues and runs
+//! the shards on scoped worker threads in **lockstep epochs**:
+//!
+//! 1. every shard independently drains its own queue up to the epoch
+//!    boundary (threads pull shards off a shared work list, so a fast
+//!    thread steals shards from slower ones);
+//! 2. at the barrier, cross-shard messages emitted during the epoch are
+//!    collected, sorted into a canonical `(source shard, send sequence)`
+//!    order, and delivered to their destination shards;
+//! 3. the next epoch begins with those deliveries.
+//!
+//! Determinism is by construction, not by luck: shard state is touched
+//! only by whichever thread currently holds the shard, every shard owns
+//! its own seeded RNG stream derived from `(seed, shard)`, and inboxes
+//! are sorted before delivery — so results are **bit-identical
+//! regardless of thread count**. The only thread-count-sensitive outputs
+//! are the performance counters ([`EngineStats::steals`], epoch
+//! latency), which describe the execution, not the simulation.
+//!
+//! ```
+//! use volley_sim::shard::{EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine};
+//! use volley_sim::{ClusterConfig, SimDuration, SimTime};
+//!
+//! struct Counter(u64);
+//! impl ShardWorker for Counter {
+//!     type Event = ();
+//!     type Msg = ();
+//!     fn handle(&mut self, _ctx: &mut ShardCtx<'_, (), ()>, _t: SimTime, _e: ()) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(4, 2, 1));
+//! let engine = ShardedEngine::new(EngineConfig {
+//!     threads: 2,
+//!     epoch: SimDuration::from_micros(100),
+//!     horizon: SimTime::from_micros(1000),
+//! });
+//! let (workers, stats) = engine.run(&plan, 7, |_, ctx| {
+//!     ctx.schedule(SimTime::ZERO, ());
+//!     Counter(0)
+//! }, None);
+//! assert_eq!(workers.len(), 4);
+//! assert!(workers.iter().all(|w| w.0 == 1));
+//! assert_eq!(stats.shards, 4);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use volley_obs::{names, Obs};
+
+use crate::cluster::{ClusterConfig, ServerId, VmId};
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a shard (one coordinator group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// A deterministic partition of the cluster into shards, one per
+/// coordinator group: the coordinator is the natural consistency
+/// boundary (its monitors exchange allowance with it, not with other
+/// groups), so everything a group touches — its servers, their Dom0
+/// telemetry, their VMs' samplers — lives on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    cluster: ClusterConfig,
+    shards: u32,
+}
+
+impl ShardPlan {
+    /// Partitions `cluster` with one shard per coordinator group.
+    pub fn by_coordinator_group(cluster: ClusterConfig) -> Self {
+        ShardPlan {
+            cluster,
+            shards: cluster.coordinator_count(),
+        }
+    }
+
+    /// The partitioned cluster.
+    pub fn cluster(&self) -> ClusterConfig {
+        self.cluster
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `server` is outside the topology.
+    pub fn shard_of_server(&self, server: ServerId) -> ShardId {
+        ShardId(self.cluster.coordinator_of(server))
+    }
+
+    /// The shard owning `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vm` is outside the topology.
+    pub fn shard_of_vm(&self, vm: VmId) -> ShardId {
+        self.shard_of_server(self.cluster.server_of(vm))
+    }
+
+    /// The contiguous servers owned by `shard`.
+    pub fn servers_of(&self, shard: ShardId) -> impl Iterator<Item = ServerId> {
+        let per = self.cluster.servers_per_coordinator();
+        let start = shard.0 * per;
+        let end = (start + per).min(self.cluster.servers());
+        (start..end).map(ServerId)
+    }
+
+    /// The contiguous VMs owned by `shard`.
+    pub fn vms_of(&self, shard: ShardId) -> impl Iterator<Item = VmId> + '_ {
+        self.servers_of(shard)
+            .flat_map(move |server| self.cluster.vms_on(server))
+    }
+
+    /// The independent RNG stream for `shard` under `seed`. Streams are
+    /// decorrelated across shards and never depend on thread count.
+    pub fn rng_for(seed: u64, shard: ShardId) -> StdRng {
+        // Distinct mixing constant from the per-VM trace streams so a
+        // shard's engine stream never collides with a VM's trace stream.
+        StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(u64::from(shard.0) + 1))
+    }
+}
+
+/// The per-shard execution context handed to [`ShardWorker`] callbacks:
+/// the shard's own queue, RNG stream, and cross-shard outbox.
+#[derive(Debug)]
+pub struct ShardCtx<'a, E, M> {
+    shard: ShardId,
+    queue: &'a mut EventQueue<E>,
+    rng: &'a mut StdRng,
+    outbox: &'a mut Vec<(ShardId, M)>,
+}
+
+impl<E, M> ShardCtx<'_, E, M> {
+    /// The shard this context belongs to.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Current simulated time on this shard's clock.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Pending local events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules a local event (past times clamp to now, as on
+    /// [`EventQueue::schedule`]).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.queue.schedule(time, event);
+    }
+
+    /// Sends `msg` to shard `dst`. Messages are buffered for the epoch
+    /// and delivered — batched, in canonical order — at the next epoch
+    /// boundary.
+    pub fn send(&mut self, dst: ShardId, msg: M) {
+        self.outbox.push((dst, msg));
+    }
+
+    /// This shard's own deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Per-shard simulation logic driven by the engine.
+pub trait ShardWorker: Send {
+    /// Local event payload.
+    type Event: Send;
+    /// Cross-shard message payload.
+    type Msg: Send;
+
+    /// Handles one local event; may schedule further events and send
+    /// cross-shard messages through `ctx`.
+    fn handle(
+        &mut self,
+        ctx: &mut ShardCtx<'_, Self::Event, Self::Msg>,
+        time: SimTime,
+        event: Self::Event,
+    );
+
+    /// Receives a cross-shard message at an epoch boundary. Deliveries
+    /// arrive sorted by `(source shard, send order)`. The default
+    /// ignores messages.
+    fn on_message(
+        &mut self,
+        ctx: &mut ShardCtx<'_, Self::Event, Self::Msg>,
+        from: ShardId,
+        msg: Self::Msg,
+    ) {
+        let _ = (ctx, from, msg);
+    }
+}
+
+/// Execution parameters of the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Worker threads (clamped to `1..=shard count`). Thread count never
+    /// changes simulation results, only wall-clock time.
+    pub threads: usize,
+    /// Lockstep epoch length; cross-shard messages are exchanged at
+    /// multiples of this. Zero clamps to one microsecond.
+    pub epoch: SimDuration,
+    /// Simulation end time.
+    pub horizon: SimTime,
+}
+
+/// Execution counters of one engine run.
+///
+/// `shards`, `epochs` and `merges` are deterministic; `steals` and
+/// `max_queue_depth` describe the particular execution (thread
+/// scheduling) and may vary run to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Shards executed.
+    pub shards: u32,
+    /// Lockstep epochs completed (including drain rounds).
+    pub epochs: u64,
+    /// Shards processed by a thread other than their home thread.
+    pub steals: u64,
+    /// Cross-shard envelopes merged at epoch boundaries.
+    pub merges: u64,
+    /// Largest per-shard pending-event backlog observed at an epoch end.
+    pub max_queue_depth: usize,
+}
+
+/// One shard's complete private state.
+struct ShardCell<W: ShardWorker> {
+    shard: ShardId,
+    worker: Option<W>,
+    queue: EventQueue<W::Event>,
+    rng: StdRng,
+    outbox: Vec<(ShardId, W::Msg)>,
+    /// `(from, send sequence, message)`, sorted before the epoch starts.
+    inbox: Vec<(ShardId, u64, W::Msg)>,
+}
+
+impl<W: ShardWorker> ShardCell<W> {
+    /// Runs one epoch on this shard: deliver the sorted inbox, then
+    /// drain local events up to `epoch_end`. Builds the worker on first
+    /// touch (inside the parallel region, so per-shard setup — trace
+    /// generation included — parallelizes too).
+    fn run_epoch<F>(&mut self, build: &F, epoch_end: SimTime)
+    where
+        F: Fn(ShardId, &mut ShardCtx<'_, W::Event, W::Msg>) -> W,
+    {
+        let ShardCell {
+            shard,
+            worker,
+            queue,
+            rng,
+            outbox,
+            inbox,
+        } = self;
+        if worker.is_none() {
+            let mut ctx = ShardCtx {
+                shard: *shard,
+                queue,
+                rng,
+                outbox,
+            };
+            *worker = Some(build(*shard, &mut ctx));
+        }
+        let worker = worker.as_mut().expect("worker built on first epoch");
+        for (from, _seq, msg) in inbox.drain(..) {
+            let mut ctx = ShardCtx {
+                shard: *shard,
+                queue,
+                rng,
+                outbox,
+            };
+            worker.on_message(&mut ctx, from, msg);
+        }
+        queue.run_until(epoch_end, |queue, time, event| {
+            let mut ctx = ShardCtx {
+                shard: *shard,
+                queue,
+                rng,
+                outbox,
+            };
+            worker.handle(&mut ctx, time, event);
+        });
+    }
+}
+
+/// How many extra barrier rounds run at the horizon to flush messages
+/// sent during the final epoch. Message chains still pending afterwards
+/// are dropped (a chain that long at the horizon is a workload bug).
+const MAX_DRAIN_ROUNDS: u64 = 16;
+
+/// The sharded lockstep engine (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedEngine {
+    config: EngineConfig,
+}
+
+impl ShardedEngine {
+    /// Creates an engine with the given execution parameters.
+    pub fn new(config: EngineConfig) -> Self {
+        ShardedEngine { config }
+    }
+
+    /// The execution parameters.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Runs every shard of `plan` to the horizon and returns the final
+    /// workers (in shard order) plus execution counters.
+    ///
+    /// `build` constructs each shard's worker on its first epoch —
+    /// called inside the parallel region, once per shard, with a context
+    /// for scheduling initial events. When `obs` is given, per-epoch
+    /// queue depth, epoch latency, and steal/merge counters are
+    /// published through its registry.
+    pub fn run<W, F>(
+        &self,
+        plan: &ShardPlan,
+        seed: u64,
+        build: F,
+        obs: Option<&Obs>,
+    ) -> (Vec<W>, EngineStats)
+    where
+        W: ShardWorker,
+        F: Fn(ShardId, &mut ShardCtx<'_, W::Event, W::Msg>) -> W + Sync,
+    {
+        let shard_count = plan.shard_count() as usize;
+        let threads = self.config.threads.clamp(1, shard_count.max(1));
+        let epoch = if self.config.epoch == SimDuration::ZERO {
+            SimDuration::from_micros(1)
+        } else {
+            self.config.epoch
+        };
+        let horizon = self.config.horizon;
+
+        let mut cells: Vec<Mutex<ShardCell<W>>> = (0..shard_count)
+            .map(|i| {
+                let shard = ShardId(i as u32);
+                Mutex::new(ShardCell {
+                    shard,
+                    worker: None,
+                    queue: EventQueue::new(),
+                    rng: ShardPlan::rng_for(seed, shard),
+                    outbox: Vec::new(),
+                    inbox: Vec::new(),
+                })
+            })
+            .collect();
+
+        let mut stats = EngineStats {
+            shards: shard_count as u32,
+            ..EngineStats::default()
+        };
+        let steals_total = obs.map(|o| o.registry().counter(names::SIM_SHARD_STEALS_TOTAL));
+        let merges_total = obs.map(|o| o.registry().counter(names::SIM_SHARD_MERGES_TOTAL));
+        let epochs_total = obs.map(|o| o.registry().counter(names::SIM_EPOCHS_TOTAL));
+        let epoch_latency = obs.map(|o| o.registry().histogram(names::SIM_EPOCH_LATENCY_NS));
+        let queue_depth = obs.map(|o| o.registry().gauge(names::SIM_SHARD_QUEUE_DEPTH));
+
+        let planned_epochs = horizon
+            .as_micros()
+            .div_ceil(epoch.as_micros().max(1))
+            .max(1);
+        let mut drain_rounds = 0u64;
+        let mut epoch_idx = 0u64;
+        loop {
+            let epoch_end = if epoch_idx < planned_epochs {
+                SimTime::from_micros(
+                    epoch
+                        .as_micros()
+                        .saturating_mul(epoch_idx + 1)
+                        .min(horizon.as_micros()),
+                )
+            } else {
+                horizon
+            };
+
+            let started = Instant::now();
+            let steals = AtomicU64::new(0);
+            let next_shard = AtomicUsize::new(0);
+            if threads <= 1 {
+                for cell in &cells {
+                    let mut cell = cell.lock().expect("shard cell lock");
+                    cell.run_epoch(&build, epoch_end);
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for ordinal in 0..threads {
+                        let cells = &cells;
+                        let build = &build;
+                        let steals = &steals;
+                        let next_shard = &next_shard;
+                        scope.spawn(move || loop {
+                            let index = next_shard.fetch_add(1, Ordering::Relaxed);
+                            if index >= shard_count {
+                                break;
+                            }
+                            if index % threads != ordinal {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let mut cell = cells[index].lock().expect("shard cell lock");
+                            cell.run_epoch(build, epoch_end);
+                        });
+                    }
+                });
+            }
+            stats.steals += steals.load(Ordering::Relaxed);
+            stats.epochs += 1;
+
+            // Barrier: collect every outbox, stamp with the canonical
+            // (source, send-sequence) order, and deliver.
+            let mut routed: Vec<(ShardId, ShardId, u64, W::Msg)> = Vec::new();
+            let mut depth = 0usize;
+            for cell in &mut cells {
+                let cell = cell.get_mut().expect("shard cell lock");
+                depth = depth.max(cell.queue.len());
+                let from = cell.shard;
+                for (seq, (dst, msg)) in cell.outbox.drain(..).enumerate() {
+                    routed.push((from, dst, seq as u64, msg));
+                }
+            }
+            let merged = routed.len() as u64;
+            for (from, dst, seq, msg) in routed {
+                assert!(
+                    (dst.0 as usize) < shard_count,
+                    "{from} sent a message to nonexistent {dst}"
+                );
+                cells[dst.0 as usize]
+                    .get_mut()
+                    .expect("shard cell lock")
+                    .inbox
+                    .push((from, seq, msg));
+            }
+            let mut has_pending_messages = false;
+            for cell in &mut cells {
+                let cell = cell.get_mut().expect("shard cell lock");
+                cell.inbox.sort_by_key(|(from, seq, _)| (from.0, *seq));
+                has_pending_messages |= !cell.inbox.is_empty();
+            }
+            stats.merges += merged;
+            stats.max_queue_depth = stats.max_queue_depth.max(depth);
+
+            let elapsed = started.elapsed().as_nanos() as u64;
+            if let Some(h) = &epoch_latency {
+                h.record(elapsed);
+            }
+            if let Some(c) = &epochs_total {
+                c.inc();
+            }
+            if let Some(c) = &merges_total {
+                c.add(merged);
+            }
+            if let Some(c) = &steals_total {
+                c.add(steals.load(Ordering::Relaxed));
+            }
+            if let Some(g) = &queue_depth {
+                g.set(depth as f64);
+            }
+
+            epoch_idx += 1;
+            if epoch_idx >= planned_epochs {
+                // Main timeline exhausted: run bounded drain rounds at
+                // the horizon while messages are still in flight.
+                if !has_pending_messages || drain_rounds >= MAX_DRAIN_ROUNDS {
+                    break;
+                }
+                drain_rounds += 1;
+            }
+        }
+
+        let workers = cells
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner()
+                    .expect("shard cell lock")
+                    .worker
+                    .expect("every shard ran at least one epoch")
+            })
+            .collect();
+        (workers, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A workload exercising everything the engine guarantees: local
+    /// rescheduling, per-shard RNG draws, and cross-shard ping-pong.
+    struct Mixer {
+        shard: ShardId,
+        shards: u32,
+        /// Rolling hash of everything this worker observed.
+        digest: u64,
+        events: u64,
+        messages: u64,
+    }
+
+    impl Mixer {
+        fn mix(&mut self, value: u64) {
+            self.digest = self
+                .digest
+                .rotate_left(7)
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(value);
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Tick(u64);
+
+    impl ShardWorker for Mixer {
+        type Event = Tick;
+        type Msg = u64;
+
+        fn handle(&mut self, ctx: &mut ShardCtx<'_, Tick, u64>, time: SimTime, event: Tick) {
+            self.events += 1;
+            let draw: u64 = ctx.rng().gen();
+            self.mix(time.as_micros() ^ event.0 ^ (draw >> 32));
+            // Send to the next shard every third event.
+            if self.events.is_multiple_of(3) && self.shards > 1 {
+                let dst = ShardId((self.shard.0 + 1) % self.shards);
+                ctx.send(dst, self.digest);
+            }
+            if event.0 < 50 {
+                ctx.schedule(time + SimDuration::from_micros(10), Tick(event.0 + 1));
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut ShardCtx<'_, Tick, u64>, from: ShardId, msg: u64) {
+            self.messages += 1;
+            self.mix(u64::from(from.0).wrapping_mul(31).wrapping_add(msg));
+        }
+    }
+
+    fn run_mixer(threads: usize, seed: u64) -> (Vec<(u64, u64, u64)>, EngineStats) {
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(20, 2, 5));
+        let engine = ShardedEngine::new(EngineConfig {
+            threads,
+            epoch: SimDuration::from_micros(100),
+            horizon: SimTime::from_micros(600),
+        });
+        let (workers, stats) = engine.run(
+            &plan,
+            seed,
+            |shard, ctx| {
+                ctx.schedule(SimTime::ZERO, Tick(0));
+                Mixer {
+                    shard,
+                    shards: plan.shard_count(),
+                    digest: 0,
+                    events: 0,
+                    messages: 0,
+                }
+            },
+            None,
+        );
+        (
+            workers
+                .into_iter()
+                .map(|w| (w.digest, w.events, w.messages))
+                .collect(),
+            stats,
+        )
+    }
+
+    #[test]
+    fn plan_partitions_by_coordinator_group() {
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::paper());
+        assert_eq!(plan.shard_count(), 4);
+        // Every server and VM lands on exactly one shard, contiguously.
+        let mut seen_servers = Vec::new();
+        let mut seen_vms = Vec::new();
+        for s in 0..plan.shard_count() {
+            for server in plan.servers_of(ShardId(s)) {
+                assert_eq!(plan.shard_of_server(server), ShardId(s));
+                seen_servers.push(server.0);
+            }
+            for vm in plan.vms_of(ShardId(s)) {
+                assert_eq!(plan.shard_of_vm(vm), ShardId(s));
+                seen_vms.push(vm.0);
+            }
+        }
+        assert_eq!(seen_servers, (0..20).collect::<Vec<_>>());
+        assert_eq!(seen_vms, (0..800).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_handles_partial_last_group() {
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(7, 3, 5));
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.servers_of(ShardId(0)).count(), 5);
+        assert_eq!(plan.servers_of(ShardId(1)).count(), 2);
+        assert_eq!(plan.vms_of(ShardId(1)).count(), 6);
+    }
+
+    #[test]
+    fn results_bit_identical_across_thread_counts() {
+        let (one, _) = run_mixer(1, 42);
+        for threads in [2, 4, 8] {
+            let (many, _) = run_mixer(threads, 42);
+            assert_eq!(one, many, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let (a, _) = run_mixer(2, 1);
+        let (b, _) = run_mixer(2, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn messages_are_exchanged_and_counted() {
+        let (workers, stats) = run_mixer(4, 9);
+        let received: u64 = workers.iter().map(|(_, _, m)| m).sum();
+        assert!(received > 0, "ping-pong must deliver messages");
+        assert_eq!(stats.merges, received, "every merge is a delivery");
+        assert!(stats.epochs >= 6, "600us horizon at 100us epochs");
+    }
+
+    #[test]
+    fn single_shard_single_thread_still_runs() {
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(1, 1, 1));
+        let engine = ShardedEngine::new(EngineConfig {
+            threads: 8,
+            epoch: SimDuration::from_micros(50),
+            horizon: SimTime::from_micros(200),
+        });
+        let (workers, stats) = engine.run(
+            &plan,
+            0,
+            |shard, ctx| {
+                ctx.schedule(SimTime::ZERO, Tick(0));
+                Mixer {
+                    shard,
+                    shards: 1,
+                    digest: 0,
+                    events: 0,
+                    messages: 0,
+                }
+            },
+            None,
+        );
+        assert_eq!(workers.len(), 1);
+        assert!(workers[0].events > 0);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.steals, 0, "one shard cannot be stolen");
+    }
+
+    #[test]
+    fn zero_horizon_builds_workers_once() {
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(2, 1, 1));
+        let engine = ShardedEngine::new(EngineConfig {
+            threads: 2,
+            epoch: SimDuration::from_micros(10),
+            horizon: SimTime::ZERO,
+        });
+        let (workers, stats) = engine.run(&plan, 0, |shard, _| shard.0, None);
+        assert_eq!(workers, vec![0, 1]);
+        assert_eq!(stats.epochs, 1, "at least one epoch always runs");
+    }
+
+    impl ShardWorker for u32 {
+        type Event = ();
+        type Msg = ();
+        fn handle(&mut self, _ctx: &mut ShardCtx<'_, (), ()>, _t: SimTime, _e: ()) {}
+    }
+
+    #[test]
+    fn final_epoch_messages_flush_in_drain_rounds() {
+        struct Echo {
+            got: Vec<(u32, u64)>,
+        }
+        impl ShardWorker for Echo {
+            type Event = u64;
+            type Msg = u64;
+            fn handle(&mut self, ctx: &mut ShardCtx<'_, u64, u64>, _t: SimTime, e: u64) {
+                // Fire a message during the last (and only) epoch.
+                let dst = ShardId(1 - ctx.shard().0);
+                ctx.send(dst, e);
+            }
+            fn on_message(&mut self, _ctx: &mut ShardCtx<'_, u64, u64>, from: ShardId, msg: u64) {
+                self.got.push((from.0, msg));
+            }
+        }
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(2, 1, 1));
+        let engine = ShardedEngine::new(EngineConfig {
+            threads: 1,
+            epoch: SimDuration::from_micros(100),
+            horizon: SimTime::from_micros(100),
+        });
+        let (workers, _) = engine.run(
+            &plan,
+            0,
+            |shard, ctx| {
+                ctx.schedule(SimTime::ZERO, u64::from(shard.0) + 10);
+                Echo { got: Vec::new() }
+            },
+            None,
+        );
+        assert_eq!(workers[0].got, vec![(1, 11)]);
+        assert_eq!(workers[1].got, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn obs_publishes_engine_counters() {
+        let obs = Obs::new(true);
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(20, 2, 5));
+        let engine = ShardedEngine::new(EngineConfig {
+            threads: 2,
+            epoch: SimDuration::from_micros(100),
+            horizon: SimTime::from_micros(400),
+        });
+        let (_, stats) = engine.run(
+            &plan,
+            3,
+            |shard, ctx| {
+                ctx.schedule(SimTime::ZERO, Tick(0));
+                Mixer {
+                    shard,
+                    shards: plan.shard_count(),
+                    digest: 0,
+                    events: 0,
+                    messages: 0,
+                }
+            },
+            Some(&obs),
+        );
+        let snapshot = obs.snapshot(0);
+        assert_eq!(
+            snapshot.counters.get(names::SIM_EPOCHS_TOTAL).copied(),
+            Some(stats.epochs)
+        );
+        assert_eq!(
+            snapshot
+                .counters
+                .get(names::SIM_SHARD_MERGES_TOTAL)
+                .copied(),
+            Some(stats.merges)
+        );
+        assert!(snapshot
+            .counters
+            .contains_key(names::SIM_SHARD_STEALS_TOTAL));
+        assert!(snapshot.gauges.contains_key(names::SIM_SHARD_QUEUE_DEPTH));
+        let latency = &snapshot.histograms[names::SIM_EPOCH_LATENCY_NS];
+        assert_eq!(latency.count, stats.epochs);
+    }
+}

@@ -88,6 +88,33 @@ impl ServerTelemetry {
         self.ops[idx] += 1;
     }
 
+    /// Folds another recorder's windows into this one (element-wise
+    /// sums) — how the sharded engine combines per-shard recorders for
+    /// a server charged from more than one shard. Window lengths must
+    /// match.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window lengths differ.
+    pub fn merge_from(&mut self, other: &ServerTelemetry) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge recorders with different windows"
+        );
+        if self.busy.len() < other.busy.len() {
+            self.busy.resize(other.busy.len(), 0.0);
+        }
+        if self.ops.len() < other.ops.len() {
+            self.ops.resize(other.ops.len(), 0);
+        }
+        for (into, from) in self.busy.iter_mut().zip(&other.busy) {
+            *into += from;
+        }
+        for (into, from) in self.ops.iter_mut().zip(&other.ops) {
+            *into += from;
+        }
+    }
+
     /// Produces the utilization series up to `horizon`, with zero-valued
     /// windows where the server was idle.
     pub fn utilization_series(&self, horizon: SimTime) -> Vec<UtilizationWindow> {
@@ -246,6 +273,29 @@ mod tests {
             Some(&3)
         );
         assert_eq!(bridge.published(), 3);
+    }
+
+    #[test]
+    fn merge_from_sums_busy_and_ops() {
+        let mut a = ServerTelemetry::new(secs(10.0));
+        let mut b = ServerTelemetry::new(secs(10.0));
+        a.charge_sample(SimTime::from_secs_f64(1.0), secs(2.0));
+        b.charge_sample(SimTime::from_secs_f64(2.0), secs(1.0));
+        b.charge_sample(SimTime::from_secs_f64(25.0), secs(5.0));
+        a.merge_from(&b);
+        let horizon = SimTime::from_secs_f64(30.0);
+        let values = a.utilization_values(horizon);
+        assert!((values[0] - 0.3).abs() < 1e-9);
+        assert!((values[2] - 0.5).abs() < 1e-9);
+        assert_eq!(a.sampling_ops(), 3);
+        assert_eq!(a.sampling_ops_series(horizon), vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different windows")]
+    fn merge_from_rejects_mismatched_windows() {
+        let mut a = ServerTelemetry::new(secs(10.0));
+        a.merge_from(&ServerTelemetry::new(secs(5.0)));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example datacenter_sim`
 
-use volley::sim::{ClusterConfig, NetworkScenario, NetworkScenarioConfig};
+use volley::prelude::*;
 
 fn main() {
     let cluster = ClusterConfig::new(4, 40, 2);
@@ -26,15 +26,14 @@ fn main() {
         ("volley (err=1%)", 0.01),
         ("volley (err=3.2%)", 0.032),
     ] {
-        let config = NetworkScenarioConfig {
-            cluster,
-            error_allowance: err,
-            selectivity_percent: 1.0,
-            ticks: 1500,
-            seed: 2013,
-            ..NetworkScenarioConfig::default()
-        };
-        let report = NetworkScenario::new(config).run();
+        let report = VolleyConfig::new()
+            .cluster(cluster)
+            .error_allowance(err)
+            .selectivity_percent(1.0)
+            .ticks(1500)
+            .seed(2013)
+            .network_scenario()
+            .run();
         let cpu = report.cpu.expect("utilization recorded");
         println!(
             "{label:<22}{:>12}{:>13.1}%{:>13.1}%{:>12.4}",

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use volley::{AdaptationConfig, AdaptiveSampler, SystemMetricsGenerator};
+use volley::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A day of 5-second CPU samples on one VM (17280 ticks).
@@ -16,15 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Alert when CPU exceeds the 99th percentile of its own history
     // (selectivity k = 1%, as in the paper's evaluation).
-    let threshold = volley::selectivity_threshold(&trace, 1.0)?;
+    let threshold = selectivity_threshold(&trace, 1.0)?;
 
     // Volley controller: at most 1% of alerts may be missed relative to
     // periodic 5-second sampling.
-    let config = AdaptationConfig::builder()
+    let mut sampler = VolleyConfig::new()
         .error_allowance(0.01)
         .max_interval(16)
-        .build()?;
-    let mut sampler = AdaptiveSampler::new(config, threshold);
+        .sampler(threshold)?;
 
     let mut samples = 0u64;
     let mut alerts = 0u64;

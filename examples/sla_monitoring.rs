@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --example sla_monitoring`
 
-use volley::core::task::TaskSpec;
-use volley::{HttpWorkloadConfig, TaskRunner};
-use volley_traces::DiurnalPattern;
+use volley::prelude::*;
 
 const SERVERS: usize = 3;
 const TICKS: usize = 6000; // 1-second samples
@@ -39,13 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aggregate: Vec<f64> = (0..TICKS)
         .map(|t| traces.iter().map(|tr| tr[t]).sum())
         .collect();
-    let threshold = volley::selectivity_threshold(&aggregate, 2.0)?;
+    let threshold = selectivity_threshold(&aggregate, 2.0)?;
 
-    let spec = TaskSpec::builder(threshold)
-        .monitors(SERVERS)
+    let spec = VolleyConfig::new()
         .error_allowance(0.02)
         .max_interval(16)
-        .build()?;
+        .task_spec(threshold, SERVERS)?;
 
     // Spawns one OS thread per monitor plus a coordinator thread; blocks
     // until the trace is exhausted.

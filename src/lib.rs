@@ -35,6 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
+pub mod prelude;
+
+pub use config::VolleyConfig;
+
 pub use volley_core as core;
 pub use volley_obs as obs;
 pub use volley_runtime as runtime;

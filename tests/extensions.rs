@@ -193,7 +193,7 @@ fn fleet_runs_mixed_workloads() {
         .map(|t| volley::selectivity_threshold(t, 1.0).expect("valid"))
         .collect();
     let tasks = vec![
-        FleetTask::new(
+        FleetTask::from_spec(
             TaskSpec::builder(thresholds[0] + thresholds[1])
                 .monitors(2)
                 .error_allowance(0.02)
@@ -203,7 +203,7 @@ fn fleet_runs_mixed_workloads() {
                 .expect("valid spec"),
             traces[0..2].to_vec(),
         ),
-        FleetTask::new(
+        FleetTask::from_spec(
             TaskSpec::builder(thresholds[2] + thresholds[3])
                 .monitors(2)
                 .error_allowance(0.02)

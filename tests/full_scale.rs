@@ -16,7 +16,7 @@ fn paper_testbed_full_day() {
         seed: 20130708,
         ..NetworkScenarioConfig::default()
     };
-    let report = NetworkScenario::new(config).run();
+    let report = NetworkScenario::from_config(config).run();
     let cpu = report.cpu.as_ref().expect("utilization recorded");
     // The periodic-sampling calibration band and the adaptive savings
     // must both hold at full scale.

@@ -1,0 +1,236 @@
+//! Cross-thread determinism of the sharded simulation engine and the
+//! fleet runner: for a fixed seed, results are bit-identical no matter
+//! how many worker threads execute them. Thread count may only change
+//! wall-clock time, never a single reported number.
+
+use std::time::Duration;
+
+use volley::prelude::*;
+use volley::runtime::{FaultPath, FaultPlan};
+use volley::sim::{EngineConfig, ShardedEngine};
+use volley_core::task::MonitorId;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn small_config(seed: u64) -> VolleyConfig {
+    VolleyConfig::new()
+        .cluster(ClusterConfig::new(4, 6, 1))
+        .ticks(200)
+        .seed(seed)
+}
+
+#[test]
+fn network_scenario_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let config = small_config(seed);
+        let baseline = config.network_scenario().run_parallel(1);
+        for threads in THREADS {
+            let report = config.network_scenario().run_parallel(threads);
+            assert_eq!(
+                report, baseline,
+                "network scenario diverged at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn system_and_application_scenarios_identical_across_thread_counts() {
+    let config = small_config(2);
+    let system_baseline = config.system_scenario().run_parallel(1);
+    let application_baseline = config.application_scenario().run_parallel(1);
+    for threads in THREADS {
+        assert_eq!(
+            config.system_scenario().run_parallel(threads),
+            system_baseline,
+            "system scenario diverged at {threads} threads"
+        );
+        assert_eq!(
+            config.application_scenario().run_parallel(threads),
+            application_baseline,
+            "application scenario diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn distributed_scenario_identical_across_thread_counts() {
+    for seed in SEEDS {
+        // Task size 5 over 4-VM shards: tasks straddle shard boundaries,
+        // exercising the cross-shard telemetry merge.
+        let config = VolleyConfig::new()
+            .cluster(ClusterConfig::new(4, 4, 1))
+            .ticks(150)
+            .seed(seed);
+        let baseline = config.distributed_scenario(5).run_parallel(1);
+        for threads in THREADS {
+            let report = config.distributed_scenario(5).run_parallel(threads);
+            assert_eq!(
+                report, baseline,
+                "distributed scenario diverged at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// The engine's per-shard RNG streams are a function of (seed, shard)
+/// alone: a worker that consumes randomness while exchanging cross-shard
+/// messages still converges to the same state on every thread count.
+#[test]
+fn engine_rng_streams_identical_across_thread_counts() {
+    struct Mixer {
+        acc: u64,
+    }
+    impl volley::sim::ShardWorker for Mixer {
+        type Event = u32;
+        type Msg = u64;
+        fn handle(
+            &mut self,
+            ctx: &mut volley::sim::ShardCtx<'_, Self::Event, Self::Msg>,
+            time: SimTime,
+            event: Self::Event,
+        ) {
+            use rand::Rng;
+            let draw: u64 = ctx.rng().gen();
+            self.acc = self
+                .acc
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(draw ^ u64::from(event));
+            let shards = 4u32;
+            let next = ShardId((ctx.shard().0 + 1) % shards);
+            ctx.send(next, self.acc);
+            if event < 40 {
+                ctx.schedule(time + SimDuration::from_micros(10), event + 1);
+            }
+        }
+        fn on_message(
+            &mut self,
+            _ctx: &mut volley::sim::ShardCtx<'_, Self::Event, Self::Msg>,
+            from: ShardId,
+            msg: Self::Msg,
+        ) {
+            self.acc = self.acc.wrapping_add(msg.rotate_left(from.0));
+        }
+    }
+
+    let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(8, 2, 2));
+    assert_eq!(plan.shard_count(), 4);
+    for seed in SEEDS {
+        let mut baseline: Option<Vec<u64>> = None;
+        for threads in THREADS {
+            let engine = ShardedEngine::new(EngineConfig {
+                threads,
+                epoch: SimDuration::from_micros(50),
+                horizon: SimTime::from_micros(500),
+            });
+            let (workers, _) = engine.run(
+                &plan,
+                seed,
+                |_, ctx| {
+                    ctx.schedule(SimTime::ZERO, 0u32);
+                    Mixer { acc: seed }
+                },
+                None,
+            );
+            let accs: Vec<u64> = workers.iter().map(|w| w.acc).collect();
+            match &baseline {
+                None => baseline = Some(accs),
+                Some(expected) => assert_eq!(
+                    &accs, expected,
+                    "engine RNG diverged at seed {seed}, {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+fn fleet_tasks(seed: u64, faults: bool) -> Vec<volley::runtime::FleetTask> {
+    let workload = HttpWorkloadConfig::builder()
+        .seed(seed)
+        .objects(9)
+        .requests_per_tick(900.0)
+        .build()
+        .generate(120);
+    (0..3)
+        .map(|task| {
+            let traces: Vec<Vec<f64>> = (0..3)
+                .map(|m| workload.object_rate(task * 3 + m).to_vec())
+                .collect();
+            let threshold: f64 = traces
+                .iter()
+                .map(|t| selectivity_threshold(t, 5.0).unwrap())
+                .sum();
+            let spec = VolleyConfig::new()
+                .error_allowance(0.02)
+                .max_interval(8)
+                .task_spec(threshold, 3)
+                .expect("valid spec");
+            let task = volley::runtime::FleetTask::from_spec(spec, traces);
+            if faults {
+                // Tick-indexed faults and a seeded drop plan: deterministic
+                // regardless of scheduling, unlike wall-clock stalls.
+                let plan = FaultPlan::new(seed)
+                    .with_drop_rate(FaultPath::ViolationReport, 0.2)
+                    .with_duplication_rate(0.1)
+                    .with_crash(MonitorId(1), 60);
+                task.with_faults(plan, Duration::from_millis(200))
+            } else {
+                task
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_runner_identical_across_thread_caps() {
+    for seed in SEEDS {
+        let (baseline_reports, baseline_summary) = FleetRunner::new()
+            .with_threads(1)
+            .run(fleet_tasks(seed, false))
+            .expect("fleet run succeeds");
+        for threads in THREADS {
+            let (reports, summary) = FleetRunner::new()
+                .with_threads(threads)
+                .run(fleet_tasks(seed, false))
+                .expect("fleet run succeeds");
+            assert_eq!(
+                reports, baseline_reports,
+                "fleet reports diverged at seed {seed}, cap {threads}"
+            );
+            assert_eq!(
+                summary, baseline_summary,
+                "fleet summary diverged at seed {seed}, cap {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_runner_identical_across_thread_caps_under_faults() {
+    for seed in SEEDS {
+        let (baseline_reports, baseline_summary) = FleetRunner::new()
+            .with_threads(1)
+            .run(fleet_tasks(seed, true))
+            .expect("fleet run succeeds");
+        // Faults actually fired: the crashed monitor was quarantined.
+        assert!(
+            baseline_reports.iter().all(|r| r.quarantines >= 1),
+            "expected the injected crash to register"
+        );
+        for threads in THREADS {
+            let (reports, summary) = FleetRunner::new()
+                .with_threads(threads)
+                .run(fleet_tasks(seed, true))
+                .expect("fleet run succeeds");
+            assert_eq!(
+                reports, baseline_reports,
+                "faulted fleet reports diverged at seed {seed}, cap {threads}"
+            );
+            assert_eq!(
+                summary, baseline_summary,
+                "faulted fleet summary diverged at seed {seed}, cap {threads}"
+            );
+        }
+    }
+}
