@@ -1,0 +1,203 @@
+//! Sample-store throughput benchmark: append rate, scan rate and
+//! compression ratio on the volley-traces system-metrics workload.
+//!
+//! Appends every tick of a [`SystemMetricsGenerator`] fleet into a fresh
+//! [`volley_store::Store`], seals it, then scans it back twice. The
+//! workload is the store's production shape — monotone ticks per series,
+//! AR(1) metric values — so the numbers measure the codec on realistic
+//! data, not a degenerate constant stream. Values are quantized to the
+//! 2⁻⁷ ≈ 0.01 grid a fixed-point agent encoding ships, which is what the
+//! delta-of-delta + XOR codec sees in deployment.
+//!
+//! Writes `reproduction/store.txt` and `reproduction/store.json` (the
+//! schema-3 `{schema, command, report}` envelope).
+//!
+//! `--smoke` shrinks the workload and exits non-zero if the compression
+//! ratio falls below 2× against the 16 B/record raw baseline, or if the
+//! two scans disagree (the determinism gate).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+use volley_store::{Record, RecordKind, ScanRange, Store};
+use volley_traces::sysmetrics::SystemMetricsGenerator;
+
+/// Raw cost of one record in a naive tick+value row format (two 8-byte
+/// words); the compression ratio is measured against this.
+const RAW_RECORD_BYTES: u64 = 16;
+/// Smoke-mode floor on the compression ratio.
+const MIN_RATIO: f64 = 2.0;
+/// Fixed-point quantization grid (2⁻⁷ ≈ 0.01): agents report metrics at
+/// finite precision, and an exact power of two keeps the rounding
+/// lossless in binary.
+const QUANT: f64 = 128.0;
+
+#[derive(Serialize)]
+struct StoreBenchReport {
+    smoke: bool,
+    monitors: usize,
+    ticks: usize,
+    records: u64,
+    raw_bytes: u64,
+    stored_bytes: u64,
+    compression_ratio: f64,
+    segments: usize,
+    append_s: f64,
+    append_mb_per_s: f64,
+    scan_s: f64,
+    scan_mb_per_s: f64,
+    scans_identical: bool,
+    min_ratio_enforced: f64,
+}
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            if let Some(dir) = it.next() {
+                return PathBuf::from(dir);
+            }
+        }
+    }
+    PathBuf::from("reproduction")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (monitors, ticks) = if smoke { (4, 4_000) } else { (8, 20_000) };
+    eprintln!("store_throughput: smoke={smoke}, {monitors} monitors x {ticks} ticks");
+
+    let generator = SystemMetricsGenerator::new(20_130_708);
+    let traces: Vec<Vec<f64>> = (0..monitors)
+        .map(|m| generator.trace(m / 66, m % 66, ticks))
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("volley-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = Store::open(&dir).expect("open store");
+    let records = (monitors * ticks) as u64;
+    let raw_bytes = records * RAW_RECORD_BYTES;
+
+    let started = Instant::now();
+    for tick in 0..ticks {
+        for (monitor, trace) in traces.iter().enumerate() {
+            store
+                .append(Record {
+                    task: 0,
+                    monitor: monitor as u32,
+                    kind: RecordKind::Sample,
+                    tick: tick as u64,
+                    value: (trace[tick] * QUANT).round() / QUANT,
+                })
+                .expect("append");
+        }
+    }
+    store.flush().expect("flush");
+    let append_s = started.elapsed().as_secs_f64();
+
+    let segments = store.segments().expect("list segments");
+    let stored_bytes: u64 = segments
+        .iter()
+        .map(|(_, path)| std::fs::metadata(path).expect("segment metadata").len())
+        .sum();
+
+    let scan_once = || -> Vec<Record> {
+        store
+            .scan(&ScanRange::all())
+            .expect("scan")
+            .collect::<Vec<_>>()
+    };
+    let started = Instant::now();
+    let first = scan_once();
+    let scan_s = started.elapsed().as_secs_f64();
+    let second = scan_once();
+    let scans_identical = first == second;
+
+    let mut failures = Vec::new();
+    if first.len() as u64 != records {
+        failures.push(format!(
+            "scan returned {} records, appended {records}",
+            first.len()
+        ));
+    }
+    if !scans_identical {
+        failures.push("two scans of the sealed store disagree".to_string());
+    }
+    let compression_ratio = raw_bytes as f64 / stored_bytes.max(1) as f64;
+    if smoke && compression_ratio < MIN_RATIO {
+        failures.push(format!(
+            "compression ratio {compression_ratio:.2}x below the {MIN_RATIO}x bound"
+        ));
+    }
+
+    let report = StoreBenchReport {
+        smoke,
+        monitors,
+        ticks,
+        records,
+        raw_bytes,
+        stored_bytes,
+        compression_ratio,
+        segments: segments.len(),
+        append_s,
+        append_mb_per_s: raw_bytes as f64 / 1e6 / append_s.max(f64::EPSILON),
+        scan_s,
+        scan_mb_per_s: raw_bytes as f64 / 1e6 / scan_s.max(f64::EPSILON),
+        scans_identical,
+        min_ratio_enforced: if smoke { MIN_RATIO } else { 0.0 },
+    };
+    let text = format!(
+        "sample-store throughput (sysmetrics workload, {} monitors x {} ticks)\n\
+         records:      {}\n\
+         raw bytes:    {} ({} B/record)\n\
+         stored bytes: {} across {} segments\n\
+         compression:  {:.2}x (smoke gate: >= {MIN_RATIO}x)\n\
+         append:       {:.3} s ({:.1} MB/s raw)\n\
+         scan:         {:.3} s ({:.1} MB/s raw), two scans identical: {}\n",
+        report.monitors,
+        report.ticks,
+        report.records,
+        report.raw_bytes,
+        RAW_RECORD_BYTES,
+        report.stored_bytes,
+        report.segments,
+        report.compression_ratio,
+        report.append_s,
+        report.append_mb_per_s,
+        report.scan_s,
+        report.scan_mb_per_s,
+        report.scans_identical,
+    );
+    print!("{text}");
+
+    #[derive(Serialize)]
+    struct Envelope {
+        schema: u32,
+        command: &'static str,
+        report: StoreBenchReport,
+    }
+    let out = out_dir();
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(out.join("store.txt"), &text).expect("write txt");
+    std::fs::write(
+        out.join("store.json"),
+        serde_json::to_string_pretty(&Envelope {
+            schema: 3,
+            command: "store_throughput",
+            report,
+        })
+        .expect("serializable"),
+    )
+    .expect("write json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("store bounds hold");
+}

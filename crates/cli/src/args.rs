@@ -60,6 +60,10 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Directory for obs snapshots; `None` disables dumping.
     pub obs_dir: Option<String>,
+    /// Directory for the embedded sample store; `None` disables
+    /// recording (on `run`/`chaos`) or is an error where a store is
+    /// required (`store`, `backtest`).
+    pub store_dir: Option<String>,
     /// Worker threads for sharded execution (floored at 1). Results
     /// never depend on this value — only wall-clock time does.
     pub threads: usize,
@@ -73,6 +77,7 @@ impl Default for CommonArgs {
         CommonArgs {
             seed: 0,
             obs_dir: None,
+            store_dir: None,
             threads: 1,
             report_json: false,
         }
@@ -93,11 +98,25 @@ impl CommonArgs {
         match flag {
             "--seed" => self.seed = parse_value(flag, it.next())?,
             "--obs-dir" => self.obs_dir = Some(parse_value(flag, it.next())?),
+            "--store-dir" => self.store_dir = Some(parse_value(flag, it.next())?),
             "--threads" => self.threads = parse_value::<usize>(flag, it.next())?.max(1),
             "--report-json" | "--json" => self.report_json = true,
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// The one resolver for snapshot-directory spelling: the shared
+    /// `--obs-dir` flag wins over a subcommand's legacy `--dir` alias.
+    /// Subcommands call this instead of hand-merging the two flags.
+    pub fn resolve_obs_dir<'a>(&'a self, legacy_alias: Option<&'a str>) -> Option<&'a str> {
+        self.obs_dir.as_deref().or(legacy_alias)
+    }
+
+    /// Same resolution for the store directory (`--store-dir` wins over
+    /// a subcommand's legacy `--dir` alias).
+    pub fn resolve_store_dir<'a>(&'a self, legacy_alias: Option<&'a str>) -> Option<&'a str> {
+        self.store_dir.as_deref().or(legacy_alias)
     }
 }
 
@@ -227,6 +246,69 @@ pub struct ObsArgs {
     pub common: CommonArgs,
 }
 
+/// What `volley store` should do with the store directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Print matching records.
+    Query,
+    /// Merge all sealed segments into one.
+    Compact,
+    /// Write matching records as CSV.
+    ExportCsv,
+}
+
+/// The `store` subcommand's options: inspect or maintain a recorded
+/// sample store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreArgs {
+    /// The action (`query`, `compact` or `export-csv`).
+    pub action: StoreAction,
+    /// Store directory (`--store-dir`, or its legacy alias `--dir`).
+    pub dir: String,
+    /// Restrict to one task.
+    pub task: Option<u32>,
+    /// Restrict to one monitor.
+    pub monitor: Option<u32>,
+    /// Restrict to one record kind (`sample`, `poll`, `alert`,
+    /// `interval`, `gauge`, `counter`).
+    pub kind: Option<volley_store::RecordKind>,
+    /// First tick (inclusive).
+    pub from: u64,
+    /// Last tick (inclusive).
+    pub to: u64,
+    /// Cap on printed records (`query` only; scans are unaffected).
+    pub limit: Option<usize>,
+    /// Shared flag group (`--report-json` wraps query output in the
+    /// versioned envelope).
+    pub common: CommonArgs,
+}
+
+/// The `backtest` subcommand's options: replay a recorded range through
+/// candidate error allowances and report cost/accuracy deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacktestArgs {
+    /// Store directory (`--store-dir`, or its legacy alias `--dir`).
+    pub dir: String,
+    /// The recorded task to replay.
+    pub task: u32,
+    /// Candidate error allowances (repeatable `--err`). The recorded
+    /// allowance is always replayed first as the determinism baseline.
+    pub errs: Vec<f64>,
+    /// First tick (inclusive).
+    pub from: u64,
+    /// Last tick (inclusive).
+    pub to: u64,
+    /// Fail unless the same-config replay reproduces the recorded alert
+    /// set exactly (the CI determinism gate).
+    pub verify: bool,
+    /// Monitor-count override when the store has no `task-meta.json`.
+    pub monitors: Option<usize>,
+    /// Global-threshold override when the store has no `task-meta.json`.
+    pub threshold: Option<f64>,
+    /// Shared flag group.
+    pub common: CommonArgs,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -243,6 +325,10 @@ pub enum Command {
     Run(RunArgs),
     /// Read back the latest obs snapshot from a directory.
     Obs(ObsArgs),
+    /// Query, compact or export a recorded sample store.
+    Store(StoreArgs),
+    /// Replay recorded history through candidate configurations.
+    Backtest(BacktestArgs),
     /// Print usage.
     Help,
 }
@@ -251,9 +337,12 @@ pub enum Command {
 pub const USAGE: &str = "\
 volley — violation-likelihood based adaptive state monitoring
 
-Common flags (same meaning on run, chaos, sim and obs):
+Common flags (same meaning on run, chaos, sim, obs, store and backtest):
   --seed <n=0>        random seed (workload, fault plan or scenario)
   --obs-dir <dir>     dump obs snapshots into <dir>
+  --store-dir <dir>   record samples/alerts/interval changes into the
+                      embedded store at <dir> (run, chaos), or name the
+                      store to read (store, backtest)
   --threads <n=1>     worker threads for sharded execution
                       (never changes results, only wall-clock time)
   --report-json       emit the versioned JSON envelope
@@ -281,6 +370,13 @@ USAGE:
                   [--quarantine-after <n=2>] [--no-supervise]
                   [common flags]
   volley obs      --obs-dir <dir> [--prom] [common flags]
+  volley store    <query|compact|export-csv> --store-dir <dir>
+                  [--task <n>] [--monitor <n>] [--kind <k>]
+                  [--from <t>] [--to <t>] [--limit <n>] [common flags]
+                  (kinds: sample poll alert interval gauge counter)
+  volley backtest --store-dir <dir> [--task <n=0>] [--err <e>]...
+                  [--from <t>] [--to <t>] [--verify]
+                  [--monitors <n>] [--threshold <T>] [common flags]
   volley help
 ";
 
@@ -358,6 +454,8 @@ impl Command {
             "chaos" => Self::parse_chaos(rest),
             "run" => Self::parse_run(rest),
             "obs" => Self::parse_obs(rest),
+            "store" => Self::parse_store(rest),
+            "backtest" => Self::parse_backtest(rest),
             other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -532,15 +630,125 @@ impl Command {
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
-        // `--obs-dir` is the canonical spelling; `--dir` remains as the
-        // legacy alias.
-        if let Some(dir) = parsed.common.obs_dir.take() {
-            parsed.dir = dir;
+        // One resolver for the `--obs-dir` vs legacy `--dir` spelling
+        // (see [`CommonArgs::resolve_obs_dir`]).
+        let legacy = (!parsed.dir.is_empty()).then(|| parsed.dir.clone());
+        let resolved = parsed
+            .common
+            .resolve_obs_dir(legacy.as_deref())
+            .map(str::to_string);
+        match resolved {
+            Some(dir) => parsed.dir = dir,
+            None => return Err(CliError::Usage("obs requires --obs-dir".to_string())),
         }
-        if parsed.dir.is_empty() {
-            return Err(CliError::Usage("obs requires --obs-dir".to_string()));
-        }
+        parsed.common.obs_dir = None; // consumed by the resolution
         Ok(Command::Obs(parsed))
+    }
+
+    fn parse_store(args: &[String]) -> Result<Command, CliError> {
+        let mut it = args.iter();
+        let action = match it.next().map(String::as_str) {
+            Some("query") => StoreAction::Query,
+            Some("compact") => StoreAction::Compact,
+            Some("export-csv") => StoreAction::ExportCsv,
+            Some(other) => {
+                return Err(CliError::Usage(format!(
+                    "unknown store action `{other}` (expected query, compact or export-csv)"
+                )))
+            }
+            None => {
+                return Err(CliError::Usage(
+                    "store requires an action: query, compact or export-csv".to_string(),
+                ))
+            }
+        };
+        let mut parsed = StoreArgs {
+            action,
+            dir: String::new(),
+            task: None,
+            monitor: None,
+            kind: None,
+            from: 0,
+            to: u64::MAX,
+            limit: None,
+            common: CommonArgs::default(),
+        };
+        while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? {
+                continue;
+            }
+            match flag.as_str() {
+                "--dir" => parsed.dir = parse_value(flag, it.next())?,
+                "--task" => parsed.task = Some(parse_value(flag, it.next())?),
+                "--monitor" => parsed.monitor = Some(parse_value(flag, it.next())?),
+                "--kind" => {
+                    let raw: String = parse_value(flag, it.next())?;
+                    parsed.kind = Some(volley_store::RecordKind::parse(&raw).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "unknown record kind `{raw}` (expected sample, poll, alert, \
+                             interval, gauge or counter)"
+                        ))
+                    })?);
+                }
+                "--from" => parsed.from = parse_value(flag, it.next())?,
+                "--to" => parsed.to = parse_value(flag, it.next())?,
+                "--limit" => parsed.limit = Some(parse_value(flag, it.next())?),
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        let legacy = (!parsed.dir.is_empty()).then(|| parsed.dir.clone());
+        match parsed
+            .common
+            .resolve_store_dir(legacy.as_deref())
+            .map(str::to_string)
+        {
+            Some(dir) => parsed.dir = dir,
+            None => return Err(CliError::Usage("store requires --store-dir".to_string())),
+        }
+        parsed.common.store_dir = None; // consumed by the resolution
+        Ok(Command::Store(parsed))
+    }
+
+    fn parse_backtest(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = BacktestArgs {
+            dir: String::new(),
+            task: 0,
+            errs: Vec::new(),
+            from: 0,
+            to: u64::MAX,
+            verify: false,
+            monitors: None,
+            threshold: None,
+            common: CommonArgs::default(),
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? {
+                continue;
+            }
+            match flag.as_str() {
+                "--dir" => parsed.dir = parse_value(flag, it.next())?,
+                "--task" => parsed.task = parse_value(flag, it.next())?,
+                "--err" => parsed.errs.push(parse_value(flag, it.next())?),
+                "--from" => parsed.from = parse_value(flag, it.next())?,
+                "--to" => parsed.to = parse_value(flag, it.next())?,
+                "--verify" => parsed.verify = true,
+                "--monitors" => parsed.monitors = Some(parse_value(flag, it.next())?),
+                "--threshold" => parsed.threshold = Some(parse_value(flag, it.next())?),
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        let legacy = (!parsed.dir.is_empty()).then(|| parsed.dir.clone());
+        match parsed
+            .common
+            .resolve_store_dir(legacy.as_deref())
+            .map(str::to_string)
+        {
+            Some(dir) => parsed.dir = dir,
+            None => return Err(CliError::Usage("backtest requires --store-dir".to_string())),
+        }
+        parsed.common.store_dir = None; // consumed by the resolution
+        Ok(Command::Backtest(parsed))
     }
 
     fn parse_simulate(args: &[String]) -> Result<Command, CliError> {
@@ -905,11 +1113,14 @@ mod tests {
             "0", // floored at 1
             "--obs-dir",
             "/tmp/g",
+            "--store-dir",
+            "/tmp/s",
             "--json", // legacy alias of --report-json
         ];
         let expect = CommonArgs {
             seed: 9,
             obs_dir: Some("/tmp/g".to_string()),
+            store_dir: Some("/tmp/s".to_string()),
             threads: 1,
             report_json: true,
         };
@@ -924,6 +1135,120 @@ mod tests {
             };
             assert_eq!(common, expect, "under `{sub}`");
         }
+    }
+
+    #[test]
+    fn store_parses_actions_and_filters() {
+        let cmd = Command::parse(args(&[
+            "store",
+            "query",
+            "--store-dir",
+            "/tmp/store",
+            "--task",
+            "1",
+            "--monitor",
+            "2",
+            "--kind",
+            "alert",
+            "--from",
+            "10",
+            "--to",
+            "99",
+            "--limit",
+            "5",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Store(s) => {
+                assert_eq!(s.action, StoreAction::Query);
+                assert_eq!(s.dir, "/tmp/store");
+                assert_eq!(s.task, Some(1));
+                assert_eq!(s.monitor, Some(2));
+                assert_eq!(s.kind, Some(volley_store::RecordKind::Alert));
+                assert_eq!(s.from, 10);
+                assert_eq!(s.to, 99);
+                assert_eq!(s.limit, Some(5));
+                assert!(s.common.report_json);
+                assert_eq!(s.common.store_dir, None, "consumed by the resolver");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The legacy `--dir` alias works; `--store-dir` wins over it.
+        match Command::parse(args(&["store", "compact", "--dir", "/a"])).unwrap() {
+            Command::Store(s) => {
+                assert_eq!(s.action, StoreAction::Compact);
+                assert_eq!(s.dir, "/a");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Command::parse(args(&[
+            "store",
+            "export-csv",
+            "--dir",
+            "/a",
+            "--store-dir",
+            "/b",
+        ]))
+        .unwrap()
+        {
+            Command::Store(s) => {
+                assert_eq!(s.action, StoreAction::ExportCsv);
+                assert_eq!(s.dir, "/b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_rejects_bad_inputs() {
+        for bad in [
+            vec!["store"],
+            vec!["store", "frob", "--store-dir", "/x"],
+            vec!["store", "query"],
+            vec!["store", "query", "--store-dir", "/x", "--kind", "bogus"],
+        ] {
+            assert!(
+                matches!(Command::parse(args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn backtest_parses_candidates() {
+        let cmd = Command::parse(args(&[
+            "backtest",
+            "--store-dir",
+            "/tmp/store",
+            "--task",
+            "3",
+            "--err",
+            "0.01",
+            "--err",
+            "0.05",
+            "--from",
+            "5",
+            "--verify",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Backtest(b) => {
+                assert_eq!(b.dir, "/tmp/store");
+                assert_eq!(b.task, 3);
+                assert_eq!(b.errs, vec![0.01, 0.05]);
+                assert_eq!(b.from, 5);
+                assert_eq!(b.to, u64::MAX);
+                assert!(b.verify);
+                assert!(b.common.report_json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(args(&["backtest"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

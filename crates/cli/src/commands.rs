@@ -13,7 +13,8 @@ use volley_traces::netflow::NetflowConfig;
 use volley_traces::sysmetrics::SystemMetricsGenerator;
 
 use crate::args::{
-    ChaosArgs, CliError, Command, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, SimulateArgs, USAGE,
+    BacktestArgs, ChaosArgs, CliError, Command, GenerateArgs, MonitorArgs, ObsArgs, RunArgs,
+    SimulateArgs, StoreAction, StoreArgs, USAGE,
 };
 
 /// The version of the JSON report envelope shared by every subcommand.
@@ -63,6 +64,8 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
         Command::Chaos(args) => chaos(&args, out),
         Command::Run(args) => run_runtime(&args, out),
         Command::Obs(args) => obs_read(&args, out),
+        Command::Store(args) => store_cmd(&args, out),
+        Command::Backtest(args) => backtest_cmd(&args, out),
     }
 }
 
@@ -278,13 +281,12 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
     let scenario = NetworkScenario::from_config(config);
     // The sharded engine guarantees thread-count independence, so
     // --threads only changes wall-clock time, never the report.
-    let report = if args.common.obs_dir.is_some() {
+    let obs_dir = args.common.resolve_obs_dir(None);
+    let report = if let Some(dir) = obs_dir {
         let obs = volley_obs::Obs::new(true);
         let report = scenario.run_parallel_with_obs(args.common.threads, &obs);
-        if let Some(dir) = &args.common.obs_dir {
-            let mut writer = volley_obs::SnapshotWriter::new(dir, 1)?;
-            writer.write_now(obs.registry(), args.ticks as u64)?;
-        }
+        let mut writer = volley_obs::SnapshotWriter::new(dir, 1)?;
+        writer.write_now(obs.registry(), args.ticks as u64)?;
         report
     } else {
         scenario.run_parallel(args.common.threads)
@@ -333,7 +335,7 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
         "miss rate:        {:.4}",
         report.accuracy.misdetection_rate()
     )?;
-    if let Some(dir) = &args.common.obs_dir {
+    if let Some(dir) = obs_dir {
         writeln!(out, "obs snapshots:    {dir}")?;
     }
     Ok(())
@@ -358,6 +360,19 @@ fn bursty_traces(n: usize, ticks: usize) -> Vec<Vec<f64>> {
                 .collect()
         })
         .collect()
+}
+
+/// Opens (or creates) a sample store at `dir`, stamps it with the run's
+/// metadata — what `backtest` needs to rebuild the production config —
+/// and wraps it in a best-effort [`volley_store::SampleRecorder`].
+fn open_recorder(
+    dir: &str,
+    meta: &volley_store::TaskMeta,
+) -> Result<volley_store::SampleRecorder, CliError> {
+    let store = volley_store::Store::open(dir)
+        .map_err(|e| CliError::Input(format!("cannot open store {dir}: {e}")))?;
+    store.write_meta(meta)?;
+    Ok(volley_store::SampleRecorder::new(store))
 }
 
 /// JSON report of a `run` invocation.
@@ -393,8 +408,24 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
 
     let obs = volley_obs::Obs::new(true);
     let mut runner = TaskRunner::new(&spec)?.with_obs(obs.clone());
-    if let Some(dir) = &args.common.obs_dir {
+    if let Some(dir) = args.common.resolve_obs_dir(None) {
         runner = runner.with_obs_dir(dir, args.obs_every);
+    }
+    let recorder = match args.common.resolve_store_dir(None) {
+        Some(dir) => Some(open_recorder(
+            dir,
+            &volley_store::TaskMeta {
+                monitors: n,
+                global_threshold: 100.0 * n as f64,
+                error_allowance: args.err,
+                ticks: args.ticks as u64,
+                seed: args.common.seed,
+            },
+        )?),
+        None => None,
+    };
+    if let Some(recorder) = &recorder {
+        runner = runner.with_recorder(recorder.clone());
     }
     if let Some(threshold_us) = args.self_monitor_us {
         // Zero error allowance: the watchdog inspects every tick, so a
@@ -402,6 +433,12 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         runner = runner.with_self_monitor(threshold_us, 0.0);
     }
     let report = runner.run(&traces)?;
+    if let Some(recorder) = &recorder {
+        // Persist the final registry snapshot next to the samples, so
+        // `store query --kind counter` works without an --obs-dir.
+        recorder.record_snapshot(report.ticks, &obs.snapshot(report.ticks));
+        recorder.flush();
+    }
 
     let summary = RunReport {
         monitors: n,
@@ -436,8 +473,11 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         )?;
     }
     write_snapshot_summary(&summary.snapshot, out)?;
-    if let Some(dir) = &args.common.obs_dir {
+    if let Some(dir) = args.common.resolve_obs_dir(None) {
         writeln!(out, "obs snapshots:    {dir}")?;
+    }
+    if let Some(dir) = args.common.resolve_store_dir(None) {
+        writeln!(out, "sample store:     {dir}")?;
     }
     Ok(())
 }
@@ -583,11 +623,30 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
             args.checkpoint_interval,
         );
     }
-    if let Some(dir) = &args.common.obs_dir {
+    if let Some(dir) = args.common.resolve_obs_dir(None) {
         // with_obs_dir flips the runner's obs bundle on at run time.
         runner = runner.with_obs_dir(dir, args.obs_every);
     }
+    let recorder = match args.common.resolve_store_dir(None) {
+        Some(dir) => Some(open_recorder(
+            dir,
+            &volley_store::TaskMeta {
+                monitors: n,
+                global_threshold: 100.0 * n as f64,
+                error_allowance: 0.0,
+                ticks: args.ticks as u64,
+                seed: args.common.seed,
+            },
+        )?),
+        None => None,
+    };
+    if let Some(recorder) = &recorder {
+        runner = runner.with_recorder(recorder.clone());
+    }
     let report = runner.run(&traces)?;
+    if let Some(recorder) = &recorder {
+        recorder.flush();
+    }
 
     let summary = ChaosReport {
         monitors: n,
@@ -659,8 +718,281 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         };
         writeln!(out, "alerts at ticks:  {}{}", shown.join(", "), suffix)?;
     }
-    if let Some(dir) = &args.common.obs_dir {
+    if let Some(dir) = args.common.resolve_obs_dir(None) {
         writeln!(out, "obs snapshots:    {dir}")?;
+    }
+    if let Some(dir) = args.common.resolve_store_dir(None) {
+        writeln!(out, "sample store:     {dir}")?;
+    }
+    Ok(())
+}
+
+/// One record rendered for a `store query` report.
+#[derive(Debug, Serialize)]
+struct StoreRecordRow {
+    task: u32,
+    monitor: u32,
+    kind: &'static str,
+    tick: u64,
+    value: f64,
+}
+
+/// JSON report of `store query`.
+#[derive(Debug, Serialize)]
+struct StoreQueryReport {
+    dir: String,
+    matched: u64,
+    shown: usize,
+    records: Vec<StoreRecordRow>,
+}
+
+/// JSON report of `store compact`.
+#[derive(Debug, Serialize)]
+struct StoreCompactReport {
+    dir: String,
+    stats: volley_store::CompactionStats,
+}
+
+/// The scan range a `store` invocation's filter flags describe.
+fn store_range(args: &StoreArgs) -> volley_store::ScanRange {
+    let mut range = volley_store::ScanRange::all().from(args.from).to(args.to);
+    if let Some(task) = args.task {
+        range = range.task(task);
+    }
+    if let Some(monitor) = args.monitor {
+        range = range.monitor(monitor);
+    }
+    if let Some(kind) = args.kind {
+        range = range.kind(kind);
+    }
+    range
+}
+
+/// Inspects or maintains a recorded sample store: `query` prints matching
+/// records, `compact` merges sealed segments, `export-csv` dumps rows for
+/// spreadsheet post-processing.
+fn store_cmd<W: Write>(args: &StoreArgs, out: &mut W) -> Result<(), CliError> {
+    let mut store = volley_store::Store::open(&args.dir)
+        .map_err(|e| CliError::Input(format!("cannot open store {}: {e}", args.dir)))?;
+    let range = store_range(args);
+    match args.action {
+        StoreAction::Query => {
+            let limit = args.limit.unwrap_or(usize::MAX);
+            let mut matched = 0u64;
+            let mut records = Vec::new();
+            for record in store.scan(&range)? {
+                matched += 1;
+                if records.len() < limit {
+                    records.push(StoreRecordRow {
+                        task: record.task,
+                        monitor: record.monitor,
+                        kind: record.kind.as_str(),
+                        tick: record.tick,
+                        value: record.value,
+                    });
+                }
+            }
+            let report = StoreQueryReport {
+                dir: args.dir.clone(),
+                matched,
+                shown: records.len(),
+                records,
+            };
+            if args.common.report_json {
+                return write_envelope(out, "store", &report);
+            }
+            writeln!(out, "store:            {}", report.dir)?;
+            writeln!(
+                out,
+                "matched:          {} records (showing {})",
+                report.matched, report.shown
+            )?;
+            if !report.records.is_empty() {
+                writeln!(
+                    out,
+                    "{:>6} {:>8} {:>9} {:>8} value",
+                    "task", "monitor", "kind", "tick"
+                )?;
+                for row in &report.records {
+                    // Task-wide records (alerts) have no single monitor.
+                    let monitor = if row.monitor == volley_store::TASK_WIDE {
+                        "-".to_string()
+                    } else {
+                        row.monitor.to_string()
+                    };
+                    writeln!(
+                        out,
+                        "{:>6} {monitor:>8} {:>9} {:>8} {}",
+                        row.task, row.kind, row.tick, row.value
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        StoreAction::Compact => {
+            let stats = store.compact()?;
+            let report = StoreCompactReport {
+                dir: args.dir.clone(),
+                stats,
+            };
+            if args.common.report_json {
+                return write_envelope(out, "store", &report);
+            }
+            writeln!(out, "store:            {}", report.dir)?;
+            writeln!(
+                out,
+                "segments:         {} -> {}",
+                report.stats.segments_before, report.stats.segments_after
+            )?;
+            writeln!(
+                out,
+                "bytes:            {} -> {}",
+                report.stats.bytes_before, report.stats.bytes_after
+            )?;
+            writeln!(out, "records:          {}", report.stats.records)?;
+            Ok(())
+        }
+        StoreAction::ExportCsv => {
+            let limit = args.limit.unwrap_or(usize::MAX);
+            writeln!(out, "task,monitor,kind,tick,value")?;
+            for record in store.scan(&range)?.take(limit) {
+                writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    record.task,
+                    record.monitor,
+                    record.kind.as_str(),
+                    record.tick,
+                    record.value
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// JSON report of a `backtest` invocation.
+#[derive(Debug, Serialize)]
+struct BacktestReport {
+    dir: String,
+    task: u32,
+    monitors: usize,
+    ticks: u64,
+    recorded_error_allowance: f64,
+    recorded_samples: u64,
+    recorded_cost_ratio: f64,
+    recorded_alert_ticks: Vec<u64>,
+    verified: bool,
+    /// Index 0 is always the recorded-config determinism baseline.
+    outcomes: Vec<volley_store::ReplayOutcome>,
+}
+
+/// Replays a recorded range offline: first at the recorded config (the
+/// determinism baseline — `--verify` turns an inexact baseline into an
+/// error), then through each candidate error allowance, reporting the
+/// cost and detection deltas against production.
+fn backtest_cmd<W: Write>(args: &BacktestArgs, out: &mut W) -> Result<(), CliError> {
+    use volley_store::{Backtest, ScanRange, Store, TaskMeta};
+
+    let store = Store::open(&args.dir)
+        .map_err(|e| CliError::Input(format!("cannot open store {}: {e}", args.dir)))?;
+    let range = ScanRange::all().from(args.from).to(args.to);
+    let backtest = Backtest::load(&store, args.task, &range)?.ok_or_else(|| {
+        CliError::Input(format!(
+            "no samples recorded for task {} in {}",
+            args.task, args.dir
+        ))
+    })?;
+    let mut meta = match store.read_meta()? {
+        Some(meta) => meta,
+        None => {
+            let (Some(monitors), Some(threshold)) = (args.monitors, args.threshold) else {
+                return Err(CliError::Input(format!(
+                    "{} has no task-meta.json; pass --monitors and --threshold",
+                    args.dir
+                )));
+            };
+            TaskMeta {
+                monitors,
+                global_threshold: threshold,
+                error_allowance: 0.0,
+                ticks: backtest.ticks(),
+                seed: 0,
+            }
+        }
+    };
+    // Explicit flags win over recorded metadata.
+    if let Some(monitors) = args.monitors {
+        meta.monitors = monitors;
+    }
+    if let Some(threshold) = args.threshold {
+        meta.global_threshold = threshold;
+    }
+
+    let baseline = backtest.replay(&Backtest::candidate_spec(&meta, None)?)?;
+    if args.verify && !baseline.exact_match {
+        return Err(CliError::Input(format!(
+            "determinism check failed: replay at the recorded allowance {} \
+             missed alerts {:?} and raised extra alerts {:?}",
+            meta.error_allowance, baseline.missed_alerts, baseline.extra_alerts
+        )));
+    }
+    let candidates: &[f64] = if args.errs.is_empty() {
+        &[0.01, 0.05]
+    } else {
+        &args.errs
+    };
+    let mut outcomes = vec![baseline];
+    for &err in candidates {
+        outcomes.push(backtest.replay(&Backtest::candidate_spec(&meta, Some(err))?)?);
+    }
+
+    let report = BacktestReport {
+        dir: args.dir.clone(),
+        task: args.task,
+        monitors: backtest.monitors(),
+        ticks: backtest.ticks(),
+        recorded_error_allowance: meta.error_allowance,
+        recorded_samples: backtest.recorded_samples(),
+        recorded_cost_ratio: backtest.recorded_cost_ratio(),
+        recorded_alert_ticks: backtest.recorded_alert_ticks().to_vec(),
+        verified: args.verify,
+        outcomes,
+    };
+    if args.common.report_json {
+        return write_envelope(out, "backtest", &report);
+    }
+    writeln!(out, "store:            {}", report.dir)?;
+    writeln!(
+        out,
+        "recorded:         task {} · {} monitors · {} ticks · err {}",
+        report.task, report.monitors, report.ticks, report.recorded_error_allowance
+    )?;
+    writeln!(
+        out,
+        "recorded cost:    {} samples ({:.1}% of periodic), {} alerts",
+        report.recorded_samples,
+        100.0 * report.recorded_cost_ratio,
+        report.recorded_alert_ticks.len()
+    )?;
+    writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>8} {:>7} {:>7}  exact",
+        "err", "cost", "Δcost", "matched", "missed", "extra"
+    )?;
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        let tag = if i == 0 { " (recorded)" } else { "" };
+        writeln!(
+            out,
+            "{:>10} {:>9.1}% {:>+9.1}% {:>8} {:>7} {:>7}  {}{tag}",
+            outcome.error_allowance,
+            100.0 * outcome.cost_ratio,
+            100.0 * outcome.cost_delta,
+            outcome.matched_alerts,
+            outcome.missed_alerts.len(),
+            outcome.extra_alerts.len(),
+            if outcome.exact_match { "yes" } else { "no" },
+        )?;
     }
     Ok(())
 }
@@ -671,6 +1003,7 @@ mod tests {
     use crate::args::{
         ChaosArgs, CommonArgs, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, SimulateArgs,
     };
+    use volley_store::RecordKind;
 
     fn run_to_string(command: Command) -> String {
         let mut buffer = Vec::new();
@@ -1071,5 +1404,168 @@ mod tests {
             report
         };
         assert_eq!(report_with(1), report_with(4));
+    }
+
+    fn store_args(dir: &str, action: StoreAction) -> StoreArgs {
+        StoreArgs {
+            action,
+            dir: dir.to_string(),
+            task: None,
+            monitor: None,
+            kind: None,
+            from: 0,
+            to: u64::MAX,
+            limit: None,
+            common: CommonArgs {
+                report_json: true,
+                ..CommonArgs::default()
+            },
+        }
+    }
+
+    fn backtest_args(dir: &str) -> BacktestArgs {
+        BacktestArgs {
+            dir: dir.to_string(),
+            task: 0,
+            errs: Vec::new(),
+            from: 0,
+            to: u64::MAX,
+            verify: false,
+            monitors: None,
+            threshold: None,
+            common: CommonArgs {
+                report_json: true,
+                ..CommonArgs::default()
+            },
+        }
+    }
+
+    #[test]
+    fn chaos_recording_backtests_exactly_and_queries_deterministically() {
+        let dir = std::env::temp_dir().join("volley-cli-test-store-chaos");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_string_lossy().to_string();
+
+        let mut args = chaos_args();
+        args.common.store_dir = Some(dir.clone());
+        let chaos_text = run_to_string(Command::Chaos(args));
+        let chaos_report: serde_json::Value = serde_json::from_str(&chaos_text).unwrap();
+        assert_eq!(chaos_report["report"]["alerts"], 2);
+
+        // Same-config replay reproduces the recorded alert set exactly
+        // (--verify would error otherwise), and the default candidates
+        // report their cost/accuracy deltas.
+        let mut bt = backtest_args(&dir);
+        bt.verify = true;
+        let text = run_to_string(Command::Backtest(bt));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed["command"], "backtest");
+        let report = &parsed["report"];
+        assert_eq!(report["monitors"], 2);
+        assert_eq!(report["ticks"], 100);
+        assert_eq!(report["recorded_error_allowance"], 0.0);
+        let recorded_ticks: Vec<u64> = report["recorded_alert_ticks"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|t| t.as_u64().unwrap())
+            .collect();
+        assert_eq!(recorded_ticks, vec![49, 99], "{text}");
+        let outcomes = report["outcomes"].as_array().unwrap();
+        assert_eq!(outcomes.len(), 3, "baseline + two default candidates");
+        assert_eq!(outcomes[0]["exact_match"], true, "{text}");
+        assert_eq!(outcomes[0]["cost_delta"], 0.0);
+        // Looser candidates cost less; the report carries their deltas.
+        for outcome in &outcomes[1..] {
+            assert!(outcome["cost_ratio"].as_f64().unwrap() < 1.0, "{text}");
+        }
+
+        // Two scans of the same store are byte-identical.
+        let query = || run_to_string(Command::Store(store_args(&dir, StoreAction::Query)));
+        let first = query();
+        assert_eq!(first, query(), "scan determinism");
+        let parsed: serde_json::Value = serde_json::from_str(&first).unwrap();
+        assert_eq!(parsed["command"], "store");
+        assert!(parsed["report"]["matched"].as_u64().unwrap() > 200);
+
+        // The alert filter narrows to the two burst ticks.
+        let mut alerts = store_args(&dir, StoreAction::Query);
+        alerts.kind = Some(RecordKind::Alert);
+        let alert_text = run_to_string(Command::Store(alerts));
+        let parsed: serde_json::Value = serde_json::from_str(&alert_text).unwrap();
+        assert_eq!(parsed["report"]["matched"], 2, "{alert_text}");
+        assert_eq!(parsed["report"]["records"][0]["tick"], 49);
+        assert_eq!(parsed["report"]["records"][1]["tick"], 99);
+
+        // CSV export round-trips through the same filters.
+        let mut csv_args = store_args(&dir, StoreAction::ExportCsv);
+        csv_args.kind = Some(RecordKind::Alert);
+        let csv = run_to_string(Command::Store(csv_args));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "task,monitor,kind,tick,value");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("alert,49,"), "{csv}");
+
+        // Compaction merges segments without changing query results.
+        let compact = run_to_string(Command::Store(store_args(&dir, StoreAction::Compact)));
+        let parsed: serde_json::Value = serde_json::from_str(&compact).unwrap();
+        assert_eq!(parsed["report"]["stats"]["segments_after"], 1, "{compact}");
+        assert_eq!(first, query(), "compaction preserves scans");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_records_store_and_snapshot_series() {
+        let dir = std::env::temp_dir().join("volley-cli-test-store-run");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_string_lossy().to_string();
+
+        let mut args = run_args();
+        args.common.store_dir = Some(dir.clone());
+        let text = run_to_string(Command::Run(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let total_samples = parsed["report"]["total_samples"].as_u64().unwrap();
+
+        // The recorded sample count matches the runtime report.
+        let mut samples = store_args(&dir, StoreAction::Query);
+        samples.limit = Some(0);
+        samples.kind = Some(RecordKind::Sample);
+        let sampled: serde_json::Value =
+            serde_json::from_str(&run_to_string(Command::Store(samples))).unwrap();
+        let mut polls = store_args(&dir, StoreAction::Query);
+        polls.limit = Some(0);
+        polls.kind = Some(RecordKind::PollSample);
+        let polled: serde_json::Value =
+            serde_json::from_str(&run_to_string(Command::Store(polls))).unwrap();
+        assert_eq!(
+            sampled["report"]["matched"].as_u64().unwrap()
+                + polled["report"]["matched"].as_u64().unwrap(),
+            total_samples
+        );
+
+        // The final obs snapshot landed in the store as counter series.
+        let mut counters = store_args(&dir, StoreAction::Query);
+        counters.kind = Some(RecordKind::Counter);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run_to_string(Command::Store(counters))).unwrap();
+        assert!(
+            parsed["report"]["matched"].as_u64().unwrap() > 0,
+            "snapshot counters recorded"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backtest_errors_without_samples_or_meta() {
+        let dir = std::env::temp_dir().join("volley-cli-test-store-empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_string_lossy().to_string();
+        let mut buffer = Vec::new();
+        let result = run(Command::Backtest(backtest_args(&dir)), &mut buffer);
+        assert!(matches!(result, Err(CliError::Input(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -39,6 +39,11 @@ pub struct FleetTask {
     pub standby: bool,
     /// Checkpoint WAL path and snapshot cadence for this task, if any.
     pub wal: Option<(std::path::PathBuf, u64)>,
+    /// Recording sink for this task's samples/alerts/interval changes.
+    /// Tag shared recorders with
+    /// [`SampleRecorder::for_task`] so tasks stay
+    /// distinguishable in one store.
+    pub recorder: Option<volley_store::SampleRecorder>,
 }
 
 impl FleetTask {
@@ -64,6 +69,7 @@ impl FleetTask {
             tick_deadline: DEFAULT_TICK_DEADLINE,
             standby: false,
             wal: None,
+            recorder: None,
         }
     }
 
@@ -84,6 +90,14 @@ impl FleetTask {
     pub fn with_standby(mut self, wal: Option<(std::path::PathBuf, u64)>) -> Self {
         self.standby = true;
         self.wal = wal;
+        self
+    }
+
+    /// Attaches a recording sink for this submission (see
+    /// [`TaskRunner::with_recorder`]).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: volley_store::SampleRecorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -180,6 +194,9 @@ impl FleetRunner {
                                 .with_standby(task.standby);
                             if let Some((path, every)) = &task.wal {
                                 runner = runner.with_wal(path, *every);
+                            }
+                            if let Some(recorder) = &task.recorder {
+                                runner = runner.with_recorder(recorder.clone());
                             }
                             runner.run(&task.traces)
                         })();

@@ -91,3 +91,4 @@ pub use link::MonitorLink;
 pub use message::CoordinatorToRunner;
 pub use monitor::MonitorActor;
 pub use runner::{RuntimeReport, TaskRunner};
+pub use volley_store::SampleRecorder;

@@ -6,6 +6,7 @@ use crossbeam::channel::Receiver;
 use volley_core::task::MonitorId;
 use volley_core::AdaptiveSampler;
 use volley_obs::{names, Counter, Histogram, Obs, SpanLog};
+use volley_store::SampleRecorder;
 
 use crate::failure::FaultPlan;
 use crate::link::MonitorLink;
@@ -59,6 +60,12 @@ pub struct MonitorActor {
     stale_rejections: u64,
     /// Observability handles (absent = zero instrumentation cost).
     obs: Option<MonitorObsHandles>,
+    /// Sample/interval recording sink (absent = nothing persisted).
+    recorder: Option<SampleRecorder>,
+    /// The last interval recorded, so only *changes* produce records
+    /// (0 = none yet: the first observation records the initial
+    /// interval, giving replays a complete interval timeline).
+    last_interval: u32,
 }
 
 /// Pre-resolved obs instruments, so the hot path never takes the
@@ -95,6 +102,8 @@ impl MonitorActor {
             epoch: 0,
             stale_rejections: 0,
             obs: None,
+            recorder: None,
+            last_interval: 0,
         }
     }
 
@@ -119,6 +128,16 @@ impl MonitorActor {
             samples: obs.registry().counter(names::MONITOR_SAMPLES_TOTAL),
             sends: obs.registry().counter(names::TRANSPORT_SENDS_TOTAL),
         });
+        self
+    }
+
+    /// Attaches a recording sink: every observed sample (scheduled or
+    /// poll-forced) and every sampling-interval change is appended to
+    /// the store. Recording is best-effort and never blocks or fails
+    /// the actor (see [`SampleRecorder`]).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SampleRecorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -179,6 +198,7 @@ impl MonitorActor {
                     violation = obs.violation;
                     sampled = true;
                     self.sampled_this_tick = true;
+                    self.record_observation(data.tick, data.value, false);
                 }
                 (
                     Some(MonitorToCoordinator::TickDone {
@@ -198,6 +218,7 @@ impl MonitorActor {
                     // A poll response counts as this tick's sample; a
                     // second poll in the same tick must not double-charge.
                     self.sampled_this_tick = true;
+                    self.record_observation(data.tick, data.value, true);
                 }
                 (
                     Some(MonitorToCoordinator::PollReply {
@@ -241,6 +262,9 @@ impl MonitorActor {
                 self.next_sample_tick = 0;
                 self.current = None;
                 self.sampled_this_tick = false;
+                // Recovery may land on any interval: re-record it at the
+                // next observation.
+                self.last_interval = 0;
                 (None, false)
             }
             CoordinatorToMonitor::ResetSampler => {
@@ -256,9 +280,28 @@ impl MonitorActor {
                 self.next_sample_tick = 0;
                 self.current = None;
                 self.sampled_this_tick = false;
+                self.last_interval = 0;
                 (None, false)
             }
             CoordinatorToMonitor::Shutdown => (None, true),
+        }
+    }
+
+    /// Appends the observation (and any interval change it caused) to
+    /// the attached recorder, if any.
+    fn record_observation(&mut self, tick: u64, value: f64, forced: bool) {
+        let interval = self.sampler.interval().get();
+        let changed = std::mem::replace(&mut self.last_interval, interval) != interval;
+        let Some(recorder) = &self.recorder else {
+            return;
+        };
+        if forced {
+            recorder.record_poll_sample(self.id.0, tick, value);
+        } else {
+            recorder.record_sample(self.id.0, tick, value);
+        }
+        if changed {
+            recorder.record_interval_change(self.id.0, tick, interval);
         }
     }
 

@@ -15,6 +15,7 @@ use volley_core::task::{MonitorId, TaskId, TaskSpec};
 use volley_core::time::Tick;
 use volley_core::{AdaptationConfig, AdaptiveSampler, VolleyError};
 use volley_obs::{names, GaugeSource, Obs, SelfMonitor, SnapshotWriter};
+use volley_store::SampleRecorder;
 
 use crate::checkpoint::Wal;
 use crate::coordinator::{CoordinatorActor, DEFAULT_QUARANTINE_AFTER, DEFAULT_TICK_DEADLINE};
@@ -121,6 +122,8 @@ pub struct TaskRunner {
     /// Self-monitor watchdog: (tick-latency threshold in µs, error
     /// allowance for its adaptive sampler).
     self_monitor: Option<(f64, f64)>,
+    /// Sample/alert/interval recording sink shared with every monitor.
+    recorder: Option<SampleRecorder>,
 }
 
 impl TaskRunner {
@@ -150,7 +153,19 @@ impl TaskRunner {
             obs: Obs::disabled(),
             obs_dir: None,
             self_monitor: None,
+            recorder: None,
         })
+    }
+
+    /// Attaches a [`SampleRecorder`]: every monitor records its sampled
+    /// values and interval changes, and the runner records every alert.
+    /// The recorder is flushed at teardown. Recording is best-effort and
+    /// never fails the run — check
+    /// [`SampleRecorder::io_errors`] afterwards.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SampleRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Shares an observability bundle with the run: the runner, the
@@ -319,9 +334,12 @@ impl TaskRunner {
             links.push(MonitorLink::new(tx));
             let mut sampler = AdaptiveSampler::new(*self.spec.adaptation(), m.local_threshold);
             sampler.set_error_allowance(global_err / n as f64);
-            let actor = MonitorActor::new(m.id, sampler)
+            let mut actor = MonitorActor::new(m.id, sampler)
                 .with_faults(self.fault_plan.clone())
                 .with_obs(&self.obs);
+            if let Some(recorder) = &self.recorder {
+                actor = actor.with_recorder(recorder.clone());
+            }
             let outbox = out_link.clone();
             monitor_handles.push(std::thread::spawn(move || actor.run(rx, outbox)));
         }
@@ -472,6 +490,9 @@ impl TaskRunner {
                 if summary.degraded {
                     report.degraded_alerts += 1;
                 }
+                if let Some(recorder) = &self.recorder {
+                    recorder.record_alert(summary.tick, summary.degraded);
+                }
             }
             if summary.degraded {
                 degraded_ticks += 1;
@@ -538,6 +559,11 @@ impl TaskRunner {
         if let Some(writer) = writer.as_mut() {
             let _ = writer.write_now(registry, ticks);
             let _ = writer.write_spans(self.obs.spans());
+        }
+        // Seal recorded samples only after every monitor has joined, so
+        // the flushed segments hold the complete run.
+        if let Some(recorder) = &self.recorder {
+            recorder.flush();
         }
         Ok(report)
     }
@@ -712,10 +738,13 @@ impl TaskRunner {
         let (tx, rx) = unbounded::<Bytes>();
         let mut sampler = AdaptiveSampler::new(*self.spec.adaptation(), m.local_threshold);
         sampler.set_error_allowance(global_err / n as f64);
-        let actor = MonitorActor::new(m.id, sampler)
+        let mut actor = MonitorActor::new(m.id, sampler)
             .with_faults(self.fault_plan.without_process_faults(monitor))
             .with_epoch(epoch)
             .with_obs(&self.obs);
+        if let Some(recorder) = &self.recorder {
+            actor = actor.with_recorder(recorder.clone());
+        }
         let outbox = out_link.clone();
         let handle = std::thread::spawn(move || actor.run(rx, outbox));
         // Swapping the link drops the old sender: a stalled predecessor
@@ -866,6 +895,50 @@ mod tests {
         }
         assert_eq!(runtime_report.alert_ticks, ref_alerts);
         assert_eq!(runtime_report.total_samples, ref_samples);
+    }
+
+    #[test]
+    fn recorder_captures_every_sample_and_alert() {
+        use volley_store::{RecordKind, SampleRecorder, ScanRange, Store};
+        let dir = std::env::temp_dir().join(format!("volley-runner-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = spec(2, 50.0, 0.0);
+        let mut traces = vec![vec![5.0; 120], vec![10.0; 120]];
+        traces[0][60..70].fill(80.0); // aggregate 90 > 50: a held violation
+        let recorder = SampleRecorder::new(Store::open(&dir).unwrap());
+        let report = TaskRunner::new(&spec)
+            .unwrap()
+            .with_recorder(recorder.clone())
+            .run(&traces)
+            .unwrap();
+        assert_eq!(recorder.io_errors(), 0);
+        let samples = recorder.with_store(|s| {
+            s.scan(&ScanRange::all().kind(RecordKind::Sample))
+                .unwrap()
+                .count() as u64
+        });
+        let polls = recorder.with_store(|s| {
+            s.scan(&ScanRange::all().kind(RecordKind::PollSample))
+                .unwrap()
+                .count() as u64
+        });
+        assert_eq!(samples + polls, report.total_samples);
+        let alert_ticks: Vec<Tick> = recorder.with_store(|s| {
+            s.scan(&ScanRange::all().kind(RecordKind::Alert))
+                .unwrap()
+                .map(|r| r.tick)
+                .collect()
+        });
+        assert_eq!(alert_ticks, report.alert_ticks);
+        // err = 0 keeps every interval at 1: exactly one initial
+        // IntervalChange record per monitor.
+        let interval_changes = recorder.with_store(|s| {
+            s.scan(&ScanRange::all().kind(RecordKind::IntervalChange))
+                .unwrap()
+                .count()
+        });
+        assert_eq!(interval_changes, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

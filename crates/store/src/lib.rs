@@ -1,0 +1,52 @@
+//! # volley-store
+//!
+//! Embedded, append-only, segmented time-series store for the Volley
+//! reproduction — plus record/replay and offline backtesting on top.
+//!
+//! The paper's premise is that samples are expensive; this crate stops
+//! throwing them away. Every sampled value, alert, and
+//! interval-adaptation event the runtime produces can be recorded
+//! through a [`SampleRecorder`] into a directory of immutable segment
+//! files, then queried back ([`Store::scan`] + [`ScanRange`]) or
+//! replayed through a candidate `AdaptationConfig` ([`Backtest`]) to
+//! measure what an alternative tuning *would have* cost and missed on
+//! real history — Fig. 5-style cost/accuracy curves on your own data.
+//!
+//! ## Layout
+//!
+//! - [`record`]: the row model — [`Record`], [`RecordKind`],
+//!   [`SeriesKey`].
+//! - [`segment`]: the on-disk columnar format — CRC-framed like the
+//!   runtime WAL, delta-of-delta tick encoding, XOR-compressed values,
+//!   sparse per-chunk index, never-panic recovery.
+//! - [`store`]: the directory of segments — buffered appends, merged
+//!   scans, compaction, retention, recording metadata.
+//! - [`recorder`]: the thread-safe runtime sink.
+//! - [`backtest`]: deterministic replay on the sim clock.
+//!
+//! ## Determinism
+//!
+//! Records sort by `(task, monitor, kind, tick)` at segment-encode
+//! time, and scans merge segments in that same order with ties broken
+//! by segment sequence. Since the runtime records at most one record
+//! per `(task, monitor, kind, tick)`, sealed bytes and scan results are
+//! identical across runs regardless of thread scheduling or where
+//! segment boundaries happened to fall.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backtest;
+pub mod record;
+pub mod recorder;
+pub mod segment;
+pub mod store;
+
+pub use backtest::{Backtest, ReplayOutcome, DEFAULT_TICK_WINDOW};
+pub use record::{Record, RecordKind, SeriesKey, TASK_WIDE};
+pub use recorder::SampleRecorder;
+pub use segment::{crc32, encode_segment, ChunkEntry, SegmentReader, SEGMENT_VERSION};
+pub use store::{
+    CompactionStats, Scan, ScanRange, Store, TaskMeta, DEFAULT_FLUSH_RECORDS,
+    DEFAULT_FLUSH_TICK_SPAN,
+};

@@ -317,6 +317,39 @@ impl VolleyConfig {
     pub fn distributed_scenario(&self, task_size: usize) -> DistributedScenario {
         DistributedScenario::from_config(self.distributed_scenario_config(task_size))
     }
+
+    /// The store-metadata stamp describing a run of this configuration —
+    /// what `volley backtest` reads back to rebuild the production
+    /// config.
+    pub fn task_meta(&self, global_threshold: f64, monitors: usize) -> volley_store::TaskMeta {
+        volley_store::TaskMeta {
+            monitors,
+            global_threshold,
+            error_allowance: self.error_allowance,
+            ticks: self.ticks as u64,
+            seed: self.seed,
+        }
+    }
+
+    /// Opens (or creates) a sample store at `dir`, stamps it with this
+    /// configuration's [`task_meta`](Self::task_meta) and wraps it in a
+    /// recorder ready for `TaskRunner::with_recorder` /
+    /// `FleetTask::with_recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O errors; recording itself is best-effort and
+    /// never fails the monitored run.
+    pub fn recorder(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+        global_threshold: f64,
+        monitors: usize,
+    ) -> std::io::Result<volley_store::SampleRecorder> {
+        let store = volley_store::Store::open(dir)?;
+        store.write_meta(&self.task_meta(global_threshold, monitors))?;
+        Ok(volley_store::SampleRecorder::new(store))
+    }
 }
 
 #[cfg(test)]
@@ -403,5 +436,24 @@ mod tests {
     fn threads_clamp_to_one() {
         assert_eq!(VolleyConfig::new().threads(0).thread_count(), 1);
         assert_eq!(VolleyConfig::new().threads(8).thread_count(), 8);
+    }
+
+    #[test]
+    fn recorder_terminal_stamps_backtest_metadata() {
+        let dir =
+            std::env::temp_dir().join(format!("volley-config-recorder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = VolleyConfig::new().error_allowance(0.02).ticks(300).seed(9);
+        let recorder = config.recorder(&dir, 500.0, 5).unwrap();
+        recorder.record_sample(0, 0, 1.0);
+        recorder.flush();
+        let meta = recorder
+            .with_store(|store| store.read_meta())
+            .unwrap()
+            .expect("meta stamped");
+        assert_eq!(meta, config.task_meta(500.0, 5));
+        assert_eq!(meta.error_allowance, 0.02);
+        assert_eq!(meta.ticks, 300);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,7 +13,9 @@
 //! - [`volley_runtime`] — the threaded monitor/coordinator
 //!   message-passing prototype;
 //! - [`volley_obs`] — the self-monitoring observability subsystem
-//!   (metrics registry, span tracing, exposition, Volley-watching-Volley).
+//!   (metrics registry, span tracing, exposition, Volley-watching-Volley);
+//! - [`volley_store`] — the embedded time-series sample store with
+//!   record/replay and offline backtesting.
 //!
 //! The most common entry points are re-exported at the crate root:
 //!
@@ -44,6 +46,7 @@ pub use volley_core as core;
 pub use volley_obs as obs;
 pub use volley_runtime as runtime;
 pub use volley_sim as sim;
+pub use volley_store as store;
 pub use volley_traces as traces;
 
 pub use volley_core::{
@@ -55,6 +58,7 @@ pub use volley_core::{
 pub use volley_obs::Obs;
 pub use volley_runtime::TaskRunner;
 pub use volley_sim::{NetworkScenario, NetworkScenarioConfig};
+pub use volley_store::{Backtest, SampleRecorder, ScanRange, Store};
 pub use volley_traces::{
     DiurnalPattern, HttpWorkloadConfig, NetflowConfig, SystemMetricsGenerator,
 };

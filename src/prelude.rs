@@ -48,3 +48,8 @@ pub use volley_traces::{
 
 // Observability: the self-monitoring subsystem.
 pub use volley_obs::Obs;
+
+// Store: sample recording, queries and offline backtesting.
+pub use volley_store::{
+    Backtest, Record, RecordKind, ReplayOutcome, SampleRecorder, ScanRange, Store, TaskMeta,
+};
