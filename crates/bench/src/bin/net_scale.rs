@@ -1,0 +1,226 @@
+//! Socket-fleet scaling benchmark: the networked coordinator versus the
+//! in-process runner, point for point.
+//!
+//! For each fleet size the same bursty workload runs twice: once through
+//! the channel-based [`TaskRunner`] (the determinism baseline) and once
+//! over real localhost TCP — one [`NetCoordinator`] event loop
+//! multiplexing every agent connection, each agent thread hosting a
+//! contiguous slice of monitors ([`run_agent`]). The two
+//! [`RuntimeReport`]s must be **bit-for-bit identical**: the wire moves
+//! the exact frames the channels moved, so any divergence is a transport
+//! bug, not noise. The largest point is a 10k-monitor fleet multiplexed
+//! over 250 connections — the acceptance bar for the networked
+//! deployment.
+//!
+//! Writes `reproduction/net_scale.txt` and `reproduction/net_scale.json`.
+//! Exits non-zero if any point loses report parity.
+//!
+//! `--smoke` trims the sweep to two points (2k and 10k monitors) for CI.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use volley_core::task::TaskSpec;
+use volley_runtime::net::{
+    run_agent, AgentConfig, BackoffConfig, NetAddr, NetCoordinator, NetStats,
+};
+use volley_runtime::transport::TransportConfig;
+use volley_runtime::TaskRunner;
+
+/// The CLI's bursty workload: quiet at ~20% of the local threshold with
+/// a violation burst every 50 ticks and a per-monitor wobble.
+fn bursty_traces(n: usize, ticks: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|m| {
+            (0..ticks)
+                .map(|t| {
+                    let wobble = ((t * (3 + m)) % 7) as f64;
+                    if t % 50 == 49 {
+                        140.0 + wobble
+                    } else {
+                        20.0 + wobble
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct PointRecord {
+    monitors: usize,
+    agents: u32,
+    ticks: usize,
+    baseline_elapsed_s: f64,
+    net_elapsed_s: f64,
+    alerts: u64,
+    total_samples: u64,
+    parity: bool,
+    net: NetStats,
+}
+
+#[derive(Serialize)]
+struct NetScaleReport {
+    schema: u32,
+    smoke: bool,
+    points: Vec<PointRecord>,
+}
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            if let Some(dir) = it.next() {
+                return PathBuf::from(dir);
+            }
+        }
+    }
+    PathBuf::from("reproduction")
+}
+
+fn run_point(monitors: usize, agents: u32, ticks: usize) -> PointRecord {
+    eprintln!("net_scale: point {monitors} monitors / {agents} agents / {ticks} ticks");
+    let spec = TaskSpec::builder(100.0 * monitors as f64)
+        .monitors(monitors)
+        .error_allowance(0.01)
+        .build()
+        .expect("valid spec");
+    let traces = bursty_traces(monitors, ticks);
+
+    // Both sides get the same generous deadline: at 10k monitors the OS
+    // cannot schedule every monitor thread inside the default 1s window,
+    // and a deadline miss on either side would (correctly) break parity
+    // by counting monitors degraded.
+    let deadline = Duration::from_secs(10);
+    let started = Instant::now();
+    let baseline = TaskRunner::new(&spec)
+        .expect("runner builds")
+        .with_tick_deadline(deadline)
+        .run(&traces)
+        .expect("in-process run succeeds");
+    let baseline_elapsed_s = started.elapsed().as_secs_f64();
+    eprintln!("net_scale: in-process baseline done in {baseline_elapsed_s:.2}s");
+
+    let coordinator = NetCoordinator::bind(spec.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))
+        .expect("bind succeeds")
+        .with_wait_timeout(Duration::from_secs(60))
+        .with_tick_deadline(deadline);
+    let addr = NetAddr::Tcp(
+        coordinator
+            .local_addr()
+            .expect("tcp local addr")
+            .to_string(),
+    );
+
+    let started = Instant::now();
+    let per = (monitors as u32).div_ceil(agents);
+    let handles: Vec<std::thread::JoinHandle<()>> = (0..agents)
+        .map(|a| {
+            let config = AgentConfig {
+                agent: a,
+                addr: addr.clone(),
+                spec: spec.clone(),
+                monitors: (a * per)..((a + 1) * per).min(monitors as u32),
+                transport: TransportConfig::default(),
+                backoff: BackoffConfig {
+                    base: Duration::from_millis(10),
+                    cap: Duration::from_millis(500),
+                    max_retries_per_outage: 500,
+                },
+            };
+            std::thread::spawn(move || {
+                run_agent(&config).expect("agent completes");
+            })
+        })
+        .collect();
+    let outcome = coordinator.run(&traces).expect("net run succeeds");
+    for handle in handles {
+        handle.join().expect("agent thread joins");
+    }
+    let net_elapsed_s = started.elapsed().as_secs_f64();
+
+    let parity = outcome.report == baseline;
+    if !parity {
+        eprintln!(
+            "FAIL: {monitors} monitors / {agents} agents: networked report diverged\n\
+             baseline: {baseline:?}\n\
+             net:      {:?}",
+            outcome.report
+        );
+    }
+    PointRecord {
+        monitors,
+        agents,
+        ticks,
+        baseline_elapsed_s,
+        net_elapsed_s,
+        alerts: outcome.report.alerts,
+        total_samples: outcome.report.total_samples,
+        parity,
+        net: outcome.net,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // (monitors, agents, ticks): each agent multiplexes monitors/agents
+    // actors over one socket; the 10k point is the acceptance bar.
+    let points: &[(usize, u32, usize)] = if smoke {
+        &[(2048, 128, 100), (10_000, 250, 60)]
+    } else {
+        &[
+            (64, 16, 200),
+            (512, 64, 150),
+            (2048, 128, 100),
+            (10_000, 250, 60),
+        ]
+    };
+    eprintln!("net_scale: smoke={smoke}, {} points", points.len());
+
+    let mut text = format!(
+        "networked fleet vs in-process runner (bit-for-bit report parity)\n\n\
+         {:>9} {:>7} {:>6} {:>10} {:>9} {:>11} {:>12} {:>7}\n",
+        "monitors", "agents", "ticks", "chan-secs", "net-secs", "frames-in", "queue-peak", "parity",
+    );
+    let mut records = Vec::new();
+    let mut failed = false;
+
+    for &(monitors, agents, ticks) in points {
+        let record = run_point(monitors, agents, ticks);
+        text.push_str(&format!(
+            "{:>9} {:>7} {:>6} {:>10.2} {:>9.2} {:>11} {:>12} {:>7}\n",
+            record.monitors,
+            record.agents,
+            record.ticks,
+            record.baseline_elapsed_s,
+            record.net_elapsed_s,
+            record.net.frames_in,
+            record.net.max_queue_depth,
+            if record.parity { "yes" } else { "NO" },
+        ));
+        failed |= !record.parity;
+        records.push(record);
+    }
+
+    print!("{text}");
+    let report = NetScaleReport {
+        schema: 1,
+        smoke,
+        points: records,
+    };
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    std::fs::write(dir.join("net_scale.txt"), &text).expect("write txt");
+    std::fs::write(
+        dir.join("net_scale.json"),
+        serde_json::to_string_pretty(&report).expect("serializable"),
+    )
+    .expect("write json");
+
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("net_scale parity holds");
+}

@@ -120,6 +120,120 @@ impl CommonArgs {
     }
 }
 
+/// Transport knobs shared by the networked subcommands (`agent`,
+/// `coordinator`, `chaos --net`): frame cap, socket timeouts, and the
+/// reconnect backoff policy. Same pattern as [`CommonArgs`] — one
+/// spelling, one default, one parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportArgs {
+    /// Maximum accepted frame size in bytes (excluding the newline).
+    pub max_frame_bytes: usize,
+    /// Socket read timeout in milliseconds; `0` means none.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in milliseconds; `0` means none.
+    pub write_timeout_ms: u64,
+    /// First-retry reconnect delay in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Reconnect delay ceiling in milliseconds (pre-jitter).
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for TransportArgs {
+    fn default() -> Self {
+        TransportArgs {
+            max_frame_bytes: 64 * 1024,
+            read_timeout_ms: 0,
+            write_timeout_ms: 0,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2000,
+        }
+    }
+}
+
+impl TransportArgs {
+    /// Tries to consume `flag` (and its value) from the argument stream.
+    /// Returns `Ok(true)` when the flag belonged to this group.
+    fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--max-frame-bytes" => {
+                self.max_frame_bytes = parse_value::<usize>(flag, it.next())?.max(64);
+            }
+            "--read-timeout-ms" => self.read_timeout_ms = parse_value(flag, it.next())?,
+            "--write-timeout-ms" => self.write_timeout_ms = parse_value(flag, it.next())?,
+            "--backoff-base-ms" => {
+                self.backoff_base_ms = parse_value::<u64>(flag, it.next())?.max(1);
+            }
+            "--backoff-cap-ms" => {
+                self.backoff_cap_ms = parse_value::<u64>(flag, it.next())?.max(1);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// The `coordinator` subcommand's options: bind a socket, wait for the
+/// agent fleet, and drive the bursty workload over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorArgs {
+    /// Number of monitors across the whole fleet.
+    pub monitors: usize,
+    /// Trace length in ticks.
+    pub ticks: usize,
+    /// Error allowance for the monitored task.
+    pub err: f64,
+    /// TCP listen address.
+    pub listen: String,
+    /// Unix socket path; wins over `--listen` when given.
+    pub unix: Option<String>,
+    /// Coordinator collection deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Consecutive missed deadlines before quarantine.
+    pub quarantine_after: u32,
+    /// Bounded per-connection outbound queue depth (frames).
+    pub queue_cap: usize,
+    /// Idle connection reap timeout in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// How long to wait for the full fleet to connect, in milliseconds.
+    pub wait_ms: u64,
+    /// Artificial delay between ticks in milliseconds (`0` = free-run).
+    pub tick_interval_ms: u64,
+    /// Shared transport knobs.
+    pub transport: TransportArgs,
+    /// Shared seed / obs-dir / threads / report-json group.
+    pub common: CommonArgs,
+}
+
+/// The `agent` subcommand's options: host a slice of the fleet's
+/// monitors behind one socket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentArgs {
+    /// Coordinator TCP address to dial.
+    pub connect: String,
+    /// Unix socket path; wins over `--connect` when given.
+    pub unix: Option<String>,
+    /// Fleet-unique agent id.
+    pub agent_id: u32,
+    /// Hosted monitor range `a..b` (end-exclusive); defaults to the
+    /// whole fleet.
+    pub monitors: Option<(u32, u32)>,
+    /// Total monitors across the fleet (must match the coordinator).
+    pub fleet_size: usize,
+    /// Error allowance (must match the coordinator).
+    pub err: f64,
+    /// Global threshold override; defaults to the coordinator's
+    /// convention of `100 × fleet size`.
+    pub threshold: Option<f64>,
+    /// Shared transport knobs.
+    pub transport: TransportArgs,
+    /// Shared seed / obs-dir / threads / report-json group.
+    pub common: CommonArgs,
+}
+
 /// The `monitor` subcommand's options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonitorArgs {
@@ -208,6 +322,19 @@ pub struct ChaosArgs {
     pub supervise: bool,
     /// Obs snapshot cadence in ticks.
     pub obs_every: u64,
+    /// Run the fleet over real localhost sockets instead of channels,
+    /// injecting socket-level faults (`--net-storm-*`).
+    pub net: bool,
+    /// Agent processes to split the monitors across (`0` = one monitor
+    /// per agent). Net mode only.
+    pub net_agents: usize,
+    /// Sever a random fraction of agents every this many ticks
+    /// (`0` = off). Net mode only.
+    pub net_storm_every: u64,
+    /// Fraction of agents severed per storm.
+    pub net_storm_fraction: f64,
+    /// Shared transport knobs (net mode only).
+    pub transport: TransportArgs,
     /// Shared seed / obs-dir / threads / report-json group. `--seed`
     /// seeds the fault plan; `--obs-dir` enables snapshot dumping.
     pub common: CommonArgs,
@@ -329,6 +456,10 @@ pub enum Command {
     Store(StoreArgs),
     /// Replay recorded history through candidate configurations.
     Backtest(BacktestArgs),
+    /// Serve a monitor fleet over a real socket.
+    Coordinator(CoordinatorArgs),
+    /// Host a slice of monitors and dial the coordinator.
+    Agent(AgentArgs),
     /// Print usage.
     Help,
 }
@@ -377,7 +508,26 @@ USAGE:
   volley backtest --store-dir <dir> [--task <n=0>] [--err <e>]...
                   [--from <t>] [--to <t>] [--verify]
                   [--monitors <n>] [--threshold <T>] [common flags]
+  volley coordinator [--monitors <n=5>] [--ticks <n=200>] [--err <e=0.01>]
+                  [--listen <addr=127.0.0.1:7707>] [--unix <path>]
+                  [--deadline-ms <n=5000>] [--quarantine-after <n=3>]
+                  [--queue-cap <n=1024>] [--idle-timeout-ms <n=30000>]
+                  [--wait-ms <n=30000>] [--tick-interval-ms <n=0>]
+                  [transport flags] [common flags]
+  volley agent    [--connect <addr=127.0.0.1:7707>] [--unix <path>]
+                  [--agent-id <n=0>] [--monitors <a..b>]
+                  [--fleet-size <n=5>] [--err <e=0.01>] [--threshold <T>]
+                  [transport flags] [common flags]
+  volley chaos --net  adds: [--net-agents <n>] [--net-storm-every <t>]
+                  [--net-storm-fraction <p=0.25>] [transport flags]
   volley help
+
+Transport flags (same meaning on agent, coordinator and chaos --net):
+  --max-frame-bytes <n=65536>   frame size cap (bytes, sans newline)
+  --read-timeout-ms <n=0>       socket read timeout (0 = none)
+  --write-timeout-ms <n=0>      socket write timeout (0 = none)
+  --backoff-base-ms <n=50>      first reconnect delay
+  --backoff-cap-ms <n=2000>     reconnect delay ceiling (pre-jitter)
 ";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, CliError> {
@@ -433,6 +583,18 @@ fn parse_partition_spec(value: Option<&String>) -> Result<(Vec<u32>, u64, u64), 
     ))
 }
 
+/// Parses a monitor range `a..b` (end-exclusive, `a < b`).
+fn parse_range_spec(value: Option<&String>) -> Result<(u32, u32), CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage("--monitors requires a..b".to_string()))?;
+    let bad = || CliError::Usage(format!("invalid monitor range `{raw}` (expected a..b)"));
+    let (a, b) = raw.split_once("..").ok_or_else(bad)?;
+    let (a, b): (u32, u32) = (a.parse().map_err(|_| bad())?, b.parse().map_err(|_| bad())?);
+    if a >= b {
+        return Err(bad());
+    }
+    Ok((a, b))
+}
+
 impl Command {
     /// Parses a command line (without the program name).
     ///
@@ -456,6 +618,8 @@ impl Command {
             "obs" => Self::parse_obs(rest),
             "store" => Self::parse_store(rest),
             "backtest" => Self::parse_backtest(rest),
+            "coordinator" => Self::parse_coordinator(rest),
+            "agent" => Self::parse_agent(rest),
             other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -536,11 +700,16 @@ impl Command {
             quarantine_after: 2,
             supervise: true,
             obs_every: 50,
+            net: false,
+            net_agents: 0,
+            net_storm_every: 0,
+            net_storm_fraction: 0.25,
+            transport: TransportArgs::default(),
             common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            if parsed.common.accept(flag, &mut it)? {
+            if parsed.common.accept(flag, &mut it)? || parsed.transport.accept(flag, &mut it)? {
                 continue;
             }
             match flag.as_str() {
@@ -570,6 +739,13 @@ impl Command {
                 "--deadline-ms" => parsed.deadline_ms = parse_value(flag, it.next())?,
                 "--quarantine-after" => parsed.quarantine_after = parse_value(flag, it.next())?,
                 "--no-supervise" => parsed.supervise = false,
+                "--net" => parsed.net = true,
+                "--net-agents" => parsed.net_agents = parse_value(flag, it.next())?,
+                "--net-storm-every" => parsed.net_storm_every = parse_value(flag, it.next())?,
+                "--net-storm-fraction" => {
+                    parsed.net_storm_fraction =
+                        parse_value::<f64>(flag, it.next())?.clamp(0.0, 1.0);
+                }
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
@@ -749,6 +925,92 @@ impl Command {
         }
         parsed.common.store_dir = None; // consumed by the resolution
         Ok(Command::Backtest(parsed))
+    }
+
+    fn parse_coordinator(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = CoordinatorArgs {
+            monitors: 5,
+            ticks: 200,
+            err: 0.01,
+            listen: String::from("127.0.0.1:7707"),
+            unix: None,
+            deadline_ms: 5000,
+            quarantine_after: 3,
+            queue_cap: 1024,
+            idle_timeout_ms: 30_000,
+            wait_ms: 30_000,
+            tick_interval_ms: 0,
+            transport: TransportArgs::default(),
+            common: CommonArgs::default(),
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? || parsed.transport.accept(flag, &mut it)? {
+                continue;
+            }
+            match flag.as_str() {
+                "--monitors" => parsed.monitors = parse_value(flag, it.next())?,
+                "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
+                "--err" => parsed.err = parse_value(flag, it.next())?,
+                "--listen" => parsed.listen = parse_value(flag, it.next())?,
+                "--unix" => parsed.unix = Some(parse_value(flag, it.next())?),
+                "--deadline-ms" => parsed.deadline_ms = parse_value(flag, it.next())?,
+                "--quarantine-after" => parsed.quarantine_after = parse_value(flag, it.next())?,
+                "--queue-cap" => parsed.queue_cap = parse_value(flag, it.next())?,
+                "--idle-timeout-ms" => parsed.idle_timeout_ms = parse_value(flag, it.next())?,
+                "--wait-ms" => parsed.wait_ms = parse_value(flag, it.next())?,
+                "--tick-interval-ms" => parsed.tick_interval_ms = parse_value(flag, it.next())?,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        parsed.monitors = parsed.monitors.max(1);
+        parsed.ticks = parsed.ticks.max(1);
+        parsed.deadline_ms = parsed.deadline_ms.max(1);
+        parsed.quarantine_after = parsed.quarantine_after.max(1);
+        parsed.queue_cap = parsed.queue_cap.max(1);
+        parsed.idle_timeout_ms = parsed.idle_timeout_ms.max(1);
+        parsed.wait_ms = parsed.wait_ms.max(1);
+        Ok(Command::Coordinator(parsed))
+    }
+
+    fn parse_agent(args: &[String]) -> Result<Command, CliError> {
+        let mut parsed = AgentArgs {
+            connect: String::from("127.0.0.1:7707"),
+            unix: None,
+            agent_id: 0,
+            monitors: None,
+            fleet_size: 5,
+            err: 0.01,
+            threshold: None,
+            transport: TransportArgs::default(),
+            common: CommonArgs::default(),
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? || parsed.transport.accept(flag, &mut it)? {
+                continue;
+            }
+            match flag.as_str() {
+                "--connect" => parsed.connect = parse_value(flag, it.next())?,
+                "--unix" => parsed.unix = Some(parse_value(flag, it.next())?),
+                "--agent-id" => parsed.agent_id = parse_value(flag, it.next())?,
+                "--monitors" => parsed.monitors = Some(parse_range_spec(it.next())?),
+                "--fleet-size" => parsed.fleet_size = parse_value(flag, it.next())?,
+                "--err" => parsed.err = parse_value(flag, it.next())?,
+                "--threshold" => parsed.threshold = Some(parse_value(flag, it.next())?),
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        parsed.fleet_size = parsed.fleet_size.max(1);
+        if let Some((_, end)) = parsed.monitors {
+            if end as usize > parsed.fleet_size {
+                return Err(CliError::Usage(format!(
+                    "monitor range end {end} exceeds --fleet-size {}",
+                    parsed.fleet_size
+                )));
+            }
+        }
+        Ok(Command::Agent(parsed))
     }
 
     fn parse_simulate(args: &[String]) -> Result<Command, CliError> {
@@ -1249,6 +1511,169 @@ mod tests {
             Command::parse(args(&["backtest"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn coordinator_parses_net_flags() {
+        let cmd = Command::parse(args(&[
+            "coordinator",
+            "--monitors",
+            "12",
+            "--ticks",
+            "0",
+            "--listen",
+            "0.0.0.0:9000",
+            "--deadline-ms",
+            "250",
+            "--queue-cap",
+            "0",
+            "--max-frame-bytes",
+            "4096",
+            "--backoff-cap-ms",
+            "500",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Coordinator(c) => {
+                assert_eq!(c.monitors, 12);
+                assert_eq!(c.ticks, 1, "ticks floored at 1");
+                assert_eq!(c.listen, "0.0.0.0:9000");
+                assert_eq!(c.unix, None);
+                assert_eq!(c.deadline_ms, 250);
+                assert_eq!(c.queue_cap, 1, "queue cap floored at 1");
+                assert_eq!(c.transport.max_frame_bytes, 4096);
+                assert_eq!(c.transport.backoff_cap_ms, 500);
+                assert!(c.common.report_json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Command::parse(args(&["coordinator"])).unwrap() {
+            Command::Coordinator(c) => {
+                assert_eq!(c.monitors, 5);
+                assert_eq!(c.listen, "127.0.0.1:7707");
+                assert_eq!(c.transport, TransportArgs::default());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agent_parses_range_and_transport() {
+        let cmd = Command::parse(args(&[
+            "agent",
+            "--connect",
+            "10.0.0.1:7707",
+            "--agent-id",
+            "3",
+            "--monitors",
+            "6..9",
+            "--fleet-size",
+            "12",
+            "--err",
+            "0.02",
+            "--threshold",
+            "1200",
+            "--backoff-base-ms",
+            "20",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Agent(a) => {
+                assert_eq!(a.connect, "10.0.0.1:7707");
+                assert_eq!(a.agent_id, 3);
+                assert_eq!(a.monitors, Some((6, 9)));
+                assert_eq!(a.fleet_size, 12);
+                assert_eq!(a.err, 0.02);
+                assert_eq!(a.threshold, Some(1200.0));
+                assert_eq!(a.transport.backoff_base_ms, 20);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agent_rejects_bad_ranges() {
+        for bad in [
+            vec!["agent", "--monitors", "3"],
+            vec!["agent", "--monitors", "3..3"],
+            vec!["agent", "--monitors", "5..2"],
+            vec!["agent", "--monitors", "a..b"],
+            vec!["agent", "--monitors", "0..9", "--fleet-size", "4"],
+        ] {
+            assert!(
+                matches!(Command::parse(args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_parses_net_flags() {
+        let cmd = Command::parse(args(&[
+            "chaos",
+            "--net",
+            "--net-agents",
+            "4",
+            "--net-storm-every",
+            "21",
+            "--net-storm-fraction",
+            "1.5",
+            "--read-timeout-ms",
+            "100",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert!(c.net);
+                assert_eq!(c.net_agents, 4);
+                assert_eq!(c.net_storm_every, 21);
+                assert_eq!(c.net_storm_fraction, 1.0, "fraction clamped to [0,1]");
+                assert_eq!(c.transport.read_timeout_ms, 100);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Command::parse(args(&["chaos"])).unwrap() {
+            Command::Chaos(c) => {
+                assert!(!c.net);
+                assert_eq!(c.net_storm_fraction, 0.25);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_group_parses_identically_everywhere() {
+        let tail = [
+            "--max-frame-bytes",
+            "0", // floored at 64
+            "--read-timeout-ms",
+            "250",
+            "--write-timeout-ms",
+            "300",
+            "--backoff-base-ms",
+            "0", // floored at 1
+            "--backoff-cap-ms",
+            "750",
+        ];
+        let expect = TransportArgs {
+            max_frame_bytes: 64,
+            read_timeout_ms: 250,
+            write_timeout_ms: 300,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 750,
+        };
+        for sub in ["agent", "coordinator", "chaos"] {
+            let mut argv = vec![sub];
+            argv.extend_from_slice(&tail);
+            let transport = match Command::parse(args(&argv)).unwrap() {
+                Command::Agent(a) => a.transport,
+                Command::Coordinator(c) => c.transport,
+                Command::Chaos(c) => c.transport,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(transport, expect, "under `{sub}`");
+        }
     }
 
     #[test]

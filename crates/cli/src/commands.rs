@@ -13,8 +13,8 @@ use volley_traces::netflow::NetflowConfig;
 use volley_traces::sysmetrics::SystemMetricsGenerator;
 
 use crate::args::{
-    BacktestArgs, ChaosArgs, CliError, Command, GenerateArgs, MonitorArgs, ObsArgs, RunArgs,
-    SimulateArgs, StoreAction, StoreArgs, USAGE,
+    AgentArgs, BacktestArgs, ChaosArgs, CliError, Command, CoordinatorArgs, GenerateArgs,
+    MonitorArgs, ObsArgs, RunArgs, SimulateArgs, StoreAction, StoreArgs, TransportArgs, USAGE,
 };
 
 /// The version of the JSON report envelope shared by every subcommand.
@@ -66,6 +66,8 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
         Command::Obs(args) => obs_read(&args, out),
         Command::Store(args) => store_cmd(&args, out),
         Command::Backtest(args) => backtest_cmd(&args, out),
+        Command::Coordinator(args) => coordinator_cmd(&args, out),
+        Command::Agent(args) => agent_cmd(&args, out),
     }
 }
 
@@ -577,6 +579,10 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     use volley_core::task::{MonitorId, TaskSpec};
     use volley_runtime::{FaultPath, FaultPlan, TaskRunner};
 
+    if args.net {
+        return chaos_net(args, out);
+    }
+
     let n = args.monitors;
     // Error allowance 0 keeps every monitor at the default interval, so a
     // fault-free run alerts on exactly the burst ticks — the report's
@@ -723,6 +729,327 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     }
     if let Some(dir) = args.common.resolve_store_dir(None) {
         writeln!(out, "sample store:     {dir}")?;
+    }
+    Ok(())
+}
+
+/// Converts the shared `--max-frame-bytes`/`--*-timeout-ms` flags into
+/// the runtime's socket configuration (`0` = no timeout).
+fn transport_config(t: &TransportArgs) -> volley_runtime::transport::TransportConfig {
+    let ms = |v: u64| (v > 0).then(|| std::time::Duration::from_millis(v));
+    volley_runtime::transport::TransportConfig {
+        max_frame_size: t.max_frame_bytes,
+        read_timeout: ms(t.read_timeout_ms),
+        write_timeout: ms(t.write_timeout_ms),
+    }
+}
+
+/// Converts the shared `--backoff-*-ms` flags into the agent's
+/// reconnect policy.
+fn backoff_config(t: &TransportArgs) -> volley_runtime::net::BackoffConfig {
+    volley_runtime::net::BackoffConfig {
+        base: std::time::Duration::from_millis(t.backoff_base_ms),
+        cap: std::time::Duration::from_millis(t.backoff_cap_ms),
+        ..volley_runtime::net::BackoffConfig::default()
+    }
+}
+
+/// Resolves the `--unix <path>` / TCP-address pair into a [`NetAddr`]
+/// (`--unix` wins when both are given).
+fn net_addr(unix: Option<&str>, tcp: &str) -> volley_runtime::net::NetAddr {
+    match unix {
+        Some(path) => volley_runtime::net::NetAddr::Unix(std::path::PathBuf::from(path)),
+        None => volley_runtime::net::NetAddr::Tcp(tcp.to_string()),
+    }
+}
+
+/// JSON report of a `coordinator` run: the same detection fields as the
+/// in-process `run` report (so CI can diff them for parity), plus the
+/// socket-layer counters.
+#[derive(Debug, Serialize)]
+struct CoordinatorReport {
+    monitors: usize,
+    ticks: u64,
+    alerts: u64,
+    alert_ticks: Vec<u64>,
+    polls: u64,
+    degraded_polls: u64,
+    degraded_alerts: u64,
+    missed_tick_reports: u64,
+    quarantines: u64,
+    recoveries: u64,
+    total_samples: u64,
+    cost_ratio: f64,
+    net: volley_runtime::net::NetStats,
+}
+
+/// Binds the coordinator socket, waits for the agent fleet to cover
+/// every monitor, then drives the bursty workload over the wire. The
+/// workload, spec, and aggregation are identical to `run`, so the
+/// reports must agree bit-for-bit on the detection fields.
+fn coordinator_cmd<W: Write>(args: &CoordinatorArgs, out: &mut W) -> Result<(), CliError> {
+    use std::time::Duration;
+    use volley_core::task::TaskSpec;
+    use volley_runtime::net::NetCoordinator;
+
+    let n = args.monitors;
+    let spec = TaskSpec::builder(100.0 * n as f64)
+        .monitors(n)
+        .error_allowance(args.err)
+        .build()?;
+    let traces = bursty_traces(n, args.ticks);
+    let addr = net_addr(args.unix.as_deref(), &args.listen);
+
+    let obs_dir = args.common.resolve_obs_dir(None);
+    let obs = volley_obs::Obs::new(obs_dir.is_some());
+    let coordinator = NetCoordinator::bind(spec, &addr)?
+        .with_tick_deadline(Duration::from_millis(args.deadline_ms))
+        .with_quarantine_after(args.quarantine_after)
+        .with_queue_cap(args.queue_cap)
+        .with_idle_timeout(Duration::from_millis(args.idle_timeout_ms))
+        .with_wait_timeout(Duration::from_millis(args.wait_ms))
+        .with_tick_interval(Duration::from_millis(args.tick_interval_ms))
+        .with_transport(transport_config(&args.transport))
+        .with_obs(&obs);
+    let outcome = coordinator.run(&traces)?;
+    if let Some(dir) = obs_dir {
+        let mut writer = volley_obs::SnapshotWriter::new(dir, 1)?;
+        writer.write_now(obs.registry(), outcome.report.ticks)?;
+    }
+
+    let report = &outcome.report;
+    let summary = CoordinatorReport {
+        monitors: n,
+        ticks: report.ticks,
+        alerts: report.alerts,
+        alert_ticks: report.alert_ticks.clone(),
+        polls: report.polls,
+        degraded_polls: report.degraded_polls,
+        degraded_alerts: report.degraded_alerts,
+        missed_tick_reports: report.missed_tick_reports,
+        quarantines: report.quarantines,
+        recoveries: report.recoveries,
+        total_samples: report.total_samples,
+        cost_ratio: report.cost_ratio(n),
+        net: outcome.net,
+    };
+    if args.common.report_json {
+        return write_envelope(out, "coordinator", &summary);
+    }
+    writeln!(out, "listen:           {addr}")?;
+    writeln!(out, "monitors:         {}", summary.monitors)?;
+    writeln!(out, "ticks:            {}", summary.ticks)?;
+    writeln!(
+        out,
+        "alerts:           {} ({} degraded)",
+        summary.alerts, summary.degraded_alerts
+    )?;
+    writeln!(
+        out,
+        "samples:          {} ({:.1}% of periodic)",
+        summary.total_samples,
+        100.0 * summary.cost_ratio
+    )?;
+    writeln!(
+        out,
+        "quarantines:      {} ({} recoveries)",
+        summary.quarantines, summary.recoveries
+    )?;
+    write_net_stats(&summary.net, out)?;
+    if let Some(dir) = obs_dir {
+        writeln!(out, "obs snapshots:    {dir}")?;
+    }
+    Ok(())
+}
+
+/// Renders the socket-layer counters shared by `coordinator` and
+/// `chaos --net` text reports.
+fn write_net_stats<W: Write>(
+    net: &volley_runtime::net::NetStats,
+    out: &mut W,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "connections:      {} accepted, {} reconnects, {} kicked, {} idle-closed",
+        net.connections_accepted, net.reconnects, net.kicked, net.idle_closed
+    )?;
+    writeln!(
+        out,
+        "frames:           {} in, {} out ({} malformed)",
+        net.frames_in, net.frames_out, net.malformed_frames
+    )?;
+    writeln!(
+        out,
+        "queues:           depth high-water {}, {} backpressure drops, {} unrouted drops",
+        net.max_queue_depth, net.backpressure_drops, net.unrouted_drops
+    )?;
+    Ok(())
+}
+
+/// Runs one agent process to completion: hosts `--monitors a..b` of the
+/// fleet and serves them over the socket until the coordinator shuts
+/// every one of them down.
+fn agent_cmd<W: Write>(args: &AgentArgs, out: &mut W) -> Result<(), CliError> {
+    use volley_core::task::TaskSpec;
+    use volley_runtime::net::{run_agent, AgentConfig};
+
+    let n = args.fleet_size;
+    let threshold = args.threshold.unwrap_or(100.0 * n as f64);
+    let spec = TaskSpec::builder(threshold)
+        .monitors(n)
+        .error_allowance(args.err)
+        .build()?;
+    let (start, end) = args.monitors.unwrap_or((0, n as u32));
+    let config = AgentConfig {
+        agent: args.agent_id,
+        addr: net_addr(args.unix.as_deref(), &args.connect),
+        spec,
+        monitors: start..end,
+        transport: transport_config(&args.transport),
+        backoff: backoff_config(&args.transport),
+    };
+    let report = run_agent(&config)?;
+    if args.common.report_json {
+        return write_envelope(out, "agent", report);
+    }
+    writeln!(out, "agent:            {}", report.agent)?;
+    writeln!(
+        out,
+        "monitors:         {} ({start}..{end})",
+        report.monitors
+    )?;
+    writeln!(
+        out,
+        "frames:           {} sent, {} received",
+        report.frames_sent, report.frames_received
+    )?;
+    writeln!(out, "reconnects:       {}", report.reconnects)?;
+    Ok(())
+}
+
+/// JSON report of a `chaos --net` run.
+#[derive(Debug, Serialize)]
+struct NetChaosReport {
+    monitors: usize,
+    agents: usize,
+    ticks: u64,
+    alerts: u64,
+    alert_ticks: Vec<u64>,
+    degraded_alerts: u64,
+    missed_tick_reports: u64,
+    quarantines: u64,
+    recoveries: u64,
+    total_samples: u64,
+    agent_reconnects: u64,
+    net: volley_runtime::net::NetStats,
+}
+
+/// Socket-level chaos: binds an ephemeral localhost port, splits the
+/// monitors across in-process agent threads, and drives the bursty
+/// workload while the storm plan severs a random fraction of agent
+/// connections on a fixed cadence. Like channel-mode `chaos`, the error
+/// allowance is zero so a clean run alerts on exactly the burst ticks —
+/// the alert list reads as "which bursts survived the storms".
+fn chaos_net<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
+    use std::time::Duration;
+    use volley_core::task::TaskSpec;
+    use volley_runtime::net::{run_agent, AgentConfig, NetAddr, NetCoordinator, NetFaultPlan};
+
+    let n = args.monitors;
+    let agents = if args.net_agents == 0 {
+        n
+    } else {
+        args.net_agents.min(n)
+    };
+    let spec = TaskSpec::builder(100.0 * n as f64)
+        .monitors(n)
+        .error_allowance(0.0)
+        .build()?;
+    let traces = bursty_traces(n, args.ticks);
+
+    let mut faults = NetFaultPlan::new(args.common.seed);
+    if args.net_storm_every > 0 {
+        faults = faults.with_storm(args.net_storm_every, args.net_storm_fraction);
+    }
+    let coordinator = NetCoordinator::bind(spec.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))?
+        .with_tick_deadline(Duration::from_millis(args.deadline_ms))
+        .with_quarantine_after(args.quarantine_after)
+        .with_wait_timeout(Duration::from_secs(30))
+        .with_transport(transport_config(&args.transport))
+        .with_faults(faults);
+    let local = coordinator
+        .local_addr()
+        .ok_or_else(|| CliError::Input("chaos --net needs a TCP local address".to_string()))?;
+
+    let per = (n as u32).div_ceil(agents as u32);
+    let handles: Vec<std::thread::JoinHandle<_>> = (0..agents as u32)
+        .map(|a| {
+            let config = AgentConfig {
+                agent: a,
+                addr: NetAddr::Tcp(local.to_string()),
+                spec: spec.clone(),
+                monitors: (a * per)..((a + 1) * per).min(n as u32),
+                transport: transport_config(&args.transport),
+                backoff: backoff_config(&args.transport),
+            };
+            std::thread::spawn(move || run_agent(&config))
+        })
+        .collect();
+    let outcome = coordinator.run(&traces)?;
+    let mut agent_reconnects = 0u64;
+    for handle in handles {
+        let report = handle
+            .join()
+            .map_err(|_| CliError::Input("agent thread panicked".to_string()))??;
+        agent_reconnects += report.reconnects;
+    }
+
+    let report = &outcome.report;
+    let summary = NetChaosReport {
+        monitors: n,
+        agents,
+        ticks: report.ticks,
+        alerts: report.alerts,
+        alert_ticks: report.alert_ticks.clone(),
+        degraded_alerts: report.degraded_alerts,
+        missed_tick_reports: report.missed_tick_reports,
+        quarantines: report.quarantines,
+        recoveries: report.recoveries,
+        total_samples: report.total_samples,
+        agent_reconnects,
+        net: outcome.net,
+    };
+    if args.common.report_json {
+        return write_envelope(out, "chaos", &summary);
+    }
+    writeln!(out, "monitors:         {} across {} agents", n, agents)?;
+    writeln!(out, "ticks:            {}", summary.ticks)?;
+    writeln!(
+        out,
+        "alerts:           {} ({} degraded)",
+        summary.alerts, summary.degraded_alerts
+    )?;
+    writeln!(out, "missed reports:   {}", summary.missed_tick_reports)?;
+    writeln!(
+        out,
+        "quarantines:      {} ({} recoveries)",
+        summary.quarantines, summary.recoveries
+    )?;
+    writeln!(out, "agent reconnects: {}", summary.agent_reconnects)?;
+    write_net_stats(&summary.net, out)?;
+    if !summary.alert_ticks.is_empty() {
+        let shown: Vec<String> = summary
+            .alert_ticks
+            .iter()
+            .take(20)
+            .map(|t| t.to_string())
+            .collect();
+        let suffix = if summary.alert_ticks.len() > 20 {
+            ", …"
+        } else {
+            ""
+        };
+        writeln!(out, "alerts at ticks:  {}{}", shown.join(", "), suffix)?;
     }
     Ok(())
 }
@@ -1147,6 +1474,11 @@ mod tests {
             quarantine_after: 2,
             supervise: true,
             obs_every: 50,
+            net: false,
+            net_agents: 0,
+            net_storm_every: 0,
+            net_storm_fraction: 0.25,
+            transport: TransportArgs::default(),
             common: CommonArgs {
                 seed: 7,
                 report_json: true,
@@ -1556,6 +1888,43 @@ mod tests {
         );
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_net_runs_over_real_sockets() {
+        let mut args = chaos_args();
+        args.net = true;
+        args.net_agents = 2;
+        args.ticks = 60;
+        args.deadline_ms = 2000;
+        let text = run_to_string(Command::Chaos(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed["command"], "chaos");
+        let report = &parsed["report"];
+        assert_eq!(report["ticks"], 60);
+        // Burst at tick 49; a storm-free socket run detects it.
+        assert_eq!(report["alerts"], 1, "{text}");
+        assert_eq!(report["agents"], 2);
+        assert_eq!(report["net"]["malformed_frames"], 0);
+        assert!(report["net"]["frames_in"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn coordinator_without_fleet_times_out() {
+        let args = match Command::parse(
+            ["coordinator", "--listen", "127.0.0.1:0", "--wait-ms", "100"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap()
+        {
+            Command::Coordinator(c) => c,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut buffer = Vec::new();
+        let result = run(Command::Coordinator(args), &mut buffer);
+        assert!(matches!(result, Err(CliError::Config(_))), "{result:?}");
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Kill -9 survival: a real `volley agent` child process is killed
+//! mid-window and respawned. The coordinator must quarantine its
+//! monitor, count it at the local threshold T_i while it is gone (the
+//! paper's degraded-mode aggregation), and re-admit it through the
+//! epoch-checked `Revived` handshake once the replacement process
+//! dials in — all across a real TCP socket.
+
+#![cfg(unix)]
+
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::Duration;
+
+use volley_core::task::TaskSpec;
+use volley_runtime::net::{run_agent, AgentConfig, BackoffConfig, NetAddr, NetCoordinator};
+use volley_runtime::transport::TransportConfig;
+
+/// Spawns the real `volley` binary as `agent 1` hosting monitor 2.
+fn spawn_agent_process(port: u16) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_volley"))
+        .args([
+            "agent",
+            "--connect",
+            &format!("127.0.0.1:{port}"),
+            "--agent-id",
+            "1",
+            "--monitors",
+            "2..3",
+            "--fleet-size",
+            "3",
+            "--err",
+            "0",
+            "--threshold",
+            "200",
+            "--backoff-base-ms",
+            "20",
+            "--backoff-cap-ms",
+            "200",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("volley agent spawns")
+}
+
+#[test]
+fn killed_agent_is_quarantined_counted_at_ti_and_readmitted() {
+    // Geometry: T = 200, three monitors, T_i = 200/3 ≈ 66.67.
+    //   monitor 0: 150  (always violating → the coordinator polls every tick)
+    //   monitor 1: 10
+    //   monitor 2: 10   (hosted by the killable child process)
+    // Live poll sum = 170 < 200 → never alerts while everyone reports.
+    // Degraded sum with monitor 2 at T_i = 150 + 10 + 66.67 ≈ 226.67 > 200
+    // → alerts exactly while the child is dead. Every alert in this run
+    // is therefore a degraded alert, which is what we assert.
+    let ticks = 300usize;
+    let spec = TaskSpec::builder(200.0)
+        .monitors(3)
+        .error_allowance(0.0)
+        .build()
+        .unwrap();
+    let traces = vec![vec![150.0; ticks], vec![10.0; ticks], vec![10.0; ticks]];
+
+    let coordinator = NetCoordinator::bind(spec.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))
+        .unwrap()
+        .with_wait_timeout(Duration::from_secs(10))
+        .with_tick_deadline(Duration::from_millis(200))
+        .with_quarantine_after(2)
+        .with_tick_interval(Duration::from_millis(20));
+    let local = coordinator.local_addr().unwrap();
+
+    let coordinator_handle = thread::spawn(move || coordinator.run(&traces));
+
+    // Agent 0 hosts monitors 0..2 in-process and never fails.
+    let agent0 = {
+        let config = AgentConfig {
+            agent: 0,
+            addr: NetAddr::Tcp(local.to_string()),
+            spec,
+            monitors: 0..2,
+            transport: TransportConfig::default(),
+            backoff: BackoffConfig {
+                base: Duration::from_millis(20),
+                cap: Duration::from_millis(200),
+                max_retries_per_outage: 200,
+            },
+        };
+        thread::spawn(move || run_agent(&config).expect("agent 0 completes"))
+    };
+
+    // Agent 1 is a real child process: let it serve for a while, then
+    // kill -9 it mid-window.
+    let mut child = spawn_agent_process(local.port());
+    thread::sleep(Duration::from_millis(1200));
+    child.kill().expect("SIGKILL delivered");
+    child.wait().expect("corpse reaped");
+
+    // Leave its monitor dark long enough to be quarantined and counted
+    // degraded, then respawn: the replacement re-dials, re-handshakes
+    // with hello + Revived, and must be re-admitted.
+    thread::sleep(Duration::from_millis(1200));
+    let mut replacement = spawn_agent_process(local.port());
+
+    let outcome = coordinator_handle
+        .join()
+        .expect("coordinator thread joins")
+        .expect("net run succeeds");
+    agent0.join().expect("agent 0 joins");
+    let status = replacement.wait().expect("replacement reaped");
+
+    assert_eq!(outcome.report.ticks, ticks as u64, "the run completes");
+    assert!(
+        outcome.report.quarantines >= 1,
+        "the killed monitor must be quarantined: {:?}",
+        outcome.report
+    );
+    assert!(
+        outcome.report.recoveries >= 1,
+        "the respawned agent must be re-admitted: {:?}",
+        outcome.report
+    );
+    assert!(
+        outcome.report.degraded_alerts >= 1,
+        "the dead window must alert via T_i degraded counting: {:?}",
+        outcome.report
+    );
+    assert_eq!(
+        outcome.report.alerts, outcome.report.degraded_alerts,
+        "the live sum (170 < 200) must never alert on its own: {:?}",
+        outcome.report
+    );
+    assert!(
+        outcome.report.missed_tick_reports >= 1,
+        "the dark window must be visible as missed reports"
+    );
+    assert!(
+        outcome.net.reconnects >= 1,
+        "the replacement's hello must register as a reconnect: {:?}",
+        outcome.net
+    );
+    assert!(
+        status.success(),
+        "the replacement must shut down cleanly: {status:?}"
+    );
+}

@@ -114,6 +114,15 @@ pub mod names {
     pub const SIM_SHARD_MERGES_TOTAL: &str = "volley_sim_shard_merges_total";
     /// Gauge: largest per-shard pending-event backlog at the last epoch end.
     pub const SIM_SHARD_QUEUE_DEPTH: &str = "volley_sim_shard_queue_depth";
+    /// Gauge: agent connections currently open on the net coordinator.
+    pub const NET_CONNECTIONS: &str = "volley_net_connections";
+    /// Gauge: high-water mark of any connection's outbound frame queue.
+    pub const NET_QUEUE_DEPTH: &str = "volley_net_queue_depth";
+    /// Counter: agent reconnects absorbed (hello from a known agent id).
+    pub const NET_RECONNECTS_TOTAL: &str = "volley_net_reconnects_total";
+    /// Counter: outbound frames dropped because a slow peer's bounded
+    /// queue was full (backpressure stalls).
+    pub const NET_BACKPRESSURE_STALLS_TOTAL: &str = "volley_net_backpressure_stalls_total";
 }
 
 /// A registry and span log sharing one enabled flag: the single handle

@@ -5,23 +5,50 @@
 //! redirect *both* senders to the fresh actor's inbox; [`MonitorLink`]
 //! provides that indirection: a cloneable handle whose underlying
 //! [`Sender`] can be replaced at runtime, with clones observing the swap.
+//!
+//! A link can also be *tagged* ([`MonitorLink::tagged`]): instead of an
+//! actor inbox it feeds a shared `(monitor, frame)` channel, which is how
+//! the networked coordinator ([`crate::net`]) funnels every monitor's
+//! outbound traffic into one socket event loop without the coordinator
+//! actor knowing the transport changed.
 
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 
+/// Where a link's frames go: straight into an actor inbox, or tagged with
+/// the monitor index into a shared multiplexer channel.
+#[derive(Debug)]
+enum LinkTarget {
+    Channel(Sender<Bytes>),
+    Tagged {
+        monitor: u32,
+        out: Sender<(u32, Bytes)>,
+    },
+}
+
 /// A cloneable, swappable handle to one monitor's inbox.
 #[derive(Debug, Clone)]
 pub struct MonitorLink {
-    inner: Arc<Mutex<Sender<Bytes>>>,
+    inner: Arc<Mutex<LinkTarget>>,
 }
 
 impl MonitorLink {
     /// Wraps a monitor-inbox sender.
     pub fn new(sender: Sender<Bytes>) -> Self {
         MonitorLink {
-            inner: Arc::new(Mutex::new(sender)),
+            inner: Arc::new(Mutex::new(LinkTarget::Channel(sender))),
+        }
+    }
+
+    /// Wraps a shared multiplexer sender: every frame sent through this
+    /// link arrives as `(monitor, frame)` on `out`, preserving per-link
+    /// FIFO order. Used by the socket transport, where one event loop
+    /// serves every monitor connection.
+    pub fn tagged(monitor: u32, out: Sender<(u32, Bytes)>) -> Self {
+        MonitorLink {
+            inner: Arc::new(Mutex::new(LinkTarget::Tagged { monitor, out })),
         }
     }
 
@@ -29,7 +56,10 @@ impl MonitorLink {
     /// (its thread exited and the receiver was dropped).
     pub fn send(&self, frame: Bytes) -> bool {
         let guard = self.inner.lock().expect("link lock never poisoned");
-        guard.send(frame).is_ok()
+        match &*guard {
+            LinkTarget::Channel(sender) => sender.send(frame).is_ok(),
+            LinkTarget::Tagged { monitor, out } => out.send((*monitor, frame)).is_ok(),
+        }
     }
 
     /// Redirects this link (and every clone of it) to a new inbox;
@@ -37,7 +67,7 @@ impl MonitorLink {
     /// stalled thread drain out and exit.
     pub fn replace(&self, sender: Sender<Bytes>) {
         let mut guard = self.inner.lock().expect("link lock never poisoned");
-        *guard = sender;
+        *guard = LinkTarget::Channel(sender);
     }
 }
 
@@ -73,5 +103,24 @@ mod tests {
         let link = MonitorLink::new(tx);
         drop(rx);
         assert!(!link.send(Bytes::from_static(b"c")));
+    }
+
+    #[test]
+    fn tagged_link_stamps_the_monitor_index() {
+        let (tx, rx) = unbounded::<(u32, Bytes)>();
+        let a = MonitorLink::tagged(3, tx.clone());
+        let b = MonitorLink::tagged(7, tx);
+        assert!(a.send(Bytes::from_static(b"x")));
+        assert!(b.send(Bytes::from_static(b"y")));
+        assert_eq!(rx.recv().unwrap(), (3, Bytes::from_static(b"x")));
+        assert_eq!(rx.recv().unwrap(), (7, Bytes::from_static(b"y")));
+    }
+
+    #[test]
+    fn tagged_link_reports_dead_multiplexer() {
+        let (tx, rx) = unbounded::<(u32, Bytes)>();
+        let link = MonitorLink::tagged(0, tx);
+        drop(rx);
+        assert!(!link.send(Bytes::from_static(b"z")));
     }
 }

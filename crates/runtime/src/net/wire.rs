@@ -1,0 +1,156 @@
+//! Socket-level envelope messages for the agent/coordinator deployment.
+//!
+//! The in-process protocol ([`crate::message`]) is monitor-addressed: the
+//! coordinator holds one [`crate::link::MonitorLink`] per monitor and
+//! never names the peer inside the frame. A socket carries traffic for
+//! *many* monitors (an agent multiplexes a contiguous range of them), so
+//! the network layer adds the thinnest possible addressing shim:
+//!
+//! - **agent → coordinator**: the first line on a fresh connection is an
+//!   [`AgentHello`] declaring which monitors live behind the socket.
+//!   Every subsequent line is a raw [`crate::message::MonitorFrame`],
+//!   forwarded to the coordinator actor byte-for-byte — the frames
+//!   already carry their `monitor` id, so no re-encoding happens on the
+//!   hot path.
+//! - **coordinator → agent**: every line is a [`ServerFrame`] — either a
+//!   [`ServerFrame::Welcome`] answering a hello with the current epoch,
+//!   or a [`ServerFrame::Ctl`] wrapping one control frame with the
+//!   destination monitor id.
+//!
+//! [`ctl_line`] builds the `Ctl` envelope by textual splice around the
+//! already-encoded control frame instead of decode → wrap → re-encode;
+//! a unit test pins the splice to the derive-generated encoding so any
+//! format drift fails loudly.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::message::ControlFrame;
+
+/// First frame an agent sends on every (re)connection: which monitors it
+/// hosts, and the highest epoch its actors have observed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentHello {
+    /// Fleet-unique agent id (used for fault targeting and stats; not an
+    /// authorization boundary).
+    pub agent: u32,
+    /// Monitor ids hosted behind this connection. On reconnect the new
+    /// connection's routes override any stale ones for the same ids.
+    pub monitors: Vec<u32>,
+    /// Highest epoch the agent's monitors have observed; the coordinator
+    /// answers with its own epoch in [`ServerFrame::Welcome`].
+    pub epoch: u64,
+}
+
+/// Frames the coordinator writes to an agent socket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// Acknowledges an [`AgentHello`], carrying the coordinator's epoch
+    /// so a reconnecting agent can fence itself forward immediately.
+    Welcome {
+        /// The coordinator's current epoch.
+        epoch: u64,
+    },
+    /// One control frame addressed to one hosted monitor.
+    Ctl {
+        /// Destination monitor id.
+        to: u32,
+        /// The epoch-stamped control frame, verbatim.
+        frame: ControlFrame,
+    },
+}
+
+/// Encodes a [`ServerFrame::Welcome`] line.
+pub fn welcome_line(epoch: u64) -> Bytes {
+    crate::message::encode(&ServerFrame::Welcome { epoch })
+}
+
+/// Wraps an already-encoded control frame into a [`ServerFrame::Ctl`]
+/// line without re-encoding it: the coordinator's outbound hot path
+/// splices `{"Ctl":{"to":N,"frame":` + the control frame's JSON + `}}`.
+///
+/// `control` must be [`crate::message::encode`] output (newline
+/// terminated); the trailing newline is stripped before splicing.
+pub fn ctl_line(to: u32, control: &Bytes) -> Bytes {
+    let body = match control.last() {
+        Some(b'\n') => &control[..control.len() - 1],
+        _ => &control[..],
+    };
+    let mut out = Vec::with_capacity(body.len() + 32);
+    out.extend_from_slice(b"{\"Ctl\":{\"to\":");
+    out.extend_from_slice(to.to_string().as_bytes());
+    out.extend_from_slice(b",\"frame\":");
+    out.extend_from_slice(body);
+    out.extend_from_slice(b"}}\n");
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{decode, encode, ControlFrame, CoordinatorToMonitor, TickData};
+
+    #[test]
+    fn hello_round_trips() {
+        let hello = AgentHello {
+            agent: 7,
+            monitors: vec![14, 15, 16],
+            epoch: 3,
+        };
+        let bytes = encode(&hello);
+        let back: AgentHello = decode(&bytes).unwrap();
+        assert_eq!(back, hello);
+    }
+
+    #[test]
+    fn welcome_round_trips() {
+        let back: ServerFrame = decode(&welcome_line(9)).unwrap();
+        assert_eq!(back, ServerFrame::Welcome { epoch: 9 });
+    }
+
+    #[test]
+    fn ctl_splice_matches_derived_encoding() {
+        // The splice must be byte-identical to encoding the enum the slow
+        // way, for every control message shape that crosses the wire.
+        let seal = |epoch, msg| ControlFrame { epoch, msg };
+        let frames = vec![
+            seal(
+                0,
+                CoordinatorToMonitor::Tick(TickData {
+                    tick: 42,
+                    value: 17.5,
+                }),
+            ),
+            seal(2, CoordinatorToMonitor::Poll { tick: 7 }),
+            seal(1, CoordinatorToMonitor::SetAllowance { err: 0.0125 }),
+            seal(5, CoordinatorToMonitor::NewEpoch { epoch: 6 }),
+            seal(0, CoordinatorToMonitor::RequestReport),
+            seal(0, CoordinatorToMonitor::Shutdown),
+        ];
+        for frame in frames {
+            let control = encode(&frame);
+            let spliced = ctl_line(31, &control);
+            let derived = encode(&ServerFrame::Ctl { to: 31, frame });
+            assert_eq!(spliced, derived, "splice drifted from derive for {frame:?}");
+            // And the result decodes back to the same control frame.
+            match decode::<ServerFrame>(&spliced).unwrap() {
+                ServerFrame::Ctl { to, frame: back } => {
+                    assert_eq!(to, 31);
+                    assert_eq!(back, frame);
+                }
+                other => panic!("expected Ctl, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ctl_splice_tolerates_missing_newline() {
+        let frame = ControlFrame {
+            epoch: 0,
+            msg: CoordinatorToMonitor::Poll { tick: 1 },
+        };
+        let encoded = encode(&frame);
+        let trimmed = Bytes::copy_from_slice(&encoded[..encoded.len() - 1]);
+        assert_eq!(ctl_line(2, &encoded), ctl_line(2, &trimmed));
+    }
+}

@@ -1,0 +1,242 @@
+//! End-to-end socket fleet tests: a real `NetCoordinator` event loop
+//! serving real `run_agent` connections over localhost TCP and Unix
+//! sockets, checked for bit-for-bit report parity against the
+//! in-process `TaskRunner` and for robustness under reconnect storms
+//! and stalled peers.
+
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use volley_core::task::TaskSpec;
+use volley_runtime::net::{
+    run_agent, AgentConfig, AgentReport, BackoffConfig, NetAddr, NetCoordinator, NetFaultPlan,
+    NetRunOutcome,
+};
+use volley_runtime::transport::TransportConfig;
+use volley_runtime::TaskRunner;
+
+/// The CLI's bursty workload: quiet at ~20% of the local threshold with
+/// a violation burst every 50 ticks.
+fn bursty_traces(n: usize, ticks: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|m| {
+            (0..ticks)
+                .map(|t| {
+                    let wobble = ((t * (3 + m)) % 7) as f64;
+                    if t % 50 == 49 {
+                        140.0 + wobble
+                    } else {
+                        20.0 + wobble
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn spec(n: usize, err: f64) -> TaskSpec {
+    TaskSpec::builder(100.0 * n as f64)
+        .monitors(n)
+        .error_allowance(err)
+        .build()
+        .unwrap()
+}
+
+/// Spawns `agents` threads splitting `n` monitors evenly.
+fn spawn_agents(
+    addr: &NetAddr,
+    task: &TaskSpec,
+    n: u32,
+    agents: u32,
+) -> Vec<JoinHandle<AgentReport>> {
+    let per = n.div_ceil(agents);
+    (0..agents)
+        .map(|a| {
+            let config = AgentConfig {
+                agent: a,
+                addr: addr.clone(),
+                spec: task.clone(),
+                monitors: (a * per)..((a + 1) * per).min(n),
+                transport: TransportConfig::default(),
+                backoff: BackoffConfig {
+                    base: Duration::from_millis(10),
+                    cap: Duration::from_millis(200),
+                    max_retries_per_outage: 100,
+                },
+            };
+            thread::spawn(move || run_agent(&config).expect("agent runs to completion"))
+        })
+        .collect()
+}
+
+fn net_run(
+    coordinator: NetCoordinator,
+    addr: &NetAddr,
+    task: &TaskSpec,
+    traces: &[Vec<f64>],
+    n: u32,
+    agents: u32,
+) -> (NetRunOutcome, Vec<AgentReport>) {
+    let handles = spawn_agents(addr, task, n, agents);
+    let outcome = coordinator.run(traces).expect("net run succeeds");
+    let reports = handles
+        .into_iter()
+        .map(|h| h.join().expect("agent thread joins"))
+        .collect();
+    (outcome, reports)
+}
+
+#[test]
+fn tcp_fleet_matches_in_process_runner_bit_for_bit() {
+    let n = 24usize;
+    let task = spec(n, 0.01);
+    let traces = bursty_traces(n, 150);
+    let baseline = TaskRunner::new(&task)
+        .unwrap()
+        .run(&traces)
+        .expect("in-process run succeeds");
+
+    let coordinator = NetCoordinator::bind(task.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))
+        .unwrap()
+        .with_wait_timeout(Duration::from_secs(10));
+    let addr = NetAddr::Tcp(coordinator.local_addr().unwrap().to_string());
+    let (outcome, reports) = net_run(coordinator, &addr, &task, &traces, n as u32, 6);
+
+    assert_eq!(
+        outcome.report, baseline,
+        "networked report must be bit-for-bit identical to the in-process runner"
+    );
+    assert!(baseline.alerts > 0, "bursty workload must alert");
+    assert_eq!(outcome.net.reconnects, 0, "no reconnects in a clean run");
+    assert_eq!(outcome.net.malformed_frames, 0);
+    let sent: u64 = reports.iter().map(|r| r.frames_sent).sum();
+    assert_eq!(sent, outcome.net.frames_in, "every agent frame arrived");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_fleet_matches_in_process_runner() {
+    let n = 6usize;
+    let task = spec(n, 0.01);
+    let traces = bursty_traces(n, 60);
+    let baseline = TaskRunner::new(&task).unwrap().run(&traces).unwrap();
+
+    let path = std::env::temp_dir().join(format!("volley-net-test-{}.sock", std::process::id()));
+    let addr = NetAddr::Unix(path.clone());
+    let coordinator = NetCoordinator::bind(task.clone(), &addr)
+        .unwrap()
+        .with_wait_timeout(Duration::from_secs(10));
+    let (outcome, _) = net_run(coordinator, &addr, &task, &traces, n as u32, 2);
+
+    assert_eq!(outcome.report, baseline);
+    assert!(!path.exists(), "socket file is unlinked after the run");
+}
+
+#[test]
+fn reconnect_storm_misses_no_planted_violations() {
+    let n = 12usize;
+    let task = spec(n, 0.01);
+    let traces = bursty_traces(n, 150);
+    let baseline = TaskRunner::new(&task).unwrap().run(&traces).unwrap();
+    assert!(baseline.alerts > 0, "bursty workload must alert");
+
+    // Storms at ticks 20, 41, 62, ... — never on a burst tick (49, 99,
+    // 149), so every planted violation must still be detected.
+    let coordinator = NetCoordinator::bind(task.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))
+        .unwrap()
+        .with_wait_timeout(Duration::from_secs(10))
+        .with_tick_deadline(Duration::from_millis(250))
+        .with_faults(NetFaultPlan::new(7).with_storm(21, 0.5));
+    let addr = NetAddr::Tcp(coordinator.local_addr().unwrap().to_string());
+    let (outcome, reports) = net_run(coordinator, &addr, &task, &traces, n as u32, 6);
+
+    assert_eq!(
+        outcome.report.alert_ticks, baseline.alert_ticks,
+        "storms on quiet ticks must not add or suppress alerts"
+    );
+    assert!(
+        outcome.net.kicked > 0,
+        "the storm plan must sever connections"
+    );
+    let agent_reconnects: u64 = reports.iter().map(|r| r.reconnects).sum();
+    assert!(agent_reconnects > 0, "severed agents must have re-dialed");
+    assert!(
+        outcome.net.reconnects > 0,
+        "the coordinator must have absorbed re-hellos"
+    );
+}
+
+#[test]
+fn stalled_peer_is_flow_controlled_then_degraded() {
+    use std::io::Write;
+
+    let n = 2usize;
+    let task = spec(n, 0.0);
+    // Quiet traces: this test is about liveness, not alerts.
+    let traces = vec![vec![10.0; 40], vec![10.0; 40]];
+
+    let coordinator = NetCoordinator::bind(task.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))
+        .unwrap()
+        .with_wait_timeout(Duration::from_secs(10))
+        .with_tick_deadline(Duration::from_millis(100))
+        .with_quarantine_after(2)
+        .with_queue_cap(2)
+        .with_idle_timeout(Duration::from_millis(700));
+    let local = coordinator.local_addr().unwrap();
+    let addr = NetAddr::Tcp(local.to_string());
+
+    // A well-behaved agent hosting monitor 0.
+    let agent_handle = {
+        let config = AgentConfig {
+            agent: 0,
+            addr: addr.clone(),
+            spec: task.clone(),
+            monitors: 0..1,
+            transport: TransportConfig::default(),
+            backoff: BackoffConfig::default(),
+        };
+        thread::spawn(move || run_agent(&config).expect("agent runs to completion"))
+    };
+    // A hostile peer claiming monitor 1: sends its hello, then never
+    // reads — the idle timeout must reap the half-open socket, after
+    // which monitor 1's frames drop unrouted, and monitor 1 must be
+    // quarantined and counted at its local threshold.
+    thread::spawn(move || {
+        let mut sock = std::net::TcpStream::connect(local).expect("fake peer dials");
+        let hello = volley_runtime::net::AgentHello {
+            agent: 1,
+            monitors: vec![1],
+            epoch: 0,
+        };
+        sock.write_all(&volley_runtime::message::encode(&hello))
+            .expect("hello written");
+        thread::sleep(Duration::from_secs(20)); // never reads, never closes
+    });
+
+    let outcome = coordinator.run(&traces).expect("net run succeeds");
+    agent_handle.join().expect("agent joins");
+
+    assert_eq!(
+        outcome.report.ticks, 40,
+        "the run completes despite the stall"
+    );
+    assert!(
+        outcome.net.unrouted_drops > 0,
+        "frames for the reaped peer must be dropped, not buffered: {:?}",
+        outcome.net
+    );
+    assert!(
+        outcome.net.idle_closed >= 1,
+        "the half-open connection must be reaped: {:?}",
+        outcome.net
+    );
+    assert!(
+        outcome.report.quarantines >= 1,
+        "monitor 1 must be quarantined: {:?}",
+        outcome.report
+    );
+    assert_eq!(
+        outcome.report.missed_tick_reports, 40,
+        "monitor 1 is missing every tick"
+    );
+}

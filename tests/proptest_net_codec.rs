@@ -1,0 +1,174 @@
+//! Property tests of the socket frame codec: [`FrameBuffer`] must
+//! reassemble newline-delimited frames identically no matter how the
+//! kernel fragments the byte stream — arbitrary chunk boundaries,
+//! byte-at-a-time delivery, polls interleaved between partial reads —
+//! and must agree bit-for-bit with the blocking reader
+//! (`read_frame_limited`) it replaces on the nonblocking path.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use volley::runtime::net::FrameBuffer;
+use volley::runtime::transport::read_frame_limited;
+
+/// Builds the wire image: every frame payload (newline-free) terminated
+/// by `\n`.
+fn wire_image(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for frame in frames {
+        wire.extend_from_slice(frame);
+        wire.push(b'\n');
+    }
+    wire
+}
+
+/// Sanitizes proptest byte vectors: strips newlines so each vec is one
+/// frame payload.
+fn payloads(raw: &[Vec<u16>]) -> Vec<Vec<u8>> {
+    raw.iter()
+        .map(|frame| {
+            frame
+                .iter()
+                .map(|&b| b as u8)
+                .filter(|&b| b != b'\n')
+                .collect()
+        })
+        .collect()
+}
+
+/// Splits `wire` at the (deduplicated, sorted) cut points and feeds the
+/// chunks to the buffer, draining complete frames after every chunk —
+/// the exact access pattern of the nonblocking event loop.
+fn reassemble(wire: &[u8], cuts: &[usize], max_frame: usize) -> Result<Vec<Vec<u8>>, ()> {
+    let mut points: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+    points.push(0);
+    points.push(wire.len());
+    points.sort_unstable();
+    points.dedup();
+
+    let mut fb = FrameBuffer::new(max_frame);
+    let mut out = Vec::new();
+    for pair in points.windows(2) {
+        fb.extend(&wire[pair[0]..pair[1]]);
+        loop {
+            match fb.next_frame() {
+                Ok(Some(frame)) => out.push(frame.to_vec()),
+                Ok(None) => break,
+                Err(_) => return Err(()),
+            }
+        }
+    }
+    assert_eq!(
+        fb.pending(),
+        0,
+        "a fully-delivered wire leaves nothing pending"
+    );
+    Ok(out)
+}
+
+proptest! {
+    /// Any frame sequence survives any fragmentation: the reassembled
+    /// frames equal the originals (newline included) regardless of where
+    /// the stream was cut.
+    #[test]
+    fn arbitrary_splits_reassemble_exactly(
+        raw in prop::collection::vec(prop::collection::vec(0u16..256, 0..48), 0..10),
+        cuts in prop::collection::vec(0usize..4096, 0..24),
+    ) {
+        let frames = payloads(&raw);
+        let wire = wire_image(&frames);
+        let got = reassemble(&wire, &cuts, 64).expect("all payloads under the cap");
+        prop_assert_eq!(got.len(), frames.len());
+        for (frame, payload) in got.iter().zip(&frames) {
+            prop_assert_eq!(&frame[..frame.len() - 1], &payload[..]);
+            prop_assert_eq!(frame.last(), Some(&b'\n'));
+        }
+    }
+
+    /// Byte-at-a-time delivery (the worst fragmentation the kernel can
+    /// produce) gives the same result as one big chunk.
+    #[test]
+    fn byte_at_a_time_equals_single_chunk(
+        raw in prop::collection::vec(prop::collection::vec(0u16..256, 0..32), 0..6),
+    ) {
+        let frames = payloads(&raw);
+        let wire = wire_image(&frames);
+        let every_byte: Vec<usize> = (0..=wire.len()).collect();
+        let fine = reassemble(&wire, &every_byte, 64).expect("under cap");
+        let coarse = reassemble(&wire, &[], 64).expect("under cap");
+        prop_assert_eq!(fine, coarse);
+    }
+
+    /// The nonblocking reassembler agrees frame-for-frame with the
+    /// blocking `read_frame_limited` on the same byte stream.
+    #[test]
+    fn agrees_with_blocking_reader(
+        raw in prop::collection::vec(prop::collection::vec(0u16..256, 0..48), 0..8),
+        cuts in prop::collection::vec(0usize..4096, 0..16),
+    ) {
+        let frames = payloads(&raw);
+        let wire = wire_image(&frames);
+        let nonblocking = reassemble(&wire, &cuts, 4096).expect("under cap");
+
+        let mut reader = BufReader::new(&wire[..]);
+        let mut blocking = Vec::new();
+        while let Some(frame) = read_frame_limited(&mut reader, 4096).expect("reads") {
+            blocking.push(frame.to_vec());
+        }
+        prop_assert_eq!(nonblocking, blocking);
+    }
+
+    /// Oversized frames error no matter how they are fragmented, and the
+    /// error fires without waiting for a newline that may never come.
+    #[test]
+    fn oversized_frames_error_under_any_split(
+        cap in 1usize..32,
+        extra in 1usize..32,
+        cuts in prop::collection::vec(0usize..128, 0..12),
+    ) {
+        let payload = vec![b'x'; cap + extra];
+        let wire = wire_image(&[payload]);
+        prop_assert!(reassemble(&wire, &cuts, cap).is_err());
+
+        // Same oversize, but the newline never arrives: the cap must
+        // still trip once pending bytes exceed it.
+        let mut fb = FrameBuffer::new(cap);
+        let headless = &wire[..wire.len() - 1];
+        let mut errored = false;
+        for &b in headless {
+            fb.extend(&[b]);
+            match fb.next_frame() {
+                Ok(None) => {}
+                Ok(Some(frame)) => panic!("no newline was sent, got {frame:?}"),
+                Err(_) => {
+                    errored = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(errored, "cap must trip before a newline arrives");
+    }
+
+    /// Repeated polling while starved is stable: `Ok(None)` forever, no
+    /// phantom frames, and `pending` tracks exactly the undelivered tail.
+    #[test]
+    fn polling_while_starved_is_stable(
+        raw in prop::collection::vec(0u16..256, 1..64),
+        polls in 1usize..8,
+    ) {
+        let payload: Vec<u8> = raw.iter().map(|&b| b as u8).filter(|&b| b != b'\n').collect();
+        let mut fb = FrameBuffer::new(256);
+        for (i, &b) in payload.iter().enumerate() {
+            fb.extend(&[b]);
+            for _ in 0..polls {
+                prop_assert!(fb.next_frame().expect("under cap").is_none());
+            }
+            prop_assert_eq!(fb.pending(), i + 1);
+        }
+        fb.extend(b"\n");
+        let frame = fb.next_frame().expect("under cap").expect("complete");
+        prop_assert_eq!(&frame[..frame.len() - 1], &payload[..]);
+        prop_assert_eq!(fb.pending(), 0);
+    }
+}
