@@ -1,0 +1,273 @@
+//! Storage-fault layer benchmark: WAL group-fsync policy throughput and
+//! the cost (and correctness) of routing the durability planes through
+//! the fault-injectable [`volley_core::vfs`] abstraction.
+//!
+//! Three measurements:
+//!
+//! 1. **WAL sync policy sweep** — append throughput under `never`,
+//!    `on-snapshot`, `every-8` and `every-1`, the durability/throughput
+//!    trade `--wal-sync` exposes. Every policy must replay all records.
+//! 2. **VFS passthrough overhead** — the same append workload through
+//!    [`StdFs`] and through a *benign* [`FaultFs`] (all rates zero, no
+//!    window). A benign plan must inject exactly zero faults.
+//! 3. **Degraded-mode soak** — a 20% error-rate plan over the WAL and
+//!    the sample store; the breakers must trip, the WAL must keep the
+//!    acknowledged prefix replayable, and the store must still seal a
+//!    scannable set on a healed filesystem.
+//!
+//! Writes `reproduction/io_faults.txt` and `.json`. `--smoke` shrinks
+//! the workload; exit is non-zero if any correctness gate fails (timing
+//! is reported, never gated — CI machines are too noisy for that).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use volley_core::vfs::{FaultFs, IoFaultPlan, StdFs, Vfs};
+use volley_runtime::checkpoint::{TickOutcome, Wal, WalRecord, WalSyncPolicy};
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            if let Some(dir) = it.next() {
+                return PathBuf::from(dir);
+            }
+        }
+    }
+    PathBuf::from("reproduction")
+}
+
+fn tick_record(tick: u64) -> WalRecord {
+    WalRecord::Tick(TickOutcome {
+        epoch: 1,
+        tick,
+        polled: tick.is_multiple_of(7),
+        alerted: tick % 50 == 49,
+        local_violations: (tick % 3) as u32,
+    })
+}
+
+/// Appends `records` tick records through `vfs` under `policy`,
+/// returning (seconds, records replayed afterwards).
+fn run_wal(
+    dir: &std::path::Path,
+    tag: &str,
+    vfs: Arc<dyn Vfs>,
+    policy: WalSyncPolicy,
+    records: u64,
+) -> (f64, u64) {
+    let path = dir.join(format!("{tag}.wal"));
+    let _ = std::fs::remove_file(&path);
+    let mut wal = Wal::create_on(vfs, &path)
+        .expect("create wal")
+        .with_sync_policy(policy);
+    let started = Instant::now();
+    for t in 0..records {
+        let _ = wal.append(&tick_record(t));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    drop(wal);
+    let replay = Wal::replay(&path).expect("replay");
+    (secs, replay.records)
+}
+
+#[derive(Serialize)]
+struct PolicyPoint {
+    policy: String,
+    append_s: f64,
+    records_per_s: f64,
+    replayed: u64,
+}
+
+#[derive(Serialize)]
+struct IoFaultsReport {
+    smoke: bool,
+    records: u64,
+    policies: Vec<PolicyPoint>,
+    stdfs_s: f64,
+    benign_faultfs_s: f64,
+    benign_overhead_ratio: f64,
+    benign_faults_injected: u64,
+    soak_faults_injected: u64,
+    soak_store_trips: u64,
+    soak_store_sealed: u64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let records: u64 = if smoke { 20_000 } else { 200_000 };
+    eprintln!("io_faults: smoke={smoke}, {records} WAL records per point");
+
+    let dir = std::env::temp_dir().join(format!("volley-io-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1. Sync-policy sweep on the plain filesystem.
+    let sweep = [
+        ("never", WalSyncPolicy::Never),
+        ("on-snapshot", WalSyncPolicy::OnSnapshot),
+        ("every-8", WalSyncPolicy::EveryN(8)),
+        ("every-1", WalSyncPolicy::EveryN(1)),
+    ];
+    let mut policies = Vec::new();
+    for (name, policy) in sweep {
+        // every-1 pays a real fsync per record; keep its point affordable.
+        let n = if name == "every-1" {
+            records / 10
+        } else {
+            records
+        };
+        let (secs, replayed) = run_wal(&dir, name, Arc::new(StdFs), policy, n);
+        if replayed != n {
+            failures.push(format!("policy {name}: replayed {replayed} of {n} records"));
+        }
+        policies.push(PolicyPoint {
+            policy: name.to_string(),
+            append_s: secs,
+            records_per_s: n as f64 / secs.max(f64::EPSILON),
+            replayed,
+        });
+    }
+
+    // 2. Benign FaultFs vs StdFs on identical workloads.
+    let (stdfs_s, _) = run_wal(
+        &dir,
+        "overhead-stdfs",
+        Arc::new(StdFs),
+        WalSyncPolicy::EveryN(64),
+        records,
+    );
+    let benign = FaultFs::new(IoFaultPlan::new(7));
+    let benign_stats = benign.stats();
+    let (benign_s, replayed) = run_wal(
+        &dir,
+        "overhead-benign",
+        Arc::new(benign),
+        WalSyncPolicy::EveryN(64),
+        records,
+    );
+    let benign_faults = benign_stats.total();
+    if benign_faults != 0 {
+        failures.push(format!("benign plan injected {benign_faults} faults"));
+    }
+    if replayed != records {
+        failures.push(format!("benign FaultFs lost records: {replayed}/{records}"));
+    }
+
+    // 3. Degraded-mode soak: 20% write errors + 10% torn writes on the
+    // WAL and the sample store.
+    let soak_plan = IoFaultPlan::new(21)
+        .with_error_rate(0.2)
+        .with_torn_writes(0.1);
+    let wal_fs = FaultFs::new(soak_plan.clone());
+    let wal_fault_stats = wal_fs.stats();
+    let soak_records = records / 10;
+    let (_, soak_replayed) = run_wal(
+        &dir,
+        "soak",
+        Arc::new(wal_fs),
+        WalSyncPolicy::EveryN(8),
+        soak_records,
+    );
+    if soak_replayed > soak_records {
+        failures.push(format!(
+            "soak replay invented records: {soak_replayed}/{soak_records}"
+        ));
+    }
+    let soak_wal = Wal::replay(dir.join("soak.wal")).expect("soak replay");
+    let store_fs = FaultFs::new(soak_plan);
+    let store_fault_stats = store_fs.stats();
+    let store_dir = dir.join("soak-store");
+    let mut store = volley_store::Store::open_on(Arc::new(store_fs), &store_dir)
+        .expect("open store")
+        .with_flush_limits(64, u64::MAX);
+    for t in 0..soak_records {
+        let _ = store.append(volley_store::Record {
+            task: 0,
+            monitor: 0,
+            kind: volley_store::RecordKind::Sample,
+            tick: t,
+            value: t as f64,
+        });
+    }
+    let store_trips = store.trips();
+    drop(store);
+    let healed = volley_store::Store::open(&store_dir).expect("reopen store");
+    let sealed = healed
+        .scan(&volley_store::ScanRange::all())
+        .expect("scan healed store")
+        .count() as u64;
+    let soak_faults = wal_fault_stats.total() + store_fault_stats.total();
+    if soak_faults == 0 {
+        failures.push("soak plan injected no faults".to_string());
+    }
+
+    let report = IoFaultsReport {
+        smoke,
+        records,
+        policies,
+        stdfs_s,
+        benign_faultfs_s: benign_s,
+        benign_overhead_ratio: benign_s / stdfs_s.max(f64::EPSILON),
+        benign_faults_injected: benign_faults,
+        soak_faults_injected: soak_faults,
+        soak_store_trips: store_trips,
+        soak_store_sealed: sealed,
+    };
+    let mut text = format!(
+        "storage-fault layer ({} WAL records per point)\nsync-policy sweep:\n",
+        report.records
+    );
+    for p in &report.policies {
+        text.push_str(&format!(
+            "  {:<12} {:>10.0} records/s ({} replayed)\n",
+            p.policy, p.records_per_s, p.replayed
+        ));
+    }
+    text.push_str(&format!(
+        "vfs overhead:   StdFs {:.3} s, benign FaultFs {:.3} s ({:.2}x)\n\
+         soak:           {} faults injected, {} store trips, replay {} WAL \
+         records, {} store records sealed\n",
+        report.stdfs_s,
+        report.benign_faultfs_s,
+        report.benign_overhead_ratio,
+        report.soak_faults_injected,
+        report.soak_store_trips,
+        soak_wal.records,
+        report.soak_store_sealed,
+    ));
+    print!("{text}");
+
+    #[derive(Serialize)]
+    struct Envelope {
+        schema: u32,
+        command: &'static str,
+        report: IoFaultsReport,
+    }
+    let out = out_dir();
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(out.join("io_faults.txt"), &text).expect("write txt");
+    std::fs::write(
+        out.join("io_faults.json"),
+        serde_json::to_string_pretty(&Envelope {
+            schema: 3,
+            command: "io_faults",
+            report,
+        })
+        .expect("serializable"),
+    )
+    .expect("write json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("io-fault bounds hold");
+}

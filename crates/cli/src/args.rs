@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+use volley_core::vfs::IoFaultPlan;
+use volley_runtime::WalSyncPolicy;
+
 /// Errors produced by argument parsing or command execution.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -176,6 +179,72 @@ impl TransportArgs {
     }
 }
 
+/// Storage-fault knobs shared by the fault-injecting subcommands
+/// (`chaos` today): one spelling, one default, one parser, mirroring
+/// [`CommonArgs`]. All rates are per-operation probabilities decided
+/// deterministically from the run's `--seed`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IoFaultArgs {
+    /// ENOSPC window as `(from_tick, duration_ticks)`; duration `0`
+    /// means the disk never recovers.
+    pub enospc: Option<(u64, u64)>,
+    /// Probability a write fails with EIO (nothing lands).
+    pub error_rate: f64,
+    /// Probability a write is torn: a corrupted prefix lands, then EIO.
+    pub torn_rate: f64,
+    /// Probability a write is short: a clean prefix lands, then EIO.
+    pub short_rate: f64,
+    /// Probability an fsync reports failure after the data was written.
+    pub sync_error_rate: f64,
+}
+
+impl IoFaultArgs {
+    /// Tries to consume `flag` (and its value) from the argument stream.
+    /// Returns `Ok(true)` when the flag belonged to this group.
+    fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--io-enospc-at" => self.enospc = Some(parse_enospc_spec(it.next())?),
+            "--io-error-rate" => {
+                self.error_rate = parse_value::<f64>(flag, it.next())?.clamp(0.0, 1.0);
+            }
+            "--io-torn-writes" => {
+                self.torn_rate = parse_value::<f64>(flag, it.next())?.clamp(0.0, 1.0);
+            }
+            "--io-short-writes" => {
+                self.short_rate = parse_value::<f64>(flag, it.next())?.clamp(0.0, 1.0);
+            }
+            "--io-sync-errors" => {
+                self.sync_error_rate = parse_value::<f64>(flag, it.next())?.clamp(0.0, 1.0);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Whether no storage fault was requested.
+    pub fn is_benign(&self) -> bool {
+        *self == IoFaultArgs::default()
+    }
+
+    /// Builds the [`IoFaultPlan`] these flags describe, seeded with the
+    /// run's `--seed`.
+    pub fn plan(&self, seed: u64) -> IoFaultPlan {
+        let mut plan = IoFaultPlan::new(seed)
+            .with_error_rate(self.error_rate)
+            .with_torn_writes(self.torn_rate)
+            .with_short_writes(self.short_rate)
+            .with_sync_errors(self.sync_error_rate);
+        if let Some((from, ticks)) = self.enospc {
+            plan = plan.with_enospc_window(from, ticks);
+        }
+        plan
+    }
+}
+
 /// The `coordinator` subcommand's options: bind a socket, wait for the
 /// agent fleet, and drive the bursty workload over the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -312,6 +381,8 @@ pub struct ChaosArgs {
     pub wal_dir: Option<String>,
     /// Checkpoint snapshot cadence in ticks.
     pub checkpoint_interval: u64,
+    /// WAL group-fsync policy (`--wal-sync every-n|on-snapshot|never`).
+    pub wal_sync: WalSyncPolicy,
     /// Whether a warm standby coordinator is armed.
     pub standby: bool,
     /// Coordinator collection deadline in milliseconds.
@@ -335,6 +406,9 @@ pub struct ChaosArgs {
     pub net_storm_fraction: f64,
     /// Shared transport knobs (net mode only).
     pub transport: TransportArgs,
+    /// Shared storage-fault knobs (`--io-*`): ENOSPC windows, EIO,
+    /// torn/short writes and failed fsyncs under every persistence sink.
+    pub io: IoFaultArgs,
     /// Shared seed / obs-dir / threads / report-json group. `--seed`
     /// seeds the fault plan; `--obs-dir` enables snapshot dumping.
     pub common: CommonArgs,
@@ -497,9 +571,10 @@ USAGE:
                   [--crash <m@t>] [--stall <m@t+d>] [--deadline-ms <n=50>]
                   [--coordinator-crash <t>] [--partition <m1,m2@t+d>]
                   [--standby] [--wal-dir <dir>] [--checkpoint-interval <n=25>]
+                  [--wal-sync <every-N|on-snapshot|never>]
                   [--corrupt-wal-record <i>] [--obs-every <n=50>]
                   [--quarantine-after <n=2>] [--no-supervise]
-                  [common flags]
+                  [storage-fault flags] [common flags]
   volley obs      --obs-dir <dir> [--prom] [common flags]
   volley store    <query|compact|export-csv> --store-dir <dir>
                   [--task <n>] [--monitor <n>] [--kind <k>]
@@ -528,6 +603,18 @@ Transport flags (same meaning on agent, coordinator and chaos --net):
   --write-timeout-ms <n=0>      socket write timeout (0 = none)
   --backoff-base-ms <n=50>      first reconnect delay
   --backoff-cap-ms <n=2000>     reconnect delay ceiling (pre-jitter)
+
+Storage-fault flags (chaos): deterministic faults under every
+persistence sink (WAL, sample store, obs snapshots). Detection output is
+unaffected by design — only sampling fidelity degrades, visibly.
+  --io-enospc-at <t|t+d>        disk full from tick t (for d ticks;
+                                bare t never recovers)
+  --io-error-rate <p=0>         per-write EIO probability
+  --io-torn-writes <p=0>        per-write torn-write probability
+                                (corrupted prefix lands, then EIO)
+  --io-short-writes <p=0>       per-write short-write probability
+                                (clean prefix lands, then EIO)
+  --io-sync-errors <p=0>        per-fsync failure probability
 ";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, CliError> {
@@ -581,6 +668,18 @@ fn parse_partition_spec(value: Option<&String>) -> Result<(Vec<u32>, u64, u64), 
         t.parse().map_err(|_| bad())?,
         d.parse().map_err(|_| bad())?,
     ))
+}
+
+/// Parses an ENOSPC window spec `t` or `t+d`: the disk fills at tick `t`
+/// and recovers after `d` ticks (`t` alone never recovers).
+fn parse_enospc_spec(value: Option<&String>) -> Result<(u64, u64), CliError> {
+    let raw =
+        value.ok_or_else(|| CliError::Usage("--io-enospc-at requires t or t+d".to_string()))?;
+    let bad = || CliError::Usage(format!("invalid enospc spec `{raw}` (expected t or t+d)"));
+    match raw.split_once('+') {
+        Some((t, d)) => Ok((t.parse().map_err(|_| bad())?, d.parse().map_err(|_| bad())?)),
+        None => Ok((raw.parse().map_err(|_| bad())?, 0)),
+    }
 }
 
 /// Parses a monitor range `a..b` (end-exclusive, `a < b`).
@@ -695,6 +794,7 @@ impl Command {
             wal_corruptions: Vec::new(),
             wal_dir: None,
             checkpoint_interval: 25,
+            wal_sync: WalSyncPolicy::default(),
             standby: false,
             deadline_ms: 50,
             quarantine_after: 2,
@@ -705,11 +805,15 @@ impl Command {
             net_storm_every: 0,
             net_storm_fraction: 0.25,
             transport: TransportArgs::default(),
+            io: IoFaultArgs::default(),
             common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            if parsed.common.accept(flag, &mut it)? || parsed.transport.accept(flag, &mut it)? {
+            if parsed.common.accept(flag, &mut it)?
+                || parsed.transport.accept(flag, &mut it)?
+                || parsed.io.accept(flag, &mut it)?
+            {
                 continue;
             }
             match flag.as_str() {
@@ -734,6 +838,7 @@ impl Command {
                 "--checkpoint-interval" => {
                     parsed.checkpoint_interval = parse_value(flag, it.next())?;
                 }
+                "--wal-sync" => parsed.wal_sync = parse_value(flag, it.next())?,
                 "--standby" => parsed.standby = true,
                 "--obs-every" => parsed.obs_every = parse_value(flag, it.next())?,
                 "--deadline-ms" => parsed.deadline_ms = parse_value(flag, it.next())?,
@@ -1251,6 +1356,75 @@ mod tests {
             vec!["chaos", "--partition", "@5+2"],
             vec!["chaos", "--partition", "1,x@5+2"],
             vec!["chaos", "--coordinator-crash", "x"],
+        ] {
+            assert!(
+                matches!(Command::parse(args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_parses_io_fault_flags() {
+        let cmd = Command::parse(args(&[
+            "chaos",
+            "--io-enospc-at",
+            "40+30",
+            "--io-error-rate",
+            "0.1",
+            "--io-torn-writes",
+            "2.0",
+            "--io-short-writes",
+            "0.05",
+            "--io-sync-errors",
+            "0.2",
+            "--wal-sync",
+            "every-4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert_eq!(c.io.enospc, Some((40, 30)));
+                assert_eq!(c.io.error_rate, 0.1);
+                assert_eq!(c.io.torn_rate, 1.0, "rates clamped to [0,1]");
+                assert_eq!(c.io.short_rate, 0.05);
+                assert_eq!(c.io.sync_error_rate, 0.2);
+                assert!(!c.io.is_benign());
+                assert_eq!(c.wal_sync, WalSyncPolicy::EveryN(4));
+                let plan = c.io.plan(9);
+                assert_eq!(plan.seed(), 9);
+                assert!(plan.enospc_active(40));
+                assert!(!plan.enospc_active(70), "window end is exclusive");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bare `t` means the disk never recovers.
+        match Command::parse(args(&["chaos", "--io-enospc-at", "15"])).unwrap() {
+            Command::Chaos(c) => {
+                assert_eq!(c.io.enospc, Some((15, 0)));
+                assert!(c.io.plan(0).enospc_active(u64::MAX));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: benign faults, sync-on-snapshot.
+        match Command::parse(args(&["chaos"])).unwrap() {
+            Command::Chaos(c) => {
+                assert!(c.io.is_benign());
+                assert!(c.io.plan(3).is_benign());
+                assert_eq!(c.wal_sync, WalSyncPolicy::OnSnapshot);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_malformed_io_specs() {
+        for bad in [
+            vec!["chaos", "--io-enospc-at"],
+            vec!["chaos", "--io-enospc-at", "x"],
+            vec!["chaos", "--io-enospc-at", "5+y"],
+            vec!["chaos", "--io-error-rate", "abc"],
+            vec!["chaos", "--wal-sync", "sometimes"],
         ] {
             assert!(
                 matches!(Command::parse(args(&bad)), Err(CliError::Usage(_))),

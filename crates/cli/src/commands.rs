@@ -24,11 +24,12 @@ use crate::args::{
 /// Version history: 1 = the original `run` report (flat, `schema` field
 /// inline); 2 = the `chaos` report with the durability counters; 3 = one
 /// envelope for all subcommands — `{schema, command, report}` with the
-/// per-command payload under `report`.
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+/// per-command payload under `report`; 4 = the `chaos` report gains the
+/// storage-fault `degradation` section.
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
-/// Writes `report` wrapped in the versioned schema-3 envelope:
-/// `{"schema": 3, "command": "<subcommand>", "report": {…}}`.
+/// Writes `report` wrapped in the versioned envelope:
+/// `{"schema": N, "command": "<subcommand>", "report": {…}}`.
 fn write_envelope<W: Write, T: Serialize>(
     out: &mut W,
     command: &'static str,
@@ -366,14 +367,28 @@ fn bursty_traces(n: usize, ticks: usize) -> Vec<Vec<f64>> {
 
 /// Opens (or creates) a sample store at `dir`, stamps it with the run's
 /// metadata — what `backtest` needs to rebuild the production config —
-/// and wraps it in a best-effort [`volley_store::SampleRecorder`].
+/// and wraps it in a best-effort [`volley_store::SampleRecorder`]. With
+/// `faults`, the store runs over a fault-injecting filesystem (`chaos
+/// --io-*`) and degrades to lossy recording under sustained failure.
 fn open_recorder(
     dir: &str,
     meta: &volley_store::TaskMeta,
+    faults: Option<volley_core::FaultFs>,
 ) -> Result<volley_store::SampleRecorder, CliError> {
-    let store = volley_store::Store::open(dir)
-        .map_err(|e| CliError::Input(format!("cannot open store {dir}: {e}")))?;
-    store.write_meta(meta)?;
+    let faulted = faults.is_some();
+    let store = match faults {
+        Some(fs) => volley_store::Store::open_on(std::sync::Arc::new(fs), dir),
+        None => volley_store::Store::open(dir),
+    }
+    .map_err(|e| CliError::Input(format!("cannot open store {dir}: {e}")))?;
+    match store.write_meta(meta) {
+        Ok(()) => {}
+        // Under injected storage faults the meta stamp is best-effort
+        // like every other persistence write: a torn or failed write
+        // degrades recording, it must not abort the run.
+        Err(_) if faulted => {}
+        Err(e) => return Err(e.into()),
+    }
     Ok(volley_store::SampleRecorder::new(store))
 }
 
@@ -423,6 +438,7 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
                 ticks: args.ticks as u64,
                 seed: args.common.seed,
             },
+            None,
         )?),
         None => None,
     };
@@ -569,6 +585,10 @@ struct ChaosReport {
     conservative_restarts: u64,
     total_samples: u64,
     cost_ratio: f64,
+    /// How the persistence sinks degraded under `--io-*` storage faults
+    /// (all zeros on a fault-free run; includes the sample store's
+    /// injected-fault count, which the runtime can't see).
+    degradation: volley_runtime::DegradationReport,
 }
 
 /// Runs the threaded runtime on a synthetic bursty workload (every 50th
@@ -614,13 +634,18 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     for &record in &args.wal_corruptions {
         plan = plan.with_wal_corruption(record);
     }
+    let io_plan = args.io.plan(args.common.seed);
+    if !io_plan.is_benign() {
+        plan = plan.with_io_faults(io_plan.clone());
+    }
 
     let mut runner = TaskRunner::new(&spec)?
         .with_fault_plan(plan)
         .with_tick_deadline(std::time::Duration::from_millis(args.deadline_ms))
         .with_quarantine_after(args.quarantine_after)
         .with_supervision(args.supervise)
-        .with_standby(args.standby);
+        .with_standby(args.standby)
+        .with_wal_sync(args.wal_sync);
     if let Some(dir) = &args.wal_dir {
         let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir)?;
@@ -633,6 +658,11 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         // with_obs_dir flips the runner's obs bundle on at run time.
         runner = runner.with_obs_dir(dir, args.obs_every);
     }
+    // The recorder's store gets its own FaultFs (independent op counter,
+    // same plan) so monitor-thread scheduling can't shuffle decisions
+    // with the runner-owned sinks.
+    let store_faults = (!io_plan.is_benign()).then(|| volley_core::FaultFs::new(io_plan.clone()));
+    let store_fault_stats = store_faults.as_ref().map(volley_core::FaultFs::stats);
     let recorder = match args.common.resolve_store_dir(None) {
         Some(dir) => Some(open_recorder(
             dir,
@@ -643,6 +673,7 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
                 ticks: args.ticks as u64,
                 seed: args.common.seed,
             },
+            store_faults,
         )?),
         None => None,
     };
@@ -652,6 +683,10 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     let report = runner.run(&traces)?;
     if let Some(recorder) = &recorder {
         recorder.flush();
+    }
+    let mut degradation = report.degradation.clone();
+    if let Some(stats) = &store_fault_stats {
+        degradation.io_faults_injected += stats.total();
     }
 
     let summary = ChaosReport {
@@ -672,6 +707,7 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         conservative_restarts: report.conservative_restarts,
         total_samples: report.total_samples,
         cost_ratio: report.cost_ratio(n),
+        degradation,
     };
     if args.common.report_json {
         return write_envelope(out, "chaos", &summary);
@@ -710,6 +746,48 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
         summary.total_samples,
         100.0 * summary.cost_ratio
     )?;
+    if summary.degradation.any() {
+        let d = &summary.degradation;
+        writeln!(out, "io faults:        {} injected", d.io_faults_injected)?;
+        writeln!(
+            out,
+            "wal degradation:  {} write / {} sync failures ({} trips, {} rearms, {} ring drops){}",
+            d.wal_write_failures,
+            d.wal_sync_failures,
+            d.wal_trips,
+            d.wal_rearms,
+            d.wal_ring_dropped,
+            if d.wal_degraded_at_end {
+                " [degraded at end]"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(
+            out,
+            "store shedding:   {} samples shed ({} trips, {} rearms){}",
+            d.store_shed_samples,
+            d.store_trips,
+            d.store_rearms,
+            if d.store_degraded_at_end {
+                " [degraded at end]"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(
+            out,
+            "obs snapshots:    {} paused ({} trips, {} rearms){}",
+            d.obs_snapshots_paused,
+            d.obs_trips,
+            d.obs_rearms,
+            if d.obs_degraded_at_end {
+                " [degraded at end]"
+            } else {
+                ""
+            }
+        )?;
+    }
     if !summary.alert_ticks.is_empty() {
         let shown: Vec<String> = summary
             .alert_ticks
@@ -1479,6 +1557,8 @@ mod tests {
             net_storm_every: 0,
             net_storm_fraction: 0.25,
             transport: TransportArgs::default(),
+            wal_sync: volley_runtime::WalSyncPolicy::default(),
+            io: crate::args::IoFaultArgs::default(),
             common: CommonArgs {
                 seed: 7,
                 report_json: true,
@@ -1524,6 +1604,39 @@ mod tests {
         // Bursts at 49 and 99 straddle the crash; both still alert.
         assert_eq!(report["alerts"], 2);
         let _ = std::fs::remove_file(dir.join("chaos-7.wal"));
+    }
+
+    #[test]
+    fn chaos_io_faults_keep_alerts_and_report_degradation() {
+        let base = std::env::temp_dir().join("volley-cli-io-chaos");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+
+        let clean = {
+            let mut args = chaos_args();
+            args.deadline_ms = 2000;
+            run_to_string(Command::Chaos(args))
+        };
+        let clean: serde_json::Value = serde_json::from_str(&clean).unwrap();
+
+        let mut args = chaos_args();
+        args.deadline_ms = 2000;
+        args.wal_dir = Some(base.join("wal").to_string_lossy().to_string());
+        args.checkpoint_interval = 10;
+        args.common.store_dir = Some(base.join("store").to_string_lossy().to_string());
+        args.io.enospc = Some((30, 30));
+        let text = run_to_string(Command::Chaos(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        let report = &parsed["report"];
+        // Storage faults never perturb detection: alerts are bit-identical.
+        assert_eq!(report["alert_ticks"], clean["report"]["alert_ticks"]);
+        let d = &report["degradation"];
+        assert!(d["io_faults_injected"].as_u64().unwrap() > 0);
+        // The ENOSPC window closed at tick 60; every breaker re-armed.
+        assert_eq!(d["store_degraded_at_end"], false);
+        assert_eq!(d["wal_degraded_at_end"], false);
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

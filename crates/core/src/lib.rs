@@ -80,6 +80,7 @@ pub mod stats;
 pub mod task;
 pub mod threshold;
 pub mod time;
+pub mod vfs;
 pub mod window;
 
 pub use accuracy::{AccuracyReport, DetectionLog, GroundTruth};
@@ -99,4 +100,5 @@ pub use stats::{DeltaTracker, EwmaStats, OnlineStats, StatsKind};
 pub use task::{MonitorId, MonitorSpec, TaskId, TaskSpec};
 pub use threshold::{selectivity_threshold, ThresholdSplit};
 pub use time::{Interval, Tick};
+pub use vfs::{CircuitBreaker, FaultFs, IoFaultPlan, IoFaultStats, StdFs, Vfs, VfsFile};
 pub use window::{AggregateKind, SlidingWindow, WindowedSampler};

@@ -12,8 +12,10 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use volley_core::vfs::{CircuitBreaker, StdFs, Vfs};
 
 use crate::registry::{bucket_upper_bound, Registry, BUCKETS};
 use crate::span::SpanLog;
@@ -269,12 +271,20 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
 
 /// Writes periodic registry snapshots (and a final span trace) into a
 /// directory: `obs-<tick>.json`, `obs-<tick>.prom` and `spans.json`.
+///
+/// File I/O goes through a [`Vfs`]; under sustained write failure a
+/// [`CircuitBreaker`] trips the writer into degraded mode — snapshot
+/// dumps *pause* (counted, skipped) until a deterministically backed-off
+/// probe write succeeds and exposition resumes.
 #[derive(Debug)]
 pub struct SnapshotWriter {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     every: u64,
     next: u64,
     written: u64,
+    breaker: CircuitBreaker,
+    paused: u64,
 }
 
 impl SnapshotWriter {
@@ -285,14 +295,34 @@ impl SnapshotWriter {
     ///
     /// Propagates directory-creation failures.
     pub fn new(dir: impl Into<PathBuf>, every: u64) -> io::Result<Self> {
+        SnapshotWriter::new_on(Arc::new(StdFs), dir, every)
+    }
+
+    /// [`SnapshotWriter::new`] on an arbitrary [`Vfs`] — the
+    /// fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new_on(vfs: Arc<dyn Vfs>, dir: impl Into<PathBuf>, every: u64) -> io::Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        vfs.create_dir_all(&dir)?;
         Ok(SnapshotWriter {
+            vfs,
             dir,
             every: every.max(1),
             next: 0,
             written: 0,
+            breaker: CircuitBreaker::default(),
+            paused: 0,
         })
+    }
+
+    /// Replaces the circuit breaker (tests tune trip threshold/backoff).
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breaker = breaker;
+        self
     }
 
     /// The output directory.
@@ -305,8 +335,24 @@ impl SnapshotWriter {
         self.written
     }
 
+    /// True while the circuit breaker is open and snapshot dumps pause.
+    pub fn degraded(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Cadence dumps skipped while degraded.
+    pub fn paused(&self) -> u64 {
+        self.paused
+    }
+
+    /// `(trips, rearms)` of the writer's circuit breaker.
+    pub fn breaker_transitions(&self) -> (u64, u64) {
+        (self.breaker.trips(), self.breaker.rearms())
+    }
+
     /// Dumps a snapshot if `tick` reached the cadence. Returns whether a
-    /// dump happened.
+    /// dump happened. While degraded, due dumps are paused (counted,
+    /// skipped) except for deterministic probe writes.
     ///
     /// # Errors
     ///
@@ -316,25 +362,47 @@ impl SnapshotWriter {
             return Ok(false);
         }
         self.next = tick + self.every;
+        if !self.breaker.should_attempt() {
+            self.paused += 1;
+            return Ok(false);
+        }
         self.write_now(registry, tick)?;
         Ok(true)
     }
 
-    /// Dumps a snapshot unconditionally.
+    /// Dumps a snapshot unconditionally, feeding the circuit breaker
+    /// with the outcome.
     ///
     /// # Errors
     ///
     /// Propagates file-write failures.
     pub fn write_now(&mut self, registry: &Registry, tick: u64) -> io::Result<()> {
+        self.vfs.set_tick(tick);
         let snapshot = registry.snapshot(tick);
         let stem = format!("obs-{tick:08}");
-        std::fs::write(self.dir.join(format!("{stem}.json")), snapshot.to_json())?;
-        std::fs::write(
-            self.dir.join(format!("{stem}.prom")),
-            snapshot.to_prometheus(),
-        )?;
-        self.written += 1;
-        Ok(())
+        let result = self
+            .vfs
+            .write(
+                &self.dir.join(format!("{stem}.json")),
+                snapshot.to_json().as_bytes(),
+            )
+            .and_then(|()| {
+                self.vfs.write(
+                    &self.dir.join(format!("{stem}.prom")),
+                    snapshot.to_prometheus().as_bytes(),
+                )
+            });
+        match result {
+            Ok(()) => {
+                self.breaker.record_success();
+                self.written += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.breaker.record_failure();
+                Err(e)
+            }
+        }
     }
 
     /// Writes the span ring as `spans.json` (Chrome trace format).
@@ -343,7 +411,10 @@ impl SnapshotWriter {
     ///
     /// Propagates file-write failures.
     pub fn write_spans(&self, spans: &SpanLog) -> io::Result<()> {
-        std::fs::write(self.dir.join("spans.json"), spans.to_chrome_trace())
+        self.vfs.write(
+            &self.dir.join("spans.json"),
+            spans.to_chrome_trace().as_bytes(),
+        )
     }
 }
 
@@ -501,6 +572,38 @@ mod tests {
         // The .prom twin parses too.
         let prom = std::fs::read_to_string(path.with_extension("prom")).unwrap();
         assert!(!parse_prometheus(&prom).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_pauses_under_enospc_and_resumes_after_rearm() {
+        use volley_core::vfs::FaultFs;
+        use volley_core::IoFaultPlan;
+
+        let dir = std::env::temp_dir().join(format!("volley-obs-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = IoFaultPlan::new(7).with_enospc_window(10, 20);
+        let fs = Arc::new(FaultFs::new(plan));
+        let registry = Registry::new(true);
+        let counter = registry.counter("ticks");
+        let mut writer = SnapshotWriter::new_on(fs, &dir, 1)
+            .unwrap()
+            .with_breaker(CircuitBreaker::with_backoff(1, 1, 2));
+        let mut io_errors = 0u64;
+        for tick in 0..60u64 {
+            counter.inc();
+            if writer.maybe_write(&registry, tick).is_err() {
+                io_errors += 1;
+            }
+        }
+        assert!(io_errors > 0, "the storm must surface write errors");
+        assert!(writer.paused() > 0, "due dumps pause while degraded");
+        let (trips, rearms) = writer.breaker_transitions();
+        assert!(trips >= 1 && rearms >= 1, "trips={trips} rearms={rearms}");
+        assert!(!writer.degraded(), "writer re-arms once the fault clears");
+        // Exposition resumed: a post-storm snapshot is the latest on disk.
+        let (_, snapshot) = latest_snapshot(&dir).unwrap().expect("snapshots exist");
+        assert!(snapshot.tick >= 30, "latest tick {}", snapshot.tick);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -123,6 +123,35 @@ pub mod names {
     /// Counter: outbound frames dropped because a slow peer's bounded
     /// queue was full (backpressure stalls).
     pub const NET_BACKPRESSURE_STALLS_TOTAL: &str = "volley_net_backpressure_stalls_total";
+    /// Counter: records shed by the sample store while its circuit
+    /// breaker was open (lossy degraded mode).
+    pub const STORE_SHED_SAMPLES_TOTAL: &str = "volley_store_shed_samples_total";
+    /// Gauge (0/1): sample store currently in lossy degraded mode.
+    pub const STORE_DEGRADED: &str = "volley_store_degraded";
+    /// Counter: store circuit-breaker trips (degraded-mode entries).
+    pub const STORE_BREAKER_TRIPS_TOTAL: &str = "volley_store_breaker_trips_total";
+    /// Counter: store circuit-breaker re-arms (degraded-mode exits).
+    pub const STORE_BREAKER_REARMS_TOTAL: &str = "volley_store_breaker_rearms_total";
+    /// Gauge (0/1): WAL currently shedding to its in-memory ring.
+    pub const WAL_DEGRADED: &str = "volley_wal_degraded";
+    /// Counter: WAL appends that failed to reach the file.
+    pub const WAL_WRITE_FAILURES_TOTAL: &str = "volley_wal_write_failures_total";
+    /// Counter: WAL fsyncs that reported failure.
+    pub const WAL_SYNC_FAILURES_TOTAL: &str = "volley_wal_sync_failures_total";
+    /// Counter: WAL circuit-breaker trips.
+    pub const WAL_BREAKER_TRIPS_TOTAL: &str = "volley_wal_breaker_trips_total";
+    /// Counter: WAL circuit-breaker re-arms.
+    pub const WAL_BREAKER_REARMS_TOTAL: &str = "volley_wal_breaker_rearms_total";
+    /// Gauge: frames currently parked in the WAL degraded ring.
+    pub const WAL_RING_BUFFERED: &str = "volley_wal_ring_buffered";
+    /// Counter: frames evicted from the bounded WAL ring (lost state).
+    pub const WAL_RING_DROPPED_TOTAL: &str = "volley_wal_ring_dropped_total";
+    /// Gauge (0/1): obs snapshot writer currently paused.
+    pub const OBS_SNAPSHOTS_DEGRADED: &str = "volley_obs_snapshots_degraded";
+    /// Counter: obs snapshot dumps skipped while the writer was paused.
+    pub const OBS_SNAPSHOTS_PAUSED_TOTAL: &str = "volley_obs_snapshots_paused_total";
+    /// Counter: storage faults injected by the active I/O fault plan.
+    pub const IO_FAULTS_INJECTED_TOTAL: &str = "volley_io_faults_injected_total";
 }
 
 /// A registry and span log sharing one enabled flag: the single handle

@@ -37,13 +37,18 @@
 //! next snapshot append rewrites the log as just that snapshot (via a
 //! temp file and an atomic rename), bounding log growth.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use volley_core::snapshot::SamplerSnapshot;
 use volley_core::time::Tick;
+use volley_core::vfs::{CircuitBreaker, StdFs, Vfs, VfsFile};
 
 /// Upper bound on a record payload. A bit-flipped length field would
 /// otherwise make recovery attempt a multi-gigabyte read.
@@ -52,6 +57,10 @@ pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
 /// Default number of records after which an appended snapshot compacts
 /// the log.
 pub const DEFAULT_COMPACT_AFTER: u64 = 512;
+
+/// Default capacity of the in-memory checkpoint ring a degraded WAL
+/// falls back to.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
 
 /// Bytes of framing overhead per record (`len` + `crc`).
 const FRAME_OVERHEAD: usize = 8;
@@ -211,14 +220,102 @@ pub fn decode_records(bytes: &[u8]) -> Replay {
 }
 
 // ---------------------------------------------------------------------
+// Sync policy, degradation stats
+// ---------------------------------------------------------------------
+
+/// Group-fsync policy for WAL appends.
+///
+/// The historical behavior — never fsync an append, only compactions —
+/// is [`WalSyncPolicy::Never`]; the default trades one fsync per
+/// checkpoint interval for snapshot durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSyncPolicy {
+    /// Fsync after every `n` appended records (group commit).
+    EveryN(u64),
+    /// Fsync only when the appended record is a snapshot.
+    #[default]
+    OnSnapshot,
+    /// Never fsync appends (compaction still syncs its temp file).
+    Never,
+}
+
+impl FromStr for WalSyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "never" => Ok(WalSyncPolicy::Never),
+            "on-snapshot" => Ok(WalSyncPolicy::OnSnapshot),
+            "every" | "every-n" => Ok(WalSyncPolicy::EveryN(1)),
+            other => match other.strip_prefix("every-") {
+                Some(n) => n
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --wal-sync value: {other}"))
+                    .map(|n| WalSyncPolicy::EveryN(n.max(1))),
+                None => Err(format!(
+                    "bad --wal-sync value: {other} (want every-N|on-snapshot|never)"
+                )),
+            },
+        }
+    }
+}
+
+/// What happened to an appended record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// The record was written to the log file (and fsynced when the sync
+    /// policy deemed a sync due).
+    Persisted,
+    /// The WAL is degraded: the record was retained only in the bounded
+    /// in-memory checkpoint ring and will be drained to disk if the sink
+    /// re-arms.
+    Buffered,
+}
+
+/// Shared degradation counters for one WAL, readable from any thread
+/// (the log itself lives on the coordinator thread; the runner reads
+/// these for obs series and the end-of-run report).
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Records accepted (persisted or ring-buffered).
+    pub appends: AtomicU64,
+    /// Records written to the log file.
+    pub persisted: AtomicU64,
+    /// Append-path write failures (fed to the circuit breaker).
+    pub write_failures: AtomicU64,
+    /// Fsyncs that reported failure instead of being silently dropped.
+    pub sync_failures: AtomicU64,
+    /// Times the circuit breaker tripped open (degraded-mode entries).
+    pub trips: AtomicU64,
+    /// Times a probe succeeded and the sink re-armed.
+    pub rearms: AtomicU64,
+    /// Records currently held in the in-memory ring (gauge).
+    pub ring_buffered: AtomicU64,
+    /// Records evicted from the full ring — permanently shed.
+    pub ring_dropped: AtomicU64,
+    /// 1 while the breaker is open (gauge).
+    pub degraded: AtomicU64,
+}
+
+// ---------------------------------------------------------------------
 // The on-disk log
 // ---------------------------------------------------------------------
 
 /// Append-only write-ahead log of [`WalRecord`]s.
+///
+/// All file I/O goes through a [`Vfs`], so chaos runs can inject ENOSPC
+/// storms, EIO and torn writes underneath it. On sustained append
+/// failure a per-sink [`CircuitBreaker`] trips the log into degraded
+/// mode: records are retained in a bounded in-memory ring, probes with
+/// deterministic backoff test the disk, and the first successful probe
+/// drains the ring back into the file (re-arm). A torn tail left by a
+/// failed write is repaired by truncating back to the last
+/// known-good byte offset before the next disk write.
 #[derive(Debug)]
 pub struct Wal {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Records in the current (possibly compacted) file.
     records_in_file: u64,
     /// Records ever appended through this handle — the index axis for
@@ -230,23 +327,43 @@ pub struct Wal {
     /// WAL-corruption injection for chaos runs.
     corruptions: Vec<u64>,
     last_snapshot: Option<CoordinatorSnapshot>,
+    sync_policy: WalSyncPolicy,
+    /// Records persisted since the last fsync (for `EveryN`).
+    unsynced: u64,
+    /// Bytes of the file known to hold intact frames.
+    valid_len: u64,
+    /// True when a failed write may have left partial bytes after
+    /// `valid_len`; repaired by truncation before the next write.
+    dirty_tail: bool,
+    breaker: CircuitBreaker,
+    /// Degraded-mode fallback: framed records awaiting a successful
+    /// probe, oldest first.
+    ring: VecDeque<Vec<u8>>,
+    ring_capacity: usize,
+    stats: Arc<WalStats>,
 }
 
 impl Wal {
-    /// Creates (or truncates) the log at `path`.
+    /// Creates (or truncates) the log at `path` on the real filesystem.
     pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Wal::create_on(Arc::new(StdFs), path)
+    }
+
+    /// Creates (or truncates) the log at `path` on an arbitrary
+    /// [`Vfs`] — the fault-injection entry point.
+    pub fn create_on(vfs: Arc<dyn Vfs>, path: impl Into<PathBuf>) -> io::Result<Self> {
         let path = path.into();
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir)?;
+                vfs.create_dir_all(dir)?;
             }
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+        // Truncate, then reopen in append mode: append-mode writes always
+        // land at end-of-file, which keeps torn-tail truncation sound.
+        drop(vfs.create(&path)?);
+        let file = vfs.open_append(&path)?;
         Ok(Wal {
+            vfs,
             path,
             file,
             records_in_file: 0,
@@ -254,6 +371,14 @@ impl Wal {
             compact_after: DEFAULT_COMPACT_AFTER,
             corruptions: Vec::new(),
             last_snapshot: None,
+            sync_policy: WalSyncPolicy::default(),
+            unsynced: 0,
+            valid_len: 0,
+            dirty_tail: false,
+            breaker: CircuitBreaker::default(),
+            ring: VecDeque::new(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            stats: Arc::new(WalStats::default()),
         })
     }
 
@@ -273,6 +398,24 @@ impl Wal {
         self
     }
 
+    /// Sets the group-fsync policy for appends.
+    pub fn with_sync_policy(mut self, policy: WalSyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Sets the capacity of the degraded-mode in-memory record ring.
+    pub fn with_ring_capacity(mut self, records: usize) -> Self {
+        self.ring_capacity = records.max(1);
+        self
+    }
+
+    /// Replaces the circuit breaker (tests tune trip threshold/backoff).
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     /// The log's path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -283,28 +426,148 @@ impl Wal {
         self.records_in_file
     }
 
+    /// True while the circuit breaker is open and appends fall back to
+    /// the in-memory ring.
+    pub fn degraded(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Shared degradation counters for this log.
+    pub fn stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Appends one record.
-    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+    ///
+    /// In degraded mode the record lands in the bounded in-memory ring
+    /// and the call reports [`AppendOutcome::Buffered`]; an `Err` means
+    /// the disk write (or a due fsync) failed *now* — the record is still
+    /// retained in the ring, so callers may treat errors as advisory.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<AppendOutcome> {
+        let (tick, is_snapshot) = match record {
+            WalRecord::Snapshot(s) => (s.tick, true),
+            WalRecord::Tick(o) => (o.tick, false),
+        };
+        self.vfs.set_tick(tick);
         let mut framed = encode_record(record);
         if self.corruptions.contains(&self.appended) && framed.len() > FRAME_OVERHEAD {
             let idx = FRAME_OVERHEAD + (framed.len() - FRAME_OVERHEAD) / 2;
             framed[idx] ^= 0x40;
         }
-        self.file.write_all(&framed)?;
-        self.file.flush()?;
         self.appended += 1;
-        self.records_in_file += 1;
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
         if let WalRecord::Snapshot(snapshot) = record {
             self.last_snapshot = Some(snapshot.clone());
         }
+
+        if !self.breaker.should_attempt() {
+            self.buffer_degraded(framed);
+            return Ok(AppendOutcome::Buffered);
+        }
+        if let Err(e) = self.persist_writes(&framed) {
+            self.stats.write_failures.fetch_add(1, Ordering::Relaxed);
+            self.note_failure();
+            // The record is retained in memory: a later successful probe
+            // drains it to disk in order.
+            self.buffer_degraded(framed);
+            return Err(e);
+        }
+        if let Err(e) = self.maybe_sync(is_snapshot) {
+            // The frame reached the OS but not stable storage — feed the
+            // breaker without ring-buffering (no duplication on re-arm).
+            self.stats.sync_failures.fetch_add(1, Ordering::Relaxed);
+            self.note_failure();
+            return Err(e);
+        }
+        if self.breaker.record_success() {
+            self.stats.rearms.fetch_add(1, Ordering::Relaxed);
+            self.stats.degraded.store(0, Ordering::Relaxed);
+        }
+        Ok(AppendOutcome::Persisted)
+    }
+
+    /// Feeds one failure to the breaker and mirrors trip/degraded state
+    /// into the shared stats.
+    fn note_failure(&mut self) {
+        if self.breaker.record_failure() {
+            self.stats.trips.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.breaker.is_open() {
+            self.stats.degraded.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pushes a framed record into the degraded-mode ring, evicting the
+    /// oldest record when full.
+    fn buffer_degraded(&mut self, framed: Vec<u8>) {
+        if self.ring.len() >= self.ring_capacity {
+            self.ring.pop_front();
+            self.stats.ring_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ring.push_back(framed);
+        self.stats
+            .ring_buffered
+            .store(self.ring.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Writes any ring backlog plus `framed` to the file, repairing a
+    /// torn tail first.
+    fn persist_writes(&mut self, framed: &[u8]) -> io::Result<()> {
+        if self.dirty_tail {
+            // A previous failed write may have left partial bytes; the
+            // file is in append mode, so truncating to the last intact
+            // offset makes the next write land exactly there.
+            self.file.truncate(self.valid_len)?;
+            self.dirty_tail = false;
+        }
+        while let Some(front) = self.ring.front() {
+            let bytes = front.clone();
+            self.write_frame(&bytes)?;
+            self.ring.pop_front();
+            self.stats
+                .ring_buffered
+                .store(self.ring.len() as u64, Ordering::Relaxed);
+        }
+        self.write_frame(framed)
+    }
+
+    /// Fsyncs when the group-commit policy says a sync is due.
+    fn maybe_sync(&mut self, is_snapshot: bool) -> io::Result<()> {
+        let sync_due = match self.sync_policy {
+            WalSyncPolicy::Never => false,
+            WalSyncPolicy::OnSnapshot => is_snapshot,
+            WalSyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+        };
+        if sync_due {
+            self.file.sync_all()?;
+            self.unsynced = 0;
+        }
         Ok(())
+    }
+
+    /// Writes one framed record, updating the intact-bytes watermark; a
+    /// failure marks the tail dirty for truncation-repair.
+    fn write_frame(&mut self, framed: &[u8]) -> io::Result<()> {
+        match self.file.write_all(framed) {
+            Ok(()) => {
+                self.valid_len += framed.len() as u64;
+                self.records_in_file += 1;
+                self.unsynced += 1;
+                self.stats.persisted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.dirty_tail = true;
+                Err(e)
+            }
+        }
     }
 
     /// Appends a snapshot and compacts the log down to just that
     /// snapshot when the file has outgrown the compaction threshold.
     pub fn append_snapshot(&mut self, snapshot: &CoordinatorSnapshot) -> io::Result<()> {
-        self.append(&WalRecord::Snapshot(snapshot.clone()))?;
-        if self.records_in_file > self.compact_after {
+        let outcome = self.append(&WalRecord::Snapshot(snapshot.clone()))?;
+        if outcome == AppendOutcome::Persisted && self.records_in_file > self.compact_after {
             self.compact()?;
         }
         Ok(())
@@ -316,14 +579,18 @@ impl Wal {
         let Some(snapshot) = self.last_snapshot.clone() else {
             return Ok(());
         };
+        let framed = encode_record(&WalRecord::Snapshot(snapshot));
         let tmp = self.path.with_extension("wal.tmp");
-        let mut out = File::create(&tmp)?;
-        out.write_all(&encode_record(&WalRecord::Snapshot(snapshot)))?;
+        let mut out = self.vfs.create(&tmp)?;
+        out.write_all(&framed)?;
         out.sync_all()?;
         drop(out);
-        fs::rename(&tmp, &self.path)?;
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.vfs.rename(&tmp, &self.path)?;
+        self.file = self.vfs.open_append(&self.path)?;
         self.records_in_file = 1;
+        self.valid_len = framed.len() as u64;
+        self.dirty_tail = false;
+        self.unsynced = 0;
         Ok(())
     }
 
@@ -348,7 +615,16 @@ impl Wal {
         path: impl Into<PathBuf>,
         snapshot: Option<&CoordinatorSnapshot>,
     ) -> io::Result<Self> {
-        let mut wal = Wal::create(path)?;
+        Wal::compact_to_on(Arc::new(StdFs), path, snapshot)
+    }
+
+    /// [`Wal::compact_to`] on an arbitrary [`Vfs`].
+    pub fn compact_to_on(
+        vfs: Arc<dyn Vfs>,
+        path: impl Into<PathBuf>,
+        snapshot: Option<&CoordinatorSnapshot>,
+    ) -> io::Result<Self> {
+        let mut wal = Wal::create_on(vfs, path)?;
         if let Some(snapshot) = snapshot {
             wal.append(&WalRecord::Snapshot(snapshot.clone()))?;
         }
@@ -359,6 +635,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use volley_core::{AdaptationConfig, AdaptiveSampler};
 
     fn sampler_snapshot() -> SamplerSnapshot {
@@ -547,6 +824,92 @@ mod tests {
         assert_eq!(clean.snapshot, replay.snapshot);
         fs::remove_file(&src).ok();
         fs::remove_file(&dst).ok();
+    }
+
+    #[test]
+    fn wal_sheds_to_ring_under_enospc_and_drains_on_rearm() {
+        let path = temp_path("ring-rearm");
+        let vfs = Arc::new(volley_core::vfs::FaultFs::new(
+            volley_core::vfs::IoFaultPlan::new(9).with_enospc_window(5, 5),
+        ));
+        let mut wal = Wal::create_on(vfs, &path)
+            .unwrap()
+            .with_sync_policy(WalSyncPolicy::EveryN(1))
+            .with_breaker(CircuitBreaker::with_backoff(2, 1, 4));
+        for t in 0..20 {
+            let _ = wal.append(&WalRecord::Tick(outcome(t)));
+        }
+        let stats = wal.stats();
+        assert!(stats.trips.load(Ordering::Relaxed) >= 1, "breaker tripped");
+        assert!(stats.rearms.load(Ordering::Relaxed) >= 1, "sink re-armed");
+        assert!(!wal.degraded(), "fault cleared, breaker closed");
+        assert_eq!(stats.ring_buffered.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.ring_dropped.load(Ordering::Relaxed), 0);
+        drop(wal);
+        let replay = Wal::replay(&path).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.records, 20, "ring drained every shed record");
+        let ticks: Vec<Tick> = replay.tail.iter().map(|o| o.tick).collect();
+        assert_eq!(ticks, (0..20).collect::<Vec<_>>(), "order preserved");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wal_ring_is_bounded() {
+        let path = temp_path("ring-bounded");
+        let vfs = Arc::new(volley_core::vfs::FaultFs::new(
+            volley_core::vfs::IoFaultPlan::new(9).with_enospc_window(0, 0),
+        ));
+        let mut wal = Wal::create_on(vfs, &path)
+            .unwrap()
+            .with_breaker(CircuitBreaker::with_backoff(1, 4, 4))
+            .with_ring_capacity(8);
+        for t in 0..40 {
+            let _ = wal.append(&WalRecord::Tick(outcome(t)));
+        }
+        assert!(wal.degraded());
+        let stats = wal.stats();
+        assert_eq!(stats.ring_buffered.load(Ordering::Relaxed), 8);
+        assert_eq!(stats.ring_dropped.load(Ordering::Relaxed), 32);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_failures_are_observed_not_swallowed() {
+        let path = temp_path("sync-fail");
+        let vfs = Arc::new(volley_core::vfs::FaultFs::new(
+            volley_core::vfs::IoFaultPlan::new(4).with_sync_errors(1.0),
+        ));
+        let mut wal = Wal::create_on(vfs, &path)
+            .unwrap()
+            .with_sync_policy(WalSyncPolicy::EveryN(2));
+        assert!(wal.append(&WalRecord::Tick(outcome(0))).is_ok());
+        assert!(wal.append(&WalRecord::Tick(outcome(1))).is_err());
+        assert_eq!(wal.stats().sync_failures.load(Ordering::Relaxed), 1);
+        // The frames still reached the OS: nothing was ring-buffered.
+        assert_eq!(wal.stats().ring_buffered.load(Ordering::Relaxed), 0);
+        drop(wal);
+        assert_eq!(Wal::replay(&path).unwrap().records, 2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wal_sync_policy_parses() {
+        assert_eq!("never".parse::<WalSyncPolicy>(), Ok(WalSyncPolicy::Never));
+        assert_eq!(
+            "on-snapshot".parse::<WalSyncPolicy>(),
+            Ok(WalSyncPolicy::OnSnapshot)
+        );
+        assert_eq!(
+            "every-8".parse::<WalSyncPolicy>(),
+            Ok(WalSyncPolicy::EveryN(8))
+        );
+        assert_eq!(
+            "every-n".parse::<WalSyncPolicy>(),
+            Ok(WalSyncPolicy::EveryN(1))
+        );
+        assert!("sometimes".parse::<WalSyncPolicy>().is_err());
+        assert!("every-x".parse::<WalSyncPolicy>().is_err());
     }
 
     #[test]

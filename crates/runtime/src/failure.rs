@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 
 use volley_core::task::MonitorId;
 use volley_core::time::Tick;
+use volley_core::vfs::IoFaultPlan;
 
 /// Deterministic, seeded message-drop injector.
 ///
@@ -159,6 +160,9 @@ pub struct FaultPlan {
     /// that are written corrupted (one payload bit flipped after the CRC
     /// is computed).
     wal_corruptions: Vec<u64>,
+    /// Storage faults injected underneath every persistence sink (WAL,
+    /// sample store, obs snapshot writer) via `FaultFs`.
+    io: IoFaultPlan,
 }
 
 impl FaultPlan {
@@ -246,6 +250,21 @@ impl FaultPlan {
         self
     }
 
+    /// Installs a storage-fault schedule: every persistence sink (WAL,
+    /// sample store, obs snapshots) runs over a `FaultFs` built from this
+    /// plan. Detection is unaffected by design — only sampling fidelity
+    /// degrades.
+    #[must_use]
+    pub fn with_io_faults(mut self, io: IoFaultPlan) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// The storage-fault schedule (benign by default).
+    pub fn io(&self) -> &IoFaultPlan {
+        &self.io
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -262,6 +281,7 @@ impl FaultPlan {
             && self.coordinator_crashes.is_empty()
             && self.partitions.is_empty()
             && self.wal_corruptions.is_empty()
+            && self.io.is_benign()
     }
 
     /// Whether the message from `monitor` at `tick` on `path` is dropped.
@@ -574,5 +594,16 @@ mod tests {
         let faulty = plan.clone().with_duplication_rate(1.0);
         assert!(!faulty.is_benign());
         assert!(faulty.duplicates(MonitorId(0), 0));
+    }
+
+    #[test]
+    fn io_faults_make_a_plan_non_benign() {
+        let plan = FaultPlan::new(8);
+        assert!(plan.io().is_benign());
+        let stormy = plan.with_io_faults(IoFaultPlan::new(8).with_enospc_window(100, 50));
+        assert!(!stormy.is_benign());
+        assert!(!stormy.io().is_benign());
+        assert!(stormy.io().enospc_active(120));
+        assert!(!stormy.io().enospc_active(150), "window end is exclusive");
     }
 }

@@ -84,7 +84,10 @@ pub mod net;
 pub mod runner;
 pub mod transport;
 
-pub use checkpoint::{CoordinatorSnapshot, Replay, TickOutcome, Wal, WalRecord};
+pub use checkpoint::{
+    AppendOutcome, CoordinatorSnapshot, Replay, TickOutcome, Wal, WalRecord, WalStats,
+    WalSyncPolicy,
+};
 pub use coordinator::CoordinatorActor;
 pub use failure::{FailureInjector, FaultPath, FaultPlan};
 pub use fleet::{FleetRunner, FleetSummary, FleetTask};
@@ -95,5 +98,5 @@ pub use net::{
     run_agent, AgentConfig, AgentReport, BackoffConfig, NetAddr, NetCoordinator, NetFaultPlan,
     NetRunOutcome, NetStats,
 };
-pub use runner::{RuntimeReport, TaskRunner};
+pub use runner::{DegradationReport, RuntimeReport, TaskRunner};
 pub use volley_store::SampleRecorder;

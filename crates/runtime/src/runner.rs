@@ -3,21 +3,25 @@
 //! coordinator when the primary dies.
 
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::Serialize;
 
 use volley_core::allocation::{AllocationConfig, ErrorAllocator};
 use volley_core::coordinator::CoordinationScheme;
 use volley_core::service::TaskKind;
 use volley_core::task::{MonitorId, TaskId, TaskSpec};
 use volley_core::time::Tick;
+use volley_core::vfs::{FaultFs, IoFaultStats};
 use volley_core::{AdaptationConfig, AdaptiveSampler, VolleyError};
 use volley_obs::{names, GaugeSource, Obs, SelfMonitor, SnapshotWriter};
 use volley_store::SampleRecorder;
 
-use crate::checkpoint::Wal;
+use crate::checkpoint::{Wal, WalStats, WalSyncPolicy};
 use crate::coordinator::{CoordinatorActor, DEFAULT_QUARANTINE_AFTER, DEFAULT_TICK_DEADLINE};
 use crate::failure::{FailureInjector, FaultPlan};
 use crate::link::MonitorLink;
@@ -30,6 +34,57 @@ use crate::monitor::MonitorActor;
 /// Hard cap on coordinator failovers per run — a backstop against fault
 /// plans that kill every incarnation.
 const MAX_FAILOVERS: u32 = 8;
+
+/// How the run's persistence sinks degraded under storage faults.
+///
+/// All zeros on a healthy run, so a fault-free [`RuntimeReport`] is
+/// unchanged by the section's presence. Every counter describes
+/// *sampling-fidelity* loss only: detection (alerts, polls) never waits
+/// on a sink and is bit-identical with or without storage faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct DegradationReport {
+    /// Storage faults injected by the runner-owned sinks' fault plans
+    /// (WAL + obs snapshots; the sample store is attached pre-wrapped by
+    /// the caller and accounts for its own injections).
+    pub io_faults_injected: u64,
+    /// WAL appends that never reached the file (summed across
+    /// coordinator incarnations).
+    pub wal_write_failures: u64,
+    /// WAL fsyncs that reported failure.
+    pub wal_sync_failures: u64,
+    /// WAL circuit-breaker trips (degraded-mode entries).
+    pub wal_trips: u64,
+    /// WAL circuit-breaker re-arms (degraded-mode exits).
+    pub wal_rearms: u64,
+    /// Checkpoint frames evicted from the bounded in-memory ring while
+    /// the WAL was degraded — durable state actually lost.
+    pub wal_ring_dropped: u64,
+    /// WAL still shedding to its ring when the run ended.
+    pub wal_degraded_at_end: bool,
+    /// Records the sample store shed while its breaker was open.
+    pub store_shed_samples: u64,
+    /// Store circuit-breaker trips.
+    pub store_trips: u64,
+    /// Store circuit-breaker re-arms.
+    pub store_rearms: u64,
+    /// Store still lossy when the run ended.
+    pub store_degraded_at_end: bool,
+    /// Obs snapshot dumps skipped while the writer was paused.
+    pub obs_snapshots_paused: u64,
+    /// Obs writer circuit-breaker trips.
+    pub obs_trips: u64,
+    /// Obs writer circuit-breaker re-arms.
+    pub obs_rearms: u64,
+    /// Obs writer still paused when the run ended.
+    pub obs_degraded_at_end: bool,
+}
+
+impl DegradationReport {
+    /// Whether any sink degraded (or any fault was injected) at all.
+    pub fn any(&self) -> bool {
+        *self != DegradationReport::default()
+    }
+}
 
 /// Aggregate result of a threaded task run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -82,6 +137,9 @@ pub struct RuntimeReport {
     pub self_monitor_alerts: u64,
     /// Ticks at which self-monitoring alerts were raised.
     pub self_monitor_alert_ticks: Vec<Tick>,
+    /// How the persistence sinks degraded under storage faults (all
+    /// zeros on a healthy run).
+    pub degradation: DegradationReport,
 }
 
 impl RuntimeReport {
@@ -115,6 +173,8 @@ pub struct TaskRunner {
     standby: bool,
     /// Checkpoint WAL path and snapshot cadence (ticks).
     wal: Option<(PathBuf, u64)>,
+    /// WAL group-fsync policy (default sync on snapshot records).
+    wal_sync: WalSyncPolicy,
     /// Observability bundle shared by runner, coordinator and monitors.
     obs: Obs,
     /// Snapshot dump directory and cadence (ticks).
@@ -150,6 +210,7 @@ impl TaskRunner {
             supervise: true,
             standby: false,
             wal: None,
+            wal_sync: WalSyncPolicy::default(),
             obs: Obs::disabled(),
             obs_dir: None,
             self_monitor: None,
@@ -282,6 +343,15 @@ impl TaskRunner {
         self
     }
 
+    /// Selects the WAL group-fsync policy (default
+    /// [`WalSyncPolicy::OnSnapshot`]): how often appended checkpoint
+    /// records are pushed past the OS cache.
+    #[must_use]
+    pub fn with_wal_sync(mut self, policy: WalSyncPolicy) -> Self {
+        self.wal_sync = policy;
+        self
+    }
+
     /// Runs the task over the per-monitor ground-truth `traces`
     /// (`traces[i][t]` = monitor *i*'s value at tick *t*), spawning one
     /// thread per monitor plus one for the coordinator, and blocks until
@@ -344,7 +414,13 @@ impl TaskRunner {
             monitor_handles.push(std::thread::spawn(move || actor.run(rx, outbox)));
         }
 
-        let wal = self.open_wal();
+        // Storage-fault bookkeeping: each runner-owned sink gets its own
+        // FaultFs (independent op counters keep decisions order-free
+        // across threads); stats handles survive the sinks for the
+        // report's degradation section.
+        let mut io_stats: Vec<Arc<IoFaultStats>> = Vec::new();
+        let wal = self.open_wal(&mut io_stats);
+        let mut wal_stats: Vec<Arc<WalStats>> = wal.iter().map(Wal::stats).collect();
         let (summary_tx, summary_rx) = unbounded::<Bytes>();
         let mut summary_rx = summary_rx;
         let mut coord_handle = self.spawn_coordinator(
@@ -370,16 +446,26 @@ impl TaskRunner {
         let failovers_total = registry.counter(names::RUNNER_FAILOVERS_TOTAL);
         let sampling_fraction = registry.gauge(names::RUNNER_SAMPLING_FRACTION);
         let degraded_fraction = registry.gauge(names::RUNNER_DEGRADED_FRACTION);
-        let mut writer =
-            match &self.obs_dir {
-                Some((dir, every)) => Some(SnapshotWriter::new(dir, *every).map_err(|e| {
-                    VolleyError::InvalidConfig {
-                        parameter: "obs_dir",
-                        reason: format!("cannot create snapshot dir: {e}"),
+        let wal_degraded_gauge = registry.gauge(names::WAL_DEGRADED);
+        let wal_ring_gauge = registry.gauge(names::WAL_RING_BUFFERED);
+        let store_degraded_gauge = registry.gauge(names::STORE_DEGRADED);
+        let obs_degraded_gauge = registry.gauge(names::OBS_SNAPSHOTS_DEGRADED);
+        let mut writer = match &self.obs_dir {
+            Some((dir, every)) => {
+                let built = match self.io_fault_fs() {
+                    Some(fs) => {
+                        io_stats.push(fs.stats());
+                        SnapshotWriter::new_on(Arc::new(fs), dir, *every)
                     }
-                })?),
-                None => None,
-            };
+                    None => SnapshotWriter::new(dir, *every),
+                };
+                Some(built.map_err(|e| VolleyError::InvalidConfig {
+                    parameter: "obs_dir",
+                    reason: format!("cannot create snapshot dir: {e}"),
+                })?)
+            }
+            None => None,
+        };
         let mut watchdog = match self.self_monitor {
             Some((threshold_us, err)) => {
                 let config = AdaptationConfig::builder().error_allowance(err).build()?;
@@ -438,6 +524,8 @@ impl TaskRunner {
                             global_err,
                             n,
                             &mut report,
+                            &mut io_stats,
+                            &mut wal_stats,
                         )?;
                         summary_rx = rx;
                         coord_handle = handle;
@@ -520,6 +608,16 @@ impl TaskRunner {
                     (report.scheduled_samples + report.poll_samples) as f64 / (done * n as f64),
                 );
                 degraded_fraction.set(degraded_ticks as f64 / done);
+                // Sink-degradation gauges: every breaker transition shows
+                // up as an obs series, per the accuracy contract's
+                // "visible, never silent" rule.
+                if let Some(stats) = wal_stats.last() {
+                    wal_degraded_gauge.set(stats.degraded.load(Ordering::Relaxed) as f64);
+                    wal_ring_gauge.set(stats.ring_buffered.load(Ordering::Relaxed) as f64);
+                }
+                if let Some(recorder) = &self.recorder {
+                    store_degraded_gauge.set(f64::from(u8::from(recorder.degraded())));
+                }
             }
             if let Some(monitor) = watchdog.as_mut() {
                 if monitor.any_due(tick) {
@@ -532,6 +630,9 @@ impl TaskRunner {
             }
             if let Some(writer) = writer.as_mut() {
                 let _ = writer.maybe_write(registry, tick);
+                if self.obs.enabled() {
+                    obs_degraded_gauge.set(f64::from(u8::from(writer.degraded())));
+                }
             }
         }
         report.total_samples = report.scheduled_samples + report.poll_samples;
@@ -554,27 +655,113 @@ impl TaskRunner {
             .join()
             .expect("coordinator thread exits cleanly");
 
+        // Seal recorded samples only after every monitor has joined, so
+        // the flushed segments hold the complete run. (Before reading
+        // degradation state: the final flush can itself trip or re-arm
+        // the store breaker.)
+        if let Some(recorder) = &self.recorder {
+            recorder.flush();
+        }
+
+        // Degradation accounting: WAL counters sum across coordinator
+        // incarnations; store and obs state come from their live handles.
+        let d = &mut report.degradation;
+        for stats in &wal_stats {
+            d.wal_write_failures += stats.write_failures.load(Ordering::Relaxed);
+            d.wal_sync_failures += stats.sync_failures.load(Ordering::Relaxed);
+            d.wal_trips += stats.trips.load(Ordering::Relaxed);
+            d.wal_rearms += stats.rearms.load(Ordering::Relaxed);
+            d.wal_ring_dropped += stats.ring_dropped.load(Ordering::Relaxed);
+        }
+        d.wal_degraded_at_end = wal_stats
+            .last()
+            .is_some_and(|s| s.degraded.load(Ordering::Relaxed) != 0);
+        if let Some(recorder) = &self.recorder {
+            d.store_shed_samples = recorder.shed_samples();
+            let (trips, rearms) = recorder.breaker_transitions();
+            d.store_trips = trips;
+            d.store_rearms = rearms;
+            d.store_degraded_at_end = recorder.degraded();
+        }
+        if let Some(writer) = &writer {
+            d.obs_snapshots_paused = writer.paused();
+            let (trips, rearms) = writer.breaker_transitions();
+            d.obs_trips = trips;
+            d.obs_rearms = rearms;
+            d.obs_degraded_at_end = writer.degraded();
+        }
+        d.io_faults_injected = io_stats.iter().map(|s| s.total()).sum();
+
+        // Publish the cumulative degradation counters so the final
+        // snapshot (and any scraper) carries them.
+        if self.obs.enabled() {
+            let d = &report.degradation;
+            registry
+                .counter(names::WAL_WRITE_FAILURES_TOTAL)
+                .add(d.wal_write_failures);
+            registry
+                .counter(names::WAL_SYNC_FAILURES_TOTAL)
+                .add(d.wal_sync_failures);
+            registry
+                .counter(names::WAL_BREAKER_TRIPS_TOTAL)
+                .add(d.wal_trips);
+            registry
+                .counter(names::WAL_BREAKER_REARMS_TOTAL)
+                .add(d.wal_rearms);
+            registry
+                .counter(names::WAL_RING_DROPPED_TOTAL)
+                .add(d.wal_ring_dropped);
+            registry
+                .counter(names::STORE_SHED_SAMPLES_TOTAL)
+                .add(d.store_shed_samples);
+            registry
+                .counter(names::STORE_BREAKER_TRIPS_TOTAL)
+                .add(d.store_trips);
+            registry
+                .counter(names::STORE_BREAKER_REARMS_TOTAL)
+                .add(d.store_rearms);
+            registry
+                .counter(names::OBS_SNAPSHOTS_PAUSED_TOTAL)
+                .add(d.obs_snapshots_paused);
+            registry
+                .counter(names::IO_FAULTS_INJECTED_TOTAL)
+                .add(d.io_faults_injected);
+        }
+
         // Final dump after all actors have flushed their instruments;
         // best-effort, like WAL durability.
         if let Some(writer) = writer.as_mut() {
             let _ = writer.write_now(registry, ticks);
             let _ = writer.write_spans(self.obs.spans());
         }
-        // Seal recorded samples only after every monitor has joined, so
-        // the flushed segments hold the complete run.
-        if let Some(recorder) = &self.recorder {
-            recorder.flush();
-        }
         Ok(report)
     }
 
+    /// A fresh `FaultFs` for one sink when the plan schedules storage
+    /// faults, `None` for the plain filesystem. One instance per sink:
+    /// independent op counters keep fault decisions order-independent
+    /// across the threads the sinks live on.
+    fn io_fault_fs(&self) -> Option<FaultFs> {
+        let io = self.fault_plan.io();
+        (!io.is_benign()).then(|| FaultFs::new(io.clone()))
+    }
+
     /// Opens the checkpoint WAL (best-effort — `None` on I/O failure),
-    /// arming any planned WAL corruption.
-    fn open_wal(&self) -> Option<Wal> {
+    /// arming any planned WAL corruption, the sync policy and storage
+    /// faults. Pushes the sink's fault stats into `io_stats`.
+    fn open_wal(&self, io_stats: &mut Vec<Arc<IoFaultStats>>) -> Option<Wal> {
         let (path, _) = self.wal.as_ref()?;
-        Wal::create(path)
-            .ok()
-            .map(|wal| wal.with_corruption(self.fault_plan.wal_corruptions().to_vec()))
+        let created = match self.io_fault_fs() {
+            Some(fs) => {
+                io_stats.push(fs.stats());
+                Wal::create_on(Arc::new(fs), path)
+            }
+            None => Wal::create(path),
+        };
+        created.ok().map(|wal| {
+            wal.with_sync_policy(self.wal_sync)
+                .with_corruption(self.fault_plan.wal_corruptions().to_vec())
+        })
     }
 
     /// Builds and spawns one coordinator incarnation.
@@ -640,20 +827,32 @@ impl TaskRunner {
         global_err: f64,
         n: usize,
         report: &mut RuntimeReport,
+        io_stats: &mut Vec<Arc<IoFaultStats>>,
+        wal_stats: &mut Vec<Arc<WalStats>>,
     ) -> Result<(Receiver<Bytes>, std::thread::JoinHandle<()>), VolleyError> {
         // Recover whatever the dead incarnation managed to persist, then
         // restart the log cleanly (compaction also clears any corrupt
-        // tail the replay truncated at).
+        // tail the replay truncated at). The successor's log runs under
+        // the same storage-fault plan as its predecessor's.
         let (snapshot, wal) = match &self.wal {
             Some((path, _)) => {
                 let replay = Wal::replay(path).unwrap_or_default();
-                let wal = Wal::compact_to(path, replay.snapshot.as_ref())
-                    .ok()
-                    .map(|wal| wal.with_corruption(self.fault_plan.wal_corruptions().to_vec()));
+                let compacted = match self.io_fault_fs() {
+                    Some(fs) => {
+                        io_stats.push(fs.stats());
+                        Wal::compact_to_on(Arc::new(fs), path, replay.snapshot.as_ref())
+                    }
+                    None => Wal::compact_to(path, replay.snapshot.as_ref()),
+                };
+                let wal = compacted.ok().map(|wal| {
+                    wal.with_sync_policy(self.wal_sync)
+                        .with_corruption(self.fault_plan.wal_corruptions().to_vec())
+                });
                 (replay.snapshot, wal)
             }
             None => (None, None),
         };
+        wal_stats.extend(wal.iter().map(Wal::stats));
 
         // Fence first, then restore: a monitor that consumes the NewEpoch
         // adopts it, so every later reply carries the new stamp. A monitor

@@ -138,6 +138,24 @@ impl SampleRecorder {
         self.inner.io_errors.load(Ordering::Relaxed)
     }
 
+    /// Records shed while the store's circuit breaker was open
+    /// (`store_shed_samples_total`).
+    pub fn shed_samples(&self) -> u64 {
+        self.lock().shed_samples()
+    }
+
+    /// True while the store is in lossy degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.lock().degraded()
+    }
+
+    /// `(trips, rearms)` of the store's circuit breaker: degraded-mode
+    /// entries and recoveries.
+    pub fn breaker_transitions(&self) -> (u64, u64) {
+        let store = self.lock();
+        (store.trips(), store.rearms())
+    }
+
     /// Runs `f` against the underlying store — the escape hatch for
     /// scans and maintenance when the caller owns the only handle.
     pub fn with_store<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {

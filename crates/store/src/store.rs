@@ -14,11 +14,12 @@
 //! scans of the same directory are byte-identical.
 
 use std::collections::BTreeMap;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use volley_core::vfs::{CircuitBreaker, StdFs, Vfs};
 use volley_core::Tick;
 
 use crate::record::{Record, RecordKind};
@@ -159,8 +160,17 @@ pub struct CompactionStats {
 
 /// The embedded time-series store. Single-writer; concurrent writers
 /// share one store behind [`SampleRecorder`](crate::SampleRecorder).
+///
+/// All file I/O goes through a [`Vfs`], so chaos runs can inject storage
+/// faults underneath. On sustained flush failure a [`CircuitBreaker`]
+/// trips the store into lossy degraded mode: new appends are *shed*
+/// (counted, dropped) instead of growing the buffer without bound, while
+/// deterministically backed-off probe appends keep testing the disk; the
+/// first successful probe flush re-arms the store and the retained
+/// buffer — at most one segment's worth — is sealed normally.
 #[derive(Debug)]
 pub struct Store {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     buffer: Vec<Record>,
     flush_records: usize,
@@ -171,16 +181,27 @@ pub struct Store {
     names: Vec<String>,
     name_ids: BTreeMap<String, u32>,
     names_dirty: bool,
+    breaker: CircuitBreaker,
+    shed_samples: u64,
 }
 
 impl Store {
     /// Opens (creating if needed) a store directory, discovering existing
     /// segments and the metric-name dictionary.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
+        Store::open_on(Arc::new(StdFs), dir)
+    }
+
+    /// Opens a store whose file I/O goes through an arbitrary [`Vfs`] —
+    /// the fault-injection entry point.
+    pub fn open_on(vfs: Arc<dyn Vfs>, dir: impl Into<PathBuf>) -> io::Result<Store> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        let next_seq = segment_files(&dir)?.last().map_or(0, |&(seq, _)| seq + 1);
+        vfs.create_dir_all(&dir)?;
+        let next_seq = segment_files(vfs.as_ref(), &dir)?
+            .last()
+            .map_or(0, |&(seq, _)| seq + 1);
         let mut store = Store {
+            vfs,
             dir,
             buffer: Vec::new(),
             flush_records: DEFAULT_FLUSH_RECORDS,
@@ -191,6 +212,8 @@ impl Store {
             names: Vec::new(),
             name_ids: BTreeMap::new(),
             names_dirty: false,
+            breaker: CircuitBreaker::default(),
+            shed_samples: 0,
         };
         store.load_names()?;
         Ok(store)
@@ -205,6 +228,13 @@ impl Store {
         self
     }
 
+    /// Replaces the circuit breaker (tests tune trip threshold/backoff).
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -215,12 +245,47 @@ impl Store {
         self.buffer.len()
     }
 
+    /// True while the circuit breaker is open and appends are shed.
+    pub fn degraded(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Records dropped in degraded mode (`store_shed_samples_total`).
+    pub fn shed_samples(&self) -> u64 {
+        self.shed_samples
+    }
+
+    /// Times the store entered degraded mode.
+    pub fn trips(&self) -> u64 {
+        self.breaker.trips()
+    }
+
+    /// Times the store re-armed after a successful probe flush.
+    pub fn rearms(&self) -> u64 {
+        self.breaker.rearms()
+    }
+
     /// Appends one record, sealing a segment when a flush limit trips.
+    ///
+    /// In degraded mode the record is shed (and counted) unless the
+    /// breaker's deterministic backoff admits a probe, in which case the
+    /// record is accepted and a flush is forced to test the disk.
     pub fn append(&mut self, record: Record) -> io::Result<()> {
+        self.vfs.set_tick(record.tick);
+        let probing = if self.breaker.is_open() {
+            if !self.breaker.should_attempt() {
+                self.shed_samples += 1;
+                return Ok(());
+            }
+            true
+        } else {
+            false
+        };
         self.buffered_min = self.buffered_min.min(record.tick);
         self.buffered_max = self.buffered_max.max(record.tick);
         self.buffer.push(record);
-        if self.buffer.len() >= self.flush_records
+        if probing
+            || self.buffer.len() >= self.flush_records
             || self.buffered_max.saturating_sub(self.buffered_min) >= self.flush_tick_span
         {
             self.flush()?;
@@ -230,21 +295,37 @@ impl Store {
 
     /// Seals the write buffer into a new segment (no-op when empty).
     /// Also persists the metric-name dictionary if it grew.
+    ///
+    /// Every flush outcome feeds the circuit breaker: sustained failure
+    /// trips the store into lossy degraded mode, a success after a trip
+    /// re-arms it. A failed flush keeps the buffer, so no accepted record
+    /// is lost before the disk definitively comes back or the run ends.
     pub fn flush(&mut self) -> io::Result<()> {
         if self.names_dirty {
-            self.save_names()?;
+            if let Err(e) = self.save_names() {
+                self.breaker.record_failure();
+                return Err(e);
+            }
         }
         if self.buffer.is_empty() {
             return Ok(());
         }
         let bytes = encode_segment(&self.buffer);
         let path = self.segment_path(self.next_seq);
-        write_atomic(&self.dir, &path, &bytes)?;
-        self.next_seq += 1;
-        self.buffer.clear();
-        self.buffered_min = Tick::MAX;
-        self.buffered_max = 0;
-        Ok(())
+        match write_atomic(self.vfs.as_ref(), &self.dir, &path, &bytes) {
+            Ok(()) => {
+                self.breaker.record_success();
+                self.next_seq += 1;
+                self.buffer.clear();
+                self.buffered_min = Tick::MAX;
+                self.buffered_max = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.breaker.record_failure();
+                Err(e)
+            }
+        }
     }
 
     fn segment_path(&self, seq: u64) -> PathBuf {
@@ -254,7 +335,7 @@ impl Store {
 
     /// Sealed segment files as `(sequence, path)`, in sequence order.
     pub fn segments(&self) -> io::Result<Vec<(u64, PathBuf)>> {
-        segment_files(&self.dir)
+        segment_files(self.vfs.as_ref(), &self.dir)
     }
 
     /// Scans sealed segments, merged into one globally ordered iterator.
@@ -263,7 +344,7 @@ impl Store {
     pub fn scan(&self, range: &ScanRange) -> io::Result<Scan> {
         let mut cursors = Vec::new();
         for (_, path) in self.segments()? {
-            let bytes = fs::read(&path)?;
+            let bytes = self.vfs.read(&path)?;
             let cursor = SegmentCursor::new(bytes, *range);
             if !cursor.exhausted() {
                 cursors.push(cursor);
@@ -278,10 +359,7 @@ impl Store {
     pub fn compact(&mut self) -> io::Result<CompactionStats> {
         self.flush()?;
         let old = self.segments()?;
-        let bytes_before: u64 = old
-            .iter()
-            .map(|(_, p)| fs::metadata(p).map(|m| m.len()).unwrap_or(0))
-            .sum();
+        let bytes_before: u64 = old.iter().map(|(_, p)| self.vfs.len(p).unwrap_or(0)).sum();
         let records: Vec<Record> = self.scan(&ScanRange::all())?.collect();
         let count = records.len() as u64;
         let stats = if records.is_empty() {
@@ -295,7 +373,7 @@ impl Store {
         } else {
             let merged = encode_segment(&records);
             let path = self.segment_path(self.next_seq);
-            write_atomic(&self.dir, &path, &merged)?;
+            write_atomic(self.vfs.as_ref(), &self.dir, &path, &merged)?;
             self.next_seq += 1;
             CompactionStats {
                 segments_before: old.len(),
@@ -306,7 +384,7 @@ impl Store {
             }
         };
         for (_, path) in old {
-            fs::remove_file(path)?;
+            self.vfs.remove_file(&path)?;
         }
         Ok(stats)
     }
@@ -319,11 +397,11 @@ impl Store {
         self.flush()?;
         let mut dropped = 0;
         for (_, path) in self.segments()? {
-            let bytes = fs::read(&path)?;
+            let bytes = self.vfs.read(&path)?;
             let reader = SegmentReader::open(&bytes);
             let max_tick = reader.entries().iter().map(|e| e.max_tick).max();
             if max_tick.is_some_and(|t| t < horizon) {
-                fs::remove_file(&path)?;
+                self.vfs.remove_file(&path)?;
                 dropped += 1;
             }
         }
@@ -335,13 +413,18 @@ impl Store {
     /// Persists the recording context (atomic rename).
     pub fn write_meta(&self, meta: &TaskMeta) -> io::Result<()> {
         let json = serde_json::to_string_pretty(meta).expect("serializable");
-        write_atomic(&self.dir, &self.dir.join(META_FILE), json.as_bytes())
+        write_atomic(
+            self.vfs.as_ref(),
+            &self.dir,
+            &self.dir.join(META_FILE),
+            json.as_bytes(),
+        )
     }
 
     /// Reads back the recording context, if one was written.
     pub fn read_meta(&self) -> io::Result<Option<TaskMeta>> {
-        match fs::read_to_string(self.dir.join(META_FILE)) {
-            Ok(json) => serde_json::from_str(&json)
+        match self.vfs.read(&self.dir.join(META_FILE)) {
+            Ok(bytes) => serde_json::from_slice(&bytes)
                 .map(Some)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
@@ -417,8 +500,8 @@ impl Store {
     }
 
     fn load_names(&mut self) -> io::Result<()> {
-        let text = match fs::read_to_string(self.dir.join(NAMES_FILE)) {
-            Ok(text) => text,
+        let text = match self.vfs.read(&self.dir.join(NAMES_FILE)) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
             Err(e) => return Err(e),
         };
@@ -442,28 +525,37 @@ impl Store {
         for (id, name) in self.names.iter().enumerate() {
             text.push_str(&format!("{id} {name}\n"));
         }
-        write_atomic(&self.dir, &self.dir.join(NAMES_FILE), text.as_bytes())?;
+        write_atomic(
+            self.vfs.as_ref(),
+            &self.dir,
+            &self.dir.join(NAMES_FILE),
+            text.as_bytes(),
+        )?;
         self.names_dirty = false;
         Ok(())
     }
 }
 
-/// Writes via a temp file + atomic rename, the WAL-compaction idiom: a
-/// crash mid-write leaves either the old file or the new one, never a
-/// torn hybrid.
-fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// Writes via a temp file + `sync_all` + atomic rename, the
+/// WAL-compaction idiom: the sync-before-rename guarantees a crash can
+/// never expose a renamed-but-half-written file, so a visible
+/// `seg-*.vseg` is always fully written.
+fn write_atomic(vfs: &dyn Vfs, dir: &Path, path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = dir.join(".tmp-write");
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)
+    let mut file = vfs.create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    vfs.rename(&tmp, path)
 }
 
 /// Lists `seg-NNNNNNNN.vseg` files in `dir`, sorted by sequence.
-fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+fn segment_files(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut found = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for path in vfs.list(dir)? {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         let Some(stem) = name
             .strip_prefix(SEGMENT_PREFIX)
             .and_then(|s| s.strip_suffix(SEGMENT_SUFFIX))
@@ -471,7 +563,7 @@ fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
             continue;
         };
         if let Ok(seq) = stem.parse::<u64>() {
-            found.push((seq, entry.path()));
+            found.push((seq, path));
         }
     }
     found.sort_by_key(|&(seq, _)| seq);
@@ -577,6 +669,7 @@ impl Iterator for Scan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("volley-store-{tag}-{}", std::process::id()));
@@ -718,6 +811,40 @@ mod tests {
         store.flush().unwrap();
         assert_eq!(store.segments().unwrap().len(), 2);
         assert_eq!(store.scan(&ScanRange::all()).unwrap().count(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_storm_sheds_then_rearms_and_resumes() {
+        use volley_core::vfs::{CircuitBreaker, FaultFs, IoFaultPlan};
+        let dir = temp_dir("enospc");
+        // Disk full for ticks [20, 60): flushes fail, the breaker trips,
+        // appends shed; after the window a probe re-arms and recording
+        // resumes.
+        let vfs = Arc::new(FaultFs::new(
+            IoFaultPlan::new(11).with_enospc_window(20, 40),
+        ));
+        let mut store = Store::open_on(vfs, &dir)
+            .unwrap()
+            .with_flush_limits(8, 1_000_000)
+            .with_breaker(CircuitBreaker::with_backoff(2, 2, 8));
+        for t in 0..120u64 {
+            let _ = store.append(rec(0, t, t as f64));
+        }
+        store.flush().unwrap();
+        assert!(store.trips() >= 1, "breaker tripped during the storm");
+        assert!(store.rearms() >= 1, "store re-armed after the storm");
+        assert!(!store.degraded(), "fault cleared");
+        assert!(store.shed_samples() > 0, "degraded mode shed records");
+        let got: Vec<Record> = store.scan(&ScanRange::all()).unwrap().collect();
+        assert!(
+            got.iter().any(|r| r.tick >= 100),
+            "recording resumed after re-arm"
+        );
+        assert!(
+            got.iter().filter(|r| r.tick < 20).count() >= 8,
+            "pre-storm records persisted"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

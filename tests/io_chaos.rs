@@ -1,0 +1,183 @@
+//! Integration: storage faults degrade persistence, never detection.
+//!
+//! A mid-run ENOSPC storm (and a separate random-fault soak) hammers
+//! every durability plane at once — the coordinator WAL, the sample
+//! store, obs snapshot exposition — while the distributed runtime keeps
+//! monitoring. The alert schedule must come out bit-identical to a
+//! fault-free run at the same seed, the degradation section of the
+//! report must show the circuit breakers tripping and re-arming, and
+//! recording must resume after the storm clears.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use volley::core::task::TaskSpec;
+use volley::core::vfs::{CircuitBreaker, FaultFs, IoFaultPlan};
+use volley::store::{SampleRecorder, ScanRange, Store, TaskMeta};
+use volley::TaskRunner;
+use volley_runtime::{FaultPlan, WalSyncPolicy};
+
+const MONITORS: usize = 5;
+const TICKS: usize = 200;
+const BURST_EVERY: usize = 50;
+
+/// Error allowance 0 keeps every monitor at the default interval, so the
+/// fault-free alert schedule is exact: one alert per burst tick.
+fn spec() -> TaskSpec {
+    TaskSpec::builder(100.0 * MONITORS as f64)
+        .monitors(MONITORS)
+        .error_allowance(0.0)
+        .max_interval(8)
+        .patience(3)
+        .build()
+        .unwrap()
+}
+
+/// Quiet at ~20% of the local threshold; every 50th tick all monitors
+/// spike together for an unambiguous ground-truth alert.
+fn traces() -> Vec<Vec<f64>> {
+    let local = 100.0;
+    (0..MONITORS)
+        .map(|m| {
+            (0..TICKS)
+                .map(|t| {
+                    let wobble = ((t * (3 + m)) % 7) as f64;
+                    if t % BURST_EVERY == BURST_EVERY - 1 {
+                        local * 1.4 + wobble
+                    } else {
+                        local * 0.2 + wobble
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A scratch directory unique to this test binary invocation.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("volley-io-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn meta() -> TaskMeta {
+    TaskMeta {
+        monitors: MONITORS,
+        global_threshold: 100.0 * MONITORS as f64,
+        error_allowance: 0.0,
+        ticks: TICKS as u64,
+        seed: 7,
+    }
+}
+
+/// Builds the runner every scenario shares: WAL + obs dumping + a
+/// generous deadline so slow CI machines never quarantine a monitor.
+fn runner(spec: &TaskSpec, dir: &std::path::Path, tag: &str) -> TaskRunner {
+    TaskRunner::new(spec)
+        .unwrap()
+        .with_tick_deadline(Duration::from_millis(3000))
+        .with_quarantine_after(3)
+        .with_wal(dir.join(format!("{tag}.wal")), 20)
+        .with_wal_sync(WalSyncPolicy::EveryN(8))
+        .with_obs_dir(dir.join(format!("obs-{tag}")), 25)
+}
+
+#[test]
+fn enospc_storm_leaves_alerts_bit_identical_and_rearms() {
+    let spec = spec();
+    let traces = traces();
+    let dir = scratch("enospc");
+
+    // Fault-free baseline with the same sinks attached.
+    let clean_store = Store::open(dir.join("store-clean")).unwrap();
+    clean_store.write_meta(&meta()).unwrap();
+    let clean_recorder = SampleRecorder::new(clean_store);
+    let clean = runner(&spec, &dir, "clean")
+        .with_recorder(clean_recorder.clone())
+        .run(&traces)
+        .unwrap();
+    clean_recorder.flush();
+    assert_eq!(clean.alerts, (TICKS / BURST_EVERY) as u64);
+    assert!(!clean.degradation.any(), "no faults, no degradation");
+
+    // Same seed, plus an ENOSPC storm covering ticks 60..120 on every
+    // durability plane: WAL and obs through the runner's fault plan, the
+    // sample store through a fault-wrapped VFS (the same split the CLI
+    // uses).
+    let io = IoFaultPlan::new(7).with_enospc_window(60, 60);
+    let store_dir = dir.join("store-faulted");
+    // Seal small segments often so the storm is felt within its window,
+    // and probe on a short backoff so the re-arm lands well before the
+    // run ends.
+    let store = Store::open_on(Arc::new(FaultFs::new(io.clone())), &store_dir)
+        .unwrap()
+        .with_flush_limits(32, 16)
+        .with_breaker(CircuitBreaker::with_backoff(2, 2, 8));
+    store.write_meta(&meta()).unwrap();
+    let recorder = SampleRecorder::new(store);
+    let report = runner(&spec, &dir, "faulted")
+        .with_fault_plan(FaultPlan::new(7).with_io_faults(io))
+        .with_recorder(recorder.clone())
+        .run(&traces)
+        .unwrap();
+    recorder.flush();
+
+    // Detection is untouched: the alert schedule is bit-identical.
+    assert_eq!(report.alert_ticks, clean.alert_ticks);
+    assert_eq!(report.ticks, clean.ticks);
+
+    // The storm was felt: breakers tripped, samples were shed, WAL
+    // writes failed — and everything re-armed once space came back.
+    let d = &report.degradation;
+    assert!(d.any(), "degradation section must record the storm");
+    assert!(d.wal_write_failures > 0, "WAL felt the storm: {d:?}");
+    assert!(d.wal_trips >= 1 && d.wal_rearms >= 1, "WAL re-armed: {d:?}");
+    assert!(d.store_shed_samples > 0, "store went lossy: {d:?}");
+    assert!(
+        d.store_trips >= 1 && d.store_rearms >= 1,
+        "store re-armed: {d:?}"
+    );
+    assert!(!d.wal_degraded_at_end, "storm cleared: {d:?}");
+    assert!(!d.store_degraded_at_end, "storm cleared: {d:?}");
+    assert!(!d.obs_degraded_at_end, "storm cleared: {d:?}");
+    assert!(d.io_faults_injected > 0);
+
+    // Recording resumed after the re-arm: post-storm ticks are on disk.
+    let recovered = Store::open(&store_dir).unwrap();
+    let last_tick = recovered
+        .scan(&ScanRange::all())
+        .unwrap()
+        .map(|r| r.tick)
+        .max()
+        .expect("post-storm segments exist");
+    assert!(
+        last_tick >= 150,
+        "recording resumed after the storm (last tick {last_tick})"
+    );
+}
+
+#[test]
+fn random_fault_soak_never_perturbs_detection() {
+    let spec = spec();
+    let traces = traces();
+    let dir = scratch("soak");
+
+    let clean = runner(&spec, &dir, "clean").run(&traces).unwrap();
+    assert_eq!(clean.alerts, (TICKS / BURST_EVERY) as u64);
+
+    // Torn, short, errored and unsynced writes at aggressive rates on
+    // the WAL and obs planes for the whole run.
+    let io = IoFaultPlan::new(21)
+        .with_error_rate(0.3)
+        .with_short_writes(0.2)
+        .with_torn_writes(0.2)
+        .with_sync_errors(0.3);
+    let report = runner(&spec, &dir, "faulted")
+        .with_fault_plan(FaultPlan::new(21).with_io_faults(io))
+        .run(&traces)
+        .unwrap();
+
+    assert_eq!(report.alert_ticks, clean.alert_ticks);
+    assert!(report.degradation.io_faults_injected > 0);
+}
