@@ -1,0 +1,405 @@
+//! Serving-plane load benchmark.
+//!
+//! Answers the question the embedded HTTP server raises: *can a live
+//! fleet serve concurrent observers without perturbing its own ticks?*
+//! Two phases:
+//!
+//! 1. **Record** — a fleet run writes samples, interval changes and
+//!    alerts through a [`SampleRecorder`] into a store directory; the
+//!    serving phase answers range queries from it.
+//! 2. **Serve under load** — a live `TaskRunner` (self-monitor watchdog
+//!    armed, generous threshold) runs with the server attached while
+//!    client threads hammer it: scrapers pulling `/metrics`, one-shot
+//!    queriers paging `/api/v1/query` with `Connection: close`, and
+//!    stream subscribers holding `/api/v1/alerts/stream` open across
+//!    the whole run.
+//!
+//! The headline numbers: requests served per second per client class,
+//! scrape latency, and — the design target — **zero self-monitor
+//! alerts**: serving must never show up in the fleet's own tick
+//! latency. Writes `reproduction/serve.txt` and
+//! `reproduction/serve.json`. `--smoke` shrinks the workload and exits
+//! non-zero if any client class starves, a stream misses the run's
+//! alerts, or the watchdog fires — the CI guard against the serving
+//! plane taxing the hot path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use volley_core::task::TaskSpec;
+use volley_obs::Obs;
+use volley_runtime::TaskRunner;
+use volley_serve::{ServeConfig, Server};
+use volley_store::{SampleRecorder, Store};
+
+const MONITORS: usize = 5;
+/// Watchdog threshold on the runner tick-latency gauge, microseconds.
+/// Healthy in-process ticks run in the tens of microseconds; a serving
+/// plane that blocks the tick path would blow far past this.
+const WATCHDOG_THRESHOLD_US: f64 = 250_000.0;
+
+/// Violation bursts: every `ALERT_PERIOD` ticks the traces breach the
+/// threshold for `ALERT_WIDTH` ticks, so alerts flow throughout the run
+/// and every stream subscriber sees some no matter when it catches up.
+const ALERT_PERIOD: usize = 100;
+const ALERT_WIDTH: usize = 3;
+
+fn spec() -> TaskSpec {
+    TaskSpec::builder(100.0 * MONITORS as f64)
+        .monitors(MONITORS)
+        .error_allowance(0.0)
+        .build()
+        .expect("valid spec")
+}
+
+fn traces(ticks: usize) -> Vec<Vec<f64>> {
+    (0..MONITORS)
+        .map(|m| {
+            (0..ticks)
+                .map(|t| {
+                    if t % ALERT_PERIOD < ALERT_WIDTH {
+                        200.0
+                    } else {
+                        20.0 + ((t * (3 + m)) % 7) as f64
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One `Connection: close` GET; returns the status line and total
+/// response size on success.
+fn http_get(addr: SocketAddr, target: &str) -> std::io::Result<(String, usize)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let status = String::from_utf8_lossy(&raw)
+        .split("\r\n")
+        .next()
+        .unwrap_or("")
+        .to_string();
+    Ok((status, raw.len()))
+}
+
+/// Shared counters the client threads accumulate into.
+#[derive(Default)]
+struct ClientCounters {
+    ok: AtomicU64,
+    failed: AtomicU64,
+    bytes: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+impl ClientCounters {
+    fn record(&self, result: std::io::Result<(String, usize)>, elapsed: Duration) {
+        match result {
+            Ok((status, bytes)) if status.starts_with("HTTP/1.1 200") => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                self.latency_ns
+                    .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            }
+            _ => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn mean_latency_us(&self) -> f64 {
+        let ok = self.ok.load(Ordering::Relaxed);
+        if ok == 0 {
+            return 0.0;
+        }
+        self.latency_ns.load(Ordering::Relaxed) as f64 / ok as f64 / 1_000.0
+    }
+}
+
+/// Holds one alert stream open end-to-end and counts the NDJSON events
+/// that arrive; returns (alert events, run-end markers).
+fn stream_subscriber(addr: SocketAddr) -> std::io::Result<(u64, u64)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(b"GET /api/v1/alerts/stream HTTP/1.1\r\nHost: bench\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    Ok((
+        text.matches("\"event\":\"alert\"").count() as u64,
+        text.matches("\"event\":\"run_end\"").count() as u64,
+    ))
+}
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            if let Some(dir) = it.next() {
+                return PathBuf::from(dir);
+            }
+        }
+    }
+    PathBuf::from("reproduction")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (record_ticks, serve_ticks, scrapers, queriers, subscribers) = if smoke {
+        (400usize, 2_000usize, 2usize, 2usize, 2usize)
+    } else {
+        (2_000, 20_000, 4, 4, 2)
+    };
+    eprintln!(
+        "serve_load: smoke={smoke}, {record_ticks} record ticks, {serve_ticks} serve ticks, \
+         {scrapers} scrapers + {queriers} queriers + {subscribers} stream subscribers"
+    );
+
+    // Phase 1: record a store for the query endpoint to serve.
+    let store_dir = std::env::temp_dir().join(format!("volley-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Store::open(&store_dir).expect("open store");
+    let recorded = TaskRunner::new(&spec())
+        .expect("valid runner")
+        .with_recorder(SampleRecorder::new(store))
+        .run(&traces(record_ticks))
+        .expect("record run completes");
+    eprintln!(
+        "recorded {} ticks, {} alerts into {}",
+        recorded.ticks,
+        recorded.alerts,
+        store_dir.display()
+    );
+
+    // Phase 2: live fleet with the server attached, clients hammering.
+    let obs = Obs::new(true);
+    let config =
+        ServeConfig::new("127.0.0.1:0").with_store_dir(store_dir.to_string_lossy().into_owned());
+    let handle = Server::start(config, &obs).expect("bind");
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrape_counters = Arc::new(ClientCounters::default());
+    let query_counters = Arc::new(ClientCounters::default());
+    let mut clients = Vec::new();
+    for _ in 0..scrapers {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&scrape_counters);
+        clients.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let started = Instant::now();
+                counters.record(http_get(addr, "/metrics"), started.elapsed());
+            }
+        }));
+    }
+    for q in 0..queriers {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&query_counters);
+        clients.push(std::thread::spawn(move || {
+            // Each querier starts at a different offset so pages differ.
+            let mut cursor = (q as u64) * 16;
+            while !stop.load(Ordering::Relaxed) {
+                let target = format!("/api/v1/query?limit=64&cursor={cursor}&task=0");
+                let started = Instant::now();
+                counters.record(http_get(addr, &target), started.elapsed());
+                cursor = (cursor + 64) % 4096;
+            }
+        }));
+    }
+    let mut stream_handles = Vec::new();
+    for _ in 0..subscribers {
+        stream_handles.push(std::thread::spawn(move || stream_subscriber(addr)));
+    }
+    // Let the subscribers' requests land before the fleet starts, so
+    // the streams are demonstrably open across the whole run.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let served_start = Instant::now();
+    let report = TaskRunner::new(&spec())
+        .expect("valid runner")
+        .with_obs(obs.clone())
+        .with_self_monitor(WATCHDOG_THRESHOLD_US, 0.0)
+        .with_serve_publisher(handle.publisher())
+        .run(&traces(serve_ticks))
+        .expect("serve run completes");
+    let served = served_start.elapsed();
+    handle.publisher().run_end(report.ticks);
+
+    stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        let _ = client.join();
+    }
+    let stats = handle.shutdown();
+    let mut stream_alerts = Vec::new();
+    let mut stream_run_ends = 0u64;
+    for sub in stream_handles {
+        match sub.join().expect("subscriber thread") {
+            Ok((alerts, run_ends)) => {
+                stream_alerts.push(alerts);
+                stream_run_ends += run_ends;
+            }
+            Err(e) => {
+                eprintln!("stream subscriber failed: {e}");
+                stream_alerts.push(0);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let secs = served.as_secs_f64();
+    let scrape_ok = scrape_counters.ok.load(Ordering::Relaxed);
+    let query_ok = query_counters.ok.load(Ordering::Relaxed);
+    let scrape_failed = scrape_counters.failed.load(Ordering::Relaxed);
+    let query_failed = query_counters.failed.load(Ordering::Relaxed);
+    let min_stream_alerts = stream_alerts.iter().copied().min().unwrap_or(0);
+
+    let text = format!(
+        "serving-plane load ({serve_ticks} live ticks, {scrapers} scrapers, {queriers} queriers, \
+         {subscribers} stream subscribers)\n\
+         \n\
+         fleet under load:\n\
+           ticks                      {:>10}\n\
+           wall time                  {:>10.2} s\n\
+           tick rate                  {:>10.0} ticks/s\n\
+           state alerts               {:>10}\n\
+           self-monitor alerts        {:>10}   (design target: 0)\n\
+         \n\
+         clients (concurrent, whole run):\n\
+           /metrics scrapes           {:>10}   ({:>8.0}/s, mean {:>7.1} µs, {} failed)\n\
+           /api/v1/query pages        {:>10}   ({:>8.0}/s, mean {:>7.1} µs, {} failed)\n\
+           stream alerts per sub      {:?}\n\
+           stream run-end markers     {:>10}\n\
+         \n\
+         server loop:\n\
+           connections                {:>10}\n\
+           bad requests               {:>10}\n\
+           slow client drops          {:>10}\n\
+           stream lag drops           {:>10}\n",
+        report.ticks,
+        secs,
+        report.ticks as f64 / secs,
+        report.alerts,
+        report.self_monitor_alerts,
+        scrape_ok,
+        scrape_ok as f64 / secs,
+        scrape_counters.mean_latency_us(),
+        scrape_failed,
+        query_ok,
+        query_ok as f64 / secs,
+        query_counters.mean_latency_us(),
+        query_failed,
+        stream_alerts,
+        stream_run_ends,
+        stats.connections,
+        stats.bad_requests,
+        stats.slow_client_drops,
+        stats.stream_lag_drops,
+    );
+    print!("{text}");
+
+    #[derive(Serialize)]
+    struct ServeLoadReport {
+        schema: u32,
+        smoke: bool,
+        serve_ticks: usize,
+        scrapers: usize,
+        queriers: usize,
+        subscribers: usize,
+        wall_s: f64,
+        ticks_per_s: f64,
+        state_alerts: u64,
+        self_monitor_alerts: u64,
+        scrapes_ok: u64,
+        scrapes_failed: u64,
+        scrapes_per_s: f64,
+        scrape_mean_us: f64,
+        queries_ok: u64,
+        queries_failed: u64,
+        queries_per_s: f64,
+        query_mean_us: f64,
+        stream_alerts_per_subscriber: Vec<u64>,
+        stream_run_end_markers: u64,
+        server_connections: u64,
+        server_bad_requests: u64,
+        server_slow_client_drops: u64,
+        server_stream_lag_drops: u64,
+    }
+    let json = ServeLoadReport {
+        schema: 1,
+        smoke,
+        serve_ticks,
+        scrapers,
+        queriers,
+        subscribers,
+        wall_s: secs,
+        ticks_per_s: report.ticks as f64 / secs,
+        state_alerts: report.alerts,
+        self_monitor_alerts: report.self_monitor_alerts,
+        scrapes_ok: scrape_ok,
+        scrapes_failed: scrape_failed,
+        scrapes_per_s: scrape_ok as f64 / secs,
+        scrape_mean_us: scrape_counters.mean_latency_us(),
+        queries_ok: query_ok,
+        queries_failed: query_failed,
+        queries_per_s: query_ok as f64 / secs,
+        query_mean_us: query_counters.mean_latency_us(),
+        stream_alerts_per_subscriber: stream_alerts.clone(),
+        stream_run_end_markers: stream_run_ends,
+        server_connections: stats.connections,
+        server_bad_requests: stats.bad_requests,
+        server_slow_client_drops: stats.slow_client_drops,
+        server_stream_lag_drops: stats.stream_lag_drops,
+    };
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    std::fs::write(dir.join("serve.txt"), &text).expect("write txt");
+    std::fs::write(
+        dir.join("serve.json"),
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write json");
+
+    if smoke {
+        let mut failed = false;
+        if report.self_monitor_alerts != 0 {
+            eprintln!(
+                "FAIL: serving perturbed the fleet — {} self-monitor alerts (ticks {:?})",
+                report.self_monitor_alerts, report.self_monitor_alert_ticks
+            );
+            failed = true;
+        }
+        if scrape_ok == 0 || query_ok == 0 {
+            eprintln!("FAIL: a client class starved (scrapes {scrape_ok}, queries {query_ok})");
+            failed = true;
+        }
+        if scrape_failed + query_failed > 0 {
+            eprintln!("FAIL: {scrape_failed} scrapes / {query_failed} queries failed");
+            failed = true;
+        }
+        if min_stream_alerts == 0 {
+            eprintln!("FAIL: a stream subscriber saw no alerts: {stream_alerts:?}");
+            failed = true;
+        }
+        if stream_run_ends != subscribers as u64 {
+            eprintln!("FAIL: {stream_run_ends}/{subscribers} run-end markers arrived");
+            failed = true;
+        }
+        if stats.bad_requests > 0 {
+            eprintln!("FAIL: {} requests rejected as bad", stats.bad_requests);
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("smoke bounds hold");
+    }
+}

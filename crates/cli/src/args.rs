@@ -179,6 +179,85 @@ impl TransportArgs {
     }
 }
 
+/// Embedded HTTP serving knobs shared by the long-running subcommands
+/// (`run`, `chaos`, `coordinator`): bind address, request caps, and the
+/// stream/pagination bounds. Same pattern as [`TransportArgs`] — one
+/// spelling, one default, one parser. The plane is off unless
+/// `--serve-addr` is given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// HTTP bind address; `None` disables the serving plane.
+    pub addr: Option<String>,
+    /// Store directory served by `/api/v1/query`; defaults to the run's
+    /// own `--store-dir` when recording.
+    pub store_dir: Option<String>,
+    /// Request-head cap in bytes (431 beyond it).
+    pub max_request_bytes: usize,
+    /// Idle connection reap timeout in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Alert broadcast ring capacity in events.
+    pub stream_buffer: usize,
+    /// Maximum records returned per query page.
+    pub page_limit: usize,
+    /// How long to keep serving after the run ends, in milliseconds.
+    pub linger_ms: u64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: None,
+            store_dir: None,
+            max_request_bytes: volley_serve::DEFAULT_MAX_REQUEST_BYTES,
+            idle_timeout_ms: 30_000,
+            stream_buffer: volley_serve::DEFAULT_STREAM_BUFFER,
+            page_limit: volley_serve::DEFAULT_PAGE_LIMIT,
+            linger_ms: 0,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Tries to consume `flag` (and its value) from the argument stream.
+    /// Returns `Ok(true)` when the flag belonged to this group.
+    fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--serve-addr" => self.addr = Some(parse_value(flag, it.next())?),
+            "--serve-store-dir" => self.store_dir = Some(parse_value(flag, it.next())?),
+            "--serve-max-request-bytes" => {
+                self.max_request_bytes = parse_value::<usize>(flag, it.next())?.max(256);
+            }
+            "--serve-idle-timeout-ms" => {
+                self.idle_timeout_ms = parse_value::<u64>(flag, it.next())?.max(1);
+            }
+            "--serve-stream-buffer" => {
+                self.stream_buffer = parse_value::<usize>(flag, it.next())?.max(1);
+            }
+            "--serve-page-limit" => {
+                self.page_limit = parse_value::<usize>(flag, it.next())?.max(1);
+            }
+            "--serve-linger-ms" => self.linger_ms = parse_value(flag, it.next())?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Whether the serving plane was requested at all.
+    pub fn enabled(&self) -> bool {
+        self.addr.is_some()
+    }
+
+    /// The one resolver for which store the query endpoint reads:
+    /// `--serve-store-dir` wins, else the run's own recording directory.
+    pub fn resolve_store_dir<'a>(&'a self, recording: Option<&'a str>) -> Option<&'a str> {
+        self.store_dir.as_deref().or(recording)
+    }
+}
+
 /// Storage-fault knobs shared by the fault-injecting subcommands
 /// (`chaos` today): one spelling, one default, one parser, mirroring
 /// [`CommonArgs`]. All rates are per-operation probabilities decided
@@ -273,6 +352,8 @@ pub struct CoordinatorArgs {
     pub tick_interval_ms: u64,
     /// Shared transport knobs.
     pub transport: TransportArgs,
+    /// Shared embedded-HTTP serving knobs (`--serve-*`).
+    pub serve: ServeArgs,
     /// Shared seed / obs-dir / threads / report-json group.
     pub common: CommonArgs,
 }
@@ -406,6 +487,8 @@ pub struct ChaosArgs {
     pub net_storm_fraction: f64,
     /// Shared transport knobs (net mode only).
     pub transport: TransportArgs,
+    /// Shared embedded-HTTP serving knobs (`--serve-*`).
+    pub serve: ServeArgs,
     /// Shared storage-fault knobs (`--io-*`): ENOSPC windows, EIO,
     /// torn/short writes and failed fsyncs under every persistence sink.
     pub io: IoFaultArgs,
@@ -429,6 +512,8 @@ pub struct RunArgs {
     /// Arm the self-monitoring watchdog at this tick-latency threshold
     /// (microseconds).
     pub self_monitor_us: Option<f64>,
+    /// Shared embedded-HTTP serving knobs (`--serve-*`).
+    pub serve: ServeArgs,
     /// Shared seed / obs-dir / threads / report-json group (`--seed` is
     /// reserved here: the burst workload is deterministic).
     pub common: CommonArgs,
@@ -479,6 +564,9 @@ pub struct StoreArgs {
     pub to: u64,
     /// Cap on printed records (`query` only; scans are unaffected).
     pub limit: Option<usize>,
+    /// Matched records to skip before printing (`query` only): the
+    /// pagination cursor echoed back as `next_cursor`.
+    pub cursor: u64,
     /// Shared flag group (`--report-json` wraps query output in the
     /// versioned envelope).
     pub common: CommonArgs,
@@ -564,7 +652,7 @@ USAGE:
                   (alias: simulate)
   volley run      [--monitors <n=5>] [--ticks <n=200>] [--err <e=0.01>]
                   [--obs-every <n=50>] [--self-monitor-us <t>]
-                  [common flags]
+                  [serve flags] [common flags]
   volley chaos    [--monitors <n=5>] [--ticks <n=200>]
                   [--drop-rate <p=0>] [--poll-drop-rate <p=0>]
                   [--dup-rate <p=0>] [--delay-rate <p=0>]
@@ -574,11 +662,12 @@ USAGE:
                   [--wal-sync <every-N|on-snapshot|never>]
                   [--corrupt-wal-record <i>] [--obs-every <n=50>]
                   [--quarantine-after <n=2>] [--no-supervise]
-                  [storage-fault flags] [common flags]
+                  [storage-fault flags] [serve flags] [common flags]
   volley obs      --obs-dir <dir> [--prom] [common flags]
   volley store    <query|compact|export-csv> --store-dir <dir>
                   [--task <n>] [--monitor <n>] [--kind <k>]
-                  [--from <t>] [--to <t>] [--limit <n>] [common flags]
+                  [--from <t>] [--to <t>] [--limit <n>] [--cursor <n=0>]
+                  [common flags]
                   (kinds: sample poll alert interval gauge counter)
   volley backtest --store-dir <dir> [--task <n=0>] [--err <e>]...
                   [--from <t>] [--to <t>] [--verify]
@@ -588,7 +677,7 @@ USAGE:
                   [--deadline-ms <n=5000>] [--quarantine-after <n=3>]
                   [--queue-cap <n=1024>] [--idle-timeout-ms <n=30000>]
                   [--wait-ms <n=30000>] [--tick-interval-ms <n=0>]
-                  [transport flags] [common flags]
+                  [transport flags] [serve flags] [common flags]
   volley agent    [--connect <addr=127.0.0.1:7707>] [--unix <path>]
                   [--agent-id <n=0>] [--monitors <a..b>]
                   [--fleet-size <n=5>] [--err <e=0.01>] [--threshold <T>]
@@ -603,6 +692,22 @@ Transport flags (same meaning on agent, coordinator and chaos --net):
   --write-timeout-ms <n=0>      socket write timeout (0 = none)
   --backoff-base-ms <n=50>      first reconnect delay
   --backoff-cap-ms <n=2000>     reconnect delay ceiling (pre-jitter)
+
+Serve flags (same meaning on run, chaos and coordinator): embedded
+HTTP plane for live Prometheus scrapes (/metrics), store range queries
+(/api/v1/query) and streaming alert subscriptions
+(/api/v1/alerts/stream). Off unless --serve-addr is given.
+  --serve-addr <addr>           bind the HTTP listener (e.g. 127.0.0.1:9464)
+  --serve-store-dir <dir>       store read by /api/v1/query
+                                (defaults to the run's --store-dir)
+  --serve-max-request-bytes <n=8192>
+                                request-head cap (431 beyond it)
+  --serve-idle-timeout-ms <n=30000>
+                                idle connection reap timeout
+  --serve-stream-buffer <n=1024>
+                                alert broadcast ring capacity (events)
+  --serve-page-limit <n=4096>   max records per query page
+  --serve-linger-ms <n=0>       keep serving this long after the run ends
 
 Storage-fault flags (chaos): deterministic faults under every
 persistence sink (WAL, sample store, obs snapshots). Detection output is
@@ -805,6 +910,7 @@ impl Command {
             net_storm_every: 0,
             net_storm_fraction: 0.25,
             transport: TransportArgs::default(),
+            serve: ServeArgs::default(),
             io: IoFaultArgs::default(),
             common: CommonArgs::default(),
         };
@@ -812,6 +918,7 @@ impl Command {
         while let Some(flag) = it.next() {
             if parsed.common.accept(flag, &mut it)?
                 || parsed.transport.accept(flag, &mut it)?
+                || parsed.serve.accept(flag, &mut it)?
                 || parsed.io.accept(flag, &mut it)?
             {
                 continue;
@@ -870,11 +977,12 @@ impl Command {
             err: 0.01,
             obs_every: 50,
             self_monitor_us: None,
+            serve: ServeArgs::default(),
             common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            if parsed.common.accept(flag, &mut it)? {
+            if parsed.common.accept(flag, &mut it)? || parsed.serve.accept(flag, &mut it)? {
                 continue;
             }
             match flag.as_str() {
@@ -952,6 +1060,7 @@ impl Command {
             from: 0,
             to: u64::MAX,
             limit: None,
+            cursor: 0,
             common: CommonArgs::default(),
         };
         while let Some(flag) = it.next() {
@@ -974,6 +1083,7 @@ impl Command {
                 "--from" => parsed.from = parse_value(flag, it.next())?,
                 "--to" => parsed.to = parse_value(flag, it.next())?,
                 "--limit" => parsed.limit = Some(parse_value(flag, it.next())?),
+                "--cursor" => parsed.cursor = parse_value(flag, it.next())?,
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
         }
@@ -1046,11 +1156,15 @@ impl Command {
             wait_ms: 30_000,
             tick_interval_ms: 0,
             transport: TransportArgs::default(),
+            serve: ServeArgs::default(),
             common: CommonArgs::default(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            if parsed.common.accept(flag, &mut it)? || parsed.transport.accept(flag, &mut it)? {
+            if parsed.common.accept(flag, &mut it)?
+                || parsed.transport.accept(flag, &mut it)?
+                || parsed.serve.accept(flag, &mut it)?
+            {
                 continue;
             }
             match flag.as_str() {
@@ -1848,6 +1962,160 @@ mod tests {
             };
             assert_eq!(transport, expect, "under `{sub}`");
         }
+    }
+
+    #[test]
+    fn serve_group_parses_identically_everywhere() {
+        let tail = [
+            "--serve-addr",
+            "127.0.0.1:9464",
+            "--serve-store-dir",
+            "/tmp/st",
+            "--serve-max-request-bytes",
+            "0", // floored at 256
+            "--serve-idle-timeout-ms",
+            "0", // floored at 1
+            "--serve-stream-buffer",
+            "64",
+            "--serve-page-limit",
+            "100",
+            "--serve-linger-ms",
+            "1500",
+        ];
+        let expect = ServeArgs {
+            addr: Some("127.0.0.1:9464".to_string()),
+            store_dir: Some("/tmp/st".to_string()),
+            max_request_bytes: 256,
+            idle_timeout_ms: 1,
+            stream_buffer: 64,
+            page_limit: 100,
+            linger_ms: 1500,
+        };
+        for sub in ["run", "chaos", "coordinator"] {
+            let mut argv = vec![sub];
+            argv.extend_from_slice(&tail);
+            let serve = match Command::parse(args(&argv)).unwrap() {
+                Command::Run(r) => r.serve,
+                Command::Chaos(c) => c.serve,
+                Command::Coordinator(c) => c.serve,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!(serve.enabled());
+            assert_eq!(serve, expect, "under `{sub}`");
+        }
+        // Off by default, and `--serve-store-dir` wins over the
+        // recording directory in the resolver.
+        match Command::parse(args(&["run"])).unwrap() {
+            Command::Run(r) => {
+                assert!(!r.serve.enabled());
+                assert_eq!(r.serve, ServeArgs::default());
+                assert_eq!(r.serve.resolve_store_dir(Some("/rec")), Some("/rec"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(expect.resolve_store_dir(Some("/rec")), Some("/tmp/st"));
+    }
+
+    #[test]
+    fn store_parses_cursor() {
+        match Command::parse(args(&[
+            "store",
+            "query",
+            "--store-dir",
+            "/tmp/s",
+            "--cursor",
+            "128",
+        ]))
+        .unwrap()
+        {
+            Command::Store(s) => assert_eq!(s.cursor, 128),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Command::parse(args(&["store", "query", "--store-dir", "/tmp/s"])).unwrap() {
+            Command::Store(s) => assert_eq!(s.cursor, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(args(&[
+                "store",
+                "query",
+                "--store-dir",
+                "/s",
+                "--cursor",
+                "x"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// Extracts the `<…=default>` value USAGE documents right after
+    /// `flag`. Panics when the flag is missing or documents no default.
+    fn usage_default(flag: &str) -> String {
+        let idx = USAGE
+            .find(flag)
+            .unwrap_or_else(|| panic!("{flag} not documented in USAGE"));
+        let rest = &USAGE[idx + flag.len()..];
+        let open = rest
+            .find('<')
+            .unwrap_or_else(|| panic!("{flag} documents no <…> value"));
+        let close = open
+            + rest[open..]
+                .find('>')
+                .unwrap_or_else(|| panic!("{flag} value spec unterminated"));
+        let spec = &rest[open + 1..close];
+        spec.split_once('=')
+            .unwrap_or_else(|| panic!("{flag} documents no default in `{spec}`"))
+            .1
+            .to_string()
+    }
+
+    /// The drift guard for the shared flag groups: the defaults USAGE
+    /// advertises must be the defaults the parsers actually apply.
+    #[test]
+    fn usage_defaults_match_flag_group_defaults() {
+        let transport = TransportArgs::default();
+        assert_eq!(
+            usage_default("--max-frame-bytes"),
+            transport.max_frame_bytes.to_string()
+        );
+        assert_eq!(
+            usage_default("--read-timeout-ms"),
+            transport.read_timeout_ms.to_string()
+        );
+        assert_eq!(
+            usage_default("--write-timeout-ms"),
+            transport.write_timeout_ms.to_string()
+        );
+        assert_eq!(
+            usage_default("--backoff-base-ms"),
+            transport.backoff_base_ms.to_string()
+        );
+        assert_eq!(
+            usage_default("--backoff-cap-ms"),
+            transport.backoff_cap_ms.to_string()
+        );
+
+        let serve = ServeArgs::default();
+        assert_eq!(
+            usage_default("--serve-max-request-bytes"),
+            serve.max_request_bytes.to_string()
+        );
+        assert_eq!(
+            usage_default("--serve-idle-timeout-ms"),
+            serve.idle_timeout_ms.to_string()
+        );
+        assert_eq!(
+            usage_default("--serve-stream-buffer"),
+            serve.stream_buffer.to_string()
+        );
+        assert_eq!(
+            usage_default("--serve-page-limit"),
+            serve.page_limit.to_string()
+        );
+        assert_eq!(
+            usage_default("--serve-linger-ms"),
+            serve.linger_ms.to_string()
+        );
     }
 
     #[test]

@@ -14,37 +14,25 @@ use volley_traces::sysmetrics::SystemMetricsGenerator;
 
 use crate::args::{
     AgentArgs, BacktestArgs, ChaosArgs, CliError, Command, CoordinatorArgs, GenerateArgs,
-    MonitorArgs, ObsArgs, RunArgs, SimulateArgs, StoreAction, StoreArgs, TransportArgs, USAGE,
+    MonitorArgs, ObsArgs, RunArgs, ServeArgs, SimulateArgs, StoreAction, StoreArgs, TransportArgs,
+    USAGE,
 };
 
-/// The version of the JSON report envelope shared by every subcommand.
-/// Bump when the envelope or any embedded report shape changes;
-/// consumers should refuse versions they don't understand.
-///
-/// Version history: 1 = the original `run` report (flat, `schema` field
-/// inline); 2 = the `chaos` report with the durability counters; 3 = one
-/// envelope for all subcommands — `{schema, command, report}` with the
-/// per-command payload under `report`; 4 = the `chaos` report gains the
-/// storage-fault `degradation` section.
-pub const REPORT_SCHEMA_VERSION: u32 = 4;
+/// The version of the JSON report envelope shared by every subcommand
+/// and by the HTTP query endpoint. The constant (and the envelope
+/// builder) live in [`volley_serve::wire`] so the two surfaces cannot
+/// drift; see there for the version history.
+pub use volley_serve::REPORT_SCHEMA_VERSION;
 
 /// Writes `report` wrapped in the versioned envelope:
-/// `{"schema": N, "command": "<subcommand>", "report": {…}}`.
+/// `{"schema": N, "command": "<subcommand>", "report": {…}}` — the
+/// exact bytes `GET /api/v1/query` serves for the same report.
 fn write_envelope<W: Write, T: Serialize>(
     out: &mut W,
     command: &'static str,
     report: T,
 ) -> Result<(), CliError> {
-    let envelope = serde::Value::Object(vec![
-        ("schema".to_string(), REPORT_SCHEMA_VERSION.to_value()),
-        ("command".to_string(), command.to_value()),
-        ("report".to_string(), report.to_value()),
-    ]);
-    writeln!(
-        out,
-        "{}",
-        serde_json::to_string_pretty(&envelope).expect("serializable")
-    )?;
+    out.write_all(volley_serve::envelope(command, &report).as_bytes())?;
     Ok(())
 }
 
@@ -392,6 +380,41 @@ fn open_recorder(
     Ok(volley_store::SampleRecorder::new(store))
 }
 
+/// Boots the embedded HTTP plane when `--serve-addr` was given: binds
+/// the listener (errors surface before the run starts), pointing the
+/// query endpoint at `--serve-store-dir` or, failing that, the run's
+/// own recording directory.
+fn start_serve(
+    serve: &ServeArgs,
+    recording: Option<&str>,
+    obs: &volley_obs::Obs,
+) -> Result<Option<volley_serve::ServerHandle>, CliError> {
+    let Some(addr) = &serve.addr else {
+        return Ok(None);
+    };
+    let mut config = volley_serve::ServeConfig::new(addr.clone());
+    config.store_dir = serve.resolve_store_dir(recording).map(str::to_string);
+    config.max_request_bytes = serve.max_request_bytes;
+    config.idle_timeout = std::time::Duration::from_millis(serve.idle_timeout_ms);
+    config.stream_buffer = serve.stream_buffer;
+    config.page_limit = serve.page_limit;
+    let handle = volley_serve::Server::start(config, obs)
+        .map_err(|e| CliError::Input(format!("cannot serve on {addr}: {e}")))?;
+    Ok(Some(handle))
+}
+
+/// Ends a serving plane started by [`start_serve`]: publishes the
+/// `run_end` event, keeps serving through `--serve-linger-ms` so
+/// clients can drain, then stops the loop.
+fn finish_serve(handle: Option<volley_serve::ServerHandle>, ticks: u64, linger_ms: u64) {
+    let Some(handle) = handle else { return };
+    handle.publisher().run_end(ticks);
+    if linger_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+    }
+    let _ = handle.shutdown();
+}
+
 /// JSON report of a `run` invocation.
 #[derive(Debug, Serialize)]
 struct RunReport {
@@ -450,6 +473,10 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         // single stall cannot slip between adaptive samples.
         runner = runner.with_self_monitor(threshold_us, 0.0);
     }
+    let serve_handle = start_serve(&args.serve, args.common.resolve_store_dir(None), &obs)?;
+    if let Some(handle) = &serve_handle {
+        runner = runner.with_serve_publisher(handle.publisher().clone());
+    }
     let report = runner.run(&traces)?;
     if let Some(recorder) = &recorder {
         // Persist the final registry snapshot next to the samples, so
@@ -457,6 +484,7 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         recorder.record_snapshot(report.ticks, &obs.snapshot(report.ticks));
         recorder.flush();
     }
+    finish_serve(serve_handle, report.ticks, args.serve.linger_ms);
 
     let summary = RunReport {
         monitors: n,
@@ -680,10 +708,21 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     if let Some(recorder) = &recorder {
         runner = runner.with_recorder(recorder.clone());
     }
+    // The serving plane scrapes the runner's live registry, so hand the
+    // runner an enabled obs bundle when `--serve-addr` was given (the
+    // run itself enables it anyway when `--obs-dir` is set).
+    let obs = volley_obs::Obs::new(args.serve.enabled());
+    let serve_handle = start_serve(&args.serve, args.common.resolve_store_dir(None), &obs)?;
+    if let Some(handle) = &serve_handle {
+        runner = runner
+            .with_obs(obs.clone())
+            .with_serve_publisher(handle.publisher().clone());
+    }
     let report = runner.run(&traces)?;
     if let Some(recorder) = &recorder {
         recorder.flush();
     }
+    finish_serve(serve_handle, report.ticks, args.serve.linger_ms);
     let mut degradation = report.degradation.clone();
     if let Some(stats) = &store_fault_stats {
         degradation.io_faults_injected += stats.total();
@@ -879,8 +918,10 @@ fn coordinator_cmd<W: Write>(args: &CoordinatorArgs, out: &mut W) -> Result<(), 
     let addr = net_addr(args.unix.as_deref(), &args.listen);
 
     let obs_dir = args.common.resolve_obs_dir(None);
-    let obs = volley_obs::Obs::new(obs_dir.is_some());
-    let coordinator = NetCoordinator::bind(spec, &addr)?
+    // Serving needs a live registry even when snapshots aren't dumped.
+    let obs = volley_obs::Obs::new(obs_dir.is_some() || args.serve.enabled());
+    let serve_handle = start_serve(&args.serve, args.common.resolve_store_dir(None), &obs)?;
+    let mut coordinator = NetCoordinator::bind(spec, &addr)?
         .with_tick_deadline(Duration::from_millis(args.deadline_ms))
         .with_quarantine_after(args.quarantine_after)
         .with_queue_cap(args.queue_cap)
@@ -889,11 +930,15 @@ fn coordinator_cmd<W: Write>(args: &CoordinatorArgs, out: &mut W) -> Result<(), 
         .with_tick_interval(Duration::from_millis(args.tick_interval_ms))
         .with_transport(transport_config(&args.transport))
         .with_obs(&obs);
+    if let Some(handle) = &serve_handle {
+        coordinator = coordinator.with_serve_publisher(handle.publisher().clone());
+    }
     let outcome = coordinator.run(&traces)?;
     if let Some(dir) = obs_dir {
         let mut writer = volley_obs::SnapshotWriter::new(dir, 1)?;
         writer.write_now(obs.registry(), outcome.report.ticks)?;
     }
+    finish_serve(serve_handle, outcome.report.ticks, args.serve.linger_ms);
 
     let report = &outcome.report;
     let summary = CoordinatorReport {
@@ -1049,12 +1094,19 @@ fn chaos_net<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     if args.net_storm_every > 0 {
         faults = faults.with_storm(args.net_storm_every, args.net_storm_fraction);
     }
-    let coordinator = NetCoordinator::bind(spec.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))?
+    let obs = volley_obs::Obs::new(args.serve.enabled());
+    let serve_handle = start_serve(&args.serve, args.common.resolve_store_dir(None), &obs)?;
+    let mut coordinator = NetCoordinator::bind(spec.clone(), &NetAddr::Tcp("127.0.0.1:0".into()))?
         .with_tick_deadline(Duration::from_millis(args.deadline_ms))
         .with_quarantine_after(args.quarantine_after)
         .with_wait_timeout(Duration::from_secs(30))
         .with_transport(transport_config(&args.transport))
         .with_faults(faults);
+    if let Some(handle) = &serve_handle {
+        coordinator = coordinator
+            .with_obs(&obs)
+            .with_serve_publisher(handle.publisher().clone());
+    }
     let local = coordinator
         .local_addr()
         .ok_or_else(|| CliError::Input("chaos --net needs a TCP local address".to_string()))?;
@@ -1081,6 +1133,7 @@ fn chaos_net<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
             .map_err(|_| CliError::Input("agent thread panicked".to_string()))??;
         agent_reconnects += report.reconnects;
     }
+    finish_serve(serve_handle, outcome.report.ticks, args.serve.linger_ms);
 
     let report = &outcome.report;
     let summary = NetChaosReport {
@@ -1132,25 +1185,6 @@ fn chaos_net<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
-/// One record rendered for a `store query` report.
-#[derive(Debug, Serialize)]
-struct StoreRecordRow {
-    task: u32,
-    monitor: u32,
-    kind: &'static str,
-    tick: u64,
-    value: f64,
-}
-
-/// JSON report of `store query`.
-#[derive(Debug, Serialize)]
-struct StoreQueryReport {
-    dir: String,
-    matched: u64,
-    shown: usize,
-    records: Vec<StoreRecordRow>,
-}
-
 /// JSON report of `store compact`.
 #[derive(Debug, Serialize)]
 struct StoreCompactReport {
@@ -1158,19 +1192,19 @@ struct StoreCompactReport {
     stats: volley_store::CompactionStats,
 }
 
-/// The scan range a `store` invocation's filter flags describe.
-fn store_range(args: &StoreArgs) -> volley_store::ScanRange {
-    let mut range = volley_store::ScanRange::all().from(args.from).to(args.to);
-    if let Some(task) = args.task {
-        range = range.task(task);
+/// The shared [`volley_store::QueryParams`] a `store` invocation's
+/// filter flags describe — the same struct the HTTP query endpoint
+/// builds, so the two surfaces resolve ranges identically.
+fn query_params(args: &StoreArgs) -> volley_store::QueryParams {
+    volley_store::QueryParams {
+        task: args.task,
+        monitor: args.monitor,
+        kind: args.kind,
+        from: args.from,
+        to: args.to,
+        limit: args.limit,
+        cursor: args.cursor,
     }
-    if let Some(monitor) = args.monitor {
-        range = range.monitor(monitor);
-    }
-    if let Some(kind) = args.kind {
-        range = range.kind(kind);
-    }
-    range
 }
 
 /// Inspects or maintains a recorded sample store: `query` prints matching
@@ -1179,59 +1213,17 @@ fn store_range(args: &StoreArgs) -> volley_store::ScanRange {
 fn store_cmd<W: Write>(args: &StoreArgs, out: &mut W) -> Result<(), CliError> {
     let mut store = volley_store::Store::open(&args.dir)
         .map_err(|e| CliError::Input(format!("cannot open store {}: {e}", args.dir)))?;
-    let range = store_range(args);
+    let params = query_params(args);
     match args.action {
         StoreAction::Query => {
-            let limit = args.limit.unwrap_or(usize::MAX);
-            let mut matched = 0u64;
-            let mut records = Vec::new();
-            for record in store.scan(&range)? {
-                matched += 1;
-                if records.len() < limit {
-                    records.push(StoreRecordRow {
-                        task: record.task,
-                        monitor: record.monitor,
-                        kind: record.kind.as_str(),
-                        tick: record.tick,
-                        value: record.value,
-                    });
-                }
-            }
-            let report = StoreQueryReport {
-                dir: args.dir.clone(),
-                matched,
-                shown: records.len(),
-                records,
-            };
+            // Range resolution, pagination and rendering are shared
+            // with `GET /api/v1/query` (see `volley_store::query`), so
+            // the two surfaces are byte-identical for the same range.
+            let report = volley_store::query::run_query(&store, &args.dir, &params)?;
             if args.common.report_json {
                 return write_envelope(out, "store", &report);
             }
-            writeln!(out, "store:            {}", report.dir)?;
-            writeln!(
-                out,
-                "matched:          {} records (showing {})",
-                report.matched, report.shown
-            )?;
-            if !report.records.is_empty() {
-                writeln!(
-                    out,
-                    "{:>6} {:>8} {:>9} {:>8} value",
-                    "task", "monitor", "kind", "tick"
-                )?;
-                for row in &report.records {
-                    // Task-wide records (alerts) have no single monitor.
-                    let monitor = if row.monitor == volley_store::TASK_WIDE {
-                        "-".to_string()
-                    } else {
-                        row.monitor.to_string()
-                    };
-                    writeln!(
-                        out,
-                        "{:>6} {monitor:>8} {:>9} {:>8} {}",
-                        row.task, row.kind, row.tick, row.value
-                    )?;
-                }
-            }
+            volley_store::query::render_text(out, &report)?;
             Ok(())
         }
         StoreAction::Compact => {
@@ -1260,7 +1252,7 @@ fn store_cmd<W: Write>(args: &StoreArgs, out: &mut W) -> Result<(), CliError> {
         StoreAction::ExportCsv => {
             let limit = args.limit.unwrap_or(usize::MAX);
             writeln!(out, "task,monitor,kind,tick,value")?;
-            for record in store.scan(&range)?.take(limit) {
+            for record in store.scan(&params.range())?.take(limit) {
                 writeln!(
                     out,
                     "{},{},{},{},{}",
@@ -1557,6 +1549,7 @@ mod tests {
             net_storm_every: 0,
             net_storm_fraction: 0.25,
             transport: TransportArgs::default(),
+            serve: ServeArgs::default(),
             wal_sync: volley_runtime::WalSyncPolicy::default(),
             io: crate::args::IoFaultArgs::default(),
             common: CommonArgs {
@@ -1681,6 +1674,7 @@ mod tests {
             err: 0.0,
             obs_every: 25,
             self_monitor_us: None,
+            serve: ServeArgs::default(),
             common: CommonArgs {
                 report_json: true,
                 ..CommonArgs::default()
@@ -1861,6 +1855,7 @@ mod tests {
             from: 0,
             to: u64::MAX,
             limit: None,
+            cursor: 0,
             common: CommonArgs {
                 report_json: true,
                 ..CommonArgs::default()

@@ -418,38 +418,46 @@ impl SnapshotWriter {
     }
 }
 
-/// Finds the newest `obs-*.json` snapshot in `dir` (by tick encoded in
-/// the file name) and parses it.
+/// Finds the newest *parseable* `obs-*.json` snapshot in `dir` (by
+/// tick encoded in the file name) and parses it.
+///
+/// A torn or truncated snapshot — reachable when the fault-injecting
+/// filesystem pauses the snapshot writer mid-dump — is skipped with a
+/// warning on stderr and the next-newest candidate is tried, so one
+/// bad file never hides an otherwise healthy directory. `Ok(None)`
+/// means no candidate parsed.
 ///
 /// # Errors
 ///
-/// Propagates directory-read failures; a malformed newest snapshot is
-/// reported as [`io::ErrorKind::InvalidData`].
+/// Propagates directory-read failures.
 pub fn latest_snapshot(dir: impl AsRef<Path>) -> io::Result<Option<(PathBuf, Snapshot)>> {
-    let mut newest: Option<PathBuf> = None;
+    let mut candidates: Vec<PathBuf> = Vec::new();
     for entry in std::fs::read_dir(dir.as_ref())? {
         let path = entry?.path();
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
         if name.starts_with("obs-") && name.ends_with(".json") {
-            // Zero-padded ticks make lexicographic order numeric order.
-            if newest
-                .as_ref()
-                .and_then(|p| p.file_name())
-                .is_none_or(|best| best.to_string_lossy().as_ref() < name)
-            {
-                newest = Some(path);
+            candidates.push(path);
+        }
+    }
+    // Zero-padded ticks make lexicographic order numeric order.
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Snapshot::from_json(&text).map_err(|e| e.to_string()));
+        match parsed {
+            Ok(snapshot) => return Ok(Some((path, snapshot))),
+            Err(reason) => {
+                eprintln!(
+                    "volley-obs: skipping torn snapshot {}: {reason}",
+                    path.display()
+                );
             }
         }
     }
-    let Some(path) = newest else {
-        return Ok(None);
-    };
-    let text = std::fs::read_to_string(&path)?;
-    let snapshot =
-        Snapshot::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    Ok(Some((path, snapshot)))
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -572,6 +580,29 @@ mod tests {
         // The .prom twin parses too.
         let prom = std::fs::read_to_string(path.with_extension("prom")).unwrap();
         assert!(!parse_prometheus(&prom).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_newest_snapshot_is_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("volley-obs-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = Registry::new(true);
+        registry.counter("ticks").add(3);
+        let mut writer = SnapshotWriter::new(&dir, 10).unwrap();
+        writer.maybe_write(&registry, 10).unwrap();
+        // A newer snapshot whose dump was cut off mid-write: truncate a
+        // valid one so the JSON is syntactically torn.
+        let good = std::fs::read_to_string(dir.join("obs-00000010.json")).unwrap();
+        std::fs::write(dir.join("obs-00000020.json"), &good[..good.len() / 2]).unwrap();
+        let (path, snapshot) = latest_snapshot(&dir)
+            .unwrap()
+            .expect("the older intact snapshot is still found");
+        assert!(path.to_string_lossy().contains("obs-00000010"));
+        assert_eq!(snapshot.tick, 10);
+        // A directory of only torn snapshots reads as empty, not an error.
+        std::fs::write(dir.join("obs-00000010.json"), "{").unwrap();
+        assert!(latest_snapshot(&dir).unwrap().is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -152,6 +152,28 @@ pub mod names {
     pub const OBS_SNAPSHOTS_PAUSED_TOTAL: &str = "volley_obs_snapshots_paused_total";
     /// Counter: storage faults injected by the active I/O fault plan.
     pub const IO_FAULTS_INJECTED_TOTAL: &str = "volley_io_faults_injected_total";
+    /// Gauge: HTTP connections currently open on the serving plane.
+    pub const SERVE_CONNECTIONS: &str = "volley_serve_connections";
+    /// Counter: `/metrics` scrapes served.
+    pub const SERVE_REQUESTS_METRICS_TOTAL: &str = "volley_serve_requests_metrics_total";
+    /// Counter: `/api/v1/query` range queries served.
+    pub const SERVE_REQUESTS_QUERY_TOTAL: &str = "volley_serve_requests_query_total";
+    /// Counter: `/api/v1/alerts/stream` subscriptions opened.
+    pub const SERVE_REQUESTS_STREAM_TOTAL: &str = "volley_serve_requests_stream_total";
+    /// Counter: requests for any other path (404/405).
+    pub const SERVE_REQUESTS_OTHER_TOTAL: &str = "volley_serve_requests_other_total";
+    /// Counter: malformed or oversized requests rejected by the parser.
+    pub const SERVE_BAD_REQUESTS_TOTAL: &str = "volley_serve_bad_requests_total";
+    /// Counter: stream events a subscriber missed because the bounded
+    /// broadcast ring wrapped past its cursor (reported like net
+    /// backpressure: counted, never blocking).
+    pub const SERVE_STREAM_LAG_DROPS_TOTAL: &str = "volley_serve_stream_lag_drops_total";
+    /// Counter: connections dropped because a client drained slower
+    /// than its bounded write buffer filled.
+    pub const SERVE_SLOW_CLIENT_DROPS_TOTAL: &str = "volley_serve_slow_client_drops_total";
+    /// Histogram (ns): request dispatch latency (parse to response
+    /// bytes queued).
+    pub const SERVE_REQUEST_NS: &str = "volley_serve_request_ns";
 }
 
 /// A registry and span log sharing one enabled flag: the single handle

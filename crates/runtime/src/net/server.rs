@@ -55,6 +55,7 @@ use volley_core::allocation::{AllocationConfig, ErrorAllocator};
 use volley_core::task::TaskSpec;
 use volley_core::VolleyError;
 use volley_obs::{names, Obs};
+use volley_serve::ServePublisher;
 
 use crate::coordinator::{CoordinatorActor, DEFAULT_QUARANTINE_AFTER, DEFAULT_TICK_DEADLINE};
 use crate::failure::{FailureInjector, FaultPlan};
@@ -358,6 +359,7 @@ pub struct NetCoordinator {
     transport: TransportConfig,
     faults: NetFaultPlan,
     obs: Obs,
+    serve: Option<ServePublisher>,
 }
 
 impl NetCoordinator {
@@ -384,6 +386,7 @@ impl NetCoordinator {
             transport: TransportConfig::default(),
             faults: NetFaultPlan::new(0),
             obs: Obs::new(false),
+            serve: None,
         })
     }
 
@@ -447,6 +450,15 @@ impl NetCoordinator {
     /// coordinator's own metrics.
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
+        self
+    }
+
+    /// Attaches a live serving-plane publisher: alert events and the
+    /// current tick flow into its bounded ring without ever blocking
+    /// the tick loop.
+    #[must_use]
+    pub fn with_serve_publisher(mut self, publisher: ServePublisher) -> Self {
+        self.serve = Some(publisher);
         self
     }
 
@@ -615,6 +627,12 @@ impl NetCoordinator {
                     if summary.degraded {
                         report.degraded_alerts += 1;
                     }
+                    if let Some(serve) = &self.serve {
+                        serve.alert(summary.tick, summary.degraded);
+                    }
+                }
+                if let Some(serve) = &self.serve {
+                    serve.set_tick(tick);
                 }
                 if self.obs.enabled() {
                     let stats = shared.stats();

@@ -19,6 +19,7 @@ use volley_core::time::Tick;
 use volley_core::vfs::{FaultFs, IoFaultStats};
 use volley_core::{AdaptationConfig, AdaptiveSampler, VolleyError};
 use volley_obs::{names, GaugeSource, Obs, SelfMonitor, SnapshotWriter};
+use volley_serve::ServePublisher;
 use volley_store::SampleRecorder;
 
 use crate::checkpoint::{Wal, WalStats, WalSyncPolicy};
@@ -184,6 +185,9 @@ pub struct TaskRunner {
     self_monitor: Option<(f64, f64)>,
     /// Sample/alert/interval recording sink shared with every monitor.
     recorder: Option<SampleRecorder>,
+    /// Live serving-plane publisher: alert/epoch/degradation events and
+    /// the current tick for `/metrics` stamping.
+    serve: Option<ServePublisher>,
 }
 
 impl TaskRunner {
@@ -215,6 +219,7 @@ impl TaskRunner {
             obs_dir: None,
             self_monitor: None,
             recorder: None,
+            serve: None,
         })
     }
 
@@ -235,6 +240,17 @@ impl TaskRunner {
     #[must_use]
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a live serving-plane publisher: the runner pushes alert,
+    /// failover-epoch and sink-degradation events into its bounded ring
+    /// and stamps the current tick for `/metrics` scrapes. Publishing is
+    /// a couple of relaxed stores and one bounded ring push per event —
+    /// it never blocks the tick path.
+    #[must_use]
+    pub fn with_serve_publisher(mut self, publisher: ServePublisher) -> Self {
+        self.serve = Some(publisher);
         self
     }
 
@@ -483,6 +499,9 @@ impl TaskRunner {
             None => None,
         };
         let mut degraded_ticks = 0u64;
+        // Last published wal/store/obs degradation states, so the serve
+        // stream only carries *transitions*, not one event per tick.
+        let mut sink_degraded_prev = [false; 3];
 
         // Drive ticks in lock-step. A failed send means that monitor is
         // gone; the coordinator notices via its deadline, so the run keeps
@@ -513,6 +532,9 @@ impl TaskRunner {
                         report.coordinator_failovers += 1;
                         failovers_total.inc();
                         epoch += 1;
+                        if let Some(serve) = &self.serve {
+                            serve.epoch(epoch, tick);
+                        }
                         coord_handle
                             .join()
                             .expect("coordinator thread exits cleanly");
@@ -581,6 +603,9 @@ impl TaskRunner {
                 if let Some(recorder) = &self.recorder {
                     recorder.record_alert(summary.tick, summary.degraded);
                 }
+                if let Some(serve) = &self.serve {
+                    serve.alert(summary.tick, summary.degraded);
+                }
             }
             if summary.degraded {
                 degraded_ticks += 1;
@@ -632,6 +657,28 @@ impl TaskRunner {
                 let _ = writer.maybe_write(registry, tick);
                 if self.obs.enabled() {
                     obs_degraded_gauge.set(f64::from(u8::from(writer.degraded())));
+                }
+            }
+            if let Some(serve) = &self.serve {
+                serve.set_tick(tick);
+                let sinks = [
+                    (
+                        "wal",
+                        wal_stats
+                            .last()
+                            .is_some_and(|s| s.degraded.load(Ordering::Relaxed) != 0),
+                    ),
+                    (
+                        "store",
+                        self.recorder.as_ref().is_some_and(SampleRecorder::degraded),
+                    ),
+                    ("obs", writer.as_ref().is_some_and(SnapshotWriter::degraded)),
+                ];
+                for (i, (sink, degraded)) in sinks.into_iter().enumerate() {
+                    if degraded != sink_degraded_prev[i] {
+                        sink_degraded_prev[i] = degraded;
+                        serve.degradation(sink, degraded, tick);
+                    }
                 }
             }
         }

@@ -1,0 +1,447 @@
+//! Hand-rolled, cap-enforced HTTP/1.1 request parsing in the style of
+//! `runtime::net::FrameBuffer`: an incremental buffer that accepts
+//! arbitrary fragmentation off a nonblocking socket, pops complete
+//! request heads, and trips its size cap as soon as the buffered bytes
+//! *prove* the head exceeds it — whether or not the blank-line
+//! terminator has arrived. After any error the parser is poisoned and
+//! the connection should be closed, exactly as the frame codec's
+//! callers do.
+//!
+//! Only what the serving plane needs is implemented: `GET` requests
+//! with no body (a request advertising one is rejected), a request
+//! line, and the `Connection` header. Everything else in the head is
+//! tolerated and ignored.
+
+use std::fmt;
+
+/// Default cap on one request head, terminator included.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The head terminator: the blank line after the last header.
+const TERMINATOR: &[u8] = b"\r\n\r\n";
+
+/// Parse failure. Any variant poisons the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request head provably exceeds the configured cap.
+    HeadTooLarge {
+        /// Bytes buffered (or proven pending) for the head.
+        size: usize,
+        /// The configured cap, terminator included.
+        max_size: usize,
+    },
+    /// The head arrived but is not valid HTTP/1.x.
+    Malformed(String),
+    /// A previous error already poisoned this parser.
+    Poisoned,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::HeadTooLarge { size, max_size } => {
+                write!(f, "request head of {size} bytes exceeds cap {max_size}")
+            }
+            HttpError::Malformed(reason) => write!(f, "malformed request: {reason}"),
+            HttpError::Poisoned => write!(f, "parser poisoned by a previous error"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The percent-decoded path, query string stripped.
+    pub path: String,
+    /// Decoded query parameters in wire order.
+    pub query: Vec<(String, String)>,
+    /// Whether the client sent `Connection: close`.
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incremental request-head parser over a bounded buffer.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Start of the unconsumed region in `buf`.
+    start: usize,
+    /// Scan cursor: `buf[start..scanned]` is known terminator-free, so
+    /// repeated polls never rescan the same bytes.
+    scanned: usize,
+    max_head: usize,
+    poisoned: bool,
+}
+
+impl RequestParser {
+    /// Creates a parser enforcing `max_head` as the cap on one request
+    /// head, blank-line terminator included.
+    pub fn new(max_head: usize) -> Self {
+        RequestParser {
+            buf: Vec::new(),
+            start: 0,
+            scanned: 0,
+            max_head,
+            poisoned: false,
+        }
+    }
+
+    /// Appends raw bytes read off the wire.
+    pub fn extend(&mut self, data: &[u8]) {
+        // Compact the consumed prefix before growing, so the buffer is
+        // bounded by pending data, not connection lifetime.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether a previous error poisoned this parser.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Pops the next complete request head, `Ok(None)` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::HeadTooLarge`] once the current head provably
+    /// exceeds the cap — if the terminator has not arrived after
+    /// `max_head` buffered bytes, the eventual head cannot fit either.
+    /// [`HttpError::Malformed`] when a complete head fails to parse.
+    /// Every error poisons the parser; later calls return
+    /// [`HttpError::Poisoned`].
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.poisoned {
+            return Err(HttpError::Poisoned);
+        }
+        // Back up 3 bytes so a terminator straddling the previous scan
+        // boundary is still found.
+        let resume = self.scanned.saturating_sub(3).max(self.start);
+        match find_subslice(&self.buf[resume..], TERMINATOR) {
+            Some(offset) => {
+                let term = resume + offset;
+                let head_len = term + TERMINATOR.len() - self.start;
+                if head_len > self.max_head {
+                    self.poisoned = true;
+                    return Err(HttpError::HeadTooLarge {
+                        size: head_len,
+                        max_size: self.max_head,
+                    });
+                }
+                let head = self.buf[self.start..term].to_vec();
+                self.start = term + TERMINATOR.len();
+                self.scanned = self.start;
+                match parse_head(&head) {
+                    Ok(request) => Ok(Some(request)),
+                    Err(e) => {
+                        self.poisoned = true;
+                        Err(e)
+                    }
+                }
+            }
+            None => {
+                self.scanned = self.buf.len();
+                let pending = self.pending();
+                // No terminator in `pending` bytes: the eventual head is
+                // at least `pending + 1` bytes (at most 3 terminator
+                // bytes may already be buffered), so the cap trips as
+                // soon as `pending` reaches it.
+                if pending >= self.max_head {
+                    self.poisoned = true;
+                    return Err(HttpError::HeadTooLarge {
+                        size: pending,
+                        max_size: self.max_head,
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// First occurrence of `needle` in `haystack`.
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Parses a complete head (terminator already stripped).
+fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let head = String::from_utf8_lossy(head);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!(
+            "bad request line `{request_line}`"
+        )));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "bad request line `{request_line}`"
+        )));
+    }
+    let mut close = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => {
+                close = value
+                    .split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case("close"));
+            }
+            // The serving plane is GET-only; a request advertising a
+            // body would desynchronize the head parser.
+            "content-length" if value != "0" => {
+                return Err(HttpError::Malformed(
+                    "request bodies are not supported".to_string(),
+                ));
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::Malformed(
+                    "request bodies are not supported".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    let query = query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k, true), percent_decode(v, true))
+        })
+        .collect();
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path, false),
+        query,
+        close,
+    })
+}
+
+/// Decodes `%XX` escapes (and, in query components, `+` as space).
+/// Invalid escapes pass through verbatim — lenient like the rest of the
+/// parser: the bytes are already bounded.
+fn percent_decode(s: &str, plus_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(&String::from_utf8_lossy(h), 16).ok()) {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            byte => {
+                out.push(byte);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Builds a complete `Connection`-aware response with a body.
+pub fn response(status: u16, reason: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Builds the head of a chunked transfer-encoding response; follow with
+/// [`chunk`] payloads and a [`final_chunk`].
+pub fn chunked_head(status: u16, reason: &str, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Frames one chunk of a chunked response.
+pub fn chunk(payload: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x}\r\n", payload.len()).into_bytes();
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The zero-length chunk terminating a chunked response.
+pub fn final_chunk() -> Vec<u8> {
+    b"0\r\n\r\n".to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(wire: &[u8]) -> Request {
+        let mut parser = RequestParser::new(DEFAULT_MAX_REQUEST_BYTES);
+        parser.extend(wire);
+        parser.next_request().expect("parses").expect("complete")
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_one(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.query.is_empty());
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn decodes_query_parameters() {
+        let req =
+            parse_one(b"GET /api/v1/query?task=0&kind=alert&from=10&to=%32%30 HTTP/1.1\r\n\r\n");
+        assert_eq!(req.path, "/api/v1/query");
+        assert_eq!(req.param("task"), Some("0"));
+        assert_eq!(req.param("kind"), Some("alert"));
+        assert_eq!(req.param("to"), Some("20"));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn honors_connection_close() {
+        let req = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(req.close);
+    }
+
+    #[test]
+    fn byte_at_a_time_arrival_parses_identically() {
+        let wire = b"GET /api/v1/query?task=1 HTTP/1.1\r\nHost: a\r\nConnection: close\r\n\r\n";
+        let mut parser = RequestParser::new(DEFAULT_MAX_REQUEST_BYTES);
+        let mut got = None;
+        for &b in wire.iter() {
+            parser.extend(&[b]);
+            if let Some(req) = parser.next_request().expect("never errors") {
+                got = Some(req);
+            }
+        }
+        assert_eq!(got, Some(parse_one(wire)));
+    }
+
+    #[test]
+    fn pipelined_requests_pop_in_order() {
+        let mut parser = RequestParser::new(DEFAULT_MAX_REQUEST_BYTES);
+        parser.extend(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(parser.next_request().unwrap().unwrap().path, "/a");
+        assert_eq!(parser.next_request().unwrap().unwrap().path, "/b");
+        assert_eq!(parser.next_request().unwrap(), None);
+        assert_eq!(parser.pending(), 0);
+    }
+
+    #[test]
+    fn cap_trips_before_the_terminator_arrives() {
+        let mut parser = RequestParser::new(32);
+        parser.extend(&[b'A'; 32]);
+        match parser.next_request() {
+            Err(HttpError::HeadTooLarge {
+                size: 32,
+                max_size: 32,
+            }) => {}
+            other => panic!("expected cap trip, got {other:?}"),
+        }
+        // Poisoned from here on, even if valid bytes follow.
+        parser.extend(b"\r\n\r\n");
+        assert_eq!(parser.next_request(), Err(HttpError::Poisoned));
+    }
+
+    #[test]
+    fn oversized_head_with_terminator_also_trips() {
+        let mut parser = RequestParser::new(16);
+        parser.extend(b"GET /a HTTP/1.1\r\n\r\n");
+        assert!(matches!(
+            parser.next_request(),
+            Err(HttpError::HeadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_request_line_poisons() {
+        let mut parser = RequestParser::new(DEFAULT_MAX_REQUEST_BYTES);
+        parser.extend(b"NONSENSE\r\n\r\n");
+        assert!(matches!(
+            parser.next_request(),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(parser.poisoned());
+    }
+
+    #[test]
+    fn bodies_are_rejected() {
+        let mut parser = RequestParser::new(DEFAULT_MAX_REQUEST_BYTES);
+        parser.extend(b"GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert!(matches!(
+            parser.next_request(),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_builders_frame_correctly() {
+        let full = response(200, "OK", "text/plain", b"hi");
+        let text = String::from_utf8(full).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+        assert_eq!(chunk(b"abc"), b"3\r\nabc\r\n".to_vec());
+        assert_eq!(final_chunk(), b"0\r\n\r\n".to_vec());
+        let head = String::from_utf8(chunked_head(200, "OK", "application/x-ndjson")).unwrap();
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"));
+    }
+}

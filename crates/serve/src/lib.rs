@@ -1,0 +1,52 @@
+//! # volley-serve
+//!
+//! The live traffic surface of the Volley reproduction — an embedded
+//! HTTP/1.1 server on `std::net::TcpListener` (no external deps)
+//! hosted next to the coordinator, serving the "millions of users"
+//! query plane the paper assumes exists around a datacenter monitor.
+//!
+//! Three endpoint families:
+//!
+//! - `GET /metrics` — Prometheus text exposition rendered directly
+//!   from the **live** obs registry (not the file snapshot).
+//! - `GET /api/v1/query?task=&monitor=&from=&to=` — JSON range
+//!   queries compiled to a [`volley_store::ScanRange`] over the
+//!   recorded sample store, with a bounded page size and a pagination
+//!   cursor. The report and its rendering are shared with
+//!   `volley store query` so the two surfaces are byte-identical.
+//! - `GET /api/v1/alerts/stream` — a chunked transfer-encoding
+//!   subscription pushing alert, epoch and degradation events as
+//!   NDJSON from a bounded broadcast ring; subscriber overflow is
+//!   counted like net backpressure, never blocking the runtime.
+//!
+//! ## Isolation guarantees
+//!
+//! The server runs the same nonblocking readiness-driven event-loop
+//! pattern as `runtime::net`: bounded per-connection buffers, batched
+//! writes, idle reaping, and slow clients dropped rather than waited
+//! on. The runtime only ever touches the serving plane through
+//! [`ServePublisher`] — a couple of relaxed atomic stores and a
+//! bounded ring push per event — so query traffic cannot block a
+//! monitoring tick. The existing self-monitor watchdog ("Volley
+//! watching Volley") gates that this stays true under load.
+//!
+//! ## Layout
+//!
+//! - [`http`]: the cap-enforced incremental request parser (in the
+//!   style of `runtime::net::FrameBuffer`) and response builders.
+//! - [`events`]: the bounded broadcast ring and [`ServePublisher`].
+//! - [`wire`]: the versioned JSON report envelope shared with the CLI.
+//! - [`server`]: the listener, event loop and endpoint dispatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use events::{EventRing, ServePublisher, DEFAULT_STREAM_BUFFER};
+pub use http::{HttpError, Request, RequestParser, DEFAULT_MAX_REQUEST_BYTES};
+pub use server::{ServeConfig, ServeStats, Server, ServerHandle, DEFAULT_PAGE_LIMIT};
+pub use wire::{envelope, REPORT_SCHEMA_VERSION};

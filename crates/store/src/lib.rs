@@ -23,6 +23,9 @@
 //!   scans, compaction, retention, recording metadata.
 //! - [`recorder`]: the thread-safe runtime sink.
 //! - [`backtest`]: deterministic replay on the sim clock.
+//! - [`query`]: shared range resolution, pagination and rendering for
+//!   `volley store query` and the HTTP query endpoint (byte-identical
+//!   output on both surfaces).
 //!
 //! ## Determinism
 //!
@@ -37,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod backtest;
+pub mod query;
 pub mod record;
 pub mod recorder;
 pub mod segment;
 pub mod store;
 
 pub use backtest::{Backtest, ReplayOutcome, DEFAULT_TICK_WINDOW};
+pub use query::{QueryParams, QueryReport, RecordRow};
 pub use record::{Record, RecordKind, SeriesKey, TASK_WIDE};
 pub use recorder::SampleRecorder;
 pub use segment::{crc32, encode_segment, ChunkEntry, SegmentReader, SEGMENT_VERSION};

@@ -15,7 +15,9 @@
 //! - [`volley_obs`] — the self-monitoring observability subsystem
 //!   (metrics registry, span tracing, exposition, Volley-watching-Volley);
 //! - [`volley_store`] — the embedded time-series sample store with
-//!   record/replay and offline backtesting.
+//!   record/replay and offline backtesting;
+//! - [`volley_serve`] — the embedded HTTP serving plane (Prometheus
+//!   scrape, range-query API and streaming alert subscriptions).
 //!
 //! The most common entry points are re-exported at the crate root:
 //!
@@ -45,6 +47,7 @@ pub use config::VolleyConfig;
 pub use volley_core as core;
 pub use volley_obs as obs;
 pub use volley_runtime as runtime;
+pub use volley_serve as serve;
 pub use volley_sim as sim;
 pub use volley_store as store;
 pub use volley_traces as traces;

@@ -1,0 +1,224 @@
+//! Property tests of the serving plane's HTTP request-head parser:
+//! [`RequestParser`] must pop identical request sequences no matter how
+//! the kernel fragments the byte stream — arbitrary chunk boundaries,
+//! byte-at-a-time delivery, polls interleaved between partial reads —
+//! and must trip its head cap as soon as the buffered bytes prove the
+//! head oversized, without waiting for a terminator that may never
+//! come. Mirrors `proptest_net_codec.rs` for the frame codec.
+
+use proptest::prelude::*;
+
+use volley::serve::{HttpError, Request, RequestParser, DEFAULT_MAX_REQUEST_BYTES};
+
+/// One generated request: a path tail, query pairs, whether the client
+/// sends `Connection: close`, and the length of a filler header.
+type Spec = (String, Vec<(String, String)>, u8, usize);
+
+/// Renders one request head onto the wire, terminator included.
+fn request_wire(spec: &Spec) -> Vec<u8> {
+    let (path_tail, params, close, filler) = spec;
+    let mut target = format!("/{path_tail}");
+    for (i, (k, v)) in params.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(k);
+        target.push('=');
+        target.push_str(v);
+    }
+    let mut head = format!("GET {target} HTTP/1.1\r\nHost: volley\r\n");
+    if *filler > 0 {
+        head.push_str("X-Filler: ");
+        head.push_str(&"f".repeat(*filler));
+        head.push_str("\r\n");
+    }
+    if *close != 0 {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    head.into_bytes()
+}
+
+/// The request the parser must produce for `spec`: the generated
+/// alphabets avoid `%`, `+`, and delimiters, so decoding is identity.
+fn expected(spec: &Spec) -> Request {
+    let (path_tail, params, close, _) = spec;
+    Request {
+        method: "GET".to_string(),
+        path: format!("/{path_tail}"),
+        query: params.clone(),
+        close: *close != 0,
+    }
+}
+
+/// Concatenates every request's wire image into one byte stream.
+fn wire_image(specs: &[Spec]) -> Vec<u8> {
+    specs.iter().flat_map(request_wire).collect()
+}
+
+/// Splits `wire` at the (deduplicated, sorted) cut points and feeds the
+/// chunks to the parser, draining complete requests after every chunk —
+/// the exact access pattern of the serving event loop.
+fn reassemble(wire: &[u8], cuts: &[usize], max_head: usize) -> Result<Vec<Request>, HttpError> {
+    let mut points: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+    points.push(0);
+    points.push(wire.len());
+    points.sort_unstable();
+    points.dedup();
+
+    let mut parser = RequestParser::new(max_head);
+    let mut out = Vec::new();
+    for pair in points.windows(2) {
+        parser.extend(&wire[pair[0]..pair[1]]);
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => out.push(request),
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    assert_eq!(
+        parser.pending(),
+        0,
+        "a fully-delivered wire leaves nothing pending"
+    );
+    Ok(out)
+}
+
+/// Strategy for one request spec: path tail, query pairs, close flag,
+/// filler-header length. Alphabets are restricted to bytes the decoder
+/// passes through verbatim, so `expected` needs no decoding logic.
+#[allow(clippy::type_complexity)]
+fn spec_strategy() -> (
+    &'static str,
+    proptest::collection::VecStrategy<(&'static str, &'static str)>,
+    std::ops::Range<u8>,
+    std::ops::Range<usize>,
+) {
+    (
+        "[a-z0-9/._-]{0,12}",
+        prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{0,6}"), 0..4),
+        0u8..2,
+        0usize..24,
+    )
+}
+
+proptest! {
+    /// Any request sequence survives any fragmentation: the parsed
+    /// requests equal the expected ones regardless of where the stream
+    /// was cut — including cuts inside the `\r\n\r\n` terminator.
+    #[test]
+    fn arbitrary_splits_parse_exactly(
+        specs in prop::collection::vec(spec_strategy(), 0..6),
+        cuts in prop::collection::vec(0usize..8192, 0..24),
+    ) {
+        let wire = wire_image(&specs);
+        let got = reassemble(&wire, &cuts, DEFAULT_MAX_REQUEST_BYTES)
+            .expect("all heads under the cap");
+        let want: Vec<Request> = specs.iter().map(expected).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Byte-at-a-time delivery (the worst fragmentation the kernel can
+    /// produce) gives the same result as one big chunk.
+    #[test]
+    fn byte_at_a_time_equals_single_chunk(
+        specs in prop::collection::vec(spec_strategy(), 0..4),
+    ) {
+        let wire = wire_image(&specs);
+        let every_byte: Vec<usize> = (0..=wire.len()).collect();
+        let fine = reassemble(&wire, &every_byte, DEFAULT_MAX_REQUEST_BYTES)
+            .expect("under cap");
+        let coarse = reassemble(&wire, &[], DEFAULT_MAX_REQUEST_BYTES).expect("under cap");
+        prop_assert_eq!(fine, coarse);
+    }
+
+    /// Oversized heads error no matter how they are fragmented, the
+    /// error fires without waiting for a terminator that may never
+    /// come, and the parser stays poisoned afterwards even when valid
+    /// bytes follow.
+    #[test]
+    fn oversized_heads_error_under_any_split(
+        cap in 20usize..64,
+        extra in 4usize..48,
+        cuts in prop::collection::vec(0usize..256, 0..12),
+    ) {
+        let pad = "a".repeat(cap + extra);
+        let wire = format!("GET / HTTP/1.1\r\nX-Pad: {pad}\r\n\r\n").into_bytes();
+        prop_assert!(matches!(
+            reassemble(&wire, &cuts, cap),
+            Err(HttpError::HeadTooLarge { .. })
+        ));
+
+        // Same oversize, but the terminator never arrives: the cap must
+        // still trip once pending bytes reach it, and the poisoned
+        // parser must reject everything after — even a valid request.
+        let headless = &wire[..wire.len() - 4];
+        let mut parser = RequestParser::new(cap);
+        let mut errored = false;
+        for &b in headless {
+            parser.extend(&[b]);
+            match parser.next_request() {
+                Ok(None) => {}
+                Ok(Some(request)) => panic!("no terminator was sent, got {request:?}"),
+                Err(HttpError::HeadTooLarge { size, max_size }) => {
+                    prop_assert_eq!(size, cap);
+                    prop_assert_eq!(max_size, cap);
+                    errored = true;
+                    break;
+                }
+                Err(e) => panic!("expected a cap trip, got {e:?}"),
+            }
+        }
+        prop_assert!(errored, "cap must trip before a terminator arrives");
+        prop_assert!(parser.poisoned());
+        parser.extend(b"GET / HTTP/1.1\r\n\r\n");
+        prop_assert_eq!(parser.next_request(), Err(HttpError::Poisoned));
+    }
+
+    /// A malformed request line poisons the parser permanently: every
+    /// later poll reports `Poisoned` no matter how many valid requests
+    /// arrive afterwards.
+    #[test]
+    fn malformed_heads_poison_permanently(
+        junk in "[a-z ]{0,20}",
+        polls in 1usize..6,
+    ) {
+        let mut parser = RequestParser::new(DEFAULT_MAX_REQUEST_BYTES);
+        parser.extend(junk.as_bytes());
+        parser.extend(b"\r\n\r\n");
+        // Lowercase junk can never carry the `HTTP/1.` version token,
+        // so the head is always malformed.
+        prop_assert!(matches!(
+            parser.next_request(),
+            Err(HttpError::Malformed(_))
+        ));
+        prop_assert!(parser.poisoned());
+        parser.extend(b"GET /metrics HTTP/1.1\r\n\r\n");
+        for _ in 0..polls {
+            prop_assert_eq!(parser.next_request(), Err(HttpError::Poisoned));
+        }
+    }
+
+    /// Repeated polling while starved is stable: `Ok(None)` forever, no
+    /// phantom requests, and `pending` tracks exactly the undelivered
+    /// tail — then the final byte completes the request.
+    #[test]
+    fn polling_while_starved_is_stable(
+        spec in spec_strategy(),
+        polls in 1usize..8,
+    ) {
+        let wire = request_wire(&spec);
+        let mut parser = RequestParser::new(DEFAULT_MAX_REQUEST_BYTES);
+        for (i, &b) in wire[..wire.len() - 1].iter().enumerate() {
+            parser.extend(&[b]);
+            for _ in 0..polls {
+                prop_assert!(parser.next_request().expect("under cap").is_none());
+            }
+            prop_assert_eq!(parser.pending(), i + 1);
+        }
+        parser.extend(&wire[wire.len() - 1..]);
+        let request = parser.next_request().expect("under cap").expect("complete");
+        prop_assert_eq!(request, expected(&spec));
+        prop_assert_eq!(parser.pending(), 0);
+    }
+}
