@@ -4,39 +4,89 @@
 //! engine ([`volley_sim::ShardedEngine`]) at three cluster sizes and a
 //! sweep of worker-thread counts, recording throughput (VM-windows
 //! simulated per second) and speedup versus single-threaded execution.
-//! The per-VM work is the real Volley hot path — one [`AdaptiveSampler`]
-//! per VM over a deterministic synthetic trace — so the numbers measure
-//! the engine, not a toy loop.
+//! The per-VM work is the real Volley hot path — one monitor per VM in
+//! a struct-of-arrays [`SamplerBank`] over a deterministic synthetic
+//! trace — so the numbers measure the engine, not a toy loop. The fleet
+//! exchanges no cross-shard messages, so each run uses
+//! [`EngineConfig::message_free`]: the whole horizon is one epoch and
+//! the barrier never runs mid-simulation.
 //!
 //! Writes `reproduction/scale.txt` and `reproduction/scale.json`.
 //!
-//! `--smoke` shrinks the sweep to the 10k-VM point and exits non-zero if
-//! the 8-thread run falls short of the host-scaled speedup bound, or if
-//! any run breaks bit-determinism (sampling-op / alert counts must be
-//! identical at every thread count). The speedup bound is
-//! `min(3.0, 0.6 × cores)`; on hosts with fewer than two cores the bound
-//! is recorded as waived — a single core cannot speed anything up, and
-//! pretending otherwise would just make CI red on small runners.
-//! Multi-core CI enforces the real ≥3× bound at 8 threads.
+//! Gates (exit non-zero when violated):
+//!
+//! - bit-determinism: sampling-op / alert counts identical at every
+//!   thread count;
+//! - single-thread throughput above 30M VM-windows/s at every point;
+//! - 8-thread speedup of at least `0.7 × min(cores, 8)` — waived only
+//!   on single-core hosts, where no speedup is physically possible;
+//! - the steady-state tick path performs **zero heap allocations**,
+//!   verified by a counting global allocator over a multi-epoch
+//!   single-threaded probe run.
+//!
+//! `--smoke` shrinks the sweep to the 10k-VM point (the gates still
+//! apply).
 
+// The counting allocator needs `unsafe impl GlobalAlloc`; the bench
+// binary is a separate compilation root, so the library's
+// `forbid(unsafe_code)` does not extend here.
+
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use serde::Serialize;
-use volley_core::{AdaptationConfig, AdaptiveSampler};
+use volley_core::{AdaptationConfig, SamplerBank};
 use volley_sim::{
-    ClusterConfig, EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine, SimDuration,
+    ClusterConfig, EngineConfig, EpochCtx, ShardPlan, ShardWorker, ShardedEngine, SimDuration,
     SimTime,
 };
+
+/// Heap allocations (`alloc` + `realloc`) since process start.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// `ALLOCS` reading at the first handled probe-start tick (first writer
+/// wins); `u64::MAX` until the probe run reaches it.
+static PROBE_START_ALLOCS: AtomicU64 = AtomicU64::new(u64::MAX);
+/// `ALLOCS` reading at the first handled final probe tick.
+static PROBE_END_ALLOCS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// System allocator wrapper counting every allocation, so the bench can
+/// assert the steady-state tick path allocates nothing.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// The paper's default network-monitoring window.
 const WINDOW_MICROS: u64 = 15_000_000;
 /// Alert threshold over the uniform [0, 100) synthetic metric: 1%
 /// selectivity, matching the paper's evaluation setup.
 const THRESHOLD: f64 = 99.0;
-/// Full-mode speedup requirement at 8 threads (CI enforces this on
-/// multi-core runners).
-const TARGET_SPEEDUP: f64 = 3.0;
+/// Single-thread throughput floor, VM-windows per second (ROADMAP open
+/// item 1; the seed engine managed ~13M).
+const MIN_SINGLE_THREAD_VM_WINDOWS_PER_S: f64 = 30_000_000.0;
+/// Multi-core speedup gate at 8 threads: `0.7 × min(cores, 8)`.
+const SPEEDUP_PER_CORE: f64 = 0.7;
+/// Steady state is assumed from this tick of the alloc-probe run on:
+/// event-queue capacity, lane spares and scratch pools have stabilized.
+const PROBE_START_TICK: u64 = 16;
 
 /// Deterministic synthetic metric for `(vm, tick)` from a
 /// splitmix-style hash, so no trace storage is needed even at 1M VMs
@@ -63,28 +113,52 @@ fn metric(vm: u64, tick: u64) -> f64 {
     }
 }
 
-/// One shard's slice of the fleet: a Volley sampler per VM plus its next
-/// due tick.
+/// One shard's slice of the fleet: a struct-of-arrays bank of Volley
+/// monitors plus each monitor's next due tick, in parallel arrays
+/// walked contiguously every window.
 struct FleetSlice {
-    vm_ids: Vec<u32>,
+    first_vm: u64,
     tick_count: u64,
-    samplers: Vec<AdaptiveSampler>,
+    bank: SamplerBank,
     next_due: Vec<u64>,
     sampling_ops: u64,
     alerts: u64,
+    /// When set, record the global allocation counter at the probe
+    /// boundary ticks (used by the zero-alloc steady-state gate).
+    probe: bool,
 }
 
 impl ShardWorker for FleetSlice {
     type Event = u64; // window index
     type Msg = ();
 
-    fn handle(&mut self, ctx: &mut ShardCtx<'_, Self::Event, Self::Msg>, time: SimTime, tick: u64) {
-        for (i, sampler) in self.samplers.iter_mut().enumerate() {
+    fn handle(&mut self, ctx: &mut EpochCtx<'_, Self::Event, Self::Msg>, time: SimTime, tick: u64) {
+        if self.probe {
+            if tick == PROBE_START_TICK {
+                let now = ALLOCS.load(Ordering::Relaxed);
+                let _ = PROBE_START_ALLOCS.compare_exchange(
+                    u64::MAX,
+                    now,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            if tick + 1 == self.tick_count {
+                let now = ALLOCS.load(Ordering::Relaxed);
+                let _ = PROBE_END_ALLOCS.compare_exchange(
+                    u64::MAX,
+                    now,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        for i in 0..self.bank.len() {
             if self.next_due[i] > tick {
                 continue;
             }
-            let value = metric(u64::from(self.vm_ids[i]), tick);
-            let outcome = sampler.observe(tick, value);
+            let value = metric(self.first_vm + i as u64, tick);
+            let outcome = self.bank.observe(i, tick, value);
             self.sampling_ops += 1;
             if outcome.violation {
                 self.alerts += 1;
@@ -105,36 +179,48 @@ struct RunOutcome {
     epochs: u64,
 }
 
-fn run_point(cluster: ClusterConfig, ticks: u64, threads: usize) -> RunOutcome {
-    let plan = ShardPlan::by_coordinator_group(cluster);
-    let engine = ShardedEngine::new(EngineConfig {
-        threads,
-        epoch: SimDuration::from_micros(WINDOW_MICROS),
-        horizon: SimTime::from_micros(ticks.saturating_mul(WINDOW_MICROS)),
-    });
-    let config = AdaptationConfig::builder()
+fn adaptation() -> AdaptationConfig {
+    AdaptationConfig::builder()
         .error_allowance(0.01)
         .max_interval(8)
         .patience(5) // reach the max interval within the bench horizon
         .build()
-        .expect("valid config");
+        .expect("valid config")
+}
+
+fn run_point(cluster: ClusterConfig, ticks: u64, threads: usize) -> RunOutcome {
+    let plan = ShardPlan::by_coordinator_group(cluster);
+    // The fleet sends no cross-shard messages, so the whole horizon is
+    // one epoch: no mid-run barriers, pure tick throughput.
+    let engine = ShardedEngine::new(EngineConfig::message_free(
+        threads,
+        SimTime::from_micros(ticks.saturating_mul(WINDOW_MICROS)),
+    ));
+    let config = adaptation();
     let started = Instant::now();
     let (slices, stats) = engine.run(
         &plan,
         0, // samplers draw no engine randomness; the metric hash is the seed
         |shard, ctx| {
-            let vm_ids: Vec<u32> = plan.vms_of(shard).map(|vm| vm.0).collect();
-            let count = vm_ids.len();
+            let first_vm = plan
+                .vms_of(shard)
+                .next()
+                .expect("every shard owns at least one VM")
+                .0;
+            let count = plan.vms_of(shard).count();
             ctx.schedule(SimTime::ZERO, 0);
+            let mut bank = SamplerBank::with_capacity(config, count);
+            for _ in 0..count {
+                bank.push(THRESHOLD);
+            }
             FleetSlice {
-                vm_ids,
+                first_vm: u64::from(first_vm),
                 tick_count: ticks,
-                samplers: (0..count)
-                    .map(|_| AdaptiveSampler::new(config, THRESHOLD))
-                    .collect(),
+                bank,
                 next_due: vec![0; count],
                 sampling_ops: 0,
                 alerts: 0,
+                probe: false,
             }
         },
         None,
@@ -145,6 +231,57 @@ fn run_point(cluster: ClusterConfig, ticks: u64, threads: usize) -> RunOutcome {
         alerts: slices.iter().map(|s| s.alerts).sum(),
         epochs: stats.epochs,
     }
+}
+
+/// Runs a small single-threaded fleet with one epoch **per window** (so
+/// every epoch crosses the barrier) and measures heap allocations
+/// between tick [`PROBE_START_TICK`] and the final tick. Returns the
+/// allocation count over that steady-state span — the gate requires 0.
+fn run_alloc_probe() -> u64 {
+    let cluster = ClusterConfig::new(50, 40, 5); // 2000 VMs, 10 shards
+    let ticks = 64u64;
+    let plan = ShardPlan::by_coordinator_group(cluster);
+    let engine = ShardedEngine::new(EngineConfig {
+        threads: 1,
+        epoch: SimDuration::from_micros(WINDOW_MICROS),
+        horizon: SimTime::from_micros(ticks.saturating_mul(WINDOW_MICROS)),
+    });
+    let config = adaptation();
+    let (_, stats) = engine.run(
+        &plan,
+        0,
+        |shard, ctx| {
+            let first_vm = plan
+                .vms_of(shard)
+                .next()
+                .expect("every shard owns at least one VM")
+                .0;
+            let count = plan.vms_of(shard).count();
+            ctx.schedule(SimTime::ZERO, 0);
+            let mut bank = SamplerBank::with_capacity(config, count);
+            for _ in 0..count {
+                bank.push(THRESHOLD);
+            }
+            FleetSlice {
+                first_vm: u64::from(first_vm),
+                tick_count: ticks,
+                bank,
+                next_due: vec![0; count],
+                sampling_ops: 0,
+                alerts: 0,
+                probe: true,
+            }
+        },
+        None,
+    );
+    assert_eq!(stats.epochs, ticks, "one epoch per window in probe mode");
+    let start = PROBE_START_ALLOCS.load(Ordering::Relaxed);
+    let end = PROBE_END_ALLOCS.load(Ordering::Relaxed);
+    assert!(
+        start != u64::MAX && end != u64::MAX,
+        "probe ticks were reached"
+    );
+    end.saturating_sub(start)
 }
 
 #[derive(Serialize)]
@@ -166,6 +303,7 @@ struct PointRecord {
     shards: u32,
     ticks: u64,
     runs: Vec<RunRecord>,
+    single_thread_vm_windows_per_s: f64,
     speedup_at_8: f64,
 }
 
@@ -174,10 +312,14 @@ struct ScaleReport {
     schema: u32,
     smoke: bool,
     host_parallelism: usize,
-    /// The speedup the smoke gate enforced: `min(3.0, 0.6 × cores)`,
-    /// or 0 (waived) on single-core hosts where no speedup is possible.
+    /// The speedup the gate enforced: `0.7 × min(cores, 8)`, or 0
+    /// (waived) on single-core hosts where no speedup is possible.
     enforced_min_speedup: f64,
-    target_speedup_multicore: f64,
+    /// Single-thread throughput floor (always enforced).
+    min_single_thread_vm_windows_per_s: f64,
+    /// Heap allocations measured over the steady-state probe span
+    /// (gate: must be 0).
+    steady_state_allocs: u64,
     points: Vec<PointRecord>,
 }
 
@@ -200,13 +342,13 @@ fn main() {
     // (total VMs, ticks): bigger clusters run fewer windows so the full
     // sweep stays tractable; throughput is normalized per VM-window.
     let points: &[(u64, u64)] = if smoke {
-        &[(10_000, 80)]
+        &[(10_000, 400)]
     } else {
-        &[(10_000, 120), (100_000, 120), (1_000_000, 40)]
+        &[(10_000, 400), (100_000, 120), (1_000_000, 40)]
     };
     let thread_counts: &[usize] = if smoke { &[1, 8] } else { &[1, 2, 4, 8] };
     let enforced_min_speedup = if cores >= 2 {
-        TARGET_SPEEDUP.min(0.6 * cores as f64)
+        SPEEDUP_PER_CORE * cores.min(8) as f64
     } else {
         0.0 // waived: a single core cannot parallelize
     };
@@ -214,11 +356,24 @@ fn main() {
         "scale: smoke={smoke}, host parallelism {cores}, enforced min speedup {enforced_min_speedup:.2}"
     );
 
+    let mut failed = false;
+
+    // Zero-allocation steady-state gate, first: the probe's counter
+    // readings must not include the sweep's own setup churn.
+    let steady_state_allocs = run_alloc_probe();
+    if steady_state_allocs != 0 {
+        eprintln!(
+            "FAIL: steady-state epochs performed {steady_state_allocs} heap allocations (want 0)"
+        );
+        failed = true;
+    }
+
     let mut text = format!(
         "sharded engine scaling (adaptive fleet loop, host parallelism {cores})\n\
-         speedup gate: 8 threads >= min({TARGET_SPEEDUP}, 0.6 x cores) = {enforced_min_speedup:.2}\
-         {}\n\n\
+         gates: single-thread >= {:.0}M vm-windows/s; 8 threads >= 0.7 x min(cores, 8) = {enforced_min_speedup:.2}x\
+         {}; steady-state allocations = {steady_state_allocs} (want 0)\n\n\
          {:>9} {:>7} {:>7} {:>8} {:>11} {:>13} {:>8}\n",
+        MIN_SINGLE_THREAD_VM_WINDOWS_PER_S / 1e6,
         if enforced_min_speedup == 0.0 {
             " (waived on single-core host)"
         } else {
@@ -233,7 +388,6 @@ fn main() {
         "speedup",
     );
     let mut records = Vec::new();
-    let mut failed = false;
 
     for &(vms, ticks) in points {
         let vms_per_server = 40u32;
@@ -241,11 +395,17 @@ fn main() {
         let cluster = ClusterConfig::new(servers, vms_per_server, 5);
         let shards = ShardPlan::by_coordinator_group(cluster).shard_count();
 
+        // Untimed warmup: the first run at each size pays the page
+        // faults of freshly mapped bank/trace memory, which would be
+        // charged entirely to the single-thread baseline. Measure warm
+        // runs only.
+        let _ = run_point(cluster, ticks, thread_counts[0]);
+
         let mut runs = Vec::new();
         let mut baseline: Option<RunOutcome> = None;
         for &threads in thread_counts {
             let outcome = run_point(cluster, ticks, threads);
-            assert_eq!(outcome.epochs, ticks, "one epoch per window");
+            assert_eq!(outcome.epochs, 1, "message-free fleet runs one epoch");
             if let Some(base) = &baseline {
                 // Bit-determinism across thread counts is the engine's
                 // core guarantee — a speedup that changes results is a bug,
@@ -285,6 +445,17 @@ fn main() {
                 baseline = Some(outcome);
             }
         }
+        let single_thread_vm_windows_per_s = runs
+            .iter()
+            .find(|r| r.threads == 1)
+            .map_or(0.0, |r| r.vm_windows_per_s);
+        if single_thread_vm_windows_per_s < MIN_SINGLE_THREAD_VM_WINDOWS_PER_S {
+            eprintln!(
+                "FAIL: {vms} VMs: single-thread throughput {:.0} below bound {:.0}",
+                single_thread_vm_windows_per_s, MIN_SINGLE_THREAD_VM_WINDOWS_PER_S
+            );
+            failed = true;
+        }
         let speedup_at_8 = runs
             .iter()
             .rev()
@@ -304,17 +475,19 @@ fn main() {
             shards,
             ticks,
             runs,
+            single_thread_vm_windows_per_s,
             speedup_at_8,
         });
     }
 
     print!("{text}");
     let report = ScaleReport {
-        schema: 1,
+        schema: 2,
         smoke,
         host_parallelism: cores,
         enforced_min_speedup,
-        target_speedup_multicore: TARGET_SPEEDUP,
+        min_single_thread_vm_windows_per_s: MIN_SINGLE_THREAD_VM_WINDOWS_PER_S,
+        steady_state_allocs,
         points: records,
     };
     let dir = out_dir();

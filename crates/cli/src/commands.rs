@@ -7,7 +7,7 @@ use serde::Serialize;
 
 use volley_core::condition::{Condition, ConditionSampler};
 use volley_core::{AdaptationConfig, GroundTruth};
-use volley_sim::{ClusterConfig, NetworkScenario, NetworkScenarioConfig};
+use volley_sim::{ClusterConfig, EngineStats, NetworkScenario, NetworkScenarioConfig};
 use volley_traces::http::HttpWorkloadConfig;
 use volley_traces::netflow::NetflowConfig;
 use volley_traces::sysmetrics::SystemMetricsGenerator;
@@ -247,6 +247,36 @@ fn generate<W: Write>(args: &GenerateArgs, out: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
+/// The sharded engine's execution counters, embedded in report
+/// envelopes (schema ≥ 6). `epochs`, `merges`, `lane_swaps` and
+/// `arena_reuses` are deterministic for a given config; `steals` and
+/// `max_queue_depth` depend on thread scheduling and must not be
+/// compared across runs.
+#[derive(Debug, Serialize)]
+struct EngineSection {
+    shards: u32,
+    epochs: u64,
+    steals: u64,
+    merges: u64,
+    max_queue_depth: usize,
+    lane_swaps: u64,
+    arena_reuses: u64,
+}
+
+impl From<EngineStats> for EngineSection {
+    fn from(stats: EngineStats) -> Self {
+        EngineSection {
+            shards: stats.shards,
+            epochs: stats.epochs,
+            steals: stats.steals,
+            merges: stats.merges,
+            max_queue_depth: stats.max_queue_depth,
+            lane_swaps: stats.lane_swaps,
+            arena_reuses: stats.arena_reuses,
+        }
+    }
+}
+
 /// JSON report of a `sim` run.
 #[derive(Debug, Serialize)]
 struct SimulateReport {
@@ -259,6 +289,7 @@ struct SimulateReport {
     cpu_median: f64,
     cpu_max: f64,
     obs_dir: Option<String>,
+    engine: EngineSection,
 }
 
 fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> {
@@ -273,14 +304,14 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
     // The sharded engine guarantees thread-count independence, so
     // --threads only changes wall-clock time, never the report.
     let obs_dir = args.common.resolve_obs_dir(None);
-    let report = if let Some(dir) = obs_dir {
+    let (report, engine) = if let Some(dir) = obs_dir {
         let obs = volley_obs::Obs::new(true);
-        let report = scenario.run_parallel_with_obs(args.common.threads, &obs);
+        let detailed = scenario.run_parallel_detailed(args.common.threads, Some(&obs));
         let mut writer = volley_obs::SnapshotWriter::new(dir, 1)?;
         writer.write_now(obs.registry(), args.ticks as u64)?;
-        report
+        detailed
     } else {
-        scenario.run_parallel(args.common.threads)
+        scenario.run_parallel_detailed(args.common.threads, None)
     };
     let cpu = report.cpu.as_ref().expect("utilization recorded");
     if args.common.report_json {
@@ -297,6 +328,7 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
                 cpu_median: cpu.median,
                 cpu_max: cpu.max,
                 obs_dir: args.common.obs_dir.clone(),
+                engine: engine.into(),
             },
         );
     }
@@ -325,6 +357,11 @@ fn simulate<W: Write>(args: &SimulateArgs, out: &mut W) -> Result<(), CliError> 
         out,
         "miss rate:        {:.4}",
         report.accuracy.misdetection_rate()
+    )?;
+    writeln!(
+        out,
+        "engine:           {} shards, {} epochs, {} merges, {} lane swaps, {} buffer reuses",
+        engine.shards, engine.epochs, engine.merges, engine.lane_swaps, engine.arena_reuses
     )?;
     if let Some(dir) = obs_dir {
         writeln!(out, "obs snapshots:    {dir}")?;
@@ -428,6 +465,11 @@ struct RunReport {
     self_monitor_alerts: u64,
     self_monitor_alert_ticks: Vec<u64>,
     obs_dir: Option<String>,
+    /// Sharded-engine execution counters, when the workload ran on the
+    /// simulation engine. The threaded runtime reports `null` here; the
+    /// field exists so schema-6 consumers see one shape across `sim`
+    /// and `run`.
+    engine: Option<EngineSection>,
     /// The final in-process registry snapshot, embedded verbatim.
     snapshot: volley_obs::Snapshot,
 }
@@ -497,6 +539,7 @@ fn run_runtime<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         self_monitor_alerts: report.self_monitor_alerts,
         self_monitor_alert_ticks: report.self_monitor_alert_ticks.clone(),
         obs_dir: args.common.obs_dir.clone(),
+        engine: None,
         snapshot: obs.snapshot(report.ticks),
     };
     if args.common.report_json {

@@ -68,6 +68,7 @@
 pub mod accuracy;
 pub mod adaptation;
 pub mod allocation;
+pub mod bank;
 pub mod condition;
 pub mod coordinator;
 pub mod correlation;
@@ -86,6 +87,7 @@ pub mod window;
 pub use accuracy::{AccuracyReport, DetectionLog, GroundTruth};
 pub use adaptation::{AdaptationConfig, AdaptiveSampler, Observation};
 pub use allocation::{AllocationConfig, AllowanceCostMode, ErrorAllocator, YieldMode};
+pub use bank::{BankObservation, SamplerBank};
 pub use condition::{Condition, ConditionSampler};
 pub use coordinator::{Coordinator, DistributedTask, GlobalPollOutcome, TaskStepOutcome};
 pub use correlation::{

@@ -49,16 +49,6 @@ pub struct FleetTask {
 impl FleetTask {
     /// Creates a submission with the default (adaptive) scheme, a
     /// lossless report path and no injected faults.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `FleetTask::from_spec` or `volley::VolleyConfig`"
-    )]
-    pub fn new(spec: TaskSpec, traces: Vec<Vec<f64>>) -> Self {
-        FleetTask::from_spec(spec, traces)
-    }
-
-    /// Creates a submission with the default (adaptive) scheme, a
-    /// lossless report path and no injected faults.
     pub fn from_spec(spec: TaskSpec, traces: Vec<Vec<f64>>) -> Self {
         FleetTask {
             spec,

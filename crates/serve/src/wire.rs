@@ -15,8 +15,11 @@ use serde::Serialize;
 /// per-command payload under `report`; 4 = the `chaos` report gains the
 /// storage-fault `degradation` section; 5 = the `store query` report
 /// gains the pagination `next_cursor` field and the envelope is also
-/// served over HTTP (`/api/v1/query`).
-pub const REPORT_SCHEMA_VERSION: u32 = 5;
+/// served over HTTP (`/api/v1/query`); 6 = the `sim` and `run` reports
+/// gain an `engine` section with the sharded engine's execution counters
+/// (epochs, merges, lane swaps, arena reuses — the deterministic subset
+/// of `EngineStats`).
+pub const REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// Renders `report` wrapped in the versioned envelope —
 /// `{"schema": N, "command": "<subcommand>", "report": {…}}` — as
@@ -45,7 +48,7 @@ mod tests {
     #[test]
     fn envelope_is_pretty_with_trailing_newline() {
         let text = envelope("store", &Sample { matched: 3 });
-        assert!(text.starts_with("{\n  \"schema\": 5,\n  \"command\": \"store\",\n"));
+        assert!(text.starts_with("{\n  \"schema\": 6,\n  \"command\": \"store\",\n"));
         assert!(text.ends_with("}\n"));
         assert!(text.contains("\"matched\": 3"));
     }

@@ -23,7 +23,7 @@ use volley_traces::DiurnalPattern;
 
 use crate::cluster::{ClusterConfig, VmId};
 use crate::cost::Dom0CostModel;
-use crate::shard::{EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine};
+use crate::shard::{EngineConfig, EngineStats, EpochCtx, ShardPlan, ShardWorker, ShardedEngine};
 use crate::telemetry::ServerTelemetry;
 use crate::time::{SimDuration, SimTime};
 
@@ -131,6 +131,10 @@ struct StepTask {
 /// charges a private full-cluster telemetry vector; the vectors are
 /// merged element-wise (fixed shard order) after the run — deterministic
 /// for every thread count.
+///
+/// The per-tick member-value vector comes from the shard's
+/// [`ScratchArena`](crate::shard::ScratchArena), so the step loop
+/// allocates nothing at steady state.
 struct DistributedShard {
     cluster: ClusterConfig,
     window: SimDuration,
@@ -138,7 +142,6 @@ struct DistributedShard {
     cost: Dom0CostModel,
     tasks: Vec<TaskCell>,
     telemetry: Vec<ServerTelemetry>,
-    values: Vec<f64>,
     global_polls: u64,
     alerts: u64,
 }
@@ -147,19 +150,19 @@ impl ShardWorker for DistributedShard {
     type Event = StepTask;
     type Msg = ();
 
-    fn handle(&mut self, ctx: &mut ShardCtx<'_, StepTask, ()>, time: SimTime, event: StepTask) {
+    fn handle(&mut self, ctx: &mut EpochCtx<'_, StepTask, ()>, time: SimTime, event: StepTask) {
         let tick = time.as_micros() / self.window.as_micros();
         if tick >= self.tick_count {
             return;
         }
         let cell = &mut self.tasks[event.local];
-        self.values.clear();
-        self.values
-            .extend(cell.rho.iter().map(|trace| trace[tick as usize]));
+        let mut values = ctx.scratch().take_f64();
+        values.extend(cell.rho.iter().map(|trace| trace[tick as usize]));
         let outcome = cell
             .task
-            .step(tick, &self.values)
+            .step(tick, &values)
             .expect("value count matches");
+        ctx.scratch().put_f64(values);
         // Charge each member's Dom0 for this tick's operations:
         // distribute the tick's total ops over the members that
         // sampled (scheduled) or were polled (all of them).
@@ -200,15 +203,6 @@ impl ShardWorker for DistributedShard {
 
 impl DistributedScenario {
     /// Creates a scenario from its configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DistributedScenario::from_config` or `volley::VolleyConfig`"
-    )]
-    pub fn new(config: DistributedScenarioConfig) -> Self {
-        DistributedScenario::from_config(config)
-    }
-
-    /// Creates a scenario from its configuration.
     pub fn from_config(config: DistributedScenarioConfig) -> Self {
         DistributedScenario { config }
     }
@@ -236,6 +230,19 @@ impl DistributedScenario {
     ///
     /// Panics when `task_size` is zero or exceeds the VM count.
     pub fn run_parallel(&self, threads: usize) -> DistributedScenarioReport {
+        self.run_parallel_detailed(threads).0
+    }
+
+    /// Like [`run_parallel`](Self::run_parallel), but also returns the
+    /// engine's execution counters (for report envelopes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `task_size` is zero or exceeds the VM count.
+    pub fn run_parallel_detailed(
+        &self,
+        threads: usize,
+    ) -> (DistributedScenarioReport, EngineStats) {
         let cfg = &self.config;
         assert!(cfg.task_size >= 1, "task_size must be at least 1");
         let total_vms = cfg.cluster.total_vms() as usize;
@@ -258,7 +265,7 @@ impl DistributedScenario {
             epoch: window.saturating_mul(epoch_ticks),
             horizon,
         });
-        let (workers, _stats) = engine.run(
+        let (workers, stats) = engine.run(
             &plan,
             0, // traces carry the seed; shards draw no engine randomness
             |shard, ctx| {
@@ -317,7 +324,6 @@ impl DistributedScenario {
                     telemetry: (0..cfg.cluster.servers())
                         .map(|_| ServerTelemetry::new(window))
                         .collect(),
-                    values: Vec::with_capacity(cfg.task_size),
                     global_polls: 0,
                     alerts: 0,
                 }
@@ -354,14 +360,17 @@ impl DistributedScenario {
         for t in &telemetry {
             cpu_values.extend(t.utilization_values(horizon));
         }
-        DistributedScenarioReport {
-            tasks: task_count,
-            accuracy,
-            cpu: SeriesSummary::compute(&cpu_values),
-            sampling_ops: accuracy.sampling_ops,
-            global_polls,
-            alerts,
-        }
+        (
+            DistributedScenarioReport {
+                tasks: task_count,
+                accuracy,
+                cpu: SeriesSummary::compute(&cpu_values),
+                sampling_ops: accuracy.sampling_ops,
+                global_polls,
+                alerts,
+            },
+            stats,
+        )
     }
 }
 

@@ -51,7 +51,8 @@ pub use scenario::{
     ScenarioReport, SystemScenario, SystemScenarioConfig,
 };
 pub use shard::{
-    EngineConfig, EngineStats, ShardCtx, ShardId, ShardPlan, ShardWorker, ShardedEngine,
+    EngineConfig, EngineStats, EpochCtx, ScratchArena, ShardId, ShardPlan, ShardWorker,
+    ShardedEngine,
 };
 pub use telemetry::{ServerTelemetry, UtilizationWindow};
 pub use time::{SimDuration, SimTime};

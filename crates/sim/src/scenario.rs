@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use volley_core::accuracy::{AccuracyReport, DetectionLog, GroundTruth};
-use volley_core::{AdaptationConfig, AdaptiveSampler};
+use volley_core::{AdaptationConfig, SamplerBank};
 use volley_traces::netflow::{AttackSpec, NetflowConfig};
 use volley_traces::timeseries::SeriesSummary;
 use volley_traces::DiurnalPattern;
@@ -19,7 +19,7 @@ use volley_obs::Obs;
 
 use crate::cluster::{ClusterConfig, VmId};
 use crate::cost::Dom0CostModel;
-use crate::shard::{EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine};
+use crate::shard::{EngineConfig, EngineStats, EpochCtx, ShardPlan, ShardWorker, ShardedEngine};
 use crate::telemetry::{ObsBridge, ServerTelemetry};
 use crate::time::{SimDuration, SimTime};
 
@@ -106,11 +106,18 @@ struct SampleEvent {
     vm: VmId,
 }
 
-/// One coordinator group's slice of the monitoring fleet: the samplers,
-/// detection logs, value traces and Dom0 telemetry of its contiguous VM
-/// and server ranges. Everything is shard-local, so the sharded engine
-/// can run groups on different threads without the results depending on
-/// thread count.
+/// One coordinator group's slice of the monitoring fleet: the
+/// struct-of-arrays sampler bank, detection logs, value traces and Dom0
+/// telemetry of its contiguous VM and server ranges. Everything is
+/// shard-local, so the sharded engine can run groups on different
+/// threads without the results depending on thread count.
+///
+/// Monitor state lives in a [`SamplerBank`] — parallel arrays indexed
+/// by the VM's shard-local offset — so the tick hot path walks
+/// contiguous memory instead of chasing one heap-heavy
+/// `AdaptiveSampler` per VM, and skips the paper's §IV-B period
+/// aggregates that only allowance reallocation consumes. Decisions are
+/// bit-identical (pinned by parity tests in `volley_core::bank`).
 struct FleetShard {
     cluster: ClusterConfig,
     window: SimDuration,
@@ -120,7 +127,7 @@ struct FleetShard {
     first_vm: u32,
     /// First server id of this shard's contiguous range.
     first_server: u32,
-    samplers: Vec<AdaptiveSampler>,
+    bank: SamplerBank,
     logs: Vec<DetectionLog>,
     traces: Vec<Vec<f64>>,
     weights: Option<Vec<Vec<f64>>>,
@@ -133,7 +140,7 @@ impl ShardWorker for FleetShard {
 
     fn handle(
         &mut self,
-        ctx: &mut ShardCtx<'_, SampleEvent, ()>,
+        ctx: &mut EpochCtx<'_, SampleEvent, ()>,
         time: SimTime,
         event: SampleEvent,
     ) {
@@ -151,7 +158,7 @@ impl ShardWorker for FleetShard {
         let server = self.cluster.server_of(event.vm);
         self.telemetry[(server.0 - self.first_server) as usize]
             .charge_sample(time, self.cost_model.sample_cost(weight));
-        let obs = self.samplers[local].observe(tick, value);
+        let obs = self.bank.observe(local, tick, value);
         self.logs[local].record(tick, 1, obs.violation);
         if obs.next_sample_tick < self.tick_count {
             ctx.schedule(
@@ -187,7 +194,7 @@ fn run_fleet(
     source: VmSource<'_>,
     obs: Option<&Obs>,
     threads: usize,
-) -> ScenarioReport {
+) -> (ScenarioReport, EngineStats) {
     let horizon = SimTime::ZERO + window.saturating_mul(ticks as u64);
     let plan = ShardPlan::by_coordinator_group(cluster);
     // Aim for a handful of lockstep epochs so the engine's barrier path
@@ -199,7 +206,7 @@ fn run_fleet(
         horizon,
     });
     let tick_count = ticks as u64;
-    let (workers, _stats) = engine.run(
+    let (workers, stats) = engine.run(
         &plan,
         0, // fleet shards draw no engine randomness; traces carry the seed
         |shard, ctx| {
@@ -213,14 +220,14 @@ fn run_fleet(
                 .next()
                 .expect("every coordinator group has at least one server")
                 .0;
-            let mut samplers = Vec::new();
+            let mut bank = SamplerBank::new(adaptation);
             let mut traces = Vec::new();
             let mut weights: Option<Vec<Vec<f64>>> = None;
             for vm in plan.vms_of(shard) {
                 let (trace, weight) = source(vm);
                 let threshold = volley_core::selectivity_threshold(&trace, selectivity_percent)
                     .expect("non-empty trace, valid selectivity");
-                samplers.push(AdaptiveSampler::new(adaptation, threshold));
+                bank.push(threshold);
                 traces.push(trace);
                 if let Some(weight) = weight {
                     weights.get_or_insert_with(Vec::new).push(weight);
@@ -239,7 +246,7 @@ fn run_fleet(
                 cost_model,
                 first_vm,
                 first_server,
-                samplers,
+                bank,
                 logs,
                 traces,
                 weights,
@@ -256,9 +263,8 @@ fn run_fleet(
     let mut accuracy: Option<AccuracyReport> = None;
     let mut telemetry: Vec<ServerTelemetry> = Vec::with_capacity(cluster.servers() as usize);
     for worker in workers {
-        for ((log, sampler), trace) in worker.logs.iter().zip(&worker.samplers).zip(&worker.traces)
-        {
-            let truth = GroundTruth::from_trace(trace, sampler.threshold());
+        for (local, (log, trace)) in worker.logs.iter().zip(&worker.traces).enumerate() {
+            let truth = GroundTruth::from_trace(trace, worker.bank.threshold(local));
             let report = log.score(&truth, baseline_per_vm);
             accuracy = Some(match accuracy {
                 Some(acc) => acc.merged(&report),
@@ -279,24 +285,18 @@ fn run_fleet(
         cpu_values.extend(t.utilization_values(horizon));
     }
     let cpu = SeriesSummary::compute(&cpu_values);
-    ScenarioReport {
-        accuracy,
-        cpu,
-        cpu_values,
-        sampling_ops: accuracy.sampling_ops,
-    }
+    (
+        ScenarioReport {
+            accuracy,
+            cpu,
+            cpu_values,
+            sampling_ops: accuracy.sampling_ops,
+        },
+        stats,
+    )
 }
 
 impl NetworkScenario {
-    /// Creates a scenario from its configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `NetworkScenario::from_config` or `volley::VolleyConfig`"
-    )]
-    pub fn new(config: NetworkScenarioConfig) -> Self {
-        NetworkScenario::from_config(config)
-    }
-
     /// Creates a scenario from its configuration.
     pub fn from_config(config: NetworkScenarioConfig) -> Self {
         NetworkScenario { config }
@@ -310,29 +310,42 @@ impl NetworkScenario {
     /// Runs the scenario to completion and reports cost, accuracy and the
     /// Dom0 CPU utilization distribution.
     pub fn run(&self) -> ScenarioReport {
-        self.run_inner(None, 1)
+        self.run_inner(None, 1).0
     }
 
     /// Runs the scenario on `threads` worker threads over the sharded
     /// engine. Results are bit-identical to [`run`](Self::run) for every
     /// thread count.
     pub fn run_parallel(&self, threads: usize) -> ScenarioReport {
-        self.run_inner(None, threads)
+        self.run_inner(None, threads).0
+    }
+
+    /// Like [`run_parallel`](Self::run_parallel), but also returns the
+    /// engine's execution counters (for report envelopes). The
+    /// [`ScenarioReport`] half is bit-identical for every thread count;
+    /// [`EngineStats::steals`] and [`EngineStats::max_queue_depth`]
+    /// describe the particular execution.
+    pub fn run_parallel_detailed(
+        &self,
+        threads: usize,
+        obs: Option<&Obs>,
+    ) -> (ScenarioReport, EngineStats) {
+        self.run_inner(obs, threads)
     }
 
     /// Like [`run`](Self::run), but also publishes the fleet's sampling
     /// operations into `obs`'s registry (`volley_sim_sampling_ops_total`).
     pub fn run_with_obs(&self, obs: &Obs) -> ScenarioReport {
-        self.run_inner(Some(obs), 1)
+        self.run_inner(Some(obs), 1).0
     }
 
     /// [`run_parallel`](Self::run_parallel) with observability: engine
     /// epoch/steal/merge counters and sampling ops land in `obs`.
     pub fn run_parallel_with_obs(&self, threads: usize, obs: &Obs) -> ScenarioReport {
-        self.run_inner(Some(obs), threads)
+        self.run_inner(Some(obs), threads).0
     }
 
-    fn run_inner(&self, obs: Option<&Obs>, threads: usize) -> ScenarioReport {
+    fn run_inner(&self, obs: Option<&Obs>, threads: usize) -> (ScenarioReport, EngineStats) {
         let cfg = &self.config;
         let total_vms = cfg.cluster.total_vms() as usize;
         let mut netflow = NetflowConfig::builder()
@@ -423,15 +436,6 @@ pub struct SystemScenario {
 
 impl SystemScenario {
     /// Creates a scenario from its configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SystemScenario::from_config` or `volley::VolleyConfig`"
-    )]
-    pub fn new(config: SystemScenarioConfig) -> Self {
-        SystemScenario::from_config(config)
-    }
-
-    /// Creates a scenario from its configuration.
     pub fn from_config(config: SystemScenarioConfig) -> Self {
         SystemScenario { config }
     }
@@ -450,6 +454,16 @@ impl SystemScenario {
     /// engine. Results are bit-identical to [`run`](Self::run) for every
     /// thread count.
     pub fn run_parallel(&self, threads: usize) -> ScenarioReport {
+        self.run_parallel_detailed(threads, None).0
+    }
+
+    /// Like [`run_parallel`](Self::run_parallel), but also returns the
+    /// engine's execution counters (for report envelopes).
+    pub fn run_parallel_detailed(
+        &self,
+        threads: usize,
+        obs: Option<&Obs>,
+    ) -> (ScenarioReport, EngineStats) {
         let cfg = &self.config;
         let generator = volley_traces::sysmetrics::SystemMetricsGenerator::new(cfg.seed)
             .with_diurnal_period((cfg.ticks as u64).min(17_280));
@@ -472,7 +486,7 @@ impl SystemScenario {
             cfg.selectivity_percent,
             cfg.cost,
             &source,
-            None,
+            obs,
             threads,
         )
     }
@@ -528,15 +542,6 @@ pub struct ApplicationScenario {
 
 impl ApplicationScenario {
     /// Creates a scenario from its configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ApplicationScenario::from_config` or `volley::VolleyConfig`"
-    )]
-    pub fn new(config: ApplicationScenarioConfig) -> Self {
-        ApplicationScenario::from_config(config)
-    }
-
-    /// Creates a scenario from its configuration.
     pub fn from_config(config: ApplicationScenarioConfig) -> Self {
         ApplicationScenario { config }
     }
@@ -555,6 +560,16 @@ impl ApplicationScenario {
     /// engine. Results are bit-identical to [`run`](Self::run) for every
     /// thread count.
     pub fn run_parallel(&self, threads: usize) -> ScenarioReport {
+        self.run_parallel_detailed(threads, None).0
+    }
+
+    /// Like [`run_parallel`](Self::run_parallel), but also returns the
+    /// engine's execution counters (for report envelopes).
+    pub fn run_parallel_detailed(
+        &self,
+        threads: usize,
+        obs: Option<&Obs>,
+    ) -> (ScenarioReport, EngineStats) {
         let cfg = &self.config;
         let total_vms = cfg.cluster.total_vms() as usize;
         // The HTTP workload's objects are correlated (shared flash
@@ -586,7 +601,7 @@ impl ApplicationScenario {
             cfg.selectivity_percent,
             cfg.cost,
             &source,
-            None,
+            obs,
             threads,
         )
     }

@@ -5,33 +5,45 @@
 //! workloads (the paper argues Volley's value *grows* with scale, §V)
 //! need the simulator itself to scale. This module partitions the
 //! cluster **by coordinator group** into per-shard event queues and runs
-//! the shards on scoped worker threads in **lockstep epochs**:
+//! the shards on a persistent pool of worker threads in **lockstep
+//! epochs**:
 //!
 //! 1. every shard independently drains its own queue up to the epoch
 //!    boundary (threads pull shards off a shared work list, so a fast
 //!    thread steals shards from slower ones);
-//! 2. at the barrier, cross-shard messages emitted during the epoch are
-//!    collected, sorted into a canonical `(source shard, send sequence)`
-//!    order, and delivered to their destination shards;
-//! 3. the next epoch begins with those deliveries.
+//! 2. at the barrier, each shard's per-destination **send lanes** are
+//!    handed to their destination shards by pointer swap — a lane is
+//!    already in canonical `(source shard, send order)` form, so no
+//!    collect/route/sort pass runs and no message is ever copied;
+//! 3. the next epoch begins by draining the delivered lanes, source
+//!    shard ascending.
+//!
+//! The hot path is allocation-free at steady state: lane buffers and
+//! per-shard [`ScratchArena`] buffers are recycled through spare pools
+//! instead of being reallocated each epoch, and the worker threads are
+//! spawned once per run — an epoch boundary is two [`Barrier`]
+//! rendezvous plus pointer swaps, not a `thread::scope` teardown.
 //!
 //! Determinism is by construction, not by luck: shard state is touched
 //! only by whichever thread currently holds the shard, every shard owns
-//! its own seeded RNG stream derived from `(seed, shard)`, and inboxes
-//! are sorted before delivery — so results are **bit-identical
-//! regardless of thread count**. The only thread-count-sensitive outputs
-//! are the performance counters ([`EngineStats::steals`], epoch
-//! latency), which describe the execution, not the simulation.
+//! its own seeded RNG stream derived from `(seed, shard)`, and lane
+//! delivery order is fixed by `(source shard, send order)` — so results
+//! are **bit-identical regardless of thread count**. The only
+//! thread-count-sensitive outputs are the performance counters
+//! ([`EngineStats::steals`], [`EngineStats::max_queue_depth`], epoch
+//! latency), which describe the execution, not the simulation;
+//! [`EngineStats::lane_swaps`] and [`EngineStats::arena_reuses`] are
+//! deterministic.
 //!
 //! ```
-//! use volley_sim::shard::{EngineConfig, ShardCtx, ShardPlan, ShardWorker, ShardedEngine};
+//! use volley_sim::shard::{EngineConfig, EpochCtx, ShardPlan, ShardWorker, ShardedEngine};
 //! use volley_sim::{ClusterConfig, SimDuration, SimTime};
 //!
 //! struct Counter(u64);
 //! impl ShardWorker for Counter {
 //!     type Event = ();
 //!     type Msg = ();
-//!     fn handle(&mut self, _ctx: &mut ShardCtx<'_, (), ()>, _t: SimTime, _e: ()) {
+//!     fn handle(&mut self, _ctx: &mut EpochCtx<'_, (), ()>, _t: SimTime, _e: ()) {
 //!         self.0 += 1;
 //!     }
 //! }
@@ -51,8 +63,9 @@
 //! assert_eq!(stats.shards, 4);
 //! ```
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::mem;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -146,20 +159,67 @@ impl ShardPlan {
     }
 }
 
+/// Pads its contents to a cache line so adjacent shard cells and the
+/// engine's shared atomics never false-share a line under contention.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// A pool of reusable per-shard buffers for the tick hot path.
+///
+/// Scenario workers that need a temporary `Vec` every event (e.g. the
+/// per-tick member-value vector of a distributed aggregation task) take
+/// a cleared buffer from the arena and put it back when done instead of
+/// allocating; at steady state the arena makes the tick loop
+/// allocation-free. Reuse is counted into
+/// [`EngineStats::arena_reuses`], which is deterministic.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    f64_bufs: Vec<Vec<f64>>,
+    reuses: u64,
+}
+
+impl ScratchArena {
+    /// Takes an empty `Vec<f64>` from the pool, allocating only if the
+    /// pool is dry.
+    pub fn take_f64(&mut self) -> Vec<f64> {
+        match self.f64_bufs.pop() {
+            Some(buf) => {
+                self.reuses += 1;
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared, capacity kept).
+    pub fn put_f64(&mut self, mut buf: Vec<f64>) {
+        buf.clear();
+        self.f64_bufs.push(buf);
+    }
+}
+
 /// The per-shard execution context handed to [`ShardWorker`] callbacks:
-/// the shard's own queue, RNG stream, and cross-shard outbox.
+/// the shard's own event queue, RNG stream, typed per-destination send
+/// lanes, and scratch arena.
 #[derive(Debug)]
-pub struct ShardCtx<'a, E, M> {
+pub struct EpochCtx<'a, E, M> {
     shard: ShardId,
     queue: &'a mut EventQueue<E>,
     rng: &'a mut StdRng,
-    outbox: &'a mut Vec<(ShardId, M)>,
+    /// One send lane per destination shard; a push is the whole send.
+    lanes: &'a mut [Vec<M>],
+    scratch: &'a mut ScratchArena,
 }
 
-impl<E, M> ShardCtx<'_, E, M> {
+impl<E, M> EpochCtx<'_, E, M> {
     /// The shard this context belongs to.
     pub fn shard(&self) -> ShardId {
         self.shard
+    }
+
+    /// Total shards in the running engine.
+    pub fn shard_count(&self) -> u32 {
+        self.lanes.len() as u32
     }
 
     /// Current simulated time on this shard's clock.
@@ -178,16 +238,31 @@ impl<E, M> ShardCtx<'_, E, M> {
         self.queue.schedule(time, event);
     }
 
-    /// Sends `msg` to shard `dst`. Messages are buffered for the epoch
-    /// and delivered — batched, in canonical order — at the next epoch
-    /// boundary.
+    /// Sends `msg` to shard `dst` by pushing onto the destination's
+    /// lane. Lanes are handed over — batched, in canonical
+    /// `(source shard, send order)` order, by pointer swap — at the next
+    /// epoch boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dst` does not exist in the plan.
     pub fn send(&mut self, dst: ShardId, msg: M) {
-        self.outbox.push((dst, msg));
+        let shard = self.shard;
+        let lane = self
+            .lanes
+            .get_mut(dst.0 as usize)
+            .unwrap_or_else(|| panic!("{shard} sent a message to nonexistent {dst}"));
+        lane.push(msg);
     }
 
     /// This shard's own deterministic RNG stream.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
+    }
+
+    /// This shard's scratch arena for allocation-free temporaries.
+    pub fn scratch(&mut self) -> &mut ScratchArena {
+        self.scratch
     }
 }
 
@@ -202,7 +277,7 @@ pub trait ShardWorker: Send {
     /// cross-shard messages through `ctx`.
     fn handle(
         &mut self,
-        ctx: &mut ShardCtx<'_, Self::Event, Self::Msg>,
+        ctx: &mut EpochCtx<'_, Self::Event, Self::Msg>,
         time: SimTime,
         event: Self::Event,
     );
@@ -212,7 +287,7 @@ pub trait ShardWorker: Send {
     /// ignores messages.
     fn on_message(
         &mut self,
-        ctx: &mut ShardCtx<'_, Self::Event, Self::Msg>,
+        ctx: &mut EpochCtx<'_, Self::Event, Self::Msg>,
         from: ShardId,
         msg: Self::Msg,
     ) {
@@ -227,17 +302,33 @@ pub struct EngineConfig {
     /// changes simulation results, only wall-clock time.
     pub threads: usize,
     /// Lockstep epoch length; cross-shard messages are exchanged at
-    /// multiples of this. Zero clamps to one microsecond.
+    /// multiples of this, so the epoch is the worst-case cross-shard
+    /// message latency. Workloads that tolerate coarser latency should
+    /// use a coarser epoch — fewer barriers, faster runs. Zero clamps
+    /// to one microsecond.
     pub epoch: SimDuration,
     /// Simulation end time.
     pub horizon: SimTime,
 }
 
+impl EngineConfig {
+    /// Configuration for workloads that exchange no cross-shard
+    /// messages (or tolerate delivery at the horizon): one epoch spans
+    /// the whole run, so the only barrier is the final one.
+    pub fn message_free(threads: usize, horizon: SimTime) -> Self {
+        EngineConfig {
+            threads,
+            epoch: SimDuration::from_micros(horizon.as_micros().max(1)),
+            horizon,
+        }
+    }
+}
+
 /// Execution counters of one engine run.
 ///
-/// `shards`, `epochs` and `merges` are deterministic; `steals` and
-/// `max_queue_depth` describe the particular execution (thread
-/// scheduling) and may vary run to run.
+/// `shards`, `epochs`, `merges`, `lane_swaps` and `arena_reuses` are
+/// deterministic; `steals` and `max_queue_depth` describe the
+/// particular execution (thread scheduling) and may vary run to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Shards executed.
@@ -246,10 +337,15 @@ pub struct EngineStats {
     pub epochs: u64,
     /// Shards processed by a thread other than their home thread.
     pub steals: u64,
-    /// Cross-shard envelopes merged at epoch boundaries.
+    /// Cross-shard messages delivered at epoch boundaries.
     pub merges: u64,
     /// Largest per-shard pending-event backlog observed at an epoch end.
     pub max_queue_depth: usize,
+    /// Non-empty send lanes handed over by pointer swap at barriers.
+    pub lane_swaps: u64,
+    /// Recycled buffers (lane spares and scratch-arena hits) handed
+    /// back out instead of allocating.
+    pub arena_reuses: u64,
 }
 
 /// One shard's complete private state.
@@ -258,53 +354,66 @@ struct ShardCell<W: ShardWorker> {
     worker: Option<W>,
     queue: EventQueue<W::Event>,
     rng: StdRng,
-    outbox: Vec<(ShardId, W::Msg)>,
-    /// `(from, send sequence, message)`, sorted before the epoch starts.
-    inbox: Vec<(ShardId, u64, W::Msg)>,
+    /// Outgoing send lanes, indexed by destination shard.
+    lanes: Vec<Vec<W::Msg>>,
+    /// Delivered lane buffers in canonical `(source, send order)` form.
+    inbox: Vec<(ShardId, Vec<W::Msg>)>,
+    /// Drained inbox buffers awaiting recycling into the spares pool.
+    spent: Vec<Vec<W::Msg>>,
+    scratch: ScratchArena,
 }
 
 impl<W: ShardWorker> ShardCell<W> {
-    /// Runs one epoch on this shard: deliver the sorted inbox, then
-    /// drain local events up to `epoch_end`. Builds the worker on first
-    /// touch (inside the parallel region, so per-shard setup — trace
-    /// generation included — parallelizes too).
+    /// Runs one epoch on this shard: drain the delivered lanes (source
+    /// ascending, send order within a lane), then drain local events up
+    /// to `epoch_end`. Builds the worker on first touch (inside the
+    /// parallel region, so per-shard setup — trace generation included —
+    /// parallelizes too).
     fn run_epoch<F>(&mut self, build: &F, epoch_end: SimTime)
     where
-        F: Fn(ShardId, &mut ShardCtx<'_, W::Event, W::Msg>) -> W,
+        F: Fn(ShardId, &mut EpochCtx<'_, W::Event, W::Msg>) -> W,
     {
         let ShardCell {
             shard,
             worker,
             queue,
             rng,
-            outbox,
+            lanes,
             inbox,
+            spent,
+            scratch,
         } = self;
         if worker.is_none() {
-            let mut ctx = ShardCtx {
+            let mut ctx = EpochCtx {
                 shard: *shard,
                 queue,
                 rng,
-                outbox,
+                lanes,
+                scratch,
             };
             *worker = Some(build(*shard, &mut ctx));
         }
         let worker = worker.as_mut().expect("worker built on first epoch");
-        for (from, _seq, msg) in inbox.drain(..) {
-            let mut ctx = ShardCtx {
-                shard: *shard,
-                queue,
-                rng,
-                outbox,
-            };
-            worker.on_message(&mut ctx, from, msg);
+        for (from, mut buf) in inbox.drain(..) {
+            for msg in buf.drain(..) {
+                let mut ctx = EpochCtx {
+                    shard: *shard,
+                    queue,
+                    rng,
+                    lanes,
+                    scratch,
+                };
+                worker.on_message(&mut ctx, from, msg);
+            }
+            spent.push(buf);
         }
         queue.run_until(epoch_end, |queue, time, event| {
-            let mut ctx = ShardCtx {
+            let mut ctx = EpochCtx {
                 shard: *shard,
                 queue,
                 rng,
-                outbox,
+                lanes,
+                scratch,
             };
             worker.handle(&mut ctx, time, event);
         });
@@ -341,6 +450,10 @@ impl ShardedEngine {
     /// for scheduling initial events. When `obs` is given, per-epoch
     /// queue depth, epoch latency, and steal/merge counters are
     /// published through its registry.
+    ///
+    /// The worker pool is spawned once and parked on a [`Barrier`]
+    /// between epochs; an epoch boundary costs two rendezvous plus the
+    /// serial lane swap.
     pub fn run<W, F>(
         &self,
         plan: &ShardPlan,
@@ -350,7 +463,7 @@ impl ShardedEngine {
     ) -> (Vec<W>, EngineStats)
     where
         W: ShardWorker,
-        F: Fn(ShardId, &mut ShardCtx<'_, W::Event, W::Msg>) -> W + Sync,
+        F: Fn(ShardId, &mut EpochCtx<'_, W::Event, W::Msg>) -> W + Sync,
     {
         let shard_count = plan.shard_count() as usize;
         let threads = self.config.threads.clamp(1, shard_count.max(1));
@@ -361,17 +474,19 @@ impl ShardedEngine {
         };
         let horizon = self.config.horizon;
 
-        let mut cells: Vec<Mutex<ShardCell<W>>> = (0..shard_count)
+        let cells: Vec<CachePadded<Mutex<ShardCell<W>>>> = (0..shard_count)
             .map(|i| {
                 let shard = ShardId(i as u32);
-                Mutex::new(ShardCell {
+                CachePadded(Mutex::new(ShardCell {
                     shard,
                     worker: None,
                     queue: EventQueue::new(),
                     rng: ShardPlan::rng_for(seed, shard),
-                    outbox: Vec::new(),
+                    lanes: (0..shard_count).map(|_| Vec::new()).collect(),
                     inbox: Vec::new(),
-                })
+                    spent: Vec::new(),
+                    scratch: ScratchArena::default(),
+                }))
             })
             .collect();
 
@@ -389,122 +504,162 @@ impl ShardedEngine {
             .as_micros()
             .div_ceil(epoch.as_micros().max(1))
             .max(1);
-        let mut drain_rounds = 0u64;
-        let mut epoch_idx = 0u64;
-        loop {
-            let epoch_end = if epoch_idx < planned_epochs {
-                SimTime::from_micros(
-                    epoch
-                        .as_micros()
-                        .saturating_mul(epoch_idx + 1)
-                        .min(horizon.as_micros()),
-                )
-            } else {
-                horizon
-            };
 
-            let started = Instant::now();
-            let steals = AtomicU64::new(0);
-            let next_shard = AtomicUsize::new(0);
-            if threads <= 1 {
-                for cell in &cells {
-                    let mut cell = cell.lock().expect("shard cell lock");
-                    cell.run_epoch(&build, epoch_end);
-                }
-            } else {
-                std::thread::scope(|scope| {
-                    for ordinal in 0..threads {
-                        let cells = &cells;
-                        let build = &build;
-                        let steals = &steals;
-                        let next_shard = &next_shard;
-                        scope.spawn(move || loop {
-                            let index = next_shard.fetch_add(1, Ordering::Relaxed);
-                            if index >= shard_count {
-                                break;
-                            }
-                            if index % threads != ordinal {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                            }
-                            let mut cell = cells[index].lock().expect("shard cell lock");
-                            cell.run_epoch(build, epoch_end);
-                        });
+        // Shared round state for the persistent pool. The barrier's own
+        // synchronization orders these stores/loads, so Relaxed suffices.
+        let barrier = Barrier::new(threads);
+        let done = AtomicBool::new(false);
+        let epoch_end_us = AtomicU64::new(0);
+        let next_shard = CachePadded(AtomicUsize::new(0));
+        let steals = CachePadded(AtomicU64::new(0));
+
+        // Barrier scratch, reused across epochs: recycled lane buffers
+        // and the staging list for the serial swap pass.
+        let mut spares: Vec<Vec<W::Msg>> = Vec::new();
+        let mut staged: Vec<(u32, ShardId, Vec<W::Msg>)> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let cells = &cells;
+            let build = &build;
+            for ordinal in 1..threads {
+                let barrier = &barrier;
+                let done = &done;
+                let epoch_end_us = &epoch_end_us;
+                let next_shard = &next_shard;
+                let steals = &steals;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if done.load(Ordering::Relaxed) {
+                        break;
                     }
+                    let epoch_end = SimTime::from_micros(epoch_end_us.load(Ordering::Relaxed));
+                    loop {
+                        let index = next_shard.0.fetch_add(1, Ordering::Relaxed);
+                        if index >= shard_count {
+                            break;
+                        }
+                        if index % threads != ordinal {
+                            steals.0.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let mut cell = cells[index].0.lock().expect("shard cell lock");
+                        cell.run_epoch(build, epoch_end);
+                    }
+                    barrier.wait();
                 });
             }
-            stats.steals += steals.load(Ordering::Relaxed);
-            stats.epochs += 1;
 
-            // Barrier: collect every outbox, stamp with the canonical
-            // (source, send-sequence) order, and deliver.
-            let mut routed: Vec<(ShardId, ShardId, u64, W::Msg)> = Vec::new();
-            let mut depth = 0usize;
-            for cell in &mut cells {
-                let cell = cell.get_mut().expect("shard cell lock");
-                depth = depth.max(cell.queue.len());
-                let from = cell.shard;
-                for (seq, (dst, msg)) in cell.outbox.drain(..).enumerate() {
-                    routed.push((from, dst, seq as u64, msg));
+            let mut drain_rounds = 0u64;
+            let mut epoch_idx = 0u64;
+            loop {
+                let epoch_end = if epoch_idx < planned_epochs {
+                    SimTime::from_micros(
+                        epoch
+                            .as_micros()
+                            .saturating_mul(epoch_idx + 1)
+                            .min(horizon.as_micros()),
+                    )
+                } else {
+                    horizon
+                };
+
+                let started = Instant::now();
+                epoch_end_us.store(epoch_end.as_micros(), Ordering::Relaxed);
+                next_shard.0.store(0, Ordering::Relaxed);
+                steals.0.store(0, Ordering::Relaxed);
+                barrier.wait();
+                // This thread is pool ordinal 0.
+                loop {
+                    let index = next_shard.0.fetch_add(1, Ordering::Relaxed);
+                    if index >= shard_count {
+                        break;
+                    }
+                    if index % threads != 0 {
+                        steals.0.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut cell = cells[index].0.lock().expect("shard cell lock");
+                    cell.run_epoch(build, epoch_end);
+                }
+                barrier.wait();
+
+                stats.steals += steals.0.load(Ordering::Relaxed);
+                stats.epochs += 1;
+
+                // Barrier merge: hand every non-empty lane to its
+                // destination by pointer swap. Iterating sources in
+                // ascending order keeps each inbox in canonical
+                // (source, send order) form with no sort.
+                let mut depth = 0usize;
+                let mut merged = 0u64;
+                for src in 0..shard_count {
+                    let cell = &mut *cells[src].0.lock().expect("shard cell lock");
+                    depth = depth.max(cell.queue.len());
+                    spares.append(&mut cell.spent);
+                    for dst in 0..shard_count {
+                        if cell.lanes[dst].is_empty() {
+                            continue;
+                        }
+                        let replacement = match spares.pop() {
+                            Some(buf) => {
+                                stats.arena_reuses += 1;
+                                buf
+                            }
+                            None => Vec::new(),
+                        };
+                        let buf = mem::replace(&mut cell.lanes[dst], replacement);
+                        merged += buf.len() as u64;
+                        stats.lane_swaps += 1;
+                        staged.push((dst as u32, ShardId(src as u32), buf));
+                    }
+                }
+                let has_pending_messages = !staged.is_empty();
+                for (dst, from, buf) in staged.drain(..) {
+                    cells[dst as usize]
+                        .0
+                        .lock()
+                        .expect("shard cell lock")
+                        .inbox
+                        .push((from, buf));
+                }
+                stats.merges += merged;
+                stats.max_queue_depth = stats.max_queue_depth.max(depth);
+
+                let elapsed = started.elapsed().as_nanos() as u64;
+                if let Some(h) = &epoch_latency {
+                    h.record(elapsed);
+                }
+                if let Some(c) = &epochs_total {
+                    c.inc();
+                }
+                if let Some(c) = &merges_total {
+                    c.add(merged);
+                }
+                if let Some(c) = &steals_total {
+                    c.add(steals.0.load(Ordering::Relaxed));
+                }
+                if let Some(g) = &queue_depth {
+                    g.set(depth as f64);
+                }
+
+                epoch_idx += 1;
+                if epoch_idx >= planned_epochs {
+                    // Main timeline exhausted: run bounded drain rounds
+                    // at the horizon while messages are still in flight.
+                    if !has_pending_messages || drain_rounds >= MAX_DRAIN_ROUNDS {
+                        done.store(true, Ordering::Relaxed);
+                        barrier.wait();
+                        break;
+                    }
+                    drain_rounds += 1;
                 }
             }
-            let merged = routed.len() as u64;
-            for (from, dst, seq, msg) in routed {
-                assert!(
-                    (dst.0 as usize) < shard_count,
-                    "{from} sent a message to nonexistent {dst}"
-                );
-                cells[dst.0 as usize]
-                    .get_mut()
-                    .expect("shard cell lock")
-                    .inbox
-                    .push((from, seq, msg));
-            }
-            let mut has_pending_messages = false;
-            for cell in &mut cells {
-                let cell = cell.get_mut().expect("shard cell lock");
-                cell.inbox.sort_by_key(|(from, seq, _)| (from.0, *seq));
-                has_pending_messages |= !cell.inbox.is_empty();
-            }
-            stats.merges += merged;
-            stats.max_queue_depth = stats.max_queue_depth.max(depth);
+        });
 
-            let elapsed = started.elapsed().as_nanos() as u64;
-            if let Some(h) = &epoch_latency {
-                h.record(elapsed);
-            }
-            if let Some(c) = &epochs_total {
-                c.inc();
-            }
-            if let Some(c) = &merges_total {
-                c.add(merged);
-            }
-            if let Some(c) = &steals_total {
-                c.add(steals.load(Ordering::Relaxed));
-            }
-            if let Some(g) = &queue_depth {
-                g.set(depth as f64);
-            }
-
-            epoch_idx += 1;
-            if epoch_idx >= planned_epochs {
-                // Main timeline exhausted: run bounded drain rounds at
-                // the horizon while messages are still in flight.
-                if !has_pending_messages || drain_rounds >= MAX_DRAIN_ROUNDS {
-                    break;
-                }
-                drain_rounds += 1;
-            }
+        let mut workers = Vec::with_capacity(shard_count);
+        for cell in cells {
+            let cell = cell.0.into_inner().expect("shard cell lock");
+            stats.arena_reuses += cell.scratch.reuses;
+            workers.push(cell.worker.expect("every shard ran at least one epoch"));
         }
-
-        let workers = cells
-            .into_iter()
-            .map(|cell| {
-                cell.into_inner()
-                    .expect("shard cell lock")
-                    .worker
-                    .expect("every shard ran at least one epoch")
-            })
-            .collect();
         (workers, stats)
     }
 }
@@ -515,7 +670,8 @@ mod tests {
     use rand::Rng;
 
     /// A workload exercising everything the engine guarantees: local
-    /// rescheduling, per-shard RNG draws, and cross-shard ping-pong.
+    /// rescheduling, per-shard RNG draws, scratch reuse, and cross-shard
+    /// ping-pong.
     struct Mixer {
         shard: ShardId,
         shards: u32,
@@ -542,10 +698,13 @@ mod tests {
         type Event = Tick;
         type Msg = u64;
 
-        fn handle(&mut self, ctx: &mut ShardCtx<'_, Tick, u64>, time: SimTime, event: Tick) {
+        fn handle(&mut self, ctx: &mut EpochCtx<'_, Tick, u64>, time: SimTime, event: Tick) {
             self.events += 1;
             let draw: u64 = ctx.rng().gen();
-            self.mix(time.as_micros() ^ event.0 ^ (draw >> 32));
+            let mut buf = ctx.scratch().take_f64();
+            buf.push(draw as f64);
+            self.mix(time.as_micros() ^ event.0 ^ (draw >> 32) ^ buf.len() as u64);
+            ctx.scratch().put_f64(buf);
             // Send to the next shard every third event.
             if self.events.is_multiple_of(3) && self.shards > 1 {
                 let dst = ShardId((self.shard.0 + 1) % self.shards);
@@ -556,7 +715,7 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, _ctx: &mut ShardCtx<'_, Tick, u64>, from: ShardId, msg: u64) {
+        fn on_message(&mut self, _ctx: &mut EpochCtx<'_, Tick, u64>, from: ShardId, msg: u64) {
             self.messages += 1;
             self.mix(u64::from(from.0).wrapping_mul(31).wrapping_add(msg));
         }
@@ -633,6 +792,23 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_counters_match_across_thread_counts() {
+        let (_, one) = run_mixer(1, 42);
+        for threads in [2, 4, 8] {
+            let (_, many) = run_mixer(threads, 42);
+            assert_eq!(one.epochs, many.epochs, "threads={threads}");
+            assert_eq!(one.merges, many.merges, "threads={threads}");
+            assert_eq!(one.lane_swaps, many.lane_swaps, "threads={threads}");
+            assert_eq!(one.arena_reuses, many.arena_reuses, "threads={threads}");
+        }
+        assert!(one.lane_swaps > 0, "ping-pong must swap lanes");
+        assert!(
+            one.arena_reuses > 0,
+            "scratch take/put and lane recycling must reuse buffers"
+        );
+    }
+
+    #[test]
     fn distinct_seeds_give_distinct_streams() {
         let (a, _) = run_mixer(2, 1);
         let (b, _) = run_mixer(2, 2);
@@ -690,10 +866,20 @@ mod tests {
         assert_eq!(stats.epochs, 1, "at least one epoch always runs");
     }
 
+    #[test]
+    fn message_free_config_runs_one_epoch() {
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(2, 1, 1));
+        let engine =
+            ShardedEngine::new(EngineConfig::message_free(2, SimTime::from_micros(1000)));
+        let (workers, stats) = engine.run(&plan, 0, |shard, _| shard.0, None);
+        assert_eq!(workers, vec![0, 1]);
+        assert_eq!(stats.epochs, 1, "whole horizon in a single epoch");
+    }
+
     impl ShardWorker for u32 {
         type Event = ();
         type Msg = ();
-        fn handle(&mut self, _ctx: &mut ShardCtx<'_, (), ()>, _t: SimTime, _e: ()) {}
+        fn handle(&mut self, _ctx: &mut EpochCtx<'_, (), ()>, _t: SimTime, _e: ()) {}
     }
 
     #[test]
@@ -704,12 +890,12 @@ mod tests {
         impl ShardWorker for Echo {
             type Event = u64;
             type Msg = u64;
-            fn handle(&mut self, ctx: &mut ShardCtx<'_, u64, u64>, _t: SimTime, e: u64) {
+            fn handle(&mut self, ctx: &mut EpochCtx<'_, u64, u64>, _t: SimTime, e: u64) {
                 // Fire a message during the last (and only) epoch.
                 let dst = ShardId(1 - ctx.shard().0);
                 ctx.send(dst, e);
             }
-            fn on_message(&mut self, _ctx: &mut ShardCtx<'_, u64, u64>, from: ShardId, msg: u64) {
+            fn on_message(&mut self, _ctx: &mut EpochCtx<'_, u64, u64>, from: ShardId, msg: u64) {
                 self.got.push((from.0, msg));
             }
         }

@@ -7,8 +7,10 @@
 //! their knobs — error allowance, max interval, patience, selectivity,
 //! seed — but each spells them differently. [`VolleyConfig`] is the one
 //! place to set those knobs; terminal methods convert it into whichever
-//! entry point a program needs. The old constructors remain as
-//! `#[deprecated]` shims for one release.
+//! entry point a program needs. The old scenario and fleet constructors
+//! (`NetworkScenario::new` and friends, `FleetTask::new`) shipped as
+//! `#[deprecated]` shims for one release and have since been removed;
+//! migrate to [`VolleyConfig`] or `FleetTask::from_spec`.
 //!
 //! ```
 //! use volley::prelude::*;
@@ -225,7 +227,7 @@ impl VolleyConfig {
     }
 
     /// Builds a fleet submission from this configuration's adaptation
-    /// knobs (replacing the deprecated `FleetTask::new`).
+    /// knobs (the replacement for the removed `FleetTask::new`).
     ///
     /// # Errors
     ///

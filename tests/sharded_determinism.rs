@@ -87,7 +87,7 @@ fn engine_rng_streams_identical_across_thread_counts() {
         type Msg = u64;
         fn handle(
             &mut self,
-            ctx: &mut volley::sim::ShardCtx<'_, Self::Event, Self::Msg>,
+            ctx: &mut volley::sim::EpochCtx<'_, Self::Event, Self::Msg>,
             time: SimTime,
             event: Self::Event,
         ) {
@@ -106,7 +106,7 @@ fn engine_rng_streams_identical_across_thread_counts() {
         }
         fn on_message(
             &mut self,
-            _ctx: &mut volley::sim::ShardCtx<'_, Self::Event, Self::Msg>,
+            _ctx: &mut volley::sim::EpochCtx<'_, Self::Event, Self::Msg>,
             from: ShardId,
             msg: Self::Msg,
         ) {
@@ -231,6 +231,214 @@ fn fleet_runner_identical_across_thread_caps_under_faults() {
                 summary, baseline_summary,
                 "faulted fleet summary diverged at seed {seed}, cap {threads}"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Old-engine golden pins.
+//
+// The digests below were captured from the previous serial
+// collect-route-sort engine immediately before the lane-based rewrite
+// landed, by hashing the `Debug` form of each report with FNV-1a 64.
+// They pin the cut-over: the new engine must reproduce the old engine's
+// output byte-for-byte, at every thread count, fault plan included.
+// ---------------------------------------------------------------------------
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn network_scenario_matches_pre_rewrite_goldens() {
+    const GOLDEN: [(u64, u64); 3] = [
+        (1, 0xad22247ad9454af3),
+        (2, 0x80f435f28533dd94),
+        (3, 0x71e19e010bf98071),
+    ];
+    for (seed, expected) in GOLDEN {
+        for threads in THREADS {
+            let report = small_config(seed).network_scenario().run_parallel(threads);
+            assert_eq!(
+                fnv1a(&format!("{report:?}")),
+                expected,
+                "network scenario drifted from the pre-rewrite engine at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn system_and_application_scenarios_match_pre_rewrite_goldens() {
+    let config = small_config(2);
+    for threads in THREADS {
+        let system = config.system_scenario().run_parallel(threads);
+        assert_eq!(
+            fnv1a(&format!("{system:?}")),
+            0xc28d5b03614ecfdf,
+            "system scenario drifted from the pre-rewrite engine at {threads} threads"
+        );
+        let application = config.application_scenario().run_parallel(threads);
+        assert_eq!(
+            fnv1a(&format!("{application:?}")),
+            0x6d60381d2b2892c2,
+            "application scenario drifted from the pre-rewrite engine at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn distributed_scenario_matches_pre_rewrite_goldens() {
+    const GOLDEN: [(u64, u64); 3] = [
+        (1, 0xf4d196cbf2c15a07),
+        (2, 0xe20744ba97266abd),
+        (3, 0x9ad280293478747f),
+    ];
+    for (seed, expected) in GOLDEN {
+        let config = VolleyConfig::new()
+            .cluster(ClusterConfig::new(4, 4, 1))
+            .ticks(150)
+            .seed(seed);
+        for threads in THREADS {
+            let report = config.distributed_scenario(5).run_parallel(threads);
+            assert_eq!(
+                fnv1a(&format!("{report:?}")),
+                expected,
+                "distributed scenario drifted from the pre-rewrite engine at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_runner_matches_pre_rewrite_goldens() {
+    const GOLDEN_CLEAN: [(u64, u64); 3] = [
+        (1, 0x1c71bb50c002a22c),
+        (2, 0x6dd252597a6c5e0f),
+        (3, 0x549fa96f02508311),
+    ];
+    const GOLDEN_FAULTED: [(u64, u64); 3] = [
+        (1, 0x25402d9b54de4bb4),
+        (2, 0x4dc7ad687bd5cf37),
+        (3, 0x36dfe98fd9eb14bf),
+    ];
+    for (goldens, faults) in [(GOLDEN_CLEAN, false), (GOLDEN_FAULTED, true)] {
+        for (seed, expected) in goldens {
+            for threads in THREADS {
+                let (reports, summary) = FleetRunner::new()
+                    .with_threads(threads)
+                    .run(fleet_tasks(seed, faults))
+                    .expect("fleet run succeeds");
+                assert_eq!(
+                    fnv1a(&format!("{:?}", (reports, summary))),
+                    expected,
+                    "fleet runner (faults: {faults}) drifted from the pre-rewrite engine at seed {seed}, cap {threads}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane delivery order == the old engine's sorted-merge order.
+//
+// The old barrier tagged every message with a per-source sequence number,
+// gathered all (dst, src, seq) triples, and sorted each destination's
+// inbox by (src, seq). The lane-based barrier skips the sort: it walks
+// source lanes in ascending order and each lane preserves push order,
+// which is the same total order by construction. This property test
+// drives arbitrary send patterns through the engine and checks the
+// delivered order against the sort-based definition.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+#[derive(Debug, Default)]
+struct LaneProbe {
+    /// (dst, payload) pairs to emit from this shard, in order.
+    sends: Vec<(u32, u64)>,
+    /// (src, payload) pairs in the order the barrier delivered them.
+    received: Vec<(u32, u64)>,
+}
+
+impl volley::sim::ShardWorker for LaneProbe {
+    type Event = ();
+    type Msg = u64;
+    fn handle(
+        &mut self,
+        ctx: &mut volley::sim::EpochCtx<'_, Self::Event, Self::Msg>,
+        _time: SimTime,
+        _event: Self::Event,
+    ) {
+        for &(dst, payload) in &self.sends {
+            ctx.send(ShardId(dst), payload);
+        }
+    }
+    fn on_message(
+        &mut self,
+        _ctx: &mut volley::sim::EpochCtx<'_, Self::Event, Self::Msg>,
+        from: ShardId,
+        msg: Self::Msg,
+    ) {
+        self.received.push((from.0, msg));
+    }
+}
+
+proptest! {
+    #[test]
+    fn lane_delivery_order_equals_sorted_merge_order(
+        sends in prop::collection::vec((0u32..4, 0u32..4, 0u16..512), 0..96),
+    ) {
+        let shards = 4u32;
+        // Old-engine definition: per destination, sort by (src, per-src
+        // send sequence). Payloads carry (src, seq) so the expectation is
+        // computable without touching engine internals.
+        let mut per_shard_sends: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shards as usize];
+        let mut expected: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shards as usize];
+        for (i, &(src, dst, tag)) in sends.iter().enumerate() {
+            let payload = (u64::from(src) << 48) | (u64::from(tag) << 24) | i as u64;
+            per_shard_sends[src as usize].push((dst, payload));
+            expected[dst as usize].push((src, payload));
+        }
+        for inbox in &mut expected {
+            // Stable sort by source: within a source, send order is kept,
+            // exactly what the old per-source sequence numbers encoded.
+            inbox.sort_by_key(|&(src, _)| src);
+        }
+
+        let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(8, 2, 2));
+        assert_eq!(plan.shard_count(), shards);
+        let mut baseline: Option<Vec<Vec<(u32, u64)>>> = None;
+        for threads in [1usize, 4] {
+            let engine = ShardedEngine::new(EngineConfig {
+                threads,
+                epoch: SimDuration::from_micros(50),
+                horizon: SimTime::from_micros(50),
+            });
+            let (workers, _) = engine.run(
+                &plan,
+                7,
+                |shard, ctx| {
+                    ctx.schedule(SimTime::ZERO, ());
+                    LaneProbe {
+                        sends: per_shard_sends[shard.0 as usize].clone(),
+                        received: Vec::new(),
+                    }
+                },
+                None,
+            );
+            let received: Vec<Vec<(u32, u64)>> =
+                workers.into_iter().map(|w| w.received).collect();
+            prop_assert_eq!(&received, &expected, "lane order != sorted-merge order at {} threads", threads);
+            match &baseline {
+                None => baseline = Some(received),
+                Some(b) => prop_assert_eq!(&received, b),
+            }
         }
     }
 }
