@@ -7,7 +7,15 @@
 //! window, gates the expensive DDoS task on the cheap response-time task,
 //! and the harness reports the cost/accuracy effect on an evaluation
 //! window.
+//!
+//! Writes `reproduction/correlation.txt` and
+//! `reproduction/correlation.json` (the shared schema-6 envelope);
+//! `--out <dir>` redirects both. For the fleet-scale version of this
+//! experiment on the sharded engine, see the `multitask` binary.
 
+use std::path::PathBuf;
+
+use serde::Serialize;
 use volley_bench::params::SweepParams;
 use volley_core::accuracy::{DetectionLog, GroundTruth};
 use volley_core::correlation::{CorrelationConfig, CorrelationDetector};
@@ -15,6 +23,36 @@ use volley_core::task::TaskId;
 use volley_core::Interval;
 use volley_traces::netflow::{AttackSpec, NetflowConfig};
 use volley_traces::DiurnalPattern;
+
+#[derive(Serialize)]
+struct CorrelationBenchReport {
+    ticks: usize,
+    train_ticks: usize,
+    seed: u64,
+    lag_window: u32,
+    /// Learned `P(response-time high | DDoS violation)`.
+    confidence: f64,
+    follower_gated: bool,
+    gated_interval: u32,
+    /// Periodic follower cost over the evaluation window (the baseline).
+    periodic_samples: u64,
+    gated_samples: u64,
+    gated_misdetection_rate: f64,
+    gated_cost_ratio: f64,
+}
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            if let Some(dir) = it.next() {
+                return PathBuf::from(dir);
+            }
+        }
+    }
+    PathBuf::from("reproduction")
+}
 
 /// Builds the correlated pair of traces: (response time, traffic
 /// difference ρ) under recurring attacks.
@@ -70,11 +108,6 @@ fn main() {
         .necessity_confidence(leader, follower)
         .unwrap_or(0.0);
     let plan = detector.plan();
-    println!("# State-correlation monitoring");
-    println!(
-        "learned: P(response-time high | DDoS violation) = {confidence:.3}; follower gated: {}",
-        plan.gate(follower).is_some()
-    );
 
     // Evaluate on the second half: the follower samples at the gated
     // interval while the leader (sampled every tick — it is cheap) is
@@ -95,17 +128,46 @@ fn main() {
     }
     let gated = gated_log.score(&truth, eval_rho.len() as u64);
 
+    let report = CorrelationBenchReport {
+        ticks,
+        train_ticks: train,
+        seed: params.seed,
+        lag_window: config.lag_window,
+        confidence,
+        follower_gated: plan.gate(follower).is_some(),
+        gated_interval: plan.gate(follower).map_or(0, |g| g.gated_interval.get()),
+        periodic_samples: eval_rho.len() as u64,
+        gated_samples: gated.sampling_ops,
+        gated_misdetection_rate: gated.misdetection_rate(),
+        gated_cost_ratio: gated.cost_ratio(),
+    };
+
+    let mut text = String::from("# State-correlation monitoring\n");
+    text.push_str(&format!(
+        "learned: P(response-time high | DDoS violation) = {confidence:.3}; follower gated: {}\n",
+        report.follower_gated
+    ));
     // Baseline: periodic sampling of the follower at the default interval.
-    println!(
-        "periodic follower:   samples={:<7} miss-rate=0.000",
-        eval_rho.len()
+    text.push_str(&format!(
+        "periodic follower:   samples={:<7} miss-rate=0.000\n",
+        report.periodic_samples
+    ));
+    text.push_str(&format!(
+        "correlation-gated:   samples={:<7} miss-rate={:.3} cost-ratio={:.3}\n",
+        report.gated_samples, report.gated_misdetection_rate, report.gated_cost_ratio
+    ));
+    text.push_str(
+        "\nShape to observe: the gated task cuts most sampling cost while its\n\
+         necessary-condition leader keeps the miss rate near zero.\n",
     );
-    println!(
-        "correlation-gated:   samples={:<7} miss-rate={:.3} cost-ratio={:.3}",
-        gated.sampling_ops,
-        gated.misdetection_rate(),
-        gated.cost_ratio()
-    );
-    println!("\nShape to observe: the gated task cuts most sampling cost while its");
-    println!("necessary-condition leader keeps the miss rate near zero.");
+    print!("{text}");
+
+    let out = out_dir();
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(out.join("correlation.txt"), &text).expect("write txt");
+    std::fs::write(
+        out.join("correlation.json"),
+        volley_serve::envelope("correlation", &report),
+    )
+    .expect("write json");
 }

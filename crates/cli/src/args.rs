@@ -440,6 +440,13 @@ pub struct ChaosArgs {
     pub monitors: usize,
     /// Trace length in ticks.
     pub ticks: usize,
+    /// Run this many correlated tasks under the multi-task suppression
+    /// runner — a planted leader/follower cascade plus uncorrelated
+    /// noise tasks — instead of the single-task fault fleet (`0` = off).
+    pub multitask: usize,
+    /// Training window for the multi-task correlation plan in ticks
+    /// (`0` = auto: a third of the run).
+    pub train_ticks: u64,
     /// Violation-report drop probability.
     pub drop_rate: f64,
     /// Poll-reply drop probability.
@@ -598,9 +605,45 @@ pub struct BacktestArgs {
     pub common: CommonArgs,
 }
 
+/// What `volley analyze` should compute over the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeAction {
+    /// Top-K pairwise violation correlation (`correlation_matrix_v1`).
+    Correlate,
+}
+
+/// The `analyze` subcommand's options: run an offline analysis job
+/// (a bounded-memory, single-pass fold — see `volley-analyze`) over a
+/// recorded sample store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// The job to run (`correlate`).
+    pub action: AnalyzeAction,
+    /// Store directory (`--store-dir`, or its legacy alias `--dir`).
+    pub dir: String,
+    /// Best pairs to report (`--top-k`).
+    pub top_k: usize,
+    /// Lag window in ticks (`--lag`): how far before a follower alert a
+    /// leader alert may land and still count.
+    pub lag: u32,
+    /// Minimum follower alerts for a pair to qualify (`--min-support`).
+    pub min_support: u64,
+    /// First tick (inclusive).
+    pub from: u64,
+    /// Last tick (inclusive).
+    pub to: u64,
+    /// Alert ticks retained per task (`--max-alerts`); surplus history
+    /// is counted but not correlated.
+    pub max_alerts: usize,
+    /// Shared flag group (`--report-json` wraps the matrix in the
+    /// versioned envelope).
+    pub common: CommonArgs,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
+#[allow(clippy::large_enum_variant)] // one Command per process; never stored in bulk
 pub enum Command {
     /// Replay a trace through the adaptive monitor.
     Monitor(MonitorArgs),
@@ -618,6 +661,8 @@ pub enum Command {
     Store(StoreArgs),
     /// Replay recorded history through candidate configurations.
     Backtest(BacktestArgs),
+    /// Run an offline analysis job over a recorded store.
+    Analyze(AnalyzeArgs),
     /// Serve a monitor fleet over a real socket.
     Coordinator(CoordinatorArgs),
     /// Host a slice of monitors and dial the coordinator.
@@ -672,6 +717,10 @@ USAGE:
   volley backtest --store-dir <dir> [--task <n=0>] [--err <e>]...
                   [--from <t>] [--to <t>] [--verify]
                   [--monitors <n>] [--threshold <T>] [common flags]
+  volley analyze  correlate --store-dir <dir> [--top-k <n=10>]
+                  [--lag <n=2>] [--min-support <n=3>]
+                  [--from <t>] [--to <t>] [--max-alerts <n=65536>]
+                  [common flags]
   volley coordinator [--monitors <n=5>] [--ticks <n=200>] [--err <e=0.01>]
                   [--listen <addr=127.0.0.1:7707>] [--unix <path>]
                   [--deadline-ms <n=5000>] [--quarantine-after <n=3>]
@@ -684,6 +733,10 @@ USAGE:
                   [transport flags] [common flags]
   volley chaos --net  adds: [--net-agents <n>] [--net-storm-every <t>]
                   [--net-storm-fraction <p=0.25>] [transport flags]
+  volley chaos --multitask <n>  runs <n> correlated tasks (a planted
+                  leader/follower cascade plus noise tasks) under the
+                  live correlation-suppression runner; adds:
+                  [--train-ticks <t=ticks/3>]
   volley help
 
 Transport flags (same meaning on agent, coordinator and chaos --net):
@@ -822,6 +875,7 @@ impl Command {
             "obs" => Self::parse_obs(rest),
             "store" => Self::parse_store(rest),
             "backtest" => Self::parse_backtest(rest),
+            "analyze" => Self::parse_analyze(rest),
             "coordinator" => Self::parse_coordinator(rest),
             "agent" => Self::parse_agent(rest),
             other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
@@ -888,6 +942,8 @@ impl Command {
         let mut parsed = ChaosArgs {
             monitors: 5,
             ticks: 200,
+            multitask: 0,
+            train_ticks: 0,
             drop_rate: 0.0,
             poll_drop_rate: 0.0,
             dup_rate: 0.0,
@@ -926,6 +982,8 @@ impl Command {
             match flag.as_str() {
                 "--monitors" => parsed.monitors = parse_value(flag, it.next())?,
                 "--ticks" => parsed.ticks = parse_value(flag, it.next())?,
+                "--multitask" => parsed.multitask = parse_value(flag, it.next())?,
+                "--train-ticks" => parsed.train_ticks = parse_value(flag, it.next())?,
                 "--drop-rate" => parsed.drop_rate = parse_value(flag, it.next())?,
                 "--poll-drop-rate" => parsed.poll_drop_rate = parse_value(flag, it.next())?,
                 "--dup-rate" => parsed.dup_rate = parse_value(flag, it.next())?,
@@ -1140,6 +1198,60 @@ impl Command {
         }
         parsed.common.store_dir = None; // consumed by the resolution
         Ok(Command::Backtest(parsed))
+    }
+
+    fn parse_analyze(args: &[String]) -> Result<Command, CliError> {
+        let mut it = args.iter();
+        let action = match it.next().map(String::as_str) {
+            Some("correlate") => AnalyzeAction::Correlate,
+            Some(other) => {
+                return Err(CliError::Usage(format!(
+                    "unknown analyze job `{other}` (expected correlate)"
+                )))
+            }
+            None => {
+                return Err(CliError::Usage(
+                    "analyze requires a job: correlate".to_string(),
+                ))
+            }
+        };
+        let mut parsed = AnalyzeArgs {
+            action,
+            dir: String::new(),
+            top_k: 10,
+            lag: 2,
+            min_support: 3,
+            from: 0,
+            to: u64::MAX,
+            max_alerts: 65_536,
+            common: CommonArgs::default(),
+        };
+        while let Some(flag) = it.next() {
+            if parsed.common.accept(flag, &mut it)? {
+                continue;
+            }
+            match flag.as_str() {
+                "--dir" => parsed.dir = parse_value(flag, it.next())?,
+                "--top-k" => parsed.top_k = parse_value(flag, it.next())?,
+                "--lag" => parsed.lag = parse_value(flag, it.next())?,
+                "--min-support" => parsed.min_support = parse_value(flag, it.next())?,
+                "--from" => parsed.from = parse_value(flag, it.next())?,
+                "--to" => parsed.to = parse_value(flag, it.next())?,
+                "--max-alerts" => parsed.max_alerts = parse_value(flag, it.next())?,
+                other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+            }
+        }
+        let legacy = (!parsed.dir.is_empty()).then(|| parsed.dir.clone());
+        match parsed
+            .common
+            .resolve_store_dir(legacy.as_deref())
+            .map(str::to_string)
+        {
+            Some(dir) => parsed.dir = dir,
+            None => return Err(CliError::Usage("analyze requires --store-dir".to_string())),
+        }
+        parsed.common.store_dir = None; // consumed by the resolution
+        Ok(Command::Analyze(parsed))
     }
 
     fn parse_coordinator(args: &[String]) -> Result<Command, CliError> {
@@ -1799,6 +1911,85 @@ mod tests {
             Command::parse(args(&["backtest"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn analyze_parses_correlate_flags() {
+        let cmd = Command::parse(args(&[
+            "analyze",
+            "correlate",
+            "--store-dir",
+            "/tmp/store",
+            "--top-k",
+            "5",
+            "--lag",
+            "4",
+            "--min-support",
+            "7",
+            "--from",
+            "10",
+            "--to",
+            "900",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyze(a) => {
+                assert_eq!(a.action, AnalyzeAction::Correlate);
+                assert_eq!(a.dir, "/tmp/store");
+                assert_eq!(a.top_k, 5);
+                assert_eq!(a.lag, 4);
+                assert_eq!(a.min_support, 7);
+                assert_eq!(a.from, 10);
+                assert_eq!(a.to, 900);
+                assert!(a.common.report_json);
+                assert_eq!(a.common.store_dir, None, "consumed by resolution");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Legacy `--dir` spells the store directory too.
+        match Command::parse(args(&["analyze", "correlate", "--dir", "/tmp/s"])).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.dir, "/tmp/s"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_rejects_bad_inputs() {
+        assert!(matches!(
+            Command::parse(args(&["analyze"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(args(&["analyze", "histogram"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse(args(&["analyze", "correlate"])),
+            Err(CliError::Usage(_)) // no store directory
+        ));
+    }
+
+    #[test]
+    fn chaos_parses_multitask_flags() {
+        let cmd = Command::parse(args(&[
+            "chaos",
+            "--multitask",
+            "4",
+            "--train-ticks",
+            "150",
+            "--ticks",
+            "600",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos(c) => {
+                assert_eq!(c.multitask, 4);
+                assert_eq!(c.train_ticks, 150);
+                assert_eq!(c.ticks, 600);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

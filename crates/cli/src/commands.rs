@@ -13,9 +13,9 @@ use volley_traces::netflow::NetflowConfig;
 use volley_traces::sysmetrics::SystemMetricsGenerator;
 
 use crate::args::{
-    AgentArgs, BacktestArgs, ChaosArgs, CliError, Command, CoordinatorArgs, GenerateArgs,
-    MonitorArgs, ObsArgs, RunArgs, ServeArgs, SimulateArgs, StoreAction, StoreArgs, TransportArgs,
-    USAGE,
+    AgentArgs, AnalyzeAction, AnalyzeArgs, BacktestArgs, ChaosArgs, CliError, Command,
+    CoordinatorArgs, GenerateArgs, MonitorArgs, ObsArgs, RunArgs, ServeArgs, SimulateArgs,
+    StoreAction, StoreArgs, TransportArgs, USAGE,
 };
 
 /// The version of the JSON report envelope shared by every subcommand
@@ -55,6 +55,7 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
         Command::Obs(args) => obs_read(&args, out),
         Command::Store(args) => store_cmd(&args, out),
         Command::Backtest(args) => backtest_cmd(&args, out),
+        Command::Analyze(args) => analyze_cmd(&args, out),
         Command::Coordinator(args) => coordinator_cmd(&args, out),
         Command::Agent(args) => agent_cmd(&args, out),
     }
@@ -670,6 +671,9 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     use volley_core::task::{MonitorId, TaskSpec};
     use volley_runtime::{FaultPath, FaultPlan, TaskRunner};
 
+    if args.multitask > 0 {
+        return chaos_multitask(args, out);
+    }
     if args.net {
         return chaos_net(args, out);
     }
@@ -886,6 +890,282 @@ fn chaos<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
     }
     if let Some(dir) = args.common.resolve_obs_dir(None) {
         writeln!(out, "obs snapshots:    {dir}")?;
+    }
+    if let Some(dir) = args.common.resolve_store_dir(None) {
+        writeln!(out, "sample store:     {dir}")?;
+    }
+    Ok(())
+}
+
+/// SplitMix64 finalizer: the deterministic per-`(seed, task, tick)` hash
+/// behind the noise tasks' spike schedule in [`cascade_traces`].
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The planted cascade workload for `chaos --multitask`: task 0 (the
+/// leader) violates on ticks 10..18 of every 40, task 1 (the follower)
+/// echoes it two ticks later, and every further task spikes on its own
+/// seeded, uncorrelated schedule (roughly 4% of ticks). All of a task's
+/// monitors spike together so local violations aggregate over the
+/// global threshold; the per-monitor wobble keeps traces distinct.
+fn cascade_traces(tasks: usize, monitors: usize, ticks: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+    (0..tasks)
+        .map(|task| {
+            (0..monitors)
+                .map(|m| {
+                    (0..ticks)
+                        .map(|t| {
+                            let wobble = ((t * (3 + m)) % 7) as f64;
+                            let hot = match task {
+                                0 => (10..18).contains(&(t % 40)),
+                                1 => (12..20).contains(&(t % 40)),
+                                _ => splitmix(seed ^ ((task as u64) << 32) ^ t as u64)
+                                    .is_multiple_of(25),
+                            };
+                            if hot {
+                                200.0 + wobble
+                            } else {
+                                5.0 + wobble
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The planted role of one task in the `chaos --multitask` workload.
+fn planted_role(task: usize) -> &'static str {
+    match task {
+        0 => "leader",
+        1 => "follower",
+        _ => "noise",
+    }
+}
+
+/// One task's section of a `chaos --multitask` report, pairing the
+/// gated run's numbers with the ungated baseline's.
+#[derive(Debug, Serialize)]
+struct MultitaskTaskSection {
+    task: usize,
+    /// The *planted* role (what the workload encodes); the derived plan
+    /// is in the report's `gates`.
+    role: &'static str,
+    alerts: u64,
+    baseline_alerts: u64,
+    total_samples: u64,
+    baseline_samples: u64,
+    suppressed_samples: u64,
+    gated_ticks: u64,
+    gate_flips: u64,
+}
+
+/// JSON report of a `chaos --multitask` run.
+#[derive(Debug, Serialize)]
+struct MultitaskChaosReport {
+    tasks: usize,
+    monitors_per_task: usize,
+    ticks: u64,
+    train_ticks: u64,
+    /// The derived gating plan (follower ← leader, confidence).
+    gates: Vec<volley_runtime::PlanGate>,
+    gate_flips: u64,
+    suppressed_samples: u64,
+    total_samples: u64,
+    /// Samples of the identical workload run ungated (training window
+    /// spanning the whole run) — the suppression savings baseline.
+    baseline_samples: u64,
+    /// `1 − total/baseline`: the fleet-wide sampling saved by gating.
+    savings_ratio: f64,
+    /// Alerts the gated run missed relative to the baseline, summed over
+    /// tasks — the mis-detection cost of suppression.
+    missed_alerts: u64,
+    tasks_detail: Vec<MultitaskTaskSection>,
+}
+
+/// Runs `--multitask N` correlated tasks under the live multi-task
+/// suppression runner ([`volley_runtime::MultiTaskRunner`]): a planted
+/// leader/follower cascade plus seeded noise tasks, trained for
+/// `--train-ticks`, then gated. The same workload is re-run ungated to
+/// price the suppression savings and mis-detection cost. Message/fault
+/// injection flags do not apply in this mode (the fleet runs lossless);
+/// `--store-dir`, `--wal-dir` and the serve plane do.
+fn chaos_multitask<W: Write>(args: &ChaosArgs, out: &mut W) -> Result<(), CliError> {
+    use volley_core::correlation::CorrelationConfig;
+    use volley_core::task::TaskSpec;
+    use volley_runtime::{MultiTask, MultiTaskConfig, MultiTaskRunner};
+
+    let monitors = args.monitors;
+    let ticks = args.ticks as u64;
+    let train_ticks = if args.train_ticks > 0 {
+        args.train_ticks
+    } else {
+        ticks / 3
+    };
+    // Same adaptation shape as the runtime's own cascade tests: a small
+    // max interval keeps the adaptive schedule fine-grained, so the
+    // coarse gated interval (8) is visibly cheaper.
+    let spec = TaskSpec::builder(100.0 * monitors as f64)
+        .monitors(monitors)
+        .error_allowance(0.05)
+        .max_interval(4)
+        .patience(2)
+        .warmup_samples(2)
+        .build()?;
+    let traces = cascade_traces(args.multitask, monitors, args.ticks, args.common.seed);
+    let tasks: Vec<MultiTask> = traces
+        .into_iter()
+        .map(|t| MultiTask::new(spec.clone(), t))
+        .collect();
+    let correlation = CorrelationConfig {
+        min_confidence: 0.8,
+        min_support: 5,
+        ..CorrelationConfig::default()
+    };
+
+    let recorder = match args.common.resolve_store_dir(None) {
+        Some(dir) => Some(open_recorder(
+            dir,
+            &volley_store::TaskMeta {
+                monitors,
+                global_threshold: 100.0 * monitors as f64,
+                error_allowance: 0.05,
+                ticks,
+                seed: args.common.seed,
+            },
+            None,
+        )?),
+        None => None,
+    };
+    let obs = volley_obs::Obs::new(args.serve.enabled());
+    let serve_handle = start_serve(&args.serve, args.common.resolve_store_dir(None), &obs)?;
+
+    let mut runner = MultiTaskRunner::new(MultiTaskConfig {
+        correlation,
+        train_ticks,
+        costs: None,
+    })?;
+    if let Some(recorder) = &recorder {
+        runner = runner.with_recorder(recorder.clone());
+    }
+    if serve_handle.is_some() {
+        runner = runner.with_obs(obs.clone());
+    }
+    if let Some(dir) = &args.wal_dir {
+        std::fs::create_dir_all(dir)?;
+        runner = runner.with_wal_dir(dir, args.checkpoint_interval);
+    }
+    let outcome = runner.run(&tasks)?;
+    if let Some(recorder) = &recorder {
+        recorder.flush();
+    }
+    finish_serve(serve_handle, outcome.ticks, args.serve.linger_ms);
+
+    // The savings baseline: the identical workload, never gated (a
+    // training window spanning the run is pure observation).
+    let baseline = MultiTaskRunner::new(MultiTaskConfig {
+        correlation,
+        train_ticks: ticks,
+        costs: None,
+    })?
+    .run(&tasks)?;
+
+    let total_samples = outcome.total_samples();
+    let baseline_samples = baseline.total_samples();
+    let savings_ratio = if baseline_samples > 0 {
+        1.0 - total_samples as f64 / baseline_samples as f64
+    } else {
+        0.0
+    };
+    let tasks_detail: Vec<MultitaskTaskSection> = outcome
+        .reports
+        .iter()
+        .zip(&baseline.reports)
+        .enumerate()
+        .map(|(task, (gated, ungated))| {
+            let section = gated.multitask.unwrap_or_default();
+            MultitaskTaskSection {
+                task,
+                role: planted_role(task),
+                alerts: gated.alerts,
+                baseline_alerts: ungated.alerts,
+                total_samples: gated.total_samples,
+                baseline_samples: ungated.total_samples,
+                suppressed_samples: section.suppressed_samples,
+                gated_ticks: section.gated_ticks,
+                gate_flips: section.gate_flips,
+            }
+        })
+        .collect();
+    let missed_alerts = tasks_detail
+        .iter()
+        .map(|t| t.baseline_alerts.saturating_sub(t.alerts))
+        .sum();
+    let summary = MultitaskChaosReport {
+        tasks: args.multitask,
+        monitors_per_task: monitors,
+        ticks: outcome.ticks,
+        train_ticks: outcome.train_ticks,
+        gates: outcome.gates.clone(),
+        gate_flips: outcome.gate_flips,
+        suppressed_samples: outcome.suppressed_samples,
+        total_samples,
+        baseline_samples,
+        savings_ratio,
+        missed_alerts,
+        tasks_detail,
+    };
+    if args.common.report_json {
+        return write_envelope(out, "chaos", &summary);
+    }
+    writeln!(
+        out,
+        "tasks:            {} × {} monitors",
+        summary.tasks, summary.monitors_per_task
+    )?;
+    writeln!(
+        out,
+        "ticks:            {} ({} training)",
+        summary.ticks, summary.train_ticks
+    )?;
+    writeln!(out, "gates:            {}", summary.gates.len())?;
+    for gate in &summary.gates {
+        writeln!(
+            out,
+            "  task {} ← task {}  confidence {:.3}  interval {}",
+            gate.follower, gate.leader, gate.confidence, gate.gated_interval
+        )?;
+    }
+    writeln!(
+        out,
+        "suppressed:       {} samples ({} gate flips)",
+        summary.suppressed_samples, summary.gate_flips
+    )?;
+    writeln!(
+        out,
+        "samples:          {} vs {} ungated ({:.1}% saved)",
+        summary.total_samples,
+        summary.baseline_samples,
+        100.0 * summary.savings_ratio
+    )?;
+    writeln!(out, "missed alerts:    {}", summary.missed_alerts)?;
+    for t in &summary.tasks_detail {
+        writeln!(
+            out,
+            "  task {} {:<9} alerts {}/{}  samples {}  suppressed {} over {} gated ticks",
+            t.task,
+            t.role,
+            t.alerts,
+            t.baseline_alerts,
+            t.total_samples,
+            t.suppressed_samples,
+            t.gated_ticks
+        )?;
     }
     if let Some(dir) = args.common.resolve_store_dir(None) {
         writeln!(out, "sample store:     {dir}")?;
@@ -1437,6 +1717,83 @@ fn backtest_cmd<W: Write>(args: &BacktestArgs, out: &mut W) -> Result<(), CliErr
     Ok(())
 }
 
+/// JSON report of an `analyze` run: the job's identity, the framework's
+/// IO accounting and the job's output.
+#[derive(Debug, Serialize)]
+struct AnalyzeReport {
+    job: String,
+    dir: String,
+    records_scanned: u64,
+    config: volley_analyze::CorrelationMatrixConfig,
+    matrix: volley_analyze::CorrelationMatrix,
+}
+
+/// Runs an offline analysis job over a recorded store: one streaming
+/// scan pass, bounded memory (see `volley-analyze` for the contract).
+fn analyze_cmd<W: Write>(args: &AnalyzeArgs, out: &mut W) -> Result<(), CliError> {
+    use volley_analyze::{run_job, CorrelationMatrixConfig, CorrelationMatrixJob};
+
+    let AnalyzeAction::Correlate = args.action;
+    let store = volley_store::Store::open(&args.dir)
+        .map_err(|e| CliError::Input(format!("cannot open store {}: {e}", args.dir)))?;
+    let job = CorrelationMatrixJob::new(CorrelationMatrixConfig {
+        top_k: args.top_k,
+        lag_window: args.lag,
+        min_support: args.min_support,
+        from: args.from,
+        to: args.to,
+        max_alerts_per_task: args.max_alerts,
+    });
+    let config = *job.config();
+    let finished = run_job(&store, job)?;
+    let report = AnalyzeReport {
+        job: finished.job,
+        dir: args.dir.clone(),
+        records_scanned: finished.records_scanned,
+        config,
+        matrix: finished.output,
+    };
+    if args.common.report_json {
+        return write_envelope(out, "analyze", &report);
+    }
+    writeln!(out, "job:              {}", report.job)?;
+    writeln!(out, "store:            {}", report.dir)?;
+    writeln!(out, "records scanned:  {}", report.records_scanned)?;
+    writeln!(
+        out,
+        "tasks:            {} ({} alerts{})",
+        report.matrix.tasks,
+        report.matrix.alerts,
+        if report.matrix.truncated_tasks > 0 {
+            format!(", {} truncated", report.matrix.truncated_tasks)
+        } else {
+            String::new()
+        }
+    )?;
+    writeln!(
+        out,
+        "qualifying pairs: {} (top {} shown, lag {}, support ≥ {})",
+        report.matrix.qualifying_pairs,
+        report.matrix.pairs.len(),
+        report.config.lag_window,
+        report.config.min_support
+    )?;
+    for (rank, pair) in report.matrix.pairs.iter().enumerate() {
+        writeln!(
+            out,
+            "  #{:<3} task {} → task {}  confidence {:.3}  joint {}/{}  leader alerts {}",
+            rank + 1,
+            pair.leader,
+            pair.follower,
+            pair.confidence,
+            pair.joint,
+            pair.support,
+            pair.leader_alerts
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1571,6 +1928,8 @@ mod tests {
         ChaosArgs {
             monitors: 2,
             ticks: 100,
+            multitask: 0,
+            train_ticks: 0,
             drop_rate: 0.0,
             poll_drop_rate: 0.0,
             dup_rate: 0.0,
@@ -1995,6 +2354,86 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&compact).unwrap();
         assert_eq!(parsed["report"]["stats"]["segments_after"], 1, "{compact}");
         assert_eq!(first, query(), "compaction preserves scans");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multitask_chaos_feeds_analyze_correlate() {
+        let dir = std::env::temp_dir().join("volley-cli-test-multitask");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_string_lossy().to_string();
+
+        // A 3-task planted cascade: the runner learns the 1 ← 0 gate and
+        // suppresses follower sampling while the leader is calm.
+        let mut args = chaos_args();
+        args.multitask = 3;
+        args.ticks = 600;
+        args.train_ticks = 200;
+        args.common.store_dir = Some(dir.clone());
+        let text = run_to_string(Command::Chaos(args));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["schema"], REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed["command"], "chaos");
+        let report = &parsed["report"];
+        assert_eq!(report["tasks"], 3);
+        assert_eq!(report["train_ticks"], 200);
+        let gates = report["gates"].as_array().unwrap();
+        assert_eq!(gates.len(), 1, "{text}");
+        assert_eq!(gates[0]["leader"], 0);
+        assert_eq!(gates[0]["follower"], 1);
+        assert!(report["suppressed_samples"].as_u64().unwrap() > 0, "{text}");
+        assert!(report["savings_ratio"].as_f64().unwrap() > 0.0, "{text}");
+        // Suppression may not cost detections on the planted cascade.
+        assert_eq!(report["missed_alerts"], 0, "{text}");
+
+        // The offline job recovers the planted pair at rank 1 from the
+        // recorded alerts alone.
+        let analyze = || {
+            run_to_string(Command::Analyze(AnalyzeArgs {
+                action: AnalyzeAction::Correlate,
+                dir: dir.clone(),
+                top_k: 10,
+                lag: 2,
+                min_support: 3,
+                from: 0,
+                to: u64::MAX,
+                max_alerts: 65_536,
+                common: CommonArgs {
+                    report_json: true,
+                    ..CommonArgs::default()
+                },
+            }))
+        };
+        let first = analyze();
+        assert_eq!(first, analyze(), "analysis determinism");
+        let parsed: serde_json::Value = serde_json::from_str(&first).unwrap();
+        assert_eq!(parsed["command"], "analyze");
+        let report = &parsed["report"];
+        assert_eq!(report["job"], "correlation_matrix_v1");
+        assert!(report["records_scanned"].as_u64().unwrap() > 0);
+        let pairs = report["matrix"]["pairs"].as_array().unwrap();
+        assert!(!pairs.is_empty(), "{first}");
+        assert_eq!(pairs[0]["leader"], 0, "{first}");
+        assert_eq!(pairs[0]["follower"], 1, "{first}");
+        assert!(pairs[0]["confidence"].as_f64().unwrap() > 0.9, "{first}");
+
+        // Text mode renders the same ranking.
+        let mut text_args = AnalyzeArgs {
+            action: AnalyzeAction::Correlate,
+            dir: dir.clone(),
+            top_k: 10,
+            lag: 2,
+            min_support: 3,
+            from: 0,
+            to: u64::MAX,
+            max_alerts: 65_536,
+            common: CommonArgs::default(),
+        };
+        text_args.common.report_json = false;
+        let rendered = run_to_string(Command::Analyze(text_args));
+        assert!(rendered.contains("correlation_matrix_v1"), "{rendered}");
+        assert!(rendered.contains("task 0 → task 1"), "{rendered}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -192,11 +192,8 @@ impl SamplerBank {
         let threshold = self.thresholds[idx];
         let violation = value > threshold;
 
-        let (mu, sigma, observations) = (
-            self.mean[idx],
-            self.variance[idx].sqrt(),
-            self.count(idx),
-        );
+        let (mu, sigma, observations) =
+            (self.mean[idx], self.variance[idx].sqrt(), self.count(idx));
         let warmed = observations >= self.config.warmup_samples().max(2);
         let beta_current = if warmed {
             misdetection_bound_with(
@@ -341,10 +338,10 @@ mod tests {
                 x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
                 x ^= x >> 29;
                 match x % 100 {
-                    0..=1 => threshold + 5.0,      // violation
-                    2..=3 => threshold,            // headroom exactly zero
-                    4..=9 => threshold - 1.0,      // risky bound
-                    _ => 10.0 + (x % 13) as f64,   // calm band
+                    0..=1 => threshold + 5.0,    // violation
+                    2..=3 => threshold,          // headroom exactly zero
+                    4..=9 => threshold - 1.0,    // risky bound
+                    _ => 10.0 + (x % 13) as f64, // calm band
                 }
             })
             .collect()

@@ -90,6 +90,12 @@ pub mod names {
     pub const COORDINATOR_TICK_NS: &str = "volley_coordinator_tick_ns";
     /// Counter: global polls triggered.
     pub const COORDINATOR_POLLS_TOTAL: &str = "volley_coordinator_polls_total";
+    /// Counter: follower samples suppressed by the §II.B multi-task gate
+    /// (adaptive schedule was due, the gate held the sample).
+    pub const MULTITASK_SUPPRESSED_SAMPLES_TOTAL: &str =
+        "volley_multitask_suppressed_samples_total";
+    /// Counter: follower-gate engage/release transitions.
+    pub const MULTITASK_GATE_FLIPS_TOTAL: &str = "volley_multitask_gate_flips_total";
     /// Histogram (ns): WAL append latency.
     pub const WAL_APPEND_NS: &str = "volley_wal_append_ns";
     /// Histogram (ns): checkpoint write latency.

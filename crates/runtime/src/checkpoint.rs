@@ -137,6 +137,25 @@ pub struct CoordinatorSnapshot {
     /// answer the snapshot request in time (those restart conservatively
     /// on recovery).
     pub samplers: Vec<Option<SamplerSnapshot>>,
+    /// Multi-task follower-gate state (§II.B suppression policy); `None`
+    /// when the coordinator runs without a gate — and when replaying logs
+    /// written before this field existed.
+    #[serde(default)]
+    pub multitask: Option<MultitaskSnapshot>,
+}
+
+/// Follower-gate state persisted with each checkpoint so a standby
+/// resumes suppression exactly where the deposed primary left it —
+/// without this, a failover would silently drop the gate and followers
+/// would burn full adaptive sampling until the next leader transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultitaskSnapshot {
+    /// Whether the gate was engaged (leader calm, followers coarsened).
+    pub engaged: bool,
+    /// Lifetime engage/release transitions.
+    pub flips: u64,
+    /// Lifetime follower samples suppressed across the fleet.
+    pub suppressed: u64,
 }
 
 /// One WAL record.
@@ -652,7 +671,28 @@ mod tests {
             next_update_tick: tick + 50,
             allowances: vec![0.005, 0.005],
             samplers: vec![Some(sampler_snapshot()), None],
+            multitask: Some(MultitaskSnapshot {
+                engaged: tick.is_multiple_of(2),
+                flips: tick,
+                suppressed: tick * 3,
+            }),
         }
+    }
+
+    /// A snapshot written before the multitask field existed must still
+    /// replay (forward compatibility of the WAL format).
+    #[test]
+    fn pre_multitask_snapshot_decodes_with_none() {
+        let legacy = br#"{"Snapshot":{"epoch":1,"tick":7,"next_update_tick":57,"allowances":[0.01],"samplers":[null]}}"#;
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(legacy.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(legacy).to_le_bytes());
+        framed.extend_from_slice(legacy);
+        let replay = decode_records(&framed);
+        assert_eq!(replay.records, 1);
+        let snap = replay.snapshot.expect("snapshot decodes");
+        assert_eq!(snap.tick, 7);
+        assert_eq!(snap.multitask, None);
     }
 
     fn outcome(tick: Tick) -> TickOutcome {

@@ -53,7 +53,7 @@ use volley_core::task::MonitorId;
 use volley_core::time::Tick;
 use volley_obs::{names, Counter, Histogram, Obs, SpanLog};
 
-use crate::checkpoint::{CoordinatorSnapshot, TickOutcome, Wal, WalRecord};
+use crate::checkpoint::{CoordinatorSnapshot, MultitaskSnapshot, TickOutcome, Wal, WalRecord};
 use crate::failure::{FailureInjector, FaultPath, FaultPlan};
 use crate::link::MonitorLink;
 use crate::message::{
@@ -100,8 +100,41 @@ pub struct CoordinatorActor {
     /// Last tick closed by a previous incarnation (failover resume).
     resume_last_tick: Option<Tick>,
     checkpoint: Option<Checkpointer>,
+    /// Multi-task follower gate (§II.B): present only on follower-task
+    /// coordinators driven by a [`LeaderState`] feed.
+    multitask: Option<FollowerGate>,
     /// Observability handles (absent = zero instrumentation cost).
     obs: Option<CoordinatorObsHandles>,
+}
+
+/// The §II.B suppression policy: while the precondition (leader) task's
+/// violation likelihood is low, this coordinator's monitors are paced to
+/// a coarse interval; the moment the leader fires they snap back to their
+/// adaptive schedules. The gate engages and releases on [`LeaderState`]
+/// transitions fed by the runner.
+///
+/// [`LeaderState`]: MonitorToCoordinator::LeaderState
+#[derive(Debug)]
+struct FollowerGate {
+    /// Coarse interval pushed to followers while the leader is calm.
+    gated_interval: u32,
+    /// Whether the gate is currently engaged (leader calm).
+    engaged: bool,
+    /// Lifetime engage/release transitions.
+    flips: u64,
+    /// Lifetime samples suppressed across this coordinator's fleet.
+    suppressed: u64,
+    /// Restored gate state not yet re-broadcast to the (fresh) monitors.
+    needs_sync: bool,
+    /// Whether this coordinator broadcasts [`SetGate`] itself. An
+    /// external driver (the multi-task runner) turns this off and sends
+    /// the gate frames FIFO-ordered with tick data, which keeps the tick
+    /// at which a gate takes effect deterministic; the coordinator still
+    /// tracks engage/release state, counts flips and suppressed samples,
+    /// and checkpoints the gate.
+    ///
+    /// [`SetGate`]: CoordinatorToMonitor::SetGate
+    broadcast: bool,
 }
 
 /// Pre-resolved obs instruments for the coordinator's hot paths.
@@ -113,6 +146,8 @@ struct CoordinatorObsHandles {
     checkpoint_hist: Histogram,
     polls: Counter,
     recvs: Counter,
+    suppressed: Counter,
+    gate_flips: Counter,
 }
 
 /// Mutable per-run liveness bookkeeping.
@@ -168,14 +203,16 @@ impl Liveness {
     }
 }
 
-/// The monitor a protocol message claims to come from.
-fn msg_sender(msg: &MonitorToCoordinator) -> MonitorId {
+/// The monitor a protocol message claims to come from; `None` for
+/// runner-originated control notices that speak for no monitor.
+fn msg_sender(msg: &MonitorToCoordinator) -> Option<MonitorId> {
     match *msg {
         MonitorToCoordinator::TickDone { monitor, .. }
         | MonitorToCoordinator::PollReply { monitor, .. }
         | MonitorToCoordinator::Report { monitor, .. }
         | MonitorToCoordinator::Revived { monitor }
-        | MonitorToCoordinator::StateSnapshot { monitor, .. } => monitor,
+        | MonitorToCoordinator::StateSnapshot { monitor, .. } => Some(monitor),
+        MonitorToCoordinator::LeaderState { .. } => None,
     }
 }
 
@@ -189,7 +226,9 @@ fn is_fresh(msg: &MonitorToCoordinator, last_tick: Option<Tick>) -> bool {
         MonitorToCoordinator::Revived { .. } => true,
         MonitorToCoordinator::TickDone { tick, .. }
         | MonitorToCoordinator::PollReply { tick, .. } => last_tick.is_none_or(|lt| tick > lt),
-        MonitorToCoordinator::Report { .. } | MonitorToCoordinator::StateSnapshot { .. } => false,
+        MonitorToCoordinator::Report { .. }
+        | MonitorToCoordinator::StateSnapshot { .. }
+        | MonitorToCoordinator::LeaderState { .. } => false,
     }
 }
 
@@ -226,8 +265,58 @@ impl CoordinatorActor {
             epoch: 0,
             resume_last_tick: None,
             checkpoint: None,
+            multitask: None,
             obs: None,
         }
+    }
+
+    /// Enables the §II.B follower gate: while the leader task is calm
+    /// (per [`LeaderState`](MonitorToCoordinator::LeaderState) notices
+    /// fed by the runner), every monitor of this task is paced to at most
+    /// one sample per `gated_interval` ticks (minimum 2 — a gate of 1
+    /// would suppress nothing). The gate starts released and engages on
+    /// the first calm notice.
+    #[must_use]
+    pub fn with_multitask(mut self, gated_interval: u32) -> Self {
+        self.multitask = Some(FollowerGate {
+            gated_interval: gated_interval.max(2),
+            engaged: false,
+            flips: 0,
+            suppressed: 0,
+            needs_sync: false,
+            broadcast: true,
+        });
+        self
+    }
+
+    /// Hands gate *propagation* to an external driver: the coordinator
+    /// stops broadcasting [`CoordinatorToMonitor::SetGate`] and only
+    /// tracks gate state (engage/release transitions, suppressed-sample
+    /// counts, checkpointing). The driver must send the gate frames on
+    /// each monitor's inbox link itself, FIFO-ordered with tick data, so
+    /// the tick at which a gate takes effect is deterministic. Must
+    /// follow [`with_multitask`](Self::with_multitask).
+    #[must_use]
+    pub fn with_external_gate_driver(mut self) -> Self {
+        if let Some(gate) = self.multitask.as_mut() {
+            gate.broadcast = false;
+        }
+        self
+    }
+
+    /// Restores follower-gate state from a checkpoint (failover resume).
+    /// Must follow [`with_multitask`](Self::with_multitask); an engaged
+    /// gate is re-broadcast to the (freshly spawned, ungated) monitors on
+    /// the first tick round, so suppression survives the failover intact.
+    #[must_use]
+    pub fn with_multitask_resume(mut self, snapshot: &MultitaskSnapshot) -> Self {
+        if let Some(gate) = self.multitask.as_mut() {
+            gate.engaged = snapshot.engaged;
+            gate.flips = snapshot.flips;
+            gate.suppressed = snapshot.suppressed;
+            gate.needs_sync = snapshot.engaged;
+        }
+        self
     }
 
     /// Installs a deterministic fault plan for the monitor→coordinator
@@ -253,6 +342,10 @@ impl CoordinatorActor {
             checkpoint_hist: obs.registry().histogram(names::CHECKPOINT_WRITE_NS),
             polls: obs.registry().counter(names::COORDINATOR_POLLS_TOTAL),
             recvs: obs.registry().counter(names::TRANSPORT_RECVS_TOTAL),
+            suppressed: obs
+                .registry()
+                .counter(names::MULTITASK_SUPPRESSED_SAMPLES_TOTAL),
+            gate_flips: obs.registry().counter(names::MULTITASK_GATE_FLIPS_TOTAL),
         });
         self
     }
@@ -370,7 +463,7 @@ impl CoordinatorActor {
             let Ok(MonitorFrame { epoch, msg }) = decode::<MonitorFrame>(&frame) else {
                 continue; // malformed frame
             };
-            let idx = msg_sender(&msg).0 as usize;
+            let sender = msg_sender(&msg).map(|id| id.0 as usize);
             if epoch < self.epoch {
                 // A frame from before the failover — e.g. a monitor that
                 // missed the NewEpoch broadcast behind a partition, or
@@ -378,13 +471,15 @@ impl CoordinatorActor {
                 // (split-brain safety) but schedule an epoch repair so
                 // the sender can rejoin the current epoch.
                 live.stale_epoch += 1;
-                if idx < self.monitors() {
+                if let Some(idx) = sender.filter(|&i| i < self.monitors()) {
                     live.needs_epoch[idx] = true;
                 }
                 continue;
             }
-            if idx < self.monitors() && is_fresh(&msg, live.last_tick) {
-                live.mark_reviving(idx);
+            if let Some(idx) = sender.filter(|&i| i < self.monitors()) {
+                if is_fresh(&msg, live.last_tick) {
+                    live.mark_reviving(idx);
+                }
             }
             if matches!(msg, MonitorToCoordinator::Revived { .. }) {
                 continue; // control notice, not a protocol reply
@@ -445,6 +540,7 @@ impl CoordinatorActor {
         let mut round_tick: Option<Tick> = None;
         let mut scheduled = 0u32;
         let mut violations = 0u32;
+        let mut suppressed_samples = 0u32;
         loop {
             // `recv_msg` can grow the awaited set mid-round, so the exit
             // condition is re-evaluated every iteration. Partitioned
@@ -459,11 +555,19 @@ impl CoordinatorActor {
             let Some(msg) = self.recv_msg(live, from_monitors, deadline)? else {
                 break; // deadline: finish the round with whoever reported
             };
+            if let MonitorToCoordinator::LeaderState { active, .. } = msg {
+                // The runner sends leader-state notices ahead of a tick's
+                // data, so the gate decision lands before this round's
+                // reports are produced downstream.
+                self.apply_leader_state(active, to_monitors);
+                continue;
+            }
             let MonitorToCoordinator::TickDone {
                 monitor,
                 tick: t,
                 sampled,
                 violation,
+                suppressed,
             } = msg
             else {
                 continue; // stale replies/reports from previous phases
@@ -503,6 +607,9 @@ impl CoordinatorActor {
             }
             if sampled {
                 scheduled += 1;
+            }
+            if suppressed {
+                suppressed_samples += 1;
             }
             // The report path may be lossy: a dropped report means the
             // coordinator never learns of the local violation.
@@ -668,6 +775,28 @@ impl CoordinatorActor {
             }
         }
 
+        // Follower-gate accounting, plus the failover resync: a restored
+        // engaged gate is pushed to the freshly spawned (ungated)
+        // monitors here if no LeaderState notice beat us to it.
+        let mut gated = false;
+        if let Some(gate) = self.multitask.as_mut() {
+            gate.suppressed += u64::from(suppressed_samples);
+            gated = gate.engaged;
+            if std::mem::take(&mut gate.needs_sync) && gate.broadcast {
+                let interval = gate.engaged.then_some(gate.gated_interval);
+                let set = CoordinatorToMonitor::SetGate { interval };
+                let frame = ControlFrame::seal(self.epoch, set);
+                for link in to_monitors.iter().take(n) {
+                    let _ = link.send(frame.clone());
+                }
+            }
+        }
+        if suppressed_samples > 0 {
+            if let Some(handles) = &self.obs {
+                handles.suppressed.add(u64::from(suppressed_samples));
+            }
+        }
+
         let summary = CoordinatorToRunner::Summary(TickSummary {
             tick,
             scheduled_samples: scheduled,
@@ -678,8 +807,42 @@ impl CoordinatorActor {
             missing_reports,
             degraded,
             stale_epoch_frames: live.stale_epoch,
+            suppressed_samples,
+            gated,
         });
         Ok(to_runner.send(encode(&summary)).is_ok())
+    }
+
+    /// Applies a leader violation-likelihood transition to the follower
+    /// gate: a calm leader engages the gate (broadcast the coarse
+    /// interval), an active leader releases it (broadcast the snap-back).
+    /// No-op when this coordinator has no gate configured.
+    fn apply_leader_state(&mut self, active: bool, to_monitors: &[MonitorLink]) {
+        let Some(gate) = self.multitask.as_mut() else {
+            return;
+        };
+        let engage = !active;
+        let flip = engage != gate.engaged;
+        let resync = std::mem::take(&mut gate.needs_sync);
+        if !flip && !resync {
+            return;
+        }
+        gate.engaged = engage;
+        if flip {
+            gate.flips += 1;
+        }
+        if gate.broadcast {
+            let interval = engage.then_some(gate.gated_interval);
+            let frame = ControlFrame::seal(self.epoch, CoordinatorToMonitor::SetGate { interval });
+            for link in to_monitors {
+                let _ = link.send(frame.clone());
+            }
+        }
+        if flip {
+            if let Some(handles) = &self.obs {
+                handles.gate_flips.inc();
+            }
+        }
     }
 
     /// Appends `outcome` to the WAL and, on the snapshot schedule,
@@ -727,6 +890,11 @@ impl CoordinatorActor {
             next_update_tick: self.next_update_tick,
             allowances: self.allocator.allowances().to_vec(),
             samplers,
+            multitask: self.multitask.as_ref().map(|g| MultitaskSnapshot {
+                engaged: g.engaged,
+                flips: g.flips,
+                suppressed: g.suppressed,
+            }),
         };
         if let Some(cp) = self.checkpoint.as_mut() {
             let _ = cp.wal.append_snapshot(&snapshot);
@@ -896,6 +1064,7 @@ mod tests {
                 tick: 0,
                 sampled: true,
                 violation: false,
+                suppressed: false,
             }))
             .unwrap();
         let (summary, events) = next_summary(&runner_rx);
@@ -920,6 +1089,7 @@ mod tests {
                 tick: 3,
                 sampled: true,
                 violation: true,
+                suppressed: false,
             }))
             .unwrap();
         // Coordinator must ask for a poll, sealed at its epoch.
@@ -953,6 +1123,7 @@ mod tests {
                 tick: 0,
                 sampled: true,
                 violation: true,
+                suppressed: false,
             }))
             .unwrap();
         let _: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
@@ -995,6 +1166,7 @@ mod tests {
                 tick: 0,
                 sampled: true,
                 violation: true,
+                suppressed: false,
             }))
             .unwrap();
         let (summary, _) = next_summary(&runner_rx);
@@ -1070,6 +1242,7 @@ mod tests {
             tick,
             sampled: true,
             violation,
+            suppressed: false,
         })
     }
 
@@ -1238,6 +1411,7 @@ mod tests {
                     tick: 0,
                     sampled: true,
                     violation: true,
+                    suppressed: false,
                 },
             ))
             .unwrap();
@@ -1250,6 +1424,7 @@ mod tests {
                     tick: 0,
                     sampled: true,
                     violation: false,
+                    suppressed: false,
                 },
             ))
             .unwrap();
@@ -1391,6 +1566,92 @@ mod tests {
         assert_eq!(restored.samplers, vec![Some(snapshot)]);
         assert_eq!(restored.allowances.len(), 1);
         assert!(replay.tail.is_empty(), "snapshot is the newest record");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leader_state_engages_and_releases_the_follower_gate() {
+        let coord = new_coordinator(100.0)
+            .with_multitask(8)
+            .with_tick_deadline(Duration::from_millis(100));
+        let (mon_tx, to_mon, runner_rx, handle) = harness_with(coord);
+        // Calm leader ahead of tick 0: the gate engages.
+        mon_tx
+            .send(seal0(MonitorToCoordinator::LeaderState {
+                tick: 0,
+                active: false,
+            }))
+            .unwrap();
+        mon_tx.send(tick_done(0, 0, false)).unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert!(summary.gated, "calm leader engages the gate");
+        assert_eq!(summary.suppressed_samples, 0);
+        let set: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
+        assert!(matches!(
+            set.msg,
+            CoordinatorToMonitor::SetGate { interval: Some(8) }
+        ));
+        // Leader fires ahead of tick 1: snap-back broadcast, and the
+        // suppressed flag reported for the tick still counts.
+        mon_tx
+            .send(seal0(MonitorToCoordinator::LeaderState {
+                tick: 1,
+                active: true,
+            }))
+            .unwrap();
+        mon_tx
+            .send(seal0(MonitorToCoordinator::TickDone {
+                monitor: MonitorId(0),
+                tick: 1,
+                sampled: false,
+                violation: false,
+                suppressed: true,
+            }))
+            .unwrap();
+        let (summary, _) = next_summary(&runner_rx);
+        assert!(!summary.gated, "active leader releases the gate");
+        assert_eq!(summary.suppressed_samples, 1);
+        let set: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
+        assert!(matches!(
+            set.msg,
+            CoordinatorToMonitor::SetGate { interval: None }
+        ));
+        drop(mon_tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn restored_gate_resyncs_monitors_and_persists_through_checkpoints() {
+        let path = temp_wal("gate-resync");
+        let wal = Wal::create(&path).unwrap();
+        let restored = MultitaskSnapshot {
+            engaged: true,
+            flips: 3,
+            suppressed: 9,
+        };
+        let coord = new_coordinator(100.0)
+            .with_multitask(6)
+            .with_multitask_resume(&restored)
+            .with_checkpoint(wal, 1)
+            .with_tick_deadline(Duration::from_millis(100));
+        let (mon_tx, to_mon, runner_rx, handle) = harness_with(coord);
+        mon_tx.send(tick_done(0, 0, false)).unwrap();
+        // Checkpoint cadence 1: the round gathers a snapshot first…
+        let request: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
+        assert!(matches!(request.msg, CoordinatorToMonitor::RequestSnapshot));
+        let (summary, _) = next_summary(&runner_rx);
+        assert!(summary.gated, "restored gate stays engaged");
+        // …then re-broadcasts the restored gate to the fresh monitors.
+        let set: ControlFrame = decode(&to_mon.recv().unwrap()).unwrap();
+        assert!(matches!(
+            set.msg,
+            CoordinatorToMonitor::SetGate { interval: Some(6) }
+        ));
+        drop(mon_tx);
+        handle.join().unwrap();
+        let replay: Replay = Wal::replay(&path).unwrap();
+        let snap = replay.snapshot.expect("snapshot persisted");
+        assert_eq!(snap.multitask, Some(restored), "gate state checkpointed");
         std::fs::remove_file(&path).ok();
     }
 }

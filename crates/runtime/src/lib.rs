@@ -80,6 +80,7 @@ pub mod fleet;
 pub mod link;
 pub mod message;
 pub mod monitor;
+pub mod multitask;
 pub mod net;
 pub mod runner;
 pub mod transport;
@@ -94,9 +95,10 @@ pub use fleet::{FleetRunner, FleetSummary, FleetTask};
 pub use link::MonitorLink;
 pub use message::CoordinatorToRunner;
 pub use monitor::MonitorActor;
+pub use multitask::{MultiTask, MultiTaskConfig, MultiTaskOutcome, MultiTaskRunner, PlanGate};
 pub use net::{
     run_agent, AgentConfig, AgentReport, BackoffConfig, NetAddr, NetCoordinator, NetFaultPlan,
     NetRunOutcome, NetStats,
 };
-pub use runner::{DegradationReport, RuntimeReport, TaskRunner};
+pub use runner::{DegradationReport, MultitaskReport, RuntimeReport, TaskRunner};
 pub use volley_store::SampleRecorder;

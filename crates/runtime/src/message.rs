@@ -55,6 +55,11 @@ pub enum MonitorToCoordinator {
         /// Whether a sampled value exceeded the local threshold. Always
         /// `false` when `sampled` is `false`.
         violation: bool,
+        /// Whether the adaptive schedule was due to sample this tick but a
+        /// multi-task gate ([`CoordinatorToMonitor::SetGate`]) held the
+        /// sample back. Defaults to `false` so pre-gate frames decode.
+        #[serde(default)]
+        suppressed: bool,
     },
     /// Response to a global poll: the monitor's current value.
     PollReply {
@@ -90,6 +95,20 @@ pub enum MonitorToCoordinator {
         monitor: MonitorId,
         /// The sampler state.
         snapshot: SamplerSnapshot,
+    },
+    /// Multi-task control notice (sent by the *runner*, which shares the
+    /// monitor→coordinator channel, like [`Self::Revived`]): the state of
+    /// this task's precondition (leader) task. A follower coordinator
+    /// engages its suppression gate while the leader is calm and releases
+    /// it the moment the leader's violation likelihood is high (§II.B).
+    /// FIFO ordering guarantees the notice is consumed before the tick it
+    /// precedes.
+    LeaderState {
+        /// The tick this notice precedes.
+        tick: Tick,
+        /// Whether the leader task's violation likelihood is currently
+        /// high (a recent leader violation within the lag window).
+        active: bool,
     },
 }
 
@@ -131,6 +150,15 @@ pub enum CoordinatorToMonitor {
     /// paper's conservative `I_d` restart, used when no checkpointed
     /// state exists for this monitor.
     ResetSampler,
+    /// Engage or release the multi-task suppression gate (§II.B).
+    /// `Some(i)` stretches the monitor's effective sampling interval to
+    /// at least `i` ticks while its task's leader is calm; `None`
+    /// releases the gate, snapping the monitor back to its adaptive
+    /// schedule on the next tick.
+    SetGate {
+        /// Minimum ticks between samples while gated; `None` = ungated.
+        interval: Option<u32>,
+    },
     /// Terminate the monitor thread.
     Shutdown,
 }
@@ -191,6 +219,13 @@ pub struct TickSummary {
     /// Frames rejected this tick because they carried a stale coordinator
     /// epoch (traffic addressed to a deposed coordinator).
     pub stale_epoch_frames: u32,
+    /// Scheduled samples held back this tick by the multi-task
+    /// suppression gate (§II.B). Defaults keep pre-gate frames decoding.
+    #[serde(default)]
+    pub suppressed_samples: u32,
+    /// Whether the suppression gate was engaged when this tick closed.
+    #[serde(default)]
+    pub gated: bool,
 }
 
 /// Frames the coordinator sends the runner: the per-tick summary plus
@@ -253,6 +288,7 @@ mod tests {
             tick: 99,
             sampled: true,
             violation: true,
+            suppressed: false,
         };
         let frame = encode(&msg);
         assert_eq!(frame.last(), Some(&b'\n'));
@@ -299,6 +335,36 @@ mod tests {
         assert_eq!(back, msg);
     }
 
+    #[test]
+    fn leader_state_round_trip() {
+        let msg = MonitorToCoordinator::LeaderState {
+            tick: 17,
+            active: true,
+        };
+        let back: MonitorToCoordinator = decode(&encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn tick_done_without_suppressed_field_decodes_as_unsuppressed() {
+        // Frames encoded before the multi-task gate existed lack the
+        // `suppressed` field; the default keeps them decodable.
+        let legacy = Bytes::from_static(
+            b"{\"TickDone\":{\"monitor\":1,\"tick\":4,\"sampled\":true,\"violation\":false}}\n",
+        );
+        let back: MonitorToCoordinator = decode(&legacy).unwrap();
+        assert_eq!(
+            back,
+            MonitorToCoordinator::TickDone {
+                monitor: MonitorId(1),
+                tick: 4,
+                sampled: true,
+                violation: false,
+                suppressed: false,
+            }
+        );
+    }
+
     fn sampler_snapshot() -> SamplerSnapshot {
         use volley_core::{AdaptationConfig, AdaptiveSampler};
         let mut sampler = AdaptiveSampler::new(AdaptationConfig::default(), 75.0);
@@ -323,6 +389,8 @@ mod tests {
                 snapshot: sampler_snapshot(),
             },
             CoordinatorToMonitor::ResetSampler,
+            CoordinatorToMonitor::SetGate { interval: Some(8) },
+            CoordinatorToMonitor::SetGate { interval: None },
             CoordinatorToMonitor::Shutdown,
         ] {
             let back: CoordinatorToMonitor = decode(&encode(&msg)).unwrap();
@@ -349,6 +417,7 @@ mod tests {
                 tick: 10,
                 sampled: true,
                 violation: false,
+                suppressed: false,
             },
         );
         let back: MonitorFrame = decode(&frame).unwrap();
@@ -383,6 +452,8 @@ mod tests {
                 missing_reports: 1,
                 degraded: true,
                 stale_epoch_frames: 2,
+                suppressed_samples: 0,
+                gated: false,
             }),
             CoordinatorToRunner::MonitorQuarantined {
                 monitor: MonitorId(4),

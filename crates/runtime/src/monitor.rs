@@ -66,6 +66,16 @@ pub struct MonitorActor {
     /// (0 = none yet: the first observation records the initial
     /// interval, giving replays a complete interval timeline).
     last_interval: u32,
+    /// Multi-task suppression gate (§II.B): while engaged, scheduled
+    /// samples are paced to at least this many ticks apart — the
+    /// effective interval becomes `max(adaptive, gate)`. Global polls
+    /// are never gated, so the coordinator's aggregation stays exact.
+    gate: Option<u32>,
+    /// Tick of the last sample taken (scheduled or poll-forced), the
+    /// reference point the gate paces from.
+    last_sample_tick: Option<u64>,
+    /// Scheduled samples the gate has held back so far.
+    suppressed_total: u64,
 }
 
 /// Pre-resolved obs instruments, so the hot path never takes the
@@ -104,6 +114,9 @@ impl MonitorActor {
             obs: None,
             recorder: None,
             last_interval: 0,
+            gate: None,
+            last_sample_tick: None,
+            suppressed_total: 0,
         }
     }
 
@@ -169,6 +182,16 @@ impl MonitorActor {
         &self.sampler
     }
 
+    /// The currently engaged suppression-gate interval, if any.
+    pub fn gate(&self) -> Option<u32> {
+        self.gate
+    }
+
+    /// Scheduled samples held back by the gate so far.
+    pub fn suppressed_total(&self) -> u64 {
+        self.suppressed_total
+    }
+
     /// Handles one decoded protocol message, returning any reply and
     /// whether the actor should terminate.
     ///
@@ -181,24 +204,37 @@ impl MonitorActor {
                 self.sampled_this_tick = false;
                 let mut violation = false;
                 let mut sampled = false;
+                let mut suppressed = false;
                 if data.tick >= self.next_sample_tick {
-                    // The sample + violation-likelihood evaluation is the
-                    // monitor's hot path: one span/timer pair covers both.
-                    let obs = {
-                        let _timed = self
-                            .obs
-                            .as_ref()
-                            .map(|h| h.spans.span_timed("monitor_sample", &h.sample_hist));
-                        self.sampler.observe(data.tick, data.value)
-                    };
-                    if let Some(handles) = &self.obs {
-                        handles.samples.inc();
+                    // The adaptive schedule is due — but an engaged gate
+                    // paces samples to at least `gate` ticks apart while
+                    // the leader task is calm. `next_sample_tick` is left
+                    // untouched, so releasing the gate snaps the monitor
+                    // straight back to its adaptive schedule.
+                    if self.gate_holds(data.tick) {
+                        suppressed = true;
+                        self.suppressed_total += 1;
+                    } else {
+                        // The sample + violation-likelihood evaluation is
+                        // the monitor's hot path: one span/timer pair
+                        // covers both.
+                        let obs = {
+                            let _timed = self
+                                .obs
+                                .as_ref()
+                                .map(|h| h.spans.span_timed("monitor_sample", &h.sample_hist));
+                            self.sampler.observe(data.tick, data.value)
+                        };
+                        if let Some(handles) = &self.obs {
+                            handles.samples.inc();
+                        }
+                        self.next_sample_tick = obs.next_sample_tick;
+                        violation = obs.violation;
+                        sampled = true;
+                        self.sampled_this_tick = true;
+                        self.last_sample_tick = Some(data.tick);
+                        self.record_observation(data.tick, data.value, false);
                     }
-                    self.next_sample_tick = obs.next_sample_tick;
-                    violation = obs.violation;
-                    sampled = true;
-                    self.sampled_this_tick = true;
-                    self.record_observation(data.tick, data.value, false);
                 }
                 (
                     Some(MonitorToCoordinator::TickDone {
@@ -206,6 +242,7 @@ impl MonitorActor {
                         tick: data.tick,
                         sampled,
                         violation,
+                        suppressed,
                     }),
                     false,
                 )
@@ -218,6 +255,7 @@ impl MonitorActor {
                     // A poll response counts as this tick's sample; a
                     // second poll in the same tick must not double-charge.
                     self.sampled_this_tick = true;
+                    self.last_sample_tick = Some(data.tick);
                     self.record_observation(data.tick, data.value, true);
                 }
                 (
@@ -263,8 +301,10 @@ impl MonitorActor {
                 self.current = None;
                 self.sampled_this_tick = false;
                 // Recovery may land on any interval: re-record it at the
-                // next observation.
+                // next observation. The deliberate post-restore refresh
+                // sample must not be gate-paced either.
                 self.last_interval = 0;
+                self.last_sample_tick = None;
                 (None, false)
             }
             CoordinatorToMonitor::ResetSampler => {
@@ -281,9 +321,26 @@ impl MonitorActor {
                 self.current = None;
                 self.sampled_this_tick = false;
                 self.last_interval = 0;
+                self.last_sample_tick = None;
+                (None, false)
+            }
+            CoordinatorToMonitor::SetGate { interval } => {
+                self.gate = interval.filter(|&i| i > 1);
                 (None, false)
             }
             CoordinatorToMonitor::Shutdown => (None, true),
+        }
+    }
+
+    /// Whether the engaged gate holds back a due sample at `tick`: a
+    /// sample was already taken fewer than `gate` ticks ago. A gated
+    /// monitor that has never sampled takes its first sample immediately
+    /// (the gate needs a reference point, and the first sample is what
+    /// seeds the δ estimate).
+    fn gate_holds(&self, tick: u64) -> bool {
+        match (self.gate, self.last_sample_tick) {
+            (Some(gate), Some(last)) => tick < last.saturating_add(u64::from(gate)),
+            _ => false,
         }
     }
 
@@ -541,6 +598,103 @@ mod tests {
         let (reply, _) = a.handle(CoordinatorToMonitor::RequestReport);
         match reply.unwrap() {
             MonitorToCoordinator::Report { report, .. } => assert_eq!(report.observations, 1),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_paces_scheduled_samples_and_releases_cleanly() {
+        // Every sampled value violates (200 > 100), pinning the adaptive
+        // interval at 1 — so every skipped tick is the gate's doing.
+        let mut a = actor(100.0);
+        a.handle(CoordinatorToMonitor::SetGate { interval: Some(4) });
+        // Tick 0: first gated sample happens (gate needs a reference).
+        let (reply, _) = a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: 0,
+            value: 200.0,
+        }));
+        assert!(matches!(
+            reply.unwrap(),
+            MonitorToCoordinator::TickDone { sampled: true, .. }
+        ));
+        // Ticks 1–3: adaptive schedule is due (interval pinned at 1)
+        // but the gate holds every sample.
+        for tick in 1u64..4 {
+            let (reply, _) = a.handle(CoordinatorToMonitor::Tick(TickData { tick, value: 200.0 }));
+            match reply.unwrap() {
+                MonitorToCoordinator::TickDone {
+                    sampled,
+                    suppressed,
+                    ..
+                } => {
+                    assert!(!sampled, "gate must hold tick {tick}");
+                    assert!(suppressed, "held tick {tick} counts as suppressed");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(a.suppressed_total(), 3);
+        // Tick 4: the gate interval has elapsed — the sample goes through.
+        let (reply, _) = a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: 4,
+            value: 200.0,
+        }));
+        assert!(matches!(
+            reply.unwrap(),
+            MonitorToCoordinator::TickDone { sampled: true, .. }
+        ));
+        // Release: the adaptive schedule resumes immediately.
+        a.handle(CoordinatorToMonitor::SetGate { interval: None });
+        assert_eq!(a.gate(), None);
+        let (reply, _) = a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: 5,
+            value: 200.0,
+        }));
+        match reply.unwrap() {
+            MonitorToCoordinator::TickDone {
+                sampled,
+                suppressed,
+                ..
+            } => {
+                assert!(sampled, "released gate snaps back to adaptive");
+                assert!(!suppressed);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gated_monitor_still_answers_polls_with_forced_samples() {
+        let mut a = actor(100.0);
+        a.handle(CoordinatorToMonitor::SetGate { interval: Some(8) });
+        a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: 0,
+            value: 3.0,
+        }));
+        // Tick 1 is gate-held...
+        let (reply, _) = a.handle(CoordinatorToMonitor::Tick(TickData {
+            tick: 1,
+            value: 7.0,
+        }));
+        assert!(matches!(
+            reply.unwrap(),
+            MonitorToCoordinator::TickDone {
+                suppressed: true,
+                ..
+            }
+        ));
+        // ...but a global poll still forces a real sample: aggregation
+        // exactness is never traded away by the gate.
+        let (reply, _) = a.handle(CoordinatorToMonitor::Poll { tick: 1 });
+        match reply.unwrap() {
+            MonitorToCoordinator::PollReply {
+                value,
+                forced_sample,
+                ..
+            } => {
+                assert_eq!(value, 7.0);
+                assert!(forced_sample);
+            }
             other => panic!("unexpected reply {other:?}"),
         }
     }

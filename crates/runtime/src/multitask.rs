@@ -1,0 +1,659 @@
+//! Multi-task correlation suppression on the threaded runtime (§II.B).
+//!
+//! A [`MultiTaskRunner`] drives several distributed monitoring tasks in
+//! lock-step on real threads — each with its own monitor actors and
+//! coordinator — and layers the paper's multi-task scheme on top: for a
+//! **training window** it feeds every task's detected violation activity
+//! into a [`CorrelationDetector`]; once the window closes it derives a
+//! two-level [`MonitoringPlan`] and thereafter paces each *gated
+//! follower* task at the coarse gated interval while its *leader*
+//! (precondition) task's violation likelihood is low, snapping the
+//! follower back to its adaptive schedule the moment the leader fires.
+//!
+//! Leaders are never gated — the plan keeps the leader/follower sets
+//! disjoint — so the tasks whose violations *precede* others always run
+//! at full fidelity.
+//!
+//! # Determinism
+//!
+//! Gate propagation is runner-driven: the runner sends
+//! [`CoordinatorToMonitor::SetGate`] frames on each follower monitor's
+//! inbox link itself, FIFO-ordered with that tick's
+//! [`CoordinatorToMonitor::Tick`] frame, so the tick at which a gate
+//! engages or releases is a pure function of the traces. The follower's
+//! coordinator is configured with
+//! [`CoordinatorActor::with_external_gate_driver`]: it still consumes
+//! the [`MonitorToCoordinator::LeaderState`] notices (sent ahead of the
+//! tick's data frames on the shared monitor→coordinator channel), tracks
+//! engage/release state, counts suppressed samples and checkpoints the
+//! gate through the WAL/snapshot plane — it just does not race its own
+//! `SetGate` broadcast against the runner's.
+//!
+//! ```
+//! use volley_core::correlation::CorrelationConfig;
+//! use volley_core::task::TaskSpec;
+//! use volley_runtime::multitask::{MultiTask, MultiTaskConfig, MultiTaskRunner};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = TaskSpec::builder(100.0).monitors(1).error_allowance(0.05).build()?;
+//! // Leader bursts at ticks 10..20 of every 40; the follower echoes it
+//! // two ticks later — a violation cascade the detector can learn.
+//! let burst = |offset: u64| -> Vec<f64> {
+//!     (0..400u64)
+//!         .map(|t| if (10 + offset..20 + offset).contains(&(t % 40)) { 200.0 } else { 5.0 })
+//!         .collect()
+//! };
+//! let tasks = vec![
+//!     MultiTask::new(spec.clone(), vec![burst(0)]),
+//!     MultiTask::new(spec, vec![burst(2)]),
+//! ];
+//! let config = MultiTaskConfig {
+//!     correlation: CorrelationConfig { min_support: 5, min_confidence: 0.8, ..Default::default() },
+//!     train_ticks: 200,
+//!     costs: None,
+//! };
+//! let outcome = MultiTaskRunner::new(config)?.run(&tasks)?;
+//! assert_eq!(outcome.gates.len(), 1, "follower gated behind the leader");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`CorrelationDetector`]: volley_core::correlation::CorrelationDetector
+//! [`MonitoringPlan`]: volley_core::correlation::MonitoringPlan
+//! [`CoordinatorToMonitor::SetGate`]: crate::message::CoordinatorToMonitor::SetGate
+//! [`CoordinatorToMonitor::Tick`]: crate::message::CoordinatorToMonitor::Tick
+//! [`MonitorToCoordinator::LeaderState`]: crate::message::MonitorToCoordinator::LeaderState
+//! [`CoordinatorActor::with_external_gate_driver`]: crate::coordinator::CoordinatorActor::with_external_gate_driver
+
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver};
+use serde::Serialize;
+
+use volley_core::allocation::{AllocationConfig, ErrorAllocator};
+use volley_core::correlation::{CorrelationConfig, CorrelationDetector, MonitoringPlan};
+use volley_core::task::{TaskId, TaskSpec};
+use volley_core::time::Tick;
+use volley_core::{AdaptiveSampler, VolleyError};
+use volley_obs::Obs;
+use volley_store::SampleRecorder;
+
+use crate::checkpoint::Wal;
+use crate::coordinator::CoordinatorActor;
+use crate::failure::FailureInjector;
+use crate::link::MonitorLink;
+use crate::message::{
+    decode, ControlFrame, CoordinatorToMonitor, CoordinatorToRunner, MonitorFrame,
+    MonitorToCoordinator, TickData,
+};
+use crate::monitor::MonitorActor;
+use crate::runner::{MultitaskReport, RuntimeReport};
+
+/// One task submission for a multi-task run.
+#[derive(Debug, Clone)]
+pub struct MultiTask {
+    /// The task specification.
+    pub spec: TaskSpec,
+    /// Per-monitor ground-truth traces (`traces[i][t]`).
+    pub traces: Vec<Vec<f64>>,
+}
+
+impl MultiTask {
+    /// Creates a submission.
+    pub fn new(spec: TaskSpec, traces: Vec<Vec<f64>>) -> Self {
+        MultiTask { spec, traces }
+    }
+}
+
+/// Configuration for the multi-task scheme.
+#[derive(Debug, Clone)]
+pub struct MultiTaskConfig {
+    /// Correlation thresholds and the gated (coarse) interval.
+    pub correlation: CorrelationConfig,
+    /// Ticks spent learning correlations before the plan is derived and
+    /// gating starts. A window at least as long as the run disables
+    /// gating entirely (pure observation).
+    pub train_ticks: Tick,
+    /// Optional per-task sampling costs for
+    /// [`CorrelationDetector::plan_with_costs`]; uniform costs
+    /// ([`CorrelationDetector::plan`]) when `None`.
+    pub costs: Option<Vec<f64>>,
+}
+
+impl Default for MultiTaskConfig {
+    fn default() -> Self {
+        MultiTaskConfig {
+            correlation: CorrelationConfig::default(),
+            train_ticks: 200,
+            costs: None,
+        }
+    }
+}
+
+/// One gate of the derived [`MonitoringPlan`], flattened for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PlanGate {
+    /// The gated follower task (index into the submissions).
+    pub follower: u64,
+    /// The leader (precondition) task pacing it.
+    pub leader: u64,
+    /// Necessity confidence `P(leader active within lag | follower
+    /// violates)` estimated over the training window.
+    pub confidence: f64,
+    /// Coarse interval applied while the leader is calm (ticks).
+    pub gated_interval: u32,
+}
+
+/// Aggregate result of a multi-task run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTaskOutcome {
+    /// Per-task reports in submission order. Gated followers carry a
+    /// populated [`RuntimeReport::multitask`] section.
+    pub reports: Vec<RuntimeReport>,
+    /// The gates of the derived plan (empty when training never closed
+    /// or nothing correlated).
+    pub gates: Vec<PlanGate>,
+    /// Ticks driven.
+    pub ticks: u64,
+    /// Ticks spent training before gating could start.
+    pub train_ticks: u64,
+    /// Scheduled samples suppressed by gates across all tasks.
+    pub suppressed_samples: u64,
+    /// Gate engage/release transitions across all tasks.
+    pub gate_flips: u64,
+}
+
+impl MultiTaskOutcome {
+    /// Total sampling operations across all tasks.
+    pub fn total_samples(&self) -> u64 {
+        self.reports.iter().map(|r| r.total_samples).sum()
+    }
+}
+
+/// Per-task actor handles for one lock-step run.
+struct TaskActors {
+    links: Vec<MonitorLink>,
+    out_link: MonitorLink,
+    summary_rx: Receiver<Bytes>,
+    monitor_handles: Vec<std::thread::JoinHandle<()>>,
+    coord_handle: std::thread::JoinHandle<()>,
+}
+
+/// Drives several monitoring tasks in lock-step with live §II.B
+/// correlation suppression (see the [module docs](self)).
+#[derive(Debug)]
+pub struct MultiTaskRunner {
+    config: MultiTaskConfig,
+    recorder: Option<SampleRecorder>,
+    obs: Obs,
+    /// Checkpoint directory and snapshot cadence; each task logs to
+    /// `task-{index}.wal` inside it.
+    wal: Option<(PathBuf, u64)>,
+}
+
+impl MultiTaskRunner {
+    /// Creates a runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::InvalidConfig`] for an invalid
+    /// [`CorrelationConfig`].
+    pub fn new(config: MultiTaskConfig) -> Result<Self, VolleyError> {
+        config.correlation.validate()?;
+        Ok(MultiTaskRunner {
+            config,
+            recorder: None,
+            obs: Obs::disabled(),
+            wal: None,
+        })
+    }
+
+    /// Attaches a [`SampleRecorder`]: each task records under its
+    /// submission index (via [`SampleRecorder::for_task`]), producing the
+    /// multi-task store that `volley analyze correlate` consumes.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SampleRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Shares an observability bundle with every task's actors (the
+    /// multi-task counters `volley_multitask_*` land in it).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Checkpoints every coordinator into `dir/task-{index}.wal` with a
+    /// snapshot every `every` ticks, persisting each follower's gate
+    /// state through the WAL/snapshot plane.
+    #[must_use]
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>, every: u64) -> Self {
+        self.wal = Some((dir.into(), every.max(1)));
+        self
+    }
+
+    /// Runs all submissions in lock-step and returns per-task reports
+    /// plus the derived gating plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolleyError::EmptyTask`] for a spec without monitors,
+    /// [`VolleyError::ValueCountMismatch`] when a submission's trace
+    /// count differs from its monitor count, and
+    /// [`VolleyError::RuntimeDisconnected`] if a coordinator dies
+    /// mid-run (the multi-task runner arms no standby).
+    pub fn run(&self, tasks: &[MultiTask]) -> Result<MultiTaskOutcome, VolleyError> {
+        let n_tasks = tasks.len();
+        let mut ticks = u64::MAX;
+        for task in tasks {
+            if task.spec.monitors().is_empty() {
+                return Err(VolleyError::EmptyTask);
+            }
+            if task.traces.len() != task.spec.monitors().len() {
+                return Err(VolleyError::ValueCountMismatch {
+                    got: task.traces.len(),
+                    expected: task.spec.monitors().len(),
+                });
+            }
+            for trace in &task.traces {
+                ticks = ticks.min(trace.len() as u64);
+            }
+        }
+        if n_tasks == 0 || ticks == u64::MAX {
+            return Ok(MultiTaskOutcome {
+                reports: Vec::new(),
+                gates: Vec::new(),
+                ticks: 0,
+                train_ticks: self.config.train_ticks,
+                suppressed_samples: 0,
+                gate_flips: 0,
+            });
+        }
+
+        let mut actors = Vec::with_capacity(n_tasks);
+        for (index, task) in tasks.iter().enumerate() {
+            actors.push(self.spawn_task(index, task)?);
+        }
+
+        let mut detector = CorrelationDetector::new(
+            self.config.correlation,
+            (0..n_tasks as u64).map(TaskId).collect(),
+        );
+        let mut plan: Option<MonitoringPlan> = None;
+        // Submission order with every gated follower moved after the
+        // ungated tasks, so a follower's gate decision at tick `t` sees
+        // its leader's activity *including* tick `t`.
+        let mut order: Vec<usize> = (0..n_tasks).collect();
+        // Last tick each task's violation activity was *detected*
+        // (locally reported or alerted), the §II.B precondition signal.
+        let mut last_active: Vec<Option<Tick>> = vec![None; n_tasks];
+        let mut engaged = vec![false; n_tasks];
+        let mut active_now = vec![false; n_tasks];
+        let mut reports = vec![RuntimeReport::default(); n_tasks];
+        let mut sections = vec![MultitaskReport::default(); n_tasks];
+
+        for tick in 0..ticks {
+            for &index in &order {
+                let task = &tasks[index];
+                let actor = &actors[index];
+                // Drive this follower's gate ahead of its tick frame:
+                // SetGate shares the monitor inbox FIFO with Tick, and the
+                // LeaderState notice shares the monitor→coordinator FIFO
+                // with the TickDones it must precede.
+                if let Some(gate) = plan.as_ref().and_then(|p| p.gate(TaskId(index as u64))) {
+                    let leader_active = last_active[gate.leader.0 as usize].is_some_and(|at| {
+                        tick - at <= u64::from(self.config.correlation.lag_window)
+                    });
+                    let engage = !leader_active;
+                    if engage != engaged[index] {
+                        engaged[index] = engage;
+                        sections[index].gate_flips += 1;
+                        let interval = engage.then(|| gate.gated_interval.get());
+                        let set = ControlFrame::seal(0, CoordinatorToMonitor::SetGate { interval });
+                        for link in &actor.links {
+                            let _ = link.send(set.clone());
+                        }
+                        let _ = actor.out_link.send(MonitorFrame::seal(
+                            0,
+                            MonitorToCoordinator::LeaderState {
+                                tick,
+                                active: leader_active,
+                            },
+                        ));
+                    }
+                    if engaged[index] {
+                        sections[index].gated_ticks += 1;
+                    }
+                }
+                for (i, link) in actor.links.iter().enumerate() {
+                    let data = TickData {
+                        tick,
+                        value: task.traces[i][tick as usize],
+                    };
+                    let _ = link.send(ControlFrame::seal(0, CoordinatorToMonitor::Tick(data)));
+                }
+                let summary = loop {
+                    let Ok(frame) = actor.summary_rx.recv() else {
+                        return Err(VolleyError::RuntimeDisconnected {
+                            component: "coordinator",
+                        });
+                    };
+                    match decode::<CoordinatorToRunner>(&frame) {
+                        Ok(CoordinatorToRunner::Summary(summary)) => break summary,
+                        Ok(CoordinatorToRunner::MonitorQuarantined { .. }) => {
+                            reports[index].quarantines += 1;
+                        }
+                        Ok(CoordinatorToRunner::MonitorRecovered { .. }) => {
+                            reports[index].recoveries += 1;
+                        }
+                        Err(_) => {} // never produced by our coordinator
+                    }
+                };
+                active_now[index] = summary.local_violations > 0 || summary.alerted;
+                if active_now[index] {
+                    last_active[index] = Some(tick);
+                }
+                let report = &mut reports[index];
+                report.ticks += 1;
+                report.scheduled_samples += u64::from(summary.scheduled_samples);
+                report.poll_samples += u64::from(summary.poll_samples);
+                report.local_violation_reports += u64::from(summary.local_violations);
+                report.missed_tick_reports += u64::from(summary.missing_reports);
+                sections[index].suppressed_samples += u64::from(summary.suppressed_samples);
+                if summary.polled {
+                    report.polls += 1;
+                    if summary.degraded {
+                        report.degraded_polls += 1;
+                    }
+                }
+                if summary.alerted {
+                    report.alerts += 1;
+                    report.alert_ticks.push(summary.tick);
+                    if summary.degraded {
+                        report.degraded_alerts += 1;
+                    }
+                    if let Some(recorder) = &self.recorder {
+                        recorder
+                            .for_task(index as u32)
+                            .record_alert(summary.tick, summary.degraded);
+                    }
+                }
+            }
+            detector.observe(tick, &active_now);
+            // Derive the plan only when gating still has ticks to act on;
+            // a training window at least as long as the run stays pure
+            // observation and reports no gates.
+            if tick + 1 == self.config.train_ticks && tick + 1 < ticks {
+                let derived = match &self.config.costs {
+                    Some(costs) => detector.plan_with_costs(costs),
+                    None => detector.plan(),
+                };
+                order.sort_by_key(|&i| derived.gate(TaskId(i as u64)).is_some());
+                plan = Some(derived);
+            }
+        }
+
+        // Teardown: stop monitors, join them, cut the monitor→coordinator
+        // channel so each coordinator exits on disconnect.
+        for actor in actors {
+            for link in &actor.links {
+                let _ = link.send(ControlFrame::seal(0, CoordinatorToMonitor::Shutdown));
+            }
+            for handle in actor.monitor_handles {
+                handle.join().expect("monitor thread exits cleanly");
+            }
+            drop(actor.links);
+            drop(actor.out_link);
+            actor
+                .coord_handle
+                .join()
+                .expect("coordinator thread exits cleanly");
+        }
+        if let Some(recorder) = &self.recorder {
+            recorder.flush();
+        }
+
+        let mut gates = Vec::new();
+        if let Some(plan) = &plan {
+            for (follower, gate) in plan.iter() {
+                gates.push(PlanGate {
+                    follower: follower.0,
+                    leader: gate.leader.0,
+                    confidence: gate.confidence,
+                    gated_interval: gate.gated_interval.get(),
+                });
+            }
+            gates.sort_by_key(|g| g.follower);
+        }
+        let mut suppressed_samples = 0;
+        let mut gate_flips = 0;
+        for (index, report) in reports.iter_mut().enumerate() {
+            report.total_samples = report.scheduled_samples + report.poll_samples;
+            if let Some(gate) = plan.as_ref().and_then(|p| p.gate(TaskId(index as u64))) {
+                let section = MultitaskReport {
+                    leader: gate.leader.0,
+                    ..sections[index]
+                };
+                suppressed_samples += section.suppressed_samples;
+                gate_flips += section.gate_flips;
+                report.multitask = Some(section);
+            }
+        }
+        Ok(MultiTaskOutcome {
+            reports,
+            gates,
+            ticks,
+            train_ticks: self.config.train_ticks,
+            suppressed_samples,
+            gate_flips,
+        })
+    }
+
+    /// Spawns one task's monitor actors and coordinator.
+    fn spawn_task(&self, index: usize, task: &MultiTask) -> Result<TaskActors, VolleyError> {
+        let n = task.spec.monitors().len();
+        let global_err = task.spec.adaptation().error_allowance();
+        let (to_coord_tx, to_coord_rx) = unbounded::<Bytes>();
+        let out_link = MonitorLink::new(to_coord_tx);
+        let mut links = Vec::with_capacity(n);
+        let mut monitor_handles = Vec::with_capacity(n);
+        for m in task.spec.monitors() {
+            let (tx, rx) = unbounded::<Bytes>();
+            links.push(MonitorLink::new(tx));
+            let mut sampler = AdaptiveSampler::new(*task.spec.adaptation(), m.local_threshold);
+            sampler.set_error_allowance(global_err / n as f64);
+            let mut actor = MonitorActor::new(m.id, sampler).with_obs(&self.obs);
+            if let Some(recorder) = &self.recorder {
+                actor = actor.with_recorder(recorder.for_task(index as u32));
+            }
+            let outbox = out_link.clone();
+            monitor_handles.push(std::thread::spawn(move || actor.run(rx, outbox)));
+        }
+        let allocator = ErrorAllocator::new(AllocationConfig::default(), global_err, n)?;
+        let local_thresholds = task
+            .spec
+            .monitors()
+            .iter()
+            .map(|m| m.local_threshold)
+            .collect();
+        let mut coordinator = CoordinatorActor::new(
+            task.spec.global_threshold(),
+            local_thresholds,
+            allocator,
+            task.spec.adaptation().slack_ratio(),
+            true,
+            FailureInjector::lossless(),
+        )
+        .with_multitask(self.config.correlation.gated_interval.get())
+        .with_external_gate_driver()
+        .with_obs(&self.obs);
+        if let Some((dir, every)) = &self.wal {
+            let path = dir.join(format!("task-{index}.wal"));
+            if let Ok(wal) = Wal::create(&path) {
+                coordinator = coordinator.with_checkpoint(wal, *every);
+            }
+        }
+        let coord_links = links.clone();
+        let (summary_tx, summary_rx) = unbounded::<Bytes>();
+        let coord_handle =
+            std::thread::spawn(move || coordinator.run(to_coord_rx, coord_links, summary_tx));
+        Ok(TaskActors {
+            links,
+            out_link,
+            summary_rx,
+            monitor_handles,
+            coord_handle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Replay;
+
+    fn spec(threshold: f64) -> TaskSpec {
+        TaskSpec::builder(threshold)
+            .monitors(1)
+            .error_allowance(0.05)
+            .max_interval(4)
+            .patience(2)
+            .warmup_samples(2)
+            .build()
+            .unwrap()
+    }
+
+    /// A value trace violating (200 > 100) on `offset..offset+8` of every
+    /// 40-tick period, calm (5) otherwise.
+    fn burst_trace(ticks: u64, offset: u64) -> Vec<f64> {
+        (0..ticks)
+            .map(|t| {
+                if (offset..offset + 8).contains(&(t % 40)) {
+                    200.0
+                } else {
+                    5.0
+                }
+            })
+            .collect()
+    }
+
+    fn cascade(ticks: u64) -> Vec<MultiTask> {
+        vec![
+            // Leader: bursts open each period.
+            MultiTask::new(spec(100.0), vec![burst_trace(ticks, 10)]),
+            // Follower: echoes the leader two ticks later.
+            MultiTask::new(spec(100.0), vec![burst_trace(ticks, 12)]),
+            // Bystander: never violates, correlates with nothing.
+            MultiTask::new(spec(100.0), vec![vec![5.0; ticks as usize]]),
+        ]
+    }
+
+    fn config() -> MultiTaskConfig {
+        MultiTaskConfig {
+            correlation: CorrelationConfig {
+                min_confidence: 0.8,
+                min_support: 5,
+                ..Default::default()
+            },
+            train_ticks: 200,
+            costs: None,
+        }
+    }
+
+    #[test]
+    fn follower_is_gated_behind_its_leader_and_saves_samples() {
+        let outcome = MultiTaskRunner::new(config())
+            .unwrap()
+            .run(&cascade(600))
+            .unwrap();
+        assert_eq!(outcome.ticks, 600);
+        assert_eq!(
+            outcome.gates.len(),
+            1,
+            "exactly the cascade pair gates: {:?}",
+            outcome.gates
+        );
+        assert_eq!(outcome.gates[0].follower, 1);
+        assert_eq!(outcome.gates[0].leader, 0);
+        assert!(outcome.gates[0].confidence >= 0.8);
+        // The leader runs ungated at full fidelity.
+        assert!(outcome.reports[0].multitask.is_none());
+        assert!(outcome.reports[0].alerts > 0);
+        // The follower is paced while the leader is calm…
+        let section = outcome.reports[1].multitask.expect("follower gated");
+        assert_eq!(section.leader, 0);
+        assert!(section.suppressed_samples > 0, "gate suppressed samples");
+        assert!(section.gated_ticks > 0);
+        assert!(section.gate_flips >= 2, "engages and releases every burst");
+        // …yet still detects its post-training bursts: snap-back works.
+        let post_train_alerts = outcome.reports[1]
+            .alert_ticks
+            .iter()
+            .filter(|&&t| t >= 200)
+            .count();
+        assert!(post_train_alerts > 0, "gated follower still alerts");
+        // Savings against the identical run with gating disabled.
+        let mut ungated_config = config();
+        ungated_config.train_ticks = 600;
+        let ungated = MultiTaskRunner::new(ungated_config)
+            .unwrap()
+            .run(&cascade(600))
+            .unwrap();
+        assert!(ungated.gates.is_empty());
+        assert!(
+            outcome.reports[1].total_samples < ungated.reports[1].total_samples,
+            "gating saves follower samples ({} vs {})",
+            outcome.reports[1].total_samples,
+            ungated.reports[1].total_samples,
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let runner = MultiTaskRunner::new(config()).unwrap();
+        let first = runner.run(&cascade(400)).unwrap();
+        let second = runner.run(&cascade(400)).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn gate_state_checkpoints_through_the_wal_plane() {
+        let dir = std::env::temp_dir().join(format!("volley-multitask-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let outcome = MultiTaskRunner::new(config())
+            .unwrap()
+            .with_wal_dir(&dir, 1)
+            .run(&cascade(400))
+            .unwrap();
+        let section = outcome.reports[1].multitask.expect("follower gated");
+        let replay: Replay = Wal::replay(dir.join("task-1.wal")).unwrap();
+        let snap = replay.snapshot.expect("snapshot persisted");
+        let persisted = snap.multitask.expect("gate state checkpointed");
+        assert_eq!(persisted.flips, section.gate_flips);
+        // The final tick's suppression lands after that tick's snapshot,
+        // so the persisted counter may trail by at most one monitor-tick.
+        assert!(persisted.suppressed <= section.suppressed_samples);
+        assert!(persisted.suppressed + 1 >= section.suppressed_samples);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_traces_are_rejected() {
+        let bad = vec![MultiTask::new(spec(100.0), vec![])];
+        let err = MultiTaskRunner::new(config())
+            .unwrap()
+            .run(&bad)
+            .unwrap_err();
+        assert!(matches!(err, VolleyError::ValueCountMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_submission_list_is_trivial() {
+        let outcome = MultiTaskRunner::new(config()).unwrap().run(&[]).unwrap();
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.ticks, 0);
+    }
+}

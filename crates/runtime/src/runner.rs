@@ -87,6 +87,20 @@ impl DegradationReport {
     }
 }
 
+/// Multi-task (§II.B) outcome section for a task that ran as a gated
+/// follower under a [`crate::multitask::MultiTaskRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MultitaskReport {
+    /// The leader (precondition) task this follower was gated behind.
+    pub leader: u64,
+    /// Ticks this task spent with the gate engaged (leader calm).
+    pub gated_ticks: u64,
+    /// Scheduled samples the gate suppressed across the task's monitors.
+    pub suppressed_samples: u64,
+    /// Gate engage/release transitions over the run.
+    pub gate_flips: u64,
+}
+
 /// Aggregate result of a threaded task run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RuntimeReport {
@@ -141,6 +155,9 @@ pub struct RuntimeReport {
     /// How the persistence sinks degraded under storage faults (all
     /// zeros on a healthy run).
     pub degradation: DegradationReport,
+    /// Multi-task suppression outcome; `None` unless this task ran as a
+    /// gated follower under a [`crate::multitask::MultiTaskRunner`].
+    pub multitask: Option<MultitaskReport>,
 }
 
 impl RuntimeReport {

@@ -1,0 +1,469 @@
+//! The DDoS cascade scenario: multi-task correlation suppression on the
+//! sharded engine (§II.B).
+//!
+//! The paper's motivating example for the multi-task scheme: an
+//! effective DDoS attack on a VM inflates its request **response time**
+//! *and* its **traffic asymmetry** `ρ` — elevated response time is
+//! (approximately) a necessary condition of an effective attack. The
+//! response-time probe is cheap (an agent query); the `ρ` task is
+//! expensive (packet capture + deep packet inspection). So each VM's
+//! monitor learns the correlation over a training window and then
+//! *gates* the expensive `ρ` task: while the cheap leader is calm the
+//! follower samples at the coarse gated interval, and it snaps back to
+//! its adaptive schedule the moment the leader fires.
+//!
+//! The scenario runs one such leader/follower pair per VM on the
+//! sharded engine ([`crate::shard`]) — shards never exchange state, so
+//! results are bit-identical for every thread count — and scores the
+//! follower's post-training cost and accuracy against full-resolution
+//! ground truth. Running it twice, [`gated`](DdosCascadeConfig::gated)
+//! off then on, prices the suppression: the follower's sampling savings
+//! at the mis-detection cost the gate introduces.
+
+use serde::{Deserialize, Serialize};
+
+use volley_core::accuracy::{AccuracyReport, DetectionLog, GroundTruth};
+use volley_core::correlation::{CorrelationConfig, CorrelationDetector};
+use volley_core::task::TaskId;
+use volley_core::{AdaptationConfig, SamplerBank};
+use volley_traces::netflow::{AttackSpec, NetflowConfig};
+use volley_traces::{DiurnalPattern, ResponseTimeModel};
+
+use crate::cluster::{ClusterConfig, VmId};
+use crate::shard::{EngineConfig, EngineStats, EpochCtx, ShardPlan, ShardWorker, ShardedEngine};
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of the DDoS cascade scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdosCascadeConfig {
+    /// Testbed topology.
+    pub cluster: ClusterConfig,
+    /// Error allowance `err` for the follower's adaptive sampler.
+    pub error_allowance: f64,
+    /// Alert selectivity for the follower's `ρ` threshold (percent).
+    pub rho_selectivity_percent: f64,
+    /// Alert selectivity for the leader's response-time threshold
+    /// (percent). Looser than the follower's, per the paper: a
+    /// *necessary* condition fires at least as often as its consequence.
+    pub response_selectivity_percent: f64,
+    /// Run length in default sampling intervals.
+    pub ticks: usize,
+    /// Ticks spent learning each VM's correlation before gating starts;
+    /// the follower is scored on the remaining `ticks − train_ticks`.
+    pub train_ticks: usize,
+    /// Random seed for the traffic generator.
+    pub seed: u64,
+    /// Maximum adaptive sampling interval `I_m`.
+    pub max_interval: u32,
+    /// Adaptation patience `p`.
+    pub patience: u32,
+    /// The default sampling interval in seconds.
+    pub window_secs: f64,
+    /// Correlation thresholds and the gated (coarse) interval.
+    pub correlation: CorrelationConfig,
+    /// Whether the learned gates are applied (`false` = the ungated
+    /// adaptive baseline; the correlation is still learned and reported).
+    pub gated: bool,
+    /// Ticks between recurring attacks on each VM.
+    pub attack_period: u64,
+    /// Duration of each attack in ticks.
+    pub attack_duration: u64,
+    /// Peak traffic asymmetry injected per attack.
+    pub peak_asymmetry: f64,
+}
+
+impl Default for DdosCascadeConfig {
+    fn default() -> Self {
+        DdosCascadeConfig {
+            cluster: ClusterConfig::paper(),
+            error_allowance: 0.02,
+            rho_selectivity_percent: 2.0,
+            response_selectivity_percent: 8.0,
+            ticks: 4000,
+            train_ticks: 2000,
+            seed: 0,
+            max_interval: 16,
+            patience: 5,
+            window_secs: 15.0,
+            correlation: CorrelationConfig {
+                lag_window: 4,
+                ..CorrelationConfig::default()
+            },
+            gated: true,
+            attack_period: 900,
+            attack_duration: 80,
+            peak_asymmetry: 2500.0,
+        }
+    }
+}
+
+/// Result of one cascade run: the follower task's post-training
+/// cost/accuracy, plus what the correlation training learned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeReport {
+    /// VMs (leader/follower pairs) simulated.
+    pub vms: u32,
+    /// Scored (post-training) ticks.
+    pub eval_ticks: u64,
+    /// Follower cost/accuracy over the evaluation window, merged over
+    /// all VMs, versus full-resolution ground truth.
+    pub accuracy: AccuracyReport,
+    /// Follower sampling operations in the evaluation window.
+    pub follower_samples: u64,
+    /// Leader probes in the evaluation window (every tick, every VM —
+    /// the cheap necessary-condition task is never gated).
+    pub leader_samples: u64,
+    /// VMs whose follower ended up gated by the learned plan.
+    pub gated_vms: u32,
+    /// Mean learned necessity confidence `P(leader high | follower
+    /// violates)` over all VMs (0 where support was insufficient).
+    pub mean_confidence: f64,
+}
+
+impl CascadeReport {
+    /// Follower sampling-cost ratio versus the periodic baseline.
+    pub fn cost_ratio(&self) -> f64 {
+        self.accuracy.cost_ratio()
+    }
+
+    /// Follower mis-detection rate over the evaluation window.
+    pub fn misdetection_rate(&self) -> f64 {
+        self.accuracy.misdetection_rate()
+    }
+}
+
+/// Discrete event payload: sample one VM's follower (`ρ`) task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CascadeEvent {
+    vm: VmId,
+}
+
+/// One coordinator group's slice of the cascade fleet. The leader task
+/// is modeled as an every-tick probe (direct trace reads — the paper's
+/// cheap necessary-condition monitor), so only follower samples are
+/// event-scheduled; all cascade logic is pure per-VM trace lookups and
+/// the shard stays thread-count independent.
+struct CascadeShard {
+    window: SimDuration,
+    ticks: u64,
+    train: u64,
+    lag: u64,
+    first_vm: u32,
+    /// Follower (`ρ`) adaptive samplers.
+    bank: SamplerBank,
+    rho: Vec<Vec<f64>>,
+    response: Vec<Vec<f64>>,
+    response_thresholds: Vec<f64>,
+    /// Per-VM gated interval, when training qualified (and applied) one.
+    gates: Vec<Option<u32>>,
+    confidences: Vec<f64>,
+    /// Follower detections over the evaluation window (tick-rebased).
+    logs: Vec<DetectionLog>,
+}
+
+impl CascadeShard {
+    /// Was the leader active anywhere in `[tick − lag, tick]`?
+    fn leader_active_within(&self, local: usize, tick: u64) -> bool {
+        let from = tick.saturating_sub(self.lag) as usize;
+        self.response[local][from..=tick as usize]
+            .iter()
+            .any(|&v| v > self.response_thresholds[local])
+    }
+
+    /// First tick in `[from, to]` (clamped to the run) where the leader
+    /// is active — the snap-back wake-up point.
+    fn first_leader_activity(&self, local: usize, from: u64, to: u64) -> Option<u64> {
+        let to = to.min(self.ticks.saturating_sub(1));
+        (from..=to).find(|&t| self.response[local][t as usize] > self.response_thresholds[local])
+    }
+}
+
+impl ShardWorker for CascadeShard {
+    type Event = CascadeEvent;
+    type Msg = ();
+
+    fn handle(
+        &mut self,
+        ctx: &mut EpochCtx<'_, CascadeEvent, ()>,
+        time: SimTime,
+        event: CascadeEvent,
+    ) {
+        let tick = time.as_micros() / self.window.as_micros();
+        if tick >= self.ticks {
+            return;
+        }
+        let local = (event.vm.0 - self.first_vm) as usize;
+        let value = self.rho[local][tick as usize];
+        let obs = self.bank.observe(local, tick, value);
+        if tick >= self.train {
+            self.logs[local].record(tick - self.train, 1, obs.violation);
+        }
+        let mut next = obs.next_sample_tick;
+        // Once the plan is in force, a calm leader paces the follower at
+        // the coarse gated interval — unless the leader fires first, in
+        // which case the follower snaps back at that very tick.
+        if let Some(gate) = self.gates[local] {
+            if tick >= self.train && !self.leader_active_within(local, tick) {
+                let coarse = tick + u64::from(gate);
+                next = self
+                    .first_leader_activity(local, tick + 1, coarse)
+                    .unwrap_or(coarse);
+            }
+        }
+        if next < self.ticks {
+            ctx.schedule(SimTime::ZERO + self.window.saturating_mul(next), event);
+        }
+    }
+}
+
+/// The DDoS cascade scenario (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdosCascadeScenario {
+    config: DdosCascadeConfig,
+}
+
+impl DdosCascadeScenario {
+    /// Creates a scenario from its configuration.
+    pub fn from_config(config: DdosCascadeConfig) -> Self {
+        DdosCascadeScenario { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DdosCascadeConfig {
+        &self.config
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(&self) -> CascadeReport {
+        self.run_parallel(1)
+    }
+
+    /// Runs the scenario on `threads` worker threads over the sharded
+    /// engine. Results are bit-identical to [`run`](Self::run) for every
+    /// thread count.
+    pub fn run_parallel(&self, threads: usize) -> CascadeReport {
+        self.run_parallel_detailed(threads).0
+    }
+
+    /// Like [`run_parallel`](Self::run_parallel), but also returns the
+    /// engine's execution counters (for report envelopes).
+    pub fn run_parallel_detailed(&self, threads: usize) -> (CascadeReport, EngineStats) {
+        let cfg = &self.config;
+        assert!(
+            cfg.train_ticks < cfg.ticks,
+            "cascade needs an evaluation window (train_ticks < ticks)"
+        );
+        let total_vms = cfg.cluster.total_vms() as usize;
+        let ticks = cfg.ticks;
+        let train = cfg.train_ticks;
+
+        // Recurring attacks on every VM, phase-staggered so the fleet's
+        // attacks don't land in lockstep; every VM sees attacks in both
+        // the training and the evaluation window.
+        let mut netflow = NetflowConfig::builder()
+            .seed(cfg.seed)
+            .vms(total_vms)
+            .scan_burst_probability(0.0)
+            .diurnal(DiurnalPattern::new((ticks as u64).min(5760), 0.3));
+        for vm in 0..total_vms {
+            let mut start = (vm as u64 * 211) % cfg.attack_period;
+            while (start as usize) < ticks {
+                netflow = netflow.attack(AttackSpec {
+                    vm,
+                    start_tick: start,
+                    duration_ticks: cfg.attack_duration,
+                    peak_asymmetry: cfg.peak_asymmetry,
+                });
+                start += cfg.attack_period;
+            }
+        }
+        let netflow = netflow.build();
+
+        let adaptation = AdaptationConfig::builder()
+            .error_allowance(cfg.error_allowance)
+            .max_interval(cfg.max_interval)
+            .patience(cfg.patience)
+            .build()
+            .expect("scenario adaptation parameters are valid");
+
+        let window = SimDuration::from_secs_f64(cfg.window_secs);
+        let horizon = SimTime::ZERO + window.saturating_mul(ticks as u64);
+        let plan = ShardPlan::by_coordinator_group(cfg.cluster);
+        let epoch_ticks = (ticks as u64).div_ceil(8).max(1);
+        let engine = ShardedEngine::new(EngineConfig {
+            threads,
+            epoch: window.saturating_mul(epoch_ticks),
+            horizon,
+        });
+        let correlation = cfg.correlation;
+        let gated = cfg.gated;
+        let seed = cfg.seed;
+        let rho_sel = cfg.rho_selectivity_percent;
+        let resp_sel = cfg.response_selectivity_percent;
+        let (workers, stats) = engine.run(
+            &plan,
+            0, // traces carry the seed; the engine draws no randomness
+            |shard, ctx| {
+                let first_vm = plan
+                    .vms_of(shard)
+                    .next()
+                    .expect("every coordinator group has at least one VM")
+                    .0;
+                let mut bank = SamplerBank::new(adaptation);
+                let mut rho_traces = Vec::new();
+                let mut response_traces = Vec::new();
+                let mut response_thresholds = Vec::new();
+                let mut gates = Vec::new();
+                let mut confidences = Vec::new();
+                let leader = TaskId(0);
+                let follower = TaskId(1);
+                for vm in plan.vms_of(shard) {
+                    let rho = netflow.generate_vm(vm.0 as usize, ticks).rho;
+                    // Response time tracks attack load through the
+                    // M/M/1-style model; a per-VM stream keeps pairs
+                    // independent.
+                    let response = ResponseTimeModel::new(20.0, 3200.0)
+                        .series(&rho, seed ^ (u64::from(vm.0) + 1));
+                    let rho_threshold = volley_core::selectivity_threshold(&rho, rho_sel)
+                        .expect("non-empty trace, valid selectivity");
+                    let resp_threshold = volley_core::selectivity_threshold(&response, resp_sel)
+                        .expect("non-empty trace, valid selectivity");
+                    // Train this VM's detector on the full-resolution
+                    // prefix, then freeze the plan.
+                    let mut detector =
+                        CorrelationDetector::new(correlation, vec![leader, follower]);
+                    for t in 0..train {
+                        detector.observe(
+                            t as u64,
+                            &[response[t] > resp_threshold, rho[t] > rho_threshold],
+                        );
+                    }
+                    confidences.push(
+                        detector
+                            .necessity_confidence(leader, follower)
+                            .unwrap_or(0.0),
+                    );
+                    gates.push(if gated {
+                        detector
+                            .plan()
+                            .gate(follower)
+                            .map(|g| g.gated_interval.get())
+                    } else {
+                        None
+                    });
+                    bank.push(rho_threshold);
+                    rho_traces.push(rho);
+                    response_traces.push(response);
+                    response_thresholds.push(resp_threshold);
+                    ctx.schedule(SimTime::ZERO, CascadeEvent { vm });
+                }
+                let logs = vec![DetectionLog::new(); rho_traces.len()];
+                CascadeShard {
+                    window,
+                    ticks: ticks as u64,
+                    train: train as u64,
+                    lag: u64::from(correlation.lag_window),
+                    first_vm,
+                    bank,
+                    rho: rho_traces,
+                    response: response_traces,
+                    response_thresholds,
+                    gates,
+                    confidences,
+                    logs,
+                }
+            },
+            None,
+        );
+
+        // Merge shard results in shard order (contiguous ascending VM
+        // ranges), scoring the follower on the evaluation window only.
+        let eval_ticks = (ticks - train) as u64;
+        let mut accuracy: Option<AccuracyReport> = None;
+        let mut gated_vms = 0u32;
+        let mut confidence_sum = 0.0;
+        for worker in workers {
+            for (local, (log, rho)) in worker.logs.iter().zip(&worker.rho).enumerate() {
+                let truth = GroundTruth::from_trace(&rho[train..], worker.bank.threshold(local));
+                let report = log.score(&truth, eval_ticks);
+                accuracy = Some(match accuracy {
+                    Some(acc) => acc.merged(&report),
+                    None => report,
+                });
+            }
+            gated_vms += worker.gates.iter().filter(|g| g.is_some()).count() as u32;
+            confidence_sum += worker.confidences.iter().sum::<f64>();
+        }
+        let accuracy = accuracy.expect("at least one VM");
+        let report = CascadeReport {
+            vms: total_vms as u32,
+            eval_ticks,
+            follower_samples: accuracy.sampling_ops,
+            leader_samples: eval_ticks * total_vms as u64,
+            gated_vms,
+            mean_confidence: confidence_sum / total_vms as f64,
+            accuracy,
+        };
+        (report, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(gated: bool) -> DdosCascadeConfig {
+        DdosCascadeConfig {
+            cluster: ClusterConfig::new(2, 4, 1),
+            ticks: 2400,
+            train_ticks: 1200,
+            seed: 11,
+            attack_period: 600,
+            gated,
+            ..DdosCascadeConfig::default()
+        }
+    }
+
+    #[test]
+    fn gating_saves_follower_samples_within_the_allowance() {
+        let ungated = DdosCascadeScenario::from_config(small(false)).run();
+        let gated = DdosCascadeScenario::from_config(small(true)).run();
+        assert!(gated.gated_vms > 0, "training must qualify gates");
+        assert!(
+            gated.follower_samples < ungated.follower_samples,
+            "gated {} vs ungated {}",
+            gated.follower_samples,
+            ungated.follower_samples
+        );
+        let allowance = small(true).error_allowance;
+        assert!(
+            gated.misdetection_rate() <= allowance,
+            "mis-detection {} above allowance {allowance}",
+            gated.misdetection_rate()
+        );
+    }
+
+    #[test]
+    fn learned_confidence_is_high_for_the_planted_cascade() {
+        let report = DdosCascadeScenario::from_config(small(true)).run();
+        assert!(
+            report.mean_confidence > 0.9,
+            "necessity confidence {} too low",
+            report.mean_confidence
+        );
+    }
+
+    #[test]
+    fn ungated_runs_learn_but_do_not_gate() {
+        let report = DdosCascadeScenario::from_config(small(false)).run();
+        assert_eq!(report.gated_vms, 0);
+        assert!(report.mean_confidence > 0.0, "correlation still learned");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let one = DdosCascadeScenario::from_config(small(true)).run_parallel(1);
+        let four = DdosCascadeScenario::from_config(small(true)).run_parallel(4);
+        assert_eq!(one, four);
+    }
+}

@@ -158,10 +158,7 @@ impl ShardWorker for DistributedShard {
         let cell = &mut self.tasks[event.local];
         let mut values = ctx.scratch().take_f64();
         values.extend(cell.rho.iter().map(|trace| trace[tick as usize]));
-        let outcome = cell
-            .task
-            .step(tick, &values)
-            .expect("value count matches");
+        let outcome = cell.task.step(tick, &values).expect("value count matches");
         ctx.scratch().put_f64(values);
         // Charge each member's Dom0 for this tick's operations:
         // distribute the tick's total ops over the members that

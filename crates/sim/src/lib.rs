@@ -28,11 +28,14 @@
 //!   fleet, used by the Figure 6 harness).
 //! - [`shard`] — the sharded, deterministic, multi-threaded execution
 //!   engine (per-coordinator-group event queues in lockstep epochs).
+//! - [`cascade`] — the DDoS cascade scenario: per-VM leader/follower
+//!   task pairs under the §II.B multi-task correlation suppression.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cascade;
 pub mod cluster;
 pub mod cost;
 pub mod distributed;
@@ -42,6 +45,7 @@ pub mod shard;
 pub mod telemetry;
 pub mod time;
 
+pub use cascade::{CascadeReport, DdosCascadeConfig, DdosCascadeScenario};
 pub use cluster::{ClusterConfig, ServerId, VmId};
 pub use cost::Dom0CostModel;
 pub use distributed::{DistributedScenario, DistributedScenarioConfig, DistributedScenarioReport};

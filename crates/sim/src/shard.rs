@@ -573,7 +573,7 @@ impl ShardedEngine {
                     if index >= shard_count {
                         break;
                     }
-                    if index % threads != 0 {
+                    if !index.is_multiple_of(threads) {
                         steals.0.fetch_add(1, Ordering::Relaxed);
                     }
                     let mut cell = cells[index].0.lock().expect("shard cell lock");
@@ -590,8 +590,8 @@ impl ShardedEngine {
                 // (source, send order) form with no sort.
                 let mut depth = 0usize;
                 let mut merged = 0u64;
-                for src in 0..shard_count {
-                    let cell = &mut *cells[src].0.lock().expect("shard cell lock");
+                for (src, slot) in cells.iter().enumerate().take(shard_count) {
+                    let cell = &mut *slot.0.lock().expect("shard cell lock");
                     depth = depth.max(cell.queue.len());
                     spares.append(&mut cell.spent);
                     for dst in 0..shard_count {
@@ -869,8 +869,7 @@ mod tests {
     #[test]
     fn message_free_config_runs_one_epoch() {
         let plan = ShardPlan::by_coordinator_group(ClusterConfig::new(2, 1, 1));
-        let engine =
-            ShardedEngine::new(EngineConfig::message_free(2, SimTime::from_micros(1000)));
+        let engine = ShardedEngine::new(EngineConfig::message_free(2, SimTime::from_micros(1000)));
         let (workers, stats) = engine.run(&plan, 0, |shard, _| shard.0, None);
         assert_eq!(workers, vec![0, 1]);
         assert_eq!(stats.epochs, 1, "whole horizon in a single epoch");

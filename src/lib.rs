@@ -16,6 +16,9 @@
 //!   (metrics registry, span tracing, exposition, Volley-watching-Volley);
 //! - [`volley_store`] — the embedded time-series sample store with
 //!   record/replay and offline backtesting;
+//! - [`volley_analyze`] — offline analysis jobs over store recordings
+//!   (single-pass, bounded-memory folds such as the §II.B correlation
+//!   matrix);
 //! - [`volley_serve`] — the embedded HTTP serving plane (Prometheus
 //!   scrape, range-query API and streaming alert subscriptions).
 //!
@@ -44,6 +47,7 @@ pub mod prelude;
 
 pub use config::VolleyConfig;
 
+pub use volley_analyze as analyze;
 pub use volley_core as core;
 pub use volley_obs as obs;
 pub use volley_runtime as runtime;

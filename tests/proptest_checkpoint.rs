@@ -17,8 +17,8 @@ use volley::core::stats::{DeltaTracker, EwmaStats, OnlineStats};
 use volley::core::vfs::{CircuitBreaker, FaultFs, IoFaultPlan};
 use volley::core::{AdaptationConfig, AdaptiveSampler, Interval};
 use volley::runtime::checkpoint::{
-    decode_records, encode_record, AppendOutcome, CoordinatorSnapshot, TickOutcome, Wal, WalRecord,
-    WalSyncPolicy,
+    decode_records, encode_record, AppendOutcome, CoordinatorSnapshot, MultitaskSnapshot,
+    TickOutcome, Wal, WalRecord, WalSyncPolicy,
 };
 
 /// A unique on-disk scratch directory per proptest case, so shrinking
@@ -70,6 +70,11 @@ fn snapshot_record(epoch: u64, tick: u64, samplers: Vec<Option<SamplerSnapshot>>
         next_update_tick: tick + 100,
         allowances: vec![0.01; n],
         samplers,
+        multitask: tick.is_multiple_of(2).then_some(MultitaskSnapshot {
+            engaged: tick.is_multiple_of(4),
+            flips: tick / 3,
+            suppressed: tick,
+        }),
     })
 }
 

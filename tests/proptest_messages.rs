@@ -54,6 +54,7 @@ proptest! {
             tick,
             sampled,
             violation,
+            suppressed: flags & 2 != 0 && !sampled,
         });
         round_trip(&MonitorToCoordinator::PollReply {
             monitor: MonitorId(monitor),
@@ -63,6 +64,10 @@ proptest! {
         });
         round_trip(&MonitorToCoordinator::Revived {
             monitor: MonitorId(monitor),
+        });
+        round_trip(&MonitorToCoordinator::LeaderState {
+            tick,
+            active: flags & 1 != 0,
         });
     }
 
@@ -120,6 +125,9 @@ proptest! {
         round_trip(&CoordinatorToMonitor::NewEpoch { epoch: tick });
         round_trip(&CoordinatorToMonitor::RequestSnapshot);
         round_trip(&CoordinatorToMonitor::ResetSampler);
+        round_trip(&CoordinatorToMonitor::SetGate {
+            interval: if err < 0.5 { Some(tick as u32 % 64 + 1) } else { None },
+        });
         round_trip(&CoordinatorToMonitor::Shutdown);
     }
 
@@ -136,6 +144,7 @@ proptest! {
             tick,
             sampled: true,
             violation: false,
+            suppressed: false,
         };
         let sealed = MonitorFrame::seal(epoch, msg.clone());
         let frame: MonitorFrame = decode(&sealed).expect("monitor envelope decodes");
@@ -167,6 +176,8 @@ proptest! {
             missing_reports: counts.3,
             degraded: flags & 1 != 0,
             stale_epoch_frames: counts.2,
+            suppressed_samples: counts.1,
+            gated: flags & 2 != 0,
         }));
         round_trip(&CoordinatorToRunner::MonitorQuarantined {
             monitor: MonitorId(monitor),
@@ -207,6 +218,7 @@ proptest! {
             tick,
             sampled: true,
             violation: false,
+            suppressed: false,
         };
         let frame = encode(&msg);
         // Stay strictly inside the JSON body: cutting only the trailing
